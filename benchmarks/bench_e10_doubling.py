@@ -1,0 +1,136 @@
+"""E10 — Theorem 8 / Section 5.3: doubling separators where paths fail.
+
+A 3D mesh has no small k-path separator (its balanced separators are
+2D planes of ~n^{2/3} vertices) but is (1, ~2)-doubling separable.
+Shapes to verify:
+* greedy path peeling on 3D meshes needs far more paths than on 2D
+  meshes of the same size (the motivation for Definition P1');
+* the plane-net DoublingOracle achieves stretch <= 1+eps with
+  per-vertex labels that grow polylogarithmically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import sample_pairs
+from repro.baselines import ExactOracle
+from repro.core import DoublingOracle, GreedyPeelingEngine, doubling_dimension_estimate
+from repro.generators import grid_2d, grid_3d
+from repro.util import Timer, format_table
+
+SIDES_3D = [4, 5, 6, 8]
+EPS = 0.25
+
+
+def run_path_vs_plane():
+    rows = []
+    for s in SIDES_3D:
+        g3 = grid_3d(s)
+        n = g3.num_vertices
+        side2 = max(2, int(round(n**0.5)))
+        g2 = grid_2d(side2)
+        k3 = GreedyPeelingEngine(num_candidates=8, seed=0).find_separator(g3).num_paths
+        k2 = GreedyPeelingEngine(num_candidates=8, seed=0).find_separator(g2).num_paths
+        rows.append([s, n, k3, k2, s])  # plane separator would be 1 subgraph of s^2 vertices
+    return rows
+
+
+def run_oracle_experiment():
+    from repro.core import MetricNetOracle, grid3d_doubling_decomposition
+
+    rows = []
+    for s in SIDES_3D:
+        graph = grid_3d(s)
+        exact = ExactOracle(graph)
+        pairs = sample_pairs(graph, 150, seed=15)
+        for name, make in (
+            ("coord-net", lambda: DoublingOracle(graph, epsilon=EPS)),
+            (
+                "metric-net",
+                lambda: MetricNetOracle(
+                    graph, grid3d_doubling_decomposition(graph), epsilon=EPS
+                ),
+            ),
+        ):
+            with Timer() as t:
+                oracle = make()
+            stretches = [
+                oracle.query(u, v) / exact.query(u, v) for u, v in pairs
+            ]
+            report = oracle.size_report()
+            rows.append(
+                [
+                    s,
+                    graph.num_vertices,
+                    name,
+                    round(max(stretches), 4),
+                    round(sum(stretches) / len(stretches), 4),
+                    round(report.mean_words, 1),
+                    round(t.elapsed, 2),
+                ]
+            )
+    return rows
+
+
+def test_e10_path_separators_fail_on_3d(record_table):
+    rows = run_path_vs_plane()
+    record_table(
+        "e10_path_vs_plane",
+        format_table(
+            ["side", "n", "k(3D mesh)", "k(2D mesh, same n)", "plane_width"],
+            rows,
+            title="E10a: path separators on 3D vs 2D meshes (same n)",
+        ),
+    )
+    # 3D needs strictly more paths, and the gap widens.
+    for s, n, k3, k2, _ in rows:
+        assert k3 >= k2
+    assert rows[-1][2] >= 3 * rows[-1][3]
+
+
+def test_e10_doubling_oracle_table(record_table):
+    rows = run_oracle_experiment()
+    record_table(
+        "e10_doubling_oracle",
+        format_table(
+            ["side", "n", "oracle", "max_stretch", "mean_stretch", "label_mean_w", "build_s"],
+            rows,
+            title="E10b (Theorem 8): plane-net oracles on 3D meshes",
+        ),
+    )
+    for s, n, name, max_s, mean_s, words, t in rows:
+        assert max_s <= 1 + EPS + 1e-9, (name, s)
+    # Label growth sub-linear in n (it tracks the separator-plane net,
+    # ~n^(2/3) with a (1/eps)^2 constant, not n).
+    coord = [r for r in rows if r[2] == "coord-net"]
+    assert coord[-1][5] <= coord[0][5] * (coord[-1][1] / coord[0][1]) * 0.75
+
+
+def test_e10_dimension_contrast(record_table):
+    g3 = grid_3d(5)
+    alpha_box = doubling_dimension_estimate(g3, num_samples=8, seed=0)
+    dec_plane = None
+    from repro.core import grid3d_doubling_decomposition
+    from repro.graphs import induced_subgraph
+
+    dec = grid3d_doubling_decomposition(g3)
+    plane = induced_subgraph(g3, dec.nodes[0].separator)
+    alpha_plane = doubling_dimension_estimate(plane, num_samples=8, seed=0)
+    table = format_table(
+        ["metric", "value"],
+        [
+            ["alpha(3D box)", round(alpha_box, 2)],
+            ["alpha(separator plane)", round(alpha_plane, 2)],
+        ],
+        title="E10c: separator subgraph has lower doubling dimension",
+    )
+    record_table("e10_dimension", table)
+    assert alpha_plane <= alpha_box + 0.5
+
+
+@pytest.mark.parametrize("s", [4, 6])
+def test_e10_bench_doubling_oracle_build(benchmark, s):
+    graph = grid_3d(s)
+    oracle = benchmark(DoublingOracle, graph, EPS)
+    assert oracle.size_report().mean_words > 0

@@ -1,0 +1,146 @@
+"""E11 — ablations over the design choices DESIGN.md calls out.
+
+(a) Separator engine: greedy peeling vs fundamental-cycle vs center
+    bags on the same planar inputs — k, strongness, depth, and the
+    label size each induces.
+(b) Portal rule: the Thorup-style epsilon-cover (used by Theorem 2
+    labels) vs the paper's Claim-1 landmark rule (used by the
+    small-world distribution) — entries per (vertex, path).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import sample_pairs
+from repro.baselines import ExactOracle
+from repro.core import (
+    CenterBagEngine,
+    FundamentalCycleEngine,
+    GreedyPeelingEngine,
+    build_decomposition,
+    build_labeling,
+    claim1_landmarks,
+    epsilon_cover_portals,
+)
+from repro.core.smallworld import estimate_aspect_ratio
+from repro.generators import random_delaunay_graph
+from repro.graphs import dijkstra
+from repro.util import Timer, format_table
+
+N = 512
+EPS = 0.25
+
+
+def run_engine_ablation():
+    graph = random_delaunay_graph(N, seed=20)[0]
+    exact = ExactOracle(graph)
+    pairs = sample_pairs(graph, 100, seed=21)
+    rows = []
+    from repro.planar import PlanarCycleEngine
+
+    engines = [
+        ("greedy-peeling", GreedyPeelingEngine(seed=0)),
+        ("fundamental-cycle", FundamentalCycleEngine(seed=0)),
+        ("lipton-tarjan(dual)", PlanarCycleEngine()),
+        ("center-bag(min_deg)", CenterBagEngine(order="min_degree")),
+    ]
+    for name, engine in engines:
+        with Timer() as t_build:
+            tree = build_decomposition(graph, engine=engine)
+        stats = tree.stats()
+        labeling = build_labeling(graph, tree, epsilon=EPS)
+        report = labeling.size_report()
+        worst = max(
+            labeling.estimate(u, v) / exact.query(u, v) for u, v in pairs
+        )
+        rows.append(
+            [
+                name,
+                stats["max_paths_per_node"],
+                round(stats["strong_fraction"], 2),
+                stats["depth"],
+                round(report.mean_words, 1),
+                round(worst, 4),
+                round(t_build.elapsed, 2),
+            ]
+        )
+    return rows
+
+
+def run_portal_ablation():
+    graph = random_delaunay_graph(N, seed=22)[0]
+    tree = build_decomposition(graph)
+    delta = estimate_aspect_ratio(graph)
+    root = tree.nodes[0]
+    key = (0, 0, 0)
+    path = tree.path_vertices(key)
+    prefix = tree.path_prefix(key)
+    residual = next(J for i, J in root.residual_sets() if i == 0)
+    rows = []
+    counts = {"eps-cover(.5)": [], "eps-cover(.1)": [], "claim1": []}
+    for v in sorted(residual, key=repr)[:120]:
+        dist, _ = dijkstra(graph, v, allowed=residual)
+        counts["eps-cover(.5)"].append(
+            len(epsilon_cover_portals(path, prefix, dist, 0.5))
+        )
+        counts["eps-cover(.1)"].append(
+            len(epsilon_cover_portals(path, prefix, dist, 0.1))
+        )
+        counts["claim1"].append(len(claim1_landmarks(path, prefix, dist, delta)))
+    for name, values in counts.items():
+        rows.append(
+            [
+                name,
+                round(sum(values) / len(values), 2),
+                max(values),
+                len(path),
+            ]
+        )
+    return rows
+
+
+def test_e11_engine_ablation_table(record_table):
+    rows = run_engine_ablation()
+    record_table(
+        "e11_engines",
+        format_table(
+            ["engine", "k_max", "strong", "depth", "label_w", "worst_stretch", "build_s"],
+            rows,
+            title=f"E11a: separator engine ablation (delaunay n={N}, eps={EPS})",
+        ),
+    )
+    for name, k_max, strong, depth, words, worst, t in rows:
+        assert worst <= 1 + EPS + 1e-9, name
+
+
+def test_e11_portal_ablation_table(record_table):
+    rows = run_portal_ablation()
+    record_table(
+        "e11_portals",
+        format_table(
+            ["rule", "mean_entries", "max_entries", "path_len"],
+            rows,
+            title="E11b: portal/landmark rule ablation on one separator path",
+        ),
+    )
+    by_name = {r[0]: r for r in rows}
+    # Tighter eps needs at least as many portals.
+    assert by_name["eps-cover(.1)"][1] >= by_name["eps-cover(.5)"][1]
+    # All rules select far fewer entries than the path has vertices.
+    for name, mean_entries, max_entries, path_len in rows:
+        if path_len > 16:
+            assert max_entries < path_len
+
+
+@pytest.mark.parametrize(
+    "engine_name,engine",
+    [
+        ("greedy", GreedyPeelingEngine(seed=0)),
+        ("cycle", FundamentalCycleEngine(seed=0)),
+    ],
+)
+def test_e11_bench_engines(benchmark, engine_name, engine):
+    graph = random_delaunay_graph(N, seed=23)[0]
+    sep = benchmark(engine.find_separator, graph)
+    assert sep.num_paths >= 1

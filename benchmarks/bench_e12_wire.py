@@ -1,0 +1,77 @@
+"""E12 — the word model made concrete (paper footnote 2).
+
+The paper measures space in words of Omega(omega + log n) bits.  This
+bench compares three accountings of the same labels across n:
+
+* words (the package's word-model count);
+* model bits (words x (log2 n + weight bits), the footnote's block);
+* wire bits (the actual JSON serialization of repro.core.serialize).
+
+Shape: all three grow like log n per vertex, and the JSON wire format
+costs a constant factor over the information-theoretic block model —
+i.e. the word model is an honest proxy for shipped bytes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_decomposition, build_labeling
+from repro.core.serialize import wire_bits
+from repro.generators import random_delaunay_graph
+from repro.util import format_table
+from repro.util.sizing import words_to_bits
+
+SIZES = [128, 256, 512, 1024]
+EPS = 0.25
+
+
+def run_experiment():
+    rows = []
+    for n in SIZES:
+        graph = random_delaunay_graph(n, seed=n)[0]
+        labeling = build_labeling(graph, build_decomposition(graph), epsilon=EPS)
+        report = labeling.size_report()
+        mean_words = report.mean_words
+        max_weight = graph.max_weight()
+        model_bits = words_to_bits(mean_words, n=n, max_weight=max_weight)
+        mean_wire = sum(
+            wire_bits(label) for label in labeling.labels.values()
+        ) / len(labeling.labels)
+        rows.append(
+            [
+                n,
+                round(mean_words, 1),
+                round(model_bits, 0),
+                round(mean_wire, 0),
+                round(mean_wire / model_bits, 2),
+            ]
+        )
+    return rows
+
+
+def test_e12_wire_table(record_table):
+    rows = run_experiment()
+    record_table(
+        "e12_wire",
+        format_table(
+            ["n", "mean_words", "model_bits", "wire_bits", "wire/model"],
+            rows,
+            title="E12 (footnote 2): word model vs actual wire size of labels",
+        ),
+    )
+    # The JSON overhead factor stays bounded across sizes.
+    factors = [r[4] for r in rows]
+    assert max(factors) <= 3 * min(factors)
+    # Per-vertex bits grow sub-linearly in n.
+    assert rows[-1][3] <= rows[0][3] * (SIZES[-1] / SIZES[0]) / 2
+
+
+@pytest.mark.parametrize("n", [256])
+def test_e12_bench_serialization(benchmark, n):
+    from repro.core.serialize import dump_labeling
+
+    graph = random_delaunay_graph(n, seed=n)[0]
+    labeling = build_labeling(graph, build_decomposition(graph), epsilon=EPS)
+    payload = benchmark(dump_labeling, labeling)
+    assert payload.startswith("{")

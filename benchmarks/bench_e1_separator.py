@@ -1,0 +1,86 @@
+"""E1 — Theorem 1: minor-free families have small-k path separators.
+
+Paper claim: every H-minor-free weighted graph is k-path separable for
+k = k(H) — a constant per family, independent of n.  The table reports
+the measured k (max and mean separator paths per decomposition node)
+across families and sizes; the "shape" to verify is that k stays flat
+as n grows.  Contrast with E8, where expanders force k to grow.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_decomposition
+from repro.generators import (
+    grid_2d,
+    torus_2d,
+    k_tree,
+    outerplanar_graph,
+    random_delaunay_graph,
+    random_tree,
+    series_parallel_graph,
+)
+from repro.util import format_table
+
+SIZES = [128, 256, 512, 1024]
+
+FAMILIES = {
+    "tree": lambda n: random_tree(n, weight_range=(1.0, 8.0), seed=n),
+    "outerplanar": lambda n: outerplanar_graph(n, seed=n),
+    "series-parallel": lambda n: series_parallel_graph(n, seed=n),
+    "k-tree(3)": lambda n: k_tree(n, 3, seed=n)[0],
+    "grid": lambda n: grid_2d(int(round(n**0.5))),
+    "torus(genus 1)": lambda n: torus_2d(max(3, int(round(n**0.5)))),
+    "delaunay": lambda n: random_delaunay_graph(n, seed=n)[0],
+}
+
+
+def run_experiment():
+    rows = []
+    for family, make in FAMILIES.items():
+        for n in SIZES:
+            graph = make(n)
+            tree = build_decomposition(graph)
+            stats = tree.stats()
+            rows.append(
+                [
+                    family,
+                    graph.num_vertices,
+                    stats["max_paths_per_node"],
+                    round(stats["mean_paths_per_node"], 2),
+                    round(stats["strong_fraction"], 2),
+                    stats["depth"],
+                ]
+            )
+    return rows
+
+
+def test_e1_separator_k_table(record_table):
+    rows = run_experiment()
+    record_table(
+        "e1_separator",
+        format_table(
+            ["family", "n", "k_max", "k_mean", "strong_frac", "depth"],
+            rows,
+            title="E1 (Theorem 1): separator paths per node across minor-free families",
+        ),
+    )
+    # Shape assertions: k flat in n for every family.
+    by_family = {}
+    for family, n, k_max, *_ in rows:
+        by_family.setdefault(family, []).append(k_max)
+    for family, ks in by_family.items():
+        assert max(ks) <= 8, (family, ks)
+        # k at the largest size is no more than a couple above the smallest.
+        assert ks[-1] <= ks[0] + 3, (family, ks)
+
+
+@pytest.mark.parametrize("family", ["grid", "delaunay", "k-tree(3)"])
+def test_e1_bench_separator_construction(benchmark, family):
+    graph = FAMILIES[family](256)
+    from repro.core.engines import auto_engine
+
+    engine = auto_engine(graph)
+    result = benchmark(engine.find_separator, graph)
+    assert result.num_paths >= 1

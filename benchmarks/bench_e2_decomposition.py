@@ -1,0 +1,69 @@
+"""E2 — decomposition depth is logarithmic (Section 4).
+
+Paper claim: components halve at every level, so the decomposition
+tree 𝒯 has depth at most log2 n.  The shape to verify: depth/log2(n)
+stays <= 1 (plus rounding) across families and sizes, and build time
+scales near-linearly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import build_decomposition
+from repro.generators import grid_2d, random_delaunay_graph, random_tree, series_parallel_graph
+from repro.util import Timer, format_table
+
+SIZES = [128, 256, 512, 1024, 2048]
+
+FAMILIES = {
+    "tree": lambda n: random_tree(n, seed=n),
+    "series-parallel": lambda n: series_parallel_graph(n, seed=n),
+    "grid": lambda n: grid_2d(int(round(n**0.5))),
+    "delaunay": lambda n: random_delaunay_graph(n, seed=n)[0],
+}
+
+
+def run_experiment():
+    rows = []
+    for family, make in FAMILIES.items():
+        for n in SIZES:
+            graph = make(n)
+            with Timer() as t:
+                tree = build_decomposition(graph)
+            log2n = math.log2(graph.num_vertices)
+            rows.append(
+                [
+                    family,
+                    graph.num_vertices,
+                    tree.depth,
+                    round(log2n, 1),
+                    round(tree.depth / log2n, 2),
+                    tree.num_nodes,
+                    round(t.elapsed, 3),
+                ]
+            )
+    return rows
+
+
+def test_e2_depth_table(record_table):
+    rows = run_experiment()
+    record_table(
+        "e2_decomposition",
+        format_table(
+            ["family", "n", "depth", "log2(n)", "ratio", "nodes", "build_s"],
+            rows,
+            title="E2: decomposition depth vs log2(n)",
+        ),
+    )
+    for family, n, depth, log2n, ratio, *_ in rows:
+        assert depth <= log2n + 1, (family, n, depth)
+
+
+@pytest.mark.parametrize("n", [256, 1024])
+def test_e2_bench_build_decomposition(benchmark, n):
+    graph = random_delaunay_graph(n, seed=n)[0]
+    tree = benchmark(build_decomposition, graph)
+    assert tree.depth <= math.log2(n) + 1

@@ -1,0 +1,84 @@
+"""E3 — Theorem 2: (1+eps) distance labels of O(k/eps * log n) words.
+
+Shapes to verify:
+* label size grows like log n (sub-linear): doubling n adds a roughly
+  constant number of words;
+* label size grows like 1/eps: halving eps roughly doubles the portal
+  count per path (up to the log Delta factor our greedy cover carries,
+  documented in DESIGN.md);
+* construction stays near O(n log n) Dijkstras.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import build_decomposition, build_labeling
+from repro.generators import k_tree, random_delaunay_graph
+from repro.util import Timer, format_table
+
+SIZES = [128, 256, 512, 1024]
+EPSILONS = [0.5, 0.25, 0.1]
+
+
+def run_experiment():
+    rows = []
+    for family, make in (
+        ("delaunay", lambda n: random_delaunay_graph(n, seed=n)[0]),
+        ("k-tree(3)", lambda n: k_tree(n, 3, seed=n)[0]),
+    ):
+        for n in SIZES:
+            graph = make(n)
+            tree = build_decomposition(graph)
+            for eps in EPSILONS:
+                with Timer() as t:
+                    labeling = build_labeling(graph, tree, epsilon=eps)
+                report = labeling.size_report()
+                log2n = math.log2(graph.num_vertices)
+                rows.append(
+                    [
+                        family,
+                        graph.num_vertices,
+                        eps,
+                        round(report.mean_words, 1),
+                        report.max_words,
+                        round(report.mean_words / log2n, 2),
+                        round(t.elapsed, 2),
+                    ]
+                )
+    return rows
+
+
+def test_e3_label_size_table(record_table):
+    rows = run_experiment()
+    record_table(
+        "e3_labels",
+        format_table(
+            ["family", "n", "eps", "mean_words", "max_words", "mean/log2n", "build_s"],
+            rows,
+            title="E3 (Theorem 2): label size vs n and eps",
+        ),
+    )
+    # Shape: sub-linear growth in n (per family, per eps).
+    by_key = {}
+    for family, n, eps, mean_words, *_ in rows:
+        by_key.setdefault((family, eps), []).append((n, mean_words))
+    for key, series in by_key.items():
+        n_small, w_small = series[0]
+        n_big, w_big = series[-1]
+        growth = w_big / w_small
+        assert growth < (n_big / n_small) / 2, (key, series)
+    # Shape: monotone in 1/eps.
+    for family in ("delaunay", "k-tree(3)"):
+        last = {eps: w for f, n, eps, w, *_ in rows if f == family and n == SIZES[-1]}
+        assert last[0.1] >= last[0.5]
+
+
+@pytest.mark.parametrize("eps", [0.5, 0.1])
+def test_e3_bench_label_construction(benchmark, eps):
+    graph = random_delaunay_graph(256, seed=1)[0]
+    tree = build_decomposition(graph)
+    labeling = benchmark(build_labeling, graph, tree, eps)
+    assert labeling.size_report().mean_words > 0

@@ -1,0 +1,115 @@
+"""E4 — Theorem 2's oracle: query time, space, and stretch vs baselines.
+
+Shapes to verify:
+* observed stretch <= 1 + eps always (and TZ's can exceed it, up to
+  2k-1 = 3);
+* oracle queries are orders of magnitude faster than per-query
+  Dijkstra, and near-flat in n;
+* space stays near-linear (words/vertex grows ~log n, not ~n).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import sample_pairs
+from repro.baselines import (
+    AltOracle,
+    ContractionHierarchy,
+    ExactOracle,
+    LandmarkOracle,
+    ThorupZwickOracle,
+)
+from repro.core import PathSeparatorOracle
+from repro.generators import random_delaunay_graph
+from repro.util import format_table
+
+SIZES = [128, 256, 512, 1024]
+EPS = 0.25
+
+
+def run_experiment():
+    rows = []
+    for n in SIZES:
+        graph = random_delaunay_graph(n, seed=n)[0]
+        pairs = sample_pairs(graph, 200, seed=1)
+        exact = ExactOracle(graph)
+        truths = {p: exact.query(*p) for p in pairs}
+
+        oracles = [
+            ("path-sep(1+.25)", PathSeparatorOracle.build(graph, epsilon=EPS)),
+            ("thorup-zwick(k=2)", ThorupZwickOracle(graph, k=2, seed=0)),
+            ("landmarks(16)", LandmarkOracle(graph, num_landmarks=16, seed=0)),
+            ("alt(8, exact)", AltOracle(graph, num_landmarks=8, seed=0)),
+            ("contraction-hier", ContractionHierarchy(graph)),
+        ]
+        for name, oracle in oracles:
+            t0 = time.perf_counter()
+            estimates = {p: oracle.query(*p) for p in pairs}
+            per_query_us = (time.perf_counter() - t0) / len(pairs) * 1e6
+            stretches = [estimates[p] / truths[p] for p in pairs]
+            rows.append(
+                [
+                    n,
+                    name,
+                    round(per_query_us, 1),
+                    round(sum(stretches) / len(stretches), 4),
+                    round(max(stretches), 4),
+                    oracle.size_report().total_words,
+                ]
+            )
+        # Dijkstra-per-query baseline (timed on a subsample).
+        t0 = time.perf_counter()
+        for p in pairs[:20]:
+            exact.query_uncached(*p)
+        per_query_us = (time.perf_counter() - t0) / 20 * 1e6
+        rows.append([n, "dijkstra/query", round(per_query_us, 1), 1.0, 1.0, 0])
+    return rows
+
+
+def test_e4_oracle_table(record_table):
+    rows = run_experiment()
+    record_table(
+        "e4_oracle",
+        format_table(
+            ["n", "oracle", "us/query", "mean_stretch", "max_stretch", "words"],
+            rows,
+            title="E4 (Theorem 2): oracle query time / stretch / space vs baselines",
+        ),
+    )
+    for n, name, us, mean_s, max_s, words in rows:
+        if name.startswith("path-sep"):
+            assert max_s <= 1 + EPS + 1e-9, (n, max_s)
+        if name.startswith("thorup"):
+            assert max_s <= 3 + 1e-9
+    # Oracle beats per-query Dijkstra at the largest size.
+    big = {name: us for n, name, us, *_ in rows if n == SIZES[-1]}
+    assert big["path-sep(1+.25)"] < big["dijkstra/query"]
+
+
+@pytest.mark.parametrize("n", [256, 1024])
+def test_e4_bench_oracle_query(benchmark, n):
+    graph = random_delaunay_graph(n, seed=n)[0]
+    oracle = PathSeparatorOracle.build(graph, epsilon=EPS)
+    pairs = sample_pairs(graph, 64, seed=2)
+
+    def run():
+        for u, v in pairs:
+            oracle.query(u, v)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("n", [256, 1024])
+def test_e4_bench_dijkstra_query(benchmark, n):
+    graph = random_delaunay_graph(n, seed=n)[0]
+    exact = ExactOracle(graph)
+    pairs = sample_pairs(graph, 4, seed=2)
+
+    def run():
+        for u, v in pairs:
+            exact.query_uncached(u, v)
+
+    benchmark(run)

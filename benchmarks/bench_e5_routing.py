@@ -1,0 +1,96 @@
+"""E5 — compact routing: polylog tables, low stretch.
+
+Paper claim (abstract item 3): stretch-(1+eps) routing with polylog
+tables.  Our anchor-based scheme (see DESIGN.md) guarantees stretch 3
+in the worst case and near-1 in practice while keeping polylog state;
+the shapes to verify are: (a) delivered stretch concentrated near 1,
+(b) table words per vertex growing polylogarithmically, not linearly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import sample_pairs
+from repro.baselines import ExactOracle
+from repro.core import CompactRoutingScheme
+from repro.generators import random_delaunay_graph, road_network
+from repro.util import format_table
+
+SIZES = [128, 256, 512, 1024]
+
+
+def run_experiment():
+    rows = []
+    for family, make in (
+        ("delaunay", lambda n: random_delaunay_graph(n, seed=n)[0]),
+        ("road", lambda n: road_network(int(round(n**0.5)), seed=n)),
+    ):
+        for n in SIZES:
+            graph = make(n)
+            scheme = CompactRoutingScheme.build(graph)
+            exact = ExactOracle(graph)
+            pairs = sample_pairs(graph, 150, seed=3)
+            stretches = []
+            for u, v in pairs:
+                cost = scheme.route_cost(scheme.route(u, v))
+                stretches.append(cost / exact.query(u, v))
+            stretches.sort()
+            tables = scheme.table_report()
+            labels = scheme.label_report()
+            rows.append(
+                [
+                    family,
+                    graph.num_vertices,
+                    round(sum(stretches) / len(stretches), 3),
+                    round(stretches[len(stretches) // 2], 3),
+                    round(stretches[int(0.95 * len(stretches))], 3),
+                    round(max(stretches), 3),
+                    round(tables.mean_words, 1),
+                    tables.max_words,
+                    labels.max_words,
+                ]
+            )
+    return rows
+
+
+def test_e5_routing_table(record_table):
+    rows = run_experiment()
+    record_table(
+        "e5_routing",
+        format_table(
+            [
+                "family",
+                "n",
+                "mean",
+                "p50",
+                "p95",
+                "max",
+                "tbl_mean_w",
+                "tbl_max_w",
+                "lbl_max_w",
+            ],
+            rows,
+            title="E5: compact routing stretch distribution and table sizes",
+        ),
+    )
+    for family, n, mean, p50, p95, mx, tbl_mean, tbl_max, lbl_max in rows:
+        assert mx <= 3.0 + 1e-6
+        assert mean <= 1.6
+    # Polylog tables: 8x more vertices, far less than 8x bigger tables.
+    for family in ("delaunay", "road"):
+        series = [r for r in rows if r[0] == family]
+        assert series[-1][6] <= 4 * series[0][6]
+
+
+@pytest.mark.parametrize("n", [256, 1024])
+def test_e5_bench_route(benchmark, n):
+    graph = random_delaunay_graph(n, seed=n)[0]
+    scheme = CompactRoutingScheme.build(graph)
+    pairs = sample_pairs(graph, 64, seed=4)
+
+    def run():
+        for u, v in pairs:
+            scheme.route(u, v)
+
+    benchmark(run)

@@ -1,0 +1,124 @@
+"""E6 — Theorem 3: greedy routing in O(k^2 log^2 n log^2 Delta) hops.
+
+Two sweeps:
+* size sweep on unweighted grids (Delta = diameter fixed by n): mean
+  greedy hops normalized by log^2 n should stay bounded, and the
+  paper's augmentation should track (and at scale beat) Kleinberg's
+  grid-specific distribution while plain greedy grows like sqrt(n);
+* aspect-ratio sweep on weighted grids: hops should grow mildly (the
+  log^2 Delta factor), not explode.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchmarks.conftest import sample_pairs
+from repro.baselines import KleinbergAugmentation, UniformAugmentation
+from repro.core import AugmentedGraph, GreedyRouter, PathSeparatorAugmentation, build_decomposition
+from repro.generators import grid_2d
+from repro.util import format_table
+
+SIDES = [12, 16, 24, 32]
+PAIRS = 150
+
+
+def run_size_sweep():
+    rows = []
+    for side in SIDES:
+        graph = grid_2d(side)
+        n = graph.num_vertices
+        pairs = sample_pairs(graph, PAIRS, seed=5)
+        tree = build_decomposition(graph)
+        schemes = [
+            ("path-sep", PathSeparatorAugmentation(tree).augment(graph, seed=6)),
+            ("kleinberg", KleinbergAugmentation(2.0).augment(graph, seed=6)),
+            ("uniform", UniformAugmentation().augment(graph, seed=6)),
+            ("none", AugmentedGraph(base=graph)),
+        ]
+        for name, augmented in schemes:
+            hops = GreedyRouter(augmented).mean_hops(pairs)
+            rows.append(
+                [
+                    n,
+                    name,
+                    round(hops, 2),
+                    round(hops / math.log2(n) ** 2, 3),
+                    round(hops / math.sqrt(n), 3),
+                ]
+            )
+    return rows
+
+
+def run_delta_sweep():
+    rows = []
+    side = 20
+    for hi in (1.0, 4.0, 32.0, 256.0):
+        weight_range = None if hi == 1.0 else (1.0, hi)
+        graph = grid_2d(side, weight_range=weight_range, seed=9)
+        pairs = sample_pairs(graph, PAIRS, seed=7)
+        tree = build_decomposition(graph)
+        aug = PathSeparatorAugmentation(tree).augment(graph, seed=8)
+        hops = GreedyRouter(aug).mean_hops(pairs)
+        delta = max(2.0, hi * side)  # rough aspect ratio proxy
+        rows.append(
+            [
+                hi,
+                round(hops, 2),
+                round(hops / math.log2(delta) ** 2, 3),
+            ]
+        )
+    return rows
+
+
+def test_e6_size_sweep_table(record_table):
+    rows = run_size_sweep()
+    record_table(
+        "e6_smallworld_size",
+        format_table(
+            ["n", "augmentation", "mean_hops", "hops/log2n^2", "hops/sqrt(n)"],
+            rows,
+            title="E6a (Theorem 3): greedy hops vs n on unweighted grids",
+        ),
+    )
+    by_scheme = {}
+    for n, name, hops, norm_log, norm_sqrt in rows:
+        by_scheme.setdefault(name, []).append((n, hops, norm_log, norm_sqrt))
+    # Paper augmentation: polylog shape — normalized-by-log^2 stays bounded.
+    ps = by_scheme["path-sep"]
+    assert ps[-1][2] <= 2 * ps[0][2] + 0.3
+    # Unaugmented greedy grows like the diameter (sqrt n): its
+    # normalized-by-sqrt column stays roughly constant and is the
+    # worst scheme at the largest size.
+    biggest = {name: vals[-1][1] for name, vals in by_scheme.items()}
+    assert biggest["path-sep"] < biggest["none"]
+
+
+def test_e6_delta_sweep_table(record_table):
+    rows = run_delta_sweep()
+    record_table(
+        "e6_smallworld_delta",
+        format_table(
+            ["max_weight", "mean_hops", "hops/log2Delta^2"],
+            rows,
+            title="E6b (Theorem 3): greedy hops vs aspect ratio on weighted grids",
+        ),
+    )
+    # Hops grow far slower than Delta itself.
+    assert rows[-1][1] <= rows[0][1] * 8
+
+
+@pytest.mark.parametrize("side", [16, 32])
+def test_e6_bench_greedy_route(benchmark, side):
+    graph = grid_2d(side)
+    tree = build_decomposition(graph)
+    aug = PathSeparatorAugmentation(tree).augment(graph, seed=10)
+    router = GreedyRouter(aug)
+    pairs = sample_pairs(graph, 20, seed=11)
+
+    def run():
+        router.mean_hops(pairs)
+
+    benchmark(run)

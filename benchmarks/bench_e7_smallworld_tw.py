@@ -1,0 +1,75 @@
+"""E7 — Note 1: bounded-treewidth graphs route in O(k^2 log^2 n) hops.
+
+On k-trees every separator path is a single vertex, so the landmark
+set degenerates to that vertex and the log^2 Delta factor of Theorem 3
+disappears — even with wildly varying edge weights.  Shape: mean hops
+normalized by log^2 n stays bounded as n grows and is insensitive to
+the weight range.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchmarks.conftest import sample_pairs
+from repro.core import AugmentedGraph, GreedyRouter, PathSeparatorAugmentation, build_decomposition
+from repro.core.engines import CenterBagEngine
+from repro.generators import k_tree
+from repro.util import format_table
+
+SIZES = [128, 256, 512, 1024]
+
+
+def run_experiment():
+    rows = []
+    for weights, weight_range in (("unit", None), ("1..256", (1.0, 256.0))):
+        for n in SIZES:
+            graph, _ = k_tree(n, 2, weight_range=weight_range, seed=n)
+            tree = build_decomposition(graph, engine=CenterBagEngine(order="mcs"))
+            # Note 1 precondition: all separator paths are single vertices.
+            assert all(
+                len(tree.path_vertices(key)) == 1 for key in tree.all_path_keys()
+            )
+            aug = PathSeparatorAugmentation(tree).augment(graph, seed=12)
+            pairs = sample_pairs(graph, 150, seed=13)
+            hops = GreedyRouter(aug).mean_hops(pairs)
+            plain = GreedyRouter(AugmentedGraph(base=graph)).mean_hops(pairs)
+            rows.append(
+                [
+                    weights,
+                    n,
+                    round(hops, 2),
+                    round(plain, 2),
+                    round(hops / math.log2(n) ** 2, 3),
+                ]
+            )
+    return rows
+
+
+def test_e7_treewidth_smallworld_table(record_table):
+    rows = run_experiment()
+    record_table(
+        "e7_smallworld_tw",
+        format_table(
+            ["weights", "n", "hops(aug)", "hops(plain)", "hops/log2n^2"],
+            rows,
+            title="E7 (Note 1): greedy hops on 2-trees — no log^2 Delta factor",
+        ),
+    )
+    unit = [r for r in rows if r[0] == "unit"]
+    heavy = [r for r in rows if r[0] == "1..256"]
+    # Normalized hops bounded in n.
+    assert unit[-1][4] <= 2 * unit[0][4] + 0.3
+    # Weight range barely matters (Note 1's claim).
+    for u, h in zip(unit, heavy):
+        assert h[2] <= u[2] * 2 + 2
+
+
+@pytest.mark.parametrize("n", [256, 1024])
+def test_e7_bench_augmentation(benchmark, n):
+    graph, _ = k_tree(n, 2, seed=n)
+    tree = build_decomposition(graph, engine=CenterBagEngine(order="mcs"))
+    dist = PathSeparatorAugmentation(tree)
+    benchmark(dist.augment, graph, 14)

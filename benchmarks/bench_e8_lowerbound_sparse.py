@@ -1,0 +1,76 @@
+"""E8 — Theorem 5: general sparse graphs defeat path separators.
+
+Random 3-regular graphs are expanders w.h.p.: every balanced separator
+has Omega(n) vertices, and shortest paths are short (O(log n)), so a
+Definition-1 separator needs polynomially many paths.  Shape: measured
+k grows steeply with n for expanders while staying flat for equally
+sparse planar graphs (the contrast that makes Theorem 5 a *lower
+bound* story rather than an engine deficiency).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import GreedyPeelingEngine
+from repro.generators import random_delaunay_graph, random_regular_graph
+from repro.graphs import is_connected
+from repro.util import format_table
+
+SIZES = [64, 128, 256, 512]
+
+
+def connected_regular(n, seed):
+    for s in range(seed, seed + 20):
+        g = random_regular_graph(n, 3, seed=s)
+        if is_connected(g):
+            return g
+    raise RuntimeError("no connected sample found")
+
+
+def run_experiment():
+    rows = []
+    for n in SIZES:
+        expander = connected_regular(n, seed=n)
+        sep = GreedyPeelingEngine(num_candidates=8, seed=0).find_separator(expander)
+        k_exp = sep.num_paths
+        planar = random_delaunay_graph(n, seed=n)[0]
+        sep_p = GreedyPeelingEngine(num_candidates=8, seed=0).find_separator(planar)
+        rows.append(
+            [
+                n,
+                k_exp,
+                round(k_exp / math.sqrt(n), 2),
+                sep_p.num_paths,
+                round(math.log2(n), 1),
+            ]
+        )
+    return rows
+
+
+def test_e8_sparse_lower_bound_table(record_table):
+    rows = run_experiment()
+    record_table(
+        "e8_lowerbound_sparse",
+        format_table(
+            ["n", "k(3-regular)", "k/sqrt(n)", "k(delaunay)", "log2(n)"],
+            rows,
+            title="E8 (Theorem 5): separator paths needed, expander vs planar",
+        ),
+    )
+    # Expander k grows with n; planar k stays tiny.
+    ks = [r[1] for r in rows]
+    assert ks[-1] > 2 * ks[0], ks
+    assert all(r[3] <= 8 for r in rows)
+    # At the largest size the separation is stark.
+    assert rows[-1][1] >= 3 * rows[-1][3]
+
+
+@pytest.mark.parametrize("n", [128, 256])
+def test_e8_bench_expander_separator(benchmark, n):
+    graph = connected_regular(n, seed=n)
+    engine = GreedyPeelingEngine(num_candidates=4, seed=0)
+    sep = benchmark(engine.find_separator, graph)
+    assert sep.num_paths >= 1

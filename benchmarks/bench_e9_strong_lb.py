@@ -1,0 +1,91 @@
+"""E9 — Section 5.2: strong-separator lower bounds.
+
+* Theorem 6.3: a t x t mesh plus a universal vertex is K6-minor-free
+  but every strong k-path separator needs k >= t/3 = Omega(sqrt(n)):
+  the graph has diameter 2, so a union of k shortest paths covers at
+  most 3k vertices.  Shape: measured strong-k grows linearly in t.
+  (Theorem 1 still applies — a two-phase separator is tiny: removing
+  the hub first makes the residual a plain mesh.)
+* Theorem 7: K_{r, n-r} needs k >= r/2 paths even for plain
+  separators.  Shape: measured k tracks r/2 as r grows.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import GreedyPeelingEngine, StrongGreedyEngine
+from repro.generators import complete_bipartite, mesh_with_universal
+from repro.util import format_table
+
+MESH_SIDES = [6, 9, 12, 16]
+BIPARTITE_R = [4, 8, 12, 16]
+
+
+def run_mesh_experiment():
+    rows = []
+    for t in MESH_SIDES:
+        graph = mesh_with_universal(t)
+        strong = StrongGreedyEngine(num_candidates=12, seed=0).find_separator(graph)
+        phased = GreedyPeelingEngine(num_candidates=12, seed=0).find_separator(graph)
+        rows.append(
+            [
+                t,
+                graph.num_vertices,
+                strong.num_paths,
+                round(strong.num_paths / t, 2),
+                math.ceil(t / 3),
+                phased.num_paths,
+            ]
+        )
+    return rows
+
+
+def run_bipartite_experiment():
+    rows = []
+    for r in BIPARTITE_R:
+        graph = complete_bipartite(r, 4 * r)
+        sep = StrongGreedyEngine(num_candidates=12, seed=0).find_separator(graph)
+        rows.append([r, 4 * r, sep.num_paths, r / 2])
+    return rows
+
+
+def test_e9_mesh_universal_table(record_table):
+    rows = run_mesh_experiment()
+    record_table(
+        "e9_mesh_universal",
+        format_table(
+            ["t", "n", "strong_k", "strong_k/t", "bound_t/3", "phased_k"],
+            rows,
+            title="E9a (Theorem 6.3): strong separators of mesh+universal need k = Omega(sqrt n)",
+        ),
+    )
+    for t, n, strong_k, ratio, bound, phased_k in rows:
+        assert strong_k >= bound - 1  # the proven lower bound (engine >= it)
+        assert phased_k <= strong_k  # phases rescue Theorem 1
+    # Strong k grows linearly in t = sqrt(n).
+    assert rows[-1][2] >= 2 * rows[0][2]
+
+
+def test_e9_bipartite_table(record_table):
+    rows = run_bipartite_experiment()
+    record_table(
+        "e9_bipartite",
+        format_table(
+            ["r", "n-r", "k", "bound r/2"],
+            rows,
+            title="E9b (Theorem 7): K_{r,n-r} needs k >= r/2 paths",
+        ),
+    )
+    for r, s, k, bound in rows:
+        assert k >= bound
+
+
+@pytest.mark.parametrize("t", [9, 16])
+def test_e9_bench_strong_separator(benchmark, t):
+    graph = mesh_with_universal(t)
+    engine = StrongGreedyEngine(num_candidates=8, seed=0)
+    sep = benchmark(engine.find_separator, graph)
+    assert sep.is_strong

@@ -1,0 +1,41 @@
+"""Shared benchmark plumbing.
+
+Every experiment bench prints its paper-style table (visible with
+``pytest -s``) and also writes it to ``benchmarks/results/<name>.txt``
+so the numbers survive pytest's output capture.  EXPERIMENTS.md is the
+curated record of one run of these benches.
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_table():
+    """Print a rendered table and persist it under benchmarks/results/."""
+
+    def _record(name: str, table: str) -> None:
+        print()
+        print(table)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
+
+    return _record
+
+
+def sample_pairs(graph, count: int, seed: int = 0):
+    rng = random.Random(seed)
+    vertices = sorted(graph.vertices(), key=repr)
+    pairs = []
+    while len(pairs) < count:
+        u = vertices[rng.randrange(len(vertices))]
+        v = vertices[rng.randrange(len(vertices))]
+        if u != v:
+            pairs.append((u, v))
+    return pairs

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Where path separators stop working (Theorem 5).
+
+Sparse does not mean separable: random 3-regular graphs are expanders,
+every balanced separator has Omega(n) vertices, and shortest paths are
+O(log n) long — so the number of separator paths k must grow
+polynomially, and with it every label. This example measures k and
+label sizes side by side on an expander and a planar graph of the same
+size, the dichotomy Theorem 5 proves.
+
+Run:  python examples/expander_limits.py
+"""
+
+from __future__ import annotations
+
+from repro.core import GreedyPeelingEngine, build_decomposition, build_labeling
+from repro.generators import random_delaunay_graph, random_regular_graph
+from repro.graphs import is_connected
+from repro.util import format_table
+
+
+def connected_regular(n: int, seed: int):
+    for s in range(seed, seed + 50):
+        g = random_regular_graph(n, 3, seed=s)
+        if is_connected(g):
+            return g
+    raise RuntimeError("no connected sample")
+
+
+def main() -> None:
+    rows = []
+    for n in (64, 128, 256):
+        for name, graph in (
+            ("3-regular expander", connected_regular(n, seed=n)),
+            ("delaunay (planar)", random_delaunay_graph(n, seed=n)[0]),
+        ):
+            engine = GreedyPeelingEngine(num_candidates=8, seed=0)
+            tree = build_decomposition(graph, engine=engine)
+            labeling = build_labeling(graph, tree, epsilon=0.25)
+            rows.append(
+                [
+                    n,
+                    name,
+                    tree.max_paths_per_node,
+                    round(labeling.size_report().mean_words, 1),
+                ]
+            )
+    print(
+        format_table(
+            ["n", "graph", "k (max paths/node)", "mean label words"],
+            rows,
+            title="Theorem 5: expanders defeat path separators; planar graphs do not",
+        )
+    )
+    print(
+        "\nThe expander's k (and with it every label) grows with n, while"
+        "\nthe planar graph's stays flat — no technique can fix this: the"
+        "\npaper shows (1+eps) schemes on such graphs need Omega(sqrt(n))-bit"
+        "\nlabels, so these graphs are provably not k-path separable for"
+        "\nsmall k."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: a (1+eps)-approximate distance oracle in five lines.
+
+Builds a random planar graph (the paper's flagship minor-free class),
+computes its k-path separator decomposition, constructs the Theorem 2
+oracle, and checks a few queries against exact Dijkstra distances.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import PathSeparatorOracle
+from repro.generators import random_planar_graph
+from repro.graphs import dijkstra
+from repro.util import Timer, format_table
+
+
+def main() -> None:
+    epsilon = 0.1
+    graph = random_planar_graph(600, weight_range=(1.0, 10.0), seed=7)
+    print(f"graph: {graph}  (random planar, weighted)")
+
+    with Timer() as build_time:
+        oracle = PathSeparatorOracle.build(graph, epsilon=epsilon)
+    stats = oracle.tree.stats()
+    print(
+        f"decomposition: depth {stats['depth']} (log2 n = "
+        f"{stats['log2_n']:.1f}), k = {stats['max_paths_per_node']} paths/node"
+    )
+    print(
+        f"oracle: {oracle.space_words()} words "
+        f"({oracle.space_words() / graph.num_vertices:.1f}/vertex), "
+        f"built in {build_time.elapsed:.2f}s"
+    )
+
+    rng = random.Random(0)
+    vertices = sorted(graph.vertices())
+    rows = []
+    worst = 1.0
+    for _ in range(8):
+        u, v = rng.choice(vertices), rng.choice(vertices)
+        if u == v:
+            continue
+        true = dijkstra(graph, u)[0][v]
+        estimate = oracle.query(u, v)
+        stretch = estimate / true
+        worst = max(worst, stretch)
+        rows.append([f"{u}->{v}", round(true, 2), round(estimate, 2), round(stretch, 4)])
+
+    print()
+    print(format_table(["query", "exact", "oracle", "stretch"], rows))
+    print(f"\nworst observed stretch {worst:.4f} <= guaranteed {1 + epsilon}")
+    assert worst <= 1 + epsilon + 1e-9
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Road-network scenario: distance oracle + compact routing.
+
+Synthesizes a road network (sparsified weighted grid with cheap
+highway rows/columns — planar, large aspect ratio), then:
+
+1. answers travel-time queries with the (1+eps) oracle, comparing
+   accuracy and per-query work against exact Dijkstra;
+2. routes packets with the compact routing scheme and reports the
+   stretch of the actual driven routes and the table sizes that every
+   "intersection" would need to store.
+
+Run:  python examples/road_network.py
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro import CompactRoutingScheme, PathSeparatorOracle, build_decomposition
+from repro.baselines import ExactOracle
+from repro.generators import road_network
+from repro.util import format_table
+
+
+def main() -> None:
+    graph = road_network(28, removal_prob=0.12, highway_every=7, seed=11)
+    print(f"road network: {graph}")
+
+    tree = build_decomposition(graph)
+    oracle = PathSeparatorOracle.build(graph, epsilon=0.05, tree=tree)
+    scheme = CompactRoutingScheme.build(graph, tree=tree)
+    exact = ExactOracle(graph)
+
+    rng = random.Random(3)
+    vertices = sorted(graph.vertices())
+    pairs = []
+    while len(pairs) < 300:
+        u, v = rng.choice(vertices), rng.choice(vertices)
+        if u != v:
+            pairs.append((u, v))
+
+    # --- Oracle accuracy and speed --------------------------------------
+    t0 = time.perf_counter()
+    estimates = [oracle.query(u, v) for u, v in pairs]
+    oracle_time = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    truths = [exact.query_uncached(u, v) for u, v in pairs[:50]]
+    dijkstra_time = (time.perf_counter() - t0) * (len(pairs) / 50)
+
+    stretches = [
+        est / exact.query(u, v) for (u, v), est in zip(pairs, estimates)
+    ]
+    print(
+        format_table(
+            ["metric", "oracle", "exact Dijkstra"],
+            [
+                ["time for 300 queries (s)", round(oracle_time, 4), round(dijkstra_time, 3)],
+                ["mean stretch", round(sum(stretches) / len(stretches), 5), 1.0],
+                ["max stretch", round(max(stretches), 5), 1.0],
+            ],
+            title="travel-time queries",
+        )
+    )
+
+    # --- Compact routing -------------------------------------------------
+    route_stretch = []
+    for u, v in pairs[:150]:
+        hops = scheme.route(u, v)
+        route_stretch.append(scheme.route_cost(hops) / exact.query(u, v))
+    tables = scheme.table_report()
+    labels = scheme.label_report()
+    print()
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["mean route stretch", round(sum(route_stretch) / len(route_stretch), 4)],
+                ["max route stretch", round(max(route_stretch), 4)],
+                ["mean table size (words)", round(tables.mean_words, 1)],
+                ["max table size (words)", tables.max_words],
+                ["max address label (words)", labels.max_words],
+            ],
+            title="compact routing",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Render separator hierarchies as SVGs.
+
+Draws the first two decomposition levels of a mesh and of a random
+Delaunay graph, with separator paths colored by phase, into
+``./separator_*.svg`` — open them in a browser to *see* Definition 1
+at work: a couple of shortest paths slicing the graph in half, then
+each half again.
+
+Run:  python examples/visualize_separators.py
+"""
+
+from __future__ import annotations
+
+from repro.core import build_decomposition
+from repro.core.separator import PathSeparator
+from repro.generators import grid_2d, random_delaunay_graph
+from repro.viz import grid_positions, render_svg, save_svg
+
+
+def combined_top_levels(tree, max_depth: int = 1) -> PathSeparator:
+    """One PathSeparator holding every separator at depth <= max_depth
+    (for display only: phases from different nodes are concatenated)."""
+    combined = PathSeparator()
+    for node in tree.nodes:
+        if node.depth <= max_depth:
+            combined.phases.extend(node.separator.phases)
+    return combined
+
+
+def main() -> None:
+    outputs = []
+
+    grid = grid_2d(24)
+    tree = build_decomposition(grid)
+    svg = render_svg(
+        grid, grid_positions(grid), separator=combined_top_levels(tree)
+    )
+    save_svg(svg, "separator_grid.svg")
+    outputs.append(("separator_grid.svg", grid, tree))
+
+    delaunay, positions = random_delaunay_graph(400, seed=3)
+    tree_d = build_decomposition(delaunay)
+    svg = render_svg(
+        delaunay, positions, separator=combined_top_levels(tree_d)
+    )
+    save_svg(svg, "separator_delaunay.svg")
+    outputs.append(("separator_delaunay.svg", delaunay, tree_d))
+
+    for name, graph, t in outputs:
+        stats = t.stats()
+        print(
+            f"{name}: n={graph.num_vertices}, depth={stats['depth']}, "
+            f"k_max={stats['max_paths_per_node']} — levels 0-1 drawn"
+        )
+    print("\nOpen the SVGs in a browser; separator paths are colored by phase.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Configuration lives in pyproject.toml; this file exists so that
+``pip install -e .`` works on environments whose setuptools lacks the
+PEP 660 editable-wheel path (no ``wheel`` package installed).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,14 @@
+"""Applications built on the path-separator decomposition.
+
+Beyond the paper's four object-location problems, the recursive
+separator structure solves classic divide-and-conquer problems
+directly; this package collects them.  Currently: nested dissection
+orderings for sparse elimination.
+"""
+
+from repro.apps.nested_dissection import (
+    elimination_fill_in,
+    nested_dissection_order,
+)
+
+__all__ = ["elimination_fill_in", "nested_dissection_order"]

@@ -1,0 +1,34 @@
+"""Baselines the benchmarks compare the paper's structures against.
+
+* :class:`ExactOracle` — ground truth (cached Dijkstra / APSP).
+* :class:`AltOracle` — A* with landmark lower bounds (exact answers,
+  goal-directed search): the classic road-network accelerator.
+* :class:`ContractionHierarchy` — the de-facto practical exact oracle
+  for road networks (Geisberger et al.).
+* :class:`ThorupZwickOracle` — the classic general-graph approximate
+  distance oracle (stretch 2k-1), the natural "non-separator"
+  competitor the related-work section contrasts with.
+* :class:`LandmarkOracle` — the folklore landmark/triangulation
+  heuristic (no stretch guarantee).
+* :class:`KleinbergAugmentation` / :class:`UniformAugmentation` — the
+  small-world baselines of [29] and the naive uniform augmentation.
+"""
+
+from repro.baselines.alt import AltOracle, farthest_landmarks
+from repro.baselines.augmentations import KleinbergAugmentation, UniformAugmentation
+from repro.baselines.contraction import ContractionHierarchy
+from repro.baselines.exact import ExactOracle, all_pairs_shortest_paths
+from repro.baselines.landmarks import LandmarkOracle
+from repro.baselines.thorup_zwick import ThorupZwickOracle
+
+__all__ = [
+    "AltOracle",
+    "ContractionHierarchy",
+    "ExactOracle",
+    "KleinbergAugmentation",
+    "LandmarkOracle",
+    "ThorupZwickOracle",
+    "UniformAugmentation",
+    "farthest_landmarks",
+    "all_pairs_shortest_paths",
+]

@@ -1,0 +1,114 @@
+"""ALT: A* with landmark lower bounds (Goldberg & Harrelson).
+
+The standard *exact* point-to-point accelerator on road networks and
+the natural speed baseline for the paper's (1+eps) oracle: ALT answers
+exactly but must re-search per query; the oracle answers from labels
+in near-constant time at an eps cost.  Landmarks are chosen by
+farthest-point selection, and ``h(v) = max_l |d(l,t) - d(l,v)|`` is a
+consistent heuristic, so the first time the target is settled the
+distance is exact.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Hashable, List, Tuple
+
+from repro.graphs.graph import Graph
+from repro.graphs.shortest_paths import dijkstra
+from repro.util.errors import GraphError
+from repro.util.rng import SeedLike, ensure_rng
+from repro.util.sizing import SizeReport
+
+Vertex = Hashable
+INF = float("inf")
+
+
+def farthest_landmarks(graph: Graph, count: int, seed: SeedLike = 0) -> List[Vertex]:
+    """Farthest-point landmark selection: iteratively add the vertex
+    maximizing its distance to the landmarks chosen so far."""
+    if count < 1:
+        raise GraphError("need at least one landmark")
+    rng = ensure_rng(seed)
+    vertices = sorted(graph.vertices(), key=repr)
+    if not vertices:
+        raise GraphError("graph has no vertices")
+    first = vertices[rng.randrange(len(vertices))]
+    landmarks = [first]
+    min_dist, _ = dijkstra(graph, first)
+    while len(landmarks) < min(count, len(vertices)):
+        candidate = max(
+            (v for v in vertices if v in min_dist),
+            key=lambda v: (min_dist[v], repr(v)),
+        )
+        if candidate in landmarks:
+            break
+        landmarks.append(candidate)
+        dist, _ = dijkstra(graph, candidate)
+        for v, d in dist.items():
+            if d < min_dist.get(v, INF):
+                min_dist[v] = d
+    return landmarks
+
+
+class AltOracle:
+    """Exact point-to-point distances via A* with landmark heuristics."""
+
+    def __init__(self, graph: Graph, num_landmarks: int = 8, seed: SeedLike = 0) -> None:
+        self.graph = graph
+        self.landmarks = farthest_landmarks(graph, num_landmarks, seed=seed)
+        self._from_landmark: Dict[Vertex, Dict[Vertex, float]] = {
+            l: dijkstra(graph, l)[0] for l in self.landmarks
+        }
+        self.last_settled = 0  # instrumentation: vertices settled by last query
+
+    def _heuristic(self, v: Vertex, target: Vertex) -> float:
+        best = 0.0
+        for dist in self._from_landmark.values():
+            dl_v = dist.get(v)
+            dl_t = dist.get(target)
+            if dl_v is None or dl_t is None:
+                continue
+            gap = abs(dl_t - dl_v)
+            if gap > best:
+                best = gap
+        return best
+
+    def query(self, source: Vertex, target: Vertex) -> float:
+        """Exact distance (inf if disconnected); A* guided by landmarks."""
+        if source not in self.graph or target not in self.graph:
+            raise GraphError("source and target must be graph vertices")
+        if source == target:
+            self.last_settled = 0
+            return 0.0
+        dist: Dict[Vertex, float] = {source: 0.0}
+        settled = set()
+        heap: List[Tuple[float, int, Vertex]] = [
+            (self._heuristic(source, target), 0, source)
+        ]
+        counter = 1
+        while heap:
+            _, _, u = heapq.heappop(heap)
+            if u in settled:
+                continue
+            settled.add(u)
+            if u == target:
+                self.last_settled = len(settled)
+                return dist[u]
+            du = dist[u]
+            for v, w in self.graph.neighbor_items(u):
+                if v in settled:
+                    continue
+                nd = du + w
+                if nd < dist.get(v, INF):
+                    dist[v] = nd
+                    heapq.heappush(
+                        heap, (nd + self._heuristic(v, target), counter, v)
+                    )
+                    counter += 1
+        self.last_settled = len(settled)
+        return INF
+
+    def size_report(self) -> SizeReport:
+        words = 2 * len(self.landmarks)
+        return SizeReport.from_counts((v, words) for v in self.graph.vertices())

@@ -1,0 +1,55 @@
+"""Small-world augmentation baselines.
+
+* :class:`KleinbergAugmentation` — the harmonic distribution of [29]
+  generalized from grids to weighted graphs: contact u drawn with
+  probability proportional to ``d(v, u)^{-exponent}``.  On a 2D grid
+  with exponent 2 this is exactly Kleinberg's distribution.
+* :class:`UniformAugmentation` — a uniformly random contact; the
+  classic negative control (greedy gains little).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from repro.core.smallworld import AugmentationDistribution
+from repro.graphs.graph import Graph
+from repro.graphs.shortest_paths import dijkstra
+from repro.util.errors import GraphError
+
+Vertex = Hashable
+
+
+class KleinbergAugmentation(AugmentationDistribution):
+    """Harmonic long-range contacts: P(u) ∝ d(v, u)^{-exponent}."""
+
+    def __init__(self, exponent: float = 2.0) -> None:
+        if exponent < 0:
+            raise GraphError("exponent must be non-negative")
+        self.exponent = exponent
+
+    def sample_contact(self, graph: Graph, v: Vertex, rng) -> Optional[Vertex]:
+        dist, _ = dijkstra(graph, v)
+        candidates = [(u, d) for u, d in dist.items() if u != v and d > 0]
+        if not candidates:
+            return None
+        weights = [d ** (-self.exponent) for _, d in candidates]
+        total = sum(weights)
+        r = rng.random() * total
+        acc = 0.0
+        for (u, _), w in zip(candidates, weights):
+            acc += w
+            if acc >= r:
+                return u
+        return candidates[-1][0]
+
+
+class UniformAugmentation(AugmentationDistribution):
+    """A uniformly random contact among all other vertices."""
+
+    def sample_contact(self, graph: Graph, v: Vertex, rng) -> Optional[Vertex]:
+        others = [u for u in graph.vertices() if u != v]
+        if not others:
+            return None
+        others.sort(key=repr)
+        return others[rng.randrange(len(others))]

@@ -1,0 +1,67 @@
+"""Landmark / triangulation distance estimation (folklore baseline).
+
+Pick L landmarks, store each vertex's distance to every landmark, and
+answer queries by ``min_l d(u, l) + d(l, v)``.  Always an upper bound;
+no worst-case stretch guarantee — which is exactly the contrast with
+the paper's (1+eps) oracle that experiment E4 shows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List
+
+from repro.graphs.graph import Graph
+from repro.graphs.shortest_paths import dijkstra
+from repro.util.errors import GraphError
+from repro.util.rng import SeedLike, ensure_rng
+from repro.util.sizing import SizeReport
+
+Vertex = Hashable
+INF = float("inf")
+
+
+class LandmarkOracle:
+    """Upper-bound distance oracle from L random landmarks."""
+
+    def __init__(self, graph: Graph, num_landmarks: int = 16, seed: SeedLike = 0) -> None:
+        if num_landmarks < 1:
+            raise GraphError("need at least one landmark")
+        rng = ensure_rng(seed)
+        vertices = sorted(graph.vertices(), key=repr)
+        num = min(num_landmarks, len(vertices))
+        self.landmarks: List[Vertex] = rng.sample(vertices, num)
+        self.graph = graph
+        # dist_to[l] holds d(l, v) for all v.
+        self._dist: Dict[Vertex, Dict[Vertex, float]] = {
+            l: dijkstra(graph, l)[0] for l in self.landmarks
+        }
+
+    def query(self, u: Vertex, v: Vertex) -> float:
+        """Upper bound on d(u, v) via the best landmark."""
+        if u == v:
+            return 0.0
+        best = INF
+        for dist in self._dist.values():
+            du = dist.get(u, INF)
+            dv = dist.get(v, INF)
+            if du + dv < best:
+                best = du + dv
+        return best
+
+    def lower_bound(self, u: Vertex, v: Vertex) -> float:
+        """Lower bound max_l |d(u,l) - d(v,l)| (triangle inequality)."""
+        if u == v:
+            return 0.0
+        best = 0.0
+        for dist in self._dist.values():
+            du = dist.get(u, INF)
+            dv = dist.get(v, INF)
+            if du < INF and dv < INF:
+                best = max(best, abs(du - dv))
+        return best
+
+    def size_report(self) -> SizeReport:
+        words_per_vertex = 2 * len(self.landmarks)
+        return SizeReport.from_counts(
+            (v, words_per_vertex) for v in self.graph.vertices()
+        )

@@ -1,0 +1,137 @@
+"""The Thorup-Zwick approximate distance oracle (JACM 2005, [45]).
+
+Stretch 2k-1 with O(k n^{1+1/k}) expected space — the best possible
+trade-off for *general* graphs, and the contrast class for the paper's
+claim: on minor-free graphs, path separators beat this to (1+eps)
+stretch with near-linear space.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Hashable, List, Optional, Set
+
+from repro.graphs.graph import Graph
+from repro.graphs.shortest_paths import multi_source_dijkstra
+from repro.util.errors import GraphError
+from repro.util.rng import SeedLike, ensure_rng
+from repro.util.sizing import SizeReport
+
+Vertex = Hashable
+INF = float("inf")
+
+
+class ThorupZwickOracle:
+    """Stretch-(2k-1) distance oracle for arbitrary weighted graphs.
+
+    Construction (the paper's exact scheme):
+
+    * level sets ``A_0 = V ⊇ A_1 ⊇ ... ⊇ A_k = {}``, each element of
+      ``A_{i-1}`` surviving into ``A_i`` with probability n^{-1/k};
+    * for every v: the i-th *pivot* p_i(v) (nearest A_i vertex) and
+      its distance;
+    * every v stores exact distances to its *bunch*
+      ``B(v) = ∪_i { w ∈ A_i \\ A_{i+1} : d(w,v) < d(A_{i+1}, v) }``.
+
+    Query walks the pivots, swapping endpoints, until the current
+    pivot lands in the other endpoint's bunch.
+    """
+
+    def __init__(self, graph: Graph, k: int = 2, seed: SeedLike = 0) -> None:
+        if k < 1:
+            raise GraphError("ThorupZwickOracle requires k >= 1")
+        self.graph = graph
+        self.k = k
+        rng = ensure_rng(seed)
+        n = graph.num_vertices
+        if n == 0:
+            self.pivots = {}
+            self.pivot_dist = {}
+            self.bunch = {}
+            return
+
+        levels: List[Set[Vertex]] = [set(graph.vertices())]
+        prob = n ** (-1.0 / k)
+        for _ in range(1, k):
+            prev = levels[-1]
+            nxt = {v for v in prev if rng.random() < prob}
+            levels.append(nxt)
+        levels.append(set())  # A_k = empty
+
+        # Pivot distances d(A_i, v) and witnesses p_i(v).
+        self.pivot_dist: Dict[Vertex, List[float]] = {
+            v: [INF] * (self.k + 1) for v in graph.vertices()
+        }
+        self.pivots: Dict[Vertex, List[Optional[Vertex]]] = {
+            v: [None] * (self.k + 1) for v in graph.vertices()
+        }
+        for i in range(self.k):
+            if not levels[i]:
+                continue
+            dist, origin = multi_source_dijkstra(graph, levels[i])
+            for v in graph.vertices():
+                self.pivot_dist[v][i] = dist.get(v, INF)
+                self.pivots[v][i] = origin.get(v)
+        for v in graph.vertices():
+            self.pivot_dist[v][self.k] = INF
+
+        # Clusters C(w) for w in A_i \ A_{i+1}, inverted into bunches.
+        self.bunch: Dict[Vertex, Dict[Vertex, float]] = {
+            v: {} for v in graph.vertices()
+        }
+        for i in range(self.k):
+            frontier = levels[i] - levels[i + 1]
+            for w in frontier:
+                for v, d in self._cluster(w, i).items():
+                    self.bunch[v][w] = d
+
+    def _cluster(self, w: Vertex, level: int) -> Dict[Vertex, float]:
+        """Truncated Dijkstra: grow from w only while
+        ``d(w, v) < d(A_{level+1}, v)`` (the TZ cluster condition)."""
+        dist: Dict[Vertex, float] = {w: 0.0}
+        heap = [(0.0, 0, w)]
+        counter = 1
+        settled: Set[Vertex] = set()
+        out: Dict[Vertex, float] = {}
+        while heap:
+            d, _, u = heapq.heappop(heap)
+            if u in settled:
+                continue
+            settled.add(u)
+            out[u] = d
+            for v, weight in self.graph.neighbor_items(u):
+                nd = d + weight
+                if v in settled or nd >= self.pivot_dist[v][level + 1]:
+                    continue
+                if nd < dist.get(v, INF):
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, counter, v))
+                    counter += 1
+        return out
+
+    # ------------------------------------------------------------------
+    def query(self, u: Vertex, v: Vertex) -> float:
+        """Estimate d(u, v); guaranteed within [d, (2k-1) d]."""
+        if u == v:
+            return 0.0
+        w: Optional[Vertex] = u
+        i = 0
+        while w not in self.bunch[v]:
+            i += 1
+            if i >= self.k:
+                return INF  # disconnected endpoints
+            u, v = v, u
+            w = self.pivots[u][i]
+            if w is None:
+                return INF
+        d_uw = 0.0 if w == u else self.pivot_dist[u][i]
+        return d_uw + self.bunch[v][w]
+
+    def space_words(self) -> int:
+        return self.size_report().total_words
+
+    def size_report(self) -> SizeReport:
+        """2 words per bunch entry + 2 per pivot level, per vertex."""
+        return SizeReport.from_counts(
+            (v, 2 * len(self.bunch[v]) + 2 * self.k) for v in self.bunch
+        )

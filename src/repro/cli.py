@@ -1,0 +1,273 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro generate   --family grid --n 400 --out g.edges     # make a graph
+    repro decompose  g.edges [--engine greedy|planar|...]    # separator stats
+    repro oracle     g.edges --epsilon 0.1 --queries 200     # build + evaluate
+    repro labels     g.edges --epsilon 0.1 --out labels.json # ship labels
+    repro query      labels.json U V                         # distance from labels
+    repro smallworld g.edges --pairs 100                     # greedy-hop comparison
+
+Graphs are exchanged as whitespace edge lists (see
+:mod:`repro.graphs.io`); generated graphs are relabeled to integers so
+the format stays trivial.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from repro.core import build_decomposition, build_labeling
+from repro.core.engines import (
+    CenterBagEngine,
+    GreedyPeelingEngine,
+    StrongGreedyEngine,
+    TreeCentroidEngine,
+    auto_engine,
+)
+from repro.core.labeling import estimate_distance
+from repro.core.oracle import PathSeparatorOracle
+from repro.core.serialize import dump_labeling, load_labeling
+from repro.graphs.io import read_edge_list, write_edge_list
+from repro.graphs.ops import relabel
+from repro.graphs.shortest_paths import dijkstra
+from repro.util.errors import ReproError
+from repro.util.tables import format_table
+
+
+def _make_generator(family: str, n: int, seed: int, weights):
+    from repro import generators as gen
+
+    side = max(2, int(round(n**0.5)))
+    makers = {
+        "grid": lambda: gen.grid_2d(side, weight_range=weights, seed=seed),
+        "grid3d": lambda: gen.grid_3d(
+            max(2, int(round(n ** (1 / 3)))), weight_range=weights, seed=seed
+        ),
+        "tree": lambda: gen.random_tree(n, weight_range=weights, seed=seed),
+        "outerplanar": lambda: gen.outerplanar_graph(n, seed=seed),
+        "series-parallel": lambda: gen.series_parallel_graph(
+            n, weight_range=weights, seed=seed
+        ),
+        "ktree": lambda: gen.k_tree(n, 3, weight_range=weights, seed=seed)[0],
+        "planar": lambda: gen.random_planar_graph(
+            n, weight_range=weights or (1.0, 10.0), seed=seed
+        ),
+        "delaunay": lambda: gen.random_delaunay_graph(n, seed=seed)[0],
+        "road": lambda: gen.road_network(side, seed=seed),
+        "regular": lambda: gen.random_regular_graph(n - n % 2, 3, seed=seed),
+    }
+    if family not in makers:
+        raise ReproError(
+            f"unknown family {family!r}; choose from {sorted(makers)}"
+        )
+    return makers[family]()
+
+
+ENGINES = {
+    "auto": lambda g: auto_engine(g),
+    "greedy": lambda g: GreedyPeelingEngine(seed=0),
+    "centerbag": lambda g: CenterBagEngine(order="min_degree"),
+    "centroid": lambda g: TreeCentroidEngine(),
+    "strong": lambda g: StrongGreedyEngine(seed=0),
+    "planar": lambda g: _planar_engine(),
+}
+
+
+def _planar_engine():
+    from repro.planar import PlanarCycleEngine
+
+    return PlanarCycleEngine()
+
+
+def _parse_vertex(token: str):
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def cmd_generate(args) -> int:
+    weights = None
+    if args.weights:
+        lo, hi = args.weights.split(",")
+        weights = (float(lo), float(hi))
+    graph = _make_generator(args.family, args.n, args.seed, weights)
+    index = {v: i for i, v in enumerate(sorted(graph.vertices(), key=repr))}
+    graph = relabel(graph, index.__getitem__)
+    write_edge_list(graph, args.out)
+    print(f"wrote {graph} to {args.out}")
+    return 0
+
+
+def cmd_decompose(args) -> int:
+    graph = read_edge_list(args.graph)
+    engine = ENGINES[args.engine](graph)
+    tree = build_decomposition(graph, engine=engine)
+    stats = tree.stats()
+    rows = [[key, round(value, 3)] for key, value in stats.items()]
+    print(format_table(["stat", "value"], rows, title=f"decomposition of {args.graph}"))
+    if args.dot:
+        with open(args.dot, "w") as handle:
+            handle.write(tree.to_dot() + "\n")
+        print(f"wrote Graphviz tree to {args.dot}")
+    return 0
+
+
+def cmd_oracle(args) -> int:
+    graph = read_edge_list(args.graph)
+    engine = ENGINES[args.engine](graph)
+    oracle = PathSeparatorOracle.build(graph, epsilon=args.epsilon, engine=engine)
+    rng = random.Random(args.seed)
+    vertices = sorted(graph.vertices(), key=repr)
+    worst = 1.0
+    total = 0.0
+    count = 0
+    while count < args.queries:
+        u = vertices[rng.randrange(len(vertices))]
+        v = vertices[rng.randrange(len(vertices))]
+        if u == v:
+            continue
+        true = dijkstra(graph, u)[0].get(v)
+        if true is None:
+            continue
+        stretch = oracle.query(u, v) / true
+        worst = max(worst, stretch)
+        total += stretch
+        count += 1
+    report = oracle.size_report()
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["n", graph.num_vertices],
+                ["epsilon", args.epsilon],
+                ["queries", count],
+                ["mean stretch", round(total / count, 5)],
+                ["max stretch", round(worst, 5)],
+                ["space (words)", report.total_words],
+                ["mean label (words)", round(report.mean_words, 1)],
+            ],
+            title=f"oracle on {args.graph}",
+        )
+    )
+    return 0 if worst <= 1 + args.epsilon + 1e-9 else 1
+
+
+def cmd_labels(args) -> int:
+    graph = read_edge_list(args.graph)
+    tree = build_decomposition(graph, engine=ENGINES[args.engine](graph))
+    labeling = build_labeling(graph, tree, epsilon=args.epsilon)
+    dump_labeling(labeling, args.out)
+    report = labeling.size_report()
+    print(
+        f"wrote {len(labeling.labels)} labels (mean {report.mean_words:.1f} "
+        f"words) to {args.out}"
+    )
+    return 0
+
+
+def cmd_query(args) -> int:
+    epsilon, labels = load_labeling(args.labels)
+    u, v = _parse_vertex(args.u), _parse_vertex(args.v)
+    try:
+        estimate = estimate_distance(labels[u], labels[v])
+    except KeyError as exc:
+        print(f"error: no label for vertex {exc}", file=sys.stderr)
+        return 1
+    print(f"d({u}, {v}) <= {estimate:.6g}   (within factor {1 + epsilon})")
+    return 0
+
+
+def cmd_smallworld(args) -> int:
+    from repro.baselines import KleinbergAugmentation, UniformAugmentation
+    from repro.core import AugmentedGraph, GreedyRouter, PathSeparatorAugmentation
+
+    graph = read_edge_list(args.graph)
+    tree = build_decomposition(graph, engine=ENGINES[args.engine](graph))
+    rng = random.Random(args.seed)
+    vertices = sorted(graph.vertices(), key=repr)
+    pairs = [
+        (vertices[rng.randrange(len(vertices))], vertices[rng.randrange(len(vertices))])
+        for _ in range(args.pairs)
+    ]
+    rows = []
+    for name, augmented in (
+        ("path-separator", PathSeparatorAugmentation(tree).augment(graph, seed=args.seed)),
+        ("kleinberg", KleinbergAugmentation(2.0).augment(graph, seed=args.seed)),
+        ("uniform", UniformAugmentation().augment(graph, seed=args.seed)),
+        ("none", AugmentedGraph(base=graph)),
+    ):
+        rows.append([name, round(GreedyRouter(augmented).mean_hops(pairs), 2)])
+    print(format_table(["augmentation", "mean greedy hops"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Object location using path separators (PODC 2006)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a benchmark graph")
+    p.add_argument("--family", default="grid")
+    p.add_argument("--n", type=int, default=256)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--weights", help="LO,HI uniform edge weights")
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("decompose", help="decomposition statistics")
+    p.add_argument("graph")
+    p.add_argument("--engine", choices=sorted(ENGINES), default="auto")
+    p.add_argument("--dot", help="also write the tree as Graphviz DOT")
+    p.set_defaults(func=cmd_decompose)
+
+    p = sub.add_parser("oracle", help="build an oracle and evaluate stretch")
+    p.add_argument("graph")
+    p.add_argument("--engine", choices=sorted(ENGINES), default="auto")
+    p.add_argument("--epsilon", type=float, default=0.25)
+    p.add_argument("--queries", type=int, default=100)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_oracle)
+
+    p = sub.add_parser("labels", help="build and export distance labels")
+    p.add_argument("graph")
+    p.add_argument("--engine", choices=sorted(ENGINES), default="auto")
+    p.add_argument("--epsilon", type=float, default=0.25)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=cmd_labels)
+
+    p = sub.add_parser("query", help="answer a query from exported labels")
+    p.add_argument("labels")
+    p.add_argument("u")
+    p.add_argument("v")
+    p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser("smallworld", help="compare greedy-routing augmentations")
+    p.add_argument("graph")
+    p.add_argument("--engine", choices=sorted(ENGINES), default="auto")
+    p.add_argument("--pairs", type=int, default=100)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_smallworld)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

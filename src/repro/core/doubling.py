@@ -1,0 +1,370 @@
+"""(k, alpha)-doubling separators (Section 5.3, Theorem 8).
+
+A 3D mesh has no O(1)-path separator — its balanced separators are 2D
+planes — but a middle plane of a mesh is an *isometric* subgraph of
+doubling dimension ~2, so 3D meshes are (1, 2)-doubling separable.
+This module implements:
+
+* :func:`doubling_dimension_estimate` — an empirical doubling
+  dimension: the log of the max number of r-balls a greedy cover needs
+  for a sampled 2r-ball.
+* :func:`grid3d_doubling_decomposition` — the recursive middle-plane
+  decomposition of an axis-aligned mesh (the separator of each box is
+  the median plane perpendicular to its longest axis).
+* :class:`DoublingOracle` — Theorem 8's data structure specialized to
+  meshes: per decomposition level, each vertex stores distances to the
+  plane's hierarchical net points near it; queries combine net points
+  shared by both endpoints.
+
+The general Talwar-net machinery for arbitrary doubling separators is
+out of scope (see DESIGN.md); the mesh specialization exercises the
+same code path the theorem describes: net-based (1+eps) labels on a
+bounded-doubling separator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.graphs.graph import Graph
+from repro.graphs.shortest_paths import dijkstra
+from repro.util.errors import GraphError
+from repro.util.rng import SeedLike, ensure_rng
+from repro.util.sizing import SizeReport
+
+Vertex = Hashable
+INF = float("inf")
+
+
+def doubling_dimension_estimate(
+    graph: Graph,
+    num_samples: int = 12,
+    seed: SeedLike = 0,
+) -> float:
+    """Empirical doubling dimension alpha of a graph metric.
+
+    For sampled centers x and radii r, greedily covers the ball
+    B(x, 2r) with balls of radius r and reports log2 of the largest
+    cover size observed.  An estimate (greedy covers are within a
+    constant of optimal), adequate for classifying separator subgraphs.
+    """
+    rng = ensure_rng(seed)
+    vertices = sorted(graph.vertices(), key=repr)
+    if len(vertices) < 2:
+        return 0.0
+    worst = 1
+    for _ in range(num_samples):
+        x = vertices[rng.randrange(len(vertices))]
+        dist, _ = dijkstra(graph, x)
+        reach = [d for d in dist.values() if d > 0]
+        if not reach:
+            continue
+        r = rng.choice(reach) / 2
+        if r <= 0:
+            continue
+        ball = {v for v, d in dist.items() if d <= 2 * r}
+        worst = max(worst, _greedy_cover_count(graph, ball, r))
+    return math.log2(worst)
+
+
+def _greedy_cover_count(graph: Graph, ball: Set[Vertex], radius: float) -> int:
+    uncovered = set(ball)
+    count = 0
+    while uncovered:
+        center = min(uncovered, key=repr)
+        dist, _ = dijkstra(graph, center, cutoff=radius)
+        covered = {v for v, d in dist.items() if d <= radius}
+        newly = uncovered & covered
+        if not newly:
+            newly = {center}
+        uncovered -= newly
+        count += 1
+    return count
+
+
+# ----------------------------------------------------------------------
+# Middle-plane decomposition of 3D meshes
+# ----------------------------------------------------------------------
+
+Coord = Tuple[int, int, int]
+
+
+@dataclass
+class DoublingNode:
+    """One box of the recursive plane decomposition."""
+
+    node_id: int
+    vertices: frozenset
+    separator: frozenset  # the median plane (an isometric 2D submesh)
+    axis: int  # axis the plane is perpendicular to
+    plane_value: int
+    parent: Optional[int]
+    depth: int
+    children: List[int] = field(default_factory=list)
+
+
+@dataclass
+class DoublingSeparator:
+    """A (k, alpha)-doubling decomposition: P1' with isometric
+    low-doubling separator subgraphs instead of shortest paths."""
+
+    graph: Graph
+    nodes: List[DoublingNode] = field(default_factory=list)
+    home: Dict[Vertex, int] = field(default_factory=dict)
+
+    @property
+    def depth(self) -> int:
+        return max((n.depth for n in self.nodes), default=0)
+
+    def root_path(self, v: Vertex) -> List[int]:
+        chain: List[int] = []
+        current: Optional[int] = self.home[v]
+        while current is not None:
+            chain.append(current)
+            current = self.nodes[current].parent
+        chain.reverse()
+        return chain
+
+
+def grid3d_doubling_decomposition(graph: Graph) -> DoublingSeparator:
+    """Recursive middle-plane decomposition of a 3D mesh.
+
+    Vertices must be (i, j, k) integer tuples (as produced by
+    :func:`repro.generators.grid_3d`).  Each node's separator is the
+    median plane perpendicular to the box's longest axis — an isometric
+    submesh of doubling dimension about 2 — and the two child boxes
+    each hold at most half the vertices.
+    """
+    for v in graph.vertices():
+        if not (isinstance(v, tuple) and len(v) == 3):
+            raise GraphError("grid3d_doubling_decomposition needs (i,j,k) vertices")
+    decomposition = DoublingSeparator(graph=graph)
+    all_vertices = frozenset(graph.vertices())
+    pending: List[Tuple[frozenset, Optional[int], int]] = [(all_vertices, None, 0)]
+    while pending:
+        box, parent, depth = pending.pop()
+        node = _split_box(decomposition, box, parent, depth)
+        if parent is not None:
+            decomposition.nodes[parent].children.append(node.node_id)
+        for v in node.separator:
+            decomposition.home[v] = node.node_id
+        remaining = box - node.separator
+        from repro.graphs.components import connected_components
+
+        for comp in connected_components(graph, within=remaining):
+            pending.append((frozenset(comp), node.node_id, depth + 1))
+    return decomposition
+
+
+def _split_box(
+    decomposition: DoublingSeparator,
+    box: frozenset,
+    parent: Optional[int],
+    depth: int,
+) -> DoublingNode:
+    spans = []
+    for axis in range(3):
+        values = sorted({v[axis] for v in box})
+        spans.append((len(values), axis, values))
+    _, axis, values = max(spans)
+    median = values[len(values) // 2]
+    plane = frozenset(v for v in box if v[axis] == median)
+    node = DoublingNode(
+        node_id=len(decomposition.nodes),
+        vertices=box,
+        separator=plane,
+        axis=axis,
+        plane_value=median,
+        parent=parent,
+        depth=depth,
+    )
+    decomposition.nodes.append(node)
+    return node
+
+
+# ----------------------------------------------------------------------
+# Theorem 8 oracle for meshes
+# ----------------------------------------------------------------------
+
+
+class DoublingOracle:
+    """(1+eps)-approximate distance oracle for 3D meshes via plane nets.
+
+    For each node (box) on a vertex's root path, the vertex stores
+    distances (inside the box) to the separator plane's net points:
+    for every scale s, plane vertices on the 2^s-grid within distance
+    ``(8/eps) * 2^s`` of the vertex.  A true shortest path between u
+    and v inside their lowest common box crosses the plane at some x;
+    the net point next to x at the scale matching eps*d is stored by
+    both endpoints, giving a (1+eps) estimate.
+    """
+
+    def __init__(self, graph: Graph, epsilon: float = 0.25) -> None:
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        self.graph = graph
+        self.epsilon = epsilon
+        self.decomposition = grid3d_doubling_decomposition(graph)
+        self.labels: Dict[Vertex, Dict[Tuple[int, Vertex], float]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        # Error analysis: if the true path crosses the plane at x and
+        # 2^s <= eps * d(u,x) / 4 < 2^{s+1}, the net point next to x at
+        # scale s costs at most 4 * 2^s <= eps * d extra, and lies
+        # within (8/eps + 2) * 2^s of both endpoints.
+        eps = self.epsilon
+        reach_factor = 8.0 / eps + 2.0
+        for v in self.graph.vertices():
+            label: Dict[Tuple[int, Vertex], float] = {}
+            for node_id in self.decomposition.root_path(v):
+                node = self.decomposition.nodes[node_id]
+                dist, _ = dijkstra(self.graph, v, allowed=node.vertices)
+                max_scale = max(
+                    1, math.ceil(math.log2(max(2.0, max(dist.values()) + 1)))
+                )
+                for s in range(max_scale + 1):
+                    spacing = 1 << s
+                    cutoff = reach_factor * spacing
+                    for p in node.separator:
+                        if p not in dist or dist[p] > cutoff:
+                            continue
+                        if _on_net(p, node.axis, spacing):
+                            label[(node_id, p)] = dist[p]
+            self.labels[v] = label
+
+    def query(self, u: Vertex, v: Vertex) -> float:
+        if u == v:
+            return 0.0
+        lu, lv = self.labels[u], self.labels[v]
+        if len(lv) < len(lu):
+            lu, lv = lv, lu
+        best = INF
+        for key, du in lu.items():
+            dv = lv.get(key)
+            if dv is not None and du + dv < best:
+                best = du + dv
+        return best
+
+    def size_report(self) -> SizeReport:
+        return SizeReport.from_counts(
+            (v, 2 * len(label)) for v, label in self.labels.items()
+        )
+
+
+def _on_net(p: Coord, axis: int, spacing: int) -> bool:
+    """Whether plane vertex p is on the 2D net of the given spacing
+    (its two in-plane coordinates are multiples of the spacing)."""
+    coords = [p[i] for i in range(3) if i != axis]
+    return all(c % spacing == 0 for c in coords)
+
+
+# ----------------------------------------------------------------------
+# General metric nets (no coordinates needed)
+# ----------------------------------------------------------------------
+
+
+def greedy_net(graph: Graph, subset, spacing: float) -> List[Vertex]:
+    """A *spacing*-net of the metric induced on *subset*: a maximal set
+    of vertices pairwise more than *spacing* apart, so every subset
+    vertex is within *spacing* of some net point.
+
+    Greedy in a stable order; for doubling-dimension-alpha subsets the
+    net has the packing bounds Talwar's construction [42] relies on.
+    """
+    remaining = set(subset)
+    net: List[Vertex] = []
+    for v in sorted(subset, key=repr):
+        if v not in remaining:
+            continue
+        net.append(v)
+        dist, _ = dijkstra(graph, v, allowed=set(subset), cutoff=spacing)
+        remaining -= set(dist)
+    return net
+
+
+class MetricNetOracle:
+    """Theorem 8 in its general form: (1+eps) labels over any
+    :class:`DoublingSeparator`, using greedy metric nets of each
+    separator subgraph instead of coordinate nets.
+
+    For every node on a vertex's root path and every net scale 2^s,
+    the vertex stores its distance (inside the node) to the net points
+    within ``(8/eps + 2) * 2^s``.  Because the separator is isometric
+    and doubling, each scale contributes O((1/eps)^alpha) points.
+    """
+
+    def __init__(self, graph: Graph, decomposition: DoublingSeparator, epsilon: float = 0.25) -> None:
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        self.graph = graph
+        self.decomposition = decomposition
+        self.epsilon = epsilon
+        self._nets: Dict[int, List[List[Vertex]]] = {}
+        self.labels: Dict[Vertex, Dict[Tuple[int, Vertex], float]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        reach_factor = 8.0 / self.epsilon + 2.0
+        # The finest scale must lie below the minimum pairwise distance
+        # so the scale-0 net is the whole separator (short queries then
+        # see the exact crossing vertex); the coarsest must reach the
+        # node diameter.  The number of scales is O(log Delta).
+        min_weight = min((w for _, _, w in self.graph.edges()), default=1.0)
+        base = min_weight / 2.0
+        # Nets per node, shared by every vertex of the node.
+        self._scale_spacing: Dict[int, List[float]] = {}
+        for node in self.decomposition.nodes:
+            separator = node.separator
+            if not separator:
+                self._nets[node.node_id] = []
+                self._scale_spacing[node.node_id] = []
+                continue
+            anchor = next(iter(separator))
+            inside, _ = dijkstra(self.graph, anchor, allowed=set(node.vertices))
+            diameter = max(inside.values(), default=0.0)
+            max_scale = max(
+                1, math.ceil(math.log2(max(2.0, 2 * diameter / base + 1)))
+            )
+            spacings = [base * (1 << s) for s in range(max_scale + 1)]
+            self._nets[node.node_id] = [
+                greedy_net(self.graph, separator, spacing)
+                for spacing in spacings
+            ]
+            self._scale_spacing[node.node_id] = spacings
+
+        for v in self.graph.vertices():
+            label: Dict[Tuple[int, Vertex], float] = {}
+            for node_id in self.decomposition.root_path(v):
+                node = self.decomposition.nodes[node_id]
+                dist, _ = dijkstra(self.graph, v, allowed=set(node.vertices))
+                spacings = self._scale_spacing[node_id]
+                for net, spacing in zip(self._nets[node_id], spacings):
+                    cutoff = reach_factor * spacing
+                    for p in net:
+                        d = dist.get(p)
+                        if d is not None and d <= cutoff:
+                            label[(node_id, p)] = min(
+                                d, label.get((node_id, p), INF)
+                            )
+            self.labels[v] = label
+
+    def query(self, u: Vertex, v: Vertex) -> float:
+        if u == v:
+            return 0.0
+        lu, lv = self.labels[u], self.labels[v]
+        if len(lv) < len(lu):
+            lu, lv = lv, lu
+        best = INF
+        for key, du in lu.items():
+            dv = lv.get(key)
+            if dv is not None and du + dv < best:
+                best = du + dv
+        return best
+
+    def size_report(self) -> SizeReport:
+        return SizeReport.from_counts(
+            (v, 2 * len(label)) for v, label in self.labels.items()
+        )

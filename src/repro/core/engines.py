@@ -1,0 +1,483 @@
+"""Separator engines: algorithms that *find* k-path separators.
+
+The paper's Theorem 1 is existential (via the Robertson-Seymour
+structure theorem, which has no practical implementation); these
+engines construct Definition-1 separators directly:
+
+* :class:`TreeCentroidEngine` — trees: the centroid vertex is a 1-path
+  separator (the paper's K3-free example).
+* :class:`CenterBagEngine` — bounded treewidth: a center bag (Lemma 1)
+  is a strong (w+1)-path separator of single-vertex paths (Theorem 7).
+* :class:`FundamentalCycleEngine` — planar-style graphs: two or three
+  root paths of a shortest-path tree, the Lipton-Tarjan/Thorup [44]
+  strong 3-path construction evaluated by explicit balance checks.
+* :class:`GreedyPeelingEngine` — any graph: repeatedly peel the root
+  path (a residual shortest path) that best balances the largest
+  component.  Always yields a valid Definition-1 separator; the
+  measured k is the experimental quantity of Theorem 1.
+* :class:`StrongGreedyEngine` — single-phase ("strong") mode for the
+  Section 5.2 lower-bound experiments.
+
+Every engine returns a :class:`PathSeparator` whose ``validate`` method
+re-checks (P1)/(P3) independently.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import AbstractSet, Hashable, List, Optional, Set, Tuple
+
+from repro.core.separator import PathSeparator, SeparatorPhase, singleton_separator
+from repro.graphs.components import connected_components
+from repro.graphs.graph import Graph
+from repro.graphs.ops import induced_subgraph
+from repro.graphs.shortest_paths import ShortestPathTree, dijkstra_tree
+from repro.treedecomp.center import center_bag
+from repro.treedecomp.heuristics import (
+    decomposition_from_elimination,
+    mcs_order,
+    min_degree_order,
+    min_fill_order,
+)
+from repro.util.errors import GraphError
+from repro.util.rng import SeedLike, ensure_rng
+
+Vertex = Hashable
+
+
+class SeparatorEngine(ABC):
+    """Interface: compute a path separator of ``graph[within]``."""
+
+    @abstractmethod
+    def find_separator(
+        self, graph: Graph, within: Optional[AbstractSet[Vertex]] = None
+    ) -> PathSeparator:
+        """Return a separator S of the subgraph induced by *within*
+        (the whole graph when *within* is None) satisfying (P1)+(P3)."""
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+
+
+def _stable_key(v) -> str:
+    return f"{type(v).__name__}:{v!r}"
+
+
+def _universe(graph: Graph, within: Optional[AbstractSet[Vertex]]) -> Set[Vertex]:
+    if within is None:
+        return set(graph.vertices())
+    return {v for v in within if v in graph}
+
+
+def approx_center(graph: Graph, comp: AbstractSet[Vertex]) -> Vertex:
+    """Approximate center of a component: midpoint of a double-sweep
+    diametral path.  A good Dijkstra-tree root for balanced peeling."""
+    start = min(comp, key=_stable_key)
+    if len(comp) == 1:
+        return start
+    tree0 = dijkstra_tree(graph, start, allowed=comp)
+    a = max(tree0.dist, key=lambda v: (tree0.dist[v], _stable_key(v)))
+    tree_a = dijkstra_tree(graph, a, allowed=comp)
+    b = max(tree_a.dist, key=lambda v: (tree_a.dist[v], _stable_key(v)))
+    diam_path = tree_a.path_to(b)
+    half = tree_a.dist[b] / 2
+    for v in diam_path:
+        if tree_a.dist[v] >= half:
+            return v
+    return diam_path[-1]
+
+
+def _largest_within(graph: Graph, vertices: Set[Vertex]) -> int:
+    comps = connected_components(graph, within=vertices)
+    return len(comps[0]) if comps else 0
+
+
+def _path_candidates(
+    tree: ShortestPathTree,
+    comp: AbstractSet[Vertex],
+    num_candidates: int,
+    rng,
+) -> List[Vertex]:
+    """Candidate path endpoints: the farthest vertex, deep leaves, and a
+    random sample — a spread that works well across graph families."""
+    reachable = [v for v in tree.dist if v in comp]
+    if not reachable:
+        return []
+    picks: List[Vertex] = []
+    seen: Set[Vertex] = set()
+
+    def take(v: Vertex) -> None:
+        if v not in seen:
+            seen.add(v)
+            picks.append(v)
+
+    take(max(reachable, key=lambda v: (tree.dist[v], _stable_key(v))))
+    leaves = [v for v in reachable if not tree.children.get(v)]
+    leaves.sort(key=lambda v: (-tree.dist[v], _stable_key(v)))
+    for v in leaves[: max(1, num_candidates // 2)]:
+        take(v)
+    pool = sorted(reachable, key=_stable_key)
+    while len(picks) < num_candidates and len(seen) < len(reachable):
+        take(pool[rng.randrange(len(pool))])
+    return picks[:num_candidates]
+
+
+# ----------------------------------------------------------------------
+# Engines
+# ----------------------------------------------------------------------
+
+
+class TreeCentroidEngine(SeparatorEngine):
+    """1-path separators for forests: the centroid vertex.
+
+    Raises :class:`GraphError` when the induced subgraph has a cycle.
+    """
+
+    def find_separator(
+        self, graph: Graph, within: Optional[AbstractSet[Vertex]] = None
+    ) -> PathSeparator:
+        universe = _universe(graph, within)
+        if not universe:
+            return PathSeparator()
+        comps = connected_components(graph, within=universe)
+        comp = comps[0]
+        if len(comp) <= len(universe) / 2:
+            return PathSeparator()
+        edge_count = sum(
+            1
+            for u in comp
+            for v in graph.neighbors(u)
+            if v in comp and _stable_key(u) < _stable_key(v)
+        )
+        if edge_count != len(comp) - 1:
+            raise GraphError("TreeCentroidEngine requires an acyclic (sub)graph")
+        centroid = self._centroid(graph, comp)
+        return singleton_separator([centroid])
+
+    @staticmethod
+    def _centroid(graph: Graph, comp: AbstractSet[Vertex]) -> Vertex:
+        root = min(comp, key=_stable_key)
+        tree = dijkstra_tree(graph, root, allowed=comp)
+        sizes = tree.subtree_sizes()
+        total = len(comp)
+        v = root
+        while True:
+            heavy = None
+            for c in tree.children.get(v, ()):
+                if sizes[c] > total / 2:
+                    heavy = c
+                    break
+            if heavy is None:
+                return v
+            v = heavy
+
+
+class CenterBagEngine(SeparatorEngine):
+    """Strong (w+1)-path separators via Lemma 1 center bags.
+
+    Computes a tree decomposition of the induced subgraph with the
+    chosen elimination heuristic (``'min_degree'``, ``'min_fill'``, or
+    ``'mcs'`` — exact on chordal graphs such as k-trees) and emits the
+    center bag as single-vertex paths (Theorem 7's construction).
+    """
+
+    _ORDERS = {
+        "min_degree": min_degree_order,
+        "min_fill": min_fill_order,
+        "mcs": mcs_order,
+    }
+
+    def __init__(self, order: str = "min_degree") -> None:
+        if order not in self._ORDERS:
+            raise ValueError(f"unknown elimination order {order!r}")
+        self.order_name = order
+        self._order_fn = self._ORDERS[order]
+
+    def find_separator(
+        self, graph: Graph, within: Optional[AbstractSet[Vertex]] = None
+    ) -> PathSeparator:
+        universe = _universe(graph, within)
+        if not universe:
+            return PathSeparator()
+        comps = connected_components(graph, within=universe)
+        comp = comps[0]
+        if len(comp) <= len(universe) / 2:
+            return PathSeparator()
+        sub = induced_subgraph(graph, comp)
+        td = decomposition_from_elimination(sub, self._order_fn(sub))
+        bag = td.bags[center_bag(sub, td)]
+        return singleton_separator(sorted(bag, key=_stable_key))
+
+
+class GreedyPeelingEngine(SeparatorEngine):
+    """General-purpose engine: peel residual shortest paths greedily.
+
+    Each iteration roots a Dijkstra tree near the center of the current
+    largest component of the residual graph, evaluates a handful of
+    root paths by the balance they achieve, and removes the best one as
+    its own phase.  Root paths of a residual Dijkstra tree are minimum
+    cost paths of the residual graph, so (P1) holds by construction;
+    the loop runs until (P3) holds.  ``num_paths`` of the result is the
+    empirical k of Theorem 1.
+    """
+
+    def __init__(
+        self,
+        num_candidates: int = 16,
+        max_paths: Optional[int] = None,
+        seed: SeedLike = 0,
+        vertex_weight: Optional[dict] = None,
+    ) -> None:
+        """*vertex_weight* switches (P3) to the paper's vertex-weighted
+        variant: components are balanced by total weight, not count."""
+        if num_candidates < 1:
+            raise ValueError("num_candidates must be >= 1")
+        self.num_candidates = num_candidates
+        self.max_paths = max_paths
+        self._seed = seed
+        self.vertex_weight = vertex_weight
+
+    def _measure(self, vertices) -> float:
+        if self.vertex_weight is None:
+            return len(vertices)
+        weight = self.vertex_weight
+        return sum(weight.get(v, 0.0) for v in vertices)
+
+    def find_separator(
+        self, graph: Graph, within: Optional[AbstractSet[Vertex]] = None
+    ) -> PathSeparator:
+        rng = ensure_rng(self._seed)
+        universe = _universe(graph, within)
+        half = self._measure(universe) / 2
+        phases: List[SeparatorPhase] = []
+        residual = set(universe)
+        while True:
+            comps = connected_components(graph, within=residual)
+            if not comps:
+                break
+            comp = max(comps, key=self._measure)
+            if self._measure(comp) <= half:
+                break
+            if self.max_paths is not None and len(phases) >= self.max_paths:
+                raise GraphError(
+                    f"GreedyPeelingEngine exceeded max_paths={self.max_paths} "
+                    f"(heaviest component still {self._measure(comp)} "
+                    f"of {self._measure(universe)})"
+                )
+            path = self._best_peel(graph, comp, rng)
+            phases.append(SeparatorPhase(paths=[path]))
+            residual -= set(path)
+        return PathSeparator(phases=phases)
+
+    def _best_peel(self, graph: Graph, comp: Set[Vertex], rng) -> List[Vertex]:
+        root = approx_center(graph, comp)
+        tree = dijkstra_tree(graph, root, allowed=comp)
+        candidates = _path_candidates(tree, comp, self.num_candidates, rng)
+        best_path: Optional[List[Vertex]] = None
+        best_score: Optional[Tuple[float, int]] = None
+        for x in candidates:
+            path = tree.path_to(x)
+            rest = comp - set(path)
+            rest_comps = connected_components(graph, within=rest)
+            heaviest = max(
+                (self._measure(c) for c in rest_comps), default=0.0
+            )
+            score = (heaviest, len(path))
+            if best_score is None or score < best_score:
+                best_score = score
+                best_path = path
+        assert best_path is not None
+        return best_path
+
+
+class FundamentalCycleEngine(SeparatorEngine):
+    """Strong 2/3-path separators for planar-style graphs.
+
+    Implements the Lipton-Tarjan fundamental-cycle idea on a
+    shortest-path tree: for a non-tree edge {u, v}, the two root paths
+    to u and v form a cycle with the edge; in a planar graph some such
+    cycle is balanced.  We sample non-tree edges, evaluate balance
+    explicitly (so the engine also works on near-planar inputs), and
+    augment with a third root path when two do not suffice — exactly
+    Thorup's "three shortest root paths" shape.  Falls back to greedy
+    peeling phases if the graph refuses to split strongly.
+    """
+
+    def __init__(
+        self,
+        max_edge_samples: int = 64,
+        num_third_candidates: int = 16,
+        seed: SeedLike = 0,
+    ) -> None:
+        self.max_edge_samples = max_edge_samples
+        self.num_third_candidates = num_third_candidates
+        self._seed = seed
+
+    def find_separator(
+        self, graph: Graph, within: Optional[AbstractSet[Vertex]] = None
+    ) -> PathSeparator:
+        rng = ensure_rng(self._seed)
+        universe = _universe(graph, within)
+        half = len(universe) / 2
+        comps = connected_components(graph, within=universe)
+        if not comps or len(comps[0]) <= half:
+            return PathSeparator()
+        comp = comps[0]
+        root = approx_center(graph, comp)
+        tree = dijkstra_tree(graph, root, allowed=comp)
+
+        nontree = self._nontree_edges(graph, tree, comp)
+        if not nontree:
+            centroid = TreeCentroidEngine._centroid(graph, comp)
+            return singleton_separator([centroid])
+        if len(nontree) > self.max_edge_samples:
+            nontree = [
+                nontree[i]
+                for i in sorted(rng.sample(range(len(nontree)), self.max_edge_samples))
+            ]
+
+        best: Optional[Tuple[int, List[List[Vertex]]]] = None
+        for u, v in nontree:
+            pu, pv = tree.path_to(u), tree.path_to(v)
+            rest = comp - set(pu) - set(pv)
+            score = _largest_within(graph, rest)
+            if best is None or score < best[0]:
+                best = (score, [pu, pv])
+        assert best is not None
+        score, paths = best
+        if score <= half:
+            return PathSeparator(phases=[SeparatorPhase(paths=paths)])
+
+        # Third root path: aim into the largest remaining component.
+        removed = set().union(*(set(p) for p in paths))
+        sub_comps = connected_components(graph, within=comp - removed)
+        target = sub_comps[0]
+        sub_tree_candidates = _path_candidates(
+            tree, target, self.num_third_candidates, rng
+        )
+        best3: Optional[Tuple[int, List[Vertex]]] = None
+        for x in sub_tree_candidates:
+            p3 = tree.path_to(x)
+            rest = comp - removed - set(p3)
+            s3 = _largest_within(graph, rest)
+            if best3 is None or s3 < best3[0]:
+                best3 = (s3, p3)
+        if best3 is not None and best3[0] <= half:
+            return PathSeparator(
+                phases=[SeparatorPhase(paths=paths + [best3[1]])]
+            )
+
+        # Could not split strongly: finish with greedy-peeling phases.
+        phases = [SeparatorPhase(paths=paths + ([best3[1]] if best3 else []))]
+        residual = universe - set().union(*(set(p) for p in phases[0].paths))
+        tail = GreedyPeelingEngine(seed=rng.getrandbits(32)).find_separator(
+            graph, within=residual
+        )
+        # Rebase the tail's balance target onto the full universe.
+        phases.extend(tail.phases)
+        separator = PathSeparator(phases=phases)
+        if separator.max_component_fraction(graph, within=universe) > 0.5:
+            extra = GreedyPeelingEngine(seed=rng.getrandbits(32))
+            residual2 = universe - separator.vertices()
+            more = extra.find_separator(graph, within=residual2)
+            separator.phases.extend(more.phases)
+        return separator
+
+    @staticmethod
+    def _nontree_edges(
+        graph: Graph, tree: ShortestPathTree, comp: AbstractSet[Vertex]
+    ) -> List[Tuple[Vertex, Vertex]]:
+        out = []
+        for u in sorted(comp, key=_stable_key):
+            for v in graph.neighbors(u):
+                if v not in comp or _stable_key(v) <= _stable_key(u):
+                    continue
+                if tree.parent.get(u) == v or tree.parent.get(v) == u:
+                    continue
+                out.append((u, v))
+        return out
+
+
+class StrongGreedyEngine(SeparatorEngine):
+    """Single-phase ("strong") separators: all paths are shortest paths
+    of the *original* induced graph.
+
+    Used for the Section 5.2 experiments: on ``mesh_with_universal``
+    graphs every shortest path has at most 3 vertices, so the number of
+    paths this engine needs grows as Omega(sqrt(n)) — the paper's
+    Theorem 6.3 lower bound made visible.
+    """
+
+    def __init__(
+        self,
+        num_candidates: int = 16,
+        max_paths: Optional[int] = None,
+        seed: SeedLike = 0,
+    ) -> None:
+        self.num_candidates = num_candidates
+        self.max_paths = max_paths
+        self._seed = seed
+
+    def find_separator(
+        self, graph: Graph, within: Optional[AbstractSet[Vertex]] = None
+    ) -> PathSeparator:
+        rng = ensure_rng(self._seed)
+        universe = _universe(graph, within)
+        half = len(universe) / 2
+        paths: List[List[Vertex]] = []
+        removed: Set[Vertex] = set()
+        while True:
+            comps = connected_components(graph, within=universe - removed)
+            if not comps or len(comps[0]) <= half:
+                break
+            if self.max_paths is not None and len(paths) >= self.max_paths:
+                raise GraphError(
+                    f"StrongGreedyEngine exceeded max_paths={self.max_paths}"
+                )
+            comp = comps[0]
+            # Root anywhere in the stuck component, but the tree spans
+            # the ORIGINAL induced graph so root paths are shortest in it.
+            pool = sorted(comp, key=_stable_key)
+            root = pool[rng.randrange(len(pool))]
+            tree = dijkstra_tree(graph, root, allowed=universe)
+            candidates = _path_candidates(tree, comp, self.num_candidates, rng)
+            best_path: Optional[List[Vertex]] = None
+            best_score: Optional[Tuple[int, int]] = None
+            for x in candidates:
+                path = tree.path_to(x)
+                rest = universe - removed - set(path)
+                score = (_largest_within(graph, rest), len(path))
+                if best_score is None or score < best_score:
+                    best_score = score
+                    best_path = path
+            assert best_path is not None
+            paths.append(best_path)
+            removed.update(best_path)
+        if not paths:
+            return PathSeparator()
+        return PathSeparator(phases=[SeparatorPhase(paths=paths)])
+
+
+def auto_engine(
+    graph: Graph,
+    treewidth_threshold: int = 6,
+    seed: SeedLike = 0,
+) -> SeparatorEngine:
+    """Pick a sensible engine for *graph*.
+
+    Forests get the centroid engine; graphs whose min-degree heuristic
+    width is small get center bags (strong separators of at most
+    width+1 single-vertex paths); everything else gets greedy peeling.
+    """
+    n, m = graph.num_vertices, graph.num_edges
+    if m <= max(0, n - 1):
+        comps = connected_components(graph)
+        if sum(len(c) for c in comps) - len(comps) == m:
+            return TreeCentroidEngine()
+    order = min_degree_order(graph)
+    width = decomposition_from_elimination(graph, order).width
+    if width <= treewidth_threshold:
+        return CenterBagEngine(order="min_degree")
+    return GreedyPeelingEngine(seed=seed)

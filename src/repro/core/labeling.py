@@ -1,0 +1,162 @@
+"""Theorem 2: (1+eps)-approximate distance labeling.
+
+Each vertex v receives a label holding, for every node H on its
+decomposition-tree root path and every phase residual J of H it
+belongs to, an epsilon-cover portal list per separator path of that
+phase.  Distances are then estimated from *two labels alone*:
+
+    d_hat(u, v) = min over shared (node, phase, path) keys of
+                  min over portal pairs (c1, c2) of
+                  d_J(u, c1) + d_Q(c1, c2) + d_J(v, c2)
+
+Correctness sketch (the paper's argument): the true shortest path R
+first touches the separator system at some node H, phase i; R then
+lies in the residual J and is a shortest path of J crossing some
+separator path Q of phase i at a vertex x.  Both endpoints hold
+(1+eps)-cover portals for (H, i, Q), so the estimate is between
+d(u, v) and (1+eps) d(u, v).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Tuple
+
+from repro.core.decomposition import DecompositionTree, PathKey
+from repro.core.portals import epsilon_cover_portals, min_portal_pair
+from repro.graphs.graph import Graph
+from repro.graphs.shortest_paths import dijkstra
+from repro.util.errors import GraphError
+from repro.util.sizing import PORTAL_ENTRY_WORDS, SizeReport
+
+Vertex = Hashable
+PortalEntry = Tuple[float, float]  # (prefix position on the path, distance)
+INF = float("inf")
+
+
+@dataclass
+class VertexLabel:
+    """The distance label of one vertex: portal lists keyed by
+    (node_id, phase_index, path_index)."""
+
+    vertex: Vertex
+    entries: Dict[PathKey, List[PortalEntry]] = field(default_factory=dict)
+
+    @property
+    def num_portals(self) -> int:
+        return sum(len(v) for v in self.entries.values())
+
+    @property
+    def words(self) -> int:
+        """Label size in the paper's word model (see repro.util.sizing)."""
+        return self.num_portals * PORTAL_ENTRY_WORDS + len(self.entries)
+
+
+def estimate_distance(label_u: VertexLabel, label_v: VertexLabel) -> float:
+    """Distributed (1+eps)-approximate distance query from two labels.
+
+    Returns ``inf`` if the labels share no separator path (which for
+    labels of the same connected graph cannot happen unless u = v is
+    false in different components).
+    """
+    if label_u.vertex == label_v.vertex:
+        return 0.0
+    a, b = label_u.entries, label_v.entries
+    if len(b) < len(a):
+        a, b = b, a
+    best = INF
+    for key, entries_a in a.items():
+        entries_b = b.get(key)
+        if entries_b is None:
+            continue
+        cand = min_portal_pair(entries_a, entries_b)
+        if cand < best:
+            best = cand
+    return best
+
+
+class DistanceLabeling:
+    """The full labeling of a graph (Theorem 2's distributed form)."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        tree: DecompositionTree,
+        epsilon: float,
+        labels: Dict[Vertex, VertexLabel],
+    ) -> None:
+        self.graph = graph
+        self.tree = tree
+        self.epsilon = epsilon
+        self.labels = labels
+
+    def label(self, v: Vertex) -> VertexLabel:
+        try:
+            return self.labels[v]
+        except KeyError:
+            raise GraphError(f"vertex {v!r} has no label") from None
+
+    def estimate(self, u: Vertex, v: Vertex) -> float:
+        """(1+eps)-approximate distance between u and v."""
+        return estimate_distance(self.label(u), self.label(v))
+
+    def size_report(self) -> SizeReport:
+        """Per-vertex label sizes in words (experiment E3's measurement)."""
+        return SizeReport.from_counts(
+            (v, label.words) for v, label in self.labels.items()
+        )
+
+
+def build_labeling(
+    graph: Graph,
+    tree: DecompositionTree,
+    epsilon: float = 0.25,
+) -> DistanceLabeling:
+    """Construct the Theorem 2 labeling from a decomposition tree.
+
+    For each vertex v and each node H on its root path: one Dijkstra
+    per phase residual J that still contains v, followed by an
+    epsilon-cover portal selection on every separator path of the
+    phase.  Runs in roughly O(n log n * Dijkstra) total because
+    component sizes halve down the tree.
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    # Residual sets depend only on the node, not the vertex: compute
+    # them once instead of per label (a large constant-factor win).
+    residual_cache = {
+        node.node_id: list(node.residual_sets()) for node in tree.nodes
+    }
+    labels: Dict[Vertex, VertexLabel] = {}
+    for v in graph.vertices():
+        labels[v] = _build_vertex_label(graph, tree, v, epsilon, residual_cache)
+    return DistanceLabeling(graph, tree, epsilon, labels)
+
+
+def _build_vertex_label(
+    graph: Graph,
+    tree: DecompositionTree,
+    v: Vertex,
+    epsilon: float,
+    residual_cache,
+) -> VertexLabel:
+    label = VertexLabel(vertex=v)
+    home_node, home_phase, _, _ = tree.home[v]
+    for node_id in tree.root_path(v):
+        node = tree.nodes[node_id]
+        for phase_idx, residual in residual_cache[node_id]:
+            if node_id == home_node and phase_idx > home_phase:
+                break
+            if v not in residual:
+                break
+            dist, _ = dijkstra(graph, v, allowed=residual)
+            phase = node.separator.phases[phase_idx]
+            for path_idx, path in enumerate(phase.paths):
+                key = (node_id, phase_idx, path_idx)
+                prefix = tree.path_prefix(key)
+                portals = epsilon_cover_portals(path, prefix, dist, epsilon)
+                if portals:
+                    label.entries[key] = [
+                        (prefix[i], d) for i, d in portals
+                    ]
+    return label

@@ -1,0 +1,199 @@
+"""Definition 1: k-path separators.
+
+A *k-path separator* of a weighted graph G is a subgraph
+``S = P_0 ∪ P_1 ∪ ...`` where
+
+* (P1) each *phase* P_i is a union of k_i minimum-cost paths of the
+  residual graph ``G \\ (P_0 ∪ ... ∪ P_{i-1})``;
+* (P2) ``sum_i k_i <= k``;
+* (P3) every connected component of ``G \\ S`` has at most n/2
+  vertices (and is recursively k-path separable — checked by the
+  decomposition tree, not by a single separator).
+
+This module holds the data type and a programmatic verifier for
+(P1)-(P3); the algorithms that *find* separators live in
+:mod:`repro.core.engines`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import AbstractSet, Hashable, List, Optional, Sequence, Set
+
+from repro.graphs.components import connected_components
+from repro.graphs.graph import Graph
+from repro.graphs.shortest_paths import dijkstra
+from repro.util.errors import InvalidSeparatorError
+
+Vertex = Hashable
+Path = List[Vertex]
+
+
+@dataclass
+class SeparatorPhase:
+    """One phase P_i: a union of paths, each a minimum-cost path of the
+    residual graph at the time the phase was extracted."""
+
+    paths: List[Path] = field(default_factory=list)
+
+    @property
+    def num_paths(self) -> int:
+        return len(self.paths)
+
+    def vertices(self) -> Set[Vertex]:
+        out: Set[Vertex] = set()
+        for path in self.paths:
+            out.update(path)
+        return out
+
+    def __iter__(self):
+        return iter(self.paths)
+
+
+@dataclass
+class PathSeparator:
+    """A Definition-1 separator: an ordered sequence of phases."""
+
+    phases: List[SeparatorPhase] = field(default_factory=list)
+
+    @property
+    def num_phases(self) -> int:
+        return len(self.phases)
+
+    @property
+    def num_paths(self) -> int:
+        """The separator's k: total number of paths over all phases (P2)."""
+        return sum(p.num_paths for p in self.phases)
+
+    @property
+    def is_strong(self) -> bool:
+        """A separator is *strong* if it consists of a single phase P_0
+        (all paths are shortest paths of the original graph)."""
+        return self.num_phases <= 1
+
+    def vertices(self) -> Set[Vertex]:
+        out: Set[Vertex] = set()
+        for phase in self.phases:
+            out.update(phase.vertices())
+        return out
+
+    def all_paths(self) -> List[Path]:
+        return [path for phase in self.phases for path in phase.paths]
+
+    # ------------------------------------------------------------------
+    def max_component_fraction(
+        self,
+        graph: Graph,
+        within: Optional[AbstractSet[Vertex]] = None,
+        vertex_weight: Optional[dict] = None,
+    ) -> float:
+        """Measure of the largest component of ``G \\ S`` over the total.
+
+        The measure is vertex count, or the sum of *vertex_weight*
+        when given (the paper's vertex-weighted variant of Theorem 1).
+        """
+        universe = set(within) if within is not None else set(graph.vertices())
+        if not universe:
+            return 0.0
+        measure = _measure_fn(vertex_weight)
+        total = measure(universe)
+        if total <= 0:
+            return 0.0
+        remaining = universe - self.vertices()
+        comps = connected_components(graph, within=remaining)
+        if not comps:
+            return 0.0
+        return max(measure(c) for c in comps) / total
+
+    def validate(
+        self,
+        graph: Graph,
+        within: Optional[AbstractSet[Vertex]] = None,
+        rel_tol: float = 1e-9,
+        vertex_weight: Optional[dict] = None,
+    ) -> None:
+        """Verify (P1) and (P3) against *graph* (restricted to *within*).
+
+        (P1): every path's vertices lie in the correct residual set,
+        its consecutive edges exist, and its cost equals the shortest
+        path distance between its endpoints *inside the residual set*.
+        (P3): the largest remaining component has at most half the
+        total measure — vertex count, or *vertex_weight* sums for the
+        paper's vertex-weighted variant.  (P2) is a budget on k, which
+        callers compare against ``num_paths`` themselves.
+
+        Raises :class:`InvalidSeparatorError` on the first violation.
+        """
+        universe = set(within) if within is not None else set(graph.vertices())
+        residual = set(universe)
+        for i, phase in enumerate(self.phases):
+            for j, path in enumerate(phase.paths):
+                self._validate_path(graph, residual, path, i, j, rel_tol)
+            residual -= phase.vertices()
+        measure = _measure_fn(vertex_weight)
+        comps = connected_components(graph, within=residual)
+        half = measure(universe) / 2
+        for comp in comps:
+            if measure(comp) > half:
+                raise InvalidSeparatorError(
+                    f"(P3) violated: a remaining component has measure "
+                    f"{measure(comp)}, allowed {half:.1f}"
+                )
+
+    def _validate_path(
+        self,
+        graph: Graph,
+        residual: Set[Vertex],
+        path: Path,
+        phase_idx: int,
+        path_idx: int,
+        rel_tol: float,
+    ) -> None:
+        where = f"phase {phase_idx}, path {path_idx}"
+        if not path:
+            raise InvalidSeparatorError(f"{where}: empty path")
+        for v in path:
+            if v not in residual:
+                raise InvalidSeparatorError(
+                    f"{where}: vertex {v!r} not in the residual graph "
+                    f"(already removed by an earlier phase, or outside the graph)"
+                )
+        if len(set(path)) != len(path):
+            raise InvalidSeparatorError(f"{where}: path repeats a vertex")
+        cost = 0.0
+        for u, v in zip(path, path[1:]):
+            if not graph.has_edge(u, v):
+                raise InvalidSeparatorError(
+                    f"{where}: consecutive vertices ({u!r}, {v!r}) are not adjacent"
+                )
+            cost += graph.weight(u, v)
+        if len(path) == 1:
+            return  # single vertices are trivially minimum-cost paths
+        dist, _ = dijkstra(graph, path[0], allowed=residual)
+        optimal = dist.get(path[-1])
+        if optimal is None:
+            raise InvalidSeparatorError(
+                f"{where}: endpoints are disconnected in the residual graph"
+            )
+        if cost > optimal * (1 + rel_tol) + 1e-12:
+            raise InvalidSeparatorError(
+                f"(P1) violated at {where}: path cost {cost} exceeds the residual "
+                f"shortest-path distance {optimal}"
+            )
+
+
+def _measure_fn(vertex_weight: Optional[dict]):
+    """Component measure: count, or total vertex weight when given."""
+    if vertex_weight is None:
+        return len
+    return lambda vertices: sum(vertex_weight.get(v, 0.0) for v in vertices)
+
+
+def singleton_separator(vertices: Sequence[Vertex]) -> PathSeparator:
+    """A strong separator consisting of single-vertex paths.
+
+    This is how center bags become separators: "a single vertex being a
+    trivial minimum cost path" (the paper's tree example).
+    """
+    phase = SeparatorPhase(paths=[[v] for v in vertices])
+    return PathSeparator(phases=[phase])

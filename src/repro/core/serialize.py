@@ -1,0 +1,141 @@
+"""Serialization of distance labels.
+
+Theorem 2's labels are a *distributed* data structure: each vertex
+ships its own label, and any two labels answer a distance query with
+no further coordination.  This module gives them a stable JSON wire
+format so labels can actually be shipped:
+
+* vertices of the kinds our generators produce (ints, floats, strings,
+  and nested tuples of those) round-trip exactly;
+* each label serializes independently (``encode_label`` /
+  ``decode_label``), and a whole labeling bundles them with its
+  epsilon (``dump_labeling`` / ``load_labeling``);
+* ``wire_bits`` reports honest wire sizes next to the word-model
+  accounting of :mod:`repro.util.sizing`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Hashable, List, Tuple, Union
+
+from repro.core.labeling import VertexLabel
+from repro.util.errors import ReproError
+
+Vertex = Hashable
+
+
+class SerializationError(ReproError):
+    """A value cannot be encoded, or a payload is malformed."""
+
+
+def encode_vertex(v):
+    """Encode a vertex as JSON-safe data (tuples become tagged lists)."""
+    if isinstance(v, bool) or v is None:
+        raise SerializationError(f"unsupported vertex type {type(v).__name__}")
+    if isinstance(v, (int, float, str)):
+        return v
+    if isinstance(v, tuple):
+        return {"t": [encode_vertex(x) for x in v]}
+    raise SerializationError(f"unsupported vertex type {type(v).__name__}")
+
+
+def decode_vertex(data):
+    """Inverse of :func:`encode_vertex`."""
+    if isinstance(data, (int, float, str)):
+        return data
+    if isinstance(data, dict) and set(data) == {"t"}:
+        return tuple(decode_vertex(x) for x in data["t"])
+    raise SerializationError(f"malformed vertex payload {data!r}")
+
+
+def _encode_key(key: Tuple[int, int, int]) -> str:
+    return f"{key[0]}:{key[1]}:{key[2]}"
+
+
+def _decode_key(text: str) -> Tuple[int, int, int]:
+    parts = text.split(":")
+    if len(parts) != 3:
+        raise SerializationError(f"malformed path key {text!r}")
+    try:
+        return (int(parts[0]), int(parts[1]), int(parts[2]))
+    except ValueError:
+        raise SerializationError(f"malformed path key {text!r}") from None
+
+
+def encode_label(label: VertexLabel) -> dict:
+    """One vertex's label as a JSON-safe dict."""
+    return {
+        "v": encode_vertex(label.vertex),
+        "e": {
+            _encode_key(key): [[pos, dist] for pos, dist in entries]
+            for key, entries in label.entries.items()
+        },
+    }
+
+
+def decode_label(data: dict) -> VertexLabel:
+    """Inverse of :func:`encode_label`."""
+    try:
+        vertex = decode_vertex(data["v"])
+        raw_entries = data["e"]
+    except (KeyError, TypeError):
+        raise SerializationError(f"malformed label payload {data!r}") from None
+    entries: Dict[Tuple[int, int, int], List[Tuple[float, float]]] = {}
+    for key_text, pairs in raw_entries.items():
+        entries[_decode_key(key_text)] = [
+            (float(pos), float(dist)) for pos, dist in pairs
+        ]
+    return VertexLabel(vertex=vertex, entries=entries)
+
+
+def dump_labeling(labeling, path: Union[str, Path, None] = None) -> str:
+    """Serialize a :class:`DistanceLabeling` to JSON (optionally to a file).
+
+    Only the shippable state is stored — epsilon plus one label per
+    vertex; the graph and the decomposition tree stay behind.
+    """
+    payload = {
+        "format": "repro-distance-labels/1",
+        "epsilon": labeling.epsilon,
+        "labels": [encode_label(label) for label in labeling.labels.values()],
+    }
+    text = json.dumps(payload, separators=(",", ":"))
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def load_labeling(source: Union[str, Path]) -> Tuple[float, Dict[Vertex, VertexLabel]]:
+    """Load labels dumped by :func:`dump_labeling`.
+
+    Accepts a JSON string or a path; returns ``(epsilon, labels)`` —
+    deliberately *not* a :class:`DistanceLabeling`, because the loader
+    has no graph.  Use :func:`repro.core.labeling.estimate_distance`
+    on pairs of labels.
+    """
+    if isinstance(source, Path) or (
+        isinstance(source, str) and not source.lstrip().startswith("{")
+    ):
+        text = Path(source).read_text()
+    else:
+        text = source
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from None
+    if payload.get("format") != "repro-distance-labels/1":
+        raise SerializationError(
+            f"unknown format {payload.get('format')!r}"
+        )
+    labels: Dict[Vertex, VertexLabel] = {}
+    for item in payload["labels"]:
+        label = decode_label(item)
+        labels[label.vertex] = label
+    return float(payload["epsilon"]), labels
+
+
+def wire_bits(label: VertexLabel) -> int:
+    """Actual wire size of one encoded label, in bits."""
+    return 8 * len(json.dumps(encode_label(label), separators=(",", ":")))

@@ -1,0 +1,267 @@
+"""Small-worldization (Section 4, Theorem 3).
+
+Implements Definitions 3-4 (augmentation distributions, one long-range
+directed edge per vertex with weight d_G(v, u)) and the paper's
+path-separator distribution: vertex v picks a uniform level tau of its
+decomposition-tree root path, a uniform separator path Q of S(H_tau),
+and a uniform landmark from the Claim-1 landmark set L(Q) built from
+v's distances in the residual graph J.  Greedy routing over the
+augmented graph then needs O(k^2 log^2 n log^2 Delta) expected hops.
+
+Note 1 is automatic: when every separator path is a single vertex
+(bounded-treewidth graphs), L(Q) degenerates to that vertex and the
+log^2 Delta factor disappears.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.core.decomposition import DecompositionTree, build_decomposition
+from repro.core.engines import SeparatorEngine
+from repro.core.portals import claim1_landmarks
+from repro.graphs.graph import Graph
+from repro.graphs.shortest_paths import bidirectional_dijkstra, dijkstra
+from repro.util.errors import GraphError
+from repro.util.rng import SeedLike, ensure_rng
+
+Vertex = Hashable
+INF = float("inf")
+
+
+@dataclass
+class AugmentedGraph:
+    """A base graph plus one directed long-range contact per vertex.
+
+    The long edge (v, u) has weight d_G(v, u) per Definition 4; greedy
+    hop counts do not depend on the weight, but stretch measurements
+    do.
+    """
+
+    base: Graph
+    long_edges: Dict[Vertex, Tuple[Vertex, float]] = field(default_factory=dict)
+
+    def contacts(self, v: Vertex) -> List[Vertex]:
+        """All vertices v can forward to: base neighbors + long contact."""
+        out = list(self.base.neighbors(v))
+        long = self.long_edges.get(v)
+        if long is not None and long[0] != v:
+            out.append(long[0])
+        return out
+
+    @property
+    def num_long_edges(self) -> int:
+        return len(self.long_edges)
+
+
+class AugmentationDistribution(ABC):
+    """Definition 3: for each vertex, a distribution over contacts."""
+
+    @abstractmethod
+    def sample_contact(self, graph: Graph, v: Vertex, rng) -> Optional[Vertex]:
+        """Draw v's long-range contact (None = no usable contact)."""
+
+    def augment(self, graph: Graph, seed: SeedLike = None) -> AugmentedGraph:
+        """Definition 4: draw one contact per vertex independently."""
+        rng = ensure_rng(seed)
+        augmented = AugmentedGraph(base=graph)
+        for v in graph.vertices():
+            u = self.sample_contact(graph, v, rng)
+            if u is None or u == v:
+                continue
+            weight, _ = bidirectional_dijkstra(graph, v, u)
+            augmented.long_edges[v] = (u, weight)
+        return augmented
+
+
+class PathSeparatorAugmentation(AugmentationDistribution):
+    """The paper's Section 4 distribution over decomposition landmarks."""
+
+    def __init__(
+        self,
+        tree: DecompositionTree,
+        aspect_ratio: Optional[float] = None,
+        max_resamples: int = 8,
+    ) -> None:
+        self.tree = tree
+        self.aspect_ratio = aspect_ratio or estimate_aspect_ratio(tree.graph)
+        self.max_resamples = max_resamples
+
+    @classmethod
+    def build(
+        cls,
+        graph: Graph,
+        engine: Optional[SeparatorEngine] = None,
+        aspect_ratio: Optional[float] = None,
+    ) -> "PathSeparatorAugmentation":
+        return cls(build_decomposition(graph, engine=engine), aspect_ratio)
+
+    def sample_contact(self, graph: Graph, v: Vertex, rng) -> Optional[Vertex]:
+        root_path = self.tree.root_path(v)
+        home_node, home_phase, _, _ = self.tree.home[v]
+        for _ in range(self.max_resamples):
+            node_id = root_path[rng.randrange(len(root_path))]
+            node = self.tree.nodes[node_id]
+            # Candidate paths: all separator paths of phases that still
+            # contain v (all phases at ancestors; phases <= home phase
+            # at the home node).
+            keys: List[Tuple[int, int]] = []
+            for phase_idx, phase in enumerate(node.separator.phases):
+                if node_id == home_node and phase_idx > home_phase:
+                    break
+                for path_idx in range(len(phase.paths)):
+                    keys.append((phase_idx, path_idx))
+            if not keys:
+                continue
+            phase_idx, path_idx = keys[rng.randrange(len(keys))]
+            residual = None
+            for i, J in node.residual_sets():
+                if i == phase_idx:
+                    residual = J
+                    break
+            if residual is None or v not in residual:
+                continue
+            key = (node_id, phase_idx, path_idx)
+            path = self.tree.path_vertices(key)
+            prefix = self.tree.path_prefix(key)
+            dist, _ = dijkstra(graph, v, allowed=residual)
+            landmark_ids = claim1_landmarks(path, prefix, dist, self.aspect_ratio)
+            if not landmark_ids:
+                continue  # v cannot reach this path in J; redraw
+            contact = path[landmark_ids[rng.randrange(len(landmark_ids))]]
+            if contact == v:
+                continue  # v drew itself (it sits on the path); redraw
+            return contact
+        return None
+
+
+class ClosestSeparatorAugmentation(AugmentationDistribution):
+    """Note 2's variant: contact the *closest* separator vertex.
+
+    For unweighted graphs whose separators have diameter delta, the
+    paper shows greedy routing then needs only O(log^2 n + delta log n)
+    expected hops: after choosing a uniform level tau, v contacts the
+    nearest vertex of the whole separator S(H_tau(v)) instead of a
+    random geometric landmark.
+    """
+
+    def __init__(self, tree: DecompositionTree, max_resamples: int = 8) -> None:
+        self.tree = tree
+        self.max_resamples = max_resamples
+
+    @classmethod
+    def build(
+        cls, graph: Graph, engine: Optional[SeparatorEngine] = None
+    ) -> "ClosestSeparatorAugmentation":
+        return cls(build_decomposition(graph, engine=engine))
+
+    def sample_contact(self, graph: Graph, v: Vertex, rng) -> Optional[Vertex]:
+        root_path = self.tree.root_path(v)
+        for _ in range(self.max_resamples):
+            node_id = root_path[rng.randrange(len(root_path))]
+            node = self.tree.nodes[node_id]
+            separator = node.separator.vertices() - {v}
+            if not separator:
+                continue
+            dist, _ = dijkstra(graph, v, allowed=set(node.vertices))
+            reachable = [
+                (dist[u], repr(u), u) for u in separator if u in dist
+            ]
+            if not reachable:
+                continue
+            return min(reachable)[2]
+        return None
+
+
+def estimate_aspect_ratio(graph: Graph) -> float:
+    """Delta = (max pairwise distance) / (min pairwise distance).
+
+    Thin wrapper over :func:`repro.graphs.metrics.aspect_ratio` in its
+    cheap double-sweep form — all the landmark rule needs (the value
+    only controls the number of geometric offsets).
+    """
+    from repro.graphs.metrics import aspect_ratio
+
+    if graph.num_edges == 0:
+        return 1.0
+    return aspect_ratio(graph, exact=False)
+
+
+# ----------------------------------------------------------------------
+# Greedy routing
+# ----------------------------------------------------------------------
+
+
+def greedy_route(
+    augmented: AugmentedGraph,
+    source: Vertex,
+    target: Vertex,
+    dist_to_target: Optional[Dict[Vertex, float]] = None,
+    max_hops: Optional[int] = None,
+) -> List[Vertex]:
+    """Greedy routing: forward to the contact closest (in d_G) to the target.
+
+    ``dist_to_target`` may be supplied to amortize the target-side
+    Dijkstra across many sources.  Greedy always terminates on a
+    connected graph: the neighbor on a shortest path is strictly
+    closer.  Raises :class:`GraphError` if *max_hops* is exceeded.
+    """
+    if dist_to_target is None:
+        dist_to_target, _ = dijkstra(augmented.base, target)
+    if source not in dist_to_target:
+        raise GraphError(f"{source!r} cannot reach {target!r}")
+    hops = [source]
+    current = source
+    limit = max_hops if max_hops is not None else 4 * augmented.base.num_vertices
+    while current != target:
+        best = None
+        best_d = dist_to_target[current]
+        for c in augmented.contacts(current):
+            d = dist_to_target.get(c, INF)
+            if d < best_d:
+                best_d = d
+                best = c
+        if best is None:
+            raise GraphError(
+                f"greedy routing stuck at {current!r} (should be impossible "
+                f"on a connected graph)"
+            )
+        current = best
+        hops.append(current)
+        if len(hops) > limit:
+            raise GraphError(f"greedy routing exceeded {limit} hops")
+    return hops
+
+
+class GreedyRouter:
+    """Greedy-routing harness with per-target distance caching."""
+
+    def __init__(self, augmented: AugmentedGraph, cache_size: int = 64) -> None:
+        self.augmented = augmented
+        self._cache: Dict[Vertex, Dict[Vertex, float]] = {}
+        self._cache_size = cache_size
+
+    def _dist_to(self, target: Vertex) -> Dict[Vertex, float]:
+        if target not in self._cache:
+            if len(self._cache) >= self._cache_size:
+                self._cache.pop(next(iter(self._cache)))
+            self._cache[target], _ = dijkstra(self.augmented.base, target)
+        return self._cache[target]
+
+    def hops(self, source: Vertex, target: Vertex) -> int:
+        """Number of greedy hops from source to target."""
+        return len(greedy_route(
+            self.augmented, source, target, self._dist_to(target)
+        )) - 1
+
+    def mean_hops(self, pairs: Iterable[Tuple[Vertex, Vertex]]) -> float:
+        total = 0
+        count = 0
+        for s, t in pairs:
+            if s == t:
+                continue
+            total += self.hops(s, t)
+            count += 1
+        return total / count if count else 0.0

@@ -1,0 +1,59 @@
+"""Graph-family generators.
+
+Each generator returns a :class:`repro.graphs.Graph` (some also return
+auxiliary structure such as a tree decomposition).  The families mirror
+the classes the paper's narrative names: trees and outerplanar graphs
+(1- and small-path separable), series-parallel graphs and k-trees
+(bounded treewidth, Theorem 7), meshes and planar graphs (strongly
+3-path separable, [44]), the lower-bound constructions of Section 5
+(``mesh_with_universal``, ``complete_bipartite``, random regular sparse
+graphs), 3D meshes for the doubling extension, and synthetic road
+networks as a realistic weighted planar workload.
+"""
+
+from repro.generators.bipartite import complete_bipartite, mesh_with_universal
+from repro.generators.grids import (
+    cycle_graph,
+    grid_2d,
+    grid_3d,
+    path_graph,
+    torus_2d,
+)
+from repro.generators.ktree import k_tree, partial_k_tree
+from repro.generators.planar import (
+    outerplanar_graph,
+    random_delaunay_graph,
+    random_planar_graph,
+)
+from repro.generators.roads import road_network
+from repro.generators.seriesparallel import series_parallel_graph
+from repro.generators.special import hypercube, random_regular_graph
+from repro.generators.trees import (
+    balanced_tree,
+    caterpillar_tree,
+    random_tree,
+    spider_tree,
+)
+
+__all__ = [
+    "balanced_tree",
+    "caterpillar_tree",
+    "complete_bipartite",
+    "cycle_graph",
+    "grid_2d",
+    "grid_3d",
+    "hypercube",
+    "k_tree",
+    "mesh_with_universal",
+    "outerplanar_graph",
+    "partial_k_tree",
+    "path_graph",
+    "random_delaunay_graph",
+    "random_planar_graph",
+    "random_regular_graph",
+    "random_tree",
+    "road_network",
+    "series_parallel_graph",
+    "spider_tree",
+    "torus_2d",
+]

@@ -1,0 +1,46 @@
+"""The lower-bound constructions of Section 5.
+
+* :func:`mesh_with_universal` — Theorem 6.3: a ``t x t`` mesh plus a
+  universal vertex is K6-minor-free but every *strong* k-path
+  separator needs k = Omega(sqrt(n)) (diameter 2 makes every shortest
+  path contain at most 3 vertices).
+* :func:`complete_bipartite` — Theorem 7: K_{r, n-r} has treewidth r
+  and every k-path separator needs k >= r/2.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import Graph
+from repro.util.errors import GraphError
+from repro.generators.grids import grid_2d
+
+
+def complete_bipartite(r: int, s: int) -> Graph:
+    """K_{r,s} with vertices ``('a', i)`` and ``('b', j)`` (unweighted)."""
+    if r < 1 or s < 1:
+        raise GraphError("complete_bipartite requires positive part sizes")
+    g = Graph()
+    for i in range(r):
+        g.add_vertex(("a", i))
+    for j in range(s):
+        g.add_vertex(("b", j))
+    for i in range(r):
+        for j in range(s):
+            g.add_edge(("a", i), ("b", j))
+    return g
+
+
+def mesh_with_universal(t: int) -> Graph:
+    """``t x t`` unweighted mesh plus a universal hub vertex ``'hub'``.
+
+    The graph is K6-minor-free (the mesh is K5-minor-free) and has
+    diameter 2, so any union of k shortest paths covers at most 3k
+    vertices — the heart of the paper's strong-separator lower bound.
+    """
+    if t < 2:
+        raise GraphError("mesh_with_universal requires t >= 2")
+    g = grid_2d(t, t)
+    for r in range(t):
+        for c in range(t):
+            g.add_edge("hub", (r, c))
+    return g

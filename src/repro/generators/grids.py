@@ -1,0 +1,129 @@
+"""Mesh, torus, path, and cycle generators.
+
+Grids are the paper's running examples: an unweighted rectangular mesh
+is 1-path separable (the middle row), and a 3D mesh is the motivating
+example for the doubling-separator extension of Section 5.3.  Vertices
+are coordinate tuples so geometric structure stays visible to callers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.graphs.graph import Graph
+from repro.util.errors import GraphError
+from repro.util.rng import SeedLike, ensure_rng
+
+
+def _edge_weight(rng, weight_range) -> float:
+    if weight_range is None:
+        return 1.0
+    lo, hi = weight_range
+    return rng.uniform(lo, hi)
+
+
+def path_graph(n: int, weight_range=None, seed: SeedLike = None) -> Graph:
+    """Path on vertices ``0..n-1``."""
+    if n < 1:
+        raise GraphError("path_graph requires n >= 1")
+    rng = ensure_rng(seed)
+    g = Graph()
+    g.add_vertex(0)
+    for i in range(n - 1):
+        g.add_edge(i, i + 1, _edge_weight(rng, weight_range))
+    return g
+
+
+def cycle_graph(n: int, weight_range=None, seed: SeedLike = None) -> Graph:
+    """Cycle on vertices ``0..n-1`` (n >= 3)."""
+    if n < 3:
+        raise GraphError("cycle_graph requires n >= 3")
+    rng = ensure_rng(seed)
+    g = path_graph(n, weight_range=weight_range, seed=rng)
+    g.add_edge(n - 1, 0, _edge_weight(rng, weight_range))
+    return g
+
+
+def grid_2d(
+    rows: int,
+    cols: Optional[int] = None,
+    weight_range=None,
+    seed: SeedLike = None,
+) -> Graph:
+    """``rows x cols`` mesh with vertices ``(r, c)``.
+
+    With ``weight_range=(lo, hi)`` each edge gets an independent uniform
+    weight, which is how the benchmarks realize a target aspect ratio.
+    """
+    if cols is None:
+        cols = rows
+    if rows < 1 or cols < 1:
+        raise GraphError("grid_2d requires positive dimensions")
+    rng = ensure_rng(seed)
+    g = Graph()
+    for r in range(rows):
+        for c in range(cols):
+            g.add_vertex((r, c))
+    for r in range(rows):
+        for c in range(cols):
+            if r + 1 < rows:
+                g.add_edge((r, c), (r + 1, c), _edge_weight(rng, weight_range))
+            if c + 1 < cols:
+                g.add_edge((r, c), (r, c + 1), _edge_weight(rng, weight_range))
+    return g
+
+
+def torus_2d(
+    rows: int,
+    cols: Optional[int] = None,
+    weight_range=None,
+    seed: SeedLike = None,
+) -> Graph:
+    """2D torus (mesh with wraparound); genus-1, still minor-free friendly."""
+    if cols is None:
+        cols = rows
+    if rows < 3 or cols < 3:
+        raise GraphError("torus_2d requires dimensions >= 3")
+    rng = ensure_rng(seed)
+    g = Graph()
+    for r in range(rows):
+        for c in range(cols):
+            g.add_edge((r, c), ((r + 1) % rows, c), _edge_weight(rng, weight_range))
+            g.add_edge((r, c), (r, (c + 1) % cols), _edge_weight(rng, weight_range))
+    return g
+
+
+def grid_3d(
+    x: int,
+    y: Optional[int] = None,
+    z: Optional[int] = None,
+    weight_range=None,
+    seed: SeedLike = None,
+) -> Graph:
+    """3D mesh with vertices ``(i, j, k)``.
+
+    Not O(1)-path separable (its balanced separators are 2D planes),
+    which is why it drives the (k, alpha)-doubling experiments.
+    """
+    if y is None:
+        y = x
+    if z is None:
+        z = x
+    if x < 1 or y < 1 or z < 1:
+        raise GraphError("grid_3d requires positive dimensions")
+    rng = ensure_rng(seed)
+    g = Graph()
+    for i in range(x):
+        for j in range(y):
+            for k in range(z):
+                g.add_vertex((i, j, k))
+    for i in range(x):
+        for j in range(y):
+            for k in range(z):
+                if i + 1 < x:
+                    g.add_edge((i, j, k), (i + 1, j, k), _edge_weight(rng, weight_range))
+                if j + 1 < y:
+                    g.add_edge((i, j, k), (i, j + 1, k), _edge_weight(rng, weight_range))
+                if k + 1 < z:
+                    g.add_edge((i, j, k), (i, j, k + 1), _edge_weight(rng, weight_range))
+    return g

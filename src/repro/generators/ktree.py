@@ -1,0 +1,98 @@
+"""k-trees and partial k-trees: the bounded-treewidth families.
+
+Theorem 7 of the paper: treewidth-r graphs are strongly (r+1)-path
+separable (every center bag is a union of single-vertex "paths").  The
+generators here return the witnessing tree decomposition alongside the
+graph so the separator engine can use it directly instead of running a
+heuristic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.graphs.graph import Graph
+from repro.util.errors import GraphError
+from repro.util.rng import SeedLike, ensure_rng
+
+
+def k_tree(n: int, k: int, weight_range=None, seed: SeedLike = None) -> Tuple[Graph, List[frozenset]]:
+    """Random k-tree on ``0..n-1`` plus its natural tree decomposition bags.
+
+    Construction: start from the clique on ``0..k`` and repeatedly
+    attach a new vertex to a uniformly random existing k-clique.  The
+    returned bags are the (k+1)-cliques created along the way, which
+    form a width-k tree decomposition.
+    """
+    if k < 1:
+        raise GraphError("k_tree requires k >= 1")
+    if n < k + 1:
+        raise GraphError(f"k_tree requires n >= k + 1 = {k + 1}")
+    rng = ensure_rng(seed)
+    g = Graph()
+    base = list(range(k + 1))
+    for i in base:
+        g.add_vertex(i)
+    for i in base:
+        for j in base:
+            if i < j:
+                g.add_edge(i, j, _weight(rng, weight_range))
+    bags: List[frozenset] = [frozenset(base)]
+    # k-cliques available for attachment: all k-subsets of the base clique.
+    cliques: List[Tuple[int, ...]] = [
+        tuple(base[:i] + base[i + 1 :]) for i in range(k + 1)
+    ]
+    for v in range(k + 1, n):
+        clique = cliques[rng.randrange(len(cliques))]
+        for u in clique:
+            g.add_edge(u, v, _weight(rng, weight_range))
+        bag = frozenset(clique) | {v}
+        bags.append(bag)
+        members = list(clique) + [v]
+        for i in range(len(members)):
+            cliques.append(tuple(members[:i] + members[i + 1 :]))
+    return g, bags
+
+
+def partial_k_tree(
+    n: int,
+    k: int,
+    edge_keep_prob: float = 0.7,
+    weight_range=None,
+    seed: SeedLike = None,
+) -> Tuple[Graph, List[frozenset]]:
+    """Random connected partial k-tree (treewidth <= k) with its bags.
+
+    Edges of a random k-tree are dropped independently with probability
+    ``1 - edge_keep_prob``; a spanning tree of the k-tree is always
+    kept so the result stays connected.  The k-tree's bags remain a
+    valid decomposition of the subgraph.
+    """
+    if not 0.0 <= edge_keep_prob <= 1.0:
+        raise GraphError("edge_keep_prob must be in [0, 1]")
+    rng = ensure_rng(seed)
+    full, bags = k_tree(n, k, weight_range=weight_range, seed=rng)
+    keep = Graph()
+    for v in full.vertices():
+        keep.add_vertex(v)
+    # Protect one spanning structure: vertex v > k keeps its edge to the
+    # lowest-numbered member of its attachment clique; base clique keeps a path.
+    protected = set()
+    for v in range(1, min(k + 1, n)):
+        protected.add((v - 1, v))
+    for bag in bags[1:]:
+        v = max(bag)
+        anchor = min(bag - {v})
+        protected.add((anchor, v))
+    for u, v, w in full.edges():
+        key = (min(u, v), max(u, v))
+        if key in protected or rng.random() < edge_keep_prob:
+            keep.add_edge(u, v, w)
+    return keep, bags
+
+
+def _weight(rng, weight_range) -> float:
+    if weight_range is None:
+        return 1.0
+    lo, hi = weight_range
+    return rng.uniform(lo, hi)

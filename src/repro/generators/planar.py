@@ -1,0 +1,150 @@
+"""Planar-graph generators.
+
+Planar graphs (excluding K5 and K3,3) are the headline application
+class: Thorup [44] showed they are strongly 3-path separable, and the
+paper generalizes his object-location machinery from exactly this
+class.  The main generator triangulates random points (Delaunay, via
+scipy when available) to get realistically irregular weighted planar
+graphs; a pure-Python stacked-triangulation fallback keeps the package
+usable without scipy.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.graphs.graph import Graph
+from repro.util.errors import GraphError
+from repro.util.rng import SeedLike, ensure_rng
+
+Point = Tuple[float, float]
+
+
+def random_delaunay_graph(
+    n: int,
+    seed: SeedLike = None,
+    scale: float = 1000.0,
+) -> Tuple[Graph, Dict[int, Point]]:
+    """Delaunay triangulation of *n* uniform points in a ``scale x scale`` square.
+
+    Edge weights are Euclidean lengths, so shortest paths look like
+    road distances.  Returns ``(graph, positions)``.  Requires scipy;
+    see :func:`random_planar_graph` for a dependency-free alternative.
+    """
+    if n < 3:
+        raise GraphError("random_delaunay_graph requires n >= 3")
+    try:
+        from scipy.spatial import Delaunay
+    except ImportError as exc:  # pragma: no cover - depends on environment
+        raise GraphError("random_delaunay_graph requires scipy") from exc
+
+    rng = ensure_rng(seed)
+    points: List[Point] = [
+        (rng.uniform(0, scale), rng.uniform(0, scale)) for _ in range(n)
+    ]
+    tri = Delaunay(points)
+    g = Graph()
+    for i in range(n):
+        g.add_vertex(i)
+    for simplex in tri.simplices:
+        a, b, c = (int(x) for x in simplex)
+        for u, v in ((a, b), (b, c), (a, c)):
+            if not g.has_edge(u, v):
+                g.add_edge(u, v, _euclid(points[u], points[v]))
+    positions = {i: points[i] for i in range(n)}
+    return g, positions
+
+
+def random_planar_graph(
+    n: int,
+    edge_keep_prob: float = 0.85,
+    weight_range=(1.0, 10.0),
+    seed: SeedLike = None,
+) -> Graph:
+    """Random connected planar graph without external dependencies.
+
+    Builds a stacked triangulation (insert each new vertex into a
+    random triangular face, connecting to its three corners — planar by
+    construction) and then sparsifies: each non-bridge-protected edge
+    is kept with probability *edge_keep_prob*, with a spanning set
+    always retained so the result stays connected.
+    """
+    if n < 3:
+        raise GraphError("random_planar_graph requires n >= 3")
+    if not 0.0 <= edge_keep_prob <= 1.0:
+        raise GraphError("edge_keep_prob must be in [0, 1]")
+    rng = ensure_rng(seed)
+
+    full = Graph()
+    for i in range(3):
+        full.add_vertex(i)
+    for u, v in ((0, 1), (1, 2), (0, 2)):
+        full.add_edge(u, v, _weight(rng, weight_range))
+    faces: List[Tuple[int, int, int]] = [(0, 1, 2)]
+    protected = {(0, 1), (1, 2)}
+    for v in range(3, n):
+        face = faces[rng.randrange(len(faces))]
+        a, b, c = face
+        for u in face:
+            full.add_edge(u, v, _weight(rng, weight_range))
+        protected.add((min(a, v), max(a, v)))
+        faces.remove(face)
+        faces.extend([(a, b, v), (b, c, v), (a, c, v)])
+
+    g = Graph()
+    for v in full.vertices():
+        g.add_vertex(v)
+    for u, v, w in full.edges():
+        key = (min(u, v), max(u, v))
+        if key in protected or rng.random() < edge_keep_prob:
+            g.add_edge(u, v, w)
+    return g
+
+
+def outerplanar_graph(
+    n: int,
+    chord_prob: float = 0.5,
+    weight_range=None,
+    seed: SeedLike = None,
+) -> Graph:
+    """Random outerplanar graph: an n-cycle plus non-crossing chords.
+
+    Outerplanar graphs exclude K4 and K2,3; they sit between trees and
+    planar graphs in the paper's hierarchy of examples.  Chords are
+    drawn from a random triangulation of the polygon and kept with
+    probability *chord_prob*.
+    """
+    if n < 3:
+        raise GraphError("outerplanar_graph requires n >= 3")
+    if not 0.0 <= chord_prob <= 1.0:
+        raise GraphError("chord_prob must be in [0, 1]")
+    rng = ensure_rng(seed)
+    g = Graph()
+    for i in range(n):
+        g.add_edge(i, (i + 1) % n, _weight(rng, weight_range))
+
+    def triangulate(lo: int, hi: int) -> None:
+        # Triangulate the polygon arc lo..hi (indices along the cycle).
+        if hi - lo < 2:
+            return
+        mid = rng.randrange(lo + 1, hi)
+        for a, b in ((lo, mid), (mid, hi)):
+            if b - a >= 2 and rng.random() < chord_prob:
+                g.add_edge(a % n, b % n, _weight(rng, weight_range))
+        triangulate(lo, mid)
+        triangulate(mid, hi)
+
+    triangulate(0, n - 1)
+    return g
+
+
+def _euclid(p: Point, q: Point) -> float:
+    return max(1e-9, math.hypot(p[0] - q[0], p[1] - q[1]))
+
+
+def _weight(rng, weight_range) -> float:
+    if weight_range is None:
+        return 1.0
+    lo, hi = weight_range
+    return rng.uniform(lo, hi)

@@ -1,0 +1,97 @@
+"""Synthetic road networks: the realistic weighted-planar workload.
+
+Road networks are the canonical practical instance of the paper's
+setting — planar (hence 3-path separable), weighted, and with a large
+aspect ratio.  We synthesize them as a sparsified grid whose edges get
+travel-time weights, with a sparse set of cheap "highway" rows and
+columns creating the long-range shortcuts real networks have.
+"""
+
+from __future__ import annotations
+
+from repro.generators.grids import grid_2d
+
+from repro.graphs.graph import Graph
+from repro.util.errors import GraphError
+from repro.util.rng import SeedLike, ensure_rng
+
+
+def road_network(
+    rows: int,
+    cols: int = 0,
+    removal_prob: float = 0.15,
+    highway_every: int = 8,
+    highway_speedup: float = 4.0,
+    seed: SeedLike = None,
+) -> Graph:
+    """Generate a connected road-like planar graph on a ``rows x cols`` grid.
+
+    Parameters
+    ----------
+    removal_prob:
+        Probability each street edge is removed (removal is skipped when
+        it would disconnect the network).
+    highway_every:
+        Every ``highway_every``-th row and column is a highway.
+    highway_speedup:
+        Highway edges are this factor cheaper than local streets.
+    """
+    if cols <= 0:
+        cols = rows
+    if rows < 2 or cols < 2:
+        raise GraphError("road_network requires at least a 2x2 grid")
+    if highway_every < 1:
+        raise GraphError("highway_every must be >= 1")
+    rng = ensure_rng(seed)
+
+    g = grid_2d(rows, cols, weight_range=(1.0, 3.0), seed=rng)
+
+    # Promote highway rows/columns: cheap, fast edges.
+    for (u, v, w) in list(g.edges()):
+        (r1, c1), (r2, c2) = u, v
+        on_highway_row = r1 == r2 and r1 % highway_every == 0
+        on_highway_col = c1 == c2 and c1 % highway_every == 0
+        if on_highway_row or on_highway_col:
+            g.add_edge(u, v, max(1e-6, w / highway_speedup))
+
+    # Sparsify the local streets, preserving connectivity.
+    candidates = [
+        (u, v)
+        for (u, v, _) in g.edges()
+        if not _is_highway_edge(u, v, highway_every)
+    ]
+    rng.shuffle(candidates)
+    for u, v in candidates:
+        if rng.random() >= removal_prob:
+            continue
+        w = g.weight(u, v)
+        g.remove_edge(u, v)
+        if not _still_locally_connected(g, u, v):
+            g.add_edge(u, v, w)
+    return g
+
+
+def _is_highway_edge(u, v, highway_every: int) -> bool:
+    (r1, c1), (r2, c2) = u, v
+    return (r1 == r2 and r1 % highway_every == 0) or (
+        c1 == c2 and c1 % highway_every == 0
+    )
+
+
+def _still_locally_connected(g: Graph, u, v) -> bool:
+    # Targeted BFS from u until v is found.  After removing a grid edge
+    # the endpoints are almost always reconnected within a couple of
+    # hops, so this is near-constant time in practice.
+    from collections import deque
+
+    seen = {u}
+    queue = deque([u])
+    while queue:
+        x = queue.popleft()
+        for y in g.neighbors(x):
+            if y == v:
+                return True
+            if y not in seen:
+                seen.add(y)
+                queue.append(y)
+    return False

@@ -1,0 +1,67 @@
+"""Series-parallel graphs (excluding K4), treewidth 2.
+
+The paper notes series-parallel graphs are 3-path separable because
+treewidth-2 graphs have 3-vertex separating bags.  The generator grows
+a graph by the two SP-preserving local operations: edge subdivision
+(series) and adding a disjoint 2-path between adjacent endpoints
+(parallel), so the output is series-parallel by construction.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import Graph
+from repro.util.errors import GraphError
+from repro.util.rng import SeedLike, ensure_rng
+
+
+def series_parallel_graph(
+    n: int,
+    parallel_prob: float = 0.4,
+    weight_range=None,
+    seed: SeedLike = None,
+) -> Graph:
+    """Random series-parallel graph on ``0..n-1``.
+
+    Starts from the single edge (0, 1).  Each step picks a random edge
+    ``{u, v}``:
+
+    * with probability ``1 - parallel_prob`` it is *subdivided*
+      (series operation: ``u - x - v`` replaces the edge);
+    * otherwise a new 2-path ``u - x - v`` is added in *parallel*
+      (the original edge survives).
+
+    Both operations preserve series-parallelness and add one vertex,
+    so exactly ``n - 2`` steps are performed.
+    """
+    if n < 2:
+        raise GraphError("series_parallel_graph requires n >= 2")
+    if not 0.0 <= parallel_prob <= 1.0:
+        raise GraphError("parallel_prob must be in [0, 1]")
+    rng = ensure_rng(seed)
+    g = Graph()
+    g.add_edge(0, 1, _weight(rng, weight_range))
+    edges = [(0, 1)]
+    for x in range(2, n):
+        idx = rng.randrange(len(edges))
+        u, v = edges[idx]
+        if rng.random() < parallel_prob:
+            # Parallel: keep {u, v}, add the path u - x - v.
+            g.add_edge(u, x, _weight(rng, weight_range))
+            g.add_edge(x, v, _weight(rng, weight_range))
+            edges.append((u, x))
+            edges.append((x, v))
+        else:
+            # Series: replace {u, v} by u - x - v.
+            g.remove_edge(u, v)
+            g.add_edge(u, x, _weight(rng, weight_range))
+            g.add_edge(x, v, _weight(rng, weight_range))
+            edges[idx] = (u, x)
+            edges.append((x, v))
+    return g
+
+
+def _weight(rng, weight_range) -> float:
+    if weight_range is None:
+        return 1.0
+    lo, hi = weight_range
+    return rng.uniform(lo, hi)

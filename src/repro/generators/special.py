@@ -1,0 +1,70 @@
+"""Expander-like and structured sparse families.
+
+Random regular graphs are the Theorem 5 family: sparse graphs on which
+no small-k path separator can exist (every (1+eps)-approximate scheme
+needs Omega(sqrt(n))-bit labels), so the separator engine's measured k
+must grow polynomially — the negative control of experiment E8.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graphs.graph import Graph
+from repro.util.errors import GraphError
+from repro.util.rng import SeedLike, ensure_rng
+
+
+def hypercube(dim: int) -> Graph:
+    """The *dim*-dimensional hypercube on ``2**dim`` integer vertices."""
+    if dim < 1:
+        raise GraphError("hypercube requires dim >= 1")
+    g = Graph()
+    size = 1 << dim
+    for v in range(size):
+        g.add_vertex(v)
+    for v in range(size):
+        for b in range(dim):
+            u = v ^ (1 << b)
+            if u > v:
+                g.add_edge(v, u)
+    return g
+
+
+def random_regular_graph(n: int, degree: int, seed: SeedLike = None, max_tries: int = 200) -> Graph:
+    """Random *degree*-regular simple graph via the pairing model.
+
+    Half-edges are matched uniformly at random; matchings producing
+    self-loops or parallel edges are rejected and retried, which for
+    the small degrees used here succeeds quickly.  The sampled graph is
+    returned even if disconnected (callers wanting connectivity should
+    retry — for degree >= 3 the graph is connected w.h.p.).
+    """
+    if degree < 1 or degree >= n:
+        raise GraphError("random_regular_graph requires 1 <= degree < n")
+    if (n * degree) % 2 != 0:
+        raise GraphError("n * degree must be even")
+    rng = ensure_rng(seed)
+    stubs_template: List[int] = [v for v in range(n) for _ in range(degree)]
+    for _ in range(max_tries):
+        stubs = stubs_template[:]
+        rng.shuffle(stubs)
+        edges = set()
+        ok = True
+        for i in range(0, len(stubs), 2):
+            u, v = stubs[i], stubs[i + 1]
+            if u == v or (min(u, v), max(u, v)) in edges:
+                ok = False
+                break
+            edges.add((min(u, v), max(u, v)))
+        if ok:
+            g = Graph()
+            for v in range(n):
+                g.add_vertex(v)
+            for u, v in edges:
+                g.add_edge(u, v)
+            return g
+    raise GraphError(
+        f"failed to sample a simple {degree}-regular graph on {n} vertices "
+        f"after {max_tries} tries"
+    )

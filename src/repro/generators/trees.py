@@ -1,0 +1,100 @@
+"""Tree generators.
+
+Trees exclude K3 and are 1-path separable (the centroid vertex is a
+trivial minimum-cost path), making them the smallest sanity class for
+every algorithm in the package.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import Graph
+from repro.util.errors import GraphError
+from repro.util.rng import SeedLike, ensure_rng
+
+
+def _weight(rng, weight_range) -> float:
+    if weight_range is None:
+        return 1.0
+    lo, hi = weight_range
+    return rng.uniform(lo, hi)
+
+
+def random_tree(n: int, weight_range=None, seed: SeedLike = None) -> Graph:
+    """Uniform random recursive tree on ``0..n-1``.
+
+    Vertex ``i`` attaches to a uniformly random earlier vertex, giving
+    trees with logarithmic expected depth — a good generic workload.
+    """
+    if n < 1:
+        raise GraphError("random_tree requires n >= 1")
+    rng = ensure_rng(seed)
+    g = Graph()
+    g.add_vertex(0)
+    for i in range(1, n):
+        parent = rng.randrange(i)
+        g.add_edge(parent, i, _weight(rng, weight_range))
+    return g
+
+
+def balanced_tree(branching: int, depth: int, weight_range=None, seed: SeedLike = None) -> Graph:
+    """Complete *branching*-ary tree of the given *depth* (depth 0 = one vertex)."""
+    if branching < 1 or depth < 0:
+        raise GraphError("balanced_tree requires branching >= 1 and depth >= 0")
+    rng = ensure_rng(seed)
+    g = Graph()
+    g.add_vertex(0)
+    frontier = [0]
+    next_id = 1
+    for _ in range(depth):
+        new_frontier = []
+        for parent in frontier:
+            for _ in range(branching):
+                g.add_edge(parent, next_id, _weight(rng, weight_range))
+                new_frontier.append(next_id)
+                next_id += 1
+        frontier = new_frontier
+    return g
+
+
+def caterpillar_tree(spine: int, legs_per_vertex: int = 2, weight_range=None, seed: SeedLike = None) -> Graph:
+    """A spine path with *legs_per_vertex* leaves hanging off each spine vertex.
+
+    Caterpillars are pathwidth-1 and exercise the long-separator-path
+    case: the centroid separator of a caterpillar can be the whole
+    spine when used in strong mode.
+    """
+    if spine < 1 or legs_per_vertex < 0:
+        raise GraphError("caterpillar_tree requires spine >= 1 and legs >= 0")
+    rng = ensure_rng(seed)
+    g = Graph()
+    g.add_vertex(0)
+    for i in range(spine - 1):
+        g.add_edge(i, i + 1, _weight(rng, weight_range))
+    next_id = spine
+    for i in range(spine):
+        for _ in range(legs_per_vertex):
+            g.add_edge(i, next_id, _weight(rng, weight_range))
+            next_id += 1
+    return g
+
+
+def spider_tree(legs: int, leg_length: int, weight_range=None, seed: SeedLike = None) -> Graph:
+    """*legs* disjoint paths of *leg_length* edges glued at a hub vertex 0.
+
+    Spiders have a unique centroid (the hub) and unbounded doubling
+    dimension as ``legs`` grows, so they separate "path separable" from
+    "doubling" behaviour in tests.
+    """
+    if legs < 1 or leg_length < 1:
+        raise GraphError("spider_tree requires legs >= 1 and leg_length >= 1")
+    rng = ensure_rng(seed)
+    g = Graph()
+    g.add_vertex(0)
+    next_id = 1
+    for _ in range(legs):
+        prev = 0
+        for _ in range(leg_length):
+            g.add_edge(prev, next_id, _weight(rng, weight_range))
+            prev = next_id
+            next_id += 1
+    return g

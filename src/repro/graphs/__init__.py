@@ -1,0 +1,69 @@
+"""Weighted undirected graph substrate.
+
+This subpackage provides the graph data structure and the shortest-path
+machinery every higher layer (separators, oracles, routing, small
+worlds) builds on.  It is self-contained: ``networkx`` is only touched
+by the optional converters in :mod:`repro.graphs.converters`.
+"""
+
+from repro.graphs.components import (
+    connected_components,
+    is_connected,
+    largest_component,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.metrics import (
+    aspect_ratio,
+    diameter,
+    double_sweep_diameter,
+    eccentricities,
+    radius_and_center,
+)
+from repro.graphs.ops import (
+    disjoint_union,
+    induced_subgraph,
+    remove_vertices,
+)
+from repro.graphs.shortest_paths import (
+    ShortestPathTree,
+    bidirectional_dijkstra,
+    dijkstra,
+    dijkstra_tree,
+    multi_source_dijkstra,
+    path_cost,
+    shortest_path,
+)
+from repro.graphs.traversal import bfs_distances, bfs_order, dfs_order
+from repro.graphs.validation import (
+    require_connected,
+    require_positive_weights,
+    validate_graph,
+)
+
+__all__ = [
+    "Graph",
+    "ShortestPathTree",
+    "aspect_ratio",
+    "bfs_distances",
+    "bfs_order",
+    "bidirectional_dijkstra",
+    "connected_components",
+    "dfs_order",
+    "diameter",
+    "double_sweep_diameter",
+    "dijkstra",
+    "dijkstra_tree",
+    "disjoint_union",
+    "eccentricities",
+    "induced_subgraph",
+    "is_connected",
+    "largest_component",
+    "multi_source_dijkstra",
+    "path_cost",
+    "radius_and_center",
+    "remove_vertices",
+    "require_connected",
+    "require_positive_weights",
+    "shortest_path",
+    "validate_graph",
+]

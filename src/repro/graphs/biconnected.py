@@ -1,0 +1,98 @@
+"""Biconnected components and articulation points (Tarjan, iterative).
+
+Substrate for the self-contained planar embedder: planarity is decided
+block by block (a graph is planar iff each biconnected component is),
+and block embeddings merge freely at articulation vertices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, List, Set, Tuple
+
+from repro.graphs.graph import Graph
+
+Vertex = Hashable
+Edge = FrozenSet[Vertex]
+
+
+def biconnected_components(graph: Graph) -> Tuple[List[Set[Edge]], Set[Vertex]]:
+    """Edge partition into biconnected components, plus articulation points.
+
+    Returns ``(blocks, articulation_points)`` where each block is a set
+    of undirected edges (frozensets).  Bridges form their own
+    single-edge blocks; isolated vertices belong to no block.
+    """
+    index: Dict[Vertex, int] = {}
+    low: Dict[Vertex, int] = {}
+    blocks: List[Set[Edge]] = []
+    articulation: Set[Vertex] = set()
+    edge_stack: List[Edge] = []
+    counter = 0
+
+    for root in graph.vertices():
+        if root in index:
+            continue
+        # Iterative DFS: stack holds (vertex, parent, neighbor iterator).
+        index[root] = low[root] = counter
+        counter += 1
+        root_children = 0
+        stack = [(root, None, iter(sorted(graph.neighbors(root), key=repr)))]
+        while stack:
+            v, parent, neighbors = stack[-1]
+            advanced = False
+            for w in neighbors:
+                if w == parent:
+                    continue
+                edge = frozenset((v, w))
+                if w not in index:
+                    if v == root:
+                        root_children += 1
+                    edge_stack.append(edge)
+                    index[w] = low[w] = counter
+                    counter += 1
+                    stack.append(
+                        (w, v, iter(sorted(graph.neighbors(w), key=repr)))
+                    )
+                    advanced = True
+                    break
+                if index[w] < index[v]:  # back edge
+                    edge_stack.append(edge)
+                    if index[w] < low[v]:
+                        low[v] = index[w]
+            if advanced:
+                continue
+            stack.pop()
+            if parent is not None:
+                if low[v] < low[parent]:
+                    low[parent] = low[v]
+                if low[v] >= index[parent]:
+                    # parent closes a block; pop its edges.  (The root
+                    # is handled after the DFS: it is an articulation
+                    # point iff it has more than one DFS child.)
+                    if parent != root:
+                        articulation.add(parent)
+                    block: Set[Edge] = set()
+                    boundary = frozenset((parent, v))
+                    while edge_stack:
+                        edge = edge_stack.pop()
+                        block.add(edge)
+                        if edge == boundary:
+                            break
+                    if block:
+                        blocks.append(block)
+        if root_children > 1:
+            articulation.add(root)
+    return blocks, articulation
+
+
+def is_biconnected(graph: Graph) -> bool:
+    """Whether the graph is connected with no articulation point
+    (vacuously true below 3 vertices if connected)."""
+    from repro.graphs.components import is_connected
+
+    if graph.num_vertices < 3:
+        return is_connected(graph)
+    if not is_connected(graph):
+        return False
+    _, articulation = biconnected_components(graph)
+    return not articulation

@@ -1,0 +1,62 @@
+"""Connected-component computations.
+
+Separator engines call :func:`connected_components` on every recursion
+level, so the implementation is an iterative flood fill with no
+recursion-depth hazards.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import AbstractSet, Hashable, Iterable, List, Optional, Set
+
+from repro.graphs.graph import Graph
+
+Vertex = Hashable
+
+
+def connected_components(
+    graph: Graph,
+    within: Optional[Iterable[Vertex]] = None,
+) -> List[Set[Vertex]]:
+    """Connected components, optionally of the subgraph induced by *within*.
+
+    Components are returned largest-first so callers that only care
+    about the biggest one can take index 0.
+    """
+    if within is None:
+        universe: Set[Vertex] = set(graph.vertices())
+    else:
+        universe = {v for v in within if v in graph}
+    components: List[Set[Vertex]] = []
+    unvisited = set(universe)
+    while unvisited:
+        start = next(iter(unvisited))
+        comp = {start}
+        unvisited.discard(start)
+        queue = deque([start])
+        while queue:
+            u = queue.popleft()
+            for v in graph.neighbors(u):
+                if v in unvisited:
+                    unvisited.discard(v)
+                    comp.add(v)
+                    queue.append(v)
+        components.append(comp)
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def largest_component(
+    graph: Graph,
+    within: Optional[Iterable[Vertex]] = None,
+) -> Set[Vertex]:
+    """The largest connected component (empty set for an empty graph)."""
+    comps = connected_components(graph, within=within)
+    return comps[0] if comps else set()
+
+
+def is_connected(graph: Graph, within: Optional[AbstractSet[Vertex]] = None) -> bool:
+    """Whether the (sub)graph is connected; an empty graph counts as connected."""
+    comps = connected_components(graph, within=within)
+    return len(comps) <= 1

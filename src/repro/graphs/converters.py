@@ -1,0 +1,40 @@
+"""Optional converters to and from ``networkx``.
+
+``networkx`` is only needed by the planar-embedding machinery and by
+users who want to interoperate; everything else in the package works
+without it, so the import is deferred.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import Graph
+from repro.util.errors import GraphError
+
+
+def _require_networkx():
+    try:
+        import networkx
+    except ImportError as exc:  # pragma: no cover - depends on environment
+        raise GraphError(
+            "this operation requires the optional dependency networkx"
+        ) from exc
+    return networkx
+
+
+def to_networkx(graph: Graph):
+    """Convert to an ``networkx.Graph`` with ``weight`` edge attributes."""
+    nx = _require_networkx()
+    out = nx.Graph()
+    out.add_nodes_from(graph.vertices())
+    out.add_weighted_edges_from(graph.edges())
+    return out
+
+
+def from_networkx(nx_graph, default_weight: float = 1.0) -> Graph:
+    """Convert from ``networkx``; missing ``weight`` attributes get *default_weight*."""
+    graph = Graph()
+    for v in nx_graph.nodes():
+        graph.add_vertex(v)
+    for u, v, data in nx_graph.edges(data=True):
+        graph.add_edge(u, v, data.get("weight", default_weight))
+    return graph

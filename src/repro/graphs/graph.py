@@ -1,0 +1,173 @@
+"""The weighted undirected graph type used throughout the package.
+
+Design notes
+------------
+* Vertices are arbitrary hashable objects (ints, strings, tuples).
+* Edges are undirected with strictly positive float weights; parallel
+  edges are not supported (re-adding an edge overwrites its weight),
+  and self-loops are rejected because no shortest path uses them.
+* Storage is a dict-of-dicts adjacency map, the structure with the best
+  constant factors for the Dijkstra-heavy workloads in this package.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, Optional, Tuple
+
+from repro.util.errors import GraphError
+
+Vertex = Hashable
+Edge = Tuple[Vertex, Vertex]
+WeightedEdge = Tuple[Vertex, Vertex, float]
+
+
+class Graph:
+    """An undirected graph with positive edge weights.
+
+    >>> g = Graph()
+    >>> g.add_edge(0, 1, 2.5)
+    >>> g.add_edge(1, 2)
+    >>> sorted(g.neighbors(1))
+    [0, 2]
+    >>> g.weight(0, 1)
+    2.5
+    """
+
+    __slots__ = ("_adj",)
+
+    def __init__(self, edges: Optional[Iterable] = None) -> None:
+        """Create a graph, optionally from ``(u, v)`` or ``(u, v, w)`` tuples."""
+        self._adj: Dict[Vertex, Dict[Vertex, float]] = {}
+        if edges is not None:
+            for edge in edges:
+                if len(edge) == 2:
+                    u, v = edge
+                    self.add_edge(u, v)
+                else:
+                    u, v, w = edge
+                    self.add_edge(u, v, w)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_vertex(self, u: Vertex) -> None:
+        """Add an isolated vertex (a no-op if already present)."""
+        if u not in self._adj:
+            self._adj[u] = {}
+
+    def add_edge(self, u: Vertex, v: Vertex, weight: float = 1.0) -> None:
+        """Add (or re-weight) the undirected edge ``{u, v}``."""
+        if u == v:
+            raise GraphError(f"self-loop on vertex {u!r} is not allowed")
+        if not weight > 0:
+            raise GraphError(f"edge weight must be positive, got {weight!r}")
+        self.add_vertex(u)
+        self.add_vertex(v)
+        w = float(weight)
+        self._adj[u][v] = w
+        self._adj[v][u] = w
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Remove the edge ``{u, v}``; raises if absent."""
+        try:
+            del self._adj[u][v]
+            del self._adj[v][u]
+        except KeyError:
+            raise GraphError(f"edge ({u!r}, {v!r}) not in graph") from None
+
+    def remove_vertex(self, u: Vertex) -> None:
+        """Remove *u* and all incident edges; raises if absent."""
+        try:
+            neighbors = self._adj.pop(u)
+        except KeyError:
+            raise GraphError(f"vertex {u!r} not in graph") from None
+        for v in neighbors:
+            del self._adj[v][u]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, u: Vertex) -> bool:
+        return u in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._adj)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def vertices(self) -> Iterator[Vertex]:
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[WeightedEdge]:
+        """Yield each undirected edge exactly once as ``(u, v, weight)``."""
+        seen = set()
+        for u, nbrs in self._adj.items():
+            for v, w in nbrs.items():
+                if v not in seen:
+                    yield (u, v, w)
+            seen.add(u)
+
+    def neighbors(self, u: Vertex) -> Iterator[Vertex]:
+        try:
+            return iter(self._adj[u])
+        except KeyError:
+            raise GraphError(f"vertex {u!r} not in graph") from None
+
+    def neighbor_items(self, u: Vertex):
+        """Iterate ``(neighbor, weight)`` pairs of *u* (hot path for Dijkstra)."""
+        try:
+            return self._adj[u].items()
+        except KeyError:
+            raise GraphError(f"vertex {u!r} not in graph") from None
+
+    def degree(self, u: Vertex) -> int:
+        try:
+            return len(self._adj[u])
+        except KeyError:
+            raise GraphError(f"vertex {u!r} not in graph") from None
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        return u in self._adj and v in self._adj[u]
+
+    def weight(self, u: Vertex, v: Vertex) -> float:
+        try:
+            return self._adj[u][v]
+        except KeyError:
+            raise GraphError(f"edge ({u!r}, {v!r}) not in graph") from None
+
+    def total_weight(self) -> float:
+        """Sum of all edge weights."""
+        return sum(w for _, _, w in self.edges())
+
+    def max_weight(self) -> float:
+        """Largest edge weight (0.0 for an edgeless graph)."""
+        return max((w for _, _, w in self.edges()), default=0.0)
+
+    # ------------------------------------------------------------------
+    # Copies
+    # ------------------------------------------------------------------
+    def copy(self) -> "Graph":
+        """Deep copy of the adjacency structure (vertices are shared)."""
+        g = Graph()
+        g._adj = {u: dict(nbrs) for u, nbrs in self._adj.items()}
+        return g
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.num_vertices}, m={self.num_edges})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._adj == other._adj
+
+    def __hash__(self):  # graphs are mutable
+        raise TypeError("Graph objects are unhashable")

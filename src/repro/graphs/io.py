@@ -1,0 +1,58 @@
+"""Plain-text edge-list serialization.
+
+Format: one edge per line, ``u v weight`` separated by whitespace;
+lines starting with ``#`` are comments.  Vertex tokens are kept as
+strings unless they parse as ints.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.graphs.graph import Graph
+from repro.util.errors import GraphError
+
+
+def _parse_vertex(token: str):
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def write_edge_list(graph: Graph, path: Union[str, Path]) -> None:
+    """Write *graph* as a weighted edge list (isolated vertices as ``v`` lines)."""
+    path = Path(path)
+    with path.open("w") as handle:
+        handle.write(f"# repro graph n={graph.num_vertices} m={graph.num_edges}\n")
+        for v in graph.vertices():
+            if graph.degree(v) == 0:
+                handle.write(f"{v}\n")
+        for u, v, w in graph.edges():
+            handle.write(f"{u} {v} {w}\n")
+
+
+def read_edge_list(path: Union[str, Path]) -> Graph:
+    """Read a graph written by :func:`write_edge_list`."""
+    path = Path(path)
+    graph = Graph()
+    with path.open() as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) == 1:
+                graph.add_vertex(_parse_vertex(parts[0]))
+            elif len(parts) == 2:
+                graph.add_edge(_parse_vertex(parts[0]), _parse_vertex(parts[1]))
+            elif len(parts) == 3:
+                graph.add_edge(
+                    _parse_vertex(parts[0]),
+                    _parse_vertex(parts[1]),
+                    float(parts[2]),
+                )
+            else:
+                raise GraphError(f"{path}:{lineno}: malformed edge line {line!r}")
+    return graph

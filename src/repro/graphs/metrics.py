@@ -1,0 +1,86 @@
+"""Metric invariants: diameter, radius, center, aspect ratio.
+
+The aspect ratio Delta = max d(u,v) / min d(u,v) parametrizes the
+paper's small-world bound (Theorem 3) and the landmark rule's offset
+count, so both an exact computation (n Dijkstras, for
+experiments) and the cheap double-sweep approximation (for
+construction-time use) live here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.graphs.graph import Graph
+from repro.graphs.shortest_paths import dijkstra
+from repro.util.errors import GraphError, NotConnectedError
+
+Vertex = Hashable
+INF = float("inf")
+
+
+def eccentricities(graph: Graph) -> Dict[Vertex, float]:
+    """Exact eccentricity of every vertex (n Dijkstra runs).
+
+    Raises :class:`NotConnectedError` if some vertex cannot see all
+    others.
+    """
+    out: Dict[Vertex, float] = {}
+    n = graph.num_vertices
+    for v in graph.vertices():
+        dist, _ = dijkstra(graph, v)
+        if len(dist) != n:
+            raise NotConnectedError("eccentricities need a connected graph")
+        out[v] = max(dist.values())
+    return out
+
+
+def diameter(graph: Graph) -> float:
+    """Exact weighted diameter (0.0 for graphs with < 2 vertices)."""
+    if graph.num_vertices < 2:
+        return 0.0
+    return max(eccentricities(graph).values())
+
+
+def radius_and_center(graph: Graph) -> Tuple[float, Vertex]:
+    """Exact radius and one center vertex (minimum eccentricity)."""
+    if graph.num_vertices == 0:
+        raise GraphError("radius of an empty graph is undefined")
+    eccs = eccentricities(graph)
+    center = min(eccs, key=lambda v: (eccs[v], repr(v)))
+    return eccs[center], center
+
+
+def double_sweep_diameter(graph: Graph, start: Optional[Vertex] = None) -> float:
+    """Double-sweep lower bound on the diameter (2 Dijkstras).
+
+    Exact on trees; within a factor 2 in general (usually much closer).
+    """
+    if graph.num_vertices < 2:
+        return 0.0
+    if start is None:
+        start = min(graph.vertices(), key=repr)
+    d0, _ = dijkstra(graph, start)
+    a = max(d0, key=lambda v: (d0[v], repr(v)))
+    d1, _ = dijkstra(graph, a)
+    return max(d1.values())
+
+
+def aspect_ratio(graph: Graph, exact: bool = False) -> float:
+    """Delta = diameter / min pairwise distance.
+
+    The minimum pairwise distance equals the minimum edge weight
+    (every path costs at least one edge).  With ``exact=False`` the
+    diameter comes from a double sweep (a lower bound, so the returned
+    Delta is a lower bound too — the conservative direction for
+    sizing landmark sets).
+    """
+    if graph.num_vertices < 2:
+        return 1.0
+    min_w = min((w for _, _, w in graph.edges()), default=0.0)
+    if min_w <= 0:
+        raise GraphError("aspect ratio needs at least one edge")
+    diam = diameter(graph) if exact else double_sweep_diameter(graph)
+    if diam <= 0:
+        return 1.0
+    return diam / min_w

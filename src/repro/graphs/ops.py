@@ -1,0 +1,63 @@
+"""Graph surgery: induced subgraphs, vertex removal, unions."""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable
+
+from repro.graphs.graph import Graph
+
+Vertex = Hashable
+
+
+def induced_subgraph(graph: Graph, vertices: Iterable[Vertex]) -> Graph:
+    """New graph on *vertices* keeping exactly the edges inside the set."""
+    keep = {v for v in vertices if v in graph}
+    sub = Graph()
+    for v in keep:
+        sub.add_vertex(v)
+    for u in keep:
+        for v, w in graph.neighbor_items(u):
+            if v in keep and not sub.has_edge(u, v):
+                sub.add_edge(u, v, w)
+    return sub
+
+
+def remove_vertices(graph: Graph, vertices: Iterable[Vertex]) -> Graph:
+    """New graph with *vertices* (and incident edges) removed."""
+    drop = set(vertices)
+    return induced_subgraph(graph, (v for v in graph.vertices() if v not in drop))
+
+
+def disjoint_union(a: Graph, b: Graph) -> Graph:
+    """Union of two graphs with disjoint vertex sets.
+
+    Vertices shared by both inputs keep their edges from *both* graphs
+    (so this doubles as a plain graph union); conflicting weights take
+    the value from *b*.
+    """
+    out = a.copy()
+    for v in b.vertices():
+        out.add_vertex(v)
+    for u, v, w in b.edges():
+        out.add_edge(u, v, w)
+    return out
+
+
+def relabel(graph: Graph, mapping: Callable[[Vertex], Vertex]) -> Graph:
+    """New graph with every vertex *v* renamed to ``mapping(v)``."""
+    out = Graph()
+    for v in graph.vertices():
+        out.add_vertex(mapping(v))
+    for u, v, w in graph.edges():
+        out.add_edge(mapping(u), mapping(v), w)
+    return out
+
+
+def reweighted(graph: Graph, weight_fn: Callable[[Vertex, Vertex, float], float]) -> Graph:
+    """New graph with each edge weight replaced by ``weight_fn(u, v, w)``."""
+    out = Graph()
+    for v in graph.vertices():
+        out.add_vertex(v)
+    for u, v, w in graph.edges():
+        out.add_edge(u, v, weight_fn(u, v, w))
+    return out

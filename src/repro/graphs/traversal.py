@@ -1,0 +1,81 @@
+"""Unweighted traversals: BFS and DFS orders and hop distances."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import AbstractSet, Dict, Hashable, List, Optional
+
+from repro.graphs.graph import Graph
+from repro.util.errors import GraphError
+
+Vertex = Hashable
+
+
+def bfs_order(
+    graph: Graph,
+    source: Vertex,
+    allowed: Optional[AbstractSet[Vertex]] = None,
+) -> List[Vertex]:
+    """Vertices reachable from *source* in BFS discovery order."""
+    if source not in graph:
+        raise GraphError(f"source {source!r} not in graph")
+    seen = {source}
+    order = [source]
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            if v in seen:
+                continue
+            if allowed is not None and v not in allowed:
+                continue
+            seen.add(v)
+            order.append(v)
+            queue.append(v)
+    return order
+
+
+def bfs_distances(
+    graph: Graph,
+    source: Vertex,
+    allowed: Optional[AbstractSet[Vertex]] = None,
+) -> Dict[Vertex, int]:
+    """Hop counts (ignoring weights) from *source* to each reachable vertex."""
+    if source not in graph:
+        raise GraphError(f"source {source!r} not in graph")
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            if v in dist:
+                continue
+            if allowed is not None and v not in allowed:
+                continue
+            dist[v] = dist[u] + 1
+            queue.append(v)
+    return dist
+
+
+def dfs_order(
+    graph: Graph,
+    source: Vertex,
+    allowed: Optional[AbstractSet[Vertex]] = None,
+) -> List[Vertex]:
+    """Vertices reachable from *source* in iterative DFS preorder."""
+    if source not in graph:
+        raise GraphError(f"source {source!r} not in graph")
+    seen = set()
+    order: List[Vertex] = []
+    stack = [source]
+    while stack:
+        u = stack.pop()
+        if u in seen:
+            continue
+        if allowed is not None and u not in allowed and u != source:
+            continue
+        seen.add(u)
+        order.append(u)
+        # Reversed so the first neighbor is visited first (stable order).
+        stack.extend(reversed(list(graph.neighbors(u))))
+    return order

@@ -1,0 +1,39 @@
+"""Precondition checks shared by the algorithm layers."""
+
+from __future__ import annotations
+
+from repro.graphs.components import is_connected
+from repro.graphs.graph import Graph
+from repro.util.errors import GraphError, NotConnectedError
+
+
+def require_positive_weights(graph: Graph) -> None:
+    """Raise :class:`GraphError` if any edge weight is non-positive.
+
+    ``Graph.add_edge`` already enforces this, so the check only fires
+    on graphs built by bypassing the public API.
+    """
+    for u, v, w in graph.edges():
+        if not w > 0:
+            raise GraphError(f"edge ({u!r}, {v!r}) has non-positive weight {w!r}")
+
+
+def require_connected(graph: Graph) -> None:
+    """Raise :class:`NotConnectedError` unless *graph* is connected."""
+    if graph.num_vertices and not is_connected(graph):
+        raise NotConnectedError(
+            f"graph with {graph.num_vertices} vertices is not connected"
+        )
+
+
+def require_nonempty(graph: Graph) -> None:
+    """Raise :class:`GraphError` for graphs with no vertices."""
+    if graph.num_vertices == 0:
+        raise GraphError("operation requires a non-empty graph")
+
+
+def validate_graph(graph: Graph, connected: bool = False) -> None:
+    """Run the standard battery of structural checks."""
+    require_positive_weights(graph)
+    if connected:
+        require_connected(graph)

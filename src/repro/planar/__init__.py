@@ -1,0 +1,40 @@
+"""Planar-graph substrate: embeddings, faces, and cycle separators.
+
+Planar graphs are the class the paper generalizes *from*: Thorup [44]
+showed they are strongly 3-path separable via fundamental-cycle
+separators on shortest-path trees (the Lipton-Tarjan [33] argument).
+This subpackage provides the embedding machinery — combinatorial
+rotation systems, face traversal, Euler verification, star
+triangulation — and :class:`PlanarCycleEngine`, a separator engine
+that picks the fundamental cycle *deterministically* through the dual
+tree (interior subtree weights) instead of sampling non-tree edges the
+way :class:`repro.core.engines.FundamentalCycleEngine` does.
+
+Planarity testing and embedding are self-contained: the default
+embedder is our Demoucron-Malgrange-Pertuiset implementation
+(:mod:`repro.planar.dmp`), cross-validated against networkx in the
+tests (networkx remains available via ``embed_planar(method=
+'networkx')`` but is no longer required).  Every embedding is
+re-verified via Euler's formula.
+"""
+
+from repro.planar.dmp import dmp_embed
+from repro.planar.lipton_tarjan import PlanarCycleEngine, balanced_fundamental_cycle
+from repro.planar.rotation import (
+    NotPlanarError,
+    RotationSystem,
+    embed_planar,
+    is_planar,
+)
+from repro.planar.triangulate import star_triangulate
+
+__all__ = [
+    "NotPlanarError",
+    "PlanarCycleEngine",
+    "RotationSystem",
+    "balanced_fundamental_cycle",
+    "dmp_embed",
+    "embed_planar",
+    "is_planar",
+    "star_triangulate",
+]

@@ -1,0 +1,152 @@
+"""Combinatorial embeddings: rotation systems and face traversal.
+
+A *rotation system* fixes, for every vertex, the cyclic order of its
+incident edges; for planar graphs this determines the embedding's
+faces.  Faces are traced with the standard next-half-edge rule: after
+arriving at v along (u, v), leave along (v, w) where w follows u in
+v's cyclic order.  :meth:`RotationSystem.verify_euler` checks
+``V - E + F = 1 + C`` (C connected components), which certifies that a
+rotation system describes a genus-0 (planar) embedding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+from repro.graphs.components import connected_components
+from repro.graphs.graph import Graph
+from repro.util.errors import GraphError
+
+Vertex = Hashable
+HalfEdge = Tuple[Vertex, Vertex]
+Face = Tuple[HalfEdge, ...]
+
+
+class NotPlanarError(GraphError):
+    """The graph admits no planar embedding."""
+
+
+class RotationSystem:
+    """A cyclic neighbor order per vertex, with face traversal."""
+
+    def __init__(self, order: Dict[Vertex, List[Vertex]]) -> None:
+        self.order = order
+        self._position: Dict[HalfEdge, int] = {}
+        for v, neighbors in order.items():
+            for i, u in enumerate(neighbors):
+                self._position[(v, u)] = i
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.order)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self.order.values()) // 2
+
+    def next_half_edge(self, half_edge: HalfEdge) -> HalfEdge:
+        """The half-edge following (u, v) on the same face boundary."""
+        u, v = half_edge
+        try:
+            neighbors = self.order[v]
+            idx = self._position[(v, u)]
+        except KeyError:
+            raise GraphError(f"({u!r}, {v!r}) is not a half-edge") from None
+        w = neighbors[(idx + 1) % len(neighbors)]
+        return (v, w)
+
+    def faces(self) -> List[Face]:
+        """All faces, each as a tuple of directed half-edges.
+
+        Every half-edge belongs to exactly one face; a bridge's two
+        directions appear on the same face.
+        """
+        remaining = {
+            (v, u) for v, nbrs in self.order.items() for u in nbrs
+        }
+        out: List[Face] = []
+        while remaining:
+            start = next(iter(remaining))
+            face: List[HalfEdge] = []
+            current = start
+            while True:
+                face.append(current)
+                remaining.discard(current)
+                current = self.next_half_edge(current)
+                if current == start:
+                    break
+            out.append(tuple(face))
+        return out
+
+    def verify_euler(self, graph: Graph) -> None:
+        """Check the Euler relation; raises :class:`NotPlanarError` if
+        the rotation system is not a plane embedding of *graph*.
+
+        ``faces()`` counts each edge-bearing component's faces
+        including its own outer boundary, so for a graph with C
+        components of which E_c have edges the genus-0 requirement is
+        ``V - E + F_computed = C + max(E_c, 0)`` with edgeless graphs
+        satisfying ``V - E + 0 = C`` trivially.
+        """
+        if set(self.order) != set(graph.vertices()):
+            raise GraphError("rotation system covers a different vertex set")
+        for v in graph.vertices():
+            if sorted(map(repr, self.order[v])) != sorted(
+                map(repr, graph.neighbors(v))
+            ):
+                raise GraphError(f"rotation at {v!r} disagrees with the graph")
+        components = connected_components(graph)
+        edge_components = sum(1 for c in components if len(c) > 1)
+        expected = len(components) + edge_components
+        euler = graph.num_vertices - graph.num_edges + len(self.faces())
+        if euler != expected:
+            raise NotPlanarError(
+                f"Euler characteristic {euler} != {expected}: "
+                f"not a plane embedding"
+            )
+
+
+def embed_planar(graph: Graph, method: str = "dmp") -> RotationSystem:
+    """Compute a planar rotation system of *graph*.
+
+    ``method="dmp"`` (default) uses the package's own
+    Demoucron-Malgrange-Pertuiset embedder
+    (:mod:`repro.planar.dmp` — no external dependencies);
+    ``method="networkx"`` delegates to networkx's planarity test,
+    kept for cross-validation.  Either way the result is re-verified
+    with Euler's formula.  Raises :class:`NotPlanarError` for
+    non-planar graphs.
+    """
+    if method == "dmp":
+        from repro.planar.dmp import dmp_embed
+
+        return dmp_embed(graph)
+    if method != "networkx":
+        raise GraphError(f"unknown embedding method {method!r}")
+    try:
+        import networkx
+    except ImportError as exc:  # pragma: no cover - environment-dependent
+        raise GraphError(
+            "embed_planar(method='networkx') requires networkx"
+        ) from exc
+
+    from repro.graphs.converters import to_networkx
+
+    ok, embedding = networkx.check_planarity(to_networkx(graph))
+    if not ok:
+        raise NotPlanarError(f"{graph!r} is not planar")
+    order = {
+        v: list(embedding.neighbors_cw_order(v)) for v in graph.vertices()
+    }
+    system = RotationSystem(order)
+    system.verify_euler(graph)
+    return system
+
+
+def is_planar(graph: Graph, method: str = "dmp") -> bool:
+    """Whether *graph* is planar."""
+    try:
+        embed_planar(graph, method=method)
+        return True
+    except NotPlanarError:
+        return False

@@ -1,0 +1,74 @@
+"""Star triangulation of embedded planar graphs.
+
+The Lipton-Tarjan cycle argument needs triangular faces.  Chord-based
+triangulation of an arbitrary face can collide with existing edges, so
+we use the always-safe *star* form: each face with more than three
+sides receives a fresh virtual vertex connected to every face vertex.
+Virtual vertices are returned so the separator machinery can keep
+fundamental cycles inside the real graph.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Set, Tuple
+
+from repro.planar.rotation import RotationSystem
+from repro.graphs.graph import Graph
+
+Vertex = Hashable
+Triangle = Tuple[Vertex, Vertex, Vertex]
+
+
+class StarVertex:
+    """A virtual triangulation vertex (one per big face).
+
+    A dedicated class (rather than, say, a string) so virtual vertices
+    can never collide with caller vertex names.
+    """
+
+    __slots__ = ("face_index",)
+
+    def __init__(self, face_index: int) -> None:
+        self.face_index = face_index
+
+    def __repr__(self) -> str:
+        return f"StarVertex({self.face_index})"
+
+
+def star_triangulate(
+    graph: Graph,
+    system: RotationSystem,
+) -> Tuple[Graph, List[Triangle], Set[Vertex]]:
+    """Triangulate every face of the embedding by star insertion.
+
+    Returns ``(triangulated_graph, triangles, virtual_vertices)``:
+
+    * the triangulated graph contains *graph* plus one
+      :class:`StarVertex` per face of length > 3, joined to each of
+      the face's vertices (weight 1 — weights of virtual edges are
+      irrelevant, they never enter separator paths);
+    * ``triangles`` lists every triangular face of the result (as
+      vertex triples), which is exactly what the dual-tree machinery
+      consumes;
+    * ``virtual_vertices`` identifies the inserted stars.
+
+    Faces of length 1-2 (bridges, isolated edges) also get a star so
+    the triangle list covers the whole surface.
+    """
+    triangulated = graph.copy()
+    triangles: List[Triangle] = []
+    virtual: Set[Vertex] = set()
+    for face_index, face in enumerate(system.faces()):
+        corners = [u for u, _ in face]
+        if len(face) == 3 and len(set(corners)) == 3:
+            triangles.append((corners[0], corners[1], corners[2]))
+            continue
+        star = StarVertex(face_index)
+        virtual.add(star)
+        for u in set(corners):
+            triangulated.add_edge(star, u, 1.0)
+        for i, u in enumerate(corners):
+            v = corners[(i + 1) % len(corners)]
+            if u != v:
+                triangles.append((u, v, star))
+    return triangulated, triangles, virtual

@@ -1,0 +1,36 @@
+"""Tree decompositions: the substrate behind bounded-treewidth separators.
+
+The paper uses tree decompositions twice: Lemma 1 (every tree
+decomposition has a *center bag* whose removal halves the graph — the
+engine behind Theorem 7's strong (r+1)-path separators) and Lemma 5
+(clique-weights transferring balance from a torso to the whole graph).
+Both are implemented here, together with the standard elimination-order
+heuristics for finding low-width decompositions of arbitrary graphs.
+"""
+
+from repro.treedecomp.center import center_bag
+from repro.treedecomp.cliqueweights import CliqueWeight, center_clique_weight
+from repro.treedecomp.decomposition import TreeDecomposition
+from repro.treedecomp.exact import exact_treewidth
+from repro.treedecomp.heuristics import (
+    decomposition_from_bags,
+    decomposition_from_elimination,
+    mcs_order,
+    min_degree_decomposition,
+    min_degree_order,
+    min_fill_order,
+)
+
+__all__ = [
+    "CliqueWeight",
+    "TreeDecomposition",
+    "center_bag",
+    "center_clique_weight",
+    "decomposition_from_bags",
+    "exact_treewidth",
+    "decomposition_from_elimination",
+    "mcs_order",
+    "min_degree_decomposition",
+    "min_degree_order",
+    "min_fill_order",
+]

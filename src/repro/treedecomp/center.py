@@ -1,0 +1,72 @@
+"""Lemma 1: every tree decomposition has a *center bag*.
+
+A center bag C satisfies: every connected component of ``G \\ C`` has
+at most ``n/2`` vertices.  This is the engine behind Theorem 7 (strong
+(r+1)-path separators for treewidth-r graphs): each vertex of the
+center bag is a trivial minimum-cost path, so C itself is a strong
+|C|-path separator.
+
+The implementation is the classic linear-time centroid walk: assign
+each graph vertex to its topmost bag, compute subtree weights, and
+descend from the root into any child subtree holding more than half
+the vertices; the bag where the walk stops is a center.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional
+
+from repro.graphs.graph import Graph
+from repro.treedecomp.decomposition import TreeDecomposition
+from repro.util.errors import InvalidDecompositionError
+
+Vertex = Hashable
+
+
+def center_bag(graph: Graph, td: TreeDecomposition, root: int = 0) -> int:
+    """Index of a center bag of *td* for *graph* (Lemma 1).
+
+    Requires *td* to be a valid decomposition of *graph*; with an
+    invalid one the balance guarantee is meaningless and this function
+    may return a non-center bag (``validate`` first when unsure).
+    """
+    n = graph.num_vertices
+    if td.num_bags == 0:
+        raise InvalidDecompositionError("cannot find a center of an empty decomposition")
+    parent, order = td.rooted(root)
+
+    # top(v): the bag containing v that is closest to the root.  BFS
+    # order guarantees we see each vertex's topmost bag first.
+    assigned_weight = [0] * td.num_bags
+    seen_vertices: Dict[Vertex, bool] = {}
+    for b in order:
+        for v in td.bags[b]:
+            if v not in seen_vertices:
+                seen_vertices[v] = True
+                assigned_weight[b] += 1
+    if len(seen_vertices) != n:
+        raise InvalidDecompositionError(
+            "decomposition does not cover every graph vertex"
+        )
+
+    subtree = list(assigned_weight)
+    for b in reversed(order):
+        p = parent[b]
+        if p is not None:
+            subtree[p] += subtree[b]
+
+    children: List[List[int]] = [[] for _ in range(td.num_bags)]
+    for b, p in enumerate(parent):
+        if p is not None:
+            children[p].append(b)
+
+    current = root
+    while True:
+        heavy: Optional[int] = None
+        for c in children[current]:
+            if subtree[c] > n / 2:
+                heavy = c
+                break
+        if heavy is None:
+            return current
+        current = heavy

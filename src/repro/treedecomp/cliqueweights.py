@@ -1,0 +1,85 @@
+"""Clique-weights (Lemma 5): transferring balance from a torso to the graph.
+
+A clique-weight is a set of cliques K with weights w(K); the weight of
+a subgraph A is the sum over cliques *touching* A.  Lemma 5 builds a
+clique-weight on the torso of a center bag C such that any half-size
+separator of the torso (w.r.t. this weight) is automatically a
+half-size separator of the whole graph: every component of ``G \\ C``
+contributes its size as the weight of the clique it attaches to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import AbstractSet, FrozenSet, Hashable, List, Set
+
+from repro.graphs.components import connected_components
+from repro.graphs.graph import Graph
+
+Vertex = Hashable
+
+
+@dataclass
+class CliqueWeight:
+    """A weighted family of cliques over some vertex set.
+
+    ``f(A) = sum of w(K) over cliques K intersecting A`` — the paper's
+    weight function.  Note f is *not* additive over disjoint subsets
+    (a clique may touch both); it is sub-additive, which is all the
+    separator argument needs.
+    """
+
+    cliques: List[FrozenSet[Vertex]] = field(default_factory=list)
+    weights: List[float] = field(default_factory=list)
+
+    def add(self, clique: AbstractSet[Vertex], weight: float) -> None:
+        if weight < 0:
+            raise ValueError("clique weights must be non-negative")
+        self.cliques.append(frozenset(clique))
+        self.weights.append(float(weight))
+
+    def total(self) -> float:
+        """f of the full vertex set: the sum of all clique weights."""
+        return sum(self.weights)
+
+    def weight_of(self, subset: AbstractSet[Vertex]) -> float:
+        """f(subset): total weight of cliques intersecting *subset*."""
+        return sum(
+            w for clique, w in zip(self.cliques, self.weights) if clique & subset
+        )
+
+    def is_half_size_separator(self, graph: Graph, separator: AbstractSet[Vertex]) -> bool:
+        """Whether removing *separator* leaves components of weight <= total/2."""
+        half = self.total() / 2
+        remaining = [v for v in graph.vertices() if v not in separator]
+        for comp in connected_components(graph, within=remaining):
+            if self.weight_of(comp) > half:
+                return False
+        return True
+
+
+def center_clique_weight(graph: Graph, center: AbstractSet[Vertex]) -> CliqueWeight:
+    """Lemma 5's clique-weight for a center set *center* of *graph*.
+
+    * each center vertex u contributes a singleton clique {u} of weight 1;
+    * each connected component D of ``G \\ center`` contributes the
+      clique ``N(D) ∩ center`` (its attachment set — a clique in the
+      torso) with weight |D|.
+
+    The total weight is exactly ``graph.num_vertices``, and a half-size
+    separator S ⊆ center w.r.t. this weight leaves components of
+    ``G \\ S`` with at most n/2 vertices.
+    """
+    cw = CliqueWeight()
+    center_set: Set[Vertex] = set(center)
+    for u in center_set:
+        cw.add({u}, 1.0)
+    outside = [v for v in graph.vertices() if v not in center_set]
+    for comp in connected_components(graph, within=outside):
+        attachment: Set[Vertex] = set()
+        for v in comp:
+            for u in graph.neighbors(v):
+                if u in center_set:
+                    attachment.add(u)
+        cw.add(attachment, float(len(comp)))
+    return cw

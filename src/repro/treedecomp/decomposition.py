@@ -1,0 +1,148 @@
+"""The tree-decomposition data type and its validity check."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.graphs.graph import Graph
+from repro.util.errors import InvalidDecompositionError
+
+Vertex = Hashable
+Bag = FrozenSet[Vertex]
+
+
+class TreeDecomposition:
+    """A tree decomposition: bags plus tree edges between bag indices.
+
+    Bags are frozensets of graph vertices; the tree is stored as an
+    adjacency list over bag indices ``0..len(bags)-1``.
+    """
+
+    def __init__(self, bags: Sequence[Bag], tree_edges: Sequence[Tuple[int, int]]) -> None:
+        self.bags: List[Bag] = [frozenset(b) for b in bags]
+        self.tree_adj: List[List[int]] = [[] for _ in self.bags]
+        for a, b in tree_edges:
+            if not (0 <= a < len(self.bags) and 0 <= b < len(self.bags)):
+                raise InvalidDecompositionError(f"tree edge ({a}, {b}) out of range")
+            self.tree_adj[a].append(b)
+            self.tree_adj[b].append(a)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_bags(self) -> int:
+        return len(self.bags)
+
+    @property
+    def width(self) -> int:
+        """Width = max bag size - 1 (the classic definition)."""
+        if not self.bags:
+            return -1
+        return max(len(b) for b in self.bags) - 1
+
+    def bags_containing(self, v: Vertex) -> List[int]:
+        return [i for i, bag in enumerate(self.bags) if v in bag]
+
+    # ------------------------------------------------------------------
+    def validate(self, graph: Graph) -> None:
+        """Check the three tree-decomposition conditions against *graph*.
+
+        Raises :class:`InvalidDecompositionError` on the first failure:
+        (1) every vertex is covered, (2) every edge is covered, and
+        (3) the bags containing each vertex induce a connected subtree.
+        Also checks that the bag graph is in fact a tree.
+        """
+        if self.num_bags == 0:
+            if graph.num_vertices:
+                raise InvalidDecompositionError("empty decomposition, non-empty graph")
+            return
+        self._validate_tree()
+        covered: Set[Vertex] = set()
+        for bag in self.bags:
+            covered.update(bag)
+        missing = [v for v in graph.vertices() if v not in covered]
+        if missing:
+            raise InvalidDecompositionError(
+                f"{len(missing)} vertices not covered by any bag, e.g. {missing[0]!r}"
+            )
+        for u, v, _ in graph.edges():
+            if not any(u in bag and v in bag for bag in self.bags):
+                raise InvalidDecompositionError(
+                    f"edge ({u!r}, {v!r}) not covered by any bag"
+                )
+        self._validate_connectivity()
+
+    def _validate_tree(self) -> None:
+        n = self.num_bags
+        edge_count = sum(len(adj) for adj in self.tree_adj) // 2
+        if edge_count != n - 1:
+            raise InvalidDecompositionError(
+                f"bag graph has {edge_count} edges, a tree on {n} bags needs {n - 1}"
+            )
+        seen = {0}
+        queue = deque([0])
+        while queue:
+            a = queue.popleft()
+            for b in self.tree_adj[a]:
+                if b not in seen:
+                    seen.add(b)
+                    queue.append(b)
+        if len(seen) != n:
+            raise InvalidDecompositionError("bag graph is disconnected")
+
+    def _validate_connectivity(self) -> None:
+        occurrences: Dict[Vertex, List[int]] = {}
+        for i, bag in enumerate(self.bags):
+            for v in bag:
+                occurrences.setdefault(v, []).append(i)
+        for v, indices in occurrences.items():
+            index_set = set(indices)
+            start = indices[0]
+            seen = {start}
+            queue = deque([start])
+            while queue:
+                a = queue.popleft()
+                for b in self.tree_adj[a]:
+                    if b in index_set and b not in seen:
+                        seen.add(b)
+                        queue.append(b)
+            if len(seen) != len(index_set):
+                raise InvalidDecompositionError(
+                    f"bags containing {v!r} do not induce a connected subtree"
+                )
+
+    # ------------------------------------------------------------------
+    def rooted(self, root: int = 0) -> Tuple[List[Optional[int]], List[int]]:
+        """BFS-root the bag tree: returns (parent array, BFS order)."""
+        parent: List[Optional[int]] = [None] * self.num_bags
+        order: List[int] = []
+        seen = {root}
+        queue = deque([root])
+        while queue:
+            a = queue.popleft()
+            order.append(a)
+            for b in self.tree_adj[a]:
+                if b not in seen:
+                    seen.add(b)
+                    parent[b] = a
+                    queue.append(b)
+        return parent, order
+
+    def restrict(self, vertices: Set[Vertex]) -> "TreeDecomposition":
+        """The decomposition ``T ∩ X`` of the paper: intersect every bag
+        with *vertices*, keep the (possibly empty) bags, and keep the
+        same tree so connectivity of traces is preserved.
+
+        If the induced subgraph is connected this is a valid tree
+        decomposition of it (Section 2.1).
+        """
+        new_bags = [frozenset(bag & vertices) for bag in self.bags]
+        edges = []
+        for a in range(self.num_bags):
+            for b in self.tree_adj[a]:
+                if a < b:
+                    edges.append((a, b))
+        return TreeDecomposition(new_bags, edges)
+
+    def __repr__(self) -> str:
+        return f"TreeDecomposition(bags={self.num_bags}, width={self.width})"

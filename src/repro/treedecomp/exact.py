@@ -1,0 +1,102 @@
+"""Exact treewidth by dynamic programming over vertex subsets.
+
+The Bodlaender-Fomin-Koster-Kratsch-Thilikos DP: for a set S of
+already-eliminated vertices, the cost of eliminating v next is
+``Q(S, v)`` — the number of vertices outside S ∪ {v} reachable from v
+through S — and
+
+    tw(G) = f(V),   f(S) = min over v in S of max(f(S\\{v}), Q(S\\{v}, v)).
+
+Exponential (O(2^n poly)) and guarded to small n; used by the tests to
+certify the elimination heuristics and by anyone needing ground truth
+on toy instances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List
+
+from repro.graphs.components import connected_components
+from repro.graphs.graph import Graph
+from repro.util.errors import GraphError
+
+Vertex = Hashable
+
+MAX_EXACT_VERTICES = 18
+
+
+def exact_treewidth(graph: Graph) -> int:
+    """The exact treewidth of *graph* (components solved independently).
+
+    Raises :class:`GraphError` when any component exceeds
+    ``MAX_EXACT_VERTICES`` vertices.
+    """
+    if graph.num_vertices == 0:
+        return -1
+    best = 0
+    for comp in connected_components(graph):
+        best = max(best, _component_treewidth(graph, comp))
+    return best
+
+
+def _component_treewidth(graph: Graph, comp) -> int:
+    vertices: List[Vertex] = sorted(comp, key=repr)
+    n = len(vertices)
+    if n > MAX_EXACT_VERTICES:
+        raise GraphError(
+            f"exact_treewidth limited to components of {MAX_EXACT_VERTICES} "
+            f"vertices; got {n}"
+        )
+    if n == 1:
+        return 0
+    index = {v: i for i, v in enumerate(vertices)}
+    adjacency: List[int] = [0] * n
+    for i, v in enumerate(vertices):
+        for u in graph.neighbors(v):
+            j = index.get(u)
+            if j is not None:
+                adjacency[i] |= 1 << j
+
+    full = (1 << n) - 1
+
+    def elimination_cost(eliminated: int, v: int) -> int:
+        """|vertices outside eliminated+{v} reachable from v through
+        the eliminated set| — v's degree at elimination time."""
+        seen = 1 << v
+        frontier = adjacency[v]
+        reached = 0
+        queue = frontier & ~seen
+        # BFS where only eliminated vertices may be traversed.
+        pending = queue
+        while pending:
+            low = pending & -pending
+            pending &= pending - 1
+            if seen & low:
+                continue
+            seen |= low
+            u = low.bit_length() - 1
+            if eliminated & low:
+                pending |= adjacency[u] & ~seen
+            else:
+                reached |= low
+        return bin(reached).count("1")
+
+    # Iterative DP over subsets by popcount (avoids deep recursion).
+    f: Dict[int, int] = {0: 0}
+    subsets_by_size: List[List[int]] = [[] for _ in range(n + 1)]
+    for s in range(1, full + 1):
+        subsets_by_size[bin(s).count("1")].append(s)
+    for size in range(1, n + 1):
+        for s in subsets_by_size[size]:
+            best = n  # upper bound
+            pending = s
+            while pending:
+                low = pending & -pending
+                pending &= pending - 1
+                v = low.bit_length() - 1
+                without = s & ~low
+                cost = max(f[without], elimination_cost(without, v))
+                if cost < best:
+                    best = cost
+            f[s] = best
+    return f[full]

@@ -1,0 +1,203 @@
+"""Elimination-order constructions of tree decompositions.
+
+Every vertex elimination order yields a tree decomposition whose width
+is the largest "higher neighborhood" encountered.  ``min_degree`` and
+``min_fill`` are the standard greedy orders; ``mcs`` (maximum
+cardinality search) is exact on chordal graphs (e.g. the k-trees our
+generator produces), recovering width exactly k.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, FrozenSet, Hashable, List, Sequence, Set, Tuple
+
+from repro.graphs.graph import Graph
+from repro.treedecomp.decomposition import TreeDecomposition
+from repro.util.errors import GraphError, InvalidDecompositionError
+
+Vertex = Hashable
+
+
+def min_degree_order(graph: Graph) -> List[Vertex]:
+    """Greedy elimination order: repeatedly eliminate a minimum-degree vertex.
+
+    Elimination connects the vertex's remaining neighbors into a clique,
+    as required for the induced decomposition to be valid.
+    """
+    adj: Dict[Vertex, Set[Vertex]] = {v: set(graph.neighbors(v)) for v in graph.vertices()}
+    heap = [(len(nbrs), _stable_key(v), v) for v, nbrs in adj.items()]
+    heapq.heapify(heap)
+    order: List[Vertex] = []
+    eliminated: Set[Vertex] = set()
+    while heap:
+        deg, _, v = heapq.heappop(heap)
+        if v in eliminated or deg != len(adj[v]):
+            if v not in eliminated:
+                heapq.heappush(heap, (len(adj[v]), _stable_key(v), v))
+            continue
+        order.append(v)
+        eliminated.add(v)
+        nbrs = adj.pop(v)
+        for u in nbrs:
+            adj[u].discard(v)
+        nbr_list = list(nbrs)
+        for i, a in enumerate(nbr_list):
+            for b in nbr_list[i + 1 :]:
+                if b not in adj[a]:
+                    adj[a].add(b)
+                    adj[b].add(a)
+        for u in nbrs:
+            heapq.heappush(heap, (len(adj[u]), _stable_key(u), u))
+    return order
+
+
+def min_fill_order(graph: Graph) -> List[Vertex]:
+    """Greedy elimination order minimizing fill-in edges at each step.
+
+    Slower than min-degree (it scans all remaining vertices each step)
+    but usually produces lower width; intended for small graphs.
+    """
+    adj: Dict[Vertex, Set[Vertex]] = {v: set(graph.neighbors(v)) for v in graph.vertices()}
+    order: List[Vertex] = []
+    remaining = set(adj)
+    while remaining:
+        best_v = None
+        best_fill = None
+        for v in remaining:
+            nbrs = adj[v]
+            fill = 0
+            nbr_list = list(nbrs)
+            for i, a in enumerate(nbr_list):
+                for b in nbr_list[i + 1 :]:
+                    if b not in adj[a]:
+                        fill += 1
+            key = (fill, _stable_key(v))
+            if best_fill is None or key < best_fill:
+                best_fill = key
+                best_v = v
+        v = best_v
+        order.append(v)
+        remaining.discard(v)
+        nbrs = adj.pop(v)
+        for u in nbrs:
+            adj[u].discard(v)
+        nbr_list = list(nbrs)
+        for i, a in enumerate(nbr_list):
+            for b in nbr_list[i + 1 :]:
+                if b not in adj[a]:
+                    adj[a].add(b)
+                    adj[b].add(a)
+    return order
+
+
+def mcs_order(graph: Graph) -> List[Vertex]:
+    """Maximum cardinality search, reversed into an elimination order.
+
+    On chordal graphs the result is a perfect elimination order, so the
+    induced decomposition has exactly the graph's treewidth.
+    """
+    weights: Dict[Vertex, int] = {v: 0 for v in graph.vertices()}
+    visited: Set[Vertex] = set()
+    visit_order: List[Vertex] = []
+    heap = [(0, _stable_key(v), v) for v in graph.vertices()]
+    heapq.heapify(heap)
+    while heap:
+        neg_w, _, v = heapq.heappop(heap)
+        if v in visited or -neg_w != weights[v]:
+            continue
+        visited.add(v)
+        visit_order.append(v)
+        for u in graph.neighbors(v):
+            if u not in visited:
+                weights[u] += 1
+                heapq.heappush(heap, (-weights[u], _stable_key(u), u))
+    return list(reversed(visit_order))
+
+
+def decomposition_from_elimination(
+    graph: Graph, order: Sequence[Vertex]
+) -> TreeDecomposition:
+    """Build the tree decomposition induced by an elimination *order*.
+
+    Bag of v = {v} + its neighbors later in the order (after fill-in);
+    the bag of v attaches to the bag of the earliest-eliminated vertex
+    among those later neighbors.  This is the textbook construction.
+    """
+    position = {v: i for i, v in enumerate(order)}
+    if len(position) != graph.num_vertices:
+        raise GraphError("elimination order must enumerate every vertex exactly once")
+    adj: Dict[Vertex, Set[Vertex]] = {v: set(graph.neighbors(v)) for v in graph.vertices()}
+    bags: List[FrozenSet[Vertex]] = []
+    bag_index: Dict[Vertex, int] = {}
+    higher: Dict[Vertex, Set[Vertex]] = {}
+    for v in order:
+        nbrs = {u for u in adj[v] if position[u] > position[v]}
+        higher[v] = nbrs
+        # Fill in: later neighbors become a clique.
+        nbr_list = list(nbrs)
+        for i, a in enumerate(nbr_list):
+            for b in nbr_list[i + 1 :]:
+                adj[a].add(b)
+                adj[b].add(a)
+        bag_index[v] = len(bags)
+        bags.append(frozenset({v} | nbrs))
+    edges: List[Tuple[int, int]] = []
+    for v in order:
+        nbrs = higher[v]
+        if nbrs:
+            parent_vertex = min(nbrs, key=position.__getitem__)
+            edges.append((bag_index[v], bag_index[parent_vertex]))
+    td = TreeDecomposition(bags, edges)
+    return td
+
+
+def min_degree_decomposition(graph: Graph) -> TreeDecomposition:
+    """The min-degree heuristic decomposition (the package default)."""
+    return decomposition_from_elimination(graph, min_degree_order(graph))
+
+
+def decomposition_from_bags(
+    graph: Graph, bags: Sequence[FrozenSet[Vertex]]
+) -> TreeDecomposition:
+    """Assemble a decomposition from a *bag set* known to be valid.
+
+    Connects the bags by a maximum-weight spanning tree on pairwise
+    intersection sizes (Prim); by the running-intersection property
+    this yields a valid tree decomposition whenever one exists for the
+    given bags (e.g. the (k+1)-cliques returned by the k-tree
+    generator).  Quadratic in the number of bags.
+    """
+    bag_list = [frozenset(b) for b in bags]
+    if not bag_list:
+        raise InvalidDecompositionError("decomposition_from_bags needs >= 1 bag")
+    n = len(bag_list)
+    in_tree = [False] * n
+    best_weight = [-1] * n
+    best_parent = [-1] * n
+    in_tree[0] = True
+    for j in range(1, n):
+        best_weight[j] = len(bag_list[0] & bag_list[j])
+        best_parent[j] = 0
+    edges: List[Tuple[int, int]] = []
+    for _ in range(n - 1):
+        pick = -1
+        for j in range(n):
+            if not in_tree[j] and (pick == -1 or best_weight[j] > best_weight[pick]):
+                pick = j
+        in_tree[pick] = True
+        edges.append((pick, best_parent[pick]))
+        for j in range(n):
+            if not in_tree[j]:
+                w = len(bag_list[pick] & bag_list[j])
+                if w > best_weight[j]:
+                    best_weight[j] = w
+                    best_parent[j] = pick
+    td = TreeDecomposition(bag_list, edges)
+    td.validate(graph)
+    return td
+
+
+def _stable_key(v) -> str:
+    """Deterministic tiebreak usable across mixed vertex types."""
+    return f"{type(v).__name__}:{v!r}"

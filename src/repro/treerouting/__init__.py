@@ -1,0 +1,11 @@
+"""Classic interval-labeled tree routing.
+
+The substrate under the compact routing scheme: routing in a rooted
+tree with 2-word labels (DFS intervals) and per-vertex tables sized by
+degree.  See Fraigniaud & Gavoille, "Routing in trees" [20] for the
+scheme this follows.
+"""
+
+from repro.treerouting.interval import IntervalTreeRouting, dfs_intervals
+
+__all__ = ["IntervalTreeRouting", "dfs_intervals"]

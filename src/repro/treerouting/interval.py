@@ -1,0 +1,143 @@
+"""Interval routing on rooted trees.
+
+Every vertex gets a DFS interval ``[in, out)``; the interval of a
+descendant nests inside its ancestor's.  To route from w toward the
+vertex labeled ``t_in``:
+
+* if ``t_in`` is outside w's interval, go to w's parent;
+* otherwise go to the unique child whose interval contains ``t_in``
+  (found by bisection on the sorted child intervals);
+* if no child interval contains it, w is the target.
+
+Labels are 1 word, tables are O(degree) words, and routes follow the
+unique tree path (stretch 1 on the tree).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.util.errors import GraphError
+
+Vertex = Hashable
+
+
+def dfs_intervals(
+    children: Dict[Vertex, List[Vertex]],
+    root: Vertex,
+) -> Dict[Vertex, Tuple[int, int]]:
+    """Iterative DFS interval labeling of a rooted tree/forest subtree.
+
+    Returns ``{v: (in, out)}`` with ``in`` the DFS entry index and
+    ``out`` one past the largest entry index in v's subtree.
+    """
+    intervals: Dict[Vertex, Tuple[int, int]] = {}
+    counter = 0
+    # (vertex, child_iteration_state): emulate recursion with a stack.
+    stack: List[Tuple[Vertex, int]] = [(root, -1)]
+    entry: Dict[Vertex, int] = {}
+    while stack:
+        v, child_idx = stack.pop()
+        if child_idx == -1:
+            entry[v] = counter
+            counter += 1
+            stack.append((v, 0))
+            continue
+        kids = children.get(v, [])
+        if child_idx < len(kids):
+            stack.append((v, child_idx + 1))
+            stack.append((kids[child_idx], -1))
+        else:
+            intervals[v] = (entry[v], counter)
+    return intervals
+
+
+@dataclass
+class _VertexTable:
+    parent: Optional[Vertex]
+    interval: Tuple[int, int]
+    # Sorted child entry points and, aligned, the child vertices.
+    child_starts: List[int] = field(default_factory=list)
+    children: List[Vertex] = field(default_factory=list)
+
+    @property
+    def words(self) -> int:
+        # interval (2 words) + parent (1) + one word per child pointer
+        # + one per child boundary.
+        return 3 + 2 * len(self.children)
+
+
+class IntervalTreeRouting:
+    """Routing tables + labels for one rooted tree."""
+
+    def __init__(
+        self,
+        parent: Dict[Vertex, Optional[Vertex]],
+        root: Vertex,
+    ) -> None:
+        children: Dict[Vertex, List[Vertex]] = {v: [] for v in parent}
+        for v, p in parent.items():
+            if p is not None:
+                if p not in children:
+                    raise GraphError(f"parent {p!r} of {v!r} is not a tree vertex")
+                children[p].append(v)
+        self.root = root
+        self.intervals = dfs_intervals(children, root)
+        if len(self.intervals) != len(parent):
+            raise GraphError("parent map does not describe a tree rooted at root")
+        self.tables: Dict[Vertex, _VertexTable] = {}
+        for v in parent:
+            kids = sorted(children[v], key=lambda c: self.intervals[c][0])
+            self.tables[v] = _VertexTable(
+                parent=parent[v],
+                interval=self.intervals[v],
+                child_starts=[self.intervals[c][0] for c in kids],
+                children=kids,
+            )
+
+    def label(self, v: Vertex) -> int:
+        """The 1-word routing label of v: its DFS entry index."""
+        return self.intervals[v][0]
+
+    def next_hop(self, current: Vertex, target_label: int) -> Optional[Vertex]:
+        """The next vertex on the tree path toward the target.
+
+        Returns ``None`` when *current* is the target.
+        """
+        table = self.tables[current]
+        lo, hi = table.interval
+        if target_label == lo:
+            return None
+        if not (lo <= target_label < hi):
+            if table.parent is None:
+                raise GraphError(
+                    f"target label {target_label} is not in this tree"
+                )
+            return table.parent
+        idx = bisect.bisect_right(table.child_starts, target_label) - 1
+        if idx < 0:
+            raise GraphError(
+                f"corrupt interval structure at {current!r} for {target_label}"
+            )
+        return table.children[idx]
+
+    def route(self, source: Vertex, target: Vertex) -> List[Vertex]:
+        """Simulate routing; returns the vertex sequence source..target."""
+        target_label = self.label(target)
+        path = [source]
+        current = source
+        guard = len(self.tables) + 1
+        while True:
+            nxt = self.next_hop(current, target_label)
+            if nxt is None:
+                return path
+            path.append(nxt)
+            current = nxt
+            guard -= 1
+            if guard < 0:
+                raise GraphError("routing loop detected (corrupt tables)")
+
+    def table_words(self) -> Dict[Vertex, int]:
+        return {v: t.words for v, t in self.tables.items()}

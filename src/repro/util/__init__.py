@@ -1,0 +1,32 @@
+"""Shared utilities: RNG plumbing, size accounting, timing, tables.
+
+These helpers are deliberately dependency-free so that every other
+subpackage can import them without pulling in optional extras.
+"""
+
+from repro.util.errors import (
+    GraphError,
+    InvalidDecompositionError,
+    InvalidSeparatorError,
+    NotConnectedError,
+    ReproError,
+)
+from repro.util.rng import ensure_rng, spawn_rng
+from repro.util.sizing import SizeReport, label_words, words_to_bits
+from repro.util.tables import format_table
+from repro.util.timer import Timer
+
+__all__ = [
+    "GraphError",
+    "InvalidDecompositionError",
+    "InvalidSeparatorError",
+    "NotConnectedError",
+    "ReproError",
+    "SizeReport",
+    "Timer",
+    "ensure_rng",
+    "format_table",
+    "label_words",
+    "spawn_rng",
+    "words_to_bits",
+]

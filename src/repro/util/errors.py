@@ -1,0 +1,26 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so that
+callers can catch everything coming from this package with a single
+``except`` clause while still being able to distinguish failure modes.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphError(ReproError):
+    """A graph argument is malformed or an operation on it is invalid."""
+
+
+class NotConnectedError(GraphError):
+    """An operation that requires a connected graph received one that is not."""
+
+
+class InvalidSeparatorError(ReproError):
+    """A path separator violates one of the (P1)-(P3) properties of Definition 1."""
+
+
+class InvalidDecompositionError(ReproError):
+    """A tree decomposition or decomposition tree fails its validity conditions."""

@@ -1,0 +1,39 @@
+"""Random-number-generator plumbing.
+
+Every randomized routine in the package accepts a ``seed`` argument that
+may be ``None`` (fresh entropy), an ``int`` (deterministic), or an
+already-constructed :class:`random.Random` instance (shared stream).
+:func:`ensure_rng` normalizes all three into a ``random.Random``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Union
+
+SeedLike = Union[None, int, random.Random]
+
+
+def ensure_rng(seed: SeedLike = None) -> random.Random:
+    """Return a ``random.Random`` for *seed*.
+
+    ``None`` gives a freshly seeded generator, an ``int`` gives a
+    deterministic generator, and an existing ``Random`` is returned
+    unchanged so callers can share one stream across subroutines.
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def spawn_rng(rng: random.Random, salt: Optional[int] = None) -> random.Random:
+    """Derive an independent child generator from *rng*.
+
+    Useful when a routine wants reproducible sub-streams (e.g. one per
+    vertex) without consuming an unpredictable amount of the parent
+    stream.
+    """
+    base = rng.getrandbits(64)
+    if salt is not None:
+        base ^= salt * 0x9E3779B97F4A7C15 & (2**64 - 1)
+    return random.Random(base)

@@ -1,0 +1,86 @@
+"""Size accounting in the paper's word model.
+
+The paper (footnote 2) measures space in *words*, where one word is a
+block of Omega(omega + log n) bits (omega = bits per edge weight).  All
+of our data structures report their size through this module so that
+the benchmarks compare against the paper's bounds in the same units:
+
+* a vertex identifier ............ 1 word
+* a distance value ............... 1 word
+* a (vertex, distance) pair ...... 2 words
+* a tree-routing interval ........ 2 words
+
+:func:`words_to_bits` converts when a bit-level figure is wanted.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+VERTEX_WORDS = 1
+DISTANCE_WORDS = 1
+PORTAL_ENTRY_WORDS = VERTEX_WORDS + DISTANCE_WORDS + 1  # id, distance, path offset
+INTERVAL_WORDS = 2
+
+
+def words_to_bits(words: float, n: int, max_weight: float = 1.0) -> float:
+    """Convert a word count to bits for an *n*-vertex graph.
+
+    One word is ``log2(n) + max(1, log2(max_weight))`` bits, matching
+    the Omega(omega + log n) block of the paper's footnote 2.
+    """
+    if n < 2:
+        raise ValueError("word size undefined for graphs with fewer than 2 vertices")
+    weight_bits = max(1.0, math.log2(max(2.0, max_weight)))
+    return words * (math.log2(n) + weight_bits)
+
+
+def label_words(num_entries: int, words_per_entry: int = PORTAL_ENTRY_WORDS) -> int:
+    """Size in words of a label holding *num_entries* portal entries."""
+    return num_entries * words_per_entry
+
+
+@dataclass
+class SizeReport:
+    """Aggregated size statistics over a collection of per-vertex labels.
+
+    Attributes
+    ----------
+    per_vertex:
+        Mapping from vertex to its label size in words.
+    """
+
+    per_vertex: Dict = field(default_factory=dict)
+
+    def add(self, vertex, words: int) -> None:
+        self.per_vertex[vertex] = self.per_vertex.get(vertex, 0) + words
+
+    @property
+    def total_words(self) -> int:
+        return sum(self.per_vertex.values())
+
+    @property
+    def max_words(self) -> int:
+        return max(self.per_vertex.values()) if self.per_vertex else 0
+
+    @property
+    def mean_words(self) -> float:
+        if not self.per_vertex:
+            return 0.0
+        return self.total_words / len(self.per_vertex)
+
+    def merge(self, other: "SizeReport") -> "SizeReport":
+        merged = SizeReport(dict(self.per_vertex))
+        for vertex, words in other.per_vertex.items():
+            merged.add(vertex, words)
+        return merged
+
+    @classmethod
+    def from_counts(cls, counts: Iterable) -> "SizeReport":
+        """Build a report from an iterable of ``(vertex, words)`` pairs."""
+        report = cls()
+        for vertex, words in counts:
+            report.add(vertex, words)
+        return report

@@ -1,0 +1,120 @@
+"""SVG rendering of graphs, separators, and decompositions.
+
+Dependency-free visual debugging: draw a (typically planar) graph
+from vertex positions and highlight separator paths phase by phase.
+Produces plain SVG strings — view in any browser.
+
+>>> from repro.generators import grid_2d
+>>> from repro.core import GreedyPeelingEngine
+>>> g = grid_2d(8)
+>>> sep = GreedyPeelingEngine(seed=0).find_separator(g)
+>>> svg = render_svg(g, grid_positions(g), separator=sep)
+>>> svg.startswith("<svg")
+True
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Hashable, Optional, Tuple, Union
+
+from repro.core.separator import PathSeparator
+from repro.graphs.graph import Graph
+from repro.util.errors import GraphError
+
+Vertex = Hashable
+Point = Tuple[float, float]
+
+# A color-blind-friendly cycle for separator phases.
+PHASE_COLORS = ["#d62728", "#1f77b4", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"]
+
+
+def grid_positions(graph: Graph) -> Dict[Vertex, Point]:
+    """Positions for graphs whose vertices are (row, col) pairs."""
+    positions = {}
+    for v in graph.vertices():
+        if not (isinstance(v, tuple) and len(v) == 2):
+            raise GraphError("grid_positions needs (row, col) vertices")
+        positions[v] = (float(v[1]), float(v[0]))
+    return positions
+
+
+def render_svg(
+    graph: Graph,
+    positions: Dict[Vertex, Point],
+    separator: Optional[PathSeparator] = None,
+    width: int = 640,
+    height: int = 640,
+    margin: int = 24,
+    vertex_radius: float = 3.0,
+) -> str:
+    """Render *graph* as an SVG string.
+
+    Separator paths, when given, are drawn as thick colored polylines
+    (one color per phase) over the light base edges; separator vertices
+    are filled in the phase color.
+    """
+    missing = [v for v in graph.vertices() if v not in positions]
+    if missing:
+        raise GraphError(f"no position for vertex {missing[0]!r}")
+    if graph.num_vertices == 0:
+        return f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}"></svg>'
+
+    xs = [positions[v][0] for v in graph.vertices()]
+    ys = [positions[v][1] for v in graph.vertices()]
+    min_x, max_x = min(xs), max(xs)
+    min_y, max_y = min(ys), max(ys)
+    span_x = max(max_x - min_x, 1e-9)
+    span_y = max(max_y - min_y, 1e-9)
+
+    def project(v: Vertex) -> Tuple[float, float]:
+        x, y = positions[v]
+        px = margin + (x - min_x) / span_x * (width - 2 * margin)
+        py = margin + (y - min_y) / span_y * (height - 2 * margin)
+        return px, py
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    for u, v, _ in graph.edges():
+        (x1, y1), (x2, y2) = project(u), project(v)
+        parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="#cccccc" stroke-width="1"/>'
+        )
+
+    vertex_color: Dict[Vertex, str] = {}
+    if separator is not None:
+        for phase_idx, phase in enumerate(separator.phases):
+            color = PHASE_COLORS[phase_idx % len(PHASE_COLORS)]
+            for path in phase.paths:
+                points = " ".join(
+                    f"{x:.1f},{y:.1f}" for x, y in (project(v) for v in path)
+                )
+                if len(path) > 1:
+                    parts.append(
+                        f'<polyline points="{points}" fill="none" '
+                        f'stroke="{color}" stroke-width="3"/>'
+                    )
+                for v in path:
+                    vertex_color[v] = color
+
+    for v in graph.vertices():
+        x, y = project(v)
+        color = vertex_color.get(v, "#444444")
+        radius = vertex_radius * (1.6 if v in vertex_color else 1.0)
+        parts.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{radius:.1f}" fill="{color}"/>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(
+    svg: str,
+    path: Union[str, Path],
+) -> None:
+    """Write an SVG string to *path*."""
+    Path(path).write_text(svg)

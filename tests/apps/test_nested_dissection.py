@@ -1,0 +1,94 @@
+import pytest
+
+from repro.apps import elimination_fill_in, nested_dissection_order
+from repro.core import build_decomposition
+from repro.generators import grid_2d, random_delaunay_graph, random_tree
+from repro.graphs import Graph
+from repro.treedecomp import min_degree_order
+from repro.util.errors import GraphError
+
+
+class TestOrder:
+    def test_is_permutation(self):
+        g = grid_2d(7)
+        order = nested_dissection_order(g)
+        assert sorted(order, key=repr) == sorted(g.vertices(), key=repr)
+
+    def test_separators_come_after_their_regions(self):
+        g = grid_2d(6)
+        tree = build_decomposition(g)
+        order = nested_dissection_order(g, tree=tree)
+        position = {v: i for i, v in enumerate(order)}
+        for node in tree.nodes:
+            sep = node.separator.vertices()
+            below = set(node.vertices) - sep
+            if not below:
+                continue
+            assert max(position[v] for v in below) < min(
+                position[v] for v in sep
+            ) or all(
+                # Vertices of sibling subtrees may interleave; the
+                # invariant is per subtree: every vertex strictly below
+                # this node is eliminated before this node's separator.
+                position[v] < min(position[s] for s in sep)
+                for v in below
+            )
+
+    def test_precomputed_tree_reused(self):
+        g = random_tree(40, seed=1)
+        tree = build_decomposition(g)
+        a = nested_dissection_order(g, tree=tree)
+        b = nested_dissection_order(g, tree=tree)
+        assert a == b
+
+
+class TestFillIn:
+    def test_tree_fill_is_near_linear(self):
+        # ND on a tree is not a perfect elimination order (region
+        # interiors go before their centroid), but fill stays O(n log n)
+        # and in practice tiny.
+        g = random_tree(50, seed=2)
+        order = nested_dissection_order(g)
+        assert elimination_fill_in(g, order) <= g.num_vertices
+
+    def test_leaf_first_order_has_zero_fill_on_trees(self):
+        # Sanity for the fill counter itself: a perfect elimination
+        # order of a tree creates no fill.
+        g = random_tree(50, seed=2)
+        order = min_degree_order(g)
+        assert elimination_fill_in(g, order) == 0
+
+    def test_bad_order_on_star_fills(self):
+        # Eliminating a star's hub first creates a clique on the leaves.
+        g = Graph([(0, i) for i in range(1, 8)])
+        order = [0] + list(range(1, 8))
+        assert elimination_fill_in(g, order) == 7 * 6 // 2
+
+    def test_fill_counts_match_min_degree_style(self):
+        g = grid_2d(6)
+        nd = elimination_fill_in(g, nested_dissection_order(g))
+        md = elimination_fill_in(g, min_degree_order(g))
+        # Both are good orders; neither should be catastrophically
+        # worse than the other on a small grid.
+        assert nd <= 4 * md + 20
+
+    def test_incomplete_order_rejected(self):
+        g = grid_2d(3)
+        with pytest.raises(GraphError):
+            elimination_fill_in(g, [(0, 0)])
+
+    def test_nested_dissection_beats_row_order_on_large_grids(self):
+        # The classic asymptotic: banded (row-by-row) elimination of a
+        # k x k grid fills Theta(k^3); nested dissection O(k^2 log k).
+        # The crossover shows by 16 x 16.
+        g = grid_2d(16)
+        row_order = sorted(g.vertices())
+        nd_order = nested_dissection_order(g)
+        assert elimination_fill_in(g, nd_order) < elimination_fill_in(
+            g, row_order
+        )
+
+    def test_delaunay(self):
+        g, _ = random_delaunay_graph(100, seed=3)
+        order = nested_dissection_order(g)
+        assert elimination_fill_in(g, order) >= 0

@@ -1,0 +1,73 @@
+import pytest
+
+from repro.baselines.alt import AltOracle, farthest_landmarks
+from repro.generators import grid_2d, road_network
+from repro.graphs import Graph, dijkstra
+from repro.util.errors import GraphError
+
+from tests.conftest import pair_sample
+
+
+class TestFarthestLandmarks:
+    def test_count_respected(self):
+        g = grid_2d(6)
+        assert len(farthest_landmarks(g, 5, seed=0)) == 5
+
+    def test_capped_at_n(self):
+        g = grid_2d(2)
+        assert len(farthest_landmarks(g, 100, seed=0)) <= 4
+
+    def test_spread_out(self):
+        # On a path graph, two farthest landmarks are near the two ends.
+        from repro.generators import path_graph
+
+        g = path_graph(50)
+        a, b = farthest_landmarks(g, 2, seed=1)
+        assert abs(a - b) >= 25
+
+    def test_invalid_count(self):
+        with pytest.raises(GraphError):
+            farthest_landmarks(grid_2d(3), 0)
+
+
+class TestAltOracle:
+    def test_exactness(self):
+        g = road_network(12, seed=1)
+        alt = AltOracle(g, num_landmarks=6, seed=0)
+        for u, v in pair_sample(g, 60, seed=2):
+            true = dijkstra(g, u)[0][v]
+            assert alt.query(u, v) == pytest.approx(true)
+
+    def test_identity(self):
+        alt = AltOracle(grid_2d(4), num_landmarks=2, seed=0)
+        assert alt.query((0, 0), (0, 0)) == 0.0
+
+    def test_disconnected(self):
+        g = Graph([(0, 1)])
+        g.add_vertex(9)
+        alt = AltOracle(g, num_landmarks=1, seed=0)
+        assert alt.query(0, 9) == float("inf")
+
+    def test_settles_fewer_vertices_than_dijkstra(self):
+        # The point of ALT: the goal-directed search explores less.
+        g = grid_2d(14)
+        alt = AltOracle(g, num_landmarks=8, seed=0)
+        total_alt = 0
+        total_dij = 0
+        for u, v in pair_sample(g, 20, seed=3):
+            alt.query(u, v)
+            total_alt += alt.last_settled
+            total_dij += len(dijkstra(g, u)[0])
+        assert total_alt < total_dij
+
+    def test_unknown_vertex_rejected(self):
+        alt = AltOracle(grid_2d(3), num_landmarks=2, seed=0)
+        with pytest.raises(GraphError):
+            alt.query((0, 0), "ghost")
+
+    def test_weighted_exactness(self):
+        g = grid_2d(8, weight_range=(1.0, 9.0), seed=4)
+        alt = AltOracle(g, num_landmarks=4, seed=0)
+        for u, v in pair_sample(g, 40, seed=5):
+            true = dijkstra(g, u)[0][v]
+            assert alt.query(u, v) == pytest.approx(true)

@@ -1,0 +1,102 @@
+import pytest
+
+from repro.baselines.contraction import ContractionHierarchy
+from repro.generators import (
+    grid_2d,
+    random_delaunay_graph,
+    random_tree,
+    road_network,
+)
+from repro.graphs import Graph, dijkstra
+from repro.util.errors import GraphError
+
+from tests.conftest import pair_sample
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: road_network(12, seed=1),
+            lambda: random_delaunay_graph(120, seed=2)[0],
+            lambda: grid_2d(9, weight_range=(1.0, 9.0), seed=3),
+            lambda: random_tree(80, weight_range=(0.5, 4.0), seed=4),
+        ],
+        ids=["road", "delaunay", "weighted_grid", "tree"],
+    )
+    def test_exact_on_family(self, maker):
+        g = maker()
+        ch = ContractionHierarchy(g)
+        for u, v in pair_sample(g, 60, seed=5):
+            true = dijkstra(g, u)[0][v]
+            assert ch.query(u, v) == pytest.approx(true)
+
+    def test_identity(self):
+        ch = ContractionHierarchy(grid_2d(4))
+        assert ch.query((0, 0), (0, 0)) == 0.0
+
+    def test_disconnected_inf(self):
+        g = Graph([(0, 1, 2.0)])
+        g.add_vertex(9)
+        ch = ContractionHierarchy(g)
+        assert ch.query(0, 9) == float("inf")
+
+    def test_unknown_vertex_rejected(self):
+        ch = ContractionHierarchy(grid_2d(3))
+        with pytest.raises(GraphError):
+            ch.query((0, 0), "ghost")
+
+
+class TestHierarchyStructure:
+    def test_every_vertex_ranked(self):
+        g = grid_2d(6)
+        ch = ContractionHierarchy(g)
+        assert set(ch.rank) == set(g.vertices())
+        assert sorted(ch.rank.values()) == list(range(36))
+
+    def test_upward_edges_point_up(self):
+        g = road_network(8, seed=6)
+        ch = ContractionHierarchy(g)
+        for v, edges in ch.upward.items():
+            for u, _ in edges:
+                assert ch.rank[u] > ch.rank[v]
+
+    def test_queries_settle_fewer_than_dijkstra(self):
+        g = grid_2d(12)
+        ch = ContractionHierarchy(g)
+        total_ch = total_dij = 0
+        for u, v in pair_sample(g, 25, seed=7):
+            ch.query(u, v)
+            total_ch += ch.last_settled
+            total_dij += len(dijkstra(g, u)[0])
+        assert total_ch < total_dij / 2
+
+    def test_shortcut_count_reasonable(self):
+        # Planar-ish graphs have near-linear CH sizes in practice.
+        g = random_delaunay_graph(150, seed=8)[0]
+        ch = ContractionHierarchy(g)
+        assert ch.num_shortcuts < 6 * g.num_vertices
+
+    def test_size_report(self):
+        g = grid_2d(5)
+        ch = ContractionHierarchy(g)
+        report = ch.size_report()
+        assert set(report.per_vertex) == set(g.vertices())
+        # Total upward edges = original edges + shortcuts.
+        assert report.total_words == 2 * (g.num_edges + ch.num_shortcuts)
+
+
+class TestHopLimit:
+    def test_small_hop_limit_still_exact(self):
+        # Missing witnesses only add shortcuts; correctness persists.
+        g = grid_2d(8, weight_range=(1.0, 5.0), seed=9)
+        loose = ContractionHierarchy(g, hop_limit=2)
+        for u, v in pair_sample(g, 40, seed=10):
+            true = dijkstra(g, u)[0][v]
+            assert loose.query(u, v) == pytest.approx(true)
+
+    def test_smaller_hop_limit_more_shortcuts(self):
+        g = grid_2d(8, weight_range=(1.0, 5.0), seed=11)
+        loose = ContractionHierarchy(g, hop_limit=1)
+        tight = ContractionHierarchy(g, hop_limit=64)
+        assert loose.num_shortcuts >= tight.num_shortcuts

@@ -1,0 +1,65 @@
+import pytest
+
+from repro.baselines import ExactOracle, all_pairs_shortest_paths
+from repro.generators import grid_2d
+from repro.graphs import Graph, dijkstra
+
+
+class TestAllPairs:
+    def test_matches_dijkstra(self):
+        g = grid_2d(4, weight_range=(1.0, 3.0), seed=1)
+        apsp = all_pairs_shortest_paths(g)
+        for u in g.vertices():
+            dist, _ = dijkstra(g, u)
+            assert apsp[u] == dist
+
+    def test_symmetric(self):
+        g = grid_2d(3)
+        apsp = all_pairs_shortest_paths(g)
+        for u in g.vertices():
+            for v in g.vertices():
+                assert apsp[u][v] == apsp[v][u]
+
+
+class TestExactOracle:
+    def test_query(self):
+        g = grid_2d(5)
+        oracle = ExactOracle(g)
+        assert oracle.query((0, 0), (4, 4)) == 8.0
+
+    def test_identity(self):
+        oracle = ExactOracle(grid_2d(3))
+        assert oracle.query((1, 1), (1, 1)) == 0.0
+
+    def test_cache_reused_for_same_source(self):
+        g = grid_2d(4)
+        oracle = ExactOracle(g)
+        oracle.query((0, 0), (1, 1))
+        assert (0, 0) in oracle._cache
+        assert oracle.query((0, 0), (3, 3)) == 6.0
+
+    def test_reverse_query_uses_cache(self):
+        g = grid_2d(4)
+        oracle = ExactOracle(g)
+        oracle.query((0, 0), (3, 3))
+        # Querying with the cached vertex second still hits the cache.
+        oracle.query((2, 2), (0, 0))
+        assert (0, 0) in oracle._cache
+
+    def test_disconnected_inf(self):
+        g = Graph([(0, 1)])
+        g.add_vertex(5)
+        assert ExactOracle(g).query(0, 5) == float("inf")
+
+    def test_uncached_matches_cached(self):
+        g = grid_2d(4, weight_range=(1.0, 5.0), seed=2)
+        oracle = ExactOracle(g)
+        assert oracle.query_uncached((0, 0), (3, 1)) == oracle.query((0, 0), (3, 1))
+
+    def test_cache_eviction(self):
+        g = grid_2d(3)
+        oracle = ExactOracle(g, cache_size=2)
+        vs = sorted(g.vertices())
+        for u in vs[:4]:
+            oracle.query(u, vs[-1])
+        assert len(oracle._cache) <= 2

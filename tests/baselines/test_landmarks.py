@@ -1,0 +1,62 @@
+import pytest
+
+from repro.baselines import LandmarkOracle
+from repro.generators import grid_2d
+from repro.graphs import dijkstra
+from repro.util.errors import GraphError
+
+from tests.conftest import pair_sample
+
+
+class TestLandmarkOracle:
+    def test_upper_bound_property(self):
+        g = grid_2d(7, weight_range=(1.0, 5.0), seed=1)
+        oracle = LandmarkOracle(g, num_landmarks=6, seed=0)
+        for u, v in pair_sample(g, 60, seed=2):
+            true = dijkstra(g, u)[0][v]
+            assert oracle.query(u, v) >= true - 1e-9
+
+    def test_lower_bound_property(self):
+        g = grid_2d(6)
+        oracle = LandmarkOracle(g, num_landmarks=5, seed=0)
+        for u, v in pair_sample(g, 60, seed=3):
+            true = dijkstra(g, u)[0][v]
+            assert oracle.lower_bound(u, v) <= true + 1e-9
+
+    def test_landmark_to_landmark_exact(self):
+        g = grid_2d(6)
+        oracle = LandmarkOracle(g, num_landmarks=4, seed=1)
+        l0 = oracle.landmarks[0]
+        for v in g.vertices():
+            true = dijkstra(g, l0)[0][v]
+            assert oracle.query(l0, v) == pytest.approx(true)
+
+    def test_identity(self):
+        oracle = LandmarkOracle(grid_2d(4), num_landmarks=2, seed=0)
+        assert oracle.query((0, 0), (0, 0)) == 0.0
+        assert oracle.lower_bound((0, 0), (0, 0)) == 0.0
+
+    def test_more_landmarks_never_worse(self):
+        g = grid_2d(7)
+        few = LandmarkOracle(g, num_landmarks=2, seed=5)
+        many = LandmarkOracle(g, num_landmarks=20, seed=5)
+        worse = 0
+        pairs = pair_sample(g, 50, seed=6)
+        few_sum = sum(few.query(u, v) for u, v in pairs)
+        many_sum = sum(many.query(u, v) for u, v in pairs)
+        assert many_sum <= few_sum + 1e-9
+
+    def test_landmark_cap(self):
+        g = grid_2d(3)
+        oracle = LandmarkOracle(g, num_landmarks=100, seed=0)
+        assert len(oracle.landmarks) == 9
+
+    def test_invalid_count(self):
+        with pytest.raises(GraphError):
+            LandmarkOracle(grid_2d(3), num_landmarks=0)
+
+    def test_size_report(self):
+        g = grid_2d(4)
+        oracle = LandmarkOracle(g, num_landmarks=3, seed=0)
+        report = oracle.size_report()
+        assert report.max_words == 6  # 2 words per landmark

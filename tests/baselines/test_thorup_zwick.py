@@ -1,0 +1,72 @@
+import pytest
+
+from repro.baselines import ThorupZwickOracle
+from repro.generators import grid_2d, random_delaunay_graph, random_regular_graph
+from repro.graphs import Graph, dijkstra
+from repro.util.errors import GraphError
+
+from tests.conftest import pair_sample
+
+
+class TestStretchGuarantee:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_stretch_at_most_2k_minus_1(self, k):
+        g = grid_2d(7, weight_range=(1.0, 4.0), seed=1)
+        oracle = ThorupZwickOracle(g, k=k, seed=0)
+        for u, v in pair_sample(g, 80, seed=2):
+            true = dijkstra(g, u)[0][v]
+            est = oracle.query(u, v)
+            assert true - 1e-9 <= est <= (2 * k - 1) * true + 1e-9
+
+    def test_k1_is_exact(self):
+        # k=1 stores full distances: stretch exactly 1.
+        g = random_regular_graph(30, 3, seed=3)
+        oracle = ThorupZwickOracle(g, k=1, seed=0)
+        for u, v in pair_sample(g, 40, seed=4):
+            true = dijkstra(g, u)[0][v]
+            assert oracle.query(u, v) == pytest.approx(true)
+
+    def test_on_delaunay(self):
+        g, _ = random_delaunay_graph(80, seed=5)
+        oracle = ThorupZwickOracle(g, k=2, seed=1)
+        for u, v in pair_sample(g, 60, seed=6):
+            true = dijkstra(g, u)[0][v]
+            est = oracle.query(u, v)
+            assert true - 1e-9 <= est <= 3 * true + 1e-9
+
+
+class TestStructure:
+    def test_identity(self):
+        oracle = ThorupZwickOracle(grid_2d(4), k=2)
+        assert oracle.query((0, 0), (0, 0)) == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(GraphError):
+            ThorupZwickOracle(grid_2d(3), k=0)
+
+    def test_disconnected(self):
+        g = Graph([(0, 1)])
+        g.add_vertex(9)
+        oracle = ThorupZwickOracle(g, k=2, seed=0)
+        assert oracle.query(0, 9) == float("inf")
+
+    def test_space_subquadratic_for_k2(self):
+        # k=2 space should be well below the n^2 of full APSP.
+        g = grid_2d(10)
+        oracle = ThorupZwickOracle(g, k=2, seed=0)
+        n = g.num_vertices
+        assert oracle.space_words() < 2 * n * n
+
+    def test_bunches_contain_self_level_pivots(self):
+        g = grid_2d(5)
+        oracle = ThorupZwickOracle(g, k=2, seed=0)
+        # Every vertex's bunch contains its own nearest A_1 pivot
+        # (clusters of A_1 vertices are unbounded).
+        for v in g.vertices():
+            p1 = oracle.pivots[v][1]
+            if p1 is not None:
+                assert p1 in oracle.bunch[v]
+
+    def test_empty_graph(self):
+        oracle = ThorupZwickOracle(Graph(), k=2)
+        assert oracle.bunch == {}

@@ -1,0 +1,79 @@
+"""Shared fixtures: small graphs of every family the paper discusses."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.generators import (
+    grid_2d,
+    torus_2d,
+    k_tree,
+    outerplanar_graph,
+    random_delaunay_graph,
+    random_planar_graph,
+    random_tree,
+    road_network,
+    series_parallel_graph,
+)
+from repro.graphs import Graph
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    return Graph([(0, 1, 1.0), (1, 2, 2.0), (0, 2, 2.5)])
+
+
+@pytest.fixture
+def small_grid() -> Graph:
+    return grid_2d(5)
+
+
+@pytest.fixture
+def weighted_grid() -> Graph:
+    return grid_2d(6, weight_range=(1.0, 5.0), seed=7)
+
+
+@pytest.fixture
+def small_tree() -> Graph:
+    return random_tree(40, seed=11)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(20060722)  # the paper's presentation date
+
+
+def family_graphs(size: str = "small"):
+    """All minor-free families as (name, graph) pairs.
+
+    ``size`` picks rough vertex counts: 'small' ~60, 'medium' ~150.
+    """
+    n = {"small": 60, "medium": 150}[size]
+    side = max(4, int(round(n**0.5)))
+    return [
+        ("tree", random_tree(n, seed=1)),
+        ("outerplanar", outerplanar_graph(n, seed=2)),
+        ("series_parallel", series_parallel_graph(n, seed=3)),
+        ("k_tree", k_tree(n, 3, seed=4)[0]),
+        ("grid", grid_2d(side)),
+        ("weighted_grid", grid_2d(side, weight_range=(1.0, 8.0), seed=5)),
+        ("planar", random_planar_graph(n, seed=6)),
+        ("delaunay", random_delaunay_graph(n, seed=7)[0]),
+        ("road", road_network(side, seed=8)),
+        ("torus", torus_2d(max(3, side))),
+    ]
+
+
+def pair_sample(graph: Graph, count: int, seed: int = 0):
+    """Deterministic sample of vertex pairs for stretch measurements."""
+    rng = random.Random(seed)
+    vertices = sorted(graph.vertices(), key=repr)
+    pairs = []
+    for _ in range(count):
+        u = vertices[rng.randrange(len(vertices))]
+        v = vertices[rng.randrange(len(vertices))]
+        if u != v:
+            pairs.append((u, v))
+    return pairs

@@ -1,0 +1,144 @@
+import math
+
+import pytest
+
+from repro.core import (
+    GreedyPeelingEngine,
+    TreeCentroidEngine,
+    build_decomposition,
+)
+from repro.generators import grid_2d, k_tree, random_tree, series_parallel_graph
+from repro.graphs import Graph
+from repro.util.errors import NotConnectedError
+
+from tests.conftest import family_graphs
+
+
+class TestBuild:
+    def test_every_vertex_has_home(self, small_grid):
+        tree = build_decomposition(small_grid)
+        assert set(tree.home) == set(small_grid.vertices())
+
+    def test_root_is_whole_graph(self, small_grid):
+        tree = build_decomposition(small_grid)
+        assert tree.root().vertices == frozenset(small_grid.vertices())
+
+    def test_depth_bound(self):
+        for name, g in family_graphs("small"):
+            tree = build_decomposition(g)
+            assert tree.depth <= math.log2(g.num_vertices) + 1, name
+
+    def test_validate_passes_for_families(self):
+        for name, g in family_graphs("small"):
+            build_decomposition(g, validate=True)
+
+    def test_disconnected_rejected(self):
+        g = Graph([(0, 1)])
+        g.add_vertex(9)
+        with pytest.raises(NotConnectedError):
+            build_decomposition(g)
+
+    def test_single_vertex_graph(self):
+        g = Graph()
+        g.add_vertex("only")
+        tree = build_decomposition(g)
+        assert tree.num_nodes == 1
+        assert tree.home["only"][0] == 0
+
+    def test_empty_graph(self):
+        tree = build_decomposition(Graph())
+        assert tree.num_nodes == 0
+
+
+class TestRootPaths:
+    def test_root_path_starts_at_root(self, small_grid):
+        tree = build_decomposition(small_grid)
+        for v in small_grid.vertices():
+            chain = tree.root_path(v)
+            assert chain[0] == 0
+            assert tree.home[v][0] == chain[-1]
+
+    def test_root_path_depths_increase(self, small_grid):
+        tree = build_decomposition(small_grid)
+        for v in small_grid.vertices():
+            chain = tree.root_path(v)
+            depths = [tree.nodes[i].depth for i in chain]
+            assert depths == list(range(len(chain)))
+
+    def test_vertex_in_every_node_on_its_root_path(self, small_grid):
+        tree = build_decomposition(small_grid)
+        for v in small_grid.vertices():
+            for node_id in tree.root_path(v):
+                assert v in tree.nodes[node_id].vertices
+
+
+class TestPathMetadata:
+    def test_prefix_monotone(self, weighted_grid):
+        tree = build_decomposition(weighted_grid)
+        for key in tree.all_path_keys():
+            prefix = tree.path_prefix(key)
+            assert prefix[0] == 0.0
+            assert all(a < b for a, b in zip(prefix, prefix[1:]))
+
+    def test_prefix_matches_edge_weights(self, weighted_grid):
+        tree = build_decomposition(weighted_grid)
+        for key in tree.all_path_keys():
+            path = tree.path_vertices(key)
+            prefix = tree.path_prefix(key)
+            for i, (u, v) in enumerate(zip(path, path[1:])):
+                gap = prefix[i + 1] - prefix[i]
+                assert gap == pytest.approx(weighted_grid.weight(u, v))
+
+    def test_residual_sets_shrink(self, small_grid):
+        tree = build_decomposition(small_grid)
+        for node in tree.nodes:
+            residuals = [set(J) for _, J in node.residual_sets()]
+            for a, b in zip(residuals, residuals[1:]):
+                assert b < a or b == a - set()
+
+
+class TestStats:
+    def test_stats_keys(self, small_grid):
+        stats = build_decomposition(small_grid).stats()
+        for key in ("n", "depth", "max_paths_per_node", "strong_fraction"):
+            assert key in stats
+
+    def test_tree_engine_k_is_one(self):
+        g = random_tree(100, seed=1)
+        tree = build_decomposition(g, engine=TreeCentroidEngine())
+        assert tree.max_paths_per_node == 1
+
+    def test_ktree_k_at_most_width_plus_one(self):
+        g, _ = k_tree(80, 3, seed=2)
+        tree = build_decomposition(g)
+        assert tree.max_paths_per_node <= 4
+
+    def test_node_count_at_most_n(self, small_grid):
+        tree = build_decomposition(small_grid)
+        assert tree.num_nodes <= small_grid.num_vertices
+
+
+class TestChildSizes:
+    def test_children_halve(self):
+        g = series_parallel_graph(90, seed=3)
+        tree = build_decomposition(g)
+        for node in tree.nodes:
+            for child_id in node.children:
+                assert tree.nodes[child_id].size <= node.size / 2
+
+
+class TestDotExport:
+    def test_dot_structure(self, small_grid):
+        tree = build_decomposition(small_grid)
+        dot = tree.to_dot()
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        # One node statement per decomposition node, one edge per child.
+        assert dot.count("[label=") == tree.num_nodes
+        edges = sum(len(n.children) for n in tree.nodes)
+        assert dot.count("->") == edges
+
+    def test_dot_truncates_long_separators(self, small_grid):
+        tree = build_decomposition(small_grid)
+        dot = tree.to_dot(max_label_vertices=1)
+        assert "..." in dot

@@ -1,0 +1,132 @@
+import pytest
+
+from repro.core import (
+    DoublingOracle,
+    doubling_dimension_estimate,
+    grid3d_doubling_decomposition,
+)
+from repro.generators import grid_2d, grid_3d, path_graph, spider_tree
+from repro.graphs import connected_components, dijkstra, induced_subgraph
+from repro.util.errors import GraphError
+
+from tests.conftest import pair_sample
+
+
+class TestDimensionEstimate:
+    def test_path_has_low_dimension(self):
+        alpha = doubling_dimension_estimate(path_graph(64), num_samples=8)
+        assert alpha <= 2.0
+
+    def test_spider_dimension_grows_with_legs(self):
+        # A spider with many legs has unbounded doubling dimension.
+        thin = doubling_dimension_estimate(spider_tree(3, 10), num_samples=10)
+        fat = doubling_dimension_estimate(spider_tree(24, 10), num_samples=10)
+        assert fat > thin
+
+    def test_line_lower_than_box(self):
+        line = doubling_dimension_estimate(path_graph(125), num_samples=8)
+        box = doubling_dimension_estimate(grid_3d(5), num_samples=8)
+        assert line < box
+
+    def test_plane_close_to_or_below_box(self):
+        # The greedy estimator is noisy; allow one unit of slack on the
+        # 2D-vs-3D comparison.
+        plane = doubling_dimension_estimate(grid_2d(7), num_samples=8)
+        box = doubling_dimension_estimate(grid_3d(5), num_samples=8)
+        assert plane <= box + 1.0
+
+    def test_tiny_graph(self):
+        assert doubling_dimension_estimate(path_graph(1)) == 0.0
+
+    def test_deterministic_with_seed(self):
+        g = grid_2d(6)
+        a = doubling_dimension_estimate(g, num_samples=5, seed=3)
+        b = doubling_dimension_estimate(g, num_samples=5, seed=3)
+        assert a == b
+
+
+class TestPlaneDecomposition:
+    def test_every_vertex_has_home(self):
+        g = grid_3d(4)
+        dec = grid3d_doubling_decomposition(g)
+        assert set(dec.home) == set(g.vertices())
+
+    def test_children_at_most_half(self):
+        g = grid_3d(5)
+        dec = grid3d_doubling_decomposition(g)
+        for node in dec.nodes:
+            for child_id in node.children:
+                child = dec.nodes[child_id]
+                assert len(child.vertices) <= len(node.vertices) / 2
+
+    def test_separator_is_plane(self):
+        g = grid_3d(4)
+        dec = grid3d_doubling_decomposition(g)
+        root = dec.nodes[0]
+        values = {v[root.axis] for v in root.separator}
+        assert values == {root.plane_value}
+
+    def test_separator_is_isometric(self):
+        # Distances inside the plane equal distances in the whole grid.
+        g = grid_3d(4)
+        dec = grid3d_doubling_decomposition(g)
+        plane = dec.nodes[0].separator
+        sub = induced_subgraph(g, plane)
+        source = next(iter(plane))
+        inside, _ = dijkstra(sub, source)
+        outside, _ = dijkstra(g, source)
+        for v in plane:
+            assert inside[v] == outside[v]
+
+    def test_separator_disconnects(self):
+        g = grid_3d(4)
+        dec = grid3d_doubling_decomposition(g)
+        root = dec.nodes[0]
+        remaining = set(root.vertices) - set(root.separator)
+        comps = connected_components(g, within=remaining)
+        assert len(comps) == 2
+
+    def test_non_tuple_vertices_rejected(self):
+        with pytest.raises(GraphError):
+            grid3d_doubling_decomposition(grid_2d(3))
+
+    def test_root_paths_end_at_home(self):
+        g = grid_3d(3)
+        dec = grid3d_doubling_decomposition(g)
+        for v in g.vertices():
+            chain = dec.root_path(v)
+            assert chain[-1] == dec.home[v]
+            assert chain[0] == 0
+
+
+class TestDoublingOracle:
+    @pytest.mark.parametrize("epsilon", [0.5, 0.25])
+    def test_stretch(self, epsilon):
+        g = grid_3d(5)
+        oracle = DoublingOracle(g, epsilon=epsilon)
+        for u, v in pair_sample(g, 80, seed=1):
+            true = dijkstra(g, u)[0][v]
+            est = oracle.query(u, v)
+            assert true - 1e-9 <= est <= (1 + epsilon) * true + 1e-9
+
+    def test_identity(self):
+        oracle = DoublingOracle(grid_3d(3), epsilon=0.5)
+        assert oracle.query((0, 0, 0), (0, 0, 0)) == 0.0
+
+    def test_rectangular_boxes(self):
+        g = grid_3d(2, 3, 7)
+        oracle = DoublingOracle(g, epsilon=0.5)
+        for u, v in pair_sample(g, 40, seed=2):
+            true = dijkstra(g, u)[0][v]
+            est = oracle.query(u, v)
+            assert true - 1e-9 <= est <= 1.5 * true + 1e-9
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            DoublingOracle(grid_3d(3), epsilon=0.0)
+
+    def test_size_report(self):
+        oracle = DoublingOracle(grid_3d(4), epsilon=0.5)
+        report = oracle.size_report()
+        assert set(report.per_vertex) == set(grid_3d(4).vertices())
+        assert report.mean_words > 0

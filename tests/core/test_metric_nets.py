@@ -1,0 +1,96 @@
+"""The general (coordinate-free) form of Theorem 8: greedy metric nets."""
+
+import pytest
+
+from repro.core import MetricNetOracle, greedy_net, grid3d_doubling_decomposition
+from repro.generators import grid_2d, grid_3d, path_graph
+from repro.graphs import dijkstra, induced_subgraph
+
+from tests.conftest import pair_sample
+
+
+class TestGreedyNet:
+    def test_covering_property(self):
+        g = grid_2d(6)
+        subset = set(g.vertices())
+        for spacing in (1.0, 2.0, 4.0):
+            net = greedy_net(g, subset, spacing)
+            covered = set()
+            for p in net:
+                dist, _ = dijkstra(g, p, allowed=subset, cutoff=spacing)
+                covered |= set(dist)
+            assert covered == subset
+
+    def test_packing_property(self):
+        g = grid_2d(6)
+        net = greedy_net(g, set(g.vertices()), 3.0)
+        for i, p in enumerate(net):
+            dist, _ = dijkstra(g, p)
+            for q in net[i + 1 :]:
+                assert dist[q] > 3.0
+
+    def test_tiny_spacing_keeps_everything(self):
+        g = path_graph(10)
+        net = greedy_net(g, set(g.vertices()), 0.5)
+        assert len(net) == 10
+
+    def test_huge_spacing_single_point(self):
+        g = path_graph(10)
+        assert len(greedy_net(g, set(g.vertices()), 100.0)) == 1
+
+    def test_subset_restriction(self):
+        g = grid_2d(5)
+        subset = {v for v in g.vertices() if v[0] == 2}
+        net = greedy_net(g, subset, 1.0)
+        assert set(net) <= subset
+
+    def test_deterministic(self):
+        g = grid_2d(5)
+        subset = set(g.vertices())
+        assert greedy_net(g, subset, 2.0) == greedy_net(g, subset, 2.0)
+
+
+class TestMetricNetOracle:
+    @pytest.mark.parametrize("epsilon", [0.5, 0.25])
+    def test_stretch_on_cube(self, epsilon):
+        g = grid_3d(5)
+        oracle = MetricNetOracle(
+            g, grid3d_doubling_decomposition(g), epsilon=epsilon
+        )
+        for u, v in pair_sample(g, 80, seed=1):
+            true = dijkstra(g, u)[0][v]
+            est = oracle.query(u, v)
+            assert true - 1e-9 <= est <= (1 + epsilon) * true + 1e-9
+
+    def test_rectangular_box(self):
+        g = grid_3d(3, 4, 6)
+        oracle = MetricNetOracle(g, grid3d_doubling_decomposition(g), epsilon=0.25)
+        for u, v in pair_sample(g, 50, seed=2):
+            true = dijkstra(g, u)[0][v]
+            est = oracle.query(u, v)
+            assert true - 1e-9 <= est <= 1.25 * true + 1e-9
+
+    def test_weighted_mesh(self):
+        # The coordinate oracle assumes unit weights; the metric-net
+        # oracle must keep the guarantee on weighted meshes.
+        g = grid_3d(4, 4, 4, weight_range=(1.0, 3.0), seed=3)
+        oracle = MetricNetOracle(g, grid3d_doubling_decomposition(g), epsilon=0.5)
+        for u, v in pair_sample(g, 60, seed=4):
+            true = dijkstra(g, u)[0][v]
+            est = oracle.query(u, v)
+            assert true - 1e-9 <= est <= 1.5 * true + 1e-9
+
+    def test_identity(self):
+        g = grid_3d(3)
+        oracle = MetricNetOracle(g, grid3d_doubling_decomposition(g))
+        assert oracle.query((0, 0, 0), (0, 0, 0)) == 0.0
+
+    def test_invalid_epsilon(self):
+        g = grid_3d(3)
+        with pytest.raises(ValueError):
+            MetricNetOracle(g, grid3d_doubling_decomposition(g), epsilon=0)
+
+    def test_size_report_covers_vertices(self):
+        g = grid_3d(4)
+        oracle = MetricNetOracle(g, grid3d_doubling_decomposition(g))
+        assert set(oracle.size_report().per_vertex) == set(g.vertices())

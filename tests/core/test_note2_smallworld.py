@@ -1,0 +1,67 @@
+"""Note 2: closest-separator-vertex contacts."""
+
+import pytest
+
+from repro.core import (
+    AugmentedGraph,
+    GreedyRouter,
+    build_decomposition,
+)
+from repro.core.smallworld import ClosestSeparatorAugmentation
+from repro.generators import grid_2d, random_tree
+from repro.graphs import dijkstra
+
+from tests.conftest import pair_sample
+
+
+class TestClosestSeparatorAugmentation:
+    def test_contacts_on_separators(self):
+        g = grid_2d(8)
+        tree = build_decomposition(g)
+        aug = ClosestSeparatorAugmentation(tree).augment(g, seed=1)
+        separator_vertices = set()
+        for node in tree.nodes:
+            separator_vertices |= node.separator.vertices()
+        for v, (u, _) in aug.long_edges.items():
+            assert u in separator_vertices
+
+    def test_contact_is_closest_of_some_level(self):
+        g = grid_2d(8)
+        tree = build_decomposition(g)
+        aug = ClosestSeparatorAugmentation(tree).augment(g, seed=2)
+        for v, (u, w) in list(aug.long_edges.items())[:15]:
+            # The contact must be the nearest separator vertex of at
+            # least one level of v's root path (within that node).
+            found = False
+            for node_id in tree.root_path(v):
+                node = tree.nodes[node_id]
+                sep = node.separator.vertices() - {v}
+                if not sep:
+                    continue
+                dist, _ = dijkstra(g, v, allowed=set(node.vertices))
+                reach = [(dist[x], repr(x)) for x in sep if x in dist]
+                if reach and min(reach)[0] == dist.get(u, None):
+                    found = True
+                    break
+            assert found, (v, u)
+
+    def test_most_vertices_get_contacts(self):
+        g = grid_2d(9)
+        aug = ClosestSeparatorAugmentation.build(g).augment(g, seed=3)
+        assert aug.num_long_edges >= 0.6 * g.num_vertices
+
+    def test_routing_beats_plain_greedy(self):
+        g = grid_2d(14)
+        pairs = pair_sample(g, 60, seed=4)
+        tree = build_decomposition(g)
+        aug = ClosestSeparatorAugmentation(tree).augment(g, seed=5)
+        plain = GreedyRouter(AugmentedGraph(base=g)).mean_hops(pairs)
+        augmented = GreedyRouter(aug).mean_hops(pairs)
+        assert augmented < plain
+
+    def test_works_on_trees(self):
+        g = random_tree(60, seed=6)
+        aug = ClosestSeparatorAugmentation.build(g).augment(g, seed=7)
+        router = GreedyRouter(aug)
+        for u, v in pair_sample(g, 20, seed=8):
+            assert router.hops(u, v) >= 1

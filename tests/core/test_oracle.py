@@ -1,0 +1,97 @@
+import pytest
+
+from repro.core import (
+    CenterBagEngine,
+    FundamentalCycleEngine,
+    PathSeparatorOracle,
+    build_decomposition,
+)
+from repro.generators import grid_2d, k_tree, random_delaunay_graph
+from repro.graphs import dijkstra
+
+from tests.conftest import family_graphs, pair_sample
+
+
+class TestBuild:
+    def test_build_default_engine(self, small_grid):
+        oracle = PathSeparatorOracle.build(small_grid)
+        assert oracle.epsilon == 0.25
+
+    def test_build_with_explicit_engine(self):
+        g, _ = k_tree(60, 3, seed=1)
+        oracle = PathSeparatorOracle.build(g, engine=CenterBagEngine(order="mcs"))
+        assert oracle.query(0, 59) >= 1.0
+
+    def test_build_with_precomputed_tree(self, small_grid):
+        tree = build_decomposition(small_grid)
+        oracle = PathSeparatorOracle.build(small_grid, tree=tree)
+        assert oracle.tree is tree
+
+    def test_repr(self, small_grid):
+        assert "PathSeparatorOracle" in repr(PathSeparatorOracle.build(small_grid))
+
+
+class TestQueries:
+    @pytest.mark.parametrize("epsilon", [0.5, 0.1])
+    def test_stretch_guarantee(self, epsilon):
+        g, _ = random_delaunay_graph(100, seed=2)
+        oracle = PathSeparatorOracle.build(g, epsilon=epsilon)
+        for u, v in pair_sample(g, 100, seed=3):
+            true = dijkstra(g, u)[0][v]
+            est = oracle.query(u, v)
+            assert true - 1e-9 <= est <= (1 + epsilon) * true + 1e-9
+
+    def test_all_families(self):
+        for name, g in family_graphs("small"):
+            oracle = PathSeparatorOracle.build(g, epsilon=0.3)
+            for u, v in pair_sample(g, 40, seed=4):
+                true = dijkstra(g, u)[0][v]
+                est = oracle.query(u, v)
+                assert true - 1e-9 <= est <= 1.3 * true + 1e-9, name
+
+    def test_identity(self, small_grid):
+        oracle = PathSeparatorOracle.build(small_grid)
+        assert oracle.query((2, 2), (2, 2)) == 0.0
+
+    def test_exhaustive_small_graph(self):
+        g = grid_2d(4)
+        oracle = PathSeparatorOracle.build(g, epsilon=0.2)
+        vertices = sorted(g.vertices())
+        for u in vertices:
+            dist, _ = dijkstra(g, u)
+            for v in vertices:
+                if u == v:
+                    continue
+                est = oracle.query(u, v)
+                assert dist[v] - 1e-9 <= est <= 1.2 * dist[v] + 1e-9
+
+
+class TestSpace:
+    def test_space_words_positive(self, small_grid):
+        oracle = PathSeparatorOracle.build(small_grid)
+        assert oracle.space_words() > 0
+
+    def test_space_equals_size_report_total(self, small_grid):
+        oracle = PathSeparatorOracle.build(small_grid)
+        assert oracle.space_words() == oracle.size_report().total_words
+
+    def test_near_linear_space(self):
+        # Space per vertex should grow mildly (polylog), not linearly.
+        per_vertex = {}
+        for side in (5, 10):
+            g = grid_2d(side)
+            oracle = PathSeparatorOracle.build(g, epsilon=0.25)
+            per_vertex[side] = oracle.space_words() / g.num_vertices
+        assert per_vertex[10] <= 3 * per_vertex[5]
+
+
+class TestEngineChoiceInvariance:
+    def test_different_engines_same_guarantee(self):
+        g = grid_2d(7)
+        pairs = pair_sample(g, 50, seed=5)
+        for engine in (None, FundamentalCycleEngine(seed=0)):
+            oracle = PathSeparatorOracle.build(g, epsilon=0.25, engine=engine)
+            for u, v in pairs:
+                true = dijkstra(g, u)[0][v]
+                est = oracle.query(u, v)
+                assert true - 1e-9 <= est <= 1.25 * true + 1e-9

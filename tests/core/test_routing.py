@@ -1,0 +1,101 @@
+import pytest
+
+from repro.core import CompactRoutingScheme, build_decomposition
+from repro.generators import grid_2d, random_tree
+from repro.graphs import Graph, dijkstra
+from repro.util.errors import GraphError
+
+from tests.conftest import family_graphs, pair_sample
+
+
+class TestDelivery:
+    def test_routes_reach_target_on_all_families(self):
+        for name, g in family_graphs("small"):
+            scheme = CompactRoutingScheme.build(g)
+            for u, v in pair_sample(g, 40, seed=1):
+                hops = scheme.route(u, v)
+                assert hops[0] == u and hops[-1] == v, name
+
+    def test_consecutive_hops_are_edges(self, small_grid):
+        scheme = CompactRoutingScheme.build(small_grid)
+        for u, v in pair_sample(small_grid, 40, seed=2):
+            hops = scheme.route(u, v)
+            for a, b in zip(hops, hops[1:]):
+                assert small_grid.has_edge(a, b)
+
+    def test_route_to_self(self, small_grid):
+        scheme = CompactRoutingScheme.build(small_grid)
+        assert scheme.route((1, 1), (1, 1)) == [(1, 1)]
+
+    def test_unknown_vertex_rejected(self, small_grid):
+        scheme = CompactRoutingScheme.build(small_grid)
+        with pytest.raises(GraphError):
+            scheme.route((0, 0), "ghost")
+
+
+class TestStretch:
+    def test_worst_case_stretch_bound(self):
+        # The anchor scheme's provable bound is 3.
+        for name, g in family_graphs("small"):
+            scheme = CompactRoutingScheme.build(g)
+            for u, v in pair_sample(g, 40, seed=3):
+                cost = scheme.route_cost(scheme.route(u, v))
+                true = dijkstra(g, u)[0][v]
+                assert cost <= 3 * true + 1e-6, (name, u, v)
+
+    def test_exact_on_trees(self):
+        g = random_tree(80, weight_range=(1.0, 5.0), seed=4)
+        scheme = CompactRoutingScheme.build(g)
+        for u, v in pair_sample(g, 50, seed=5):
+            cost = scheme.route_cost(scheme.route(u, v))
+            true = dijkstra(g, u)[0][v]
+            assert cost == pytest.approx(true)
+
+    def test_mean_stretch_reasonable_on_grid(self):
+        g = grid_2d(10)
+        scheme = CompactRoutingScheme.build(g)
+        ratios = []
+        for u, v in pair_sample(g, 100, seed=6):
+            cost = scheme.route_cost(scheme.route(u, v))
+            ratios.append(cost / dijkstra(g, u)[0][v])
+        assert sum(ratios) / len(ratios) <= 1.6
+
+
+class TestCompactness:
+    def test_tables_polylog(self):
+        per_vertex = {}
+        for side in (5, 10):
+            g = grid_2d(side)
+            scheme = CompactRoutingScheme.build(g)
+            per_vertex[side] = scheme.table_report().mean_words
+        # 4x more vertices must not mean 4x bigger tables.
+        assert per_vertex[10] <= 3 * per_vertex[5]
+
+    def test_labels_smaller_than_tables(self, small_grid):
+        scheme = CompactRoutingScheme.build(small_grid)
+        assert (
+            scheme.label_report().mean_words
+            <= scheme.table_report().mean_words
+        )
+
+    def test_every_vertex_has_table(self, small_grid):
+        scheme = CompactRoutingScheme.build(small_grid)
+        assert set(scheme.tables) == set(small_grid.vertices())
+
+
+class TestKeySelection:
+    def test_shared_key_exists_for_connected_pairs(self, small_grid):
+        scheme = CompactRoutingScheme.build(small_grid)
+        for u, v in pair_sample(small_grid, 30, seed=7):
+            assert scheme.select_key(u, v) is not None
+
+    def test_selected_key_estimate_equals_route_cost(self, weighted_grid):
+        # The anchor estimate is the exact cost of the route we take.
+        scheme = CompactRoutingScheme.build(weighted_grid)
+        for u, v in pair_sample(weighted_grid, 30, seed=8):
+            key = scheme.select_key(u, v)
+            eu = scheme.labels[u].entries[key]
+            ev = scheme.labels[v].entries[key]
+            est = eu[2] + abs(eu[1] - ev[1]) + ev[2]
+            cost = scheme.route_cost(scheme.route(u, v))
+            assert cost <= est + 1e-6

@@ -1,0 +1,149 @@
+import pytest
+
+from repro.core import PathSeparator, SeparatorPhase
+from repro.core.separator import singleton_separator
+from repro.generators import grid_2d
+from repro.graphs import Graph
+from repro.util.errors import InvalidSeparatorError
+
+
+@pytest.fixture
+def grid5():
+    return grid_2d(5)
+
+
+def middle_row_separator():
+    return PathSeparator(
+        phases=[SeparatorPhase(paths=[[(2, c) for c in range(5)]])]
+    )
+
+
+class TestStructure:
+    def test_counts(self):
+        sep = PathSeparator(
+            phases=[
+                SeparatorPhase(paths=[[0], [1, 2]]),
+                SeparatorPhase(paths=[[3]]),
+            ]
+        )
+        assert sep.num_phases == 2
+        assert sep.num_paths == 3
+        assert sep.vertices() == {0, 1, 2, 3}
+
+    def test_strongness(self):
+        assert middle_row_separator().is_strong
+        two_phase = PathSeparator(
+            phases=[SeparatorPhase(paths=[[0]]), SeparatorPhase(paths=[[1]])]
+        )
+        assert not two_phase.is_strong
+        assert PathSeparator().is_strong  # vacuously
+
+    def test_all_paths_flattened(self):
+        sep = PathSeparator(
+            phases=[SeparatorPhase(paths=[[0], [1]]), SeparatorPhase(paths=[[2]])]
+        )
+        assert sep.all_paths() == [[0], [1], [2]]
+
+    def test_singleton_separator(self):
+        sep = singleton_separator([5, 7])
+        assert sep.is_strong
+        assert sep.num_paths == 2
+        assert sep.vertices() == {5, 7}
+
+
+class TestValidateP1:
+    def test_middle_row_is_valid(self, grid5):
+        middle_row_separator().validate(grid5)
+
+    def test_non_shortest_path_rejected(self, grid5):
+        # An L-shaped detour (0,0)->(0,1)->(1,1)->(1,0) is not minimal
+        # cost between its endpoints ((0,0) and (1,0) are adjacent).
+        bad = PathSeparator(
+            phases=[SeparatorPhase(paths=[[(0, 0), (0, 1), (1, 1), (1, 0)]])]
+        )
+        with pytest.raises(InvalidSeparatorError, match=r"\(P1\)"):
+            bad.validate(grid5)
+
+    def test_non_adjacent_consecutive_rejected(self, grid5):
+        bad = PathSeparator(
+            phases=[SeparatorPhase(paths=[[(0, 0), (2, 2)]])]
+        )
+        with pytest.raises(InvalidSeparatorError, match="not adjacent"):
+            bad.validate(grid5)
+
+    def test_repeated_vertex_rejected(self, grid5):
+        bad = PathSeparator(
+            phases=[SeparatorPhase(paths=[[(0, 0), (0, 1), (0, 0)]])]
+        )
+        with pytest.raises(InvalidSeparatorError, match="repeats"):
+            bad.validate(grid5)
+
+    def test_vertex_outside_graph_rejected(self, grid5):
+        bad = PathSeparator(phases=[SeparatorPhase(paths=[[(9, 9)]])])
+        with pytest.raises(InvalidSeparatorError, match="residual"):
+            bad.validate(grid5)
+
+    def test_phase_residual_enforced(self, grid5):
+        # Second phase reuses a vertex removed by the first.
+        bad = PathSeparator(
+            phases=[
+                SeparatorPhase(paths=[[(2, c) for c in range(5)]]),
+                SeparatorPhase(paths=[[(2, 0)]]),
+            ]
+        )
+        with pytest.raises(InvalidSeparatorError, match="residual"):
+            bad.validate(grid5)
+
+    def test_empty_path_rejected(self, grid5):
+        bad = PathSeparator(phases=[SeparatorPhase(paths=[[]])])
+        with pytest.raises(InvalidSeparatorError, match="empty"):
+            bad.validate(grid5)
+
+    def test_path_shortest_in_residual_not_original(self):
+        # Phase 0 removes the cheap middle; phase 1's path is shortest
+        # only in the residual graph — still valid per Definition 1.
+        g = Graph(
+            [
+                ("a", "m", 1.0),
+                ("m", "b", 1.0),
+                ("a", "x", 5.0),
+                ("x", "b", 5.0),
+                ("x", "y", 1.0),
+            ]
+        )
+        sep = PathSeparator(
+            phases=[
+                SeparatorPhase(paths=[["m"]]),
+                SeparatorPhase(paths=[["a", "x", "b"]]),
+            ]
+        )
+        sep.validate(g)
+
+
+class TestValidateP3:
+    def test_unbalanced_rejected(self, grid5):
+        corner_only = PathSeparator(phases=[SeparatorPhase(paths=[[(0, 0)]])])
+        with pytest.raises(InvalidSeparatorError, match=r"\(P3\)"):
+            corner_only.validate(grid5)
+
+    def test_within_restriction(self, grid5):
+        # Restricted to the top two rows, a middle-column vertex pair halves it.
+        within = {(r, c) for r in range(2) for c in range(5)}
+        sep = PathSeparator(
+            phases=[SeparatorPhase(paths=[[(0, 2), (1, 2)]])]
+        )
+        sep.validate(grid5, within=within)
+
+
+class TestMaxComponentFraction:
+    def test_balanced(self, grid5):
+        frac = middle_row_separator().max_component_fraction(grid5)
+        assert frac == pytest.approx(10 / 25)
+
+    def test_empty_graph(self):
+        assert PathSeparator().max_component_fraction(Graph()) == 0.0
+
+    def test_full_removal(self):
+        g = Graph([(0, 1)])
+        sep = PathSeparator(phases=[SeparatorPhase(paths=[[0, 1]])])
+        assert sep.max_component_fraction(g) == 0.0

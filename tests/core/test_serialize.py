@@ -1,0 +1,105 @@
+import json
+
+import pytest
+
+from repro.core import build_decomposition, build_labeling
+from repro.core.labeling import estimate_distance
+from repro.core.serialize import (
+    SerializationError,
+    decode_label,
+    decode_vertex,
+    dump_labeling,
+    encode_label,
+    encode_vertex,
+    load_labeling,
+    wire_bits,
+)
+from repro.generators import grid_2d, random_tree
+from repro.graphs import dijkstra
+
+from tests.conftest import pair_sample
+
+
+class TestVertexCodec:
+    @pytest.mark.parametrize(
+        "v", [0, -17, 3.5, "node-a", (1, 2), ("a", (3, 4)), ((0, 1), (2, 3))]
+    )
+    def test_round_trip(self, v):
+        assert decode_vertex(encode_vertex(v)) == v
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(SerializationError):
+            encode_vertex({"a": 1})
+
+    def test_bool_rejected(self):
+        # bools would silently decode as ints; reject them instead.
+        with pytest.raises(SerializationError):
+            encode_vertex(True)
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(SerializationError):
+            decode_vertex({"unknown": []})
+
+
+class TestLabelCodec:
+    def test_label_round_trip(self, small_grid):
+        labeling = build_labeling(small_grid, build_decomposition(small_grid))
+        for v in list(small_grid.vertices())[:10]:
+            original = labeling.label(v)
+            recovered = decode_label(encode_label(original))
+            assert recovered.vertex == original.vertex
+            assert recovered.entries == original.entries
+
+    def test_encoded_label_is_json_safe(self, small_grid):
+        labeling = build_labeling(small_grid, build_decomposition(small_grid))
+        label = labeling.label((0, 0))
+        json.dumps(encode_label(label))  # no raise
+
+    def test_malformed_label_rejected(self):
+        with pytest.raises(SerializationError):
+            decode_label({"nope": 1})
+
+    def test_malformed_key_rejected(self):
+        with pytest.raises(SerializationError):
+            decode_label({"v": 0, "e": {"1:2": []}})
+
+
+class TestLabelingRoundTrip:
+    def test_queries_survive_round_trip(self, tmp_path):
+        g = grid_2d(6, weight_range=(1.0, 5.0), seed=1)
+        labeling = build_labeling(g, build_decomposition(g), epsilon=0.25)
+        path = tmp_path / "labels.json"
+        dump_labeling(labeling, path)
+        epsilon, labels = load_labeling(path)
+        assert epsilon == 0.25
+        assert set(labels) == set(g.vertices())
+        for u, v in pair_sample(g, 30, seed=2):
+            original = labeling.estimate(u, v)
+            recovered = estimate_distance(labels[u], labels[v])
+            assert recovered == pytest.approx(original)
+
+    def test_load_from_string(self):
+        g = random_tree(20, seed=3)
+        labeling = build_labeling(g, build_decomposition(g))
+        text = dump_labeling(labeling)
+        epsilon, labels = load_labeling(text)
+        assert len(labels) == 20
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(SerializationError):
+            load_labeling(json.dumps({"format": "other", "labels": []}))
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(SerializationError):
+            load_labeling("{broken")
+
+
+class TestWireBits:
+    def test_positive_and_tracks_entries(self, small_grid):
+        labeling = build_labeling(small_grid, build_decomposition(small_grid))
+        labels = sorted(
+            (labeling.label(v) for v in small_grid.vertices()),
+            key=lambda l: l.num_portals,
+        )
+        assert wire_bits(labels[0]) > 0
+        assert wire_bits(labels[-1]) >= wire_bits(labels[0])

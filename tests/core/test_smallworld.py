@@ -1,0 +1,163 @@
+import random
+
+import pytest
+
+from repro.core import (
+    AugmentedGraph,
+    GreedyRouter,
+    PathSeparatorAugmentation,
+    build_decomposition,
+    greedy_route,
+)
+from repro.core.smallworld import estimate_aspect_ratio
+from repro.generators import grid_2d, k_tree, random_tree
+from repro.graphs import Graph, dijkstra
+from repro.util.errors import GraphError
+
+from tests.conftest import pair_sample
+
+
+class TestAugmentedGraph:
+    def test_contacts_include_long_edge(self):
+        g = grid_2d(4)
+        aug = AugmentedGraph(base=g, long_edges={(0, 0): ((3, 3), 6.0)})
+        assert (3, 3) in aug.contacts((0, 0))
+
+    def test_contacts_without_long_edge(self):
+        g = grid_2d(4)
+        aug = AugmentedGraph(base=g)
+        assert set(aug.contacts((1, 1))) == set(g.neighbors((1, 1)))
+
+    def test_num_long_edges(self):
+        aug = AugmentedGraph(base=grid_2d(3), long_edges={(0, 0): ((2, 2), 4.0)})
+        assert aug.num_long_edges == 1
+
+
+class TestPathSeparatorAugmentation:
+    def test_most_vertices_get_contacts(self):
+        g = grid_2d(10)
+        aug = PathSeparatorAugmentation.build(g).augment(g, seed=1)
+        assert aug.num_long_edges >= 0.6 * g.num_vertices
+
+    def test_long_edge_weights_are_true_distances(self):
+        g = grid_2d(8, weight_range=(1.0, 4.0), seed=2)
+        aug = PathSeparatorAugmentation.build(g).augment(g, seed=3)
+        for v, (u, w) in list(aug.long_edges.items())[:20]:
+            true = dijkstra(g, v)[0][u]
+            assert w == pytest.approx(true)
+
+    def test_contacts_are_distinct_from_source(self):
+        g = grid_2d(8)
+        aug = PathSeparatorAugmentation.build(g).augment(g, seed=4)
+        assert all(u != v for v, (u, _) in aug.long_edges.items())
+
+    def test_reproducible(self):
+        g = grid_2d(6)
+        dist = PathSeparatorAugmentation.build(g)
+        a = dist.augment(g, seed=5).long_edges
+        b = dist.augment(g, seed=5).long_edges
+        assert a == b
+
+    def test_contacts_lie_on_separator_paths(self):
+        g = grid_2d(8)
+        tree = build_decomposition(g)
+        aug = PathSeparatorAugmentation(tree).augment(g, seed=6)
+        on_paths = set()
+        for key in tree.all_path_keys():
+            on_paths.update(tree.path_vertices(key))
+        for _, (u, _) in aug.long_edges.items():
+            assert u in on_paths
+
+
+class TestGreedyRouting:
+    def test_reaches_target(self):
+        g = grid_2d(9)
+        aug = PathSeparatorAugmentation.build(g).augment(g, seed=7)
+        for u, v in pair_sample(g, 40, seed=8):
+            hops = greedy_route(aug, u, v)
+            assert hops[0] == u and hops[-1] == v
+
+    def test_plain_greedy_follows_shortest_hops(self):
+        # Without augmentation greedy walks a distance-decreasing path.
+        g = grid_2d(6)
+        aug = AugmentedGraph(base=g)
+        hops = greedy_route(aug, (0, 0), (5, 5))
+        assert len(hops) - 1 == 10  # Manhattan hop count
+
+    def test_distances_strictly_decrease(self):
+        g = grid_2d(7)
+        aug = PathSeparatorAugmentation.build(g).augment(g, seed=9)
+        target = (6, 6)
+        dist, _ = dijkstra(g, target)
+        hops = greedy_route(aug, (0, 0), target, dist_to_target=dist)
+        ds = [dist[h] for h in hops]
+        assert all(a > b for a, b in zip(ds, ds[1:]))
+
+    def test_unreachable_target_raises(self):
+        g = Graph([(0, 1)])
+        g.add_vertex(9)
+        with pytest.raises(GraphError):
+            greedy_route(AugmentedGraph(base=g), 0, 9)
+
+    def test_max_hops_enforced(self):
+        g = grid_2d(8)
+        aug = AugmentedGraph(base=g)
+        with pytest.raises(GraphError):
+            greedy_route(aug, (0, 0), (7, 7), max_hops=3)
+
+    def test_augmentation_helps_on_large_grid(self):
+        g = grid_2d(16)
+        pairs = pair_sample(g, 60, seed=10)
+        plain = GreedyRouter(AugmentedGraph(base=g)).mean_hops(pairs)
+        aug = PathSeparatorAugmentation.build(g).augment(g, seed=11)
+        augmented = GreedyRouter(aug).mean_hops(pairs)
+        assert augmented < plain
+
+
+class TestGreedyRouter:
+    def test_hops_counts_edges(self):
+        g = grid_2d(5)
+        router = GreedyRouter(AugmentedGraph(base=g))
+        assert router.hops((0, 0), (0, 3)) == 3
+
+    def test_mean_hops_skips_identical_pairs(self):
+        g = grid_2d(4)
+        router = GreedyRouter(AugmentedGraph(base=g))
+        mean = router.mean_hops([((0, 0), (0, 0)), ((0, 0), (0, 1))])
+        assert mean == 1.0
+
+    def test_cache_eviction(self):
+        g = grid_2d(4)
+        router = GreedyRouter(AugmentedGraph(base=g), cache_size=2)
+        vs = sorted(g.vertices())
+        for t in vs[:5]:
+            router.hops(vs[-1], t) if t != vs[-1] else None
+        assert len(router._cache) <= 2
+
+
+class TestAspectRatio:
+    def test_unit_grid(self):
+        # Diameter of a unit 5x5 grid is 8; min distance 1.
+        assert estimate_aspect_ratio(grid_2d(5)) == pytest.approx(8.0)
+
+    def test_single_vertex(self):
+        g = Graph()
+        g.add_vertex(0)
+        assert estimate_aspect_ratio(g) == 1.0
+
+    def test_weighted(self):
+        g = Graph([(0, 1, 0.5), (1, 2, 8.0)])
+        assert estimate_aspect_ratio(g) == pytest.approx(8.5 / 0.5)
+
+
+class TestNote1TreewidthVariant:
+    def test_single_vertex_paths_give_single_landmarks(self):
+        # On a k-tree all separator paths are single vertices, so the
+        # augmentation draws the path vertex itself (Note 1).
+        g, _ = k_tree(60, 2, seed=12)
+        tree = build_decomposition(g)
+        assert all(
+            len(tree.path_vertices(key)) == 1 for key in tree.all_path_keys()
+        )
+        aug = PathSeparatorAugmentation(tree).augment(g, seed=13)
+        assert aug.num_long_edges > 0

@@ -1,0 +1,78 @@
+"""The vertex-weighted variant of Theorem 1 (the paper's note after the
+main proof: lemmas 1 and 5 adapt to vertex weights)."""
+
+import pytest
+
+from repro.core import GreedyPeelingEngine, PathSeparator, SeparatorPhase
+from repro.generators import grid_2d, random_tree
+from repro.graphs import Graph, connected_components
+from repro.util.errors import InvalidSeparatorError
+
+
+class TestWeightedValidate:
+    def test_weighted_balance_accepted(self):
+        # Path 0-1-2; all weight on vertex 1; removing 1 balances.
+        g = Graph([(0, 1), (1, 2)])
+        weights = {0: 1.0, 1: 100.0, 2: 1.0}
+        sep = PathSeparator(phases=[SeparatorPhase(paths=[[1]])])
+        sep.validate(g, vertex_weight=weights)
+
+    def test_weighted_balance_rejected(self):
+        # Counting balance holds but weighted balance does not.
+        g = Graph([(0, 1), (1, 2), (2, 3), (3, 4)])
+        weights = {0: 1.0, 1: 1.0, 2: 1.0, 3: 1.0, 4: 100.0}
+        sep = PathSeparator(phases=[SeparatorPhase(paths=[[2]])])
+        sep.validate(g)  # unweighted: fine
+        with pytest.raises(InvalidSeparatorError, match=r"\(P3\)"):
+            sep.validate(g, vertex_weight=weights)
+
+    def test_fraction_uses_weights(self):
+        g = Graph([(0, 1), (1, 2)])
+        weights = {0: 8.0, 1: 1.0, 2: 1.0}
+        sep = PathSeparator(phases=[SeparatorPhase(paths=[[1]])])
+        frac = sep.max_component_fraction(g, vertex_weight=weights)
+        assert frac == pytest.approx(0.8)
+
+
+class TestWeightedGreedyPeeling:
+    def test_skewed_weights_on_grid(self):
+        g = grid_2d(8)
+        # All the weight sits in the top-left quadrant.
+        weights = {
+            v: (100.0 if v[0] < 4 and v[1] < 4 else 1.0) for v in g.vertices()
+        }
+        engine = GreedyPeelingEngine(seed=0, vertex_weight=weights)
+        sep = engine.find_separator(g)
+        sep.validate(g, vertex_weight=weights)
+
+    def test_weighted_separator_targets_heavy_region(self):
+        # With the weight concentrated on one corner vertex pair, the
+        # separator must disconnect or remove them.
+        g = grid_2d(6)
+        weights = {v: 1e-6 for v in g.vertices()}
+        weights[(0, 0)] = 10.0
+        weights[(5, 5)] = 10.0
+        engine = GreedyPeelingEngine(seed=0, vertex_weight=weights)
+        sep = engine.find_separator(g)
+        removed = sep.vertices()
+        remaining = set(g.vertices()) - removed
+        comps = connected_components(g, within=remaining)
+        heavy_together = any(
+            (0, 0) in c and (5, 5) in c for c in comps
+        )
+        assert not heavy_together
+
+    def test_uniform_weights_match_unweighted(self):
+        g = random_tree(60, seed=1)
+        weights = {v: 1.0 for v in g.vertices()}
+        sep_w = GreedyPeelingEngine(seed=3, vertex_weight=weights).find_separator(g)
+        sep_u = GreedyPeelingEngine(seed=3).find_separator(g)
+        assert sep_w.vertices() == sep_u.vertices()
+
+    def test_zero_weight_vertices_ignored_in_balance(self):
+        g = grid_2d(5)
+        weights = {v: 0.0 for v in g.vertices()}
+        weights[(2, 2)] = 1.0
+        engine = GreedyPeelingEngine(seed=0, vertex_weight=weights)
+        sep = engine.find_separator(g)
+        sep.validate(g, vertex_weight=weights)

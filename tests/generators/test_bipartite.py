@@ -1,0 +1,48 @@
+import pytest
+
+from repro.generators import complete_bipartite, mesh_with_universal
+from repro.graphs import dijkstra, is_connected
+from repro.util.errors import GraphError
+
+
+class TestCompleteBipartite:
+    def test_edge_count(self):
+        g = complete_bipartite(3, 7)
+        assert g.num_edges == 21
+        assert g.num_vertices == 10
+
+    def test_degrees(self):
+        g = complete_bipartite(2, 5)
+        assert g.degree(("a", 0)) == 5
+        assert g.degree(("b", 0)) == 2
+
+    def test_no_intra_part_edges(self):
+        g = complete_bipartite(3, 3)
+        assert not g.has_edge(("a", 0), ("a", 1))
+        assert not g.has_edge(("b", 0), ("b", 2))
+
+    def test_invalid(self):
+        with pytest.raises(GraphError):
+            complete_bipartite(0, 3)
+
+
+class TestMeshWithUniversal:
+    def test_size(self):
+        g = mesh_with_universal(4)
+        assert g.num_vertices == 17
+
+    def test_hub_universal(self):
+        g = mesh_with_universal(3)
+        assert g.degree("hub") == 9
+
+    def test_diameter_two(self):
+        g = mesh_with_universal(6)
+        dist, _ = dijkstra(g, (0, 0))
+        assert max(dist.values()) <= 2
+
+    def test_connected(self):
+        assert is_connected(mesh_with_universal(5))
+
+    def test_invalid(self):
+        with pytest.raises(GraphError):
+            mesh_with_universal(1)

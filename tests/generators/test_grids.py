@@ -1,0 +1,99 @@
+import pytest
+
+from repro.generators import cycle_graph, grid_2d, grid_3d, path_graph, torus_2d
+from repro.graphs import dijkstra, is_connected
+from repro.util.errors import GraphError
+
+
+class TestPathGraph:
+    def test_structure(self):
+        g = path_graph(5)
+        assert g.num_vertices == 5 and g.num_edges == 4
+
+    def test_single_vertex(self):
+        g = path_graph(1)
+        assert g.num_vertices == 1 and g.num_edges == 0
+
+    def test_invalid_size(self):
+        with pytest.raises(GraphError):
+            path_graph(0)
+
+    def test_weight_range(self):
+        g = path_graph(20, weight_range=(2.0, 3.0), seed=1)
+        assert all(2.0 <= w <= 3.0 for _, _, w in g.edges())
+
+
+class TestCycleGraph:
+    def test_structure(self):
+        g = cycle_graph(6)
+        assert g.num_edges == 6
+        assert all(g.degree(v) == 2 for v in g.vertices())
+
+    def test_minimum_size(self):
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+
+class TestGrid2d:
+    def test_dimensions(self):
+        g = grid_2d(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_square_default(self):
+        assert grid_2d(4).num_vertices == 16
+
+    def test_corner_degrees(self):
+        g = grid_2d(3)
+        assert g.degree((0, 0)) == 2
+        assert g.degree((1, 1)) == 4
+
+    def test_unit_distances_are_manhattan(self):
+        g = grid_2d(5)
+        dist, _ = dijkstra(g, (0, 0))
+        assert dist[(4, 4)] == 8
+
+    def test_seeded_weights_reproducible(self):
+        a = grid_2d(4, weight_range=(1, 2), seed=9)
+        b = grid_2d(4, weight_range=(1, 2), seed=9)
+        assert a == b
+
+    def test_invalid(self):
+        with pytest.raises(GraphError):
+            grid_2d(0)
+
+
+class TestTorus2d:
+    def test_regular_degree_4(self):
+        g = torus_2d(4, 5)
+        assert all(g.degree(v) == 4 for v in g.vertices())
+
+    def test_wraparound_shortens_distance(self):
+        g = torus_2d(8)
+        dist, _ = dijkstra(g, (0, 0))
+        assert dist[(7, 0)] == 1
+
+    def test_minimum_size(self):
+        with pytest.raises(GraphError):
+            torus_2d(2)
+
+
+class TestGrid3d:
+    def test_dimensions(self):
+        g = grid_3d(2, 3, 4)
+        assert g.num_vertices == 24
+
+    def test_cubic_default(self):
+        assert grid_3d(3).num_vertices == 27
+
+    def test_connected(self):
+        assert is_connected(grid_3d(3))
+
+    def test_interior_degree_6(self):
+        g = grid_3d(3)
+        assert g.degree((1, 1, 1)) == 6
+
+    def test_manhattan_distance(self):
+        g = grid_3d(4)
+        dist, _ = dijkstra(g, (0, 0, 0))
+        assert dist[(3, 3, 3)] == 9

@@ -1,0 +1,64 @@
+import pytest
+
+from repro.generators import k_tree, partial_k_tree
+from repro.graphs import is_connected
+from repro.treedecomp import decomposition_from_bags
+from repro.util.errors import GraphError
+
+
+class TestKTree:
+    def test_edge_count(self):
+        # A k-tree on n vertices has k(k+1)/2 + (n-k-1)k edges.
+        g, _ = k_tree(20, 3, seed=1)
+        assert g.num_edges == 6 + 16 * 3
+
+    def test_bags_form_valid_decomposition(self):
+        g, bags = k_tree(40, 2, seed=2)
+        td = decomposition_from_bags(g, bags)  # validates internally
+        assert td.width == 2
+
+    def test_bag_sizes(self):
+        _, bags = k_tree(25, 4, seed=3)
+        assert all(len(b) == 5 for b in bags)
+
+    def test_connected(self):
+        g, _ = k_tree(30, 3, seed=4)
+        assert is_connected(g)
+
+    def test_too_small_n(self):
+        with pytest.raises(GraphError):
+            k_tree(3, 3)
+
+    def test_invalid_k(self):
+        with pytest.raises(GraphError):
+            k_tree(10, 0)
+
+    def test_reproducible(self):
+        assert k_tree(20, 2, seed=7)[0] == k_tree(20, 2, seed=7)[0]
+
+
+class TestPartialKTree:
+    def test_connected_despite_drops(self):
+        g, _ = partial_k_tree(60, 3, edge_keep_prob=0.3, seed=5)
+        assert is_connected(g)
+
+    def test_subgraph_of_full_ktree(self):
+        g, _ = partial_k_tree(30, 2, edge_keep_prob=0.5, seed=6)
+        full, _ = k_tree(30, 2, seed=6)
+        # partial_k_tree draws the same k-tree from the same rng seed
+        # only if the seed stream matches; instead check edge subset of
+        # *some* width-2 structure: width via bags.
+        assert g.num_edges <= full.num_edges
+
+    def test_bags_still_cover(self):
+        g, bags = partial_k_tree(40, 3, seed=7)
+        td = decomposition_from_bags(g, bags)
+        assert td.width == 3
+
+    def test_keep_prob_one_keeps_everything(self):
+        g, _ = partial_k_tree(20, 2, edge_keep_prob=1.0, seed=8)
+        assert g.num_edges == 1 + 18 * 2  # full 2-tree edge count
+
+    def test_invalid_prob(self):
+        with pytest.raises(GraphError):
+            partial_k_tree(10, 2, edge_keep_prob=1.5)

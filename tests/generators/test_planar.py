@@ -1,0 +1,89 @@
+import pytest
+
+from repro.generators import (
+    outerplanar_graph,
+    random_delaunay_graph,
+    random_planar_graph,
+)
+from repro.graphs import is_connected
+from repro.util.errors import GraphError
+
+
+def is_planar_via_networkx(g):
+    networkx = pytest.importorskip("networkx")
+    from repro.graphs.converters import to_networkx
+
+    ok, _ = networkx.check_planarity(to_networkx(g))
+    return ok
+
+
+class TestRandomPlanar:
+    def test_connected(self):
+        assert is_connected(random_planar_graph(80, seed=1))
+
+    def test_planarity(self):
+        assert is_planar_via_networkx(random_planar_graph(60, seed=2))
+
+    def test_edge_budget(self):
+        g = random_planar_graph(50, edge_keep_prob=1.0, seed=3)
+        assert g.num_edges <= 3 * g.num_vertices - 6
+
+    def test_sparsification_reduces_edges(self):
+        dense = random_planar_graph(50, edge_keep_prob=1.0, seed=4)
+        sparse = random_planar_graph(50, edge_keep_prob=0.4, seed=4)
+        assert sparse.num_edges < dense.num_edges
+
+    def test_minimum_size(self):
+        with pytest.raises(GraphError):
+            random_planar_graph(2)
+
+
+class TestDelaunay:
+    def test_structure(self):
+        pytest.importorskip("scipy")
+        g, pos = random_delaunay_graph(100, seed=5)
+        assert g.num_vertices == 100
+        assert len(pos) == 100
+        assert is_connected(g)
+
+    def test_planarity(self):
+        pytest.importorskip("scipy")
+        g, _ = random_delaunay_graph(70, seed=6)
+        assert is_planar_via_networkx(g)
+
+    def test_weights_are_euclidean(self):
+        pytest.importorskip("scipy")
+        import math
+
+        g, pos = random_delaunay_graph(40, seed=7)
+        for u, v, w in g.edges():
+            expected = math.hypot(
+                pos[u][0] - pos[v][0], pos[u][1] - pos[v][1]
+            )
+            assert w == pytest.approx(expected, abs=1e-6)
+
+    def test_minimum_size(self):
+        pytest.importorskip("scipy")
+        with pytest.raises(GraphError):
+            random_delaunay_graph(2)
+
+
+class TestOuterplanar:
+    def test_contains_cycle(self):
+        g = outerplanar_graph(10, chord_prob=0.0)
+        assert g.num_edges == 10  # just the cycle
+
+    def test_chords_added(self):
+        g = outerplanar_graph(20, chord_prob=1.0, seed=8)
+        assert g.num_edges > 20
+
+    def test_planarity(self):
+        assert is_planar_via_networkx(outerplanar_graph(40, seed=9))
+
+    def test_outerplanarity_via_k4_free_edge_bound(self):
+        # Outerplanar graphs have at most 2n - 3 edges.
+        g = outerplanar_graph(30, chord_prob=1.0, seed=10)
+        assert g.num_edges <= 2 * 30 - 3
+
+    def test_connected(self):
+        assert is_connected(outerplanar_graph(25, seed=11))

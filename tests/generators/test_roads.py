@@ -1,0 +1,46 @@
+import pytest
+
+from repro.generators import road_network
+from repro.graphs import is_connected
+from repro.util.errors import GraphError
+
+
+class TestRoadNetwork:
+    def test_connected(self):
+        assert is_connected(road_network(12, seed=1))
+
+    def test_sparser_than_grid(self):
+        g = road_network(12, removal_prob=0.3, seed=2)
+        full_edges = 2 * 12 * 11
+        assert g.num_edges < full_edges
+
+    def test_no_removal_keeps_grid(self):
+        g = road_network(8, removal_prob=0.0, seed=3)
+        assert g.num_edges == 2 * 8 * 7
+
+    def test_highways_are_cheaper(self):
+        g = road_network(16, removal_prob=0.0, highway_every=8, highway_speedup=4.0, seed=4)
+        highway = [
+            w for (u, v, w) in g.edges()
+            if u[0] == v[0] == 0  # row 0 is a highway
+        ]
+        local = [
+            w for (u, v, w) in g.edges()
+            if u[0] == v[0] == 1  # row 1 is local
+        ]
+        assert max(highway) < min(local)
+
+    def test_rectangular(self):
+        g = road_network(6, cols=10, removal_prob=0.0, seed=5)
+        assert g.num_vertices == 60
+
+    def test_invalid_size(self):
+        with pytest.raises(GraphError):
+            road_network(1)
+
+    def test_invalid_highway_spacing(self):
+        with pytest.raises(GraphError):
+            road_network(8, highway_every=0)
+
+    def test_reproducible(self):
+        assert road_network(10, seed=6) == road_network(10, seed=6)

@@ -1,0 +1,46 @@
+import pytest
+
+from repro.generators import series_parallel_graph
+from repro.graphs import is_connected
+from repro.treedecomp import decomposition_from_elimination, min_degree_order
+from repro.util.errors import GraphError
+
+
+class TestSeriesParallel:
+    def test_vertex_count(self):
+        g = series_parallel_graph(40, seed=1)
+        assert g.num_vertices == 40
+
+    def test_connected(self):
+        assert is_connected(series_parallel_graph(100, seed=2))
+
+    def test_treewidth_at_most_two(self):
+        # SP graphs have treewidth <= 2; min-degree is exact enough on
+        # these to certify the upper bound.
+        g = series_parallel_graph(80, seed=3)
+        td = decomposition_from_elimination(g, min_degree_order(g))
+        assert td.width <= 2
+
+    def test_pure_series_is_path(self):
+        g = series_parallel_graph(10, parallel_prob=0.0, seed=4)
+        degrees = sorted(g.degree(v) for v in g.vertices())
+        assert degrees == [1, 1] + [2] * 8
+
+    def test_planarity(self):
+        networkx = pytest.importorskip("networkx")
+        from repro.graphs.converters import to_networkx
+
+        g = series_parallel_graph(60, seed=5)
+        ok, _ = networkx.check_planarity(to_networkx(g))
+        assert ok
+
+    def test_minimum_size(self):
+        with pytest.raises(GraphError):
+            series_parallel_graph(1)
+
+    def test_invalid_prob(self):
+        with pytest.raises(GraphError):
+            series_parallel_graph(10, parallel_prob=2.0)
+
+    def test_reproducible(self):
+        assert series_parallel_graph(30, seed=6) == series_parallel_graph(30, seed=6)

@@ -1,0 +1,54 @@
+import pytest
+
+from repro.generators import hypercube, random_regular_graph
+from repro.graphs import bfs_distances, is_connected
+from repro.util.errors import GraphError
+
+
+class TestHypercube:
+    def test_size(self):
+        g = hypercube(4)
+        assert g.num_vertices == 16
+        assert g.num_edges == 4 * 16 // 2
+
+    def test_regular(self):
+        g = hypercube(3)
+        assert all(g.degree(v) == 3 for v in g.vertices())
+
+    def test_hamming_distance(self):
+        g = hypercube(5)
+        dist = bfs_distances(g, 0)
+        assert dist[0b10101] == 3  # popcount
+
+    def test_invalid(self):
+        with pytest.raises(GraphError):
+            hypercube(0)
+
+
+class TestRandomRegular:
+    def test_degree_exact(self):
+        g = random_regular_graph(40, 3, seed=1)
+        assert all(g.degree(v) == 3 for v in g.vertices())
+
+    def test_simple(self):
+        g = random_regular_graph(30, 4, seed=2)
+        # No self-loops possible by the Graph type; check edge count.
+        assert g.num_edges == 30 * 4 // 2
+
+    def test_connected_whp(self):
+        # Degree >= 3 random regular graphs are connected w.h.p.
+        g = random_regular_graph(100, 3, seed=3)
+        assert is_connected(g)
+
+    def test_odd_product_rejected(self):
+        with pytest.raises(GraphError):
+            random_regular_graph(5, 3)
+
+    def test_degree_bounds(self):
+        with pytest.raises(GraphError):
+            random_regular_graph(10, 10)
+
+    def test_reproducible(self):
+        a = random_regular_graph(20, 3, seed=9)
+        b = random_regular_graph(20, 3, seed=9)
+        assert a == b

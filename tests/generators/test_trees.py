@@ -1,0 +1,66 @@
+import pytest
+
+from repro.generators import balanced_tree, caterpillar_tree, random_tree, spider_tree
+from repro.graphs import is_connected
+from repro.util.errors import GraphError
+
+
+def is_tree(g):
+    return is_connected(g) and g.num_edges == g.num_vertices - 1
+
+
+class TestRandomTree:
+    def test_is_tree(self):
+        assert is_tree(random_tree(50, seed=1))
+
+    def test_size_one(self):
+        g = random_tree(1)
+        assert g.num_vertices == 1 and g.num_edges == 0
+
+    def test_reproducible(self):
+        assert random_tree(30, seed=5) == random_tree(30, seed=5)
+
+    def test_different_seeds_differ(self):
+        assert random_tree(30, seed=5) != random_tree(30, seed=6)
+
+    def test_invalid(self):
+        with pytest.raises(GraphError):
+            random_tree(0)
+
+
+class TestBalancedTree:
+    def test_node_count(self):
+        # 1 + 2 + 4 + 8 = 15 for branching 2, depth 3.
+        assert balanced_tree(2, 3).num_vertices == 15
+
+    def test_depth_zero(self):
+        g = balanced_tree(3, 0)
+        assert g.num_vertices == 1
+
+    def test_is_tree(self):
+        assert is_tree(balanced_tree(3, 3))
+
+
+class TestCaterpillar:
+    def test_size(self):
+        g = caterpillar_tree(spine=5, legs_per_vertex=2)
+        assert g.num_vertices == 5 + 10
+
+    def test_is_tree(self):
+        assert is_tree(caterpillar_tree(6, 3))
+
+    def test_no_legs(self):
+        g = caterpillar_tree(4, 0)
+        assert g.num_vertices == 4
+
+
+class TestSpider:
+    def test_size(self):
+        g = spider_tree(legs=4, leg_length=3)
+        assert g.num_vertices == 1 + 12
+
+    def test_hub_degree(self):
+        assert spider_tree(5, 2).degree(0) == 5
+
+    def test_is_tree(self):
+        assert is_tree(spider_tree(3, 4))

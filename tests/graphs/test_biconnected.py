@@ -1,0 +1,94 @@
+import random
+
+import pytest
+
+from repro.generators import cycle_graph, grid_2d, random_tree
+from repro.graphs import Graph
+from repro.graphs.biconnected import biconnected_components, is_biconnected
+
+
+def canonical(blocks):
+    return sorted(
+        sorted(tuple(sorted(edge, key=repr)) for edge in block)
+        for block in blocks
+    )
+
+
+class TestBiconnectedComponents:
+    def test_two_triangles_sharing_vertex(self):
+        g = Graph([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
+        blocks, articulation = biconnected_components(g)
+        assert len(blocks) == 2
+        assert articulation == {2}
+
+    def test_tree_blocks_are_edges(self):
+        g = random_tree(25, seed=1)
+        blocks, articulation = biconnected_components(g)
+        assert len(blocks) == 24
+        assert all(len(b) == 1 for b in blocks)
+        internal = {v for v in g.vertices() if g.degree(v) > 1}
+        assert articulation == internal
+
+    def test_cycle_single_block(self):
+        blocks, articulation = biconnected_components(cycle_graph(8))
+        assert len(blocks) == 1
+        assert not articulation
+
+    def test_grid_single_block(self):
+        blocks, articulation = biconnected_components(grid_2d(4))
+        assert len(blocks) == 1
+        assert not articulation
+
+    def test_blocks_partition_edges(self):
+        g = Graph([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)])
+        blocks, _ = biconnected_components(g)
+        all_edges = [e for b in blocks for e in b]
+        assert len(all_edges) == g.num_edges
+        assert len(set(all_edges)) == g.num_edges
+
+    def test_disconnected_graph(self):
+        g = Graph([(0, 1), (1, 2), (0, 2)])
+        g.add_edge(10, 11)
+        blocks, articulation = biconnected_components(g)
+        assert len(blocks) == 2
+        assert not articulation
+
+    def test_cross_check_networkx(self):
+        networkx = pytest.importorskip("networkx")
+        from repro.graphs.converters import to_networkx
+
+        rng = random.Random(0)
+        for _ in range(25):
+            n = rng.randint(3, 30)
+            g = Graph()
+            g.add_vertex(0)
+            for v in range(1, n):
+                g.add_edge(rng.randrange(v), v)
+            for _ in range(rng.randint(0, 20)):
+                u, v = rng.randrange(n), rng.randrange(n)
+                if u != v and not g.has_edge(u, v):
+                    g.add_edge(u, v)
+            blocks, articulation = biconnected_components(g)
+            nx_graph = to_networkx(g)
+            assert articulation == set(networkx.articulation_points(nx_graph))
+            theirs = [
+                {frozenset(e) for e in comp}
+                for comp in networkx.biconnected_component_edges(nx_graph)
+            ]
+            assert canonical(blocks) == canonical(theirs)
+
+
+class TestIsBiconnected:
+    def test_cycle(self):
+        assert is_biconnected(cycle_graph(5))
+
+    def test_path_is_not(self):
+        assert not is_biconnected(Graph([(0, 1), (1, 2)]))
+
+    def test_single_edge(self):
+        assert is_biconnected(Graph([(0, 1)]))
+
+    def test_disconnected(self):
+        g = Graph([(0, 1)])
+        g.add_vertex(9)
+        assert not is_biconnected(g)

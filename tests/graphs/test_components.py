@@ -1,0 +1,58 @@
+from repro.generators import grid_2d
+from repro.graphs import Graph, connected_components, is_connected, largest_component
+
+
+class TestConnectedComponents:
+    def test_single_component(self, small_grid):
+        comps = connected_components(small_grid)
+        assert len(comps) == 1
+        assert len(comps[0]) == 25
+
+    def test_multiple_components_sorted_by_size(self):
+        g = Graph([(0, 1), (1, 2), (10, 11)])
+        g.add_vertex(99)
+        comps = connected_components(g)
+        assert [len(c) for c in comps] == [3, 2, 1]
+
+    def test_within_restriction_splits(self):
+        g = grid_2d(3)
+        # Remove the middle column -> two vertical strips.
+        keep = {v for v in g.vertices() if v[1] != 1}
+        comps = connected_components(g, within=keep)
+        assert len(comps) == 2
+        assert all(len(c) == 3 for c in comps)
+
+    def test_within_ignores_foreign_vertices(self):
+        g = Graph([(0, 1)])
+        comps = connected_components(g, within={0, 1, 777})
+        assert len(comps) == 1
+
+    def test_empty_graph(self):
+        assert connected_components(Graph()) == []
+
+
+class TestLargestComponent:
+    def test_largest(self):
+        g = Graph([(0, 1), (2, 3), (3, 4)])
+        assert largest_component(g) == {2, 3, 4}
+
+    def test_empty(self):
+        assert largest_component(Graph()) == set()
+
+
+class TestIsConnected:
+    def test_connected(self, small_grid):
+        assert is_connected(small_grid)
+
+    def test_disconnected(self):
+        g = Graph([(0, 1)])
+        g.add_vertex(9)
+        assert not is_connected(g)
+
+    def test_empty_counts_as_connected(self):
+        assert is_connected(Graph())
+
+    def test_within(self):
+        g = grid_2d(3)
+        keep = {v for v in g.vertices() if v[1] != 1}
+        assert not is_connected(g, within=keep)

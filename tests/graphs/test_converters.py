@@ -1,0 +1,44 @@
+import pytest
+
+networkx = pytest.importorskip("networkx")
+
+from repro.graphs import Graph
+from repro.graphs.converters import from_networkx, to_networkx
+
+
+class TestToNetworkx:
+    def test_structure_and_weights(self, triangle):
+        nx_g = to_networkx(triangle)
+        assert nx_g.number_of_nodes() == 3
+        assert nx_g.number_of_edges() == 3
+        assert nx_g[0][2]["weight"] == 2.5
+
+    def test_isolated_vertices(self):
+        g = Graph()
+        g.add_vertex("solo")
+        assert "solo" in to_networkx(g)
+
+
+class TestFromNetworkx:
+    def test_round_trip(self, triangle):
+        assert from_networkx(to_networkx(triangle)) == triangle
+
+    def test_default_weight_applied(self):
+        nx_g = networkx.Graph()
+        nx_g.add_edge(0, 1)  # no weight attribute
+        g = from_networkx(nx_g, default_weight=3.0)
+        assert g.weight(0, 1) == 3.0
+
+    def test_distances_agree_with_networkx(self):
+        nx_g = networkx.erdos_renyi_graph(30, 0.2, seed=4)
+        for u, v in nx_g.edges():
+            nx_g[u][v]["weight"] = 1.0 + (u + v) % 5
+        g = from_networkx(nx_g)
+        from repro.graphs import dijkstra
+
+        source = 0
+        ours, _ = dijkstra(g, source)
+        theirs = networkx.single_source_dijkstra_path_length(nx_g, source)
+        assert set(ours) == set(theirs)
+        for v, d in theirs.items():
+            assert ours[v] == pytest.approx(d)

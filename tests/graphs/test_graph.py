@@ -1,0 +1,134 @@
+import pytest
+
+from repro.graphs import Graph
+from repro.util.errors import GraphError
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+    def test_from_unweighted_pairs(self):
+        g = Graph([(0, 1), (1, 2)])
+        assert g.num_edges == 2
+        assert g.weight(0, 1) == 1.0
+
+    def test_from_weighted_triples(self):
+        g = Graph([(0, 1, 3.5)])
+        assert g.weight(0, 1) == 3.5
+
+    def test_mixed_vertex_types(self):
+        g = Graph()
+        g.add_edge("a", (1, 2), 2.0)
+        assert "a" in g and (1, 2) in g
+
+
+class TestMutation:
+    def test_add_vertex_idempotent(self):
+        g = Graph()
+        g.add_vertex(5)
+        g.add_vertex(5)
+        assert g.num_vertices == 1
+
+    def test_add_edge_creates_vertices(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        assert 1 in g and 2 in g
+
+    def test_re_add_edge_overwrites_weight(self):
+        g = Graph([(0, 1, 1.0)])
+        g.add_edge(0, 1, 9.0)
+        assert g.weight(0, 1) == 9.0
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.add_edge(3, 3)
+
+    def test_nonpositive_weight_rejected(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.add_edge(0, 1, 0.0)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 1, -2.0)
+
+    def test_remove_edge(self):
+        g = Graph([(0, 1), (1, 2)])
+        g.remove_edge(0, 1)
+        assert not g.has_edge(0, 1)
+        assert g.has_edge(1, 2)
+        assert 0 in g  # vertex survives
+
+    def test_remove_missing_edge_raises(self):
+        g = Graph([(0, 1)])
+        with pytest.raises(GraphError):
+            g.remove_edge(0, 2)
+
+    def test_remove_vertex_cleans_incident_edges(self):
+        g = Graph([(0, 1), (1, 2), (0, 2)])
+        g.remove_vertex(1)
+        assert 1 not in g
+        assert g.num_edges == 1
+        assert g.has_edge(0, 2)
+
+    def test_remove_missing_vertex_raises(self):
+        with pytest.raises(GraphError):
+            Graph().remove_vertex(0)
+
+
+class TestQueries:
+    def test_edges_yields_each_once(self, triangle):
+        edges = list(triangle.edges())
+        assert len(edges) == 3
+        seen = {frozenset((u, v)) for u, v, _ in edges}
+        assert len(seen) == 3
+
+    def test_degree(self, triangle):
+        assert triangle.degree(0) == 2
+
+    def test_degree_missing_vertex(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.degree(99)
+
+    def test_weight_missing_edge(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.weight(0, 99)
+
+    def test_total_and_max_weight(self, triangle):
+        assert triangle.total_weight() == pytest.approx(5.5)
+        assert triangle.max_weight() == pytest.approx(2.5)
+
+    def test_max_weight_empty(self):
+        assert Graph().max_weight() == 0.0
+
+    def test_len_and_iter(self, triangle):
+        assert len(triangle) == 3
+        assert sorted(triangle) == [0, 1, 2]
+
+    def test_neighbor_items(self, triangle):
+        items = dict(triangle.neighbor_items(0))
+        assert items == {1: 1.0, 2: 2.5}
+
+
+class TestCopyAndEquality:
+    def test_copy_is_deep_for_structure(self, triangle):
+        clone = triangle.copy()
+        clone.remove_edge(0, 1)
+        assert triangle.has_edge(0, 1)
+
+    def test_equality(self):
+        a = Graph([(0, 1, 2.0)])
+        b = Graph([(0, 1, 2.0)])
+        assert a == b
+        b.add_vertex(9)
+        assert a != b
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Graph())
+
+    def test_repr(self, triangle):
+        assert repr(triangle) == "Graph(n=3, m=3)"

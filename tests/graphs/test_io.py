@@ -1,0 +1,48 @@
+import pytest
+
+from repro.graphs import Graph
+from repro.graphs.io import read_edge_list, write_edge_list
+from repro.util.errors import GraphError
+
+
+class TestRoundTrip:
+    def test_weighted_graph(self, tmp_path, triangle):
+        path = tmp_path / "g.txt"
+        write_edge_list(triangle, path)
+        back = read_edge_list(path)
+        assert back == triangle
+
+    def test_isolated_vertices_survive(self, tmp_path):
+        g = Graph([(0, 1)])
+        g.add_vertex(42)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        back = read_edge_list(path)
+        assert 42 in back
+        assert back.num_vertices == 3
+
+    def test_string_vertices(self, tmp_path):
+        g = Graph([("alpha", "beta", 2.0)])
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        back = read_edge_list(path)
+        assert back.weight("alpha", "beta") == 2.0
+
+
+class TestParsing:
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n\n0 1 2.5\n")
+        g = read_edge_list(path)
+        assert g.weight(0, 1) == 2.5
+
+    def test_unweighted_lines_default_weight(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("3 4\n")
+        assert read_edge_list(path).weight(3, 4) == 1.0
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 2 3\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)

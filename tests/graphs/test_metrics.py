@@ -1,0 +1,90 @@
+import pytest
+
+from repro.generators import cycle_graph, grid_2d, path_graph, random_tree
+from repro.graphs import Graph
+from repro.graphs.metrics import (
+    aspect_ratio,
+    diameter,
+    double_sweep_diameter,
+    eccentricities,
+    radius_and_center,
+)
+from repro.util.errors import GraphError, NotConnectedError
+
+
+class TestEccentricities:
+    def test_path_graph(self):
+        eccs = eccentricities(path_graph(5))
+        assert eccs[0] == 4 and eccs[2] == 2
+
+    def test_disconnected_rejected(self):
+        g = Graph([(0, 1)])
+        g.add_vertex(9)
+        with pytest.raises(NotConnectedError):
+            eccentricities(g)
+
+
+class TestDiameter:
+    def test_grid(self):
+        assert diameter(grid_2d(4)) == 6
+
+    def test_cycle(self):
+        assert diameter(cycle_graph(8)) == 4
+
+    def test_weighted(self):
+        g = Graph([(0, 1, 2.5), (1, 2, 3.5)])
+        assert diameter(g) == 6.0
+
+    def test_trivial(self):
+        g = Graph()
+        g.add_vertex(0)
+        assert diameter(g) == 0.0
+
+
+class TestRadiusAndCenter:
+    def test_path_center(self):
+        radius, center = radius_and_center(path_graph(7))
+        assert radius == 3 and center == 3
+
+    def test_radius_at_most_diameter(self):
+        g = random_tree(40, weight_range=(1.0, 5.0), seed=1)
+        radius, _ = radius_and_center(g)
+        assert radius <= diameter(g) <= 2 * radius
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            radius_and_center(Graph())
+
+
+class TestDoubleSweep:
+    def test_exact_on_trees(self):
+        for seed in range(5):
+            g = random_tree(50, weight_range=(0.5, 3.0), seed=seed)
+            assert double_sweep_diameter(g) == pytest.approx(diameter(g))
+
+    def test_lower_bound_in_general(self):
+        g = grid_2d(6, weight_range=(1.0, 4.0), seed=2)
+        assert double_sweep_diameter(g) <= diameter(g) + 1e-9
+
+    def test_within_factor_two(self):
+        g = cycle_graph(12)
+        assert double_sweep_diameter(g) >= diameter(g) / 2
+
+
+class TestAspectRatio:
+    def test_unit_grid(self):
+        assert aspect_ratio(grid_2d(5), exact=True) == pytest.approx(8.0)
+
+    def test_approx_is_lower_bound(self):
+        g = grid_2d(5, weight_range=(1.0, 6.0), seed=3)
+        assert aspect_ratio(g) <= aspect_ratio(g, exact=True) + 1e-9
+
+    def test_single_vertex(self):
+        g = Graph()
+        g.add_vertex("x")
+        assert aspect_ratio(g) == 1.0
+
+    def test_scales_with_weights(self):
+        narrow = aspect_ratio(grid_2d(5), exact=True)
+        wide = aspect_ratio(grid_2d(5, weight_range=(1.0, 100.0), seed=4), exact=True)
+        assert wide > narrow

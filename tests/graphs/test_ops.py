@@ -1,0 +1,68 @@
+import pytest
+
+from repro.graphs import Graph, induced_subgraph, remove_vertices
+from repro.graphs.ops import disjoint_union, relabel, reweighted
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_edges_only(self, triangle):
+        sub = induced_subgraph(triangle, {0, 1})
+        assert sub.num_vertices == 2
+        assert sub.has_edge(0, 1)
+        assert sub.num_edges == 1
+
+    def test_preserves_weights(self, triangle):
+        sub = induced_subgraph(triangle, {0, 2})
+        assert sub.weight(0, 2) == 2.5
+
+    def test_foreign_vertices_ignored(self, triangle):
+        sub = induced_subgraph(triangle, {0, 77})
+        assert sub.num_vertices == 1
+
+    def test_original_untouched(self, triangle):
+        induced_subgraph(triangle, {0})
+        assert triangle.num_edges == 3
+
+
+class TestRemoveVertices:
+    def test_removal(self, triangle):
+        out = remove_vertices(triangle, {1})
+        assert 1 not in out
+        assert out.has_edge(0, 2)
+
+    def test_remove_nothing(self, triangle):
+        assert remove_vertices(triangle, set()) == triangle
+
+
+class TestDisjointUnion:
+    def test_combines(self):
+        a = Graph([(0, 1, 1.0)])
+        b = Graph([(2, 3, 2.0)])
+        u = disjoint_union(a, b)
+        assert u.num_vertices == 4 and u.num_edges == 2
+
+    def test_overlapping_weight_taken_from_second(self):
+        a = Graph([(0, 1, 1.0)])
+        b = Graph([(0, 1, 9.0)])
+        assert disjoint_union(a, b).weight(0, 1) == 9.0
+
+
+class TestRelabel:
+    def test_mapping_applied(self, triangle):
+        out = relabel(triangle, lambda v: f"v{v}")
+        assert out.has_edge("v0", "v1")
+        assert out.weight("v0", "v2") == 2.5
+
+    def test_structure_preserved(self, triangle):
+        out = relabel(triangle, lambda v: v + 10)
+        assert out.num_edges == triangle.num_edges
+
+
+class TestReweighted:
+    def test_doubling_weights(self, triangle):
+        out = reweighted(triangle, lambda u, v, w: 2 * w)
+        assert out.weight(0, 1) == 2.0
+
+    def test_weight_fn_sees_endpoints(self, triangle):
+        out = reweighted(triangle, lambda u, v, w: float(u + v + 1))
+        assert out.weight(1, 2) == 4.0

@@ -1,0 +1,165 @@
+import pytest
+
+from repro.generators import grid_2d, random_tree
+from repro.graphs import (
+    Graph,
+    bidirectional_dijkstra,
+    dijkstra,
+    dijkstra_tree,
+    multi_source_dijkstra,
+    path_cost,
+    shortest_path,
+)
+from repro.graphs.shortest_paths import multi_source_forest, reconstruct_path
+from repro.util.errors import GraphError
+
+INF = float("inf")
+
+
+@pytest.fixture
+def diamond():
+    # 0 -1- 1 -1- 3, 0 -1- 2 -1- 3 plus a heavy direct edge 0-3.
+    return Graph([(0, 1, 1.0), (1, 3, 1.0), (0, 2, 1.0), (2, 3, 1.0), (0, 3, 5.0)])
+
+
+class TestDijkstra:
+    def test_distances(self, diamond):
+        dist, _ = dijkstra(diamond, 0)
+        assert dist[3] == 2.0
+        assert dist[0] == 0.0
+
+    def test_parent_reconstructs_shortest_path(self, diamond):
+        dist, parent = dijkstra(diamond, 0)
+        path = reconstruct_path(parent, 3)
+        assert path[0] == 0 and path[-1] == 3
+        assert path_cost(diamond, path) == dist[3]
+
+    def test_missing_source_raises(self, diamond):
+        with pytest.raises(GraphError):
+            dijkstra(diamond, 99)
+
+    def test_allowed_restricts_search(self, diamond):
+        dist, _ = dijkstra(diamond, 0, allowed={0, 1, 3})
+        assert dist[3] == 2.0  # via 1; 2 is not allowed
+        dist2, _ = dijkstra(diamond, 0, allowed={0, 3})
+        assert dist2[3] == 5.0  # only the direct heavy edge remains
+
+    def test_source_must_be_allowed(self, diamond):
+        with pytest.raises(GraphError):
+            dijkstra(diamond, 0, allowed={1, 2})
+
+    def test_cutoff_prunes(self, diamond):
+        dist, _ = dijkstra(diamond, 0, cutoff=1.0)
+        assert 3 not in dist
+        assert dist[1] == 1.0
+
+    def test_disconnected_unreached(self):
+        g = Graph([(0, 1)])
+        g.add_vertex(9)
+        dist, _ = dijkstra(g, 0)
+        assert 9 not in dist
+
+    def test_agrees_with_hop_count_on_unit_grid(self):
+        g = grid_2d(5)
+        dist, _ = dijkstra(g, (0, 0))
+        for (r, c), d in dist.items():
+            assert d == r + c  # Manhattan distance on a unit mesh
+
+
+class TestMultiSource:
+    def test_nearest_source_wins(self, diamond):
+        dist, origin = multi_source_dijkstra(diamond, [0, 3])
+        assert dist[1] == 1.0 and origin[1] in (0, 3)
+        assert dist[0] == 0.0 and origin[0] == 0
+
+    def test_forest_parents_point_to_sources(self, diamond):
+        dist, origin, parent = multi_source_forest(diamond, [0])
+        assert parent[0] is None
+        # Walking parents from any vertex ends at the source.
+        v = 3
+        while parent[v] is not None:
+            v = parent[v]
+        assert v == 0
+
+    def test_forest_multi_roots(self):
+        g = grid_2d(4)
+        sources = [(0, c) for c in range(4)]
+        dist, origin, parent = multi_source_forest(g, sources)
+        for s in sources:
+            assert parent[s] is None and dist[s] == 0.0
+        assert dist[(3, 0)] == 3.0
+        assert origin[(3, 2)] == (0, 2)
+
+    def test_missing_source_raises(self, diamond):
+        with pytest.raises(GraphError):
+            multi_source_dijkstra(diamond, [0, 42])
+
+
+class TestBidirectional:
+    def test_matches_dijkstra(self, diamond):
+        d, path = bidirectional_dijkstra(diamond, 0, 3)
+        assert d == 2.0
+        assert path[0] == 0 and path[-1] == 3
+        assert path_cost(diamond, path) == d
+
+    def test_same_vertex(self, diamond):
+        d, path = bidirectional_dijkstra(diamond, 1, 1)
+        assert d == 0.0 and path == [1]
+
+    def test_disconnected(self):
+        g = Graph([(0, 1)])
+        g.add_vertex(9)
+        d, path = bidirectional_dijkstra(g, 0, 9)
+        assert d == INF and path == []
+
+    def test_matches_on_random_grid_pairs(self):
+        g = grid_2d(6, weight_range=(1.0, 9.0), seed=3)
+        import random
+
+        rng = random.Random(0)
+        vs = sorted(g.vertices())
+        for _ in range(30):
+            u, v = rng.choice(vs), rng.choice(vs)
+            full = dijkstra(g, u)[0].get(v, INF)
+            bi, _ = bidirectional_dijkstra(g, u, v)
+            assert bi == pytest.approx(full)
+
+
+class TestShortestPathTree:
+    def test_root_paths_are_shortest(self, diamond):
+        tree = dijkstra_tree(diamond, 0)
+        for v in diamond.vertices():
+            assert path_cost(diamond, tree.path_to(v)) == pytest.approx(tree.dist[v])
+
+    def test_subtree_sizes_sum(self):
+        g = random_tree(30, seed=2)
+        tree = dijkstra_tree(g, 0)
+        sizes = tree.subtree_sizes()
+        assert sizes[0] == 30
+        for v in g.vertices():
+            kids = tree.children[v]
+            assert sizes[v] == 1 + sum(sizes[c] for c in kids)
+
+    def test_depth_order_monotone(self, diamond):
+        tree = dijkstra_tree(diamond, 0)
+        order = tree.depth_order()
+        dists = [tree.dist[v] for v in order]
+        assert dists == sorted(dists)
+
+    def test_contains(self, diamond):
+        tree = dijkstra_tree(diamond, 0)
+        assert 3 in tree
+
+
+class TestPathHelpers:
+    def test_shortest_path_function(self, diamond):
+        path = shortest_path(diamond, 0, 3)
+        assert path_cost(diamond, path) == 2.0
+
+    def test_shortest_path_unreachable(self):
+        g = Graph([(0, 1)])
+        g.add_vertex(5)
+        assert shortest_path(g, 0, 5) == []
+
+    def test_path_cost_single_vertex(self, diamond):
+        assert path_cost(diamond, [2]) == 0.0

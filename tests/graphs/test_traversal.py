@@ -1,0 +1,48 @@
+import pytest
+
+from repro.generators import grid_2d
+from repro.graphs import Graph, bfs_distances, bfs_order, dfs_order
+from repro.util.errors import GraphError
+
+
+class TestBfsOrder:
+    def test_starts_at_source(self, small_grid):
+        assert bfs_order(small_grid, (0, 0))[0] == (0, 0)
+
+    def test_visits_component_exactly_once(self, small_grid):
+        order = bfs_order(small_grid, (0, 0))
+        assert len(order) == 25
+        assert len(set(order)) == 25
+
+    def test_missing_source(self, small_grid):
+        with pytest.raises(GraphError):
+            bfs_order(small_grid, "nope")
+
+    def test_allowed_restriction(self):
+        g = grid_2d(3)
+        keep = {v for v in g.vertices() if v[1] != 1}
+        order = bfs_order(g, (0, 0), allowed=keep)
+        assert set(order) == {(0, 0), (1, 0), (2, 0)}
+
+
+class TestBfsDistances:
+    def test_hop_counts_ignore_weights(self):
+        g = Graph([(0, 1, 100.0), (1, 2, 100.0), (0, 2, 1.0)])
+        dist = bfs_distances(g, 0)
+        assert dist[2] == 1  # one hop despite heavy weight
+
+    def test_unreachable_absent(self):
+        g = Graph([(0, 1)])
+        g.add_vertex(9)
+        assert 9 not in bfs_distances(g, 0)
+
+
+class TestDfsOrder:
+    def test_preorder_starts_at_source(self, small_grid):
+        assert dfs_order(small_grid, (0, 0))[0] == (0, 0)
+
+    def test_covers_component(self, small_grid):
+        assert len(dfs_order(small_grid, (0, 0))) == 25
+
+    def test_deterministic(self, small_grid):
+        assert dfs_order(small_grid, (0, 0)) == dfs_order(small_grid, (0, 0))

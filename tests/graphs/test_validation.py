@@ -1,0 +1,54 @@
+import pytest
+
+from repro.graphs import Graph, require_connected, validate_graph
+from repro.graphs.validation import require_nonempty, require_positive_weights
+from repro.util.errors import GraphError, NotConnectedError
+
+
+class TestRequirePositiveWeights:
+    def test_accepts_valid(self, triangle):
+        require_positive_weights(triangle)
+
+    def test_detects_corruption(self, triangle):
+        # Bypass the public API the way a buggy caller might.
+        triangle._adj[0][1] = -1.0
+        triangle._adj[1][0] = -1.0
+        with pytest.raises(GraphError):
+            require_positive_weights(triangle)
+
+
+class TestRequireConnected:
+    def test_accepts_connected(self, triangle):
+        require_connected(triangle)
+
+    def test_rejects_disconnected(self):
+        g = Graph([(0, 1)])
+        g.add_vertex(2)
+        with pytest.raises(NotConnectedError):
+            require_connected(g)
+
+    def test_empty_graph_passes(self):
+        require_connected(Graph())
+
+
+class TestRequireNonempty:
+    def test_rejects_empty(self):
+        with pytest.raises(GraphError):
+            require_nonempty(Graph())
+
+    def test_accepts_single_vertex(self):
+        g = Graph()
+        g.add_vertex(0)
+        require_nonempty(g)
+
+
+class TestValidateGraph:
+    def test_full_battery(self, triangle):
+        validate_graph(triangle, connected=True)
+
+    def test_connectivity_optional(self):
+        g = Graph([(0, 1)])
+        g.add_vertex(2)
+        validate_graph(g)  # fine without the flag
+        with pytest.raises(NotConnectedError):
+            validate_graph(g, connected=True)

@@ -1,0 +1,94 @@
+"""End-to-end pipelines: every data structure on every graph family."""
+
+import pytest
+
+from repro.baselines import ExactOracle, ThorupZwickOracle
+from repro.core import (
+    CompactRoutingScheme,
+    GreedyRouter,
+    PathSeparatorAugmentation,
+    PathSeparatorOracle,
+    build_decomposition,
+)
+from repro.generators import road_network
+from repro.graphs import dijkstra
+
+from tests.conftest import family_graphs, pair_sample
+
+FAMILIES = family_graphs("medium")
+
+
+@pytest.mark.parametrize("name,graph", FAMILIES, ids=[n for n, _ in FAMILIES])
+class TestFullPipelinePerFamily:
+    def test_oracle_routing_smallworld_agree(self, name, graph):
+        epsilon = 0.25
+        tree = build_decomposition(graph, validate=True)
+        oracle = PathSeparatorOracle.build(graph, epsilon=epsilon, tree=tree)
+        scheme = CompactRoutingScheme.build(graph, tree=tree)
+        exact = ExactOracle(graph)
+
+        for u, v in pair_sample(graph, 25, seed=42):
+            true = exact.query(u, v)
+            est = oracle.query(u, v)
+            assert true - 1e-9 <= est <= (1 + epsilon) * true + 1e-9
+
+            hops = scheme.route(u, v)
+            assert hops[0] == u and hops[-1] == v
+            cost = scheme.route_cost(hops)
+            # Route is a real walk: at least the distance, at most 3x.
+            assert true - 1e-9 <= cost <= 3 * true + 1e-6
+            # The oracle estimate and the anchor route describe the
+            # same structure: both must be >= the true distance.
+            assert est >= true - 1e-9
+
+    def test_smallworld_augmentation_runs(self, name, graph):
+        tree = build_decomposition(graph)
+        aug = PathSeparatorAugmentation(tree).augment(graph, seed=1)
+        router = GreedyRouter(aug)
+        pairs = pair_sample(graph, 15, seed=2)
+        mean = router.mean_hops(pairs)
+        assert mean >= 1.0
+
+
+class TestRoadNetworkScenario:
+    """A realistic workload: an oracle answering many queries on a
+    road network, cross-checked against exact and TZ baselines."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        g = road_network(20, seed=3)
+        return (
+            g,
+            PathSeparatorOracle.build(g, epsilon=0.1),
+            ThorupZwickOracle(g, k=2, seed=0),
+            ExactOracle(g),
+        )
+
+    def test_pathsep_always_tighter_guarantee_than_tz(self, setup):
+        g, ps, tz, exact = setup
+        ps_worst = tz_worst = 1.0
+        for u, v in pair_sample(g, 60, seed=4):
+            true = exact.query(u, v)
+            ps_worst = max(ps_worst, ps.query(u, v) / true)
+            tz_worst = max(tz_worst, tz.query(u, v) / true)
+        assert ps_worst <= 1.1 + 1e-9
+        assert tz_worst <= 3.0 + 1e-9
+
+    def test_space_accounting(self, setup):
+        g, ps, tz, _ = setup
+        assert ps.space_words() > 0
+        assert tz.space_words() > 0
+
+
+class TestDecompositionReuse:
+    def test_one_tree_feeds_all_structures(self):
+        from repro.generators import grid_2d
+
+        g = grid_2d(9)
+        tree = build_decomposition(g)
+        oracle = PathSeparatorOracle.build(g, tree=tree)
+        scheme = CompactRoutingScheme.build(g, tree=tree)
+        aug = PathSeparatorAugmentation(tree).augment(g, seed=5)
+        assert oracle.tree is tree
+        assert scheme.tree is tree
+        assert aug.num_long_edges > 0

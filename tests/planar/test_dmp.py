@@ -1,0 +1,139 @@
+"""The self-contained DMP planar embedder, cross-validated."""
+
+import random
+
+import pytest
+
+from repro.generators import (
+    complete_bipartite,
+    cycle_graph,
+    grid_2d,
+    hypercube,
+    outerplanar_graph,
+    random_delaunay_graph,
+    random_planar_graph,
+    random_tree,
+    series_parallel_graph,
+)
+from repro.graphs import Graph
+from repro.planar import NotPlanarError, embed_planar, is_planar
+from repro.planar.dmp import dmp_embed
+
+
+class TestEmbedsPlanarFamilies:
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: cycle_graph(12),
+            lambda: grid_2d(7),
+            lambda: random_tree(50, seed=1),
+            lambda: outerplanar_graph(40, seed=2),
+            lambda: series_parallel_graph(60, seed=3),
+            lambda: random_planar_graph(80, seed=4),
+            lambda: random_delaunay_graph(100, seed=5)[0],
+        ],
+        ids=["cycle", "grid", "tree", "outerplanar", "sp", "planar", "delaunay"],
+    )
+    def test_embeds_and_verifies(self, maker):
+        g = maker()
+        system = dmp_embed(g)  # verify_euler runs inside
+        assert system.num_edges == g.num_edges
+
+    def test_single_edge(self):
+        system = dmp_embed(Graph([(0, 1)]))
+        assert len(system.faces()) == 1
+
+    def test_empty_and_isolated(self):
+        g = Graph()
+        g.add_vertex("solo")
+        system = dmp_embed(g)
+        assert system.faces() == []
+
+    def test_cut_vertices_merge(self):
+        # Two squares sharing one vertex: blocks merge at the cut.
+        g = Graph(
+            [(0, 1), (1, 2), (2, 3), (3, 0), (0, 10), (10, 11), (11, 12), (12, 0)]
+        )
+        dmp_embed(g)
+
+    def test_disconnected(self):
+        g = Graph([(0, 1), (1, 2), (0, 2)])
+        g.add_edge(10, 11)
+        dmp_embed(g)
+
+
+class TestRejectsNonPlanar:
+    def test_k5(self):
+        k5 = Graph([(i, j) for i in range(5) for j in range(i + 1, 5)])
+        with pytest.raises(NotPlanarError):
+            dmp_embed(k5)
+
+    def test_k33(self):
+        with pytest.raises(NotPlanarError):
+            dmp_embed(complete_bipartite(3, 3))
+
+    def test_hypercube(self):
+        with pytest.raises(NotPlanarError):
+            dmp_embed(hypercube(4))
+
+    def test_k5_with_pendant(self):
+        # Non-planarity inside one block of a 1-connected graph.
+        g = Graph([(i, j) for i in range(5) for j in range(i + 1, 5)])
+        g.add_edge(0, "pendant")
+        with pytest.raises(NotPlanarError):
+            dmp_embed(g)
+
+
+class TestCrossValidation:
+    def test_agrees_with_networkx_on_random_graphs(self):
+        pytest.importorskip("networkx")
+        rng = random.Random(7)
+        for _ in range(40):
+            n = rng.randint(4, 18)
+            g = Graph()
+            g.add_vertex(0)
+            for v in range(1, n):
+                g.add_edge(rng.randrange(v), v)
+            for _ in range(rng.randint(0, n)):
+                u, v = rng.randrange(n), rng.randrange(n)
+                if u != v and not g.has_edge(u, v):
+                    g.add_edge(u, v)
+            ours = is_planar(g, method="dmp")
+            theirs = is_planar(g, method="networkx")
+            assert ours == theirs, f"disagreement on {list(g.edges())}"
+
+    def test_default_method_is_dmp(self):
+        # embed_planar must work without networkx-specific behaviour.
+        g = grid_2d(4)
+        system = embed_planar(g)
+        system.verify_euler(g)
+
+    def test_planar_engine_uses_dmp(self):
+        # The full separator engine path on the self-contained embedder.
+        from repro.planar import PlanarCycleEngine
+
+        g = random_delaunay_graph(80, seed=8)[0]
+        sep = PlanarCycleEngine().find_separator(g)
+        sep.validate(g)
+
+
+class TestBoundedGenus:
+    def test_torus_rejected(self):
+        # A 4x4 torus has genus 1: planarity must fail, which is what
+        # sends bounded-genus graphs to the greedy engine instead.
+        from repro.generators import torus_2d
+
+        with pytest.raises(NotPlanarError):
+            dmp_embed(torus_2d(4))
+
+    def test_small_torus_like_k5_subdivision(self):
+        # A subdivision of K5 is still non-planar.
+        g = Graph()
+        mid = 100
+        for i in range(5):
+            for j in range(i + 1, 5):
+                g.add_edge(i, mid)
+                g.add_edge(mid, j)
+                mid += 1
+        with pytest.raises(NotPlanarError):
+            dmp_embed(g)

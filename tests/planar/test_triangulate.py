@@ -1,0 +1,45 @@
+import pytest
+
+networkx = pytest.importorskip("networkx")
+
+from repro.generators import grid_2d, random_delaunay_graph
+from repro.planar import embed_planar, star_triangulate
+
+
+class TestStarTriangulate:
+    def test_grid_gets_stars(self):
+        g = grid_2d(4)
+        system = embed_planar(g)
+        tri, triangles, virtual = star_triangulate(g, system)
+        # Every square face (and the outer face) receives a star.
+        assert len(virtual) == len(system.faces())
+        assert tri.num_vertices == g.num_vertices + len(virtual)
+
+    def test_triangle_count_matches_euler(self):
+        g = grid_2d(4)
+        system = embed_planar(g)
+        tri, triangles, virtual = star_triangulate(g, system)
+        # Triangulated planar graph: f = 2n - 4 (2-connected triangulation).
+        n, m = tri.num_vertices, tri.num_edges
+        assert len(triangles) == m - n + 2  # Euler: f = m - n + 2
+
+    def test_already_triangulated_untouched(self):
+        g, _ = random_delaunay_graph(50, seed=1)
+        system = embed_planar(g)
+        tri, triangles, virtual = star_triangulate(g, system)
+        # Delaunay interiors are triangles; only the outer face needs a star.
+        assert len(virtual) <= 1
+        if not virtual:
+            assert tri.num_edges == g.num_edges
+
+    def test_original_graph_untouched(self):
+        g = grid_2d(3)
+        edges_before = g.num_edges
+        star_triangulate(g, embed_planar(g))
+        assert g.num_edges == edges_before
+
+    def test_every_real_vertex_on_a_triangle(self):
+        g = grid_2d(5)
+        tri, triangles, virtual = star_triangulate(g, embed_planar(g))
+        covered = {u for t in triangles for u in t if u not in virtual}
+        assert covered == set(g.vertices())

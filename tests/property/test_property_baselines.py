@@ -1,0 +1,73 @@
+"""Property-based tests for the baseline oracles: exactness of CH and
+ALT, and the TZ stretch envelope, over random connected graphs."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import AltOracle, ContractionHierarchy, ThorupZwickOracle
+from repro.graphs import Graph, dijkstra
+
+SLOW = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def connected_graph(draw):
+    n = draw(st.integers(2, 30))
+    extra = draw(st.integers(0, 30))
+    seed = draw(st.integers(0, 10**6))
+    rng = random.Random(seed)
+    g = Graph()
+    g.add_vertex(0)
+    for v in range(1, n):
+        g.add_edge(rng.randrange(v), v, rng.uniform(0.1, 9.0))
+    for _ in range(extra):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v, rng.uniform(0.1, 9.0))
+    return g
+
+
+def sample_pairs(g, count, seed):
+    rng = random.Random(seed)
+    n = g.num_vertices
+    return [(rng.randrange(n), rng.randrange(n)) for _ in range(count)]
+
+
+class TestBaselineProperties:
+    @SLOW
+    @given(g=connected_graph(), pair_seed=st.integers(0, 10**6))
+    def test_contraction_hierarchy_exact(self, g, pair_seed):
+        ch = ContractionHierarchy(g)
+        for u, v in sample_pairs(g, 8, pair_seed):
+            true = dijkstra(g, u)[0][v]
+            assert abs(ch.query(u, v) - true) <= 1e-9 * max(1.0, true)
+
+    @SLOW
+    @given(g=connected_graph(), pair_seed=st.integers(0, 10**6))
+    def test_alt_exact(self, g, pair_seed):
+        alt = AltOracle(g, num_landmarks=4, seed=0)
+        for u, v in sample_pairs(g, 8, pair_seed):
+            true = dijkstra(g, u)[0][v]
+            assert abs(alt.query(u, v) - true) <= 1e-9 * max(1.0, true)
+
+    @SLOW
+    @given(
+        g=connected_graph(),
+        k=st.integers(1, 3),
+        pair_seed=st.integers(0, 10**6),
+    )
+    def test_thorup_zwick_stretch_envelope(self, g, k, pair_seed):
+        tz = ThorupZwickOracle(g, k=k, seed=0)
+        for u, v in sample_pairs(g, 8, pair_seed):
+            true = dijkstra(g, u)[0][v]
+            est = tz.query(u, v)
+            if u == v:
+                assert est == 0.0
+            else:
+                assert true - 1e-9 <= est <= (2 * k - 1) * true + 1e-9

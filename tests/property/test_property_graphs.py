@@ -1,0 +1,81 @@
+"""Property-based tests for the graph substrate itself."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    Graph,
+    bidirectional_dijkstra,
+    connected_components,
+    dijkstra,
+    path_cost,
+)
+
+
+@st.composite
+def random_graph(draw):
+    n = draw(st.integers(2, 30))
+    extra = draw(st.integers(0, 40))
+    seed = draw(st.integers(0, 10**6))
+    rng = random.Random(seed)
+    g = Graph()
+    g.add_vertex(0)
+    # Random spanning tree first, extra edges after: always connected.
+    for v in range(1, n):
+        g.add_edge(rng.randrange(v), v, rng.uniform(0.1, 10.0))
+    for _ in range(extra):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v, rng.uniform(0.1, 10.0))
+    return g
+
+
+class TestDijkstraProperties:
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(g=random_graph())
+    def test_triangle_inequality(self, g):
+        dist0, _ = dijkstra(g, 0)
+        for u, v, w in g.edges():
+            assert dist0[v] <= dist0[u] + w + 1e-9
+            assert dist0[u] <= dist0[v] + w + 1e-9
+
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(g=random_graph(), pair_seed=st.integers(0, 10**6))
+    def test_bidirectional_agrees_with_full(self, g, pair_seed):
+        rng = random.Random(pair_seed)
+        n = g.num_vertices
+        u, v = rng.randrange(n), rng.randrange(n)
+        full = dijkstra(g, u)[0][v]
+        bi, path = bidirectional_dijkstra(g, u, v)
+        assert abs(bi - full) <= 1e-9 * max(1.0, full)
+        assert path[0] == u and path[-1] == v
+        assert abs(path_cost(g, path) - full) <= 1e-9 * max(1.0, full)
+
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(g=random_graph())
+    def test_symmetry(self, g):
+        dist0, _ = dijkstra(g, 0)
+        last = g.num_vertices - 1
+        dist_last, _ = dijkstra(g, last)
+        assert abs(dist0[last] - dist_last[0]) <= 1e-9
+
+
+class TestComponentProperties:
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(g=random_graph(), drop_seed=st.integers(0, 10**6))
+    def test_components_partition_the_survivors(self, g, drop_seed):
+        rng = random.Random(drop_seed)
+        survivors = {v for v in g.vertices() if rng.random() < 0.7}
+        comps = connected_components(g, within=survivors)
+        seen = set()
+        for comp in comps:
+            assert not (comp & seen)
+            seen |= comp
+        assert seen == survivors
+
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(g=random_graph())
+    def test_connected_construction(self, g):
+        assert len(connected_components(g)) == 1

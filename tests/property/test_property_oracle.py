@@ -1,0 +1,68 @@
+"""Property-based tests: the oracle stretch invariant (Theorem 2)."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import PathSeparatorOracle
+from repro.generators import grid_2d, random_planar_graph, random_tree
+from repro.graphs import dijkstra
+
+SLOW = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+graph_strategy = st.one_of(
+    st.builds(
+        lambda n, seed: random_tree(n, weight_range=(0.5, 9.0), seed=seed),
+        n=st.integers(2, 50),
+        seed=st.integers(0, 10**6),
+    ),
+    st.builds(
+        random_planar_graph,
+        n=st.integers(3, 40),
+        seed=st.integers(0, 10**6),
+    ),
+    st.builds(
+        lambda r, seed: grid_2d(r, weight_range=(1.0, 5.0), seed=seed),
+        r=st.integers(2, 7),
+        seed=st.integers(0, 10**6),
+    ),
+)
+
+
+class TestOracleStretchInvariant:
+    @SLOW
+    @given(
+        graph=graph_strategy,
+        epsilon=st.sampled_from([1.0, 0.5, 0.2]),
+        pair_seed=st.integers(0, 10**6),
+    )
+    def test_estimate_within_one_plus_epsilon(self, graph, epsilon, pair_seed):
+        oracle = PathSeparatorOracle.build(graph, epsilon=epsilon)
+        rng = random.Random(pair_seed)
+        vertices = sorted(graph.vertices(), key=repr)
+        for _ in range(15):
+            u = vertices[rng.randrange(len(vertices))]
+            v = vertices[rng.randrange(len(vertices))]
+            true = dijkstra(graph, u)[0][v]
+            est = oracle.query(u, v)
+            if u == v:
+                assert est == 0.0
+            else:
+                assert true - 1e-9 <= est <= (1 + epsilon) * true + 1e-9
+
+    @SLOW
+    @given(graph=graph_strategy)
+    def test_estimates_symmetric(self, graph):
+        oracle = PathSeparatorOracle.build(graph, epsilon=0.5)
+        vertices = sorted(graph.vertices(), key=repr)
+        rng = random.Random(0)
+        for _ in range(10):
+            u = vertices[rng.randrange(len(vertices))]
+            v = vertices[rng.randrange(len(vertices))]
+            assert abs(oracle.query(u, v) - oracle.query(v, u)) <= 1e-9

@@ -1,0 +1,60 @@
+"""Property-based tests for the compact routing scheme."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import CompactRoutingScheme
+from repro.generators import grid_2d, random_planar_graph, random_tree
+from repro.graphs import dijkstra
+
+SLOW = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+graph_strategy = st.one_of(
+    st.builds(
+        lambda n, seed: random_tree(n, weight_range=(0.5, 5.0), seed=seed),
+        n=st.integers(2, 40),
+        seed=st.integers(0, 10**6),
+    ),
+    st.builds(
+        random_planar_graph,
+        n=st.integers(3, 40),
+        seed=st.integers(0, 10**6),
+    ),
+    st.builds(
+        lambda r, seed: grid_2d(r, weight_range=(1.0, 4.0), seed=seed),
+        r=st.integers(2, 6),
+        seed=st.integers(0, 10**6),
+    ),
+)
+
+
+class TestRoutingProperties:
+    @SLOW
+    @given(graph=graph_strategy, pair_seed=st.integers(0, 10**6))
+    def test_delivery_and_stretch_bound(self, graph, pair_seed):
+        scheme = CompactRoutingScheme.build(graph)
+        rng = random.Random(pair_seed)
+        vertices = sorted(graph.vertices(), key=repr)
+        for _ in range(10):
+            u = vertices[rng.randrange(len(vertices))]
+            v = vertices[rng.randrange(len(vertices))]
+            hops = scheme.route(u, v)
+            assert hops[0] == u and hops[-1] == v
+            for a, b in zip(hops, hops[1:]):
+                assert graph.has_edge(a, b)
+            if u != v:
+                true = dijkstra(graph, u)[0][v]
+                assert scheme.route_cost(hops) <= 3 * true + 1e-6
+
+    @SLOW
+    @given(graph=graph_strategy)
+    def test_labels_present_for_every_vertex(self, graph):
+        scheme = CompactRoutingScheme.build(graph)
+        for v in graph.vertices():
+            assert scheme.labels[v].entries, v

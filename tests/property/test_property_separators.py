@@ -1,0 +1,85 @@
+"""Property-based tests: separator invariants on random graphs."""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import GreedyPeelingEngine, build_decomposition
+from repro.generators import (
+    grid_2d,
+    k_tree,
+    outerplanar_graph,
+    random_planar_graph,
+    random_tree,
+    series_parallel_graph,
+)
+
+FAST = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+graph_strategy = st.one_of(
+    st.builds(
+        random_tree,
+        n=st.integers(2, 60),
+        seed=st.integers(0, 10**6),
+    ),
+    st.builds(
+        lambda n, seed: k_tree(max(n, 4), 3, seed=seed)[0],
+        n=st.integers(5, 50),
+        seed=st.integers(0, 10**6),
+    ),
+    st.builds(
+        series_parallel_graph,
+        n=st.integers(2, 60),
+        seed=st.integers(0, 10**6),
+    ),
+    st.builds(
+        outerplanar_graph,
+        n=st.integers(3, 60),
+        seed=st.integers(0, 10**6),
+    ),
+    st.builds(
+        random_planar_graph,
+        n=st.integers(3, 50),
+        seed=st.integers(0, 10**6),
+    ),
+    st.builds(
+        lambda r, c, seed: grid_2d(r, c, weight_range=(1.0, 9.0), seed=seed),
+        r=st.integers(2, 8),
+        c=st.integers(2, 8),
+        seed=st.integers(0, 10**6),
+    ),
+)
+
+
+class TestSeparatorProperties:
+    @FAST
+    @given(graph=graph_strategy, seed=st.integers(0, 1000))
+    def test_greedy_peeling_satisfies_definition_1(self, graph, seed):
+        separator = GreedyPeelingEngine(seed=seed).find_separator(graph)
+        separator.validate(graph)  # (P1) + (P3) by construction
+
+    @FAST
+    @given(graph=graph_strategy)
+    def test_decomposition_tree_invariants(self, graph):
+        tree = build_decomposition(graph, validate=True)
+        n = graph.num_vertices
+        assert tree.depth <= math.log2(n) + 1
+        assert set(tree.home) == set(graph.vertices())
+
+    @FAST
+    @given(graph=graph_strategy, seed=st.integers(0, 1000))
+    def test_separator_vertices_subset_of_graph(self, graph, seed):
+        separator = GreedyPeelingEngine(seed=seed).find_separator(graph)
+        assert separator.vertices() <= set(graph.vertices())
+
+    @FAST
+    @given(graph=graph_strategy, seed=st.integers(0, 1000))
+    def test_balance_after_removal(self, graph, seed):
+        separator = GreedyPeelingEngine(seed=seed).find_separator(graph)
+        assert separator.max_component_fraction(graph) <= 0.5

@@ -1,0 +1,61 @@
+"""Property-based tests: label serialization round-trips exactly."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.labeling import VertexLabel, estimate_distance
+from repro.core.serialize import decode_label, decode_vertex, encode_label, encode_vertex
+
+scalar = st.one_of(
+    st.integers(-(10**9), 10**9),
+    st.text(max_size=12),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+)
+vertex_strategy = st.recursive(
+    scalar,
+    lambda inner: st.tuples(inner, inner),
+    max_leaves=4,
+)
+
+entry_list = st.lists(
+    st.tuples(
+        st.floats(0, 1e6, allow_nan=False),
+        st.floats(0, 1e6, allow_nan=False),
+    ),
+    max_size=6,
+).map(sorted)
+
+label_strategy = st.builds(
+    lambda v, entries: VertexLabel(
+        vertex=v,
+        entries={
+            (i, j % 3, j % 2): [tuple(e) for e in ent]
+            for j, (i, ent) in enumerate(entries.items())
+        },
+    ),
+    v=vertex_strategy,
+    entries=st.dictionaries(st.integers(0, 50), entry_list, max_size=5),
+)
+
+
+class TestSerializationProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(v=vertex_strategy)
+    def test_vertex_round_trip(self, v):
+        assert decode_vertex(encode_vertex(v)) == v
+
+    @settings(max_examples=60, deadline=None)
+    @given(label=label_strategy)
+    def test_label_round_trip(self, label):
+        back = decode_label(encode_label(label))
+        assert back.vertex == label.vertex
+        assert back.entries == label.entries
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=label_strategy, b=label_strategy)
+    def test_estimates_stable_under_round_trip(self, a, b):
+        before = estimate_distance(a, b)
+        after = estimate_distance(
+            decode_label(encode_label(a)), decode_label(encode_label(b))
+        )
+        assert before == after

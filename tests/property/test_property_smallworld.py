@@ -1,0 +1,72 @@
+"""Property-based tests: the augmentation + greedy routing pipeline
+never strands a packet."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    GreedyRouter,
+    PathSeparatorAugmentation,
+    build_decomposition,
+    greedy_route,
+)
+from repro.core.smallworld import ClosestSeparatorAugmentation
+from repro.generators import grid_2d, random_planar_graph, random_tree
+from repro.graphs import dijkstra
+
+SLOW = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+graph_strategy = st.one_of(
+    st.builds(random_tree, n=st.integers(2, 40), seed=st.integers(0, 10**6)),
+    st.builds(random_planar_graph, n=st.integers(3, 40), seed=st.integers(0, 10**6)),
+    st.builds(lambda r, s: grid_2d(r, seed=s), r=st.integers(2, 6), s=st.integers(0, 10**6)),
+)
+
+
+class TestSmallWorldProperties:
+    @SLOW
+    @given(
+        graph=graph_strategy,
+        aug_seed=st.integers(0, 10**6),
+        pair_seed=st.integers(0, 10**6),
+    )
+    def test_greedy_always_delivers(self, graph, aug_seed, pair_seed):
+        tree = build_decomposition(graph)
+        augmented = PathSeparatorAugmentation(tree).augment(graph, seed=aug_seed)
+        rng = random.Random(pair_seed)
+        vertices = sorted(graph.vertices(), key=repr)
+        for _ in range(8):
+            s = vertices[rng.randrange(len(vertices))]
+            t = vertices[rng.randrange(len(vertices))]
+            hops = greedy_route(augmented, s, t)
+            assert hops[0] == s and hops[-1] == t
+
+    @SLOW
+    @given(graph=graph_strategy, aug_seed=st.integers(0, 10**6))
+    def test_long_edges_have_true_distance_weights(self, graph, aug_seed):
+        tree = build_decomposition(graph)
+        augmented = PathSeparatorAugmentation(tree).augment(graph, seed=aug_seed)
+        for v, (u, w) in list(augmented.long_edges.items())[:5]:
+            true = dijkstra(graph, v)[0][u]
+            assert abs(w - true) <= 1e-9 * max(1.0, true)
+
+    @SLOW
+    @given(graph=graph_strategy, aug_seed=st.integers(0, 10**6))
+    def test_note2_contacts_deliver(self, graph, aug_seed):
+        augmented = ClosestSeparatorAugmentation.build(graph).augment(
+            graph, seed=aug_seed
+        )
+        router = GreedyRouter(augmented)
+        vertices = sorted(graph.vertices(), key=repr)
+        rng = random.Random(aug_seed)
+        for _ in range(5):
+            s = vertices[rng.randrange(len(vertices))]
+            t = vertices[rng.randrange(len(vertices))]
+            if s != t:
+                assert router.hops(s, t) >= 1

@@ -1,0 +1,40 @@
+"""Property-based tests: interval tree routing always delivers, along
+the unique tree path."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.generators import random_tree
+from repro.graphs import dijkstra_tree, shortest_path
+from repro.treerouting import IntervalTreeRouting
+
+
+@st.composite
+def routed_tree(draw):
+    n = draw(st.integers(2, 80))
+    seed = draw(st.integers(0, 10**6))
+    graph = random_tree(n, seed=seed)
+    root = draw(st.integers(0, n - 1))
+    tree = dijkstra_tree(graph, root)
+    return graph, IntervalTreeRouting(tree.parent, root)
+
+
+class TestTreeRoutingProperties:
+    @settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(data=routed_tree(), pair_seed=st.integers(0, 10**6))
+    def test_route_is_unique_tree_path(self, data, pair_seed):
+        graph, routing = data
+        rng = random.Random(pair_seed)
+        n = graph.num_vertices
+        s, t = rng.randrange(n), rng.randrange(n)
+        route = routing.route(s, t)
+        assert route == shortest_path(graph, s, t)
+
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(data=routed_tree())
+    def test_labels_unique(self, data):
+        graph, routing = data
+        labels = [routing.label(v) for v in graph.vertices()]
+        assert len(set(labels)) == len(labels)

@@ -1,0 +1,112 @@
+"""CLI tests: every subcommand exercised through main()."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "g.edges"
+    rc = main(
+        ["generate", "--family", "grid", "--n", "64", "--seed", "1", "--out", str(path)]
+    )
+    assert rc == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_parseable_graph(self, graph_file):
+        from repro.graphs.io import read_edge_list
+
+        g = read_edge_list(graph_file)
+        assert g.num_vertices == 64
+
+    @pytest.mark.parametrize(
+        "family", ["tree", "series-parallel", "ktree", "planar", "road"]
+    )
+    def test_families(self, tmp_path, family):
+        out = tmp_path / f"{family}.edges"
+        rc = main(
+            ["generate", "--family", family, "--n", "40", "--out", str(out)]
+        )
+        assert rc == 0
+        assert out.exists()
+
+    def test_weights_flag(self, tmp_path):
+        out = tmp_path / "w.edges"
+        rc = main(
+            [
+                "generate", "--family", "tree", "--n", "30",
+                "--weights", "2.0,5.0", "--out", str(out),
+            ]
+        )
+        assert rc == 0
+        from repro.graphs.io import read_edge_list
+
+        g = read_edge_list(out)
+        assert all(2.0 <= w <= 5.0 for _, _, w in g.edges())
+
+    def test_unknown_family_fails_cleanly(self, tmp_path, capsys):
+        rc = main(
+            ["generate", "--family", "nope", "--n", "10",
+             "--out", str(tmp_path / "x")]
+        )
+        assert rc == 2
+        assert "unknown family" in capsys.readouterr().err
+
+
+class TestDecompose:
+    def test_prints_stats(self, graph_file, capsys):
+        assert main(["decompose", str(graph_file)]) == 0
+        out = capsys.readouterr().out
+        assert "max_paths_per_node" in out
+
+    def test_explicit_engine(self, graph_file, capsys):
+        assert main(["decompose", str(graph_file), "--engine", "greedy"]) == 0
+
+
+class TestOracle:
+    def test_reports_stretch_within_bound(self, graph_file, capsys):
+        rc = main(
+            ["oracle", str(graph_file), "--epsilon", "0.3", "--queries", "30"]
+        )
+        assert rc == 0  # rc 1 would mean the guarantee was violated
+        assert "max stretch" in capsys.readouterr().out
+
+
+class TestLabelsAndQuery:
+    def test_export_then_query(self, graph_file, tmp_path, capsys):
+        labels = tmp_path / "labels.json"
+        assert main(
+            ["labels", str(graph_file), "--epsilon", "0.25", "--out", str(labels)]
+        ) == 0
+        payload = json.loads(labels.read_text())
+        assert payload["format"] == "repro-distance-labels/1"
+        assert main(["query", str(labels), "0", "63"]) == 0
+        assert "d(0, 63)" in capsys.readouterr().out
+
+    def test_query_unknown_vertex(self, graph_file, tmp_path, capsys):
+        labels = tmp_path / "labels.json"
+        main(["labels", str(graph_file), "--out", str(labels)])
+        assert main(["query", str(labels), "0", "99999"]) == 1
+
+
+class TestSmallworld:
+    def test_comparison_table(self, graph_file, capsys):
+        rc = main(["smallworld", str(graph_file), "--pairs", "20"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in ("path-separator", "kleinberg", "uniform", "none"):
+            assert name in out
+
+
+class TestDecomposeDot:
+    def test_dot_export(self, graph_file, tmp_path, capsys):
+        dot = tmp_path / "tree.dot"
+        rc = main(["decompose", str(graph_file), "--dot", str(dot)])
+        assert rc == 0
+        text = dot.read_text()
+        assert text.startswith("digraph")

@@ -1,0 +1,63 @@
+import pytest
+
+from repro.core import GreedyPeelingEngine
+from repro.generators import grid_2d, random_delaunay_graph
+from repro.graphs import Graph
+from repro.util.errors import GraphError
+from repro.viz import grid_positions, render_svg, save_svg
+
+
+class TestGridPositions:
+    def test_coordinates(self):
+        g = grid_2d(3)
+        pos = grid_positions(g)
+        assert pos[(1, 2)] == (2.0, 1.0)
+
+    def test_non_grid_rejected(self):
+        g = Graph([(0, 1)])
+        with pytest.raises(GraphError):
+            grid_positions(g)
+
+
+class TestRenderSvg:
+    def test_basic_structure(self):
+        g = grid_2d(4)
+        svg = render_svg(g, grid_positions(g))
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert svg.count("<circle") == g.num_vertices
+        assert svg.count("<line") == g.num_edges
+
+    def test_separator_highlighted(self):
+        g = grid_2d(8)
+        sep = GreedyPeelingEngine(seed=0).find_separator(g)
+        svg = render_svg(g, grid_positions(g), separator=sep)
+        multi_vertex_paths = sum(1 for p in sep.all_paths() if len(p) > 1)
+        assert svg.count("<polyline") == multi_vertex_paths
+        assert "#d62728" in svg  # phase-0 color used
+
+    def test_delaunay_positions(self):
+        g, pos = random_delaunay_graph(60, seed=1)
+        svg = render_svg(g, pos)
+        assert svg.count("<circle") == 60
+
+    def test_missing_position_rejected(self):
+        g = grid_2d(2)
+        with pytest.raises(GraphError):
+            render_svg(g, {})
+
+    def test_empty_graph(self):
+        svg = render_svg(Graph(), {})
+        assert svg.startswith("<svg")
+
+    def test_save(self, tmp_path):
+        g = grid_2d(3)
+        out = tmp_path / "g.svg"
+        save_svg(render_svg(g, grid_positions(g)), out)
+        assert out.read_text().startswith("<svg")
+
+    def test_single_vertex(self):
+        g = Graph()
+        g.add_vertex((0, 0))
+        svg = render_svg(g, {(0, 0): (0.0, 0.0)})
+        assert svg.count("<circle") == 1

@@ -1,0 +1,56 @@
+import pytest
+
+from repro.generators import grid_2d, k_tree, random_tree, series_parallel_graph
+from repro.graphs import Graph, connected_components
+from repro.treedecomp import center_bag, min_degree_decomposition
+from repro.treedecomp.heuristics import decomposition_from_bags
+
+
+def assert_center(graph, td, index):
+    bag = td.bags[index]
+    remaining = set(graph.vertices()) - bag
+    comps = connected_components(graph, within=remaining)
+    half = graph.num_vertices / 2
+    for comp in comps:
+        assert len(comp) <= half
+
+
+class TestCenterBag:
+    @pytest.mark.parametrize("n", [10, 33, 64, 101])
+    def test_balances_random_trees(self, n):
+        g = random_tree(n, seed=n)
+        td = min_degree_decomposition(g)
+        assert_center(g, td, center_bag(g, td))
+
+    def test_balances_grid(self):
+        g = grid_2d(7)
+        td = min_degree_decomposition(g)
+        assert_center(g, td, center_bag(g, td))
+
+    def test_balances_ktree(self):
+        g, bags = k_tree(50, 3, seed=1)
+        td = decomposition_from_bags(g, bags)
+        assert_center(g, td, center_bag(g, td))
+
+    def test_balances_series_parallel(self):
+        g = series_parallel_graph(90, seed=2)
+        td = min_degree_decomposition(g)
+        assert_center(g, td, center_bag(g, td))
+
+    def test_any_root_works(self):
+        g = random_tree(50, seed=3)
+        td = min_degree_decomposition(g)
+        for root in (0, td.num_bags // 2, td.num_bags - 1):
+            assert_center(g, td, center_bag(g, td, root=root))
+
+    def test_single_bag(self):
+        g = Graph([(0, 1)])
+        td = min_degree_decomposition(g)
+        index = center_bag(g, td)
+        assert 0 <= index < td.num_bags
+
+    def test_star_center_is_hub_bag(self):
+        # Star graph: centroid bag must contain the hub.
+        g = Graph([(0, i) for i in range(1, 12)])
+        td = min_degree_decomposition(g)
+        assert 0 in td.bags[center_bag(g, td)]

@@ -1,0 +1,69 @@
+import pytest
+
+from repro.generators import grid_2d, random_tree
+from repro.graphs import Graph
+from repro.treedecomp import (
+    CliqueWeight,
+    center_bag,
+    center_clique_weight,
+    min_degree_decomposition,
+)
+
+
+class TestCliqueWeight:
+    def test_total(self):
+        cw = CliqueWeight()
+        cw.add({0, 1}, 2.0)
+        cw.add({2}, 3.0)
+        assert cw.total() == 5.0
+
+    def test_weight_of_counts_touching_cliques(self):
+        cw = CliqueWeight()
+        cw.add({0, 1}, 2.0)
+        cw.add({2}, 3.0)
+        assert cw.weight_of({1}) == 2.0
+        assert cw.weight_of({1, 2}) == 5.0
+        assert cw.weight_of({9}) == 0.0
+
+    def test_subadditive_not_additive(self):
+        # One clique touching two disjoint sets is counted twice.
+        cw = CliqueWeight()
+        cw.add({0, 1}, 1.0)
+        assert cw.weight_of({0}) + cw.weight_of({1}) > cw.total()
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            CliqueWeight().add({0}, -1.0)
+
+
+class TestCenterCliqueWeight:
+    def test_total_equals_n(self, small_grid):
+        td = min_degree_decomposition(small_grid)
+        center = td.bags[center_bag(small_grid, td)]
+        cw = center_clique_weight(small_grid, center)
+        assert cw.total() == small_grid.num_vertices
+
+    def test_center_is_half_size_separator(self, small_grid):
+        td = min_degree_decomposition(small_grid)
+        center = td.bags[center_bag(small_grid, td)]
+        cw = center_clique_weight(small_grid, center)
+        assert cw.is_half_size_separator(small_grid, center)
+
+    def test_lemma5_transfer(self):
+        # Any half-size separator S (subset of the center) w.r.t. the
+        # clique weight leaves graph components of <= n/2 vertices.
+        g = random_tree(81, seed=4)
+        td = min_degree_decomposition(g)
+        center = td.bags[center_bag(g, td)]
+        cw = center_clique_weight(g, center)
+        from repro.graphs import connected_components
+
+        if cw.is_half_size_separator(g, center):
+            remaining = set(g.vertices()) - set(center)
+            for comp in connected_components(g, within=remaining):
+                assert len(comp) <= g.num_vertices / 2
+
+    def test_empty_outside(self):
+        g = Graph([(0, 1)])
+        cw = center_clique_weight(g, {0, 1})
+        assert cw.total() == 2.0

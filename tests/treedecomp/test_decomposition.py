@@ -1,0 +1,118 @@
+import pytest
+
+from repro.generators import grid_2d, k_tree
+from repro.graphs import Graph
+from repro.treedecomp import TreeDecomposition
+from repro.util.errors import InvalidDecompositionError
+
+
+@pytest.fixture
+def path_decomposition():
+    # Decomposition of the path 0-1-2-3: bags {0,1},{1,2},{2,3}.
+    g = Graph([(0, 1), (1, 2), (2, 3)])
+    td = TreeDecomposition(
+        bags=[{0, 1}, {1, 2}, {2, 3}],
+        tree_edges=[(0, 1), (1, 2)],
+    )
+    return g, td
+
+
+class TestBasics:
+    def test_width(self, path_decomposition):
+        _, td = path_decomposition
+        assert td.width == 1
+
+    def test_num_bags(self, path_decomposition):
+        _, td = path_decomposition
+        assert td.num_bags == 3
+
+    def test_bags_containing(self, path_decomposition):
+        _, td = path_decomposition
+        assert td.bags_containing(1) == [0, 1]
+
+    def test_empty_width(self):
+        assert TreeDecomposition([], []).width == -1
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(InvalidDecompositionError):
+            TreeDecomposition([{0}], [(0, 5)])
+
+
+class TestValidate:
+    def test_valid_passes(self, path_decomposition):
+        g, td = path_decomposition
+        td.validate(g)
+
+    def test_missing_vertex_detected(self, path_decomposition):
+        g, td = path_decomposition
+        g.add_vertex(99)
+        with pytest.raises(InvalidDecompositionError, match="not covered"):
+            td.validate(g)
+
+    def test_missing_edge_detected(self, path_decomposition):
+        g, td = path_decomposition
+        g.add_edge(0, 3)
+        with pytest.raises(InvalidDecompositionError, match="edge"):
+            td.validate(g)
+
+    def test_disconnected_trace_detected(self):
+        g = Graph([(0, 1), (1, 2)])
+        # Vertex 0 appears in bags 0 and 2, which are not adjacent.
+        td = TreeDecomposition(
+            bags=[{0, 1}, {1, 2}, {0, 2}],
+            tree_edges=[(0, 1), (1, 2)],
+        )
+        with pytest.raises(InvalidDecompositionError, match="connected subtree"):
+            td.validate(g)
+
+    def test_non_tree_bag_graph_detected(self):
+        g = Graph([(0, 1)])
+        td = TreeDecomposition(
+            bags=[{0, 1}, {0, 1}, {0, 1}],
+            tree_edges=[(0, 1), (1, 2), (0, 2)],  # a cycle
+        )
+        with pytest.raises(InvalidDecompositionError):
+            td.validate(g)
+
+    def test_empty_decomposition_of_empty_graph(self):
+        TreeDecomposition([], []).validate(Graph())
+
+    def test_empty_decomposition_of_nonempty_graph(self):
+        g = Graph()
+        g.add_vertex(0)
+        with pytest.raises(InvalidDecompositionError):
+            TreeDecomposition([], []).validate(g)
+
+
+class TestRooted:
+    def test_parent_array(self, path_decomposition):
+        _, td = path_decomposition
+        parent, order = td.rooted(0)
+        assert parent[0] is None
+        assert parent[1] == 0
+        assert parent[2] == 1
+        assert order[0] == 0
+
+    def test_rooting_elsewhere(self, path_decomposition):
+        _, td = path_decomposition
+        parent, _ = td.rooted(2)
+        assert parent[2] is None
+        assert parent[0] == 1
+
+
+class TestRestrict:
+    def test_restriction_valid_for_connected_subset(self):
+        g = grid_2d(3)
+        from repro.treedecomp import min_degree_decomposition
+
+        td = min_degree_decomposition(g)
+        keep = {v for v in g.vertices() if v[0] <= 1}  # two connected rows
+        sub_td = td.restrict(keep)
+        from repro.graphs import induced_subgraph
+
+        sub_td.validate(induced_subgraph(g, keep))
+
+    def test_restriction_keeps_bag_count(self, path_decomposition):
+        _, td = path_decomposition
+        sub = td.restrict({0, 1})
+        assert sub.num_bags == td.num_bags

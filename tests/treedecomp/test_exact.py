@@ -1,0 +1,87 @@
+import random
+
+import pytest
+
+from repro.generators import (
+    complete_bipartite,
+    cycle_graph,
+    grid_2d,
+    k_tree,
+    random_tree,
+    series_parallel_graph,
+)
+from repro.graphs import Graph
+from repro.treedecomp import decomposition_from_elimination, min_degree_order
+from repro.treedecomp.exact import exact_treewidth
+from repro.util.errors import GraphError
+
+
+class TestKnownTreewidths:
+    def test_tree(self):
+        assert exact_treewidth(random_tree(12, seed=1)) == 1
+
+    def test_single_vertex(self):
+        g = Graph()
+        g.add_vertex(0)
+        assert exact_treewidth(g) == 0
+
+    def test_empty(self):
+        assert exact_treewidth(Graph()) == -1
+
+    def test_cycle(self):
+        assert exact_treewidth(cycle_graph(9)) == 2
+
+    def test_clique(self):
+        k5 = Graph([(i, j) for i in range(5) for j in range(i + 1, 5)])
+        assert exact_treewidth(k5) == 4
+
+    def test_complete_bipartite(self):
+        # tw(K_{r,s}) = min(r, s) for r,s >= 1.
+        assert exact_treewidth(complete_bipartite(3, 3)) == 3
+        assert exact_treewidth(complete_bipartite(2, 5)) == 2
+
+    def test_grid(self):
+        # tw of an a x b grid (a <= b) is a (for a >= 2).
+        assert exact_treewidth(grid_2d(3, 3)) == 3
+        assert exact_treewidth(grid_2d(2, 6)) == 2
+
+    def test_k_tree(self):
+        g, _ = k_tree(12, 3, seed=2)
+        assert exact_treewidth(g) == 3
+
+    def test_series_parallel_at_most_two(self):
+        g = series_parallel_graph(14, seed=3)
+        assert exact_treewidth(g) <= 2
+
+    def test_disconnected_takes_max(self):
+        g = Graph([(0, 1)])  # tw 1
+        for i, j in ((10, 11), (11, 12), (10, 12)):  # triangle: tw 2
+            g.add_edge(i, j)
+        assert exact_treewidth(g) == 2
+
+
+class TestGuard:
+    def test_large_component_rejected(self):
+        with pytest.raises(GraphError):
+            exact_treewidth(grid_2d(5, 5))
+
+
+class TestHeuristicCertification:
+    def test_min_degree_upper_bounds_exact(self):
+        rng = random.Random(0)
+        for trial in range(10):
+            n = rng.randint(4, 11)
+            g = Graph()
+            g.add_vertex(0)
+            for v in range(1, n):
+                g.add_edge(rng.randrange(v), v)
+            for _ in range(rng.randint(0, n)):
+                u, v = rng.randrange(n), rng.randrange(n)
+                if u != v and not g.has_edge(u, v):
+                    g.add_edge(u, v)
+            exact = exact_treewidth(g)
+            heuristic = decomposition_from_elimination(
+                g, min_degree_order(g)
+            ).width
+            assert heuristic >= exact
+            assert heuristic <= exact + 3  # near-optimal at these sizes

@@ -1,0 +1,95 @@
+import pytest
+
+from repro.generators import (
+    grid_2d,
+    k_tree,
+    outerplanar_graph,
+    random_tree,
+    series_parallel_graph,
+)
+from repro.graphs import Graph
+from repro.treedecomp import (
+    decomposition_from_bags,
+    decomposition_from_elimination,
+    mcs_order,
+    min_degree_decomposition,
+    min_degree_order,
+    min_fill_order,
+)
+from repro.util.errors import GraphError, InvalidDecompositionError
+
+
+class TestOrders:
+    def test_min_degree_covers_all_vertices(self, small_grid):
+        order = min_degree_order(small_grid)
+        assert sorted(order, key=repr) == sorted(small_grid.vertices(), key=repr)
+
+    def test_min_fill_covers_all_vertices(self):
+        g = grid_2d(4)
+        assert len(min_fill_order(g)) == 16
+
+    def test_mcs_covers_all_vertices(self, small_grid):
+        assert len(mcs_order(small_grid)) == 25
+
+    def test_orders_deterministic(self, small_grid):
+        assert min_degree_order(small_grid) == min_degree_order(small_grid)
+        assert mcs_order(small_grid) == mcs_order(small_grid)
+
+
+class TestEliminationDecomposition:
+    @pytest.mark.parametrize("order_fn", [min_degree_order, min_fill_order, mcs_order])
+    def test_valid_on_grid(self, order_fn):
+        g = grid_2d(5)
+        td = decomposition_from_elimination(g, order_fn(g))
+        td.validate(g)
+
+    def test_tree_width_one(self):
+        g = random_tree(60, seed=1)
+        td = min_degree_decomposition(g)
+        td.validate(g)
+        assert td.width == 1
+
+    def test_series_parallel_width_two(self):
+        g = series_parallel_graph(80, seed=2)
+        td = min_degree_decomposition(g)
+        td.validate(g)
+        assert td.width <= 2
+
+    def test_mcs_exact_on_chordal(self):
+        g, _ = k_tree(60, 4, seed=3)
+        td = decomposition_from_elimination(g, mcs_order(g))
+        td.validate(g)
+        assert td.width == 4
+
+    def test_outerplanar_width_at_most_two(self):
+        g = outerplanar_graph(50, seed=4)
+        td = min_degree_decomposition(g)
+        td.validate(g)
+        assert td.width <= 2
+
+    def test_incomplete_order_rejected(self, small_grid):
+        with pytest.raises(GraphError):
+            decomposition_from_elimination(small_grid, [(0, 0)])
+
+    def test_single_vertex_graph(self):
+        g = Graph()
+        g.add_vertex("x")
+        td = decomposition_from_elimination(g, ["x"])
+        td.validate(g)
+        assert td.width == 0
+
+
+class TestFromBags:
+    def test_ktree_bags(self):
+        g, bags = k_tree(40, 3, seed=5)
+        td = decomposition_from_bags(g, bags)
+        assert td.width == 3
+
+    def test_invalid_bags_detected(self):
+        g = Graph([(0, 1), (1, 2), (0, 2)])
+        with pytest.raises(InvalidDecompositionError):
+            decomposition_from_bags(g, [frozenset({0, 1}), frozenset({1, 2})])
+
+    def test_empty_bags_rejected(self):
+        with pytest.raises(InvalidDecompositionError):
+            decomposition_from_bags(Graph(), [])

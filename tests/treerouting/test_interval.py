@@ -1,0 +1,91 @@
+import random
+
+import pytest
+
+from repro.generators import balanced_tree, random_tree
+from repro.graphs import dijkstra_tree
+from repro.treerouting import IntervalTreeRouting, dfs_intervals
+from repro.util.errors import GraphError
+
+
+def tree_routing_for(graph, root):
+    tree = dijkstra_tree(graph, root)
+    return IntervalTreeRouting(tree.parent, root), tree
+
+
+class TestDfsIntervals:
+    def test_root_covers_everything(self):
+        children = {0: [1, 2], 1: [3], 2: [], 3: []}
+        iv = dfs_intervals(children, 0)
+        assert iv[0] == (0, 4)
+
+    def test_nesting(self):
+        children = {0: [1, 2], 1: [3], 2: [], 3: []}
+        iv = dfs_intervals(children, 0)
+        for child, parent in [(1, 0), (2, 0), (3, 1)]:
+            lo_c, hi_c = iv[child]
+            lo_p, hi_p = iv[parent]
+            assert lo_p < lo_c and hi_c <= hi_p
+
+    def test_siblings_disjoint(self):
+        children = {0: [1, 2], 1: [], 2: []}
+        iv = dfs_intervals(children, 0)
+        (l1, h1), (l2, h2) = iv[1], iv[2]
+        assert h1 <= l2 or h2 <= l1
+
+    def test_single_vertex(self):
+        assert dfs_intervals({0: []}, 0) == {0: (0, 1)}
+
+
+class TestRouting:
+    def test_route_reaches_target(self):
+        g = random_tree(60, seed=1)
+        routing, _ = tree_routing_for(g, 0)
+        rng = random.Random(2)
+        vs = sorted(g.vertices())
+        for _ in range(40):
+            s, t = rng.choice(vs), rng.choice(vs)
+            path = routing.route(s, t)
+            assert path[0] == s and path[-1] == t
+
+    def test_route_is_tree_path(self):
+        # On a tree there is a unique path; routing must find exactly it.
+        g = balanced_tree(2, 4)
+        routing, tree = tree_routing_for(g, 0)
+        from repro.graphs import shortest_path
+
+        path = routing.route(14, 3)
+        assert path == shortest_path(g, 14, 3)
+
+    def test_route_to_self(self):
+        g = random_tree(10, seed=3)
+        routing, _ = tree_routing_for(g, 0)
+        assert routing.route(5, 5) == [5]
+
+    def test_next_hop_none_at_target(self):
+        g = random_tree(10, seed=4)
+        routing, _ = tree_routing_for(g, 0)
+        assert routing.next_hop(7, routing.label(7)) is None
+
+    def test_foreign_label_rejected_at_root(self):
+        g = random_tree(10, seed=5)
+        routing, _ = tree_routing_for(g, 0)
+        with pytest.raises(GraphError):
+            routing.next_hop(0, 10**9)
+
+    def test_labels_are_single_words(self):
+        g = random_tree(30, seed=6)
+        routing, _ = tree_routing_for(g, 0)
+        labels = {routing.label(v) for v in g.vertices()}
+        assert len(labels) == 30  # unique
+        assert all(isinstance(l, int) for l in labels)
+
+    def test_table_words_scale_with_degree(self):
+        g = balanced_tree(4, 2)
+        routing, _ = tree_routing_for(g, 0)
+        words = routing.table_words()
+        assert words[0] > words[5]  # root has 4 children; a leaf none
+
+    def test_bad_parent_map_rejected(self):
+        with pytest.raises(GraphError):
+            IntervalTreeRouting({0: None, 1: 99}, 0)

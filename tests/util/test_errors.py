@@ -1,0 +1,39 @@
+import pytest
+
+from repro.util.errors import (
+    GraphError,
+    InvalidDecompositionError,
+    InvalidSeparatorError,
+    NotConnectedError,
+    ReproError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            GraphError,
+            InvalidDecompositionError,
+            InvalidSeparatorError,
+            NotConnectedError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_not_connected_is_graph_error(self):
+        assert issubclass(NotConnectedError, GraphError)
+
+    def test_single_except_catches_everything(self):
+        # The design contract: one except clause for the whole package.
+        for exc in (GraphError, InvalidSeparatorError, NotConnectedError):
+            with pytest.raises(ReproError):
+                raise exc("x")
+
+    def test_serialization_error_in_hierarchy(self):
+        from repro.core.serialize import SerializationError
+
+        assert issubclass(SerializationError, ReproError)
+
+    def test_not_planar_is_graph_error(self):
+        from repro.planar import NotPlanarError
+
+        assert issubclass(NotPlanarError, GraphError)

@@ -1,0 +1,41 @@
+import random
+
+from repro.util.rng import ensure_rng, spawn_rng
+
+
+class TestEnsureRng:
+    def test_none_gives_random_instance(self):
+        assert isinstance(ensure_rng(None), random.Random)
+
+    def test_int_is_deterministic(self):
+        a = ensure_rng(42).random()
+        b = ensure_rng(42).random()
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert ensure_rng(1).random() != ensure_rng(2).random()
+
+    def test_existing_rng_passed_through(self):
+        rng = random.Random(7)
+        assert ensure_rng(rng) is rng
+
+
+class TestSpawnRng:
+    def test_child_is_deterministic_given_parent_state(self):
+        a = spawn_rng(random.Random(5)).random()
+        b = spawn_rng(random.Random(5)).random()
+        assert a == b
+
+    def test_salt_changes_stream(self):
+        a = spawn_rng(random.Random(5), salt=1).random()
+        b = spawn_rng(random.Random(5), salt=2).random()
+        assert a != b
+
+    def test_child_independent_of_parent_consumption(self):
+        parent = random.Random(9)
+        child = spawn_rng(parent)
+        before = child.random()
+        parent2 = random.Random(9)
+        child2 = spawn_rng(parent2)
+        parent2.random()  # consuming parent after spawn must not matter
+        assert child2.random() == before

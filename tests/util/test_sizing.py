@@ -1,0 +1,64 @@
+import math
+
+import pytest
+
+from repro.util.sizing import (
+    PORTAL_ENTRY_WORDS,
+    SizeReport,
+    label_words,
+    words_to_bits,
+)
+
+
+class TestWordsToBits:
+    def test_unweighted_word_is_log_n_plus_one(self):
+        assert words_to_bits(1, n=1024) == pytest.approx(math.log2(1024) + 1)
+
+    def test_weight_bits_added(self):
+        assert words_to_bits(1, n=4, max_weight=256.0) == pytest.approx(2 + 8)
+
+    def test_scales_linearly_in_words(self):
+        one = words_to_bits(1, n=64)
+        assert words_to_bits(10, n=64) == pytest.approx(10 * one)
+
+    def test_tiny_graph_rejected(self):
+        with pytest.raises(ValueError):
+            words_to_bits(1, n=1)
+
+
+class TestLabelWords:
+    def test_default_entry_size(self):
+        assert label_words(5) == 5 * PORTAL_ENTRY_WORDS
+
+    def test_custom_entry_size(self):
+        assert label_words(3, words_per_entry=2) == 6
+
+
+class TestSizeReport:
+    def test_empty_report(self):
+        report = SizeReport()
+        assert report.total_words == 0
+        assert report.max_words == 0
+        assert report.mean_words == 0.0
+
+    def test_accumulates_per_vertex(self):
+        report = SizeReport()
+        report.add("a", 3)
+        report.add("a", 2)
+        report.add("b", 10)
+        assert report.per_vertex["a"] == 5
+        assert report.total_words == 15
+        assert report.max_words == 10
+        assert report.mean_words == 7.5
+
+    def test_merge_is_additive(self):
+        left = SizeReport({"a": 1})
+        right = SizeReport({"a": 2, "b": 3})
+        merged = left.merge(right)
+        assert merged.per_vertex == {"a": 3, "b": 3}
+        # Inputs untouched.
+        assert left.per_vertex == {"a": 1}
+
+    def test_from_counts(self):
+        report = SizeReport.from_counts([("x", 4), ("y", 6), ("x", 1)])
+        assert report.per_vertex == {"x": 5, "y": 6}

@@ -1,0 +1,35 @@
+import pytest
+
+from repro.util.tables import format_table
+
+
+class TestFormatTable:
+    def test_header_and_rows_rendered(self):
+        out = format_table(["n", "k"], [[10, 1], [100, 3]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "n" in lines[0] and "k" in lines[0]
+
+    def test_title_prepended(self):
+        out = format_table(["a"], [[1]], title="E1")
+        assert out.splitlines()[0] == "E1"
+
+    def test_columns_aligned(self):
+        out = format_table(["col"], [[1], [1000]])
+        rows = out.splitlines()[2:]
+        assert len(rows[0]) == len(rows[1])
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[0.123456]])
+        assert "0.123" in out
+
+    def test_large_float_compacted(self):
+        out = format_table(["x"], [[123456.7]])
+        assert "1.23e+05" in out
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_zero_rendered_plainly(self):
+        assert "0" in format_table(["x"], [[0.0]])

@@ -1,0 +1,34 @@
+import time
+
+from repro.util import Timer
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.01
+
+    def test_zero_before_exit(self):
+        t = Timer()
+        assert t.elapsed == 0.0
+
+    def test_reusable(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            time.sleep(0.005)
+        assert t.elapsed >= 0.005
+        assert t.elapsed != first or first == 0.0
+
+    def test_exception_still_records(self):
+        t = Timer()
+        try:
+            with t:
+                time.sleep(0.005)
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert t.elapsed >= 0.005
