@@ -82,6 +82,8 @@ def test_e10_path_separators_fail_on_3d(record_table):
             rows,
             title="E10a: path separators on 3D vs 2D meshes (same n)",
         ),
+        rows=rows,
+        header=["side", "n", "k(3D mesh)", "k(2D mesh, same n)", "plane_width"],
     )
     # 3D needs strictly more paths, and the gap widens.
     for s, n, k3, k2, _ in rows:
@@ -98,6 +100,8 @@ def test_e10_doubling_oracle_table(record_table):
             rows,
             title="E10b (Theorem 8): plane-net oracles on 3D meshes",
         ),
+        rows=rows,
+        header=["side", "n", "oracle", "max_stretch", "mean_stretch", "label_mean_w", "build_s"],
     )
     for s, n, name, max_s, mean_s, words, t in rows:
         assert max_s <= 1 + EPS + 1e-9, (name, s)
@@ -117,15 +121,16 @@ def test_e10_dimension_contrast(record_table):
     dec = grid3d_doubling_decomposition(g3)
     plane = induced_subgraph(g3, dec.nodes[0].separator)
     alpha_plane = doubling_dimension_estimate(plane, num_samples=8, seed=0)
+    dim_rows = [
+        ["alpha(3D box)", round(alpha_box, 2)],
+        ["alpha(separator plane)", round(alpha_plane, 2)],
+    ]
     table = format_table(
         ["metric", "value"],
-        [
-            ["alpha(3D box)", round(alpha_box, 2)],
-            ["alpha(separator plane)", round(alpha_plane, 2)],
-        ],
+        dim_rows,
         title="E10c: separator subgraph has lower doubling dimension",
     )
-    record_table("e10_dimension", table)
+    record_table("e10_dimension", table, rows=dim_rows, header=["metric", "value"])
     assert alpha_plane <= alpha_box + 0.5
 
 

@@ -109,6 +109,8 @@ def test_e11_engine_ablation_table(record_table):
             rows,
             title=f"E11a: separator engine ablation (delaunay n={N}, eps={EPS})",
         ),
+        rows=rows,
+        header=["engine", "k_max", "strong", "depth", "label_w", "worst_stretch", "build_s"],
     )
     for name, k_max, strong, depth, words, worst, t in rows:
         assert worst <= 1 + EPS + 1e-9, name
@@ -123,6 +125,8 @@ def test_e11_portal_ablation_table(record_table):
             rows,
             title="E11b: portal/landmark rule ablation on one separator path",
         ),
+        rows=rows,
+        header=["rule", "mean_entries", "max_entries", "path_len"],
     )
     by_name = {r[0]: r for r in rows}
     # Tighter eps needs at least as many portals.

@@ -59,6 +59,8 @@ def test_e12_wire_table(record_table):
             rows,
             title="E12 (footnote 2): word model vs actual wire size of labels",
         ),
+        rows=rows,
+        header=["n", "mean_words", "model_bits", "wire_bits", "wire/model"],
     )
     # The JSON overhead factor stays bounded across sizes.
     factors = [r[4] for r in rows]

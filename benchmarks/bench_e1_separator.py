@@ -65,6 +65,8 @@ def test_e1_separator_k_table(record_table):
             rows,
             title="E1 (Theorem 1): separator paths per node across minor-free families",
         ),
+        rows=rows,
+        header=["family", "n", "k_max", "k_mean", "strong_frac", "depth"],
     )
     # Shape assertions: k flat in n for every family.
     by_family = {}

@@ -57,6 +57,8 @@ def test_e2_depth_table(record_table):
             rows,
             title="E2: decomposition depth vs log2(n)",
         ),
+        rows=rows,
+        header=["family", "n", "depth", "log2(n)", "ratio", "nodes", "build_s"],
     )
     for family, n, depth, log2n, ratio, *_ in rows:
         assert depth <= log2n + 1, (family, n, depth)

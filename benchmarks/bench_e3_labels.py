@@ -60,6 +60,8 @@ def test_e3_label_size_table(record_table):
             rows,
             title="E3 (Theorem 2): label size vs n and eps",
         ),
+        rows=rows,
+        header=["family", "n", "eps", "mean_words", "max_words", "mean/log2n", "build_s"],
     )
     # Shape: sub-linear growth in n (per family, per eps).
     by_key = {}

@@ -78,6 +78,8 @@ def test_e4_oracle_table(record_table):
             rows,
             title="E4 (Theorem 2): oracle query time / stretch / space vs baselines",
         ),
+        rows=rows,
+        header=["n", "oracle", "us/query", "mean_stretch", "max_stretch", "words"],
     )
     for n, name, us, mean_s, max_s, words in rows:
         if name.startswith("path-sep"):

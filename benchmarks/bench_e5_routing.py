@@ -54,25 +54,30 @@ def run_experiment():
     return rows
 
 
+HEADER = [
+    "family",
+    "n",
+    "mean",
+    "p50",
+    "p95",
+    "max",
+    "tbl_mean_w",
+    "tbl_max_w",
+    "lbl_max_w",
+]
+
+
 def test_e5_routing_table(record_table):
     rows = run_experiment()
     record_table(
         "e5_routing",
         format_table(
-            [
-                "family",
-                "n",
-                "mean",
-                "p50",
-                "p95",
-                "max",
-                "tbl_mean_w",
-                "tbl_max_w",
-                "lbl_max_w",
-            ],
+            HEADER,
             rows,
             title="E5: compact routing stretch distribution and table sizes",
         ),
+        rows=rows,
+        header=HEADER,
     )
     for family, n, mean, p50, p95, mx, tbl_mean, tbl_max, lbl_max in rows:
         assert mx <= 3.0 + 1e-6

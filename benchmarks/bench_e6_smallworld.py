@@ -82,6 +82,8 @@ def test_e6_size_sweep_table(record_table):
             rows,
             title="E6a (Theorem 3): greedy hops vs n on unweighted grids",
         ),
+        rows=rows,
+        header=["n", "augmentation", "mean_hops", "hops/log2n^2", "hops/sqrt(n)"],
     )
     by_scheme = {}
     for n, name, hops, norm_log, norm_sqrt in rows:
@@ -105,6 +107,8 @@ def test_e6_delta_sweep_table(record_table):
             rows,
             title="E6b (Theorem 3): greedy hops vs aspect ratio on weighted grids",
         ),
+        rows=rows,
+        header=["max_weight", "mean_hops", "hops/log2Delta^2"],
     )
     # Hops grow far slower than Delta itself.
     assert rows[-1][1] <= rows[0][1] * 8

@@ -57,6 +57,8 @@ def test_e7_treewidth_smallworld_table(record_table):
             rows,
             title="E7 (Note 1): greedy hops on 2-trees — no log^2 Delta factor",
         ),
+        rows=rows,
+        header=["weights", "n", "hops(aug)", "hops(plain)", "hops/log2n^2"],
     )
     unit = [r for r in rows if r[0] == "unit"]
     heavy = [r for r in rows if r[0] == "1..256"]

@@ -59,6 +59,8 @@ def test_e8_sparse_lower_bound_table(record_table):
             rows,
             title="E8 (Theorem 5): separator paths needed, expander vs planar",
         ),
+        rows=rows,
+        header=["n", "k(3-regular)", "k/sqrt(n)", "k(delaunay)", "log2(n)"],
     )
     # Expander k grows with n; planar k stays tiny.
     ks = [r[1] for r in rows]

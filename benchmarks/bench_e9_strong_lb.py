@@ -61,6 +61,8 @@ def test_e9_mesh_universal_table(record_table):
             rows,
             title="E9a (Theorem 6.3): strong separators of mesh+universal need k = Omega(sqrt n)",
         ),
+        rows=rows,
+        header=["t", "n", "strong_k", "strong_k/t", "bound_t/3", "phased_k"],
     )
     for t, n, strong_k, ratio, bound, phased_k in rows:
         assert strong_k >= bound - 1  # the proven lower bound (engine >= it)
@@ -78,6 +80,8 @@ def test_e9_bipartite_table(record_table):
             rows,
             title="E9b (Theorem 7): K_{r,n-r} needs k >= r/2 paths",
         ),
+        rows=rows,
+        header=["r", "n-r", "k", "bound r/2"],
     )
     for r, s, k, bound in rows:
         assert k >= bound

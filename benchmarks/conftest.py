@@ -1,32 +1,96 @@
 """Shared benchmark plumbing.
 
 Every experiment bench prints its paper-style table (visible with
-``pytest -s``) and also writes it to ``benchmarks/results/<name>.txt``
-so the numbers survive pytest's output capture.  EXPERIMENTS.md is the
-curated record of one run of these benches.
+``pytest -s``) and persists it twice under ``benchmarks/results/``:
+
+* ``<name>.txt`` — the rendered table, diff-friendly, as before;
+* ``<name>.json`` — a structured ``repro-bench/1`` record (header +
+  rows + git SHA + wall-clock) so the perf trajectory is
+  machine-readable and future PRs can diff against a baseline.
+
+At session end, ``BENCH_baseline.json`` at the repo root aggregates
+per-experiment wall-clock for every bench test that ran.
+EXPERIMENTS.md is the curated record of one run of these benches.
 """
 
 from __future__ import annotations
 
+import json
 import random
+import time
 from pathlib import Path
 
 import pytest
 
+from repro.obs import git_sha
+
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_baseline.json"
+
+# nodeid -> wall-clock seconds for bench tests that ran this session.
+_BENCH_DURATIONS = {}
+_SESSION_START = time.time()
 
 
 @pytest.fixture
-def record_table():
-    """Print a rendered table and persist it under benchmarks/results/."""
+def record_table(request):
+    """Print a rendered table and persist it (txt + json) under
+    benchmarks/results/.
 
-    def _record(name: str, table: str) -> None:
+    ``rows``/``header`` are optional structured copies of the table
+    contents; pass them so the JSON record carries real values instead
+    of only the rendered text.
+    """
+
+    def _record(name: str, table: str, rows=None, header=None, meta=None) -> None:
         print()
         print(table)
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
+        payload = {
+            "format": "repro-bench/1",
+            "name": name,
+            "test": request.node.nodeid,
+            "git_sha": git_sha(cwd=str(REPO_ROOT)),
+            "unix_time": round(time.time(), 3),
+            "header": header,
+            "rows": rows,
+            "table": table,
+        }
+        if meta:
+            payload["meta"] = meta
+        (RESULTS_DIR / f"{name}.json").write_text(
+            json.dumps(payload, indent=2, default=repr) + "\n"
+        )
 
     return _record
+
+
+def pytest_runtest_logreport(report):
+    """Collect per-test wall-clock for the baseline aggregate."""
+    if report.when == "call" and "benchmarks/" in report.nodeid.replace("\\", "/"):
+        _BENCH_DURATIONS[report.nodeid] = {
+            "seconds": round(report.duration, 4),
+            "outcome": report.outcome,
+        }
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the top-level BENCH_baseline.json when benches ran."""
+    if not _BENCH_DURATIONS:
+        return
+    payload = {
+        "format": "repro-bench-baseline/1",
+        "git_sha": git_sha(cwd=str(REPO_ROOT)),
+        "unix_time": round(time.time(), 3),
+        "session_seconds": round(time.time() - _SESSION_START, 3),
+        "experiments": dict(sorted(_BENCH_DURATIONS.items())),
+        "total_seconds": round(
+            sum(entry["seconds"] for entry in _BENCH_DURATIONS.values()), 3
+        ),
+    }
+    BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
 
 def sample_pairs(graph, count: int, seed: int = 0):

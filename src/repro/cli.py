@@ -8,6 +8,13 @@ Subcommands::
     repro labels     g.edges --epsilon 0.1 --out labels.json # ship labels
     repro query      labels.json U V                         # distance from labels
     repro smallworld g.edges --pairs 100                     # greedy-hop comparison
+    repro stats      g.edges --epsilon 0.1                   # telemetry breakdown
+
+Every subcommand also accepts ``--trace`` (span log on stderr) and
+``--metrics-out PATH`` (machine-readable ``repro-metrics/1`` JSON), and
+subcommands that use randomness take an explicit ``--seed`` which is
+threaded through the separator engines — no global interpreter RNG
+state is consumed.
 
 Graphs are exchanged as whitespace edge lists (see
 :mod:`repro.graphs.io`); generated graphs are relabeled to integers so
@@ -19,6 +26,7 @@ from __future__ import annotations
 import argparse
 import random
 import sys
+from contextlib import ExitStack
 from typing import List, Optional
 
 from repro.core import build_decomposition, build_labeling
@@ -35,6 +43,14 @@ from repro.core.serialize import dump_labeling, load_labeling
 from repro.graphs.io import read_edge_list, write_edge_list
 from repro.graphs.ops import relabel
 from repro.graphs.shortest_paths import dijkstra
+from repro.obs import (
+    CollectingSink,
+    LogSink,
+    metrics,
+    span,
+    use_sink,
+    write_metrics_json,
+)
 from repro.util.errors import ReproError
 from repro.util.tables import format_table
 
@@ -68,20 +84,28 @@ def _make_generator(family: str, n: int, seed: int, weights):
     return makers[family]()
 
 
+# Engine factories take (graph, seed) so the CLI ``--seed`` flag reaches
+# every randomized engine instead of relying on baked-in defaults.
 ENGINES = {
-    "auto": lambda g: auto_engine(g),
-    "greedy": lambda g: GreedyPeelingEngine(seed=0),
-    "centerbag": lambda g: CenterBagEngine(order="min_degree"),
-    "centroid": lambda g: TreeCentroidEngine(),
-    "strong": lambda g: StrongGreedyEngine(seed=0),
-    "planar": lambda g: _planar_engine(),
+    "auto": lambda g, seed: auto_engine(g, seed=seed),
+    "greedy": lambda g, seed: GreedyPeelingEngine(seed=seed),
+    "centerbag": lambda g, seed: CenterBagEngine(order="min_degree"),
+    "centroid": lambda g, seed: TreeCentroidEngine(),
+    "strong": lambda g, seed: StrongGreedyEngine(seed=seed),
+    "planar": lambda g, seed: _planar_engine(seed),
 }
 
 
-def _planar_engine():
+def _planar_engine(seed: int):
+    # PlanarCycleEngine is deterministic; seed is accepted for a uniform
+    # factory signature but unused.
     from repro.planar import PlanarCycleEngine
 
     return PlanarCycleEngine()
+
+
+def _engine_for(args, graph):
+    return ENGINES[args.engine](graph, getattr(args, "seed", 0))
 
 
 def _parse_vertex(token: str):
@@ -106,7 +130,7 @@ def cmd_generate(args) -> int:
 
 def cmd_decompose(args) -> int:
     graph = read_edge_list(args.graph)
-    engine = ENGINES[args.engine](graph)
+    engine = _engine_for(args, graph)
     tree = build_decomposition(graph, engine=engine)
     stats = tree.stats()
     rows = [[key, round(value, 3)] for key, value in stats.items()]
@@ -118,27 +142,39 @@ def cmd_decompose(args) -> int:
     return 0
 
 
-def cmd_oracle(args) -> int:
-    graph = read_edge_list(args.graph)
-    engine = ENGINES[args.engine](graph)
-    oracle = PathSeparatorOracle.build(graph, epsilon=args.epsilon, engine=engine)
-    rng = random.Random(args.seed)
+def _evaluate_queries(graph, oracle, queries: int, seed: int):
+    """Run *queries* random queries against ground truth; returns
+    ``(count, mean_stretch, max_stretch)`` and feeds the
+    ``oracle.query.stretch`` histogram."""
+    rng = random.Random(seed)
     vertices = sorted(graph.vertices(), key=repr)
     worst = 1.0
     total = 0.0
     count = 0
-    while count < args.queries:
-        u = vertices[rng.randrange(len(vertices))]
-        v = vertices[rng.randrange(len(vertices))]
-        if u == v:
-            continue
-        true = dijkstra(graph, u)[0].get(v)
-        if true is None:
-            continue
-        stretch = oracle.query(u, v) / true
-        worst = max(worst, stretch)
-        total += stretch
-        count += 1
+    with span("oracle.query_eval", queries=queries):
+        while count < queries:
+            u = vertices[rng.randrange(len(vertices))]
+            v = vertices[rng.randrange(len(vertices))]
+            if u == v:
+                continue
+            true = dijkstra(graph, u)[0].get(v)
+            if true is None:
+                continue
+            stretch = oracle.query(u, v) / true
+            metrics.observe("oracle.query.stretch", stretch)
+            worst = max(worst, stretch)
+            total += stretch
+            count += 1
+    return count, (total / count if count else 0.0), worst
+
+
+def cmd_oracle(args) -> int:
+    graph = read_edge_list(args.graph)
+    engine = _engine_for(args, graph)
+    oracle = PathSeparatorOracle.build(graph, epsilon=args.epsilon, engine=engine)
+    count, mean_stretch, worst = _evaluate_queries(
+        graph, oracle, args.queries, args.seed
+    )
     report = oracle.size_report()
     print(
         format_table(
@@ -147,7 +183,7 @@ def cmd_oracle(args) -> int:
                 ["n", graph.num_vertices],
                 ["epsilon", args.epsilon],
                 ["queries", count],
-                ["mean stretch", round(total / count, 5)],
+                ["mean stretch", round(mean_stretch, 5)],
                 ["max stretch", round(worst, 5)],
                 ["space (words)", report.total_words],
                 ["mean label (words)", round(report.mean_words, 1)],
@@ -160,7 +196,7 @@ def cmd_oracle(args) -> int:
 
 def cmd_labels(args) -> int:
     graph = read_edge_list(args.graph)
-    tree = build_decomposition(graph, engine=ENGINES[args.engine](graph))
+    tree = build_decomposition(graph, engine=_engine_for(args, graph))
     labeling = build_labeling(graph, tree, epsilon=args.epsilon)
     dump_labeling(labeling, args.out)
     report = labeling.size_report()
@@ -188,7 +224,7 @@ def cmd_smallworld(args) -> int:
     from repro.core import AugmentedGraph, GreedyRouter, PathSeparatorAugmentation
 
     graph = read_edge_list(args.graph)
-    tree = build_decomposition(graph, engine=ENGINES[args.engine](graph))
+    tree = build_decomposition(graph, engine=_engine_for(args, graph))
     rng = random.Random(args.seed)
     vertices = sorted(graph.vertices(), key=repr)
     pairs = [
@@ -207,14 +243,158 @@ def cmd_smallworld(args) -> int:
     return 0
 
 
+def _phase_rows(roots):
+    """Flatten collected span trees into per-phase table rows."""
+    rows = []
+    for root in roots:
+        base = root.duration_s or 1e-12
+        for node, depth in root.walk():
+            rows.append(
+                [
+                    "  " * depth + node.name,
+                    round(node.duration_s, 4),
+                    round(node.self_ns / 1e9, 4),
+                    round(100.0 * node.duration_s / base, 1),
+                ]
+            )
+    return rows
+
+
+def _level_rows(tree):
+    """Per-level breakdown of the decomposition tree."""
+    levels = {}
+    for node in tree.nodes:
+        agg = levels.setdefault(
+            node.depth, {"nodes": 0, "paths": 0, "sep_vertices": 0, "size": 0}
+        )
+        agg["nodes"] += 1
+        agg["paths"] += node.separator.num_paths
+        agg["sep_vertices"] += len(node.separator.vertices())
+        agg["size"] += node.size
+    return [
+        [
+            level,
+            agg["nodes"],
+            agg["paths"],
+            agg["sep_vertices"],
+            round(agg["size"] / agg["nodes"], 1),
+        ]
+        for level, agg in sorted(levels.items())
+    ]
+
+
+def cmd_stats(args) -> int:
+    graph = read_edge_list(args.graph)
+    engine = _engine_for(args, graph)
+    collector = CollectingSink()
+    with metrics.activate(reset=False), use_sink(collector):
+        oracle = PathSeparatorOracle.build(
+            graph, epsilon=args.epsilon, engine=engine
+        )
+        count, mean_stretch, worst = _evaluate_queries(
+            graph, oracle, args.queries, args.seed
+        )
+
+    phase_rows = _phase_rows(collector.roots)
+    level_rows = _level_rows(oracle.tree)
+    snapshot = metrics.snapshot()
+    scalar_rows = [
+        [name, round(value, 3)]
+        for name, value in sorted(
+            {**snapshot["counters"], **snapshot["gauges"]}.items()
+        )
+    ]
+    hist_rows = [
+        [
+            name,
+            h["count"],
+            round(h["mean"], 3),
+            round(h["p50"], 3),
+            round(h["p90"], 3),
+            round(h["max"], 3),
+        ]
+        for name, h in sorted(snapshot["histograms"].items())
+    ]
+
+    print(
+        format_table(
+            ["phase", "wall_s", "self_s", "pct"],
+            phase_rows,
+            title=f"per-phase timing on {args.graph} (eps={args.epsilon})",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["level", "nodes", "paths", "sep_vertices", "mean_size"],
+            level_rows,
+            title="per-level decomposition breakdown",
+        )
+    )
+    print()
+    print(format_table(["metric", "value"], scalar_rows, title="counters / gauges"))
+    print()
+    print(
+        format_table(
+            ["histogram", "count", "mean", "p50", "p90", "max"],
+            hist_rows,
+            title="histograms",
+        )
+    )
+    print()
+    print(
+        f"{count} queries: mean stretch {mean_stretch:.4f}, "
+        f"max stretch {worst:.4f} (bound {1 + args.epsilon})"
+    )
+
+    # Enrich the generic --metrics-out payload with the same breakdowns.
+    args._metrics_extra = {
+        "command": "stats",
+        "graph": args.graph,
+        "n": graph.num_vertices,
+        "epsilon": args.epsilon,
+        "seed": args.seed,
+        "queries": {
+            "count": count,
+            "mean_stretch": mean_stretch,
+            "max_stretch": worst,
+        },
+        "phases": [root.to_dict() for root in collector.roots],
+        "levels": [
+            {
+                "level": level,
+                "nodes": nodes,
+                "paths": paths,
+                "sep_vertices": sep_vertices,
+                "mean_size": mean_size,
+            }
+            for level, nodes, paths, sep_vertices, mean_size in level_rows
+        ],
+    }
+    return 0 if worst <= 1 + args.epsilon + 1e-9 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Object location using path separators (PODC 2006)",
     )
+    obs_parent = argparse.ArgumentParser(add_help=False)
+    obs_parent.add_argument(
+        "--trace",
+        action="store_true",
+        help="log hierarchical spans to stderr as they complete",
+    )
+    obs_parent.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write a repro-metrics/1 JSON snapshot to PATH on exit",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("generate", help="generate a benchmark graph")
+    p = sub.add_parser(
+        "generate", help="generate a benchmark graph", parents=[obs_parent]
+    )
     p.add_argument("--family", default="grid")
     p.add_argument("--n", type=int, default=256)
     p.add_argument("--seed", type=int, default=0)
@@ -222,13 +402,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", required=True)
     p.set_defaults(func=cmd_generate)
 
-    p = sub.add_parser("decompose", help="decomposition statistics")
+    p = sub.add_parser(
+        "decompose", help="decomposition statistics", parents=[obs_parent]
+    )
     p.add_argument("graph")
     p.add_argument("--engine", choices=sorted(ENGINES), default="auto")
+    p.add_argument("--seed", type=int, default=0)
     p.add_argument("--dot", help="also write the tree as Graphviz DOT")
     p.set_defaults(func=cmd_decompose)
 
-    p = sub.add_parser("oracle", help="build an oracle and evaluate stretch")
+    p = sub.add_parser(
+        "oracle",
+        help="build an oracle and evaluate stretch",
+        parents=[obs_parent],
+    )
     p.add_argument("graph")
     p.add_argument("--engine", choices=sorted(ENGINES), default="auto")
     p.add_argument("--epsilon", type=float, default=0.25)
@@ -236,25 +423,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_oracle)
 
-    p = sub.add_parser("labels", help="build and export distance labels")
+    p = sub.add_parser(
+        "labels",
+        help="build and export distance labels",
+        parents=[obs_parent],
+    )
     p.add_argument("graph")
     p.add_argument("--engine", choices=sorted(ENGINES), default="auto")
     p.add_argument("--epsilon", type=float, default=0.25)
+    p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", required=True)
     p.set_defaults(func=cmd_labels)
 
-    p = sub.add_parser("query", help="answer a query from exported labels")
+    p = sub.add_parser(
+        "query",
+        help="answer a query from exported labels",
+        parents=[obs_parent],
+    )
     p.add_argument("labels")
     p.add_argument("u")
     p.add_argument("v")
     p.set_defaults(func=cmd_query)
 
-    p = sub.add_parser("smallworld", help="compare greedy-routing augmentations")
+    p = sub.add_parser(
+        "smallworld",
+        help="compare greedy-routing augmentations",
+        parents=[obs_parent],
+    )
     p.add_argument("graph")
     p.add_argument("--engine", choices=sorted(ENGINES), default="auto")
     p.add_argument("--pairs", type=int, default=100)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_smallworld)
+
+    p = sub.add_parser(
+        "stats",
+        help="build an oracle and print per-phase / per-level telemetry",
+        parents=[obs_parent],
+    )
+    p.add_argument("graph")
+    p.add_argument("--engine", choices=sorted(ENGINES), default="auto")
+    p.add_argument("--epsilon", type=float, default=0.25)
+    p.add_argument("--queries", type=int, default=64)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_stats)
 
     return parser
 
@@ -262,8 +474,25 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    metrics_out = getattr(args, "metrics_out", None)
+    needs_metrics = bool(metrics_out) or args.func is cmd_stats
     try:
-        return args.func(args)
+        with ExitStack() as stack:
+            if getattr(args, "trace", False):
+                stack.enter_context(use_sink(LogSink(sys.stderr)))
+            if needs_metrics:
+                stack.enter_context(metrics.activate())
+            rc = args.func(args)
+            if metrics_out:
+                extra = getattr(args, "_metrics_extra", {"command": args.command})
+                try:
+                    write_metrics_json(metrics_out, extra=extra)
+                except OSError as exc:
+                    print(f"error: cannot write metrics to {metrics_out}: {exc}",
+                          file=sys.stderr)
+                    return 2
+                print(f"wrote metrics to {metrics_out}", file=sys.stderr)
+        return rc
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

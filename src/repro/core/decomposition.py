@@ -24,6 +24,7 @@ from repro.core.separator import PathSeparator
 from repro.graphs.components import connected_components
 from repro.graphs.graph import Graph
 from repro.graphs.validation import require_connected
+from repro.obs import metrics, span
 from repro.util.errors import InvalidDecompositionError
 
 Vertex = Hashable
@@ -246,44 +247,64 @@ def build_decomposition(
     if graph.num_vertices == 0:
         return tree
 
-    pending: List[Tuple[FrozenSet[Vertex], Optional[int], int]] = [
-        (frozenset(graph.vertices()), None, 0)
-    ]
-    while pending:
-        vertices, parent, depth = pending.pop()
-        separator = engine.find_separator(graph, within=vertices)
-        if not separator.vertices():
-            raise InvalidDecompositionError(
-                "engine returned an empty separator for a non-empty component"
+    with span(
+        "decomposition.build",
+        n=graph.num_vertices,
+        engine=type(engine).__name__,
+    ):
+        pending: List[Tuple[FrozenSet[Vertex], Optional[int], int]] = [
+            (frozenset(graph.vertices()), None, 0)
+        ]
+        while pending:
+            vertices, parent, depth = pending.pop()
+            separator = engine.find_separator(graph, within=vertices)
+            sep_vertices = separator.vertices()
+            if not sep_vertices:
+                raise InvalidDecompositionError(
+                    "engine returned an empty separator for a non-empty component"
+                )
+            node = DecompositionNode(
+                node_id=len(tree.nodes),
+                vertices=vertices,
+                separator=separator,
+                parent=parent,
+                depth=depth,
             )
-        node = DecompositionNode(
-            node_id=len(tree.nodes),
-            vertices=vertices,
-            separator=separator,
-            parent=parent,
-            depth=depth,
-        )
-        tree.nodes.append(node)
-        if parent is not None:
-            tree.nodes[parent].children.append(node.node_id)
+            tree.nodes.append(node)
+            if parent is not None:
+                tree.nodes[parent].children.append(node.node_id)
+            if metrics.enabled:
+                metrics.inc("decomposition.nodes")
+                metrics.inc("decomposition.level.nodes", level=depth)
+                metrics.inc("separator.paths_peeled", separator.num_paths)
+                metrics.inc(
+                    "decomposition.level.separator_vertices",
+                    len(sep_vertices),
+                    level=depth,
+                )
+                metrics.observe("decomposition.node_size", node.size)
+                metrics.observe("separator.paths_per_node", separator.num_paths)
 
-        for i, phase in enumerate(separator.phases):
-            for j, path in enumerate(phase.paths):
-                key = (node.node_id, i, j)
-                prefix = [0.0]
-                for u, v in zip(path, path[1:]):
-                    prefix.append(prefix[-1] + graph.weight(u, v))
-                tree._prefix[key] = prefix
-                for pos, v in enumerate(path):
-                    # A vertex may appear on two paths of one phase
-                    # ("two paths in the same P_i may intersect"); its
-                    # home is the first occurrence.
-                    if v not in tree.home:
-                        tree.home[v] = (node.node_id, i, j, pos)
+            for i, phase in enumerate(separator.phases):
+                for j, path in enumerate(phase.paths):
+                    key = (node.node_id, i, j)
+                    prefix = [0.0]
+                    for u, v in zip(path, path[1:]):
+                        prefix.append(prefix[-1] + graph.weight(u, v))
+                    tree._prefix[key] = prefix
+                    for pos, v in enumerate(path):
+                        # A vertex may appear on two paths of one phase
+                        # ("two paths in the same P_i may intersect"); its
+                        # home is the first occurrence.
+                        if v not in tree.home:
+                            tree.home[v] = (node.node_id, i, j, pos)
 
-        remaining = set(vertices) - separator.vertices()
-        for comp in connected_components(graph, within=remaining):
-            pending.append((frozenset(comp), node.node_id, depth + 1))
+            remaining = set(vertices) - sep_vertices
+            for comp in connected_components(graph, within=remaining):
+                pending.append((frozenset(comp), node.node_id, depth + 1))
+
+        metrics.gauge("decomposition.levels", tree.depth + 1)
+        metrics.gauge("decomposition.max_paths_per_node", tree.max_paths_per_node)
 
     if validate:
         tree.validate()

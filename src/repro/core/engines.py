@@ -39,10 +39,17 @@ from repro.treedecomp.heuristics import (
     min_degree_order,
     min_fill_order,
 )
+from repro.obs import metrics
 from repro.util.errors import GraphError
 from repro.util.rng import SeedLike, ensure_rng
 
 Vertex = Hashable
+
+
+def _traced_dijkstra_tree(graph: Graph, root, allowed) -> ShortestPathTree:
+    """dijkstra_tree + the ``engine.dijkstra_trees`` counter."""
+    metrics.inc("engine.dijkstra_trees")
+    return dijkstra_tree(graph, root, allowed=allowed)
 
 
 class SeparatorEngine(ABC):
@@ -77,9 +84,9 @@ def approx_center(graph: Graph, comp: AbstractSet[Vertex]) -> Vertex:
     start = min(comp, key=_stable_key)
     if len(comp) == 1:
         return start
-    tree0 = dijkstra_tree(graph, start, allowed=comp)
+    tree0 = _traced_dijkstra_tree(graph, start, allowed=comp)
     a = max(tree0.dist, key=lambda v: (tree0.dist[v], _stable_key(v)))
-    tree_a = dijkstra_tree(graph, a, allowed=comp)
+    tree_a = _traced_dijkstra_tree(graph, a, allowed=comp)
     b = max(tree_a.dist, key=lambda v: (tree_a.dist[v], _stable_key(v)))
     diam_path = tree_a.path_to(b)
     half = tree_a.dist[b] / 2
@@ -138,6 +145,7 @@ class TreeCentroidEngine(SeparatorEngine):
     def find_separator(
         self, graph: Graph, within: Optional[AbstractSet[Vertex]] = None
     ) -> PathSeparator:
+        metrics.inc("engine.calls", engine="centroid")
         universe = _universe(graph, within)
         if not universe:
             return PathSeparator()
@@ -159,7 +167,7 @@ class TreeCentroidEngine(SeparatorEngine):
     @staticmethod
     def _centroid(graph: Graph, comp: AbstractSet[Vertex]) -> Vertex:
         root = min(comp, key=_stable_key)
-        tree = dijkstra_tree(graph, root, allowed=comp)
+        tree = _traced_dijkstra_tree(graph, root, allowed=comp)
         sizes = tree.subtree_sizes()
         total = len(comp)
         v = root
@@ -198,6 +206,7 @@ class CenterBagEngine(SeparatorEngine):
     def find_separator(
         self, graph: Graph, within: Optional[AbstractSet[Vertex]] = None
     ) -> PathSeparator:
+        metrics.inc("engine.calls", engine="centerbag")
         universe = _universe(graph, within)
         if not universe:
             return PathSeparator()
@@ -248,6 +257,7 @@ class GreedyPeelingEngine(SeparatorEngine):
     def find_separator(
         self, graph: Graph, within: Optional[AbstractSet[Vertex]] = None
     ) -> PathSeparator:
+        metrics.inc("engine.calls", engine="greedy")
         rng = ensure_rng(self._seed)
         universe = _universe(graph, within)
         half = self._measure(universe) / 2
@@ -273,8 +283,9 @@ class GreedyPeelingEngine(SeparatorEngine):
 
     def _best_peel(self, graph: Graph, comp: Set[Vertex], rng) -> List[Vertex]:
         root = approx_center(graph, comp)
-        tree = dijkstra_tree(graph, root, allowed=comp)
+        tree = _traced_dijkstra_tree(graph, root, allowed=comp)
         candidates = _path_candidates(tree, comp, self.num_candidates, rng)
+        metrics.inc("engine.candidates_evaluated", len(candidates))
         best_path: Optional[List[Vertex]] = None
         best_score: Optional[Tuple[float, int]] = None
         for x in candidates:
@@ -318,6 +329,7 @@ class FundamentalCycleEngine(SeparatorEngine):
     def find_separator(
         self, graph: Graph, within: Optional[AbstractSet[Vertex]] = None
     ) -> PathSeparator:
+        metrics.inc("engine.calls", engine="cycle")
         rng = ensure_rng(self._seed)
         universe = _universe(graph, within)
         half = len(universe) / 2
@@ -326,9 +338,10 @@ class FundamentalCycleEngine(SeparatorEngine):
             return PathSeparator()
         comp = comps[0]
         root = approx_center(graph, comp)
-        tree = dijkstra_tree(graph, root, allowed=comp)
+        tree = _traced_dijkstra_tree(graph, root, allowed=comp)
 
         nontree = self._nontree_edges(graph, tree, comp)
+        metrics.inc("engine.nontree_edges_scanned", len(nontree))
         if not nontree:
             centroid = TreeCentroidEngine._centroid(graph, comp)
             return singleton_separator([centroid])
@@ -423,6 +436,7 @@ class StrongGreedyEngine(SeparatorEngine):
     def find_separator(
         self, graph: Graph, within: Optional[AbstractSet[Vertex]] = None
     ) -> PathSeparator:
+        metrics.inc("engine.calls", engine="strong")
         rng = ensure_rng(self._seed)
         universe = _universe(graph, within)
         half = len(universe) / 2
@@ -441,8 +455,9 @@ class StrongGreedyEngine(SeparatorEngine):
             # the ORIGINAL induced graph so root paths are shortest in it.
             pool = sorted(comp, key=_stable_key)
             root = pool[rng.randrange(len(pool))]
-            tree = dijkstra_tree(graph, root, allowed=universe)
+            tree = _traced_dijkstra_tree(graph, root, allowed=universe)
             candidates = _path_candidates(tree, comp, self.num_candidates, rng)
+            metrics.inc("engine.candidates_evaluated", len(candidates))
             best_path: Optional[List[Vertex]] = None
             best_score: Optional[Tuple[int, int]] = None
             for x in candidates:

@@ -26,6 +26,7 @@ from repro.core.decomposition import DecompositionTree, PathKey
 from repro.core.portals import epsilon_cover_portals, min_portal_pair
 from repro.graphs.graph import Graph
 from repro.graphs.shortest_paths import dijkstra
+from repro.obs import metrics, span
 from repro.util.errors import GraphError
 from repro.util.sizing import PORTAL_ENTRY_WORDS, SizeReport
 
@@ -65,13 +66,18 @@ def estimate_distance(label_u: VertexLabel, label_v: VertexLabel) -> float:
     if len(b) < len(a):
         a, b = b, a
     best = INF
+    scans = 0
     for key, entries_a in a.items():
         entries_b = b.get(key)
         if entries_b is None:
             continue
+        scans += 1
         cand = min_portal_pair(entries_a, entries_b)
         if cand < best:
             best = cand
+    if metrics.enabled:
+        metrics.inc("oracle.query.count")
+        metrics.inc("oracle.query.portal_scans", scans)
     return best
 
 
@@ -122,15 +128,23 @@ def build_labeling(
     """
     if epsilon <= 0:
         raise ValueError("epsilon must be positive")
-    # Residual sets depend only on the node, not the vertex: compute
-    # them once instead of per label (a large constant-factor win).
-    residual_cache = {
-        node.node_id: list(node.residual_sets()) for node in tree.nodes
-    }
-    labels: Dict[Vertex, VertexLabel] = {}
-    for v in graph.vertices():
-        labels[v] = _build_vertex_label(graph, tree, v, epsilon, residual_cache)
-    return DistanceLabeling(graph, tree, epsilon, labels)
+    with span("labeling.build", n=graph.num_vertices, epsilon=epsilon):
+        # Residual sets depend only on the node, not the vertex: compute
+        # them once instead of per label (a large constant-factor win).
+        residual_cache = {
+            node.node_id: list(node.residual_sets()) for node in tree.nodes
+        }
+        labels: Dict[Vertex, VertexLabel] = {}
+        for v in graph.vertices():
+            labels[v] = _build_vertex_label(graph, tree, v, epsilon, residual_cache)
+        labeling = DistanceLabeling(graph, tree, epsilon, labels)
+        if metrics.enabled:
+            metrics.inc("labeling.vertices", len(labels))
+            report = labeling.size_report()
+            metrics.gauge("labeling.words", report.total_words)
+            for words in report.per_vertex.values():
+                metrics.observe("labeling.label_words", words)
+    return labeling
 
 
 def _build_vertex_label(
@@ -150,12 +164,16 @@ def _build_vertex_label(
             if v not in residual:
                 break
             dist, _ = dijkstra(graph, v, allowed=residual)
+            if metrics.enabled:
+                metrics.inc("labeling.dijkstra_runs")
+                metrics.inc("labeling.level.dijkstra_runs", level=node.depth)
             phase = node.separator.phases[phase_idx]
             for path_idx, path in enumerate(phase.paths):
                 key = (node_id, phase_idx, path_idx)
                 prefix = tree.path_prefix(key)
                 portals = epsilon_cover_portals(path, prefix, dist, epsilon)
                 if portals:
+                    metrics.inc("labeling.portals", len(portals))
                     label.entries[key] = [
                         (prefix[i], d) for i, d in portals
                     ]

@@ -12,6 +12,7 @@ from repro.core.decomposition import DecompositionTree, build_decomposition
 from repro.core.engines import SeparatorEngine
 from repro.core.labeling import DistanceLabeling, build_labeling
 from repro.graphs.graph import Graph
+from repro.obs import span
 from repro.util.sizing import SizeReport
 
 Vertex = Hashable
@@ -43,9 +44,10 @@ class PathSeparatorOracle:
         tree: Optional[DecompositionTree] = None,
     ) -> "PathSeparatorOracle":
         """Build the oracle: decomposition tree (unless given) + labels."""
-        if tree is None:
-            tree = build_decomposition(graph, engine=engine)
-        labeling = build_labeling(graph, tree, epsilon=epsilon)
+        with span("oracle.build", n=graph.num_vertices, epsilon=epsilon):
+            if tree is None:
+                tree = build_decomposition(graph, engine=engine)
+            labeling = build_labeling(graph, tree, epsilon=epsilon)
         return cls(labeling)
 
     def query(self, u: Vertex, v: Vertex) -> float:

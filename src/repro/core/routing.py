@@ -36,6 +36,7 @@ from repro.core.decomposition import DecompositionTree, PathKey, build_decomposi
 from repro.core.engines import SeparatorEngine
 from repro.graphs.graph import Graph
 from repro.graphs.shortest_paths import multi_source_forest
+from repro.obs import metrics, span
 from repro.treerouting.interval import dfs_intervals
 from repro.util.errors import GraphError
 from repro.util.sizing import SizeReport
@@ -106,14 +107,16 @@ class CompactRoutingScheme:
         return cls(graph, tree)
 
     def _build(self) -> None:
-        for node in self.tree.nodes:
-            for phase_idx, residual in node.residual_sets():
-                phase = node.separator.phases[phase_idx]
-                for path_idx, path in enumerate(phase.paths):
-                    key = (node.node_id, phase_idx, path_idx)
-                    self._build_key(key, path, residual)
+        with span("routing.build", n=self.graph.num_vertices):
+            for node in self.tree.nodes:
+                for phase_idx, residual in node.residual_sets():
+                    phase = node.separator.phases[phase_idx]
+                    for path_idx, path in enumerate(phase.paths):
+                        key = (node.node_id, phase_idx, path_idx)
+                        self._build_key(key, path, residual)
 
     def _build_key(self, key: PathKey, path: List[Vertex], residual) -> None:
+        metrics.inc("routing.keys_built")
         prefix = self.tree.path_prefix(key)
         dist, origin, parent = multi_source_forest(
             self.graph, path, allowed=residual
@@ -256,6 +259,9 @@ class CompactRoutingScheme:
             guard -= 1
             if guard < 0:
                 raise GraphError("routing loop in descend stage")
+        if metrics.enabled:
+            metrics.inc("routing.route.count")
+            metrics.observe("routing.route.hops", len(hops) - 1)
         return hops
 
     def route_cost(self, hops: List[Vertex]) -> float:

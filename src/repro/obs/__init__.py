@@ -1,0 +1,64 @@
+"""``repro.obs`` — telemetry: metrics registry, span tracing, export.
+
+The pipeline (separator engines → decomposition → labeling → oracle /
+routing queries) is instrumented against this package.  Everything is
+**off by default** and costs one boolean check per event until a caller
+opts in:
+
+* :data:`metrics` — the process-wide :class:`MetricsRegistry` of
+  counters, gauges, and histograms.  Enable with
+  ``with metrics.activate(): ...`` and read back via
+  :meth:`MetricsRegistry.snapshot`.
+* :func:`span` — hierarchical tracing.  Attach a sink
+  (``with use_sink(CollectingSink()) as c: ...``) to make spans real;
+  with no sink attached :func:`span` returns a shared no-op object.
+* :func:`write_metrics_json` / :func:`metrics_payload` — the
+  machine-readable ``repro-metrics/1`` export used by
+  ``--metrics-out`` and the benchmark plumbing.
+
+:class:`~repro.util.timer.Timer` is re-exported here so examples and
+benchmarks can migrate to ``from repro.obs import Timer`` while the old
+``repro.util`` import path keeps working.
+
+See ``docs/observability.md`` for the metric-name catalog and the span
+hierarchy emitted by the instrumented pipeline.
+"""
+
+from repro.obs.export import git_sha, metrics_payload, write_metrics_json
+from repro.obs.metrics import Histogram, MetricsRegistry, metrics, render_key
+from repro.obs.tracing import (
+    NOOP_SPAN,
+    CollectingSink,
+    JsonFileSink,
+    LogSink,
+    Span,
+    SpanSink,
+    add_sink,
+    remove_sink,
+    span,
+    tracing_active,
+    use_sink,
+)
+from repro.util.timer import Timer
+
+__all__ = [
+    "CollectingSink",
+    "Histogram",
+    "JsonFileSink",
+    "LogSink",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "Span",
+    "SpanSink",
+    "Timer",
+    "add_sink",
+    "git_sha",
+    "metrics",
+    "metrics_payload",
+    "remove_sink",
+    "render_key",
+    "span",
+    "tracing_active",
+    "use_sink",
+    "write_metrics_json",
+]

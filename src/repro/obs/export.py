@@ -1,0 +1,58 @@
+"""Machine-readable export of telemetry snapshots.
+
+``repro <cmd> --metrics-out m.json`` and the benchmark plumbing both
+emit the payload produced here, so downstream tooling (and later PRs
+diffing perf baselines) can rely on one format: ``repro-metrics/1``.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from typing import Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import metrics as _global_metrics
+
+__all__ = ["git_sha", "metrics_payload", "write_metrics_json"]
+
+
+def git_sha(cwd: Optional[str] = None) -> str:
+    """Current git commit SHA, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def metrics_payload(
+    registry: Optional[MetricsRegistry] = None,
+    extra: Optional[Dict] = None,
+) -> Dict:
+    """JSON-serializable snapshot of *registry* (the global one by default)."""
+    registry = registry if registry is not None else _global_metrics
+    payload: Dict = {"format": "repro-metrics/1"}
+    if extra:
+        payload.update(extra)
+    payload["metrics"] = registry.snapshot()
+    return payload
+
+
+def write_metrics_json(
+    path,
+    registry: Optional[MetricsRegistry] = None,
+    extra: Optional[Dict] = None,
+) -> Dict:
+    """Write :func:`metrics_payload` to *path*; returns the payload."""
+    payload = metrics_payload(registry, extra)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, default=repr)
+        handle.write("\n")
+    return payload

@@ -1,0 +1,190 @@
+"""Process-wide metrics registry: counters, gauges, and histograms.
+
+The registry is *disabled by default* and every recording method begins
+with a single boolean check, so instrumented hot paths (the separator
+engines, the decomposition recursion, labeling, oracle queries) cost one
+attribute lookup per event when nothing is listening.
+
+Metric names are dotted paths (``decomposition.nodes``,
+``oracle.query.portal_scans``); optional labels render into the key as
+``name{k=v}`` so per-level or per-engine breakdowns stay addressable in
+a flat snapshot::
+
+    metrics.inc("decomposition.level.nodes", level=3)
+    metrics.value("decomposition.level.nodes", level=3)  # -> 1.0
+
+The module-level singleton :data:`metrics` is what the rest of the
+package records into; tests that need isolation construct their own
+:class:`MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["Histogram", "MetricsRegistry", "metrics", "render_key"]
+
+# Cap on retained histogram observations; beyond it only the running
+# aggregates (count/sum/min/max) stay exact.  Large enough for every
+# workload in this repo (one observation per vertex or per query).
+_HISTOGRAM_CAP = 65536
+
+
+def render_key(name: str, labels: Dict[str, object]) -> str:
+    """Render ``name`` + labels into the flat snapshot key."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Histogram:
+    """Streaming value distribution: exact aggregates + retained samples."""
+
+    __slots__ = ("count", "total", "min", "max", "_values")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._values) < _HISTOGRAM_CAP:
+            self._values.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the retained samples (q in 0..100)."""
+        if not self._values:
+            return 0.0
+        ordered = sorted(self._values)
+        rank = max(0, min(len(ordered) - 1, round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def snapshot(self) -> Dict[str, float]:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Counters, gauges, and histograms behind one enable switch."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- recording (all no-ops while disabled) -------------------------
+    def inc(self, name: str, amount: float = 1.0, **labels) -> None:
+        """Add *amount* to a counter (creating it at 0)."""
+        if not self.enabled:
+            return
+        key = render_key(name, labels)
+        self._counters[key] = self._counters.get(key, 0.0) + amount
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        """Set a gauge to *value* (last write wins)."""
+        if not self.enabled:
+            return
+        self._gauges[render_key(name, labels)] = value
+
+    def gauge_max(self, name: str, value: float, **labels) -> None:
+        """Raise a gauge to *value* if larger than its current reading."""
+        if not self.enabled:
+            return
+        key = render_key(name, labels)
+        if value > self._gauges.get(key, float("-inf")):
+            self._gauges[key] = value
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Record one observation into a histogram."""
+        if not self.enabled:
+            return
+        key = render_key(name, labels)
+        hist = self._histograms.get(key)
+        if hist is None:
+            hist = self._histograms[key] = Histogram()
+        hist.observe(value)
+
+    # -- reading -------------------------------------------------------
+    def value(self, name: str, **labels) -> Optional[float]:
+        """Current reading of a counter or gauge (None if absent)."""
+        key = render_key(name, labels)
+        if key in self._counters:
+            return self._counters[key]
+        return self._gauges.get(key)
+
+    def histogram(self, name: str, **labels) -> Optional[Histogram]:
+        return self._histograms.get(render_key(name, labels))
+
+    @property
+    def counters(self) -> Dict[str, float]:
+        return dict(self._counters)
+
+    @property
+    def gauges(self) -> Dict[str, float]:
+        return dict(self._gauges)
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Flat JSON-serializable view of everything recorded so far."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+            "histograms": {
+                key: hist.snapshot()
+                for key, hist in sorted(self._histograms.items())
+            },
+        }
+
+    def names(self) -> List[str]:
+        """Every distinct metric key recorded so far, sorted."""
+        return sorted(
+            set(self._counters) | set(self._gauges) | set(self._histograms)
+        )
+
+    # -- lifecycle -----------------------------------------------------
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    @contextmanager
+    def activate(self, reset: bool = True) -> Iterator["MetricsRegistry"]:
+        """Enable recording for a ``with`` block, restoring the previous
+        enabled state afterwards.  *reset* wipes prior readings first."""
+        previous = self.enabled
+        if reset:
+            self.reset()
+        self.enabled = True
+        try:
+            yield self
+        finally:
+            self.enabled = previous
+
+
+#: The process-wide registry every instrumented module records into.
+metrics = MetricsRegistry()

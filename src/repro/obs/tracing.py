@@ -1,0 +1,295 @@
+"""Hierarchical span tracing with pluggable sinks.
+
+A *span* is a named, timed region of execution with structured
+attributes.  Spans nest: entering a span while another is open makes it
+a child, so a build like ``PathSeparatorOracle.build`` yields a tree
+
+::
+
+    oracle.build (n=1024, epsilon=0.25)
+      decomposition.build (engine=GreedyPeelingEngine)
+      labeling.build
+
+Timing uses ``time.monotonic_ns``.  When **no sink is attached**,
+:func:`span` returns a shared no-op object without reading the clock or
+allocating, so instrumentation left in hot paths is effectively free.
+
+Sinks receive every completed span (:meth:`SpanSink.on_span_end`) and
+every completed *root* (:meth:`SpanSink.on_root`):
+
+* :class:`LogSink` — indented one-line-per-span log (stderr by default);
+* :class:`CollectingSink` — in-memory, for tests and ``repro stats``;
+* :class:`JsonFileSink` — accumulates root trees, writes JSON on flush.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Dict, Iterator, List, Optional, TextIO, Tuple
+
+__all__ = [
+    "CollectingSink",
+    "JsonFileSink",
+    "LogSink",
+    "NOOP_SPAN",
+    "Span",
+    "SpanSink",
+    "add_sink",
+    "remove_sink",
+    "span",
+    "tracing_active",
+    "use_sink",
+]
+
+_sinks: List["SpanSink"] = []
+_local = threading.local()
+
+
+def _stack() -> List["Span"]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+class Span:
+    """One timed region.  Use as a context manager (see :func:`span`)."""
+
+    __slots__ = ("name", "attributes", "start_ns", "end_ns", "children", "error")
+
+    def __init__(self, name: str, attributes: Optional[Dict] = None) -> None:
+        self.name = name
+        self.attributes: Dict = dict(attributes) if attributes else {}
+        self.start_ns = 0
+        self.end_ns = 0
+        self.children: List["Span"] = []
+        self.error: Optional[str] = None
+
+    # -- timing --------------------------------------------------------
+    @property
+    def duration_ns(self) -> int:
+        return max(0, self.end_ns - self.start_ns)
+
+    @property
+    def duration_s(self) -> float:
+        return self.duration_ns / 1e9
+
+    @property
+    def self_ns(self) -> int:
+        """Own time: duration minus the children's durations."""
+        return max(0, self.duration_ns - sum(c.duration_ns for c in self.children))
+
+    # -- structure -----------------------------------------------------
+    def set_attribute(self, key: str, value) -> None:
+        self.attributes[key] = value
+
+    def walk(self, depth: int = 0) -> Iterator[Tuple["Span", int]]:
+        """Yield ``(span, depth)`` for self and all descendants, pre-order."""
+        yield self, depth
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First span named *name* in this subtree (pre-order), or None."""
+        for node, _ in self.walk():
+            if node.name == name:
+                return node
+        return None
+
+    def find_all(self, name: str) -> List["Span"]:
+        return [node for node, _ in self.walk() if node.name == name]
+
+    def to_dict(self) -> Dict:
+        out: Dict = {
+            "name": self.name,
+            "duration_ns": self.duration_ns,
+            "duration_s": self.duration_s,
+        }
+        if self.attributes:
+            out["attributes"] = {k: _jsonable(v) for k, v in self.attributes.items()}
+        if self.error is not None:
+            out["error"] = self.error
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, {self.duration_s * 1e3:.3f}ms, children={len(self.children)})"
+
+    # -- context manager ----------------------------------------------
+    def __enter__(self) -> "Span":
+        stack = _stack()
+        if stack:
+            stack[-1].children.append(self)
+        stack.append(self)
+        self.start_ns = time.monotonic_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end_ns = time.monotonic_ns()
+        if exc_type is not None:
+            self.error = exc_type.__name__
+        stack = _stack()
+        # Exception safety: pop *this* span even if an inner span leaked.
+        while stack and stack[-1] is not self:
+            stack.pop()
+        if stack:
+            stack.pop()
+        depth = len(stack)
+        for sink in _sinks:
+            sink.on_span_end(self, depth)
+            if depth == 0:
+                sink.on_root(self)
+        return False
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while no sink is attached."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set_attribute(self, key: str, value) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+def span(name: str, **attributes):
+    """Open a span named *name* with the given attributes.
+
+    Returns the shared :data:`NOOP_SPAN` when no sink is attached — the
+    zero-overhead fast path the hot-path instrumentation relies on.
+    """
+    if not _sinks:
+        return NOOP_SPAN
+    return Span(name, attributes)
+
+
+def tracing_active() -> bool:
+    """True when at least one sink is attached (spans are real)."""
+    return bool(_sinks)
+
+
+# ----------------------------------------------------------------------
+# Sinks
+# ----------------------------------------------------------------------
+
+
+class SpanSink:
+    """Receiver of completed spans; subclass and override what you need."""
+
+    def on_span_end(self, span: Span, depth: int) -> None:
+        """Called for every completed span; *depth* is its nesting level."""
+
+    def on_root(self, span: Span) -> None:
+        """Called when a top-level span (a whole tree) completes."""
+
+
+class LogSink(SpanSink):
+    """One indented log line per completed span."""
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+
+    def on_span_end(self, span: Span, depth: int) -> None:
+        attrs = " ".join(f"{k}={v}" for k, v in span.attributes.items())
+        error = f" error={span.error}" if span.error else ""
+        print(
+            f"[trace] {'  ' * depth}{span.name} "
+            f"{span.duration_s * 1e3:.2f}ms"
+            f"{' ' + attrs if attrs else ''}{error}",
+            file=self.stream,
+        )
+
+
+class CollectingSink(SpanSink):
+    """Keep completed spans in memory (all of them, plus the roots)."""
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self.roots: List[Span] = []
+
+    def on_span_end(self, span: Span, depth: int) -> None:
+        self.spans.append(span)
+
+    def on_root(self, span: Span) -> None:
+        self.roots.append(span)
+
+    def find(self, name: str) -> Optional[Span]:
+        for candidate in self.spans:
+            if candidate.name == name:
+                return candidate
+        return None
+
+    def find_all(self, name: str) -> List[Span]:
+        return [s for s in self.spans if s.name == name]
+
+
+class JsonFileSink(SpanSink):
+    """Accumulate root span trees; :meth:`flush` writes them as JSON."""
+
+    def __init__(self, path) -> None:
+        self.path = path
+        self.roots: List[Span] = []
+
+    def on_root(self, span: Span) -> None:
+        self.roots.append(span)
+
+    def flush(self) -> None:
+        payload = {
+            "format": "repro-trace/1",
+            "spans": [root.to_dict() for root in self.roots],
+        }
+        with open(self.path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Sink management
+# ----------------------------------------------------------------------
+
+
+def add_sink(sink: SpanSink) -> SpanSink:
+    _sinks.append(sink)
+    return sink
+
+
+def remove_sink(sink: SpanSink) -> None:
+    try:
+        _sinks.remove(sink)
+    except ValueError:
+        pass
+
+
+class use_sink:
+    """Context manager attaching *sink* for the duration of a block."""
+
+    def __init__(self, sink: SpanSink) -> None:
+        self.sink = sink
+
+    def __enter__(self) -> SpanSink:
+        add_sink(self.sink)
+        return self.sink
+
+    def __exit__(self, *exc_info) -> bool:
+        remove_sink(self.sink)
+        if isinstance(self.sink, JsonFileSink):
+            self.sink.flush()
+        return False

@@ -1,12 +1,21 @@
-"""Minimal wall-clock timing helper used by examples and benchmarks."""
+"""Minimal wall-clock timing helper used by examples and benchmarks.
+
+Also re-exported as :class:`repro.obs.Timer`; this module stays
+dependency-free so either import path works.
+"""
 
 from __future__ import annotations
 
 import time
+from typing import List
 
 
 class Timer:
     """Context manager measuring elapsed wall-clock seconds.
+
+    Nanosecond-precision readings are kept alongside the float seconds
+    (``elapsed_ns``, via :func:`time.perf_counter_ns`), and :meth:`lap`
+    records split times while the timer is running.
 
     >>> with Timer() as t:
     ...     sum(range(1000))
@@ -18,10 +27,27 @@ class Timer:
     def __init__(self) -> None:
         self.start = 0.0
         self.elapsed = 0.0
+        self.start_ns = 0
+        self.elapsed_ns = 0
+        self.laps: List[float] = []
+        self._last_lap_ns = 0
 
     def __enter__(self) -> "Timer":
-        self.start = time.perf_counter()
+        self.start_ns = time.perf_counter_ns()
+        self.start = self.start_ns / 1e9
+        self._last_lap_ns = self.start_ns
+        self.laps = []
         return self
 
     def __exit__(self, *exc_info) -> None:
-        self.elapsed = time.perf_counter() - self.start
+        self.elapsed_ns = time.perf_counter_ns() - self.start_ns
+        self.elapsed = self.elapsed_ns / 1e9
+
+    def lap(self) -> float:
+        """Record and return the seconds since the previous lap (or since
+        entry for the first lap).  Splits accumulate in :attr:`laps`."""
+        now = time.perf_counter_ns()
+        delta = (now - self._last_lap_ns) / 1e9
+        self._last_lap_ns = now
+        self.laps.append(delta)
+        return delta

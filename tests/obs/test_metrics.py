@@ -1,0 +1,127 @@
+"""Registry semantics: counters, gauges, histograms, labels, lifecycle."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, render_key
+from repro.obs.metrics import Histogram
+
+
+@pytest.fixture
+def reg():
+    registry = MetricsRegistry()
+    registry.enabled = True
+    return registry
+
+
+class TestCounters:
+    def test_inc_defaults_to_one(self, reg):
+        reg.inc("a.b")
+        reg.inc("a.b")
+        assert reg.value("a.b") == 2.0
+
+    def test_inc_amount(self, reg):
+        reg.inc("paths", 5)
+        reg.inc("paths", 2.5)
+        assert reg.value("paths") == 7.5
+
+    def test_labels_render_into_key(self, reg):
+        reg.inc("level.nodes", level=0)
+        reg.inc("level.nodes", level=1)
+        reg.inc("level.nodes", level=1)
+        assert reg.value("level.nodes", level=0) == 1.0
+        assert reg.value("level.nodes", level=1) == 2.0
+        assert "level.nodes{level=1}" in reg.counters
+
+    def test_multi_labels_sorted(self):
+        assert render_key("m", {"b": 2, "a": 1}) == "m{a=1,b=2}"
+
+    def test_missing_returns_none(self, reg):
+        assert reg.value("nope") is None
+
+
+class TestGauges:
+    def test_last_write_wins(self, reg):
+        reg.gauge("depth", 3)
+        reg.gauge("depth", 7)
+        assert reg.value("depth") == 7
+
+    def test_gauge_max_only_raises(self, reg):
+        reg.gauge_max("levels", 4)
+        reg.gauge_max("levels", 2)
+        assert reg.value("levels") == 4
+        reg.gauge_max("levels", 9)
+        assert reg.value("levels") == 9
+
+
+class TestHistograms:
+    def test_aggregates(self, reg):
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            reg.observe("sizes", v)
+        hist = reg.histogram("sizes")
+        assert hist.count == 4
+        assert hist.total == 10.0
+        assert hist.min == 1.0
+        assert hist.max == 4.0
+        assert hist.mean == 2.5
+
+    def test_percentiles(self, reg):
+        for v in range(1, 101):
+            reg.observe("lat", float(v))
+        hist = reg.histogram("lat")
+        assert hist.percentile(50) == pytest.approx(50, abs=2)
+        assert hist.percentile(90) == pytest.approx(90, abs=2)
+        assert hist.percentile(99) == pytest.approx(99, abs=2)
+
+    def test_empty_snapshot(self):
+        assert Histogram().snapshot()["count"] == 0
+
+    def test_snapshot_shape(self, reg):
+        reg.observe("x", 1.0)
+        snap = reg.snapshot()["histograms"]["x"]
+        assert set(snap) == {"count", "sum", "min", "max", "mean", "p50", "p90", "p99"}
+
+
+class TestLifecycle:
+    def test_disabled_is_noop(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.gauge("b", 1)
+        registry.observe("c", 1.0)
+        assert registry.names() == []
+
+    def test_reset(self, reg):
+        reg.inc("a")
+        reg.observe("c", 1.0)
+        reg.reset()
+        assert reg.names() == []
+
+    def test_activate_restores_and_resets(self):
+        registry = MetricsRegistry()
+        registry.enabled = True
+        registry.inc("old")
+        registry.enabled = False
+        with registry.activate():
+            assert registry.enabled
+            assert registry.value("old") is None  # reset wiped it
+            registry.inc("new")
+        assert not registry.enabled
+        assert registry.value("new") == 1.0  # readings survive exit
+
+    def test_activate_no_reset(self, reg):
+        reg.inc("keep")
+        with reg.activate(reset=False):
+            assert reg.value("keep") == 1.0
+
+    def test_snapshot_is_json_serializable(self, reg):
+        import json
+
+        reg.inc("a", level=3)
+        reg.gauge("b", 2.5)
+        reg.observe("c", 1.0)
+        json.dumps(reg.snapshot())
+
+    def test_names_covers_all_kinds(self, reg):
+        reg.inc("a")
+        reg.gauge("b", 1)
+        reg.observe("c", 1.0)
+        assert reg.names() == ["a", "b", "c"]

@@ -1,0 +1,164 @@
+"""Span nesting, exception safety, sinks, and the no-sink fast path."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    NOOP_SPAN,
+    CollectingSink,
+    JsonFileSink,
+    LogSink,
+    span,
+    tracing_active,
+    use_sink,
+)
+
+
+class TestNoSinkFastPath:
+    def test_span_returns_shared_noop(self):
+        # Zero-overhead contract: without a sink, span() must hand back
+        # the same shared object (no allocation, no clock reads).
+        assert span("anything") is NOOP_SPAN
+        assert span("other", n=3) is NOOP_SPAN
+
+    def test_noop_is_reentrant_context_manager(self):
+        with span("a") as outer:
+            with span("b") as inner:
+                outer.set_attribute("k", 1)
+                inner.set_attribute("k", 2)
+        assert not tracing_active()
+
+    def test_noop_propagates_exceptions(self):
+        with pytest.raises(RuntimeError):
+            with span("x"):
+                raise RuntimeError("boom")
+
+
+class TestNesting:
+    def test_parent_child_tree(self):
+        collector = CollectingSink()
+        with use_sink(collector):
+            with span("root", n=10):
+                with span("child.a"):
+                    with span("grandchild"):
+                        pass
+                with span("child.b"):
+                    pass
+        assert [r.name for r in collector.roots] == ["root"]
+        root = collector.roots[0]
+        assert [c.name for c in root.children] == ["child.a", "child.b"]
+        assert [c.name for c in root.children[0].children] == ["grandchild"]
+        assert root.attributes == {"n": 10}
+
+    def test_walk_and_find(self):
+        collector = CollectingSink()
+        with use_sink(collector):
+            with span("root"):
+                with span("inner"):
+                    pass
+        root = collector.roots[0]
+        assert [(s.name, d) for s, d in root.walk()] == [("root", 0), ("inner", 1)]
+        assert root.find("inner").name == "inner"
+        assert root.find("absent") is None
+
+    def test_durations_nest(self):
+        collector = CollectingSink()
+        with use_sink(collector):
+            with span("root"):
+                with span("inner"):
+                    sum(range(1000))
+        root = collector.roots[0]
+        inner = root.children[0]
+        assert root.duration_ns >= inner.duration_ns >= 0
+        assert root.self_ns == root.duration_ns - inner.duration_ns
+
+    def test_sequential_roots(self):
+        collector = CollectingSink()
+        with use_sink(collector):
+            with span("first"):
+                pass
+            with span("second"):
+                pass
+        assert [r.name for r in collector.roots] == ["first", "second"]
+
+
+class TestExceptionSafety:
+    def test_error_recorded_and_stack_unwound(self):
+        collector = CollectingSink()
+        with use_sink(collector):
+            with pytest.raises(ValueError):
+                with span("root"):
+                    with span("inner"):
+                        raise ValueError("boom")
+            # The stack is clean: a new span is a root again.
+            with span("after"):
+                pass
+        root = collector.roots[0]
+        assert root.error == "ValueError"
+        assert root.children[0].error == "ValueError"
+        assert collector.roots[1].name == "after"
+        assert collector.roots[1].error is None
+
+    def test_sink_detached_after_block(self):
+        collector = CollectingSink()
+        with use_sink(collector):
+            pass
+        with span("outside"):
+            pass
+        assert collector.spans == []
+
+
+class TestSinks:
+    def test_collecting_sink_sees_every_span(self):
+        collector = CollectingSink()
+        with use_sink(collector):
+            with span("a"):
+                with span("b"):
+                    pass
+        assert sorted(s.name for s in collector.spans) == ["a", "b"]
+        assert collector.find("b").name == "b"
+        assert len(collector.find_all("a")) == 1
+
+    def test_log_sink_lines(self):
+        stream = io.StringIO()
+        with use_sink(LogSink(stream)):
+            with span("outer", n=5):
+                with span("inner"):
+                    pass
+        lines = stream.getvalue().strip().splitlines()
+        # Inner completes first, indented one level under outer.
+        assert lines[0].startswith("[trace]   inner")
+        assert lines[1].startswith("[trace] outer")
+        assert "n=5" in lines[1]
+        assert "ms" in lines[1]
+
+    def test_log_sink_marks_errors(self):
+        stream = io.StringIO()
+        with use_sink(LogSink(stream)):
+            with pytest.raises(KeyError):
+                with span("bad"):
+                    raise KeyError("x")
+        assert "error=KeyError" in stream.getvalue()
+
+    def test_json_file_sink(self, tmp_path):
+        path = tmp_path / "trace.json"
+        with use_sink(JsonFileSink(path)):
+            with span("root", n=2):
+                with span("leaf"):
+                    pass
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro-trace/1"
+        (root,) = payload["spans"]
+        assert root["name"] == "root"
+        assert root["attributes"] == {"n": 2}
+        assert root["children"][0]["name"] == "leaf"
+        assert root["duration_ns"] >= root["children"][0]["duration_ns"]
+
+    def test_two_sinks_both_fed(self):
+        a, b = CollectingSink(), CollectingSink()
+        with use_sink(a), use_sink(b):
+            with span("x"):
+                pass
+        assert a.find("x") and b.find("x")

@@ -32,3 +32,35 @@ class TestTimer:
         except RuntimeError:
             pass
         assert t.elapsed >= 0.005
+
+    def test_nanosecond_reading(self):
+        with Timer() as t:
+            time.sleep(0.005)
+        assert t.elapsed_ns >= 5_000_000
+        assert t.elapsed == t.elapsed_ns / 1e9
+
+    def test_laps_accumulate(self):
+        with Timer() as t:
+            time.sleep(0.005)
+            first = t.lap()
+            time.sleep(0.002)
+            second = t.lap()
+        assert first >= 0.005
+        assert second >= 0.002
+        assert t.laps == [first, second]
+        # Laps partition the elapsed window (up to the tail after the
+        # final lap), so their sum cannot exceed the total.
+        assert sum(t.laps) <= t.elapsed
+
+    def test_laps_reset_on_reentry(self):
+        t = Timer()
+        with t:
+            t.lap()
+        with t:
+            pass
+        assert t.laps == []
+
+    def test_obs_reexport_is_same_class(self):
+        from repro.obs import Timer as ObsTimer
+
+        assert ObsTimer is Timer
