@@ -92,6 +92,14 @@ def test_e4_oracle_table(record_table):
 
 
 @pytest.mark.parametrize("n", [256, 1024])
+def test_e4_bench_oracle_build(benchmark, n):
+    # Serial construction wall-clock: the baseline entry the CI
+    # bench-smoke job gates regressions against.
+    graph = random_delaunay_graph(n, seed=n)[0]
+    benchmark(lambda: PathSeparatorOracle.build(graph, epsilon=EPS))
+
+
+@pytest.mark.parametrize("n", [256, 1024])
 def test_e4_bench_oracle_query(benchmark, n):
     graph = random_delaunay_graph(n, seed=n)[0]
     oracle = PathSeparatorOracle.build(graph, epsilon=EPS)

@@ -7,11 +7,11 @@ a message to) an object, using per-node state that is polylogarithmic.
 
 This example builds the full pipeline on one shared decomposition:
 
-* a directory maps object names to the *label* of their home vertex
-  (labels are the small, shippable artifact — the directory never
-  stores routes or coordinates);
-* ``locate`` estimates the distance from the caller's own label plus
-  the directory entry (Theorem 2);
+* labels ship through the wire format once, and the service keeps only
+  the graph-free :class:`RemoteLabels` plus a directory mapping object
+  names to home vertices (never routes or coordinates);
+* ``locate`` estimates the distance from the caller's shipped label
+  plus the home's shipped label (Theorem 2);
 * ``fetch`` routes an actual message with the compact routing scheme
   and reports the realized stretch.
 
@@ -24,7 +24,7 @@ import random
 
 from repro import CompactRoutingScheme, build_decomposition, build_labeling
 from repro.baselines import ExactOracle
-from repro.core.labeling import estimate_distance
+from repro.core.serialize import dump_labeling, load_labeling
 from repro.generators import random_delaunay_graph
 from repro.util import format_table
 
@@ -34,21 +34,24 @@ class ObjectLocationService:
 
     def __init__(self, graph) -> None:
         tree = build_decomposition(graph)
-        self.labeling = build_labeling(graph, tree, epsilon=0.1)
+        labeling = build_labeling(graph, tree, epsilon=0.1)
+        # Ship the labels once; queries run against the graph-free
+        # RemoteLabels, exactly what a remote directory node would hold.
+        self.remote = load_labeling(dump_labeling(labeling))
+        self.label_report = labeling.size_report()
         self.routing = CompactRoutingScheme.build(graph, tree=tree)
         self.directory = {}
 
     def publish(self, name: str, home) -> None:
-        self.directory[name] = self.labeling.label(home)
+        self.directory[name] = home
 
     def locate(self, name: str, caller) -> float:
         """(1+eps)-approximate distance from *caller* to the object."""
-        return estimate_distance(self.labeling.label(caller), self.directory[name])
+        return self.remote.estimate(caller, self.directory[name])
 
     def fetch(self, name: str, caller):
         """Route a message to the object's home; returns the hop list."""
-        home = self.directory[name].vertex
-        return self.routing.route(caller, home)
+        return self.routing.route(caller, self.directory[name])
 
 
 def main() -> None:
@@ -92,7 +95,7 @@ def main() -> None:
     )
 
     state = service.routing.table_report()
-    labels = service.labeling.size_report()
+    labels = service.label_report
     print(
         f"\nper-node state: routing {state.mean_words:.0f} words (max "
         f"{state.max_words}), labels {labels.mean_words:.0f} words (max "

@@ -9,8 +9,9 @@ estimates route through actual cut vertices and are often exact.
 
 The point of *labels* (vs the centralized oracle) is that two nodes
 can estimate their distance from their own labels alone, with no
-global structure online.  This example serializes the labels to plain
-tuples, "ships" them, and answers queries from the shipped data only.
+global structure online.  This example ships the labels through the
+real wire format (``dump_labeling`` -> ``load_labeling``) and answers
+queries from the resulting graph-free :class:`RemoteLabels` only.
 
 Run:  python examples/treewidth_labels.py
 """
@@ -21,20 +22,10 @@ import random
 
 from repro import build_decomposition, build_labeling
 from repro.core.engines import CenterBagEngine
-from repro.core.labeling import VertexLabel, estimate_distance
+from repro.core.serialize import dump_labeling, load_labeling
 from repro.generators import partial_k_tree
 from repro.graphs import dijkstra
 from repro.util import format_table
-
-
-def ship(label: VertexLabel):
-    """What actually crosses the wire: a plain dict of tuples."""
-    return (label.vertex, {k: list(v) for k, v in label.entries.items()})
-
-
-def receive(payload) -> VertexLabel:
-    vertex, entries = payload
-    return VertexLabel(vertex=vertex, entries={k: [tuple(e) for e in v] for k, v in entries.items()})
 
 
 def main() -> None:
@@ -49,8 +40,11 @@ def main() -> None:
         f"words per node (n = {graph.num_vertices})"
     )
 
-    # Ship labels; the querying side has no graph access at all.
-    shipped = {v: ship(labeling.label(v)) for v in graph.vertices()}
+    # Ship labels over the wire; the querying side holds only the
+    # decoded RemoteLabels — no graph, no decomposition tree.
+    wire = dump_labeling(labeling)
+    remote = load_labeling(wire)
+    print(f"shipped {remote.num_labels} labels ({len(wire)} bytes of JSON)")
 
     rng = random.Random(9)
     vertices = sorted(graph.vertices())
@@ -59,7 +53,7 @@ def main() -> None:
         u, v = rng.choice(vertices), rng.choice(vertices)
         if u == v:
             continue
-        est = estimate_distance(receive(shipped[u]), receive(shipped[v]))
+        est = remote.estimate(u, v)
         true = dijkstra(graph, u)[0][v]
         rows.append([f"{u}<->{v}", round(true, 2), round(est, 2), round(est / true, 4)])
 

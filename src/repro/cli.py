@@ -14,7 +14,15 @@ Every subcommand also accepts ``--trace`` (span log on stderr) and
 ``--metrics-out PATH`` (machine-readable ``repro-metrics/1`` JSON), and
 subcommands that use randomness take an explicit ``--seed`` which is
 threaded through the separator engines — no global interpreter RNG
-state is consumed.
+state is consumed.  ``oracle``, ``labels``, and ``stats`` take
+``--jobs N`` to fan label construction out over N worker processes;
+the output is byte-identical to a serial build (see
+:doc:`docs/performance`).
+
+All failure modes the operator can trigger — a missing input file, a
+labels file that is not valid ``repro-distance-labels/1`` JSON, a query
+for a vertex with no label — print one ``error: ...`` line on stderr
+and exit with status 2, never a traceback.
 
 Graphs are exchanged as whitespace edge lists (see
 :mod:`repro.graphs.io`); generated graphs are relabeled to integers so
@@ -24,6 +32,7 @@ the format stays trivial.
 from __future__ import annotations
 
 import argparse
+import os
 import random
 import sys
 from contextlib import ExitStack
@@ -37,7 +46,6 @@ from repro.core.engines import (
     TreeCentroidEngine,
     auto_engine,
 )
-from repro.core.labeling import estimate_distance
 from repro.core.oracle import PathSeparatorOracle
 from repro.core.serialize import dump_labeling, load_labeling
 from repro.graphs.io import read_edge_list, write_edge_list
@@ -171,7 +179,13 @@ def _evaluate_queries(graph, oracle, queries: int, seed: int):
 def cmd_oracle(args) -> int:
     graph = read_edge_list(args.graph)
     engine = _engine_for(args, graph)
-    oracle = PathSeparatorOracle.build(graph, epsilon=args.epsilon, engine=engine)
+    oracle = PathSeparatorOracle.build(
+        graph,
+        epsilon=args.epsilon,
+        engine=engine,
+        parallel=args.jobs,
+        seed=args.seed,
+    )
     count, mean_stretch, worst = _evaluate_queries(
         graph, oracle, args.queries, args.seed
     )
@@ -197,7 +211,9 @@ def cmd_oracle(args) -> int:
 def cmd_labels(args) -> int:
     graph = read_edge_list(args.graph)
     tree = build_decomposition(graph, engine=_engine_for(args, graph))
-    labeling = build_labeling(graph, tree, epsilon=args.epsilon)
+    labeling = build_labeling(
+        graph, tree, epsilon=args.epsilon, parallel=args.jobs, seed=args.seed
+    )
     dump_labeling(labeling, args.out)
     report = labeling.size_report()
     print(
@@ -208,14 +224,14 @@ def cmd_labels(args) -> int:
 
 
 def cmd_query(args) -> int:
-    epsilon, labels = load_labeling(args.labels)
+    # load_labeling raises SerializationError for malformed payloads and
+    # OSError for a missing file; RemoteLabels.label raises GraphError
+    # for an unlabeled vertex.  All three become one-line ``error: ...``
+    # messages with exit status 2 in main().
+    remote = load_labeling(args.labels)
     u, v = _parse_vertex(args.u), _parse_vertex(args.v)
-    try:
-        estimate = estimate_distance(labels[u], labels[v])
-    except KeyError as exc:
-        print(f"error: no label for vertex {exc}", file=sys.stderr)
-        return 1
-    print(f"d({u}, {v}) <= {estimate:.6g}   (within factor {1 + epsilon})")
+    estimate = remote.estimate(u, v)
+    print(f"d({u}, {v}) <= {estimate:.6g}   (within factor {1 + remote.epsilon})")
     return 0
 
 
@@ -289,7 +305,11 @@ def cmd_stats(args) -> int:
     collector = CollectingSink()
     with metrics.activate(reset=False), use_sink(collector):
         oracle = PathSeparatorOracle.build(
-            graph, epsilon=args.epsilon, engine=engine
+            graph,
+            epsilon=args.epsilon,
+            engine=engine,
+            parallel=args.jobs,
+            seed=args.seed,
         )
         count, mean_stretch, worst = _evaluate_queries(
             graph, oracle, args.queries, args.seed
@@ -421,6 +441,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--epsilon", type=float, default=0.25)
     p.add_argument("--queries", type=int, default=100)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="build labels with N worker processes (same bytes as serial)",
+    )
     p.set_defaults(func=cmd_oracle)
 
     p = sub.add_parser(
@@ -432,6 +459,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--engine", choices=sorted(ENGINES), default="auto")
     p.add_argument("--epsilon", type=float, default=0.25)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="build labels with N worker processes (same bytes as serial)",
+    )
     p.add_argument("--out", required=True)
     p.set_defaults(func=cmd_labels)
 
@@ -466,6 +500,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--epsilon", type=float, default=0.25)
     p.add_argument("--queries", type=int, default=64)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="build labels with N worker processes (same bytes as serial)",
+    )
     p.set_defaults(func=cmd_stats)
 
     return parser
@@ -495,6 +536,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         return rc
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # stdout's consumer went away (e.g. `repro ... | head`): not an
+        # error.  Detach stdout so the interpreter's shutdown flush
+        # doesn't raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+    except OSError as exc:
+        # Missing / unreadable input paths (graph files, labels files).
+        name = getattr(exc, "filename", None)
+        where = f" ({name})" if name else ""
+        print(f"error: {exc.strerror or exc}{where}", file=sys.stderr)
         return 2
 
 

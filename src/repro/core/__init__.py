@@ -40,6 +40,7 @@ from repro.core.portals import claim1_landmarks, epsilon_cover_portals, min_port
 from repro.core.routing import CompactRoutingScheme
 from repro.core.separator import PathSeparator, SeparatorPhase
 from repro.core.serialize import (
+    RemoteLabels,
     SerializationError,
     dump_labeling,
     load_labeling,
@@ -73,6 +74,7 @@ __all__ = [
     "PathSeparator",
     "PathSeparatorAugmentation",
     "PathSeparatorOracle",
+    "RemoteLabels",
     "SeparatorEngine",
     "SerializationError",
     "SeparatorPhase",

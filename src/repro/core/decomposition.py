@@ -17,12 +17,23 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, Iterator, List, Optional, Set, Tuple
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.core.engines import SeparatorEngine, auto_engine
 from repro.core.separator import PathSeparator
 from repro.graphs.components import connected_components
 from repro.graphs.graph import Graph
+from repro.graphs.shortest_paths import batched_dijkstra
 from repro.graphs.validation import require_connected
 from repro.obs import metrics, span
 from repro.util.errors import InvalidDecompositionError
@@ -67,6 +78,9 @@ class DecompositionTree:
         self.nodes: List[DecompositionNode] = []
         self.home: Dict[Vertex, Home] = {}
         self._prefix: Dict[PathKey, List[float]] = {}
+        self._phase_units: Optional[
+            List[Tuple[int, int, FrozenSet[Vertex]]]
+        ] = None
 
     # ------------------------------------------------------------------
     @property
@@ -121,6 +135,28 @@ class DecompositionTree:
             for i, phase in enumerate(node.separator.phases):
                 for j in range(len(phase.paths)):
                     yield (node.node_id, i, j)
+
+    def phase_units(self) -> List[Tuple[int, int, FrozenSet[Vertex]]]:
+        """Every ``(node_id, phase_index, residual)`` of the tree, in
+        deterministic (node, phase) order.
+
+        One unit is the batch granule of label construction: the
+        vertices that need portal entries for a unit are exactly its
+        residual's members, and all their per-path distances come from
+        one :func:`~repro.graphs.shortest_paths.batched_dijkstra` pass
+        (see :func:`phase_portal_distance_maps`).  Cached after the
+        first call — forked labeling workers inherit the cache instead
+        of recomputing it.
+        """
+        units = self._phase_units
+        if units is None:
+            units = [
+                (node.node_id, phase_idx, frozenset(residual))
+                for node in self.nodes
+                for phase_idx, residual in node.residual_sets()
+            ]
+            self._phase_units = units
+        return units
 
     def stats(self) -> Dict[str, float]:
         """Summary statistics used by experiment E1/E2 tables."""
@@ -223,6 +259,33 @@ class DecompositionTree:
 
 def sorted_key(fs: FrozenSet) -> str:
     return repr(sorted(fs, key=repr))
+
+
+def phase_portal_distance_maps(
+    graph: Graph,
+    tree: "DecompositionTree",
+    node_id: int,
+    phase_idx: int,
+    residual: AbstractSet[Vertex],
+) -> Dict[Vertex, Dict[Vertex, float]]:
+    """Distance maps ``d_J(x, .)`` for every vertex x on the separator
+    paths of one (node, phase), in one batched heap pass over the
+    residual J.
+
+    Because the graph is undirected, ``d_J(x, v)`` read from these maps
+    equals the ``d_J(v, x)`` a per-vertex Dijkstra would produce, so
+    portal selection for *every* vertex of J needs only this one batch
+    instead of |J| truncated searches.
+    """
+    phase = tree.nodes[node_id].separator.phases[phase_idx]
+    sources: List[Vertex] = []
+    seen: Set[Vertex] = set()
+    for path in phase.paths:
+        for x in path:
+            if x not in seen:
+                seen.add(x)
+                sources.append(x)
+    return batched_dijkstra(graph, sources, allowed=residual)
 
 
 def build_decomposition(

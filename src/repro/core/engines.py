@@ -24,6 +24,7 @@ re-checks (P1)/(P3) independently.
 
 from __future__ import annotations
 
+import hashlib
 from abc import ABC, abstractmethod
 from typing import AbstractSet, Hashable, List, Optional, Set, Tuple
 
@@ -41,7 +42,7 @@ from repro.treedecomp.heuristics import (
 )
 from repro.obs import metrics
 from repro.util.errors import GraphError
-from repro.util.rng import SeedLike, ensure_rng
+from repro.util.rng import SeedLike, derive_seed, ensure_rng, seed_fingerprint
 
 Vertex = Hashable
 
@@ -70,6 +71,32 @@ class SeparatorEngine(ABC):
 
 def _stable_key(v) -> str:
     return f"{type(v).__name__}:{v!r}"
+
+
+def _component_fingerprint(universe: AbstractSet[Vertex]) -> str:
+    """Stable digest of a vertex set, insensitive to iteration order."""
+    digest = hashlib.sha256()
+    for key in sorted(_stable_key(v) for v in universe):
+        digest.update(key.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def _component_rng(base_seed: int, engine: str, universe: AbstractSet[Vertex]):
+    """Per-call RNG derived from a spawn key, not from shared state.
+
+    Randomized engines used to consume one shared stream across
+    ``find_separator`` calls, which made the decomposition depend on
+    the order nodes happen to be expanded in — and would make forked
+    worker processes that inherit the parent's RNG state produce
+    correlated, irreproducible streams.  Deriving a child seed from
+    ``(engine, component)`` makes each call's randomness a pure
+    function of its inputs: order-independent, fork-safe, and
+    byte-reproducible across runs.
+    """
+    return ensure_rng(
+        derive_seed(base_seed, "engine", engine, _component_fingerprint(universe))
+    )
 
 
 def _universe(graph: Graph, within: Optional[AbstractSet[Vertex]]) -> Set[Vertex]:
@@ -246,6 +273,9 @@ class GreedyPeelingEngine(SeparatorEngine):
         self.num_candidates = num_candidates
         self.max_paths = max_paths
         self._seed = seed
+        # Fingerprint once at construction; per-call child streams are
+        # derived from this base so call order never matters.
+        self._base_seed = seed_fingerprint(seed)
         self.vertex_weight = vertex_weight
 
     def _measure(self, vertices) -> float:
@@ -258,8 +288,8 @@ class GreedyPeelingEngine(SeparatorEngine):
         self, graph: Graph, within: Optional[AbstractSet[Vertex]] = None
     ) -> PathSeparator:
         metrics.inc("engine.calls", engine="greedy")
-        rng = ensure_rng(self._seed)
         universe = _universe(graph, within)
+        rng = _component_rng(self._base_seed, "greedy", universe)
         half = self._measure(universe) / 2
         phases: List[SeparatorPhase] = []
         residual = set(universe)
@@ -325,13 +355,14 @@ class FundamentalCycleEngine(SeparatorEngine):
         self.max_edge_samples = max_edge_samples
         self.num_third_candidates = num_third_candidates
         self._seed = seed
+        self._base_seed = seed_fingerprint(seed)
 
     def find_separator(
         self, graph: Graph, within: Optional[AbstractSet[Vertex]] = None
     ) -> PathSeparator:
         metrics.inc("engine.calls", engine="cycle")
-        rng = ensure_rng(self._seed)
         universe = _universe(graph, within)
+        rng = _component_rng(self._base_seed, "cycle", universe)
         half = len(universe) / 2
         comps = connected_components(graph, within=universe)
         if not comps or len(comps[0]) <= half:
@@ -432,13 +463,14 @@ class StrongGreedyEngine(SeparatorEngine):
         self.num_candidates = num_candidates
         self.max_paths = max_paths
         self._seed = seed
+        self._base_seed = seed_fingerprint(seed)
 
     def find_separator(
         self, graph: Graph, within: Optional[AbstractSet[Vertex]] = None
     ) -> PathSeparator:
         metrics.inc("engine.calls", engine="strong")
-        rng = ensure_rng(self._seed)
         universe = _universe(graph, within)
+        rng = _component_rng(self._base_seed, "strong", universe)
         half = len(universe) / 2
         paths: List[List[Vertex]] = []
         removed: Set[Vertex] = set()

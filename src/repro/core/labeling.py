@@ -19,15 +19,22 @@ d(u, v) and (1+eps) d(u, v).
 
 from __future__ import annotations
 
+import random
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Tuple
+from multiprocessing import get_context
+from typing import Dict, Hashable, List, Optional, Tuple
 
-from repro.core.decomposition import DecompositionTree, PathKey
-from repro.core.portals import epsilon_cover_portals, min_portal_pair
+from repro.core.decomposition import (
+    DecompositionTree,
+    PathKey,
+    phase_portal_distance_maps,
+)
+from repro.core.portals import epsilon_cover_portals_at, min_portal_pair
 from repro.graphs.graph import Graph
-from repro.graphs.shortest_paths import dijkstra
-from repro.obs import metrics, span
+from repro.obs import metrics, record_span, span
 from repro.util.errors import GraphError
+from repro.util.rng import SeedLike, derive_seed
 from repro.util.sizing import PORTAL_ENTRY_WORDS, SizeReport
 
 Vertex = Hashable
@@ -113,30 +120,82 @@ class DistanceLabeling:
         )
 
 
+# One unit's output: (vertex, path key, portal entries) triples plus the
+# number of batched Dijkstra sources the unit consumed.
+UnitEntries = List[Tuple[Vertex, PathKey, List[PortalEntry]]]
+
+# Read-only (graph, tree, epsilon) shared with forked pool workers.
+# Set in the parent right before the fork so children inherit it by
+# copy-on-write instead of pickling the graph per task.
+_WORKER_STATE: Optional[Tuple[Graph, DecompositionTree, float]] = None
+
+
 def build_labeling(
     graph: Graph,
     tree: DecompositionTree,
     epsilon: float = 0.25,
+    parallel: Optional[int] = None,
+    seed: SeedLike = 0,
 ) -> DistanceLabeling:
     """Construct the Theorem 2 labeling from a decomposition tree.
 
-    For each vertex v and each node H on its root path: one Dijkstra
-    per phase residual J that still contains v, followed by an
-    epsilon-cover portal selection on every separator path of the
-    phase.  Runs in roughly O(n log n * Dijkstra) total because
-    component sizes halve down the tree.
+    Construction is *batched per level*: for every (node, phase) of the
+    tree, one :func:`~repro.graphs.shortest_paths.batched_dijkstra`
+    pass from the phase's separator-path vertices yields ``d_J(x, v)``
+    for every vertex v of the residual at once (undirected symmetry),
+    and an epsilon-cover portal selection per (vertex, path) turns the
+    rows into label entries.  Separator paths are much smaller than the
+    residuals they split, so this replaces the naive one-Dijkstra-per-
+    (vertex, phase) loop with a pass whose search count is the number
+    of separator vertices — the dominant construction win.
+
+    Parameters
+    ----------
+    parallel:
+        Number of worker processes; ``None``/``0``/``1`` builds
+        serially.  (node, phase) units are distributed across workers
+        deterministically and merged in unit order, so the result —
+        including its ``dump_labeling`` byte encoding — is identical to
+        a serial build.  Requires the ``fork`` start method (falls back
+        to serial where unavailable).
+    seed:
+        Only used to derive per-worker child seeds (via
+        :func:`repro.util.rng.derive_seed`) that reseed each worker's
+        inherited global RNG state; label construction itself is
+        deterministic.
     """
     if epsilon <= 0:
         raise ValueError("epsilon must be positive")
-    with span("labeling.build", n=graph.num_vertices, epsilon=epsilon):
-        # Residual sets depend only on the node, not the vertex: compute
-        # them once instead of per label (a large constant-factor win).
-        residual_cache = {
-            node.node_id: list(node.residual_sets()) for node in tree.nodes
+    jobs = int(parallel) if parallel else 1
+    with span(
+        "labeling.build", n=graph.num_vertices, epsilon=epsilon, jobs=jobs
+    ):
+        units = tree.phase_units()
+        # Prefill in graph order so the label dict's iteration order (and
+        # therefore the serialized byte layout) never depends on how the
+        # units were scheduled.
+        labels: Dict[Vertex, VertexLabel] = {
+            v: VertexLabel(vertex=v) for v in graph.vertices()
         }
-        labels: Dict[Vertex, VertexLabel] = {}
-        for v in graph.vertices():
-            labels[v] = _build_vertex_label(graph, tree, v, epsilon, residual_cache)
+        jobs = min(jobs, len(units)) if units else 1
+        if jobs > 1:
+            produced = _build_units_parallel(graph, tree, epsilon, jobs, seed)
+        else:
+            produced = _build_units_serial(graph, tree, epsilon)
+        metrics.gauge("labeling.jobs", jobs)
+        for unit_idx, entries, num_sources, seconds in produced:
+            node = tree.nodes[units[unit_idx][0]]
+            if metrics.enabled:
+                metrics.inc("labeling.batches")
+                metrics.inc("labeling.dijkstra_runs", num_sources)
+                metrics.inc(
+                    "labeling.level.dijkstra_runs", num_sources, level=node.depth
+                )
+                metrics.observe("labeling.batch_seconds", seconds)
+                metrics.observe("labeling.batch_sources", num_sources)
+            for v, key, portal_entries in entries:
+                metrics.inc("labeling.portals", len(portal_entries))
+                labels[v].entries[key] = portal_entries
         labeling = DistanceLabeling(graph, tree, epsilon, labels)
         if metrics.enabled:
             metrics.inc("labeling.vertices", len(labels))
@@ -147,34 +206,148 @@ def build_labeling(
     return labeling
 
 
-def _build_vertex_label(
+def _unit_entries(
     graph: Graph,
     tree: DecompositionTree,
-    v: Vertex,
+    node_id: int,
+    phase_idx: int,
+    residual,
     epsilon: float,
-    residual_cache,
-) -> VertexLabel:
-    label = VertexLabel(vertex=v)
-    home_node, home_phase, _, _ = tree.home[v]
-    for node_id in tree.root_path(v):
-        node = tree.nodes[node_id]
-        for phase_idx, residual in residual_cache[node_id]:
-            if node_id == home_node and phase_idx > home_phase:
-                break
-            if v not in residual:
-                break
-            dist, _ = dijkstra(graph, v, allowed=residual)
-            if metrics.enabled:
-                metrics.inc("labeling.dijkstra_runs")
-                metrics.inc("labeling.level.dijkstra_runs", level=node.depth)
-            phase = node.separator.phases[phase_idx]
-            for path_idx, path in enumerate(phase.paths):
-                key = (node_id, phase_idx, path_idx)
-                prefix = tree.path_prefix(key)
-                portals = epsilon_cover_portals(path, prefix, dist, epsilon)
-                if portals:
-                    metrics.inc("labeling.portals", len(portals))
-                    label.entries[key] = [
-                        (prefix[i], d) for i, d in portals
-                    ]
-    return label
+) -> Tuple[UnitEntries, int]:
+    """Label entries contributed by one (node, phase) unit.
+
+    The vertices needing entries for a unit are exactly the residual's
+    members: every v in J has this node on its root path, and v appears
+    in residual J_i precisely for the phases the per-vertex loop of the
+    paper's construction would process.  Iteration order over the
+    residual does not influence the output — entries are keyed by
+    (vertex, path) and merged per vertex — so no sorting is needed.
+    """
+    dist_maps = phase_portal_distance_maps(
+        graph, tree, node_id, phase_idx, residual
+    )
+    phase = tree.nodes[node_id].separator.phases[phase_idx]
+    out: UnitEntries = []
+    for path_idx, path in enumerate(phase.paths):
+        key = (node_id, phase_idx, path_idx)
+        prefix = tree.path_prefix(key)
+        rows = [dist_maps[x] for x in path]
+        for v in residual:
+            pos_dist = [row.get(v, INF) for row in rows]
+            portals = epsilon_cover_portals_at(prefix, pos_dist, epsilon)
+            if portals:
+                out.append(
+                    (v, key, [(prefix[i], d) for i, d in portals])
+                )
+    return out, len(dist_maps)
+
+
+def _build_units_serial(
+    graph: Graph, tree: DecompositionTree, epsilon: float
+) -> List[Tuple[int, UnitEntries, int, float]]:
+    results = []
+    for unit_idx, (node_id, phase_idx, residual) in enumerate(tree.phase_units()):
+        started = time.perf_counter()
+        entries, num_sources = _unit_entries(
+            graph, tree, node_id, phase_idx, residual, epsilon
+        )
+        results.append(
+            (unit_idx, entries, num_sources, time.perf_counter() - started)
+        )
+    return results
+
+
+def _assign_chunks(
+    tree: DecompositionTree, jobs: int
+) -> List[List[int]]:
+    """Deterministic longest-processing-time assignment of unit indices
+    to *jobs* buckets, balancing on |residual| * (separator size) — the
+    leading term of a unit's batched-Dijkstra cost."""
+    units = tree.phase_units()
+    costs = []
+    for unit_idx, (node_id, phase_idx, residual) in enumerate(units):
+        phase = tree.nodes[node_id].separator.phases[phase_idx]
+        sep = sum(len(path) for path in phase.paths)
+        costs.append((len(residual) * max(1, sep), unit_idx))
+    costs.sort(key=lambda pair: (-pair[0], pair[1]))
+    buckets: List[List[int]] = [[] for _ in range(jobs)]
+    loads = [0.0] * jobs
+    for cost, unit_idx in costs:
+        target = loads.index(min(loads))
+        buckets[target].append(unit_idx)
+        loads[target] += cost
+    return buckets
+
+
+def _worker_init(graph: Graph, tree: DecompositionTree, epsilon: float) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = (graph, tree, epsilon)
+
+
+def _worker_chunk(task):
+    """Build every unit of one chunk inside a worker process."""
+    worker_idx, unit_idxs, child_seed = task
+    assert _WORKER_STATE is not None
+    graph, tree, epsilon = _WORKER_STATE
+    # Hygiene for anything in the worker that touches the global RNG:
+    # replace the state inherited from the parent's fork (identical in
+    # every sibling) with an independent, derived child stream.
+    random.seed(child_seed)
+    units = tree.phase_units()
+    started = time.perf_counter()
+    results = []
+    for unit_idx in unit_idxs:
+        node_id, phase_idx, residual = units[unit_idx]
+        unit_started = time.perf_counter()
+        entries, num_sources = _unit_entries(
+            graph, tree, node_id, phase_idx, residual, epsilon
+        )
+        results.append(
+            (unit_idx, entries, num_sources, time.perf_counter() - unit_started)
+        )
+    return worker_idx, results, time.perf_counter() - started
+
+
+def _build_units_parallel(
+    graph: Graph,
+    tree: DecompositionTree,
+    epsilon: float,
+    jobs: int,
+    seed: SeedLike,
+) -> List[Tuple[int, UnitEntries, int, float]]:
+    global _WORKER_STATE
+    try:
+        ctx = get_context("fork")
+    except ValueError:
+        # No fork start method (e.g. some non-POSIX platforms): the
+        # read-only shared state cannot be inherited cheaply, so build
+        # serially rather than pickle the graph to every worker.
+        return _build_units_serial(graph, tree, epsilon)
+    chunks = _assign_chunks(tree, jobs)
+    tasks = [
+        (worker_idx, unit_idxs, derive_seed(seed, "labeling.worker", worker_idx))
+        for worker_idx, unit_idxs in enumerate(chunks)
+        if unit_idxs
+    ]
+    _WORKER_STATE = (graph, tree, epsilon)
+    try:
+        with ctx.Pool(processes=len(tasks), initializer=_worker_init,
+                      initargs=(graph, tree, epsilon)) as pool:
+            outcomes = pool.map(_worker_chunk, tasks)
+    finally:
+        _WORKER_STATE = None
+    produced: List[Tuple[int, UnitEntries, int, float]] = []
+    for worker_idx, results, seconds in sorted(outcomes, key=lambda o: o[0]):
+        record_span(
+            "labeling.worker",
+            int(seconds * 1e9),
+            worker=worker_idx,
+            units=len(results),
+            sources=sum(num_sources for _, _, num_sources, _ in results),
+        )
+        metrics.observe("labeling.worker_seconds", seconds)
+        produced.extend(results)
+    # Unit order, not arrival order, decides the merge: byte-identical
+    # output to a serial build regardless of scheduling.
+    produced.sort(key=lambda item: item[0])
+    return produced

@@ -13,6 +13,7 @@ from repro.core.engines import SeparatorEngine
 from repro.core.labeling import DistanceLabeling, build_labeling
 from repro.graphs.graph import Graph
 from repro.obs import span
+from repro.util.rng import SeedLike
 from repro.util.sizing import SizeReport
 
 Vertex = Hashable
@@ -42,12 +43,22 @@ class PathSeparatorOracle:
         epsilon: float = 0.25,
         engine: Optional[SeparatorEngine] = None,
         tree: Optional[DecompositionTree] = None,
+        parallel: Optional[int] = None,
+        seed: SeedLike = 0,
     ) -> "PathSeparatorOracle":
-        """Build the oracle: decomposition tree (unless given) + labels."""
+        """Build the oracle: decomposition tree (unless given) + labels.
+
+        ``parallel=N`` fans label construction out over N worker
+        processes; the result is byte-identical to a serial build (see
+        :func:`repro.core.labeling.build_labeling`).  ``seed`` only
+        feeds per-worker child-seed derivation.
+        """
         with span("oracle.build", n=graph.num_vertices, epsilon=epsilon):
             if tree is None:
                 tree = build_decomposition(graph, engine=engine)
-            labeling = build_labeling(graph, tree, epsilon=epsilon)
+            labeling = build_labeling(
+                graph, tree, epsilon=epsilon, parallel=parallel, seed=seed
+            )
         return cls(labeling)
 
     def query(self, u: Vertex, v: Vertex) -> float:

@@ -54,12 +54,31 @@ def epsilon_cover_portals(
     -------
     Sorted list of ``(position_index, distance)`` pairs.
     """
+    return epsilon_cover_portals_at(
+        prefix, [dist.get(x, INF) for x in path], epsilon
+    )
+
+
+def epsilon_cover_portals_at(
+    prefix: Sequence[float],
+    pos_dist: Sequence[float],
+    epsilon: float,
+) -> List[Tuple[int, float]]:
+    """Positional form of :func:`epsilon_cover_portals`.
+
+    *pos_dist* gives ``d_J(v, path[i])`` per path position (``inf``
+    for unreachable positions).  This is the shape the batched
+    per-level distance maps produce (one distance row per vertex), so
+    label construction can select portals without materializing a
+    vertex-keyed dict per path.  Selection is identical to the
+    dict-based form: same greedy scan, same portals.
+    """
     if epsilon <= 0:
         raise ValueError("epsilon must be positive")
-    reached = [i for i, x in enumerate(path) if dist.get(x, INF) < INF]
+    reached = [i for i, dx in enumerate(pos_dist) if dx < INF]
     if not reached:
         return []
-    closest = min(reached, key=lambda i: (dist[path[i]], i))
+    closest = min(reached, key=lambda i: (pos_dist[i], i))
     chosen = {closest}
 
     # Scan outwards from the closest vertex in both directions,
@@ -70,15 +89,14 @@ def epsilon_cover_portals(
         while (direction == 1 and idx <= reached[-1]) or (
             direction == -1 and idx >= reached[0]
         ):
-            x = path[idx]
-            dx = dist.get(x, INF)
+            dx = pos_dist[idx]
             if dx < INF:
-                via = dist[path[current]] + abs(prefix[idx] - prefix[current])
+                via = pos_dist[current] + abs(prefix[idx] - prefix[current])
                 if via > (1 + epsilon) * dx:
                     chosen.add(idx)
                     current = idx
             idx += direction
-    return sorted((i, dist[path[i]]) for i in chosen)
+    return sorted((i, pos_dist[i]) for i in chosen)
 
 
 def claim1_landmarks(

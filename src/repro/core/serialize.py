@@ -18,16 +18,50 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Hashable, List, Tuple, Union
+from typing import Dict, Hashable, Iterator, List, NamedTuple, Tuple, Union
 
-from repro.core.labeling import VertexLabel
-from repro.util.errors import ReproError
+from repro.core.labeling import VertexLabel, estimate_distance
+from repro.util.errors import GraphError, ReproError
 
 Vertex = Hashable
 
 
 class SerializationError(ReproError):
     """A value cannot be encoded, or a payload is malformed."""
+
+
+class RemoteLabels(NamedTuple):
+    """Loaded labels, graph-free, with the Theorem-2 query attached.
+
+    This is what the *receiving* side of the wire holds: epsilon plus
+    one label per vertex, and nothing else — no graph, no decomposition
+    tree.  :meth:`estimate` runs the paper's combine step (minimum over
+    shared separator paths of portal-pair sums) directly on two stored
+    labels.
+
+    A ``NamedTuple``, so the historical ``epsilon, labels =
+    load_labeling(...)`` unpacking keeps working unchanged.
+    """
+
+    epsilon: float
+    labels: Dict[Vertex, VertexLabel]
+
+    def label(self, v: Vertex) -> VertexLabel:
+        try:
+            return self.labels[v]
+        except KeyError:
+            raise GraphError(f"vertex {v!r} has no label") from None
+
+    def estimate(self, u: Vertex, v: Vertex) -> float:
+        """(1+eps)-approximate distance from the two stored labels."""
+        return estimate_distance(self.label(u), self.label(v))
+
+    def vertices(self) -> Iterator[Vertex]:
+        return iter(self.labels)
+
+    @property
+    def num_labels(self) -> int:
+        return len(self.labels)
 
 
 def encode_vertex(v):
@@ -107,13 +141,13 @@ def dump_labeling(labeling, path: Union[str, Path, None] = None) -> str:
     return text
 
 
-def load_labeling(source: Union[str, Path]) -> Tuple[float, Dict[Vertex, VertexLabel]]:
+def load_labeling(source: Union[str, Path]) -> RemoteLabels:
     """Load labels dumped by :func:`dump_labeling`.
 
-    Accepts a JSON string or a path; returns ``(epsilon, labels)`` —
+    Accepts a JSON string or a path; returns a :class:`RemoteLabels` —
     deliberately *not* a :class:`DistanceLabeling`, because the loader
-    has no graph.  Use :func:`repro.core.labeling.estimate_distance`
-    on pairs of labels.
+    has no graph.  Query with :meth:`RemoteLabels.estimate`, or unpack
+    ``epsilon, labels = load_labeling(...)`` as before.
     """
     if isinstance(source, Path) or (
         isinstance(source, str) and not source.lstrip().startswith("{")
@@ -125,15 +159,19 @@ def load_labeling(source: Union[str, Path]) -> Tuple[float, Dict[Vertex, VertexL
         payload = json.loads(text)
     except json.JSONDecodeError as exc:
         raise SerializationError(f"invalid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise SerializationError("labels payload is not a JSON object")
     if payload.get("format") != "repro-distance-labels/1":
         raise SerializationError(
             f"unknown format {payload.get('format')!r}"
         )
+    if not isinstance(payload.get("labels"), list):
+        raise SerializationError("labels payload has no label list")
     labels: Dict[Vertex, VertexLabel] = {}
     for item in payload["labels"]:
         label = decode_label(item)
         labels[label.vertex] = label
-    return float(payload["epsilon"]), labels
+    return RemoteLabels(float(payload["epsilon"]), labels)
 
 
 def wire_bits(label: VertexLabel) -> int:

@@ -26,6 +26,7 @@ from repro.graphs.ops import (
 )
 from repro.graphs.shortest_paths import (
     ShortestPathTree,
+    batched_dijkstra,
     bidirectional_dijkstra,
     dijkstra,
     dijkstra_tree,
@@ -44,6 +45,7 @@ __all__ = [
     "Graph",
     "ShortestPathTree",
     "aspect_ratio",
+    "batched_dijkstra",
     "bfs_distances",
     "bfs_order",
     "bidirectional_dijkstra",

@@ -187,6 +187,80 @@ def multi_source_forest(
     return dist, origin, parent
 
 
+def batched_dijkstra(
+    graph: Graph,
+    sources: Iterable[Vertex],
+    allowed: Optional[AbstractSet[Vertex]] = None,
+    cutoff: float = INF,
+) -> Dict[Vertex, Dict[Vertex, float]]:
+    """Independent single-source searches from every source, one heap pass.
+
+    Unlike :func:`multi_source_dijkstra` (distance to the *nearest*
+    source), this computes the full per-source distance map
+    ``d(s, .)`` for **each** source, interleaving all the searches
+    through one shared heap.  It is the batched forest primitive behind
+    per-level label construction: one call per (node, phase) replaces
+    one Dijkstra per (vertex, path), because in an undirected graph
+    ``d_J(v, x) = d_J(x, v)`` and separator paths are far smaller than
+    the residual they separate.
+
+    Parameters
+    ----------
+    sources:
+        Search roots; duplicates are collapsed.  Every source must be
+        in the graph and (when given) in *allowed*, like
+        :func:`dijkstra`.
+    allowed, cutoff:
+        Same semantics as :func:`dijkstra`, applied to every search.
+
+    Returns
+    -------
+    ``{source: dist_map}`` with one entry per distinct source; each
+    ``dist_map`` is exactly what ``dijkstra(graph, source, ...)``
+    would return as its first element.
+    """
+    src_list: List[Vertex] = []
+    seen = set()
+    for s in sources:
+        if s not in graph:
+            raise GraphError(f"source {s!r} not in graph")
+        if allowed is not None and s not in allowed:
+            raise GraphError(f"source {s!r} not in the allowed set")
+        if s not in seen:
+            seen.add(s)
+            src_list.append(s)
+    dists: List[Dict[Vertex, float]] = [{s: 0.0} for s in src_list]
+    settled: List[set] = [set() for _ in src_list]
+    # Heap entries carry the index of the search they belong to; ties
+    # break on the insertion counter so vertices are never compared.
+    heap: List[Tuple[float, int, int, Vertex]] = [
+        (0.0, i, i, s) for i, s in enumerate(src_list)
+    ]
+    counter = len(src_list)
+    adj = graph._adj
+    push, pop = heapq.heappush, heapq.heappop
+    while heap:
+        d, _, si, u = pop(heap)
+        done = settled[si]
+        if u in done:
+            continue
+        done.add(u)
+        dist = dists[si]
+        dist_get = dist.get
+        for v, w in adj[u].items():
+            if v in done:
+                continue
+            if allowed is not None and v not in allowed:
+                continue
+            nd = d + w
+            if nd > cutoff or nd >= dist_get(v, INF):
+                continue
+            dist[v] = nd
+            push(heap, (nd, counter, si, v))
+            counter += 1
+    return {s: dists[i] for i, s in enumerate(src_list)}
+
+
 def bidirectional_dijkstra(
     graph: Graph,
     source: Vertex,

@@ -34,6 +34,7 @@ from repro.obs.tracing import (
     Span,
     SpanSink,
     add_sink,
+    record_span,
     remove_sink,
     span,
     tracing_active,
@@ -55,6 +56,7 @@ __all__ = [
     "git_sha",
     "metrics",
     "metrics_payload",
+    "record_span",
     "remove_sink",
     "render_key",
     "span",

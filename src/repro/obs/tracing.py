@@ -38,6 +38,7 @@ __all__ = [
     "Span",
     "SpanSink",
     "add_sink",
+    "record_span",
     "remove_sink",
     "span",
     "tracing_active",
@@ -184,6 +185,31 @@ def span(name: str, **attributes):
 def tracing_active() -> bool:
     """True when at least one sink is attached (spans are real)."""
     return bool(_sinks)
+
+
+def record_span(name: str, duration_ns: int, **attributes) -> None:
+    """Record an already-measured region as a completed span.
+
+    For work timed somewhere the sinks cannot see — worker *processes*
+    most of all, whose own spans die with them.  The parent measures
+    (or receives) a duration and replays it here: the span lands under
+    whatever span is currently open, so ``labeling.build`` can show one
+    child per worker.  A no-op while no sink is attached.
+    """
+    if not _sinks:
+        return
+    recorded = Span(name, attributes)
+    now = time.monotonic_ns()
+    recorded.start_ns = now - max(0, int(duration_ns))
+    recorded.end_ns = now
+    stack = _stack()
+    if stack:
+        stack[-1].children.append(recorded)
+    depth = len(stack)
+    for sink in _sinks:
+        sink.on_span_end(recorded, depth)
+        if depth == 0:
+            sink.on_root(recorded)
 
 
 # ----------------------------------------------------------------------

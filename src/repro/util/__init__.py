@@ -11,7 +11,7 @@ from repro.util.errors import (
     NotConnectedError,
     ReproError,
 )
-from repro.util.rng import ensure_rng, spawn_rng
+from repro.util.rng import derive_seed, ensure_rng, seed_fingerprint, spawn_rng
 from repro.util.sizing import SizeReport, label_words, words_to_bits
 from repro.util.tables import format_table
 from repro.util.timer import Timer
@@ -24,9 +24,11 @@ __all__ = [
     "ReproError",
     "SizeReport",
     "Timer",
+    "derive_seed",
     "ensure_rng",
     "format_table",
     "label_words",
+    "seed_fingerprint",
     "spawn_rng",
     "words_to_bits",
 ]

@@ -8,10 +8,46 @@ already-constructed :class:`random.Random` instance (shared stream).
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import Optional, Union
 
 SeedLike = Union[None, int, random.Random]
+
+
+def seed_fingerprint(seed: SeedLike = None) -> int:
+    """Collapse a :data:`SeedLike` into one 64-bit base integer.
+
+    ``None`` draws fresh entropy; an ``int`` is used as-is; a
+    ``random.Random`` contributes **one** draw from its stream.  Do
+    this once (e.g. at engine construction) and derive all further
+    child seeds from the returned integer with :func:`derive_seed`, so
+    downstream randomness stops depending on call order or on state
+    inherited across a process fork.
+    """
+    if isinstance(seed, random.Random):
+        return seed.getrandbits(64)
+    if seed is None:
+        return random.SystemRandom().getrandbits(64)
+    return int(seed)
+
+
+def derive_seed(base: SeedLike, *key) -> int:
+    """Stable 64-bit child seed for a spawn *key*.
+
+    Hashes ``(fingerprint(base), key)`` — the same base and key always
+    give the same child, and distinct keys give independent children,
+    no matter how many siblings were derived in between.  This is what
+    worker processes and per-component engine calls must use instead of
+    sharing the parent's stream: a shared ``random.Random`` consumed
+    from several workers (or in a different call order) silently breaks
+    reproducibility, and a forked worker that keeps using inherited
+    state produces streams correlated with its siblings'.
+    """
+    material = repr((seed_fingerprint(base), key)).encode("utf-8")
+    return int.from_bytes(
+        hashlib.sha256(material).digest()[:8], "big", signed=False
+    )
 
 
 def ensure_rng(seed: SeedLike = None) -> random.Random:

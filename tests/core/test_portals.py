@@ -3,6 +3,7 @@ import math
 import pytest
 
 from repro.core import claim1_landmarks, epsilon_cover_portals, min_portal_pair
+from repro.core.portals import epsilon_cover_portals_at
 
 INF = float("inf")
 
@@ -58,6 +59,26 @@ class TestEpsilonCover:
         dist = {i: float(abs(i - 4)) for i in path}  # v == path[4]
         portals = epsilon_cover_portals(path, prefix, dist, 0.5)
         assert (4, 0.0) in portals
+
+    def test_positional_variant_matches_dict_form(self):
+        import random
+
+        rng = random.Random(11)
+        path, prefix = linear_path(40)
+        dist = {0: rng.uniform(1, 20)}
+        for i in range(1, 40):
+            dist[i] = rng.uniform(max(0.5, dist[i - 1] - 1), dist[i - 1] + 1)
+        # Knock some vertices unreachable to exercise the INF handling.
+        del dist[7], dist[8]
+        pos_dist = [dist.get(x, INF) for x in path]
+        for eps in (1.0, 0.25, 0.05):
+            assert epsilon_cover_portals_at(
+                prefix, pos_dist, eps
+            ) == epsilon_cover_portals(path, prefix, dist, eps)
+
+    def test_positional_variant_all_unreachable(self):
+        path, prefix = linear_path(6)
+        assert epsilon_cover_portals_at(prefix, [INF] * 6, 0.25) == []
 
     def test_unreachable_vertices_skipped(self):
         path, prefix = linear_path(10)

@@ -5,6 +5,7 @@ import pytest
 from repro.core import build_decomposition, build_labeling
 from repro.core.labeling import estimate_distance
 from repro.core.serialize import (
+    RemoteLabels,
     SerializationError,
     decode_label,
     decode_vertex,
@@ -92,6 +93,54 @@ class TestLabelingRoundTrip:
     def test_invalid_json_rejected(self):
         with pytest.raises(SerializationError):
             load_labeling("{broken")
+
+
+class TestRemoteLabels:
+    @pytest.fixture
+    def shipped(self):
+        g = grid_2d(6, weight_range=(1.0, 5.0), seed=1)
+        labeling = build_labeling(g, build_decomposition(g), epsilon=0.25)
+        return g, labeling, load_labeling(dump_labeling(labeling))
+
+    def test_load_returns_remote_labels(self, shipped):
+        _, _, remote = shipped
+        assert isinstance(remote, RemoteLabels)
+
+    def test_tuple_unpacking_still_works(self, shipped):
+        _, _, remote = shipped
+        epsilon, labels = remote
+        assert epsilon == 0.25
+        assert labels is remote.labels
+
+    def test_estimate_matches_labeling(self, shipped):
+        g, labeling, remote = shipped
+        for u, v in pair_sample(g, 30, seed=4):
+            assert remote.estimate(u, v) == pytest.approx(
+                labeling.estimate(u, v)
+            )
+
+    def test_estimate_is_graph_free(self, shipped):
+        # The wrapper holds nothing but epsilon and the label dict.
+        _, _, remote = shipped
+        assert set(remote._fields) == {"epsilon", "labels"}
+
+    def test_missing_vertex_one_line_error(self, shipped):
+        from repro.util.errors import GraphError
+
+        _, _, remote = shipped
+        with pytest.raises(GraphError, match="has no label"):
+            remote.estimate((0, 0), "ghost")
+
+    def test_vertices_and_count(self, shipped):
+        g, _, remote = shipped
+        assert set(remote.vertices()) == set(g.vertices())
+        assert remote.num_labels == g.num_vertices
+
+    def test_payload_without_label_list_rejected(self):
+        with pytest.raises(SerializationError):
+            load_labeling(
+                json.dumps({"format": "repro-distance-labels/1", "epsilon": 0.1})
+            )
 
 
 class TestWireBits:

@@ -3,6 +3,7 @@ import pytest
 from repro.generators import grid_2d, random_tree
 from repro.graphs import (
     Graph,
+    batched_dijkstra,
     bidirectional_dijkstra,
     dijkstra,
     dijkstra_tree,
@@ -93,6 +94,56 @@ class TestMultiSource:
     def test_missing_source_raises(self, diamond):
         with pytest.raises(GraphError):
             multi_source_dijkstra(diamond, [0, 42])
+
+
+class TestBatchedDijkstra:
+    def test_matches_per_source_dijkstra(self, diamond):
+        sources = [0, 2, 3]
+        batched = batched_dijkstra(diamond, sources)
+        assert set(batched) == set(sources)
+        for s in sources:
+            assert batched[s] == dijkstra(diamond, s)[0]
+
+    def test_matches_on_weighted_grid(self):
+        g = grid_2d(6, weight_range=(1.0, 9.0), seed=3)
+        sources = [(0, 0), (2, 3), (5, 5), (1, 1)]
+        batched = batched_dijkstra(g, sources)
+        for s in sources:
+            assert batched[s] == dijkstra(g, s)[0]
+
+    def test_respects_allowed(self, diamond):
+        batched = batched_dijkstra(diamond, [0, 3], allowed={0, 1, 3})
+        assert batched[0] == dijkstra(diamond, 0, allowed={0, 1, 3})[0]
+        assert batched[3] == dijkstra(diamond, 3, allowed={0, 1, 3})[0]
+        assert 2 not in batched[0]
+
+    def test_respects_cutoff(self, diamond):
+        batched = batched_dijkstra(diamond, [0], cutoff=1.0)
+        assert batched[0] == dijkstra(diamond, 0, cutoff=1.0)[0]
+        assert 3 not in batched[0]
+
+    def test_duplicate_sources_deduped(self, diamond):
+        batched = batched_dijkstra(diamond, [0, 0, 1, 0])
+        assert set(batched) == {0, 1}
+        assert batched[0] == dijkstra(diamond, 0)[0]
+
+    def test_missing_source_raises(self, diamond):
+        with pytest.raises(GraphError):
+            batched_dijkstra(diamond, [0, 42])
+
+    def test_source_outside_allowed_raises(self, diamond):
+        with pytest.raises(GraphError):
+            batched_dijkstra(diamond, [0, 2], allowed={0, 1, 3})
+
+    def test_empty_sources(self, diamond):
+        assert batched_dijkstra(diamond, []) == {}
+
+    def test_disconnected_component_unreached(self):
+        g = Graph([(0, 1)])
+        g.add_vertex(9)
+        batched = batched_dijkstra(g, [0, 9])
+        assert 9 not in batched[0]
+        assert batched[9] == {9: 0.0}
 
 
 class TestBidirectional:

@@ -10,6 +10,7 @@ from repro.obs import (
     CollectingSink,
     JsonFileSink,
     LogSink,
+    record_span,
     span,
     tracing_active,
     use_sink,
@@ -162,3 +163,36 @@ class TestSinks:
             with span("x"):
                 pass
         assert a.find("x") and b.find("x")
+
+
+class TestRecordSpan:
+    """record_span replays timings measured elsewhere (e.g. in a worker
+    process whose sinks are not attached)."""
+
+    def test_noop_without_sink(self):
+        record_span("orphan", 1_000_000)  # must not raise
+        assert not tracing_active()
+
+    def test_recorded_as_root(self):
+        collector = CollectingSink()
+        with use_sink(collector):
+            record_span("labeling.worker", 5_000_000, worker=2, units=7)
+        (root,) = collector.roots
+        assert root.name == "labeling.worker"
+        assert root.duration_ns == 5_000_000
+        assert root.attributes == {"worker": 2, "units": 7}
+
+    def test_recorded_as_child_of_open_span(self):
+        collector = CollectingSink()
+        with use_sink(collector):
+            with span("parent"):
+                record_span("replayed", 1_000)
+        root = collector.roots[0]
+        assert [c.name for c in root.children] == ["replayed"]
+        assert root.children[0].duration_ns == 1_000
+
+    def test_negative_duration_clamped(self):
+        collector = CollectingSink()
+        with use_sink(collector):
+            record_span("weird", -50)
+        assert collector.roots[0].duration_ns == 0

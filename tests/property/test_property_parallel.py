@@ -1,0 +1,131 @@
+"""Property-based tests for the parallel build path and the batched
+Dijkstra primitive it rests on.
+
+Two guarantees from docs/performance.md are exercised here:
+
+* a parallel build is *byte-identical* to a serial one — not merely
+  equivalent — across graph families, epsilons, and job counts;
+* ``dijkstra``'s settled set is exactly ``{v : d(v) <= cutoff}`` among
+  vertices reachable inside ``allowed``, and ``batched_dijkstra``
+  reproduces the per-source result bit for bit.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import build_decomposition, build_labeling
+from repro.core.serialize import dump_labeling
+from repro.generators import k_tree, random_delaunay_graph, random_tree
+from repro.graphs import Graph, batched_dijkstra, dijkstra
+
+INF = float("inf")
+
+FAMILIES = {
+    "tree": lambda n, seed: random_tree(
+        n, weight_range=(0.5, 6.0), seed=seed
+    ),
+    "ktree": lambda n, seed: k_tree(
+        n, 2, weight_range=(0.5, 6.0), seed=seed
+    )[0],
+    "delaunay": lambda n, seed: random_delaunay_graph(n, seed=seed)[0],
+}
+
+
+@st.composite
+def weighted_graph(draw):
+    n = draw(st.integers(2, 24))
+    extra = draw(st.integers(0, 30))
+    seed = draw(st.integers(0, 10**6))
+    rng = random.Random(seed)
+    g = Graph()
+    g.add_vertex(0)
+    for v in range(1, n):
+        g.add_edge(rng.randrange(v), v, rng.uniform(0.1, 10.0))
+    for _ in range(extra):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v, rng.uniform(0.1, 10.0))
+    return g
+
+
+class TestParallelEqualsSerial:
+    # Each example forks a pool, so examples are expensive: keep the
+    # counts low and the graphs small.
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        family=st.sampled_from(sorted(FAMILIES)),
+        n=st.integers(12, 40),
+        seed=st.integers(0, 10**6),
+        epsilon=st.sampled_from([0.5, 0.25, 0.1]),
+        jobs=st.integers(2, 4),
+    )
+    def test_byte_identical_across_families(
+        self, family, n, seed, epsilon, jobs
+    ):
+        g = FAMILIES[family](n, seed)
+        tree = build_decomposition(g)
+        serial = dump_labeling(build_labeling(g, tree, epsilon=epsilon))
+        par = dump_labeling(
+            build_labeling(
+                g, tree, epsilon=epsilon, parallel=jobs, seed=seed
+            )
+        )
+        assert par == serial
+
+
+class TestDijkstraBoundaries:
+    @settings(
+        max_examples=50,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        g=weighted_graph(),
+        cutoff_seed=st.integers(0, 10**6),
+        allow_frac=st.floats(0.3, 1.0),
+    )
+    def test_settled_set_is_exactly_the_cutoff_ball(
+        self, g, cutoff_seed, allow_frac
+    ):
+        rng = random.Random(cutoff_seed)
+        n = g.num_vertices
+        allowed = {0} | {
+            v for v in range(n) if rng.random() < allow_frac
+        }
+        # Ground truth: unrestricted distances inside `allowed`.
+        full, _ = dijkstra(g, 0, allowed=allowed)
+        reachable = sorted(full.values())
+        cutoff = rng.choice(reachable) if rng.random() < 0.5 else rng.uniform(
+            0.0, (reachable[-1] or 1.0) * 1.2
+        )
+        dist, _ = dijkstra(g, 0, allowed=allowed, cutoff=cutoff)
+        expected = {v for v, d in full.items() if d <= cutoff}
+        assert set(dist) == expected
+        for v in expected:
+            assert dist[v] == full[v]
+
+    @settings(
+        max_examples=50,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        g=weighted_graph(),
+        pick_seed=st.integers(0, 10**6),
+        k=st.integers(1, 6),
+    )
+    def test_batched_equals_per_source(self, g, pick_seed, k):
+        rng = random.Random(pick_seed)
+        n = g.num_vertices
+        sources = [rng.randrange(n) for _ in range(k)]
+        batched = batched_dijkstra(g, sources)
+        for s in set(sources):
+            # Bit-for-bit, not approximately: distances are unique
+            # fixpoints, independent of relaxation order.
+            assert batched[s] == dijkstra(g, s)[0]

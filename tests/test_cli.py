@@ -91,7 +91,67 @@ class TestLabelsAndQuery:
     def test_query_unknown_vertex(self, graph_file, tmp_path, capsys):
         labels = tmp_path / "labels.json"
         main(["labels", str(graph_file), "--out", str(labels)])
-        assert main(["query", str(labels), "0", "99999"]) == 1
+        assert main(["query", str(labels), "0", "99999"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "99999" in err
+        assert "Traceback" not in err
+
+    def test_query_malformed_labels_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{ not json")
+        assert main(["query", str(bad), "0", "1"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_query_wrong_format_labels_file(self, tmp_path, capsys):
+        bad = tmp_path / "other.json"
+        bad.write_text(json.dumps({"format": "something-else/9", "labels": []}))
+        assert main(["query", str(bad), "0", "1"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "something-else/9" in err
+
+    def test_query_missing_labels_file(self, tmp_path, capsys):
+        missing = tmp_path / "nope" / "labels.json"
+        assert main(["query", str(missing), "0", "1"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_labels_missing_graph_file(self, tmp_path, capsys):
+        assert main(
+            ["labels", str(tmp_path / "absent.edges"),
+             "--out", str(tmp_path / "l.json")]
+        ) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+
+class TestJobs:
+    def test_jobs_matches_serial_and_is_reproducible(
+        self, graph_file, tmp_path, capsys
+    ):
+        serial = tmp_path / "serial.json"
+        par_a = tmp_path / "par_a.json"
+        par_b = tmp_path / "par_b.json"
+        base = ["labels", str(graph_file), "--epsilon", "0.25", "--seed", "7"]
+        assert main(base + ["--out", str(serial)]) == 0
+        assert main(base + ["--jobs", "4", "--out", str(par_a)]) == 0
+        assert main(base + ["--jobs", "4", "--out", str(par_b)]) == 0
+        capsys.readouterr()
+        # Two parallel runs agree with each other AND with serial,
+        # byte for byte.
+        assert par_a.read_bytes() == par_b.read_bytes()
+        assert par_a.read_bytes() == serial.read_bytes()
+
+    def test_jobs_flag_on_oracle_and_stats(self, graph_file, capsys):
+        for cmd in ("oracle", "stats"):
+            rc = main([cmd, str(graph_file), "--queries", "5", "--jobs", "2"])
+            assert rc == 0
+            capsys.readouterr()
 
 
 class TestSmallworld:

@@ -1,6 +1,6 @@
 import random
 
-from repro.util.rng import ensure_rng, spawn_rng
+from repro.util.rng import derive_seed, ensure_rng, seed_fingerprint, spawn_rng
 
 
 class TestEnsureRng:
@@ -39,3 +39,36 @@ class TestSpawnRng:
         child2 = spawn_rng(parent2)
         parent2.random()  # consuming parent after spawn must not matter
         assert child2.random() == before
+
+
+class TestSeedFingerprint:
+    def test_int_is_identity(self):
+        assert seed_fingerprint(42) == 42
+
+    def test_random_instance_consumes_one_draw(self):
+        assert seed_fingerprint(random.Random(5)) == random.Random(5).getrandbits(64)
+
+    def test_none_draws_fresh_entropy(self):
+        assert seed_fingerprint(None) != seed_fingerprint(None)
+
+
+class TestDeriveSeed:
+    def test_same_base_and_key_same_child(self):
+        assert derive_seed(7, "worker", 3) == derive_seed(7, "worker", 3)
+
+    def test_distinct_keys_distinct_children(self):
+        children = {derive_seed(7, "worker", i) for i in range(100)}
+        assert len(children) == 100
+
+    def test_distinct_bases_distinct_children(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_independent_of_sibling_order(self):
+        # Unlike stream sharing, deriving child 5 first and child 2
+        # second gives the same values as the reverse order.
+        a5, a2 = derive_seed(3, "w", 5), derive_seed(3, "w", 2)
+        b2, b5 = derive_seed(3, "w", 2), derive_seed(3, "w", 5)
+        assert (a5, a2) == (b5, b2)
+
+    def test_fits_in_64_bits(self):
+        assert 0 <= derive_seed(0, "k") < 2**64
