@@ -23,6 +23,7 @@ from pathlib import Path
 import pytest
 
 from repro.obs import git_sha
+from repro.obs.export import bench_payload
 
 RESULTS_DIR = Path(__file__).parent / "results"
 REPO_ROOT = Path(__file__).parent.parent
@@ -48,18 +49,16 @@ def record_table(request):
         print(table)
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
-        payload = {
-            "format": "repro-bench/1",
-            "name": name,
-            "test": request.node.nodeid,
-            "git_sha": git_sha(cwd=str(REPO_ROOT)),
-            "unix_time": round(time.time(), 3),
-            "header": header,
-            "rows": rows,
-            "table": table,
-        }
-        if meta:
-            payload["meta"] = meta
+        payload = bench_payload(
+            name,
+            header=header,
+            rows=rows,
+            table=table,
+            meta=meta,
+            test=request.node.nodeid,
+            unix_time=time.time(),
+            cwd=str(REPO_ROOT),
+        )
         (RESULTS_DIR / f"{name}.json").write_text(
             json.dumps(payload, indent=2, default=repr) + "\n"
         )

@@ -7,8 +7,11 @@ Subcommands::
     repro oracle     g.edges --epsilon 0.1 --queries 200     # build + evaluate
     repro labels     g.edges --epsilon 0.1 --out labels.json # ship labels
     repro query      labels.json U V                         # distance from labels
+    repro query      labels.json --pairs-file p.txt          # batch of queries
     repro smallworld g.edges --pairs 100                     # greedy-hop comparison
     repro stats      g.edges --epsilon 0.1                   # telemetry breakdown
+    repro serve      --labels labels.json --port 7471        # query service
+    repro loadgen    --labels labels.json --pairs 500        # drive the service
 
 Every subcommand also accepts ``--trace`` (span log on stderr) and
 ``--metrics-out PATH`` (machine-readable ``repro-metrics/1`` JSON), and
@@ -32,6 +35,7 @@ the format stays trivial.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import os
 import random
 import sys
@@ -229,10 +233,39 @@ def cmd_query(args) -> int:
     # for an unlabeled vertex.  All three become one-line ``error: ...``
     # messages with exit status 2 in main().
     remote = load_labeling(args.labels)
+    if args.pairs_file:
+        # Batch mode: one load_labeling amortized over many estimates,
+        # one ``u v estimate`` line per pair.
+        from repro.serve.loadgen import read_pairs_file
+
+        if args.u is not None or args.v is not None:
+            raise ReproError("give either U V or --pairs-file, not both")
+        if args.pairs_file == "-":
+            pairs = read_pairs_file("<stdin>", stream=sys.stdin)
+        else:
+            pairs = read_pairs_file(args.pairs_file)
+        for u, v in pairs:
+            print(f"{u} {v} {remote.estimate(u, v):.6g}")
+        return 0
+    if args.u is None or args.v is None:
+        raise ReproError("need two vertices U V (or --pairs-file)")
     u, v = _parse_vertex(args.u), _parse_vertex(args.v)
     estimate = remote.estimate(u, v)
     print(f"d({u}, {v}) <= {estimate:.6g}   (within factor {1 + remote.epsilon})")
     return 0
+
+
+def _sample_distinct_pairs(vertices, count: int, rng: random.Random):
+    """*count* uniform (u, v) pairs with u != v — self-pairs are
+    resampled, not silently kept, because a greedy route from u to u
+    is 0 hops and deflates the mean."""
+    pairs = []
+    while len(pairs) < count:
+        u = vertices[rng.randrange(len(vertices))]
+        v = vertices[rng.randrange(len(vertices))]
+        if u != v:
+            pairs.append((u, v))
+    return pairs
 
 
 def cmd_smallworld(args) -> int:
@@ -243,10 +276,7 @@ def cmd_smallworld(args) -> int:
     tree = build_decomposition(graph, engine=_engine_for(args, graph))
     rng = random.Random(args.seed)
     vertices = sorted(graph.vertices(), key=repr)
-    pairs = [
-        (vertices[rng.randrange(len(vertices))], vertices[rng.randrange(len(vertices))])
-        for _ in range(args.pairs)
-    ]
+    pairs = _sample_distinct_pairs(vertices, args.pairs, rng)
     rows = []
     for name, augmented in (
         ("path-separator", PathSeparatorAugmentation(tree).augment(graph, seed=args.seed)),
@@ -257,6 +287,121 @@ def cmd_smallworld(args) -> int:
         rows.append([name, round(GreedyRouter(augmented).mean_hops(pairs), 2)])
     print(format_table(["augmentation", "mean greedy hops"], rows))
     return 0
+
+
+async def _serve_main(server) -> None:
+    """Start *server*, announce the bound address, run until a signal."""
+    import signal
+
+    await server.start()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, server.request_shutdown)
+        except (NotImplementedError, RuntimeError):
+            pass  # non-Unix event loops: Ctrl-C still raises KeyboardInterrupt
+    host, port = server.address
+    print(
+        f"serving {server.catalog.num_labels} labels "
+        f"({len(server.catalog)} store(s)) on {host}:{port}",
+        flush=True,
+    )
+    await server.serve_until_shutdown()
+    stats = server.counters
+    print(
+        f"drained: {stats['requests']} requests "
+        f"({stats['errors']} errors) over {stats['connections']} connections",
+        flush=True,
+    )
+
+
+def cmd_serve(args) -> int:
+    from repro.serve import OracleServer, ShardedLabelStore, StoreCatalog
+
+    catalog = StoreCatalog()
+    for path in args.labels:
+        # ShardedLabelStore.load validates the format stamp here, so an
+        # incompatible file is refused before the port is ever bound.
+        store = catalog.add(ShardedLabelStore.load(path, num_shards=args.shards))
+        print(
+            f"loaded store {store.name!r}: {store.num_labels} labels, "
+            f"{store.total_words} words across {store.num_shards} shards",
+            file=sys.stderr,
+        )
+    server = OracleServer(
+        catalog,
+        host=args.host,
+        port=args.port,
+        cache_size=args.cache,
+        max_inflight=args.max_inflight,
+        request_timeout=args.timeout,
+        drain_grace=args.drain_grace,
+    )
+    try:
+        asyncio.run(_serve_main(server))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    import time
+
+    from repro.obs import write_bench_json
+    from repro.serve import read_pairs_file, run_loadgen, synthesize_pairs
+
+    remote = load_labeling(args.labels) if args.labels else None
+    if args.pairs_file:
+        if args.pairs_file == "-":
+            pairs = read_pairs_file("<stdin>", stream=sys.stdin)
+        else:
+            pairs = read_pairs_file(args.pairs_file)
+    else:
+        if remote is None:
+            raise ReproError(
+                "need --labels (to sample labeled vertices) or --pairs-file"
+            )
+        pairs = synthesize_pairs(list(remote.vertices()), args.pairs, args.seed)
+    if args.verify and remote is None:
+        raise ReproError("--verify needs --labels to compute offline estimates")
+
+    report = asyncio.run(
+        run_loadgen(
+            args.host,
+            args.port,
+            pairs,
+            concurrency=args.concurrency,
+            batch=args.batch,
+            store=args.store,
+            verify=remote if args.verify else None,
+            request_timeout=args.timeout,
+        )
+    )
+    print(
+        format_table(
+            ["metric", "value"],
+            report.rows(),
+            title=f"loadgen vs {args.host}:{args.port}",
+        )
+    )
+    for sample in report.error_samples:
+        print(f"note: {sample}", file=sys.stderr)
+    if args.bench_out:
+        write_bench_json(
+            args.bench_out,
+            "serve",
+            header=["metric", "value"],
+            rows=report.rows(),
+            meta={
+                "target": f"{args.host}:{args.port}",
+                "pairs": len(pairs),
+                "verified": bool(args.verify),
+                **report.meta(),
+            },
+            unix_time=time.time(),
+        )
+        print(f"wrote bench record to {args.bench_out}", file=sys.stderr)
+    return 0 if report.errors == 0 and report.mismatches == 0 else 1
 
 
 def _phase_rows(roots):
@@ -475,8 +620,14 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[obs_parent],
     )
     p.add_argument("labels")
-    p.add_argument("u")
-    p.add_argument("v")
+    p.add_argument("u", nargs="?")
+    p.add_argument("v", nargs="?")
+    p.add_argument(
+        "--pairs-file",
+        metavar="PATH",
+        help="answer every 'u v' pair in PATH ('-' for stdin) instead of "
+        "one positional pair; prints one 'u v estimate' line each",
+    )
     p.set_defaults(func=cmd_query)
 
     p = sub.add_parser(
@@ -508,6 +659,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="build labels with N worker processes (same bytes as serial)",
     )
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve DIST/BATCH/LABEL queries from exported labels over TCP",
+        parents=[obs_parent],
+    )
+    p.add_argument(
+        "--labels",
+        action="append",
+        required=True,
+        metavar="PATH",
+        help="labels file to load (repeat for multiple stores)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7471,
+                   help="TCP port (0 = ephemeral)")
+    p.add_argument("--shards", type=int, default=8,
+                   help="hash shards per store")
+    p.add_argument("--cache", type=int, default=0, metavar="N",
+                   help="LRU cache capacity in (u, v) pairs (0 = off)")
+    p.add_argument("--max-inflight", type=int, default=64, metavar="M",
+                   help="max requests executing at once (backpressure)")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="per-request deadline in seconds")
+    p.add_argument("--drain-grace", type=float, default=10.0,
+                   help="seconds to let inflight requests finish on shutdown")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="drive a running `repro serve` and report QPS + latency",
+        parents=[obs_parent],
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7471)
+    p.add_argument("--labels", metavar="PATH",
+                   help="labels file: sample vertices from it (and verify "
+                   "against it with --verify)")
+    p.add_argument("--pairs-file", metavar="PATH",
+                   help="replay 'u v' pairs from PATH ('-' for stdin) "
+                   "instead of sampling")
+    p.add_argument("--pairs", type=int, default=500, metavar="K",
+                   help="queries to synthesize when sampling")
+    p.add_argument("--concurrency", type=int, default=8, metavar="C",
+                   help="concurrent client connections")
+    p.add_argument("--batch", type=int, default=1, metavar="B",
+                   help="pairs per request (1 = DIST, >1 = BATCH)")
+    p.add_argument("--store", help="target a named store on the server")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="per-request client deadline in seconds")
+    p.add_argument("--verify", action="store_true",
+                   help="compare every served estimate to the offline "
+                   "RemoteLabels.estimate (requires --labels)")
+    p.add_argument("--bench-out", metavar="PATH",
+                   help="write a repro-bench/1 record (e.g. BENCH_serve.json)")
+    p.set_defaults(func=cmd_loadgen)
 
     return parser
 

@@ -25,6 +25,13 @@ from repro.util.errors import GraphError, ReproError
 
 Vertex = Hashable
 
+#: Wire-format family stamped into every dumped labeling.
+LABELS_FORMAT_PREFIX = "repro-distance-labels"
+#: The format version this build reads and writes.
+LABELS_FORMAT_VERSION = 1
+#: The exact ``"format"`` stamp, e.g. ``"repro-distance-labels/1"``.
+LABELS_FORMAT = f"{LABELS_FORMAT_PREFIX}/{LABELS_FORMAT_VERSION}"
+
 
 class SerializationError(ReproError):
     """A value cannot be encoded, or a payload is malformed."""
@@ -76,7 +83,10 @@ def encode_vertex(v):
 
 
 def decode_vertex(data):
-    """Inverse of :func:`encode_vertex`."""
+    """Inverse of :func:`encode_vertex` (bools are rejected on both
+    sides, or they would silently decode as ints)."""
+    if isinstance(data, bool):
+        raise SerializationError(f"malformed vertex payload {data!r}")
     if isinstance(data, (int, float, str)):
         return data
     if isinstance(data, dict) and set(data) == {"t"}:
@@ -124,6 +134,33 @@ def decode_label(data: dict) -> VertexLabel:
     return VertexLabel(vertex=vertex, entries=entries)
 
 
+def check_labels_format(stamp) -> int:
+    """Validate a payload's ``"format"`` stamp; returns its version.
+
+    Distinguishes three failure modes so operators (and the serve layer,
+    which refuses incompatible files at startup rather than mid-request)
+    get actionable one-liners: a missing stamp, a stamp from some other
+    format family, and a version this build does not speak.
+    """
+    if stamp is None:
+        raise SerializationError("labels payload has no format stamp")
+    if not isinstance(stamp, str) or "/" not in stamp:
+        raise SerializationError(f"unknown format {stamp!r}")
+    prefix, _, version_text = stamp.rpartition("/")
+    if prefix != LABELS_FORMAT_PREFIX:
+        raise SerializationError(f"unknown format {stamp!r}")
+    try:
+        version = int(version_text)
+    except ValueError:
+        raise SerializationError(f"unknown format {stamp!r}") from None
+    if version != LABELS_FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported labels format version {version} "
+            f"(this build reads version {LABELS_FORMAT_VERSION})"
+        )
+    return version
+
+
 def dump_labeling(labeling, path: Union[str, Path, None] = None) -> str:
     """Serialize a :class:`DistanceLabeling` to JSON (optionally to a file).
 
@@ -131,7 +168,7 @@ def dump_labeling(labeling, path: Union[str, Path, None] = None) -> str:
     vertex; the graph and the decomposition tree stay behind.
     """
     payload = {
-        "format": "repro-distance-labels/1",
+        "format": LABELS_FORMAT,
         "epsilon": labeling.epsilon,
         "labels": [encode_label(label) for label in labeling.labels.values()],
     }
@@ -161,10 +198,7 @@ def load_labeling(source: Union[str, Path]) -> RemoteLabels:
         raise SerializationError(f"invalid JSON: {exc}") from None
     if not isinstance(payload, dict):
         raise SerializationError("labels payload is not a JSON object")
-    if payload.get("format") != "repro-distance-labels/1":
-        raise SerializationError(
-            f"unknown format {payload.get('format')!r}"
-        )
+    check_labels_format(payload.get("format"))
     if not isinstance(payload.get("labels"), list):
         raise SerializationError("labels payload has no label list")
     labels: Dict[Vertex, VertexLabel] = {}

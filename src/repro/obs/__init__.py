@@ -24,7 +24,13 @@ See ``docs/observability.md`` for the metric-name catalog and the span
 hierarchy emitted by the instrumented pipeline.
 """
 
-from repro.obs.export import git_sha, metrics_payload, write_metrics_json
+from repro.obs.export import (
+    bench_payload,
+    git_sha,
+    metrics_payload,
+    write_bench_json,
+    write_metrics_json,
+)
 from repro.obs.metrics import Histogram, MetricsRegistry, metrics, render_key
 from repro.obs.tracing import (
     NOOP_SPAN,
@@ -53,6 +59,7 @@ __all__ = [
     "SpanSink",
     "Timer",
     "add_sink",
+    "bench_payload",
     "git_sha",
     "metrics",
     "metrics_payload",
@@ -62,5 +69,6 @@ __all__ = [
     "span",
     "tracing_active",
     "use_sink",
+    "write_bench_json",
     "write_metrics_json",
 ]

@@ -14,7 +14,13 @@ from typing import Dict, Optional
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.metrics import metrics as _global_metrics
 
-__all__ = ["git_sha", "metrics_payload", "write_metrics_json"]
+__all__ = [
+    "bench_payload",
+    "git_sha",
+    "metrics_payload",
+    "write_bench_json",
+    "write_metrics_json",
+]
 
 
 def git_sha(cwd: Optional[str] = None) -> str:
@@ -30,6 +36,47 @@ def git_sha(cwd: Optional[str] = None) -> str:
     except (OSError, subprocess.TimeoutExpired):
         return "unknown"
     return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def bench_payload(
+    name: str,
+    *,
+    header=None,
+    rows=None,
+    table: Optional[str] = None,
+    meta: Optional[Dict] = None,
+    test: Optional[str] = None,
+    unix_time: Optional[float] = None,
+    cwd: Optional[str] = None,
+) -> Dict:
+    """A ``repro-bench/1`` record: the one shape every benchmark artifact
+    uses (``benchmarks/results/*.json``, ``BENCH_serve.json``), so the
+    perf trajectory stays diffable across PRs."""
+    payload: Dict = {
+        "format": "repro-bench/1",
+        "name": name,
+        "git_sha": git_sha(cwd=cwd),
+    }
+    if test is not None:
+        payload["test"] = test
+    if unix_time is not None:
+        payload["unix_time"] = round(unix_time, 3)
+    payload["header"] = header
+    payload["rows"] = rows
+    if table is not None:
+        payload["table"] = table
+    if meta:
+        payload["meta"] = meta
+    return payload
+
+
+def write_bench_json(path, name: str, **kwargs) -> Dict:
+    """Write :func:`bench_payload` to *path*; returns the payload."""
+    payload = bench_payload(name, **kwargs)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, default=repr)
+        handle.write("\n")
+    return payload
 
 
 def metrics_payload(

@@ -1,0 +1,74 @@
+"""``repro.serve`` — the online query layer of the oracle.
+
+The paper's labels (Theorem 2) are small remote objects: any two of
+them answer a (1+eps)-approximate distance query with no graph in
+sight.  This package is the serving side of that claim — an asyncio
+TCP service over sharded in-memory label stores, plus the load
+generator that measures it:
+
+* :mod:`repro.serve.store` — :class:`ShardedLabelStore` /
+  :class:`StoreCatalog`: labelings hash-sharded by vertex with O(1)
+  lookup and per-shard size accounting.
+* :mod:`repro.serve.protocol` — the newline-delimited JSON wire
+  protocol (DIST / BATCH / LABEL / HEALTH / STATS) with typed error
+  replies.
+* :mod:`repro.serve.server` — :class:`OracleServer`: per-connection
+  read loops, request timeouts, semaphore backpressure, an optional
+  LRU pair cache, and graceful drain on shutdown.
+* :mod:`repro.serve.loadgen` — closed-loop concurrent client
+  reporting QPS + latency percentiles, with optional byte-exact
+  verification against offline estimates.
+
+CLI entry points: ``repro serve`` and ``repro loadgen``; the protocol
+and knobs are specified in ``docs/serving.md``.
+"""
+
+from repro.serve.loadgen import (
+    LoadgenError,
+    LoadgenReport,
+    read_pairs_file,
+    run_loadgen,
+    synthesize_pairs,
+)
+from repro.serve.protocol import (
+    ERROR_CODES,
+    OPS,
+    ProtocolError,
+    Request,
+    encode_request,
+    encode_response,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from repro.serve.server import DEFAULT_MAX_BATCH, MAX_LINE_BYTES, OracleServer
+from repro.serve.store import (
+    DEFAULT_NUM_SHARDS,
+    LabelShard,
+    ShardedLabelStore,
+    StoreCatalog,
+)
+
+__all__ = [
+    "DEFAULT_MAX_BATCH",
+    "DEFAULT_NUM_SHARDS",
+    "ERROR_CODES",
+    "LabelShard",
+    "LoadgenError",
+    "LoadgenReport",
+    "MAX_LINE_BYTES",
+    "OPS",
+    "OracleServer",
+    "ProtocolError",
+    "Request",
+    "ShardedLabelStore",
+    "StoreCatalog",
+    "encode_request",
+    "encode_response",
+    "error_response",
+    "ok_response",
+    "parse_request",
+    "read_pairs_file",
+    "run_loadgen",
+    "synthesize_pairs",
+]

@@ -1,0 +1,286 @@
+"""Concurrent load generator for the query service.
+
+Drives an :class:`~repro.serve.server.OracleServer` the way real
+clients would: *C* concurrent TCP connections, each pulling query
+pairs off one shared work queue and blocking on a response before
+sending the next (closed-loop load).  Pairs are either synthesized
+from a labels file (uniform u ≠ v sampling, seeded) or replayed from
+a whitespace ``u v`` pairs file — the same format ``repro query
+--pairs-file`` reads.
+
+The report carries QPS and latency percentiles (measured client-side,
+per request, in nanoseconds via :class:`repro.obs.Histogram`) and can
+be exported as a ``repro-bench/1`` record — ``repro loadgen
+--bench-out BENCH_serve.json`` is how serving joins the repo's perf
+trajectory next to ``BENCH_baseline.json``.
+
+With ``verify=``, every served estimate is compared against the
+offline :meth:`RemoteLabels.estimate` on the same labels file;
+mismatches (any difference at all — the server must be byte-faithful,
+not approximately right) are counted and reported.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Hashable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.serialize import RemoteLabels, encode_vertex
+from repro.obs import Histogram, metrics
+from repro.serve.protocol import encode_request, wire_pair
+from repro.util.errors import ReproError
+
+Vertex = Hashable
+Pair = Tuple[Vertex, Vertex]
+
+__all__ = [
+    "LoadgenReport",
+    "read_pairs_file",
+    "run_loadgen",
+    "synthesize_pairs",
+]
+
+
+class LoadgenError(ReproError):
+    """The load generator cannot run (bad pairs file, no vertices...)."""
+
+
+def synthesize_pairs(
+    vertices: Sequence[Vertex], count: int, seed: int = 0
+) -> List[Pair]:
+    """*count* uniform pairs with ``u != v`` (repeats across pairs OK)."""
+    ordered = sorted(vertices, key=repr)
+    if len(ordered) < 2:
+        raise LoadgenError("need at least two labeled vertices to sample pairs")
+    rng = random.Random(seed)
+    pairs: List[Pair] = []
+    while len(pairs) < count:
+        u = ordered[rng.randrange(len(ordered))]
+        v = ordered[rng.randrange(len(ordered))]
+        if u != v:
+            pairs.append((u, v))
+    return pairs
+
+
+def _parse_token(token: str) -> Vertex:
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def read_pairs_file(path: Union[str, Path], stream=None) -> List[Pair]:
+    """Read ``u v`` pairs, one per line; blank lines and ``#`` comments
+    are skipped.  Pass ``stream`` to read stdin instead of a path."""
+    lines = stream.read().splitlines() if stream is not None else (
+        Path(path).read_text().splitlines()
+    )
+    pairs: List[Pair] = []
+    for lineno, line in enumerate(lines, start=1):
+        text = line.strip()
+        if not text or text.startswith("#"):
+            continue
+        tokens = text.split()
+        if len(tokens) != 2:
+            raise LoadgenError(
+                f"{path}:{lineno}: expected 'u v', got {text!r}"
+            )
+        pairs.append((_parse_token(tokens[0]), _parse_token(tokens[1])))
+    if not pairs:
+        raise LoadgenError(f"{path}: no pairs found")
+    return pairs
+
+
+@dataclass
+class LoadgenReport:
+    """What one loadgen run observed, client-side."""
+
+    sent: int = 0
+    ok: int = 0
+    errors: int = 0
+    mismatches: int = 0
+    elapsed_s: float = 0.0
+    concurrency: int = 0
+    batch: int = 1
+    latency_ns: Histogram = field(default_factory=Histogram)
+    error_samples: List[str] = field(default_factory=list)
+
+    @property
+    def qps(self) -> float:
+        return self.ok / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def latency_ms(self, q: float) -> float:
+        return self.latency_ns.percentile(q) / 1e6
+
+    def rows(self) -> List[List]:
+        """Table rows for the CLI / bench record."""
+        return [
+            ["queries_ok", self.ok],
+            ["errors", self.errors],
+            ["mismatches", self.mismatches],
+            ["concurrency", self.concurrency],
+            ["batch", self.batch],
+            ["elapsed_s", round(self.elapsed_s, 3)],
+            ["qps", round(self.qps, 1)],
+            ["p50_ms", round(self.latency_ms(50), 3)],
+            ["p90_ms", round(self.latency_ms(90), 3)],
+            ["p99_ms", round(self.latency_ms(99), 3)],
+            ["max_ms", round(self.latency_ns.max / 1e6, 3) if self.ok else 0.0],
+        ]
+
+    def meta(self) -> dict:
+        """Flat summary for ``repro-bench/1`` ``meta`` (BENCH_serve.json)."""
+        return {
+            "queries_ok": self.ok,
+            "errors": self.errors,
+            "mismatches": self.mismatches,
+            "concurrency": self.concurrency,
+            "batch": self.batch,
+            "elapsed_s": round(self.elapsed_s, 4),
+            "qps": round(self.qps, 2),
+            "latency_ms": {
+                "p50": round(self.latency_ms(50), 4),
+                "p90": round(self.latency_ms(90), 4),
+                "p99": round(self.latency_ms(99), 4),
+                "max": round(self.latency_ns.max / 1e6, 4) if self.ok else 0.0,
+                "mean": round(self.latency_ns.mean / 1e6, 4),
+            },
+        }
+
+
+async def run_loadgen(
+    host: str,
+    port: int,
+    pairs: Sequence[Pair],
+    *,
+    concurrency: int = 4,
+    batch: int = 1,
+    store: Optional[str] = None,
+    verify: Optional[RemoteLabels] = None,
+    request_timeout: float = 30.0,
+) -> LoadgenReport:
+    """Replay *pairs* against ``host:port`` and measure from the client.
+
+    ``batch > 1`` groups that many pairs into one BATCH request (one
+    latency sample covers the whole group); ``batch == 1`` sends plain
+    DIST requests.
+    """
+    if concurrency < 1:
+        raise LoadgenError(f"concurrency must be >= 1, got {concurrency}")
+    if batch < 1:
+        raise LoadgenError(f"batch must be >= 1, got {batch}")
+    report = LoadgenReport(concurrency=concurrency, batch=batch)
+    queue: "asyncio.Queue[List[Pair]]" = asyncio.Queue()
+    for start in range(0, len(pairs), batch):
+        queue.put_nowait(list(pairs[start : start + batch]))
+
+    def check(u: Vertex, v: Vertex, served) -> None:
+        if verify is None:
+            return
+        expected = verify.estimate(u, v)
+        # Serialized floats round-trip exactly, so equality is exact.
+        if served != expected:
+            report.mismatches += 1
+            _note(report, f"mismatch d({u!r},{v!r}): served {served!r} != {expected!r}")
+
+    async def worker(worker_id: int) -> None:
+        reader, writer = await asyncio.open_connection(host, port)
+        next_id = 0
+        try:
+            while True:
+                try:
+                    group = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                next_id += 1
+                req_id = f"{worker_id}.{next_id}"
+                if len(group) == 1 and batch == 1:
+                    (u, v) = group[0]
+                    payload = {
+                        "id": req_id,
+                        "op": "DIST",
+                        "u": encode_vertex(u),
+                        "v": encode_vertex(v),
+                    }
+                else:
+                    payload = {
+                        "id": req_id,
+                        "op": "BATCH",
+                        "pairs": [wire_pair(u, v) for u, v in group],
+                    }
+                if store is not None:
+                    payload["store"] = store
+                start_ns = time.monotonic_ns()
+                writer.write(encode_request(payload))
+                await writer.drain()
+                line = await asyncio.wait_for(reader.readline(), request_timeout)
+                report.latency_ns.observe(time.monotonic_ns() - start_ns)
+                report.sent += len(group)
+                if not line:
+                    report.errors += len(group)
+                    _note(report, "connection closed mid-run")
+                    return
+                response = _parse_response(line, report, group)
+                if response is None:
+                    continue
+                if payload["op"] == "DIST":
+                    report.ok += 1
+                    check(group[0][0], group[0][1], response.get("estimate"))
+                else:
+                    for (u, v), item in zip(group, response.get("results", [])):
+                        if isinstance(item, dict) and item.get("ok"):
+                            report.ok += 1
+                            check(u, v, item.get("estimate"))
+                        else:
+                            report.errors += 1
+                            _note(report, f"batch item error: {item!r}")
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    start = time.monotonic()
+    results = await asyncio.gather(
+        *(worker(i) for i in range(concurrency)), return_exceptions=True
+    )
+    report.elapsed_s = time.monotonic() - start
+    failures = [r for r in results if isinstance(r, BaseException)]
+    if failures and report.ok == 0:
+        # Nothing got through at all (server down, port wrong): surface
+        # the root cause instead of a report full of zeros.
+        raise failures[0]
+    for outcome in failures:
+        report.errors += 1
+        _note(report, f"worker failed: {type(outcome).__name__}: {outcome}")
+    metrics.gauge("loadgen.qps", report.qps)
+    metrics.gauge("loadgen.errors", report.errors)
+    return report
+
+
+def _parse_response(line: bytes, report: LoadgenReport, group) -> Optional[dict]:
+    import json
+
+    try:
+        response = json.loads(line)
+    except json.JSONDecodeError:
+        report.errors += len(group)
+        _note(report, f"unparseable response: {line[:120]!r}")
+        return None
+    if not isinstance(response, dict) or not response.get("ok"):
+        report.errors += len(group)
+        error = response.get("error") if isinstance(response, dict) else None
+        _note(report, f"error response: {error!r}")
+        return None
+    return response
+
+
+def _note(report: LoadgenReport, message: str, cap: int = 10) -> None:
+    """Keep the first few error details for the operator."""
+    if len(report.error_samples) < cap:
+        report.error_samples.append(message)

@@ -1,0 +1,217 @@
+"""Wire protocol of the query service: newline-delimited JSON.
+
+One request per line, one response line per request, in order.  A
+request is a JSON object with an ``"op"`` and op-specific fields::
+
+    {"id": 1, "op": "DIST",  "u": 0, "v": 41}
+    {"id": 2, "op": "BATCH", "pairs": [[0, 1], [2, 3]]}
+    {"id": 3, "op": "LABEL", "v": 7}
+    {"id": 4, "op": "HEALTH"}
+    {"id": 5, "op": "STATS"}
+
+``"id"`` is optional opaque client state echoed back verbatim;
+``"store"`` optionally names one of the server's label stores (the
+default store answers when absent).  Vertices use the same JSON
+encoding as the labels file itself (:func:`repro.core.serialize
+.encode_vertex`): ints, floats, strings, and ``{"t": [...]}``-tagged
+tuples.
+
+Responses are ``{"id": ..., "ok": true, ...}`` on success and
+``{"id": ..., "ok": false, "error": {"code": ..., "message": ...}}``
+on failure.  Every failure mode a client can trigger — unparseable
+JSON, an unknown op, a vertex with no label — produces a structured
+error response on the same connection; the server never answers a bad
+request by dropping the connection.  Estimates are JSON numbers except
+for unreachable pairs (disconnected inputs), which come back as
+``{"estimate": null, "unreachable": true}`` so the payload stays
+strict JSON (no ``Infinity`` literals on the wire).
+
+This module is transport-free: parsing and rendering only, shared by
+:mod:`repro.serve.server` and :mod:`repro.serve.loadgen`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Tuple
+
+from repro.core.serialize import SerializationError, decode_vertex, encode_vertex
+from repro.util.errors import ReproError
+
+Vertex = Hashable
+
+__all__ = [
+    "ERROR_CODES",
+    "OPS",
+    "ProtocolError",
+    "Request",
+    "encode_request",
+    "encode_response",
+    "error_response",
+    "estimate_field",
+    "ok_response",
+    "parse_request",
+    "wire_pair",
+]
+
+#: Ops the service speaks, in documentation order.
+OPS = ("DIST", "BATCH", "LABEL", "HEALTH", "STATS")
+
+#: Every error code a response can carry (see docs/serving.md).
+ERROR_CODES = (
+    "bad_request",     # unparseable line / malformed fields
+    "unknown_op",      # op is not one of OPS
+    "unknown_store",   # "store" names no loaded labeling
+    "unknown_vertex",  # vertex has no label in the store
+    "batch_too_large", # BATCH pairs exceed the server cap
+    "timeout",         # per-request deadline exceeded
+    "draining",        # server is shutting down, retry elsewhere
+    "internal",        # unexpected server-side failure
+)
+
+
+class ProtocolError(ReproError):
+    """A request that cannot be served, with its wire error code.
+
+    ``req_id`` carries the request id when parsing got far enough to
+    read one, so even a rejected request gets its id echoed back.
+    """
+
+    def __init__(self, code: str, message: str, req_id=None) -> None:
+        assert code in ERROR_CODES, code
+        super().__init__(message)
+        self.code = code
+        self.req_id = req_id
+
+
+@dataclass
+class Request:
+    """One parsed request line."""
+
+    op: str
+    id: object = None
+    store: Optional[str] = None
+    u: Optional[Vertex] = None
+    v: Optional[Vertex] = None
+    pairs: List[Tuple[Vertex, Vertex]] = field(default_factory=list)
+
+
+def _decode_wire_vertex(data, what: str) -> Vertex:
+    try:
+        return decode_vertex(data)
+    except SerializationError:
+        raise ProtocolError(
+            "bad_request", f"malformed vertex in {what!r}: {data!r}"
+        ) from None
+
+
+def parse_request(raw) -> Request:
+    """Parse one request line (bytes or str) into a :class:`Request`.
+
+    Raises :class:`ProtocolError` (always with code ``bad_request`` or
+    ``unknown_op``) instead of returning partial state.
+    """
+    if isinstance(raw, (bytes, bytearray)):
+        try:
+            raw = raw.decode("utf-8")
+        except UnicodeDecodeError:
+            raise ProtocolError("bad_request", "request is not UTF-8") from None
+    try:
+        payload = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError("bad_request", f"invalid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError("bad_request", "request is not a JSON object")
+
+    req_id = payload.get("id")
+    try:
+        return _parse_ops(payload, req_id)
+    except ProtocolError as exc:
+        exc.req_id = req_id
+        raise
+
+
+def _parse_ops(payload: dict, req_id) -> Request:
+    op = payload.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError("bad_request", "request has no \"op\" string")
+    op = op.upper()
+    if op not in OPS:
+        raise ProtocolError(
+            "unknown_op", f"unknown op {op!r}; expected one of {', '.join(OPS)}"
+        )
+    store = payload.get("store")
+    if store is not None and not isinstance(store, str):
+        raise ProtocolError("bad_request", "\"store\" must be a string")
+    request = Request(op=op, id=req_id, store=store)
+
+    if op == "DIST":
+        for name in ("u", "v"):
+            if name not in payload:
+                raise ProtocolError("bad_request", f"DIST needs field {name!r}")
+        request.u = _decode_wire_vertex(payload["u"], "u")
+        request.v = _decode_wire_vertex(payload["v"], "v")
+    elif op == "BATCH":
+        pairs = payload.get("pairs")
+        if not isinstance(pairs, list):
+            raise ProtocolError("bad_request", "BATCH needs a \"pairs\" list")
+        for i, pair in enumerate(pairs):
+            if not isinstance(pair, list) or len(pair) != 2:
+                raise ProtocolError(
+                    "bad_request", f"pairs[{i}] is not a [u, v] pair"
+                )
+            request.pairs.append(
+                (
+                    _decode_wire_vertex(pair[0], f"pairs[{i}][0]"),
+                    _decode_wire_vertex(pair[1], f"pairs[{i}][1]"),
+                )
+            )
+    elif op == "LABEL":
+        if "v" not in payload:
+            raise ProtocolError("bad_request", "LABEL needs field 'v'")
+        request.v = _decode_wire_vertex(payload["v"], "v")
+    # HEALTH and STATS carry no operands.
+    return request
+
+
+def estimate_field(value: float) -> dict:
+    """Render one estimate as response fields (strict-JSON safe)."""
+    if math.isfinite(value):
+        return {"estimate": value}
+    return {"estimate": None, "unreachable": True}
+
+
+def ok_response(req_id, payload: dict) -> dict:
+    return {"id": req_id, "ok": True, **payload}
+
+
+def error_response(req_id, code: str, message: str) -> dict:
+    assert code in ERROR_CODES, code
+    return {"id": req_id, "ok": False, "error": {"code": code, "message": message}}
+
+
+def encode_response(response: dict) -> bytes:
+    """One response line, newline-terminated.
+
+    ``allow_nan=False`` guarantees strict JSON: anything non-finite must
+    have gone through :func:`estimate_field` first.  Field order is the
+    construction order, so identical responses are byte-identical —
+    the cache-determinism tests rely on this.
+    """
+    return (
+        json.dumps(response, separators=(",", ":"), allow_nan=False) + "\n"
+    ).encode("utf-8")
+
+
+def encode_request(payload: dict) -> bytes:
+    """Client-side twin of :func:`encode_response` (used by the loadgen)."""
+    return (
+        json.dumps(payload, separators=(",", ":"), allow_nan=False) + "\n"
+    ).encode("utf-8")
+
+
+def wire_pair(u: Vertex, v: Vertex) -> list:
+    """A ``[u, v]`` pair in wire encoding (for BATCH requests)."""
+    return [encode_vertex(u), encode_vertex(v)]

@@ -1,0 +1,416 @@
+"""Asyncio distance-oracle query server.
+
+:class:`OracleServer` binds a TCP port, reads newline-delimited JSON
+requests (:mod:`repro.serve.protocol`), answers them from one or more
+:class:`~repro.serve.store.ShardedLabelStore`\\ s, and degrades
+predictably under misuse and load:
+
+* **Backpressure** — at most ``max_inflight`` requests execute at
+  once, enforced by a semaphore; excess requests queue on their
+  connections instead of stampeding the estimate path.
+* **Request timeout** — a single slow request gets a structured
+  ``timeout`` error instead of wedging its connection.
+* **Graceful drain** — :meth:`shutdown` (wired to SIGTERM/SIGINT by
+  the CLI) stops accepting, lets every in-flight request finish and
+  flush its response within ``drain_grace`` seconds, then closes the
+  remaining connections.
+* **Optional LRU cache** — keyed on the canonicalized (store, u, v)
+  pair; the estimate is symmetric, so (u, v) and (v, u) share an
+  entry.  A cached answer is the same float object that was computed,
+  so cached and uncached responses are byte-identical.
+
+Everything observable goes through :data:`repro.obs.metrics`
+(``serve.*`` names — see docs/observability.md) *and* a small always-on
+internal counter dict, so the STATS op works even when the global
+registry is disabled.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.core.serialize import encode_label, encode_vertex
+from repro.obs import metrics
+from repro.serve.protocol import (
+    ProtocolError,
+    Request,
+    encode_response,
+    error_response,
+    estimate_field,
+    ok_response,
+    parse_request,
+)
+from repro.serve.store import ShardedLabelStore, StoreCatalog
+from repro.util.errors import GraphError
+
+Vertex = Hashable
+
+__all__ = ["DEFAULT_MAX_BATCH", "MAX_LINE_BYTES", "OracleServer"]
+
+#: Hard cap on pairs per BATCH request; above it the client gets a
+#: ``batch_too_large`` error instead of monopolizing an inflight slot.
+DEFAULT_MAX_BATCH = 1024
+
+#: Per-connection line limit (one request must fit in one buffered line).
+MAX_LINE_BYTES = 1 << 20
+
+
+class _LruCache:
+    """Tiny LRU for canonicalized pair estimates (capacity 0 disables)."""
+
+    __slots__ = ("capacity", "_data")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._data: "OrderedDict[tuple, float]" = OrderedDict()
+
+    def get(self, key):
+        found = self._data.get(key)
+        if found is not None:
+            self._data.move_to_end(key)
+        return found
+
+    def put(self, key, value: float) -> None:
+        if self.capacity <= 0:
+            return
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class OracleServer:
+    """Serve DIST/BATCH/LABEL/HEALTH/STATS over asyncio TCP."""
+
+    def __init__(
+        self,
+        catalog: StoreCatalog,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_size: int = 0,
+        max_inflight: int = 64,
+        request_timeout: float = 30.0,
+        drain_grace: float = 10.0,
+        max_batch: int = DEFAULT_MAX_BATCH,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        self.catalog = catalog
+        self.host = host
+        self.port = port
+        self.request_timeout = request_timeout
+        self.drain_grace = drain_grace
+        self.max_batch = max_batch
+        self.cache = _LruCache(cache_size)
+        self.counters: Dict[str, int] = {
+            "connections": 0,
+            "requests": 0,
+            "errors": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+        }
+        self.peak_inflight = 0
+        self._inflight = 0
+        self._sema = asyncio.Semaphore(max_inflight)
+        self._draining = False
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._writers: set = set()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._shutdown_requested = asyncio.Event()
+        self._started_monotonic: Optional[float] = None
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting connections (port 0 = ephemeral)."""
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port, limit=MAX_LINE_BYTES
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_monotonic = time.monotonic()
+        self._export_shard_gauges()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    def request_shutdown(self) -> None:
+        """Signal-handler-safe trigger for :meth:`serve_until_shutdown`."""
+        self._shutdown_requested.set()
+
+    async def serve_until_shutdown(self) -> None:
+        """Run until :meth:`request_shutdown` fires, then drain."""
+        if self._server is None:
+            await self.start()
+        await self._shutdown_requested.wait()
+        await self.shutdown()
+
+    async def shutdown(self) -> None:
+        """Drain and stop: no new connections, finish inflight work,
+        then close whatever connections remain."""
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Let inflight requests finish and flush within the grace
+        # window; _on_connection loops exit on their own because
+        # _draining is set.
+        try:
+            await asyncio.wait_for(self._idle.wait(), self.drain_grace)
+        except asyncio.TimeoutError:
+            pass
+        for writer in list(self._writers):
+            writer.close()
+        for writer in list(self._writers):
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self._writers.clear()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def _export_shard_gauges(self) -> None:
+        for store in self.catalog:
+            for shard in store.shards:
+                metrics.gauge(
+                    "serve.shard.labels",
+                    shard.num_labels,
+                    store=store.name,
+                    shard=shard.index,
+                )
+                metrics.gauge(
+                    "serve.shard.words",
+                    shard.words,
+                    store=store.name,
+                    shard=shard.index,
+                )
+            metrics.gauge("serve.store.labels", store.num_labels, store=store.name)
+
+    # -- connection handling --------------------------------------------
+    async def _on_connection(self, reader, writer) -> None:
+        self.counters["connections"] += 1
+        metrics.inc("serve.connections")
+        self._writers.add(writer)
+        try:
+            while not self._draining:
+                try:
+                    line = await reader.readline()
+                except (ValueError, asyncio.LimitOverrunError):
+                    # Line exceeded MAX_LINE_BYTES: the stream is no
+                    # longer line-synchronized, so reply then close —
+                    # the one case where an error ends the connection.
+                    writer.write(
+                        encode_response(
+                            error_response(
+                                None,
+                                "bad_request",
+                                f"request line exceeds {MAX_LINE_BYTES} bytes",
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await self._handle_line(line)
+                writer.write(encode_response(response))
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # client went away mid-write; nothing to clean up
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_line(self, line: bytes) -> dict:
+        start_ns = time.monotonic_ns()
+        self.counters["requests"] += 1
+        req_id = None
+        try:
+            request = parse_request(line)
+            req_id = request.id
+            if self._draining:
+                raise ProtocolError("draining", "server is shutting down")
+            async with self._inflight_slot():
+                result = await asyncio.wait_for(
+                    self._dispatch(request), self.request_timeout
+                )
+            response = ok_response(req_id, result)
+            metrics.inc("serve.requests", op=request.op)
+        except ProtocolError as exc:
+            if req_id is None:
+                req_id = getattr(exc, "req_id", None)
+            response = self._error(req_id, exc.code, str(exc))
+        except asyncio.TimeoutError:
+            response = self._error(
+                req_id,
+                "timeout",
+                f"request exceeded {self.request_timeout}s deadline",
+            )
+        except Exception as exc:  # noqa: BLE001 - never drop the connection
+            response = self._error(req_id, "internal", f"{type(exc).__name__}: {exc}")
+        metrics.observe("serve.latency_ns", time.monotonic_ns() - start_ns)
+        return response
+
+    def _error(self, req_id, code: str, message: str) -> dict:
+        self.counters["errors"] += 1
+        metrics.inc("serve.errors", code=code)
+        return error_response(req_id, code, message)
+
+    def _inflight_slot(self):
+        return _InflightSlot(self)
+
+    # -- dispatch -------------------------------------------------------
+    async def _dispatch(self, request: Request) -> dict:
+        """Answer one parsed request (the test suite's override point
+        for injecting slow handlers)."""
+        if request.op == "HEALTH":
+            return self._health()
+        if request.op == "STATS":
+            return self._stats()
+        store = self._store_for(request)
+        if request.op == "DIST":
+            return self._dist(store, request.u, request.v)
+        if request.op == "BATCH":
+            return self._batch(store, request.pairs)
+        if request.op == "LABEL":
+            return self._label(store, request.v)
+        raise ProtocolError("unknown_op", f"unknown op {request.op!r}")
+
+    def _store_for(self, request: Request) -> ShardedLabelStore:
+        try:
+            return self.catalog.get(request.store)
+        except KeyError:
+            raise ProtocolError(
+                "unknown_store",
+                f"unknown store {request.store!r}; loaded: "
+                f"{', '.join(self.catalog.names) or '(none)'}",
+            ) from None
+
+    def _estimate(self, store: ShardedLabelStore, u: Vertex, v: Vertex) -> float:
+        key = None
+        if self.cache.capacity > 0:
+            a, b = u, v
+            if repr(b) < repr(a):
+                a, b = b, a
+            key = (store.name, a, b)
+            found = self.cache.get(key)
+            if found is not None:
+                self.counters["cache_hits"] += 1
+                metrics.inc("serve.cache.hit")
+                return found
+            self.counters["cache_misses"] += 1
+            metrics.inc("serve.cache.miss")
+        try:
+            value = store.estimate(u, v)
+        except GraphError as exc:
+            raise ProtocolError("unknown_vertex", str(exc)) from None
+        if key is not None:
+            self.cache.put(key, value)
+            metrics.gauge("serve.cache.size", len(self.cache))
+        return value
+
+    def _dist(self, store: ShardedLabelStore, u: Vertex, v: Vertex) -> dict:
+        fields = estimate_field(self._estimate(store, u, v))
+        return {"op": "DIST", "epsilon": store.epsilon, **fields}
+
+    def _batch(self, store: ShardedLabelStore, pairs) -> dict:
+        if len(pairs) > self.max_batch:
+            raise ProtocolError(
+                "batch_too_large",
+                f"{len(pairs)} pairs exceed the server cap of {self.max_batch}",
+            )
+        metrics.observe("serve.batch.pairs", len(pairs))
+        results = []
+        for u, v in pairs:
+            try:
+                results.append({"ok": True, **estimate_field(self._estimate(store, u, v))})
+            except ProtocolError as exc:
+                self.counters["errors"] += 1
+                metrics.inc("serve.errors", code=exc.code)
+                results.append(
+                    {"ok": False, "error": {"code": exc.code, "message": str(exc)}}
+                )
+        return {"op": "BATCH", "epsilon": store.epsilon, "results": results}
+
+    def _label(self, store: ShardedLabelStore, v: Vertex) -> dict:
+        try:
+            label = store.label(v)
+        except GraphError as exc:
+            raise ProtocolError("unknown_vertex", str(exc)) from None
+        return {
+            "op": "LABEL",
+            "v": encode_vertex(v),
+            "shard": store.shard_index(v),
+            "words": label.words,
+            "num_portals": label.num_portals,
+            "label": encode_label(label),
+        }
+
+    def _health(self) -> dict:
+        return {
+            "op": "HEALTH",
+            "status": "draining" if self._draining else "serving",
+            "stores": len(self.catalog),
+            "labels": self.catalog.num_labels,
+        }
+
+    def _stats(self) -> dict:
+        uptime = (
+            time.monotonic() - self._started_monotonic
+            if self._started_monotonic is not None
+            else 0.0
+        )
+        return {
+            "op": "STATS",
+            "uptime_s": round(uptime, 3),
+            "inflight": self._inflight,
+            "peak_inflight": self.peak_inflight,
+            "cache": {"size": len(self.cache), "capacity": self.cache.capacity},
+            "counters": dict(self.counters),
+            "stores": self.catalog.stats(),
+        }
+
+
+class _InflightSlot:
+    """Semaphore guard that also tracks inflight count / peak / idle."""
+
+    __slots__ = ("_server",)
+
+    def __init__(self, server: OracleServer) -> None:
+        self._server = server
+
+    async def __aenter__(self):
+        server = self._server
+        await server._sema.acquire()
+        server._inflight += 1
+        server._idle.clear()
+        if server._inflight > server.peak_inflight:
+            server.peak_inflight = server._inflight
+            metrics.gauge_max("serve.inflight_peak", server._inflight)
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb):
+        server = self._server
+        server._inflight -= 1
+        if server._inflight == 0:
+            server._idle.set()
+        server._sema.release()
+        return False

@@ -1,0 +1,219 @@
+"""Sharded in-memory label stores for the query service.
+
+One :class:`ShardedLabelStore` holds one loaded labeling file, split
+into hash shards by vertex.  Sharding buys nothing for a single
+process dict lookup — it exists so the serving layer's *accounting*
+matches the deployment the paper argues for (labels are small remote
+objects, spread across machines): per-shard label counts and word
+sizes are first-class, exported as ``serve.shard.*`` gauges, and the
+shard function is stable across processes and runs (CRC-32 of the
+vertex's wire encoding, not Python's salted ``hash``), so a future
+multi-process split serves exactly the shards this module reports.
+
+A :class:`StoreCatalog` maps store names to stores; the server loads
+one store per ``--labels`` file and routes requests by the optional
+``"store"`` field.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from pathlib import Path
+from typing import Dict, Hashable, Iterator, List, Optional, Union
+
+from repro.core.labeling import VertexLabel, estimate_distance
+from repro.core.serialize import RemoteLabels, encode_vertex, load_labeling
+from repro.util.errors import GraphError
+
+Vertex = Hashable
+
+__all__ = [
+    "DEFAULT_NUM_SHARDS",
+    "LabelShard",
+    "ShardedLabelStore",
+    "StoreCatalog",
+    "shard_key",
+]
+
+DEFAULT_NUM_SHARDS = 8
+
+
+def shard_key(v: Vertex) -> bytes:
+    """Stable bytes identifying *v* across processes and runs."""
+    return json.dumps(
+        encode_vertex(v), separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+
+
+class LabelShard:
+    """One hash shard: a plain dict plus its size accounting."""
+
+    __slots__ = ("index", "labels", "words")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.labels: Dict[Vertex, VertexLabel] = {}
+        self.words = 0
+
+    def add(self, label: VertexLabel) -> None:
+        self.labels[label.vertex] = label
+        self.words += label.words
+
+    @property
+    def num_labels(self) -> int:
+        return len(self.labels)
+
+
+class ShardedLabelStore:
+    """One labeling, hash-sharded by vertex, with O(1) label lookup."""
+
+    def __init__(
+        self,
+        name: str,
+        epsilon: float,
+        num_shards: int = DEFAULT_NUM_SHARDS,
+        source: Optional[str] = None,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.name = name
+        self.epsilon = epsilon
+        self.source = source
+        self.shards: List[LabelShard] = [LabelShard(i) for i in range(num_shards)]
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_remote(
+        cls,
+        name: str,
+        remote: RemoteLabels,
+        num_shards: int = DEFAULT_NUM_SHARDS,
+        source: Optional[str] = None,
+    ) -> "ShardedLabelStore":
+        store = cls(name, remote.epsilon, num_shards, source=source)
+        for label in remote.labels.values():
+            store.shards[store.shard_index(label.vertex)].add(label)
+        return store
+
+    @classmethod
+    def load(
+        cls,
+        path: Union[str, Path],
+        num_shards: int = DEFAULT_NUM_SHARDS,
+        name: Optional[str] = None,
+    ) -> "ShardedLabelStore":
+        """Load a ``repro-distance-labels`` file into a sharded store.
+
+        Format validation happens here, at load time: a file with an
+        unknown format version is refused before the server ever binds
+        a port (:func:`repro.core.serialize.load_labeling` raises
+        ``SerializationError``).
+        """
+        path = Path(path)
+        remote = load_labeling(path)
+        return cls.from_remote(
+            name or path.stem, remote, num_shards, source=str(path)
+        )
+
+    # -- lookup ---------------------------------------------------------
+    def shard_index(self, v: Vertex) -> int:
+        return zlib.crc32(shard_key(v)) % len(self.shards)
+
+    def label(self, v: Vertex) -> VertexLabel:
+        try:
+            return self.shards[self.shard_index(v)].labels[v]
+        except KeyError:
+            raise GraphError(
+                f"vertex {v!r} has no label in store {self.name!r}"
+            ) from None
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self.shards[self.shard_index(v)].labels
+
+    def estimate(self, u: Vertex, v: Vertex) -> float:
+        """Theorem-2 combine step on two stored labels; exactly
+        :meth:`RemoteLabels.estimate` on the same inputs."""
+        return estimate_distance(self.label(u), self.label(v))
+
+    def vertices(self) -> Iterator[Vertex]:
+        for shard in self.shards:
+            yield from shard.labels
+
+    # -- accounting -----------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def num_labels(self) -> int:
+        return sum(shard.num_labels for shard in self.shards)
+
+    @property
+    def total_words(self) -> int:
+        return sum(shard.words for shard in self.shards)
+
+    def stats(self) -> dict:
+        """JSON-ready per-store breakdown (the STATS op's payload)."""
+        return {
+            "epsilon": self.epsilon,
+            "labels": self.num_labels,
+            "words": self.total_words,
+            "source": self.source,
+            "shards": [
+                {"labels": shard.num_labels, "words": shard.words}
+                for shard in self.shards
+            ],
+        }
+
+
+class StoreCatalog:
+    """Named stores; the first one registered is the default."""
+
+    def __init__(self) -> None:
+        self._stores: Dict[str, ShardedLabelStore] = {}
+        self._default: Optional[str] = None
+
+    def add(self, store: ShardedLabelStore) -> ShardedLabelStore:
+        name = store.name
+        if name in self._stores:
+            # Two --labels files with the same stem: disambiguate by
+            # position so both stay addressable.
+            suffix = 2
+            while f"{name}.{suffix}" in self._stores:
+                suffix += 1
+            name = f"{name}.{suffix}"
+            store.name = name
+        self._stores[name] = store
+        if self._default is None:
+            self._default = name
+        return store
+
+    def get(self, name: Optional[str]) -> ShardedLabelStore:
+        """The named store, or the default when *name* is None.
+
+        Raises :class:`KeyError` with the unknown name (the server maps
+        this to an ``unknown_store`` error reply).
+        """
+        if name is None:
+            if self._default is None:
+                raise KeyError("no stores loaded")
+            return self._stores[self._default]
+        return self._stores[name]
+
+    def __len__(self) -> int:
+        return len(self._stores)
+
+    def __iter__(self) -> Iterator[ShardedLabelStore]:
+        return iter(self._stores.values())
+
+    @property
+    def names(self) -> List[str]:
+        return list(self._stores)
+
+    @property
+    def num_labels(self) -> int:
+        return sum(store.num_labels for store in self)
+
+    def stats(self) -> dict:
+        return {name: store.stats() for name, store in self._stores.items()}

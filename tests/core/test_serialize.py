@@ -41,6 +41,10 @@ class TestVertexCodec:
         with pytest.raises(SerializationError):
             decode_vertex({"unknown": []})
 
+    def test_bool_rejected_on_decode_too(self):
+        with pytest.raises(SerializationError):
+            decode_vertex(True)
+
 
 class TestLabelCodec:
     def test_label_round_trip(self, small_grid):
@@ -93,6 +97,45 @@ class TestLabelingRoundTrip:
     def test_invalid_json_rejected(self):
         with pytest.raises(SerializationError):
             load_labeling("{broken")
+
+    def test_format_stamp_is_versioned(self):
+        from repro.core.serialize import (
+            LABELS_FORMAT,
+            LABELS_FORMAT_PREFIX,
+            LABELS_FORMAT_VERSION,
+        )
+
+        g = random_tree(10, seed=5)
+        labeling = build_labeling(g, build_decomposition(g))
+        payload = json.loads(dump_labeling(labeling))
+        assert payload["format"] == LABELS_FORMAT
+        assert LABELS_FORMAT == f"{LABELS_FORMAT_PREFIX}/{LABELS_FORMAT_VERSION}"
+
+    def test_missing_format_stamp_rejected(self):
+        with pytest.raises(SerializationError, match="no format stamp"):
+            load_labeling(json.dumps({"epsilon": 0.1, "labels": []}))
+
+    def test_future_version_rejected_with_version_message(self):
+        # A v99 file must be refused up front (the serve layer relies on
+        # this to reject incompatible files at startup, not mid-request).
+        payload = {
+            "format": "repro-distance-labels/99",
+            "epsilon": 0.1,
+            "labels": [],
+        }
+        with pytest.raises(
+            SerializationError, match="unsupported labels format version 99"
+        ):
+            load_labeling(json.dumps(payload))
+
+    @pytest.mark.parametrize(
+        "stamp", ["repro-distance-labels", "repro-distance-labels/x", 1, True]
+    )
+    def test_garbled_format_stamp_rejected(self, stamp):
+        from repro.core.serialize import check_labels_format
+
+        with pytest.raises(SerializationError, match="unknown format"):
+            check_labels_format(stamp)
 
 
 class TestRemoteLabels:

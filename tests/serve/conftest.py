@@ -1,0 +1,54 @@
+"""Shared serve-layer fixtures: one small labeling, loaded like a
+client would (dump -> load round trip, so vertices are exactly what
+the wire produces)."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core import build_decomposition, build_labeling
+from repro.core.serialize import RemoteLabels, dump_labeling, load_labeling
+from repro.generators import grid_2d
+from repro.serve import ShardedLabelStore, StoreCatalog
+
+
+@pytest.fixture(scope="session")
+def remote_labels() -> RemoteLabels:
+    graph = grid_2d(5)  # tuple vertices: exercises the tagged encoding
+    labeling = build_labeling(graph, build_decomposition(graph), epsilon=0.25)
+    return load_labeling(dump_labeling(labeling))
+
+
+@pytest.fixture
+def catalog(remote_labels) -> StoreCatalog:
+    catalog = StoreCatalog()
+    catalog.add(ShardedLabelStore.from_remote("grid", remote_labels, num_shards=4))
+    return catalog
+
+
+async def rpc(port, requests, host="127.0.0.1"):
+    """Send request lines on one connection; return raw response lines.
+
+    Each request is a dict (JSON-encoded here) or raw bytes (sent
+    verbatim, for malformed-input tests).
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    responses = []
+    try:
+        for request in requests:
+            if isinstance(request, (bytes, bytearray)):
+                writer.write(bytes(request))
+            else:
+                writer.write(json.dumps(request).encode("utf-8") + b"\n")
+            await writer.drain()
+            responses.append(await asyncio.wait_for(reader.readline(), 10))
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    return responses

@@ -1,0 +1,107 @@
+"""Load generator: pair sources, closed-loop run, report, bench record."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve import OracleServer, run_loadgen, synthesize_pairs
+from repro.serve.loadgen import LoadgenError, read_pairs_file
+from repro.obs import write_bench_json
+
+
+class TestPairSources:
+    def test_synthesize_excludes_self_pairs(self):
+        pairs = synthesize_pairs(list(range(5)), 200, seed=3)
+        assert len(pairs) == 200
+        assert all(u != v for u, v in pairs)
+
+    def test_synthesize_is_seeded(self):
+        vs = list(range(10))
+        assert synthesize_pairs(vs, 50, seed=1) == synthesize_pairs(vs, 50, seed=1)
+        assert synthesize_pairs(vs, 50, seed=1) != synthesize_pairs(vs, 50, seed=2)
+
+    def test_synthesize_needs_two_vertices(self):
+        with pytest.raises(LoadgenError):
+            synthesize_pairs([1], 5)
+
+    def test_read_pairs_file(self, tmp_path):
+        path = tmp_path / "pairs.txt"
+        path.write_text("# header\n0 1\n\n a b \n")
+        assert read_pairs_file(path) == [(0, 1), ("a", "b")]
+
+    def test_read_pairs_file_rejects_bad_lines(self, tmp_path):
+        path = tmp_path / "pairs.txt"
+        path.write_text("0 1 2\n")
+        with pytest.raises(LoadgenError, match="expected 'u v'"):
+            read_pairs_file(path)
+        path.write_text("# only comments\n")
+        with pytest.raises(LoadgenError, match="no pairs"):
+            read_pairs_file(path)
+
+
+class TestRunLoadgen:
+    def _run(self, catalog, remote_labels, **kwargs):
+        async def main():
+            server = OracleServer(catalog, port=0, cache_size=64)
+            await server.start()
+            pairs = synthesize_pairs(list(remote_labels.vertices()), 40, seed=9)
+            report = await run_loadgen(
+                "127.0.0.1", server.port, pairs, verify=remote_labels, **kwargs
+            )
+            await server.shutdown()
+            return report
+
+        return asyncio.run(main())
+
+    def test_dist_mode_verifies_clean(self, catalog, remote_labels):
+        report = self._run(catalog, remote_labels, concurrency=4)
+        assert report.ok == 40
+        assert report.errors == 0
+        # Byte-exact agreement with the offline estimates.
+        assert report.mismatches == 0
+        assert report.qps > 0
+        assert report.latency_ns.count == 40
+        assert report.latency_ms(99) >= report.latency_ms(50) >= 0
+
+    def test_batch_mode(self, catalog, remote_labels):
+        report = self._run(catalog, remote_labels, concurrency=2, batch=8)
+        assert report.ok == 40 and report.errors == 0 and report.mismatches == 0
+        # 40 pairs in groups of 8 -> 5 requests -> 5 latency samples.
+        assert report.latency_ns.count == 5
+
+    def test_connection_refused_is_oserror(self):
+        # The CLI maps OSError to `error: ...` + exit 2; make sure the
+        # loadgen lets it propagate instead of swallowing it.
+        with pytest.raises(OSError):
+            asyncio.run(
+                run_loadgen("127.0.0.1", 1, [(0, 1)], concurrency=1)
+            )
+
+    def test_invalid_knobs(self):
+        with pytest.raises(LoadgenError):
+            asyncio.run(run_loadgen("h", 1, [(0, 1)], concurrency=0))
+        with pytest.raises(LoadgenError):
+            asyncio.run(run_loadgen("h", 1, [(0, 1)], batch=0))
+
+
+class TestBenchRecord:
+    def test_bench_json_has_qps_and_percentiles(
+        self, catalog, remote_labels, tmp_path
+    ):
+        report = TestRunLoadgen()._run(catalog, remote_labels, concurrency=2)
+        out = tmp_path / "BENCH_serve.json"
+        write_bench_json(
+            out,
+            "serve",
+            header=["metric", "value"],
+            rows=report.rows(),
+            meta=report.meta(),
+        )
+        payload = json.loads(out.read_text())
+        assert payload["format"] == "repro-bench/1"
+        assert payload["name"] == "serve"
+        assert payload["meta"]["qps"] > 0
+        for key in ("p50", "p90", "p99", "max", "mean"):
+            assert key in payload["meta"]["latency_ms"]
+        assert payload["meta"]["mismatches"] == 0

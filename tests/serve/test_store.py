@@ -1,0 +1,97 @@
+"""Sharded label stores: lookup, sharding stability, accounting."""
+
+import pytest
+
+from repro.serve.store import ShardedLabelStore, StoreCatalog, shard_key
+from repro.util.errors import GraphError
+
+
+@pytest.fixture
+def store(remote_labels) -> ShardedLabelStore:
+    return ShardedLabelStore.from_remote("grid", remote_labels, num_shards=4)
+
+
+class TestShardedLabelStore:
+    def test_every_label_lands_in_its_shard(self, store, remote_labels):
+        for v in remote_labels.vertices():
+            assert v in store
+            assert store.label(v).vertex == v
+            assert v in store.shards[store.shard_index(v)].labels
+
+    def test_shard_counts_sum_to_total(self, store, remote_labels):
+        assert store.num_labels == remote_labels.num_labels
+        assert sum(s.num_labels for s in store.shards) == store.num_labels
+        assert sum(s.words for s in store.shards) == store.total_words
+        assert store.total_words == sum(
+            label.words for label in remote_labels.labels.values()
+        )
+
+    def test_sharding_is_stable(self, store, remote_labels):
+        # The shard function must not depend on Python's salted hash():
+        # shard_key goes through the deterministic wire encoding.
+        assert shard_key((0, 1)) == b'{"t":[0,1]}'
+        rebuilt = ShardedLabelStore.from_remote("b", remote_labels, num_shards=4)
+        for v in remote_labels.vertices():
+            assert store.shard_index(v) == rebuilt.shard_index(v)
+
+    def test_estimates_match_remote_labels_exactly(self, store, remote_labels):
+        vertices = sorted(remote_labels.vertices())
+        for u, v in zip(vertices, reversed(vertices)):
+            assert store.estimate(u, v) == remote_labels.estimate(u, v)
+
+    def test_unknown_vertex(self, store):
+        with pytest.raises(GraphError, match="no label in store"):
+            store.label((99, 99))
+        assert (99, 99) not in store
+
+    def test_single_shard_degenerates_to_flat_dict(self, remote_labels):
+        store = ShardedLabelStore.from_remote("one", remote_labels, num_shards=1)
+        assert store.num_labels == remote_labels.num_labels
+        assert all(store.shard_index(v) == 0 for v in remote_labels.vertices())
+
+    def test_invalid_shard_count(self, remote_labels):
+        with pytest.raises(ValueError):
+            ShardedLabelStore("x", 0.25, num_shards=0)
+
+    def test_stats_shape(self, store):
+        stats = store.stats()
+        assert stats["labels"] == store.num_labels
+        assert len(stats["shards"]) == 4
+        assert sum(s["labels"] for s in stats["shards"]) == stats["labels"]
+
+    def test_load_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(
+            '{"format": "repro-distance-labels/99", "epsilon": 0.1, "labels": []}'
+        )
+        from repro.core.serialize import SerializationError
+
+        with pytest.raises(SerializationError, match="unsupported labels format"):
+            ShardedLabelStore.load(path)
+
+
+class TestStoreCatalog:
+    def test_default_is_first(self, remote_labels):
+        catalog = StoreCatalog()
+        catalog.add(ShardedLabelStore.from_remote("a", remote_labels))
+        catalog.add(ShardedLabelStore.from_remote("b", remote_labels))
+        assert catalog.get(None).name == "a"
+        assert catalog.get("b").name == "b"
+        assert catalog.names == ["a", "b"]
+        assert len(catalog) == 2
+        assert catalog.num_labels == 2 * remote_labels.num_labels
+
+    def test_name_collisions_disambiguated(self, remote_labels):
+        catalog = StoreCatalog()
+        catalog.add(ShardedLabelStore.from_remote("x", remote_labels))
+        renamed = catalog.add(ShardedLabelStore.from_remote("x", remote_labels))
+        assert renamed.name == "x.2"
+        assert catalog.names == ["x", "x.2"]
+
+    def test_unknown_store_raises_keyerror(self, remote_labels):
+        catalog = StoreCatalog()
+        with pytest.raises(KeyError):
+            catalog.get(None)  # empty catalog has no default
+        catalog.add(ShardedLabelStore.from_remote("a", remote_labels))
+        with pytest.raises(KeyError):
+            catalog.get("nope")

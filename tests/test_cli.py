@@ -129,6 +129,71 @@ class TestLabelsAndQuery:
         assert err.startswith("error:")
         assert "Traceback" not in err
 
+    def test_query_future_format_version(self, tmp_path, capsys):
+        bad = tmp_path / "future.json"
+        bad.write_text(
+            json.dumps(
+                {"format": "repro-distance-labels/99", "epsilon": 0.1,
+                 "labels": []}
+            )
+        )
+        assert main(["query", str(bad), "0", "1"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "unsupported labels format version 99" in err
+        assert len(err.strip().splitlines()) == 1
+
+
+class TestQueryBatch:
+    @pytest.fixture
+    def labels_file(self, graph_file, tmp_path):
+        labels = tmp_path / "labels.json"
+        assert main(["labels", str(graph_file), "--out", str(labels)]) == 0
+        return labels
+
+    def test_pairs_file_amortizes_one_load(self, labels_file, tmp_path, capsys):
+        pairs = tmp_path / "pairs.txt"
+        pairs.write_text("# u v\n0 63\n5 40\n\n7 3\n")
+        assert main(["query", str(labels_file), "--pairs-file", str(pairs)]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 3
+        assert out[0].startswith("0 63 ")
+        # Each line's estimate matches a single-pair query of the same pair.
+        from repro.core.serialize import load_labeling
+
+        remote = load_labeling(labels_file)
+        for line, (u, v) in zip(out, [(0, 63), (5, 40), (7, 3)]):
+            assert line == f"{u} {v} {remote.estimate(u, v):.6g}"
+
+    def test_pairs_file_stdin(self, labels_file, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("0 63\n1 2\n"))
+        assert main(["query", str(labels_file), "--pairs-file", "-"]) == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 2
+
+    def test_positional_and_pairs_file_conflict(self, labels_file, tmp_path,
+                                                capsys):
+        pairs = tmp_path / "pairs.txt"
+        pairs.write_text("0 1\n")
+        rc = main(
+            ["query", str(labels_file), "0", "1", "--pairs-file", str(pairs)]
+        )
+        assert rc == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_missing_vertices_without_pairs_file(self, labels_file, capsys):
+        assert main(["query", str(labels_file)]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_bad_pairs_file(self, labels_file, tmp_path, capsys):
+        pairs = tmp_path / "pairs.txt"
+        pairs.write_text("0 1 2\n")
+        assert main(
+            ["query", str(labels_file), "--pairs-file", str(pairs)]
+        ) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
 
 class TestJobs:
     def test_jobs_matches_serial_and_is_reproducible(
@@ -161,6 +226,109 @@ class TestSmallworld:
         out = capsys.readouterr().out
         for name in ("path-separator", "kleinberg", "uniform", "none"):
             assert name in out
+
+    def test_pair_sampling_excludes_self_pairs(self):
+        import random
+
+        from repro.cli import _sample_distinct_pairs
+
+        # Two vertices force a 50% self-pair rate under naive sampling;
+        # the resampling loop must return only u != v pairs.
+        pairs = _sample_distinct_pairs([0, 1], 100, random.Random(0))
+        assert len(pairs) == 100
+        assert all(u != v for u, v in pairs)
+
+
+class TestServeAndLoadgen:
+    """End-to-end through the CLI entry points, in one process."""
+
+    def test_serve_loadgen_round_trip(self, graph_file, tmp_path, capsys):
+        import asyncio
+        import json as json_mod
+        import threading
+
+        labels = tmp_path / "labels.json"
+        assert main(["labels", str(graph_file), "--out", str(labels)]) == 0
+
+        from repro.serve import OracleServer, ShardedLabelStore, StoreCatalog
+
+        catalog = StoreCatalog()
+        catalog.add(ShardedLabelStore.load(labels))
+        server = OracleServer(catalog, port=0, cache_size=64)
+        started = threading.Event()
+        loop_holder = {}
+
+        def serve_thread():
+            async def body():
+                await server.start()
+                loop_holder["loop"] = asyncio.get_running_loop()
+                started.set()
+                await server.serve_until_shutdown()
+
+            asyncio.run(body())
+
+        thread = threading.Thread(target=serve_thread)
+        thread.start()
+        try:
+            assert started.wait(10)
+            bench = tmp_path / "BENCH_serve.json"
+            rc = main(
+                [
+                    "loadgen",
+                    "--port", str(server.port),
+                    "--labels", str(labels),
+                    "--pairs", "60",
+                    "--concurrency", "4",
+                    "--verify",
+                    "--bench-out", str(bench),
+                ]
+            )
+            captured = capsys.readouterr()
+            assert rc == 0, captured.err
+            assert "qps" in captured.out
+            payload = json_mod.loads(bench.read_text())
+            assert payload["format"] == "repro-bench/1"
+            assert payload["meta"]["qps"] > 0
+            assert payload["meta"]["mismatches"] == 0
+            assert payload["meta"]["latency_ms"]["p99"] >= 0
+        finally:
+            loop_holder["loop"].call_soon_threadsafe(server.request_shutdown)
+            thread.join(timeout=10)
+        assert not thread.is_alive()
+
+    def test_loadgen_without_pair_source(self, capsys):
+        assert main(["loadgen", "--port", "1"]) == 2
+        assert "need --labels" in capsys.readouterr().err
+
+    def test_loadgen_verify_needs_labels(self, tmp_path, capsys):
+        pairs = tmp_path / "pairs.txt"
+        pairs.write_text("0 1\n")
+        rc = main(
+            ["loadgen", "--port", "1", "--pairs-file", str(pairs), "--verify"]
+        )
+        assert rc == 2
+        assert "--verify needs --labels" in capsys.readouterr().err
+
+    def test_loadgen_connection_refused(self, graph_file, tmp_path, capsys):
+        labels = tmp_path / "labels.json"
+        assert main(["labels", str(graph_file), "--out", str(labels)]) == 0
+        # Port 1 is never listening: a crisp one-line error, exit 2.
+        rc = main(
+            ["loadgen", "--port", "1", "--labels", str(labels), "--pairs", "4"]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_serve_refuses_future_format(self, tmp_path, capsys):
+        bad = tmp_path / "future.json"
+        bad.write_text(
+            '{"format": "repro-distance-labels/99", "epsilon": 0.1, "labels": []}'
+        )
+        assert main(["serve", "--labels", str(bad), "--port", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "unsupported labels format version 99" in err
 
 
 class TestDecomposeDot:

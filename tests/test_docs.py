@@ -18,6 +18,9 @@ DOC_FILES = [
     ROOT / "EXPERIMENTS.md",
     ROOT / "docs" / "paper_mapping.md",
     ROOT / "docs" / "algorithms.md",
+    ROOT / "docs" / "observability.md",
+    ROOT / "docs" / "performance.md",
+    ROOT / "docs" / "serving.md",
 ]
 
 MODULE_PATTERN = re.compile(r"`(repro(?:\.[a-z_0-9]+)+)`")
