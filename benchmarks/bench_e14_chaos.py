@@ -1,0 +1,138 @@
+"""E14 — serving under faults: what resilience costs, and what it buys.
+
+Shapes to verify:
+* a fault-free baseline through the :class:`ResilientClient` matches
+  the historical loadgen path — zero retries, zero errors;
+* under injected faults (dropped replies, added delay) the retrying
+  client still completes **every** query with **zero** mismatches —
+  the faults cost latency and retries, never answers;
+* hedged requests clip the tail that drop-induced timeouts create:
+  p99 with hedging stays below p99 with plain retries on the same
+  drop plan.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.core import build_decomposition, build_labeling
+from repro.core.serialize import dump_labeling, load_labeling
+from repro.generators import random_delaunay_graph
+from repro.serve import (
+    FaultPlan,
+    OracleServer,
+    ResilientClient,
+    RetryPolicy,
+    ShardedLabelStore,
+    StoreCatalog,
+    run_loadgen,
+    synthesize_pairs,
+)
+from repro.util import format_table
+
+N = 512
+QUERIES = 400
+CONCURRENCY = 8
+EPS = 0.25
+ATTEMPT_TIMEOUT = 0.25
+
+DROP_RULES = [{"kind": "drop", "rate": 0.1}]
+DELAY_RULES = [{"kind": "delay", "rate": 1.0, "delay_ms": 5.0}]
+
+
+def build_remote():
+    graph = random_delaunay_graph(N, seed=N)[0]
+    labeling = build_labeling(graph, build_decomposition(graph), epsilon=EPS)
+    return load_labeling(dump_labeling(labeling))
+
+
+def run_experiment():
+    remote = build_remote()
+    pairs = synthesize_pairs(list(remote.vertices()), QUERIES, seed=14)
+
+    configs = [
+        ("clean baseline", None, dict(retries=0)),
+        ("drop 10%", DROP_RULES, dict(retries=8)),
+        ("delay 5ms", DELAY_RULES, dict(retries=8)),
+        ("drop 10% + hedge", DROP_RULES,
+         dict(retries=8, hedge_after=ATTEMPT_TIMEOUT / 2)),
+    ]
+
+    async def measure(rules, client_opts):
+        catalog = StoreCatalog()
+        catalog.add(ShardedLabelStore.from_remote("bench", remote))
+        plan = FaultPlan.from_rules(rules, seed=14) if rules else None
+        server = OracleServer(catalog, port=0, fault_plan=plan)
+        await server.start()
+        # The injected faults are the point: a huge breaker threshold
+        # keeps the breaker from converting them into fast-fails.
+        client = ResilientClient(
+            [("127.0.0.1", server.port)],
+            policy=RetryPolicy(
+                attempts=client_opts["retries"] + 1,
+                attempt_timeout=ATTEMPT_TIMEOUT,
+                hedge_after=client_opts.get("hedge_after"),
+            ),
+            seed=14,
+            breaker_threshold=1000,
+        )
+        try:
+            report = await run_loadgen(
+                "127.0.0.1", server.port, pairs,
+                concurrency=CONCURRENCY, verify=remote, client=client,
+            )
+        finally:
+            await client.close()
+            await server.shutdown()
+        return report, server.faults.status()["injected"]
+
+    rows = []
+    for name, rules, client_opts in configs:
+        report, injected = asyncio.run(measure(rules, client_opts))
+        assert report.errors == 0, report.error_samples
+        assert report.mismatches == 0, report.error_samples
+        rows.append(
+            [
+                name,
+                report.ok,
+                sum(injected.values()),
+                report.retries,
+                report.hedges,
+                round(report.qps),
+                round(report.latency_ms(50), 3),
+                round(report.latency_ms(99), 3),
+            ]
+        )
+    return rows
+
+
+def test_e14_bench_chaos(record_table):
+    rows = run_experiment()
+    header = [
+        "config", "ok", "faults", "retries", "hedges", "qps",
+        "p50_ms", "p99_ms",
+    ]
+    table = format_table(
+        header,
+        rows,
+        title=f"E14: serving under faults, delaunay n={N} ({QUERIES} "
+        f"queries, {CONCURRENCY} connections, verify=on)",
+    )
+    record_table(
+        "e14_chaos", table, rows=rows, header=header,
+        meta={
+            "n": N, "queries": QUERIES, "concurrency": CONCURRENCY,
+            "attempt_timeout": ATTEMPT_TIMEOUT,
+            "drop_rules": DROP_RULES, "delay_rules": DELAY_RULES,
+        },
+    )
+    by_name = {row[0]: row for row in rows}
+    # The baseline really was clean and the fault configs really bit.
+    assert by_name["clean baseline"][2] == 0  # faults
+    assert by_name["clean baseline"][3] == 0  # retries
+    assert by_name["drop 10%"][2] > 0 and by_name["drop 10%"][3] > 0
+    assert by_name["delay 5ms"][2] > 0
+    # Hedging must clip the drop-induced timeout tail.
+    assert (
+        by_name["drop 10% + hedge"][7] < by_name["drop 10%"][7]
+    ), (by_name["drop 10% + hedge"], by_name["drop 10%"])

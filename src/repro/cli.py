@@ -12,6 +12,8 @@ Subcommands::
     repro stats      g.edges --epsilon 0.1                   # telemetry breakdown
     repro serve      --labels labels.json --port 7471        # query service
     repro loadgen    --labels labels.json --pairs 500        # drive the service
+    repro query      --remote host:7471 U V                  # query the service
+    repro chaos      --labels labels.json --pairs 300        # loadgen under faults
 
 Every subcommand also accepts ``--trace`` (span log on stderr) and
 ``--metrics-out PATH`` (machine-readable ``repro-metrics/1`` JSON), and
@@ -227,11 +229,63 @@ def cmd_labels(args) -> int:
     return 0
 
 
+def _query_remote(args) -> int:
+    """``repro query --remote HOST:PORT``: same answers, served over TCP
+    through the resilient client (retries on transient faults, exit 2 on
+    permanent errors — identical surface to the offline path)."""
+    from repro.serve import ResilientClient, RetryPolicy, parse_address
+    from repro.serve.loadgen import read_pairs_file
+
+    # With --remote there is no labels file, so the positionals shift
+    # left: `repro query --remote h:p U V` parses as labels=U, u=V.
+    tokens = [t for t in (args.labels, args.u, args.v) if t is not None]
+    policy = RetryPolicy(attempts=args.retries + 1, attempt_timeout=args.timeout)
+    client = ResilientClient(
+        [parse_address(args.remote)], policy=policy, store=args.store
+    )
+
+    def value_of(fields: dict) -> float:
+        est = fields.get("estimate")
+        return float("inf") if est is None else est
+
+    async def run() -> int:
+        try:
+            if args.pairs_file:
+                if tokens:
+                    raise ReproError("give either U V or --pairs-file, not both")
+                if args.pairs_file == "-":
+                    pairs = read_pairs_file("<stdin>", stream=sys.stdin)
+                else:
+                    pairs = read_pairs_file(args.pairs_file)
+                response = await client.batch(pairs)
+                for (u, v), item in zip(pairs, response.get("results", [])):
+                    if isinstance(item, dict) and item.get("ok"):
+                        print(f"{u} {v} {value_of(item):.6g}")
+                    else:
+                        error = (item or {}).get("error", {})
+                        print(f"{u} {v} error:{error.get('code', 'internal')}")
+                return 0
+            if len(tokens) != 2:
+                raise ReproError("need two vertices U V (or --pairs-file)")
+            u, v = _parse_vertex(tokens[0]), _parse_vertex(tokens[1])
+            response = await client.dist(u, v)
+            print(f"d({u}, {v}) <= {value_of(response):.6g}")
+            return 0
+        finally:
+            await client.close()
+
+    return asyncio.run(run())
+
+
 def cmd_query(args) -> int:
+    if args.remote:
+        return _query_remote(args)
     # load_labeling raises SerializationError for malformed payloads and
     # OSError for a missing file; RemoteLabels.label raises GraphError
     # for an unlabeled vertex.  All three become one-line ``error: ...``
     # messages with exit status 2 in main().
+    if args.labels is None:
+        raise ReproError("need a labels file (or --remote HOST:PORT)")
     remote = load_labeling(args.labels)
     if args.pairs_file:
         # Batch mode: one load_labeling amortized over many estimates,
@@ -316,8 +370,19 @@ async def _serve_main(server) -> None:
 
 
 def cmd_serve(args) -> int:
-    from repro.serve import OracleServer, ShardedLabelStore, StoreCatalog
+    from repro.serve import FaultPlan, OracleServer, ShardedLabelStore, StoreCatalog
 
+    fault_plan = None
+    if args.fault_plan:
+        # FaultPlan.load validates the plan (format stamp, kinds, rates)
+        # before the port is ever bound, same as the label stores below.
+        fault_plan = FaultPlan.load(args.fault_plan)
+        kinds = sorted({r.kind for s in fault_plan.stages for r in s.rules})
+        print(
+            f"fault plan {args.fault_plan!r}: {len(fault_plan.stages)} stage(s), "
+            f"kinds {kinds}, seed {fault_plan.seed}",
+            file=sys.stderr,
+        )
     catalog = StoreCatalog()
     for path in args.labels:
         # ShardedLabelStore.load validates the format stamp here, so an
@@ -336,6 +401,7 @@ def cmd_serve(args) -> int:
         max_inflight=args.max_inflight,
         request_timeout=args.timeout,
         drain_grace=args.drain_grace,
+        fault_plan=fault_plan,
     )
     try:
         asyncio.run(_serve_main(server))
@@ -375,6 +441,10 @@ def cmd_loadgen(args) -> int:
             store=args.store,
             verify=remote if args.verify else None,
             request_timeout=args.timeout,
+            retries=args.retries,
+            attempt_timeout=args.attempt_timeout,
+            hedge_after=args.hedge,
+            seed=args.seed,
         )
     )
     print(
@@ -402,6 +472,109 @@ def cmd_loadgen(args) -> int:
         )
         print(f"wrote bench record to {args.bench_out}", file=sys.stderr)
     return 0 if report.errors == 0 and report.mismatches == 0 else 1
+
+
+# The default chaos schedule when no --fault-plan is given: the CI
+# scenario from docs/serving.md — 10% dropped replies plus a 50ms
+# fixed delay on every response.
+DEFAULT_CHAOS_PLAN = {
+    "format": "repro-fault-plan/1",
+    "seed": 0,
+    "rules": [
+        {"kind": "drop", "rate": 0.1},
+        {"kind": "delay", "rate": 1.0, "delay_ms": 50.0},
+    ],
+}
+
+
+def cmd_chaos(args) -> int:
+    """Self-hosted resilience check: serve the labels with a fault plan
+    active, drive them through the resilient client, verify every answer
+    byte-exactly, and report what the faults cost."""
+    import time
+
+    from repro.obs import write_bench_json
+    from repro.serve import (
+        FaultPlan,
+        OracleServer,
+        ShardedLabelStore,
+        StoreCatalog,
+        run_loadgen,
+        synthesize_pairs,
+    )
+
+    if args.fault_plan:
+        plan = FaultPlan.load(args.fault_plan)
+    else:
+        plan = FaultPlan.from_dict(
+            {**DEFAULT_CHAOS_PLAN, "seed": args.seed}
+        )
+    remote = load_labeling(args.labels)
+    pairs = synthesize_pairs(list(remote.vertices()), args.pairs, args.seed)
+    catalog = StoreCatalog()
+    catalog.add(ShardedLabelStore.load(args.labels, num_shards=args.shards))
+
+    async def run():
+        server = OracleServer(
+            catalog, host="127.0.0.1", port=0, fault_plan=plan
+        )
+        await server.start()
+        try:
+            report = await run_loadgen(
+                "127.0.0.1",
+                server.port,
+                pairs,
+                concurrency=args.concurrency,
+                batch=args.batch,
+                verify=remote,
+                retries=args.retries,
+                attempt_timeout=args.attempt_timeout,
+                hedge_after=args.hedge,
+                seed=args.seed,
+            )
+        finally:
+            await server.shutdown()
+        return report, server.faults.status()
+
+    report, fault_status = asyncio.run(run())
+    injected = fault_status.get("injected", {})
+    print(
+        format_table(
+            ["metric", "value"],
+            report.rows(),
+            title=f"chaos: {args.pairs} verified queries under faults",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["fault", "injected"],
+            sorted(injected.items()) or [["(none)", 0]],
+            title="server-side fault injections",
+        )
+    )
+    for sample in report.error_samples:
+        print(f"note: {sample}", file=sys.stderr)
+    if args.bench_out:
+        write_bench_json(
+            args.bench_out,
+            "chaos",
+            header=["metric", "value"],
+            rows=report.rows(),
+            meta={
+                "pairs": len(pairs),
+                "verified": True,
+                "fault_plan": plan.to_dict(),
+                "faults_injected": injected,
+                **report.meta(),
+            },
+            unix_time=time.time(),
+        )
+        print(f"wrote bench record to {args.bench_out}", file=sys.stderr)
+    # Chaos succeeds when the faults were *absorbed*: every query got a
+    # byte-exact answer.  Errors mean the retry policy was too weak for
+    # the plan; mismatches mean a correctness bug.
+    return 0 if report.mismatches == 0 and report.ok > 0 and report.errors == 0 else 1
 
 
 def _phase_rows(roots):
@@ -619,7 +792,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="answer a query from exported labels",
         parents=[obs_parent],
     )
-    p.add_argument("labels")
+    p.add_argument("labels", nargs="?",
+                   help="labels file (omit with --remote)")
     p.add_argument("u", nargs="?")
     p.add_argument("v", nargs="?")
     p.add_argument(
@@ -628,6 +802,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="answer every 'u v' pair in PATH ('-' for stdin) instead of "
         "one positional pair; prints one 'u v estimate' line each",
     )
+    p.add_argument("--remote", metavar="HOST:PORT",
+                   help="ask a running `repro serve` instead of reading "
+                   "a labels file")
+    p.add_argument("--store", help="named store on the remote server")
+    p.add_argument("--retries", type=int, default=2, metavar="R",
+                   help="extra attempts per remote request")
+    p.add_argument("--timeout", type=float, default=5.0,
+                   help="per-attempt remote deadline in seconds")
     p.set_defaults(func=cmd_query)
 
     p = sub.add_parser(
@@ -685,6 +867,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-request deadline in seconds")
     p.add_argument("--drain-grace", type=float, default=10.0,
                    help="seconds to let inflight requests finish on shutdown")
+    p.add_argument("--fault-plan", metavar="PATH",
+                   help="arm a repro-fault-plan/1 JSON fault-injection "
+                   "schedule (see docs/serving.md)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -710,12 +895,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--timeout", type=float, default=30.0,
                    help="per-request client deadline in seconds")
+    p.add_argument("--retries", type=int, default=0, metavar="R",
+                   help="extra attempts per request on transient failures")
+    p.add_argument("--attempt-timeout", type=float, default=None,
+                   metavar="S", help="per-attempt deadline (default: --timeout)")
+    p.add_argument("--hedge", type=float, default=None, metavar="S",
+                   help="launch a hedged second attempt after S seconds "
+                   "of silence")
     p.add_argument("--verify", action="store_true",
                    help="compare every served estimate to the offline "
                    "RemoteLabels.estimate (requires --labels)")
     p.add_argument("--bench-out", metavar="PATH",
                    help="write a repro-bench/1 record (e.g. BENCH_serve.json)")
     p.set_defaults(func=cmd_loadgen)
+
+    p = sub.add_parser(
+        "chaos",
+        help="serve labels under an injected fault plan and verify the "
+        "resilient client absorbs it byte-exactly",
+        parents=[obs_parent],
+    )
+    p.add_argument("--labels", required=True, metavar="PATH",
+                   help="labels file to serve and verify against")
+    p.add_argument("--fault-plan", metavar="PATH",
+                   help="repro-fault-plan/1 JSON schedule (default: 10%% "
+                   "dropped replies + 50ms delay)")
+    p.add_argument("--pairs", type=int, default=300, metavar="K",
+                   help="verified queries to run")
+    p.add_argument("--concurrency", type=int, default=8, metavar="C")
+    p.add_argument("--batch", type=int, default=1, metavar="B",
+                   help="pairs per request (1 = DIST, >1 = BATCH)")
+    p.add_argument("--shards", type=int, default=8,
+                   help="hash shards for the hosted store")
+    p.add_argument("--retries", type=int, default=5, metavar="R",
+                   help="extra attempts per request")
+    p.add_argument("--attempt-timeout", type=float, default=2.0, metavar="S",
+                   help="per-attempt deadline in seconds")
+    p.add_argument("--hedge", type=float, default=None, metavar="S",
+                   help="hedge a second attempt after S seconds of silence")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--bench-out", metavar="PATH",
+                   help="write a repro-bench/1 record (e.g. BENCH_chaos.json)")
+    p.set_defaults(func=cmd_chaos)
 
     return parser
 

@@ -89,7 +89,7 @@ def decode_vertex(data):
         raise SerializationError(f"malformed vertex payload {data!r}")
     if isinstance(data, (int, float, str)):
         return data
-    if isinstance(data, dict) and set(data) == {"t"}:
+    if isinstance(data, dict) and set(data) == {"t"} and isinstance(data["t"], list):
         return tuple(decode_vertex(x) for x in data["t"])
     raise SerializationError(f"malformed vertex payload {data!r}")
 

@@ -3,26 +3,50 @@
 The paper's labels (Theorem 2) are small remote objects: any two of
 them answer a (1+eps)-approximate distance query with no graph in
 sight.  This package is the serving side of that claim — an asyncio
-TCP service over sharded in-memory label stores, plus the load
-generator that measures it:
+TCP service over sharded in-memory label stores, plus the resilient
+client and load generator that measure it, clean and under faults:
 
 * :mod:`repro.serve.store` — :class:`ShardedLabelStore` /
   :class:`StoreCatalog`: labelings hash-sharded by vertex with O(1)
   lookup and per-shard size accounting.
 * :mod:`repro.serve.protocol` — the newline-delimited JSON wire
-  protocol (DIST / BATCH / LABEL / HEALTH / STATS) with typed error
-  replies.
+  protocol (DIST / BATCH / LABEL / HEALTH / STATS / FAULT) with typed
+  error replies.
 * :mod:`repro.serve.server` — :class:`OracleServer`: per-connection
   read loops, request timeouts, semaphore backpressure, an optional
-  LRU pair cache, and graceful drain on shutdown.
+  LRU pair cache, graceful drain on shutdown, and a seedable
+  fault-injection layer.
+* :mod:`repro.serve.faults` — :class:`FaultPlan` / :class:`FaultInjector`:
+  deterministic drop / delay / corrupt / unavailable / slow-drain
+  faults, loadable from JSON and togglable at runtime via FAULT.
+* :mod:`repro.serve.client` — :class:`ResilientClient`: per-attempt
+  timeouts, capped exponential backoff with deterministic jitter,
+  retry budgets, per-address circuit breakers, optional hedging —
+  all preserving byte-exact answers.
 * :mod:`repro.serve.loadgen` — closed-loop concurrent client
-  reporting QPS + latency percentiles, with optional byte-exact
-  verification against offline estimates.
+  reporting QPS + latency percentiles (and retry/hedge counts), with
+  optional byte-exact verification against offline estimates.
 
-CLI entry points: ``repro serve`` and ``repro loadgen``; the protocol
-and knobs are specified in ``docs/serving.md``.
+CLI entry points: ``repro serve``, ``repro loadgen``, and ``repro
+chaos``; the protocol and knobs are specified in ``docs/serving.md``.
 """
 
+from repro.serve.client import (
+    CircuitBreaker,
+    ClientError,
+    RequestFailed,
+    ResilientClient,
+    RetryPolicy,
+    parse_address,
+)
+from repro.serve.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+    FaultRule,
+    FaultStage,
+)
 from repro.serve.loadgen import (
     LoadgenError,
     LoadgenReport,
@@ -32,7 +56,9 @@ from repro.serve.loadgen import (
 )
 from repro.serve.protocol import (
     ERROR_CODES,
+    FAULT_ACTIONS,
     OPS,
+    TRANSIENT_CODES,
     ProtocolError,
     Request,
     encode_request,
@@ -50,9 +76,18 @@ from repro.serve.store import (
 )
 
 __all__ = [
+    "CircuitBreaker",
+    "ClientError",
     "DEFAULT_MAX_BATCH",
     "DEFAULT_NUM_SHARDS",
     "ERROR_CODES",
+    "FAULT_ACTIONS",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultRule",
+    "FaultStage",
     "LabelShard",
     "LoadgenError",
     "LoadgenReport",
@@ -61,12 +96,17 @@ __all__ = [
     "OracleServer",
     "ProtocolError",
     "Request",
+    "RequestFailed",
+    "ResilientClient",
+    "RetryPolicy",
     "ShardedLabelStore",
     "StoreCatalog",
+    "TRANSIENT_CODES",
     "encode_request",
     "encode_response",
     "error_response",
     "ok_response",
+    "parse_address",
     "parse_request",
     "read_pairs_file",
     "run_loadgen",

@@ -1,0 +1,417 @@
+"""Deterministic fault injection for the query service.
+
+A :class:`FaultPlan` describes *which* faults to inject and *how
+often*; a :class:`FaultInjector` is the runtime that rolls the dice.
+The server consults the injector once per response and applies the
+resulting :class:`FaultDecision` at the write site (see
+``OracleServer._write_response``), so faults land exactly where real
+networks hurt: between a computed answer and the client reading it.
+
+Fault kinds
+-----------
+
+========== ===========================================================
+``drop``        compute the answer, never send it (client times out)
+``delay``       sleep before replying (fixed / uniform / exponential)
+``corrupt``     mangle the response bytes (``truncate`` cuts the line
+                short, losing the newline; ``garble`` overwrites a
+                slice with ``0xFF`` bytes, which can never appear in
+                valid UTF-8 JSON — corruption is *detectable by
+                construction*, a client can always tell)
+``unavailable`` replace the answer with a transient ``unavailable``
+                error (the canonical retry-me signal)
+``slow_drain``  dribble the response out in small chunks with pauses
+                (tail-latency torture for the client's read path)
+========== ===========================================================
+
+Determinism
+-----------
+
+Every decision is seeded: decision *n* draws from
+``random.Random(derive_seed(plan.seed, "fault", n))``, so a plan
+replayed against the same request arrival order injects the same
+faults — chaos runs are reproducible, and two servers given the same
+plan and traffic disagree only if their request interleaving does.
+
+Plans are JSON (``repro serve --fault-plan plan.json``)::
+
+    {"format": "repro-fault-plan/1",
+     "seed": 7,
+     "rules": [{"kind": "drop", "rate": 0.1},
+               {"kind": "delay", "rate": 1.0, "delay_ms": 50}]}
+
+or staged — each stage covers a fixed number of decisions (the last
+stage runs forever), which is how ``repro chaos`` schedules escalating
+conditions without wall-clock nondeterminism::
+
+    {"format": "repro-fault-plan/1",
+     "seed": 7,
+     "stages": [{"requests": 100, "rules": [...]},
+                {"rules": [...]}]}
+
+A rule may scope itself with ``"ops": ["DIST", "BATCH"]``; the FAULT
+admin op itself is never faulted, so an operator can always reach a
+misbehaving server to turn the chaos off.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.obs import metrics
+from repro.util.errors import ReproError
+from repro.util.rng import derive_seed
+
+__all__ = [
+    "FAULT_KINDS",
+    "FORMAT",
+    "FaultDecision",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultRule",
+    "FaultStage",
+]
+
+FORMAT = "repro-fault-plan/1"
+
+#: Every fault kind a rule may name.
+FAULT_KINDS = ("drop", "delay", "corrupt", "unavailable", "slow_drain")
+
+_DISTRIBUTIONS = ("fixed", "uniform", "exponential")
+_CORRUPT_MODES = ("truncate", "garble")
+
+
+class FaultPlanError(ReproError):
+    """A fault plan that cannot be loaded or does not validate."""
+
+
+def _require_number(payload: dict, key: str, default, *, minimum=None):
+    value = payload.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise FaultPlanError(f"{key!r} must be a number, got {value!r}")
+    if minimum is not None and value < minimum:
+        raise FaultPlanError(f"{key!r} must be >= {minimum}, got {value!r}")
+    return float(value)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One independent fault source: a kind, a rate, and its knobs."""
+
+    kind: str
+    rate: float
+    ops: Optional[Tuple[str, ...]] = None  # None = every non-FAULT op
+    delay_ms: float = 50.0       # delay: base latency
+    jitter_ms: float = 0.0       # delay: extra uniform latency
+    distribution: str = "fixed"  # delay: fixed | uniform | exponential
+    mode: str = "truncate"       # corrupt: truncate | garble
+    chunk_bytes: int = 64        # slow_drain: bytes per chunk
+    interval_ms: float = 5.0     # slow_drain: pause between chunks
+
+    @classmethod
+    def from_dict(cls, payload) -> "FaultRule":
+        if not isinstance(payload, dict):
+            raise FaultPlanError(f"rule must be an object, got {payload!r}")
+        kind = payload.get("kind")
+        if kind not in FAULT_KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {kind!r}; expected one of "
+                f"{', '.join(FAULT_KINDS)}"
+            )
+        rate = _require_number(payload, "rate", None, minimum=0.0)
+        if rate > 1.0:
+            raise FaultPlanError(f"'rate' must be in [0, 1], got {rate}")
+        ops = payload.get("ops")
+        if ops is not None:
+            if not isinstance(ops, list) or not all(
+                isinstance(op, str) for op in ops
+            ):
+                raise FaultPlanError(f"'ops' must be a list of strings: {ops!r}")
+            ops = tuple(op.upper() for op in ops)
+            if "FAULT" in ops:
+                raise FaultPlanError("the FAULT admin op cannot be faulted")
+        distribution = payload.get("distribution", "fixed")
+        if distribution not in _DISTRIBUTIONS:
+            raise FaultPlanError(
+                f"unknown delay distribution {distribution!r}; expected one "
+                f"of {', '.join(_DISTRIBUTIONS)}"
+            )
+        mode = payload.get("mode", "truncate")
+        if mode not in _CORRUPT_MODES:
+            raise FaultPlanError(
+                f"unknown corrupt mode {mode!r}; expected one of "
+                f"{', '.join(_CORRUPT_MODES)}"
+            )
+        chunk_bytes = _require_number(payload, "chunk_bytes", 64, minimum=1)
+        return cls(
+            kind=kind,
+            rate=rate,
+            ops=ops,
+            delay_ms=_require_number(payload, "delay_ms", 50.0, minimum=0.0),
+            jitter_ms=_require_number(payload, "jitter_ms", 0.0, minimum=0.0),
+            distribution=distribution,
+            mode=mode,
+            chunk_bytes=int(chunk_bytes),
+            interval_ms=_require_number(payload, "interval_ms", 5.0, minimum=0.0),
+        )
+
+    def to_dict(self) -> dict:
+        payload = {"kind": self.kind, "rate": self.rate}
+        if self.ops is not None:
+            payload["ops"] = list(self.ops)
+        if self.kind == "delay":
+            payload.update(
+                delay_ms=self.delay_ms,
+                jitter_ms=self.jitter_ms,
+                distribution=self.distribution,
+            )
+        elif self.kind == "corrupt":
+            payload["mode"] = self.mode
+        elif self.kind == "slow_drain":
+            payload.update(
+                chunk_bytes=self.chunk_bytes, interval_ms=self.interval_ms
+            )
+        return payload
+
+    def applies_to(self, op: Optional[str]) -> bool:
+        if op == "FAULT":
+            return False
+        return self.ops is None or op in self.ops
+
+
+@dataclass(frozen=True)
+class FaultStage:
+    """A rule set active for *requests* decisions (None = forever)."""
+
+    rules: Tuple[FaultRule, ...]
+    requests: Optional[int] = None
+
+    @classmethod
+    def from_dict(cls, payload) -> "FaultStage":
+        if not isinstance(payload, dict):
+            raise FaultPlanError(f"stage must be an object, got {payload!r}")
+        rules = payload.get("rules")
+        if not isinstance(rules, list) or not rules:
+            raise FaultPlanError("stage needs a non-empty 'rules' list")
+        requests = payload.get("requests")
+        if requests is not None:
+            if isinstance(requests, bool) or not isinstance(requests, int):
+                raise FaultPlanError(f"'requests' must be an int: {requests!r}")
+            if requests < 1:
+                raise FaultPlanError(f"'requests' must be >= 1: {requests!r}")
+        return cls(
+            rules=tuple(FaultRule.from_dict(rule) for rule in rules),
+            requests=requests,
+        )
+
+    def to_dict(self) -> dict:
+        payload: dict = {"rules": [rule.to_dict() for rule in self.rules]}
+        if self.requests is not None:
+            payload["requests"] = self.requests
+        return payload
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A validated, immutable fault schedule."""
+
+    stages: Tuple[FaultStage, ...]
+    seed: int = 0
+
+    @classmethod
+    def from_dict(cls, payload) -> "FaultPlan":
+        if not isinstance(payload, dict):
+            raise FaultPlanError(f"plan must be an object, got {payload!r}")
+        stamp = payload.get("format", FORMAT)
+        if stamp != FORMAT:
+            raise FaultPlanError(
+                f"unsupported fault-plan format {stamp!r}; this build reads {FORMAT}"
+            )
+        seed = payload.get("seed", 0)
+        if isinstance(seed, bool) or not isinstance(seed, int):
+            raise FaultPlanError(f"'seed' must be an int: {seed!r}")
+        if "stages" in payload and "rules" in payload:
+            raise FaultPlanError("give either 'rules' or 'stages', not both")
+        if "stages" in payload:
+            stages = payload["stages"]
+            if not isinstance(stages, list) or not stages:
+                raise FaultPlanError("'stages' must be a non-empty list")
+            parsed = tuple(FaultStage.from_dict(stage) for stage in stages)
+        elif "rules" in payload:
+            parsed = (FaultStage.from_dict({"rules": payload["rules"]}),)
+        else:
+            raise FaultPlanError("plan needs 'rules' or 'stages'")
+        return cls(stages=parsed, seed=seed)
+
+    @classmethod
+    def from_rules(cls, rules: Sequence[dict], seed: int = 0) -> "FaultPlan":
+        """Build a single-stage plan from rule dicts (convenience)."""
+        return cls.from_dict({"seed": seed, "rules": list(rules)})
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FaultPlan":
+        try:
+            text = Path(path).read_text()
+        except OSError as exc:
+            raise FaultPlanError(f"cannot read fault plan {path}: {exc}") from None
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"{path} is not valid JSON: {exc}") from None
+        return cls.from_dict(payload)
+
+    def to_dict(self) -> dict:
+        payload: dict = {"format": FORMAT, "seed": self.seed}
+        if len(self.stages) == 1 and self.stages[0].requests is None:
+            payload["rules"] = [rule.to_dict() for rule in self.stages[0].rules]
+        else:
+            payload["stages"] = [stage.to_dict() for stage in self.stages]
+        return payload
+
+    def stage_for(self, decision: int) -> Tuple[int, FaultStage]:
+        """(index, stage) active for decision number *decision*."""
+        remaining = decision
+        for index, stage in enumerate(self.stages):
+            if stage.requests is None or remaining < stage.requests:
+                return index, stage
+            remaining -= stage.requests
+        return len(self.stages) - 1, self.stages[-1]
+
+
+class FaultDecision:
+    """What to do to one response — everything pre-drawn, so applying
+    it needs no further randomness."""
+
+    __slots__ = ("delay_s", "drop", "unavailable", "corrupt", "slow_drain")
+
+    def __init__(self) -> None:
+        self.delay_s = 0.0
+        self.drop = False
+        self.unavailable = False
+        self.corrupt: Optional[Tuple[str, float]] = None  # (mode, position)
+        self.slow_drain: Optional[Tuple[int, float]] = None  # (chunk, interval_s)
+
+    def __bool__(self) -> bool:
+        return bool(
+            self.delay_s
+            or self.drop
+            or self.unavailable
+            or self.corrupt
+            or self.slow_drain
+        )
+
+    def apply_to_bytes(self, data: bytes) -> bytes:
+        """Mangle encoded response bytes per the corrupt decision."""
+        if self.corrupt is None or len(data) < 2:
+            return data
+        mode, position = self.corrupt
+        if mode == "truncate":
+            # Cut somewhere strictly inside the line: the newline is
+            # always lost, so the client's readline can never mistake
+            # the stump for a complete response.
+            cut = 1 + int(position * (len(data) - 2))
+            return data[:cut]
+        # garble: overwrite a slice with 0xFF, which is never valid
+        # UTF-8 — a garbled line always fails to decode client-side.
+        at = int(position * max(1, len(data) - 4))
+        return data[:at] + b"\xff\xff\xff" + data[at + 3 : ]
+
+
+class FaultInjector:
+    """Runtime fault state: the active plan, the decision counter, and
+    per-kind injection counts.  Togglable (the FAULT admin op)."""
+
+    def __init__(self, plan: Optional[FaultPlan] = None) -> None:
+        self.plan = plan
+        self.enabled = plan is not None
+        self.decisions = 0
+        self.injected: Dict[str, int] = {}
+
+    @property
+    def active(self) -> bool:
+        return self.enabled and self.plan is not None
+
+    # -- admin ----------------------------------------------------------
+    def set_plan(self, plan: FaultPlan) -> None:
+        """Install *plan* and enable it (decision counter restarts so
+        the new plan's schedule begins at its first stage)."""
+        self.plan = plan
+        self.decisions = 0
+        self.enabled = True
+
+    def enable(self) -> None:
+        if self.plan is None:
+            raise FaultPlanError("no fault plan installed; use action 'set'")
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        self.plan = None
+        self.enabled = False
+
+    def status(self) -> dict:
+        """JSON-safe summary (the FAULT response payload / STATS block)."""
+        stage_index = None
+        if self.plan is not None:
+            stage_index, _ = self.plan.stage_for(self.decisions)
+        return {
+            "enabled": self.enabled,
+            "decisions": self.decisions,
+            "injected": dict(sorted(self.injected.items())),
+            "stage": stage_index,
+            "plan": self.plan.to_dict() if self.plan is not None else None,
+        }
+
+    # -- the dice -------------------------------------------------------
+    def decide(self, op: Optional[str]) -> Optional[FaultDecision]:
+        """Roll every applicable rule for one response.
+
+        Returns ``None`` for the (fast) clean path.  Decision *n* is a
+        pure function of ``(plan.seed, n)`` — see the module docstring.
+        """
+        if not self.active or op == "FAULT":
+            return None
+        n = self.decisions
+        self.decisions = n + 1
+        _, stage = self.plan.stage_for(n)
+        rules = [rule for rule in stage.rules if rule.applies_to(op)]
+        if not rules:
+            return None
+        rng = random.Random(derive_seed(self.plan.seed, "fault", n))
+        decision = FaultDecision()
+        for rule in rules:
+            if rng.random() >= rule.rate:
+                continue
+            self._count(rule.kind)
+            if rule.kind == "drop":
+                decision.drop = True
+            elif rule.kind == "delay":
+                decision.delay_s += self._draw_delay(rule, rng)
+            elif rule.kind == "corrupt":
+                decision.corrupt = (rule.mode, rng.random())
+            elif rule.kind == "unavailable":
+                decision.unavailable = True
+            elif rule.kind == "slow_drain":
+                decision.slow_drain = (rule.chunk_bytes, rule.interval_ms / 1e3)
+        return decision if decision else None
+
+    @staticmethod
+    def _draw_delay(rule: FaultRule, rng: random.Random) -> float:
+        if rule.distribution == "fixed":
+            ms = rule.delay_ms
+        elif rule.distribution == "uniform":
+            ms = rule.delay_ms + rng.random() * rule.jitter_ms
+        else:  # exponential with mean delay_ms
+            ms = rng.expovariate(1.0 / rule.delay_ms) if rule.delay_ms else 0.0
+        return ms / 1e3
+
+    def _count(self, kind: str) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+        metrics.inc("serve.faults.injected", kind=kind)

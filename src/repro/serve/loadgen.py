@@ -1,23 +1,37 @@
 """Concurrent load generator for the query service.
 
 Drives an :class:`~repro.serve.server.OracleServer` the way real
-clients would: *C* concurrent TCP connections, each pulling query
-pairs off one shared work queue and blocking on a response before
-sending the next (closed-loop load).  Pairs are either synthesized
-from a labels file (uniform u ≠ v sampling, seeded) or replayed from
-a whitespace ``u v`` pairs file — the same format ``repro query
---pairs-file`` reads.
+clients would: *C* concurrent workers, each pulling query pairs off
+one shared work queue and blocking on a response before sending the
+next (closed-loop load).  Pairs are either synthesized from a labels
+file (uniform u ≠ v sampling, seeded) or replayed from a whitespace
+``u v`` pairs file — the same format ``repro query --pairs-file``
+reads.
 
-The report carries QPS and latency percentiles (measured client-side,
-per request, in nanoseconds via :class:`repro.obs.Histogram`) and can
-be exported as a ``repro-bench/1`` record — ``repro loadgen
---bench-out BENCH_serve.json`` is how serving joins the repo's perf
-trajectory next to ``BENCH_baseline.json``.
+All traffic goes through one shared
+:class:`~repro.serve.client.ResilientClient`, so the loadgen measures
+the system a real deployment would run: retries, backoff, circuit
+breaking, and (optionally) hedging are in the loop, and the report
+carries the retry/hedge counts next to QPS and latency percentiles
+(client-side, nanoseconds, one sample per request *including* its
+retries).  With the default policy (``retries=0``) the client adds a
+single attempt and no waiting — the clean-network numbers are the
+same as before.
+
+The report can be exported as a ``repro-bench/1`` record — ``repro
+loadgen --bench-out BENCH_serve.json`` / ``repro chaos --bench-out
+BENCH_chaos.json`` is how serving (and serving-under-faults) joins the
+repo's perf trajectory next to ``BENCH_baseline.json``.
 
 With ``verify=``, every served estimate is compared against the
 offline :meth:`RemoteLabels.estimate` on the same labels file;
 mismatches (any difference at all — the server must be byte-faithful,
-not approximately right) are counted and reported.
+not approximately right, even when the answer was retried or hedged)
+are counted and reported.
+
+A run where *nothing* completes (the server refuses all traffic, say)
+is still a report, not a traceback: every metric reads zero, the
+errors count says how many queries failed, and the CLI exits non-zero.
 """
 
 from __future__ import annotations
@@ -31,7 +45,8 @@ from typing import Hashable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.serialize import RemoteLabels, encode_vertex
 from repro.obs import Histogram, metrics
-from repro.serve.protocol import encode_request, wire_pair
+from repro.serve.client import ClientError, RequestFailed, ResilientClient, RetryPolicy
+from repro.serve.protocol import wire_pair
 from repro.util.errors import ReproError
 
 Vertex = Hashable
@@ -97,12 +112,21 @@ def read_pairs_file(path: Union[str, Path], stream=None) -> List[Pair]:
 
 @dataclass
 class LoadgenReport:
-    """What one loadgen run observed, client-side."""
+    """What one loadgen run observed, client-side.
+
+    Every accessor is total: with zero completed requests all rates
+    and percentiles read 0.0 (never a ZeroDivisionError, never an
+    ``-inf`` leaking into a bench record).
+    """
 
     sent: int = 0
     ok: int = 0
     errors: int = 0
     mismatches: int = 0
+    retries: int = 0
+    hedges: int = 0
+    giveups: int = 0
+    breaker_opens: int = 0
     elapsed_s: float = 0.0
     concurrency: int = 0
     batch: int = 1
@@ -113,15 +137,28 @@ class LoadgenReport:
     def qps(self) -> float:
         return self.ok / self.elapsed_s if self.elapsed_s > 0 else 0.0
 
+    @property
+    def error_rate(self) -> float:
+        total = self.ok + self.errors
+        return self.errors / total if total else 0.0
+
     def latency_ms(self, q: float) -> float:
         return self.latency_ns.percentile(q) / 1e6
+
+    def _max_ms(self) -> float:
+        # Histogram.max is -inf before the first observation.
+        return self.latency_ns.max / 1e6 if self.latency_ns.count else 0.0
 
     def rows(self) -> List[List]:
         """Table rows for the CLI / bench record."""
         return [
             ["queries_ok", self.ok],
             ["errors", self.errors],
+            ["error_rate", round(self.error_rate, 4)],
             ["mismatches", self.mismatches],
+            ["retries", self.retries],
+            ["hedges", self.hedges],
+            ["giveups", self.giveups],
             ["concurrency", self.concurrency],
             ["batch", self.batch],
             ["elapsed_s", round(self.elapsed_s, 3)],
@@ -129,7 +166,7 @@ class LoadgenReport:
             ["p50_ms", round(self.latency_ms(50), 3)],
             ["p90_ms", round(self.latency_ms(90), 3)],
             ["p99_ms", round(self.latency_ms(99), 3)],
-            ["max_ms", round(self.latency_ns.max / 1e6, 3) if self.ok else 0.0],
+            ["max_ms", round(self._max_ms(), 3)],
         ]
 
     def meta(self) -> dict:
@@ -137,7 +174,12 @@ class LoadgenReport:
         return {
             "queries_ok": self.ok,
             "errors": self.errors,
+            "error_rate": round(self.error_rate, 6),
             "mismatches": self.mismatches,
+            "retries": self.retries,
+            "hedges": self.hedges,
+            "giveups": self.giveups,
+            "breaker_opens": self.breaker_opens,
             "concurrency": self.concurrency,
             "batch": self.batch,
             "elapsed_s": round(self.elapsed_s, 4),
@@ -146,7 +188,7 @@ class LoadgenReport:
                 "p50": round(self.latency_ms(50), 4),
                 "p90": round(self.latency_ms(90), 4),
                 "p99": round(self.latency_ms(99), 4),
-                "max": round(self.latency_ns.max / 1e6, 4) if self.ok else 0.0,
+                "max": round(self._max_ms(), 4),
                 "mean": round(self.latency_ns.mean / 1e6, 4),
             },
         }
@@ -162,21 +204,51 @@ async def run_loadgen(
     store: Optional[str] = None,
     verify: Optional[RemoteLabels] = None,
     request_timeout: float = 30.0,
+    retries: int = 0,
+    attempt_timeout: Optional[float] = None,
+    hedge_after: Optional[float] = None,
+    seed: int = 0,
+    client: Optional[ResilientClient] = None,
 ) -> LoadgenReport:
     """Replay *pairs* against ``host:port`` and measure from the client.
 
     ``batch > 1`` groups that many pairs into one BATCH request (one
-    latency sample covers the whole group); ``batch == 1`` sends plain
-    DIST requests.
+    latency sample covers the whole group, retries included);
+    ``batch == 1`` sends plain DIST requests.  ``retries`` extra
+    attempts per request (with deterministic backoff seeded by *seed*),
+    ``attempt_timeout`` per-attempt deadline (defaults to
+    *request_timeout*), and ``hedge_after`` seconds of silence before a
+    hedged second attempt are all forwarded to the shared
+    :class:`~repro.serve.client.ResilientClient`.  A request that still
+    fails after its retries is an error row, never an exception — even
+    when *every* request fails the caller gets a zeros-and-errors
+    report back.
+
+    Pass ``client`` to reuse a caller-owned :class:`ResilientClient`
+    (the retry knobs above are then ignored and the client is left
+    open); otherwise one is built and closed here.
     """
     if concurrency < 1:
         raise LoadgenError(f"concurrency must be >= 1, got {concurrency}")
     if batch < 1:
         raise LoadgenError(f"batch must be >= 1, got {batch}")
+    if retries < 0:
+        raise LoadgenError(f"retries must be >= 0, got {retries}")
     report = LoadgenReport(concurrency=concurrency, batch=batch)
     queue: "asyncio.Queue[List[Pair]]" = asyncio.Queue()
     for start in range(0, len(pairs), batch):
         queue.put_nowait(list(pairs[start : start + batch]))
+
+    owns_client = client is None
+    if client is None:
+        policy = RetryPolicy(
+            attempts=retries + 1,
+            attempt_timeout=attempt_timeout or request_timeout,
+            hedge_after=hedge_after,
+        )
+        client = ResilientClient(
+            [(host, port)], policy=policy, store=store, seed=seed
+        )
 
     def check(u: Vertex, v: Vertex, served) -> None:
         if verify is None:
@@ -187,97 +259,64 @@ async def run_loadgen(
             report.mismatches += 1
             _note(report, f"mismatch d({u!r},{v!r}): served {served!r} != {expected!r}")
 
-    async def worker(worker_id: int) -> None:
-        reader, writer = await asyncio.open_connection(host, port)
-        next_id = 0
-        try:
-            while True:
-                try:
-                    group = queue.get_nowait()
-                except asyncio.QueueEmpty:
-                    return
-                next_id += 1
-                req_id = f"{worker_id}.{next_id}"
-                if len(group) == 1 and batch == 1:
-                    (u, v) = group[0]
-                    payload = {
-                        "id": req_id,
-                        "op": "DIST",
-                        "u": encode_vertex(u),
-                        "v": encode_vertex(v),
-                    }
-                else:
-                    payload = {
-                        "id": req_id,
-                        "op": "BATCH",
-                        "pairs": [wire_pair(u, v) for u, v in group],
-                    }
-                if store is not None:
-                    payload["store"] = store
-                start_ns = time.monotonic_ns()
-                writer.write(encode_request(payload))
-                await writer.drain()
-                line = await asyncio.wait_for(reader.readline(), request_timeout)
+    async def worker() -> None:
+        while True:
+            try:
+                group = queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            if len(group) == 1 and batch == 1:
+                (u, v) = group[0]
+                payload = {
+                    "op": "DIST",
+                    "u": encode_vertex(u),
+                    "v": encode_vertex(v),
+                }
+            else:
+                payload = {
+                    "op": "BATCH",
+                    "pairs": [wire_pair(u, v) for u, v in group],
+                }
+            start_ns = time.monotonic_ns()
+            try:
+                response = await client.call(payload)
+            except (RequestFailed, ClientError) as exc:
                 report.latency_ns.observe(time.monotonic_ns() - start_ns)
                 report.sent += len(group)
-                if not line:
-                    report.errors += len(group)
-                    _note(report, "connection closed mid-run")
-                    return
-                response = _parse_response(line, report, group)
-                if response is None:
-                    continue
-                if payload["op"] == "DIST":
-                    report.ok += 1
-                    check(group[0][0], group[0][1], response.get("estimate"))
-                else:
-                    for (u, v), item in zip(group, response.get("results", [])):
-                        if isinstance(item, dict) and item.get("ok"):
-                            report.ok += 1
-                            check(u, v, item.get("estimate"))
-                        else:
-                            report.errors += 1
-                            _note(report, f"batch item error: {item!r}")
-        finally:
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
+                report.errors += len(group)
+                _note(report, f"{type(exc).__name__}: {exc}")
+                continue
+            report.latency_ns.observe(time.monotonic_ns() - start_ns)
+            report.sent += len(group)
+            if payload["op"] == "DIST":
+                report.ok += 1
+                check(group[0][0], group[0][1], response.get("estimate"))
+            else:
+                for (u, v), item in zip(group, response.get("results", [])):
+                    if isinstance(item, dict) and item.get("ok"):
+                        report.ok += 1
+                        check(u, v, item.get("estimate"))
+                    else:
+                        report.errors += 1
+                        _note(report, f"batch item error: {item!r}")
 
     start = time.monotonic()
-    results = await asyncio.gather(
-        *(worker(i) for i in range(concurrency)), return_exceptions=True
-    )
-    report.elapsed_s = time.monotonic() - start
-    failures = [r for r in results if isinstance(r, BaseException)]
-    if failures and report.ok == 0:
-        # Nothing got through at all (server down, port wrong): surface
-        # the root cause instead of a report full of zeros.
-        raise failures[0]
-    for outcome in failures:
-        report.errors += 1
-        _note(report, f"worker failed: {type(outcome).__name__}: {outcome}")
+    try:
+        await asyncio.gather(*(worker() for _ in range(concurrency)))
+    finally:
+        report.elapsed_s = time.monotonic() - start
+        client_stats = client.stats()
+        report.retries = client_stats["counters"]["retries"]
+        report.hedges = client_stats["counters"]["hedges"]
+        report.giveups = client_stats["counters"]["giveups"]
+        report.breaker_opens = sum(
+            b["opened_total"] for b in client_stats["breakers"].values()
+        )
+        if owns_client:
+            await client.close()
     metrics.gauge("loadgen.qps", report.qps)
     metrics.gauge("loadgen.errors", report.errors)
     return report
-
-
-def _parse_response(line: bytes, report: LoadgenReport, group) -> Optional[dict]:
-    import json
-
-    try:
-        response = json.loads(line)
-    except json.JSONDecodeError:
-        report.errors += len(group)
-        _note(report, f"unparseable response: {line[:120]!r}")
-        return None
-    if not isinstance(response, dict) or not response.get("ok"):
-        report.errors += len(group)
-        error = response.get("error") if isinstance(response, dict) else None
-        _note(report, f"error response: {error!r}")
-        return None
-    return response
 
 
 def _note(report: LoadgenReport, message: str, cap: int = 10) -> None:

@@ -44,9 +44,11 @@ Vertex = Hashable
 
 __all__ = [
     "ERROR_CODES",
+    "FAULT_ACTIONS",
     "OPS",
     "ProtocolError",
     "Request",
+    "TRANSIENT_CODES",
     "encode_request",
     "encode_response",
     "error_response",
@@ -56,8 +58,12 @@ __all__ = [
     "wire_pair",
 ]
 
-#: Ops the service speaks, in documentation order.
-OPS = ("DIST", "BATCH", "LABEL", "HEALTH", "STATS")
+#: Ops the service speaks, in documentation order.  FAULT is the admin
+#: op of the fault-injection layer (:mod:`repro.serve.faults`).
+OPS = ("DIST", "BATCH", "LABEL", "HEALTH", "STATS", "FAULT")
+
+#: FAULT actions a client may request.
+FAULT_ACTIONS = ("status", "enable", "disable", "set", "clear")
 
 #: Every error code a response can carry (see docs/serving.md).
 ERROR_CODES = (
@@ -67,9 +73,14 @@ ERROR_CODES = (
     "unknown_vertex",  # vertex has no label in the store
     "batch_too_large", # BATCH pairs exceed the server cap
     "timeout",         # per-request deadline exceeded
+    "unavailable",     # transient refusal (injected fault); retry
     "draining",        # server is shutting down, retry elsewhere
     "internal",        # unexpected server-side failure
 )
+
+#: Error codes a client may safely retry: the request never produced an
+#: answer, so re-sending it cannot change what the answer will be.
+TRANSIENT_CODES = frozenset({"timeout", "unavailable", "draining", "internal"})
 
 
 class ProtocolError(ReproError):
@@ -96,6 +107,8 @@ class Request:
     u: Optional[Vertex] = None
     v: Optional[Vertex] = None
     pairs: List[Tuple[Vertex, Vertex]] = field(default_factory=list)
+    action: Optional[str] = None  # FAULT admin action
+    plan: Optional[dict] = None   # FAULT "set" payload
 
 
 def _decode_wire_vertex(data, what: str) -> Vertex:
@@ -105,6 +118,31 @@ def _decode_wire_vertex(data, what: str) -> Vertex:
         raise ProtocolError(
             "bad_request", f"malformed vertex in {what!r}: {data!r}"
         ) from None
+
+
+def _reject_constant(name: str):
+    # json.loads accepts NaN/Infinity by default; they could never be
+    # echoed back (responses are strict JSON), so refuse them up front.
+    raise ProtocolError("bad_request", f"non-finite number {name} in request")
+
+
+def _ensure_finite(data) -> None:
+    """Reject non-finite floats anywhere in a parsed payload.
+
+    ``json.loads("1e999")`` silently overflows to ``inf`` without going
+    through ``parse_constant``, and an ``inf`` smuggled into ``"id"``
+    (echoed verbatim) would make the *response* unencodable — a
+    fuzz-found way to kill a connection.  One recursive scan keeps every
+    reply strict-JSON-safe.
+    """
+    if isinstance(data, float) and not math.isfinite(data):
+        raise ProtocolError("bad_request", "non-finite number in request")
+    elif isinstance(data, list):
+        for item in data:
+            _ensure_finite(item)
+    elif isinstance(data, dict):
+        for value in data.values():
+            _ensure_finite(value)
 
 
 def parse_request(raw) -> Request:
@@ -119,11 +157,12 @@ def parse_request(raw) -> Request:
         except UnicodeDecodeError:
             raise ProtocolError("bad_request", "request is not UTF-8") from None
     try:
-        payload = json.loads(raw)
+        payload = json.loads(raw, parse_constant=_reject_constant)
     except json.JSONDecodeError as exc:
         raise ProtocolError("bad_request", f"invalid JSON: {exc}") from None
     if not isinstance(payload, dict):
         raise ProtocolError("bad_request", "request is not a JSON object")
+    _ensure_finite(payload)
 
     req_id = payload.get("id")
     try:
@@ -172,6 +211,25 @@ def _parse_ops(payload: dict, req_id) -> Request:
         if "v" not in payload:
             raise ProtocolError("bad_request", "LABEL needs field 'v'")
         request.v = _decode_wire_vertex(payload["v"], "v")
+    elif op == "FAULT":
+        action = payload.get("action", "status")
+        if not isinstance(action, str):
+            raise ProtocolError("bad_request", "FAULT \"action\" must be a string")
+        action = action.lower()
+        if action not in FAULT_ACTIONS:
+            raise ProtocolError(
+                "bad_request",
+                f"unknown FAULT action {action!r}; expected one of "
+                f"{', '.join(FAULT_ACTIONS)}",
+            )
+        if action == "set":
+            plan = payload.get("plan")
+            if not isinstance(plan, dict):
+                raise ProtocolError(
+                    "bad_request", "FAULT set needs a \"plan\" object"
+                )
+            request.plan = plan
+        request.action = action
     # HEALTH and STATS carry no operands.
     return request
 

@@ -34,6 +34,7 @@ from typing import Dict, Hashable, Optional, Tuple
 
 from repro.core.serialize import encode_label, encode_vertex
 from repro.obs import metrics
+from repro.serve.faults import FaultInjector, FaultPlan, FaultPlanError
 from repro.serve.protocol import (
     ProtocolError,
     Request,
@@ -86,7 +87,13 @@ class _LruCache:
 
 
 class OracleServer:
-    """Serve DIST/BATCH/LABEL/HEALTH/STATS over asyncio TCP."""
+    """Serve DIST/BATCH/LABEL/HEALTH/STATS/FAULT over asyncio TCP.
+
+    With a :class:`~repro.serve.faults.FaultPlan` attached (the
+    ``fault_plan`` argument or the runtime FAULT op), responses pass
+    through a deterministic fault layer on their way out — see
+    :mod:`repro.serve.faults` and :meth:`_write_response`.
+    """
 
     def __init__(
         self,
@@ -99,6 +106,7 @@ class OracleServer:
         request_timeout: float = 30.0,
         drain_grace: float = 10.0,
         max_batch: int = DEFAULT_MAX_BATCH,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
@@ -109,6 +117,7 @@ class OracleServer:
         self.drain_grace = drain_grace
         self.max_batch = max_batch
         self.cache = _LruCache(cache_size)
+        self.faults = FaultInjector(fault_plan)
         self.counters: Dict[str, int] = {
             "connections": 0,
             "requests": 0,
@@ -122,6 +131,10 @@ class OracleServer:
         self._draining = False
         self._server: Optional[asyncio.AbstractServer] = None
         self._writers: set = set()
+        # _active counts handle+flush units (not just dispatch): the
+        # drain in shutdown() must wait until every in-flight response
+        # has been *written*, not merely computed — see _serve_one.
+        self._active = 0
         self._idle = asyncio.Event()
         self._idle.set()
         self._shutdown_requested = asyncio.Event()
@@ -226,9 +239,7 @@ class OracleServer:
                     break
                 if not line.strip():
                     continue
-                response = await self._handle_line(line)
-                writer.write(encode_response(response))
-                await writer.drain()
+                await self._serve_one(line, writer)
         except (ConnectionError, OSError):
             pass  # client went away mid-write; nothing to clean up
         finally:
@@ -239,13 +250,32 @@ class OracleServer:
             except (ConnectionError, OSError):
                 pass
 
-    async def _handle_line(self, line: bytes) -> dict:
+    async def _serve_one(self, line: bytes, writer) -> None:
+        """Handle one request line and flush its response.
+
+        The whole unit — dispatch *and* write — counts as one active
+        operation, so :meth:`shutdown` cannot close the writer between
+        a computed answer and its flush (the BATCH-drain race).
+        """
+        self._active += 1
+        self._idle.clear()
+        try:
+            response, op = await self._handle_line(line)
+            await self._write_response(writer, response, op)
+        finally:
+            self._active -= 1
+            if self._active == 0:
+                self._idle.set()
+
+    async def _handle_line(self, line: bytes) -> Tuple[dict, Optional[str]]:
         start_ns = time.monotonic_ns()
         self.counters["requests"] += 1
         req_id = None
+        op = None
         try:
             request = parse_request(line)
             req_id = request.id
+            op = request.op
             if self._draining:
                 raise ProtocolError("draining", "server is shutting down")
             async with self._inflight_slot():
@@ -267,7 +297,53 @@ class OracleServer:
         except Exception as exc:  # noqa: BLE001 - never drop the connection
             response = self._error(req_id, "internal", f"{type(exc).__name__}: {exc}")
         metrics.observe("serve.latency_ns", time.monotonic_ns() - start_ns)
-        return response
+        return response, op
+
+    async def _write_response(self, writer, response: dict, op: Optional[str]) -> None:
+        """Encode and flush one response, applying any injected fault.
+
+        This is the seam the fault layer lives behind: everything the
+        network can do to a reply (lose it, delay it, mangle it, dribble
+        it) happens here, after the answer is computed, exactly like a
+        real lossy path between server and client.
+        """
+        fault = self.faults.decide(op)
+        if fault is not None and fault.unavailable:
+            response = self._error(
+                response.get("id"),
+                "unavailable",
+                "injected transient fault; safe to retry",
+            )
+        try:
+            data = encode_response(response)
+        except ValueError:
+            # A response that cannot be strict-JSON encoded (e.g. an
+            # exotic id that slipped through parsing) must not kill the
+            # connection: degrade to a typed internal error.
+            self.counters["errors"] += 1
+            metrics.inc("serve.errors", code="internal")
+            data = encode_response(
+                error_response(None, "internal", "response not serializable")
+            )
+        if fault is None:
+            writer.write(data)
+            await writer.drain()
+            return
+        if fault.delay_s > 0:
+            await asyncio.sleep(fault.delay_s)
+        if fault.drop:
+            return
+        data = fault.apply_to_bytes(data)
+        if fault.slow_drain is not None:
+            chunk_bytes, interval_s = fault.slow_drain
+            for start in range(0, len(data), chunk_bytes):
+                writer.write(data[start : start + chunk_bytes])
+                await writer.drain()
+                if start + chunk_bytes < len(data):
+                    await asyncio.sleep(interval_s)
+            return
+        writer.write(data)
+        await writer.drain()
 
     def _error(self, req_id, code: str, message: str) -> dict:
         self.counters["errors"] += 1
@@ -285,6 +361,8 @@ class OracleServer:
             return self._health()
         if request.op == "STATS":
             return self._stats()
+        if request.op == "FAULT":
+            return self._fault_admin(request)
         store = self._store_for(request)
         if request.op == "DIST":
             return self._dist(store, request.u, request.v)
@@ -364,6 +442,25 @@ class OracleServer:
             "label": encode_label(label),
         }
 
+    def _fault_admin(self, request: Request) -> dict:
+        """The FAULT admin op: inspect / toggle / replace the fault
+        plan at runtime.  Never itself subject to injection, so an
+        operator can always shut the chaos off."""
+        action = request.action or "status"
+        try:
+            if action == "set":
+                self.faults.set_plan(FaultPlan.from_dict(request.plan))
+            elif action == "enable":
+                self.faults.enable()
+            elif action == "disable":
+                self.faults.disable()
+            elif action == "clear":
+                self.faults.clear()
+        except FaultPlanError as exc:
+            raise ProtocolError("bad_request", f"bad fault plan: {exc}") from None
+        metrics.inc("serve.faults.admin", action=action)
+        return {"op": "FAULT", **self.faults.status()}
+
     def _health(self) -> dict:
         return {
             "op": "HEALTH",
@@ -386,11 +483,17 @@ class OracleServer:
             "cache": {"size": len(self.cache), "capacity": self.cache.capacity},
             "counters": dict(self.counters),
             "stores": self.catalog.stats(),
+            "faults": self.faults.status(),
         }
 
 
 class _InflightSlot:
-    """Semaphore guard that also tracks inflight count / peak / idle."""
+    """Semaphore guard that also tracks inflight count / peak.
+
+    Idle tracking lives in ``_serve_one`` (which covers the response
+    write too), not here: releasing the slot when the answer is merely
+    *computed* is what let shutdown race an in-flight BATCH flush.
+    """
 
     __slots__ = ("_server",)
 
@@ -401,7 +504,6 @@ class _InflightSlot:
         server = self._server
         await server._sema.acquire()
         server._inflight += 1
-        server._idle.clear()
         if server._inflight > server.peak_inflight:
             server.peak_inflight = server._inflight
             metrics.gauge_max("serve.inflight_peak", server._inflight)
@@ -410,7 +512,5 @@ class _InflightSlot:
     async def __aexit__(self, exc_type, exc, tb):
         server = self._server
         server._inflight -= 1
-        if server._inflight == 0:
-            server._idle.set()
         server._sema.release()
         return False

@@ -1,0 +1,302 @@
+"""Fault plans, the injector's dice, and the FAULT admin op live."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve import OracleServer
+from repro.serve.faults import (
+    FAULT_KINDS,
+    FaultDecision,
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+    FaultRule,
+)
+
+from tests.serve.conftest import rpc
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestPlanValidation:
+    def test_minimal_plan(self):
+        plan = FaultPlan.from_rules([{"kind": "drop", "rate": 0.5}], seed=9)
+        assert plan.seed == 9
+        assert len(plan.stages) == 1
+        assert plan.stages[0].rules[0].kind == "drop"
+
+    @pytest.mark.parametrize(
+        "payload, fragment",
+        [
+            ([1, 2], "must be an object"),
+            ({"format": "repro-fault-plan/9", "rules": []},
+             "unsupported fault-plan format"),
+            ({"rules": [{"kind": "meteor", "rate": 0.1}]}, "unknown fault kind"),
+            ({"rules": [{"kind": "drop", "rate": 1.5}]}, "must be in [0, 1]"),
+            ({"rules": [{"kind": "drop", "rate": -0.1}]}, "must be >="),
+            ({"rules": [{"kind": "drop", "rate": "lots"}]}, "must be a number"),
+            ({"rules": [{"kind": "drop", "rate": 0.1, "ops": ["FAULT"]}]},
+             "cannot be faulted"),
+            ({"rules": [{"kind": "delay", "rate": 1, "distribution": "zipf"}]},
+             "unknown delay distribution"),
+            ({"rules": [{"kind": "corrupt", "rate": 1, "mode": "melt"}]},
+             "unknown corrupt mode"),
+            ({"rules": [{"kind": "drop", "rate": 0.1}], "stages": []},
+             "not both"),
+            ({"stages": [{"rules": []}]}, "non-empty 'rules'"),
+            ({"stages": [{"rules": [{"kind": "drop", "rate": 1}],
+                          "requests": 0}]}, "must be >= 1"),
+            ({"seed": "seven", "rules": [{"kind": "drop", "rate": 1}]},
+             "'seed' must be an int"),
+            ({}, "needs 'rules' or 'stages'"),
+        ],
+    )
+    def test_rejects(self, payload, fragment):
+        with pytest.raises(FaultPlanError, match=None) as info:
+            FaultPlan.from_dict(payload)
+        assert fragment in str(info.value)
+
+    def test_load_round_trips(self, tmp_path):
+        path = tmp_path / "plan.json"
+        original = FaultPlan.from_dict(
+            {
+                "seed": 3,
+                "stages": [
+                    {"requests": 10,
+                     "rules": [{"kind": "delay", "rate": 1.0, "delay_ms": 5}]},
+                    {"rules": [{"kind": "drop", "rate": 0.2}]},
+                ],
+            }
+        )
+        path.write_text(json.dumps(original.to_dict()))
+        assert FaultPlan.load(path) == original
+
+    def test_load_errors_are_typed(self, tmp_path):
+        with pytest.raises(FaultPlanError, match="cannot read"):
+            FaultPlan.load(tmp_path / "nope.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(FaultPlanError, match="not valid JSON"):
+            FaultPlan.load(bad)
+
+    def test_every_kind_parses(self):
+        rules = [{"kind": kind, "rate": 0.5} for kind in FAULT_KINDS]
+        plan = FaultPlan.from_rules(rules)
+        assert [r.kind for r in plan.stages[0].rules] == list(FAULT_KINDS)
+
+
+class TestInjectorDeterminism:
+    def _decisions(self, seed, count=50):
+        plan = FaultPlan.from_rules(
+            [{"kind": "drop", "rate": 0.3},
+             {"kind": "delay", "rate": 0.5, "delay_ms": 10, "jitter_ms": 5,
+              "distribution": "uniform"}],
+            seed=seed,
+        )
+        injector = FaultInjector(plan)
+        out = []
+        for _ in range(count):
+            d = injector.decide("DIST")
+            out.append((d.drop, d.delay_s) if d else None)
+        return out
+
+    def test_same_seed_same_schedule(self):
+        assert self._decisions(7) == self._decisions(7)
+
+    def test_different_seed_different_schedule(self):
+        assert self._decisions(7) != self._decisions(8)
+
+    def test_rate_zero_never_fires_rate_one_always(self):
+        plan = FaultPlan.from_rules(
+            [{"kind": "drop", "rate": 0.0}, {"kind": "unavailable", "rate": 1.0}]
+        )
+        injector = FaultInjector(plan)
+        for _ in range(20):
+            d = injector.decide("DIST")
+            assert d is not None and d.unavailable and not d.drop
+        assert injector.injected == {"unavailable": 20}
+
+    def test_ops_filter(self):
+        plan = FaultPlan.from_rules(
+            [{"kind": "drop", "rate": 1.0, "ops": ["DIST"]}]
+        )
+        injector = FaultInjector(plan)
+        assert injector.decide("DIST").drop
+        assert injector.decide("HEALTH") is None
+        # The FAULT admin op is never faulted, even with no ops filter.
+        assert FaultInjector(
+            FaultPlan.from_rules([{"kind": "drop", "rate": 1.0}])
+        ).decide("FAULT") is None
+
+    def test_stage_advancement_by_request_count(self):
+        plan = FaultPlan.from_dict(
+            {
+                "stages": [
+                    {"requests": 5, "rules": [{"kind": "drop", "rate": 1.0}]},
+                    {"rules": [{"kind": "unavailable", "rate": 1.0}]},
+                ]
+            }
+        )
+        assert plan.stage_for(0) == (0, plan.stages[0])
+        assert plan.stage_for(4) == (0, plan.stages[0])
+        assert plan.stage_for(5) == (1, plan.stages[1])
+        assert plan.stage_for(10_000) == (1, plan.stages[1])
+        injector = FaultInjector(plan)
+        kinds = []
+        for _ in range(8):
+            d = injector.decide("DIST")
+            kinds.append("drop" if d.drop else "unavailable")
+        assert kinds == ["drop"] * 5 + ["unavailable"] * 3
+        assert injector.status()["stage"] == 1
+
+    def test_toggle_lifecycle(self):
+        injector = FaultInjector()
+        assert not injector.active
+        assert injector.decide("DIST") is None
+        with pytest.raises(FaultPlanError, match="no fault plan"):
+            injector.enable()
+        plan = FaultPlan.from_rules([{"kind": "drop", "rate": 1.0}])
+        injector.set_plan(plan)
+        assert injector.active and injector.decide("DIST").drop
+        injector.disable()
+        assert injector.decide("DIST") is None
+        injector.enable()
+        assert injector.decide("DIST").drop
+        injector.clear()
+        assert injector.plan is None and not injector.active
+        status = injector.status()
+        assert status["plan"] is None and status["enabled"] is False
+        json.dumps(status)  # always JSON-safe
+
+
+class TestCorruptionIsDetectable:
+    def _decision(self, mode, position):
+        d = FaultDecision()
+        d.corrupt = (mode, position)
+        return d
+
+    @pytest.mark.parametrize("position", [0.0, 0.3, 0.7, 0.999])
+    def test_truncate_always_loses_the_newline(self, position):
+        data = b'{"id": 1, "ok": true, "estimate": 4.5}\n'
+        out = self._decision("truncate", position).apply_to_bytes(data)
+        assert 0 < len(out) < len(data)
+        assert not out.endswith(b"\n")
+
+    @pytest.mark.parametrize("position", [0.0, 0.5, 0.999])
+    def test_garble_never_decodes(self, position):
+        data = b'{"id": 1, "ok": true, "estimate": 4.5}\n'
+        out = self._decision("garble", position).apply_to_bytes(data)
+        assert len(out) == len(data)
+        with pytest.raises(UnicodeDecodeError):
+            out.decode("utf-8")
+
+
+class TestFaultOpLive:
+    """The FAULT admin op against a real server."""
+
+    async def _started(self, catalog, **kwargs):
+        server = OracleServer(catalog, port=0, **kwargs)
+        await server.start()
+        return server
+
+    def test_set_enable_disable_round_trip(self, catalog):
+        async def main():
+            server = await self._started(catalog)
+            plan = {"format": "repro-fault-plan/1", "seed": 1,
+                    "rules": [{"kind": "drop", "rate": 1.0, "ops": ["DIST"]}]}
+            lines = await rpc(
+                server.port,
+                [
+                    {"id": 1, "op": "FAULT"},  # default action: status
+                    {"id": 2, "op": "FAULT", "action": "set", "plan": plan},
+                    {"id": 3, "op": "HEALTH"},  # HEALTH is not in ops -> clean
+                    {"id": 4, "op": "FAULT", "action": "disable"},
+                    {"id": 5, "op": "FAULT", "action": "status"},
+                ],
+            )
+            # With the plan disabled again, DIST flows normally.
+            extra = await rpc(
+                server.port,
+                [{"id": 6, "op": "DIST", "u": {"t": [0, 0]}, "v": {"t": [1, 1]}}],
+            )
+            await server.shutdown()
+            return [json.loads(line) for line in lines + extra]
+
+        st0, set_resp, health, disable, st1, dist = run(main())
+        assert st0["ok"] and st0["enabled"] is False and st0["plan"] is None
+        assert set_resp["ok"] and set_resp["enabled"] is True
+        assert set_resp["plan"]["rules"][0]["kind"] == "drop"
+        assert health["ok"] and health["status"] == "serving"
+        assert disable["ok"] and disable["enabled"] is False
+        assert st1["enabled"] is False
+        assert dist["ok"] and isinstance(dist["estimate"], float)
+
+    def test_armed_plan_drops_targeted_op_only(self, catalog):
+        async def main():
+            plan = FaultPlan.from_rules(
+                [{"kind": "drop", "rate": 1.0, "ops": ["DIST"]}]
+            )
+            server = await self._started(catalog, fault_plan=plan)
+            # HEALTH sails through while every DIST reply is swallowed.
+            (health,) = await rpc(server.port, [{"id": 1, "op": "HEALTH"}])
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(
+                json.dumps(
+                    {"id": 2, "op": "DIST", "u": {"t": [0, 0]},
+                     "v": {"t": [1, 1]}}
+                ).encode() + b"\n"
+            )
+            await writer.drain()
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(reader.readline(), 0.4)
+            writer.close()
+            await writer.wait_closed()
+            status = server.faults.status()
+            await server.shutdown()
+            return json.loads(health), status
+
+        health, status = run(main())
+        assert health["ok"]
+        assert status["injected"].get("drop", 0) >= 1
+
+    def test_fault_admin_rejects_garbage(self, catalog):
+        async def main():
+            server = await self._started(catalog)
+            lines = await rpc(
+                server.port,
+                [
+                    {"id": 1, "op": "FAULT", "action": "explode"},
+                    {"id": 2, "op": "FAULT", "action": "set"},  # no plan
+                    {"id": 3, "op": "FAULT", "action": "set",
+                     "plan": {"rules": [{"kind": "meteor", "rate": 1}]}},
+                    {"id": 4, "op": "FAULT", "action": "enable"},  # none set
+                ],
+            )
+            await server.shutdown()
+            return [json.loads(line) for line in lines]
+
+        responses = run(main())
+        for response in responses:
+            assert response["ok"] is False
+            assert response["error"]["code"] == "bad_request"
+        # The connection survived all four rejections (ids echo back).
+        assert [r["id"] for r in responses] == [1, 2, 3, 4]
+
+    def test_stats_includes_fault_block(self, catalog):
+        async def main():
+            plan = FaultPlan.from_rules([{"kind": "delay", "rate": 0.0}])
+            server = await self._started(catalog, fault_plan=plan)
+            (line,) = await rpc(server.port, [{"id": 1, "op": "STATS"}])
+            await server.shutdown()
+            return json.loads(line)
+
+        stats = run(main())
+        assert stats["ok"]
+        assert stats["faults"]["enabled"] is True
+        assert stats["faults"]["plan"]["rules"][0]["kind"] == "delay"

@@ -70,13 +70,57 @@ class TestRunLoadgen:
         # 40 pairs in groups of 8 -> 5 requests -> 5 latency samples.
         assert report.latency_ns.count == 5
 
-    def test_connection_refused_is_oserror(self):
-        # The CLI maps OSError to `error: ...` + exit 2; make sure the
-        # loadgen lets it propagate instead of swallowing it.
-        with pytest.raises(OSError):
-            asyncio.run(
-                run_loadgen("127.0.0.1", 1, [(0, 1)], concurrency=1)
+    def test_connection_refused_reports_zeros(self):
+        # A server that refuses every connection is a *report*, not a
+        # traceback: zeros everywhere, errors counted, samples kept.
+        report = asyncio.run(
+            run_loadgen(
+                "127.0.0.1", 1, [(0, 1), (2, 3)], concurrency=1,
+                attempt_timeout=0.5,
             )
+        )
+        assert report.ok == 0
+        assert report.errors == 2
+        assert report.mismatches == 0
+        assert report.qps == 0.0
+        assert report.error_rate == 1.0
+        assert report.error_samples  # the root cause is preserved
+        # rows()/meta() stay JSON-safe with zero completions.
+        json.dumps(report.rows())
+        json.dumps(report.meta())
+
+    def test_retries_recover_from_transient_faults(self, catalog, remote_labels):
+        # A fault plan dropping half the replies is invisible to a
+        # retrying client: every answer still verifies byte-exactly.
+        from repro.serve import FaultPlan
+
+        plan = FaultPlan.from_rules(
+            [{"kind": "drop", "rate": 0.5, "ops": ["DIST"]}], seed=11
+        )
+
+        async def main():
+            server = OracleServer(
+                catalog, port=0, cache_size=64, fault_plan=plan
+            )
+            await server.start()
+            pairs = synthesize_pairs(list(remote_labels.vertices()), 30, seed=4)
+            report = await run_loadgen(
+                "127.0.0.1",
+                server.port,
+                pairs,
+                verify=remote_labels,
+                concurrency=3,
+                retries=8,
+                attempt_timeout=0.25,
+            )
+            await server.shutdown()
+            return report
+
+        report = asyncio.run(main())
+        assert report.ok == 30
+        assert report.errors == 0
+        assert report.mismatches == 0
+        assert report.retries > 0  # the plan really did bite
 
     def test_invalid_knobs(self):
         with pytest.raises(LoadgenError):

@@ -87,9 +87,9 @@ class TestParseErrors:
         assert _err(b"\xff\xfe{}").code == "bad_request"
 
     def test_all_codes_declared(self):
-        for code in ("bad_request", "unknown_op", "timeout"):
+        for code in ("bad_request", "unknown_op", "timeout", "unavailable"):
             assert code in ERROR_CODES
-        assert len(OPS) == 5
+        assert len(OPS) == 6  # DIST/BATCH/LABEL/HEALTH/STATS + FAULT
 
 
 class TestResponses:

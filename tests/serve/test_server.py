@@ -303,3 +303,122 @@ class TestGracefulShutdown:
             return server.draining
 
         assert run(main())
+
+    def test_drain_waits_for_inflight_response_write(self, catalog):
+        """Regression: the BATCH-drain race.
+
+        The old drain signal fired when the dispatch semaphore was
+        released — *before* the response bytes were written — so a
+        shutdown landing between compute and flush closed the writer
+        mid-response.  Now the active-op counter covers the write:
+        shutdown must deliver the full reply even when it arrives while
+        the server is sleeping inside the write path.
+        """
+
+        class SlowWriteServer(OracleServer):
+            def __init__(self, *a, **kw):
+                super().__init__(*a, **kw)
+                self.computed = asyncio.Event()
+
+            async def _write_response(self, writer, response, op):
+                self.computed.set()  # the answer exists; bytes do not yet
+                await asyncio.sleep(0.3)
+                await super()._write_response(writer, response, op)
+
+        async def main():
+            server = SlowWriteServer(catalog, port=0, drain_grace=5.0)
+            await server.start()
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            pairs = [
+                [{"t": [0, 0]}, {"t": [i, i]}] for i in range(1, 5)
+            ]
+            writer.write(
+                json.dumps({"id": 7, "op": "BATCH", "pairs": pairs}).encode()
+                + b"\n"
+            )
+            await writer.drain()
+            await server.computed.wait()
+            # Shutdown lands exactly in the compute-to-flush window.
+            await server.shutdown()
+            line = await asyncio.wait_for(reader.readline(), 10)
+            writer.close()
+            return line
+
+        response = json.loads(run(main()))
+        assert response["ok"] is True and response["id"] == 7
+        assert len(response["results"]) == 4
+        assert all(item["ok"] for item in response["results"])
+
+    def test_sigterm_mid_batch_still_delivers(self, remote_labels, tmp_path):
+        """SIGTERM arriving while a BATCH response is delayed in the
+        write path (fault-injected latency) must not cost the reply:
+        the server drains, the client gets every byte, exit code 0."""
+        import json as json_mod
+        import os
+        import signal
+        import socket
+        import subprocess
+        import sys
+        import time
+
+        from repro.core.serialize import dump_labeling, encode_vertex
+
+        labels = tmp_path / "labels.json"
+        dump_labeling(remote_labels, labels)
+        plan = tmp_path / "plan.json"
+        plan.write_text(json_mod.dumps({
+            "format": "repro-fault-plan/1",
+            "rules": [{"kind": "delay", "rate": 1.0, "delay_ms": 800}],
+        }))
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--labels", str(labels), "--port", "0",
+             "--fault-plan", str(plan)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        )
+        try:
+            port = None
+            deadline = time.monotonic() + 20
+            for out_line in proc.stdout:
+                if "serving" in out_line:
+                    port = int(out_line.rsplit(":", 1)[1])
+                    break
+                assert time.monotonic() < deadline, "server never announced"
+            assert port, "no port announced"
+            pairs = [
+                [encode_vertex((0, 0)), encode_vertex((i, i))]
+                for i in range(1, 5)
+            ]
+            with socket.create_connection(("127.0.0.1", port), timeout=10) as s:
+                s.sendall(
+                    json_mod.dumps(
+                        {"id": 1, "op": "BATCH", "pairs": pairs}
+                    ).encode() + b"\n"
+                )
+                time.sleep(0.3)  # the reply is now stuck in the 800ms delay
+                proc.send_signal(signal.SIGTERM)
+                s.settimeout(15)
+                chunks = b""
+                while b"\n" not in chunks:
+                    chunk = s.recv(4096)
+                    if not chunk:
+                        break
+                    chunks += chunk
+            response = json_mod.loads(chunks)
+            assert response["ok"] is True and response["id"] == 1
+            assert [item["estimate"] for item in response["results"]] == [
+                remote_labels.estimate((0, 0), (i, i)) for i in range(1, 5)
+            ]
+            stdout, _ = proc.communicate(timeout=20)
+            assert proc.returncode == 0
+            assert "drained:" in stdout
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()

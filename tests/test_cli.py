@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.cli import main
+from repro.core.serialize import load_labeling
 
 
 @pytest.fixture
@@ -312,14 +313,18 @@ class TestServeAndLoadgen:
     def test_loadgen_connection_refused(self, graph_file, tmp_path, capsys):
         labels = tmp_path / "labels.json"
         assert main(["labels", str(graph_file), "--out", str(labels)]) == 0
-        # Port 1 is never listening: a crisp one-line error, exit 2.
+        # Port 1 is never listening: a zeros-and-errors report with the
+        # refusal noted on stderr, exit 1 — never a traceback.
         rc = main(
-            ["loadgen", "--port", "1", "--labels", str(labels), "--pairs", "4"]
+            ["loadgen", "--port", "1", "--labels", str(labels), "--pairs", "4",
+             "--attempt-timeout", "0.5"]
         )
-        assert rc == 2
-        err = capsys.readouterr().err
-        assert err.startswith("error:")
-        assert "Traceback" not in err
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "Traceback" not in captured.err
+        assert "note:" in captured.err  # the root cause survives as a sample
+        out = captured.out
+        assert "queries_ok" in out and "errors" in out
 
     def test_serve_refuses_future_format(self, tmp_path, capsys):
         bad = tmp_path / "future.json"
@@ -329,6 +334,142 @@ class TestServeAndLoadgen:
         assert main(["serve", "--labels", str(bad), "--port", "0"]) == 2
         err = capsys.readouterr().err
         assert "unsupported labels format version 99" in err
+
+    def test_serve_refuses_bad_fault_plan(self, graph_file, tmp_path, capsys):
+        labels = tmp_path / "labels.json"
+        assert main(["labels", str(graph_file), "--out", str(labels)]) == 0
+        plan = tmp_path / "plan.json"
+        plan.write_text('{"format": "repro-fault-plan/1", "rules": '
+                        '[{"kind": "meteor", "rate": 0.1}]}')
+        rc = main(["serve", "--labels", str(labels), "--port", "0",
+                   "--fault-plan", str(plan)])
+        assert rc == 2
+        assert "unknown fault kind" in capsys.readouterr().err
+
+
+class TestChaos:
+    def test_chaos_absorbs_default_plan(self, graph_file, tmp_path, capsys):
+        import json as json_mod
+
+        labels = tmp_path / "labels.json"
+        assert main(["labels", str(graph_file), "--out", str(labels)]) == 0
+        bench = tmp_path / "BENCH_chaos.json"
+        rc = main(
+            ["chaos", "--labels", str(labels), "--pairs", "40",
+             "--concurrency", "4", "--retries", "6",
+             "--attempt-timeout", "1.0", "--bench-out", str(bench)]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0, captured.err
+        assert "fault injections" in captured.out
+        payload = json_mod.loads(bench.read_text())
+        assert payload["format"] == "repro-bench/1"
+        assert payload["name"] == "chaos"
+        assert payload["meta"]["mismatches"] == 0
+        assert payload["meta"]["queries_ok"] == 40
+        assert payload["meta"]["fault_plan"]["format"] == "repro-fault-plan/1"
+        # The default plan delays every reply and drops ~10%: the run
+        # must actually have exercised the fault path, not dodged it.
+        assert payload["meta"]["faults_injected"].get("delay", 0) > 0
+
+    def test_chaos_rejects_bad_plan(self, graph_file, tmp_path, capsys):
+        labels = tmp_path / "labels.json"
+        assert main(["labels", str(graph_file), "--out", str(labels)]) == 0
+        plan = tmp_path / "plan.json"
+        plan.write_text('{"format": "repro-fault-plan/2", "rules": []}')
+        rc = main(["chaos", "--labels", str(labels),
+                   "--fault-plan", str(plan)])
+        assert rc == 2
+        assert "unsupported fault-plan format" in capsys.readouterr().err
+
+
+class TestQueryRemote:
+    @staticmethod
+    def _serve(labels_path):
+        """Start an OracleServer on a background thread; return
+        (server, stop callable)."""
+        import asyncio
+        import threading
+
+        from repro.serve import OracleServer, ShardedLabelStore, StoreCatalog
+
+        catalog = StoreCatalog()
+        catalog.add(ShardedLabelStore.load(labels_path))
+        server = OracleServer(catalog, port=0)
+        started = threading.Event()
+        loop_holder = {}
+
+        def body():
+            async def run():
+                await server.start()
+                loop_holder["loop"] = asyncio.get_running_loop()
+                started.set()
+                await server.serve_until_shutdown()
+
+            asyncio.run(run())
+
+        thread = threading.Thread(target=body)
+        thread.start()
+        assert started.wait(10)
+
+        def stop():
+            loop_holder["loop"].call_soon_threadsafe(server.request_shutdown)
+            thread.join(timeout=10)
+
+        return server, stop
+
+    def test_remote_matches_offline(self, graph_file, tmp_path, capsys):
+        labels = tmp_path / "labels.json"
+        assert main(["labels", str(graph_file), "--out", str(labels)]) == 0
+        remote = load_labeling(labels)
+        u, v = sorted(remote.vertices())[:2]
+        server, stop = self._serve(labels)
+        try:
+            rc = main(["query", "--remote", f"127.0.0.1:{server.port}",
+                       str(u), str(v)])
+            captured = capsys.readouterr()
+            assert rc == 0, captured.err
+            assert f"d({u}, {v}) <= {remote.estimate(u, v):.6g}" in captured.out
+        finally:
+            stop()
+
+    def test_remote_pairs_file(self, graph_file, tmp_path, capsys):
+        labels = tmp_path / "labels.json"
+        assert main(["labels", str(graph_file), "--out", str(labels)]) == 0
+        remote = load_labeling(labels)
+        vs = sorted(remote.vertices())
+        pairs = tmp_path / "pairs.txt"
+        pairs.write_text(f"{vs[0]} {vs[1]}\n{vs[2]} {vs[3]}\n")
+        capsys.readouterr()  # drain the `labels` subcommand's output
+        server, stop = self._serve(labels)
+        try:
+            rc = main(["query", "--remote", f"127.0.0.1:{server.port}",
+                       "--pairs-file", str(pairs)])
+            captured = capsys.readouterr()
+            assert rc == 0, captured.err
+            lines = captured.out.strip().splitlines()
+            assert lines == [
+                f"{u} {v} {remote.estimate(u, v):.6g}"
+                for u, v in [(vs[0], vs[1]), (vs[2], vs[3])]
+            ]
+        finally:
+            stop()
+
+    def test_remote_unknown_vertex_is_error(self, graph_file, tmp_path, capsys):
+        labels = tmp_path / "labels.json"
+        assert main(["labels", str(graph_file), "--out", str(labels)]) == 0
+        server, stop = self._serve(labels)
+        try:
+            rc = main(["query", "--remote", f"127.0.0.1:{server.port}",
+                       "0", "no-such-vertex"])
+            assert rc == 2
+            assert "unknown_vertex" in capsys.readouterr().err
+        finally:
+            stop()
+
+    def test_query_needs_labels_or_remote(self, capsys):
+        assert main(["query"]) == 2
+        assert "need a labels file" in capsys.readouterr().err
 
 
 class TestDecomposeDot:
