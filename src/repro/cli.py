@@ -14,8 +14,13 @@ Subcommands::
     repro loadgen    --labels labels.json --pairs 500        # drive the service
     repro query      --remote host:7471 U V                  # query the service
     repro chaos      --labels labels.json --pairs 300        # loadgen under faults
+    repro top        host:7471                               # live METRICS view
+    repro trace      server.jsonl client.jsonl               # reassemble traces
 
-Every subcommand also accepts ``--trace`` (span log on stderr) and
+Every subcommand also accepts ``--trace`` (span log on stderr),
+``--trace-out PATH`` (``repro-spans/1`` JSONL for ``repro trace``),
+``--log-file PATH`` / ``--log-ring N`` (structured ``repro-log/1``
+events), and
 ``--metrics-out PATH`` (machine-readable ``repro-metrics/1`` JSON), and
 subcommands that use randomness take an explicit ``--seed`` which is
 threaded through the separator engines — no global interpreter RNG
@@ -38,6 +43,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import json
 import os
 import random
 import sys
@@ -59,7 +65,11 @@ from repro.graphs.ops import relabel
 from repro.graphs.shortest_paths import dijkstra
 from repro.obs import (
     CollectingSink,
+    JsonlFileSink,
+    JsonlSpanSink,
     LogSink,
+    RingBufferSink,
+    eventlog,
     metrics,
     span,
     use_sink,
@@ -393,6 +403,18 @@ def cmd_serve(args) -> int:
             f"{store.total_words} words across {store.num_shards} shards",
             file=sys.stderr,
         )
+    timeseries = None
+    if args.timeseries_out:
+        from repro.obs import TimeseriesWriter
+
+        timeseries = TimeseriesWriter(
+            args.timeseries_out, interval_s=args.timeseries_interval
+        )
+        print(
+            f"timeseries: repro-timeseries/1 deltas to {args.timeseries_out!r} "
+            f"every {args.timeseries_interval}s",
+            file=sys.stderr,
+        )
     server = OracleServer(
         catalog,
         host=args.host,
@@ -402,6 +424,7 @@ def cmd_serve(args) -> int:
         request_timeout=args.timeout,
         drain_grace=args.drain_grace,
         fault_plan=fault_plan,
+        timeseries=timeseries,
     )
     try:
         asyncio.run(_serve_main(server))
@@ -445,6 +468,7 @@ def cmd_loadgen(args) -> int:
             attempt_timeout=args.attempt_timeout,
             hedge_after=args.hedge,
             seed=args.seed,
+            slo_ms=args.slo_ms,
         )
     )
     print(
@@ -575,6 +599,83 @@ def cmd_chaos(args) -> int:
     # byte-exact answer.  Errors mean the retry policy was too weak for
     # the plan; mismatches mean a correctness bug.
     return 0 if report.mismatches == 0 and report.ok > 0 and report.errors == 0 else 1
+
+
+def cmd_trace(args) -> int:
+    """``repro trace``: merge ``repro-spans/1`` files from any number of
+    processes and render one tree per request with critical-path
+    timings.  ``--require-join`` is the CI gate: at least one trace
+    must stitch client-side and server-side spans into a single tree."""
+    from repro.obs.traceview import (
+        assemble_traces,
+        cross_process,
+        read_span_files,
+        render_trace,
+    )
+
+    records, skipped = read_span_files(args.files)
+    trees = assemble_traces(records)
+    joined = sum(1 for tree in trees if cross_process(tree))
+    shown = trees if args.limit is None else trees[: args.limit]
+    for tree in shown:
+        print(render_trace(tree))
+        print()
+    summary = (
+        f"{len(records)} span(s) in {len(args.files)} file(s): "
+        f"{len(trees)} trace(s), {joined} joined across processes"
+    )
+    if len(shown) < len(trees):
+        summary += f", showing first {len(shown)}"
+    if skipped:
+        summary += f", {skipped} unparseable line(s) skipped"
+    print(summary)
+    if args.require_join and joined == 0:
+        print(
+            "error: no trace joined client- and server-side spans into one tree",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def cmd_top(args) -> int:
+    """``repro top``: poll a running server's METRICS op and render a
+    live frame per tick (rates are deltas between consecutive polls)."""
+    import time
+
+    from repro.serve import ResilientClient, RetryPolicy, parse_address
+    from repro.serve.top import render_top
+
+    policy = RetryPolicy(attempts=args.retries + 1, attempt_timeout=args.timeout)
+    client = ResilientClient([parse_address(args.target)], policy=policy)
+
+    async def run() -> int:
+        prev = None
+        prev_t = None
+        ticks = 0
+        try:
+            while args.iterations is None or ticks < args.iterations:
+                if ticks:
+                    await asyncio.sleep(args.interval)
+                cur = await client.call({"op": "METRICS"})
+                now = time.monotonic()
+                dt = (now - prev_t) if prev_t is not None else None
+                print(f"-- {args.target} --")
+                print(
+                    render_top(cur, prev, dt, client.stats()["breakers"]),
+                    flush=True,
+                )
+                print()
+                prev, prev_t = cur, now
+                ticks += 1
+            return 0
+        finally:
+            await client.close()
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
 
 
 def _phase_rows(roots):
@@ -728,6 +829,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write a repro-metrics/1 JSON snapshot to PATH on exit",
     )
+    obs_parent.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="append completed spans to PATH as repro-spans/1 JSONL",
+    )
+    obs_parent.add_argument(
+        "--log-file",
+        metavar="PATH",
+        help="append structured events to PATH as repro-log/1 JSONL",
+    )
+    obs_parent.add_argument(
+        "--log-ring",
+        type=int,
+        metavar="N",
+        help="keep the last N events in memory; dump to stderr on failure",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser(
@@ -870,6 +987,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fault-plan", metavar="PATH",
                    help="arm a repro-fault-plan/1 JSON fault-injection "
                    "schedule (see docs/serving.md)")
+    p.add_argument("--metrics", action="store_true",
+                   help="enable the in-process metrics registry so METRICS "
+                   "returns per-op counters and latency histograms")
+    p.add_argument("--timeseries-out", metavar="PATH",
+                   help="append repro-timeseries/1 JSONL samples to PATH "
+                   "while serving")
+    p.add_argument("--timeseries-interval", type=float, default=2.0,
+                   metavar="S",
+                   help="seconds between timeseries samples (default 2.0)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -905,6 +1031,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verify", action="store_true",
                    help="compare every served estimate to the offline "
                    "RemoteLabels.estimate (requires --labels)")
+    p.add_argument("--slo-ms", type=float, default=None, metavar="MS",
+                   help="report SLO attainment: fraction of requests "
+                   "answered within MS milliseconds")
     p.add_argument("--bench-out", metavar="PATH",
                    help="write a repro-bench/1 record (e.g. BENCH_serve.json)")
     p.set_defaults(func=cmd_loadgen)
@@ -938,6 +1067,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a repro-bench/1 record (e.g. BENCH_chaos.json)")
     p.set_defaults(func=cmd_chaos)
 
+    p = sub.add_parser(
+        "top",
+        help="live view over a running server's METRICS snapshot",
+        parents=[obs_parent],
+    )
+    p.add_argument("target", metavar="HOST:PORT",
+                   help="address of a running `repro serve`")
+    p.add_argument("--interval", type=float, default=2.0, metavar="S",
+                   help="seconds between polls (default 2.0)")
+    p.add_argument("--iterations", type=int, default=None, metavar="N",
+                   help="render N frames then exit (default: until Ctrl-C)")
+    p.add_argument("--retries", type=int, default=2, metavar="R",
+                   help="extra attempts per poll on transient failures")
+    p.add_argument("--timeout", type=float, default=5.0,
+                   help="per-poll deadline in seconds")
+    p.set_defaults(func=cmd_top)
+
+    p = sub.add_parser(
+        "trace",
+        help="reassemble repro-spans/1 files into per-request trace trees",
+        parents=[obs_parent],
+    )
+    p.add_argument("files", nargs="+", metavar="SPANS_JSONL",
+                   help="span files from any mix of processes "
+                   "(e.g. server + loadgen --trace-out)")
+    p.add_argument("--limit", type=int, default=None, metavar="N",
+                   help="render at most N traces")
+    p.add_argument("--require-join", action="store_true",
+                   help="exit nonzero unless at least one trace joins "
+                   "client- and server-side spans")
+    p.set_defaults(func=cmd_trace)
+
     return parser
 
 
@@ -945,14 +1106,38 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     metrics_out = getattr(args, "metrics_out", None)
-    needs_metrics = bool(metrics_out) or args.func is cmd_stats
+    needs_metrics = (
+        bool(metrics_out)
+        or args.func is cmd_stats
+        or getattr(args, "metrics", False)
+    )
+    ring = None
     try:
         with ExitStack() as stack:
             if getattr(args, "trace", False):
                 stack.enter_context(use_sink(LogSink(sys.stderr)))
+            trace_out = getattr(args, "trace_out", None)
+            if trace_out:
+                stack.enter_context(
+                    use_sink(JsonlSpanSink(trace_out, service=args.command))
+                )
+            log_file = getattr(args, "log_file", None)
+            if log_file:
+                file_sink = JsonlFileSink(log_file)
+                eventlog.add_sink(file_sink)
+                stack.callback(file_sink.close)
+                stack.callback(eventlog.remove_sink, file_sink)
+            log_ring = getattr(args, "log_ring", None)
+            if log_ring:
+                ring = RingBufferSink(log_ring)
+                eventlog.add_sink(ring)
+                stack.callback(eventlog.remove_sink, ring)
             if needs_metrics:
                 stack.enter_context(metrics.activate())
             rc = args.func(args)
+            if ring is not None and rc != 0:
+                for event in ring.events():
+                    print(json.dumps(event, sort_keys=True), file=sys.stderr)
             if metrics_out:
                 extra = getattr(args, "_metrics_extra", {"command": args.command})
                 try:

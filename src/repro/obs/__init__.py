@@ -1,9 +1,9 @@
-"""``repro.obs`` — telemetry: metrics registry, span tracing, export.
+"""``repro.obs`` — telemetry: metrics, tracing, events, export.
 
 The pipeline (separator engines → decomposition → labeling → oracle /
-routing queries) is instrumented against this package.  Everything is
-**off by default** and costs one boolean check per event until a caller
-opts in:
+routing queries) *and* the serving stack (``repro.serve``) are
+instrumented against this package.  Everything is **off by default**
+and costs one boolean check per event until a caller opts in:
 
 * :data:`metrics` — the process-wide :class:`MetricsRegistry` of
   counters, gauges, and histograms.  Enable with
@@ -12,6 +12,18 @@ opts in:
 * :func:`span` — hierarchical tracing.  Attach a sink
   (``with use_sink(CollectingSink()) as c: ...``) to make spans real;
   with no sink attached :func:`span` returns a shared no-op object.
+  Spans can carry **distributed trace context**
+  (:class:`TraceContext`): ids are derived deterministically from the
+  run seed, propagate over the wire in the optional ``"trace"``
+  request field, and reassemble with ``repro trace``
+  (:mod:`repro.obs.traceview`).
+* :data:`eventlog` — the structured one-line-JSON event log
+  (``repro-log/1``, :mod:`repro.obs.log`) with ring-buffer, JSONL-file,
+  and stderr sinks.
+* :class:`TimeseriesWriter` — the live metrics plane: periodic
+  ``repro-timeseries/1`` registry-delta snapshots
+  (:mod:`repro.obs.timeseries`), served live via the ``METRICS``
+  protocol op and watched with ``repro top``.
 * :func:`write_metrics_json` / :func:`metrics_payload` — the
   machine-readable ``repro-metrics/1`` export used by
   ``--metrics-out`` and the benchmark plumbing.
@@ -20,10 +32,11 @@ opts in:
 benchmarks can migrate to ``from repro.obs import Timer`` while the old
 ``repro.util`` import path keeps working.
 
-See ``docs/observability.md`` for the metric-name catalog and the span
-hierarchy emitted by the instrumented pipeline.
+See ``docs/observability.md`` for the metric-name catalog, the span
+hierarchy, and every wire schema emitted by this package.
 """
 
+from repro.obs.context import TraceContext, span_id_for, trace_id_for
 from repro.obs.export import (
     bench_payload,
     git_sha,
@@ -31,15 +44,31 @@ from repro.obs.export import (
     write_bench_json,
     write_metrics_json,
 )
+from repro.obs.log import (
+    EventLogger,
+    EventSink,
+    JsonlFileSink,
+    RingBufferSink,
+    StderrLineSink,
+    eventlog,
+)
 from repro.obs.metrics import Histogram, MetricsRegistry, metrics, render_key
+from repro.obs.timeseries import (
+    TimeseriesWriter,
+    process_rss_bytes,
+    registry_sample,
+    sample_delta,
+)
 from repro.obs.tracing import (
     NOOP_SPAN,
     CollectingSink,
     JsonFileSink,
+    JsonlSpanSink,
     LogSink,
     Span,
     SpanSink,
     add_sink,
+    current_span,
     record_span,
     remove_sink,
     span,
@@ -50,23 +79,38 @@ from repro.util.timer import Timer
 
 __all__ = [
     "CollectingSink",
+    "EventLogger",
+    "EventSink",
     "Histogram",
     "JsonFileSink",
+    "JsonlFileSink",
+    "JsonlSpanSink",
     "LogSink",
     "MetricsRegistry",
     "NOOP_SPAN",
+    "RingBufferSink",
     "Span",
     "SpanSink",
+    "StderrLineSink",
     "Timer",
+    "TimeseriesWriter",
+    "TraceContext",
     "add_sink",
     "bench_payload",
+    "current_span",
+    "eventlog",
     "git_sha",
     "metrics",
     "metrics_payload",
+    "process_rss_bytes",
     "record_span",
+    "registry_sample",
     "remove_sink",
     "render_key",
+    "sample_delta",
     "span",
+    "span_id_for",
+    "trace_id_for",
     "tracing_active",
     "use_sink",
     "write_bench_json",

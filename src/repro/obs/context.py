@@ -1,0 +1,114 @@
+"""Trace-context propagation across process boundaries.
+
+A *trace* is one logical request's journey through the whole system —
+the client's retries, hedges, and backoff on one side, the server's
+parse → cache → estimate → encode pipeline on the other.  A
+:class:`TraceContext` is the tiny, wire-serializable handle that ties
+the two halves together: a 64-bit trace id shared by every span of the
+request, plus the span id of the sender's currently-open span, so the
+receiver's spans attach as its children.
+
+Determinism: ids are *derived*, never drawn from entropy.  The client
+derives trace id *n* from its run seed via
+``derive_seed(seed, "trace", n)`` (:func:`trace_id_for`) and every span
+id from ``(trace_id, parent_span_id, name, child_index)``
+(:func:`span_id_for`), so two runs with the same seed and workload emit
+byte-identical ids — trace files diff cleanly across reruns, which is
+how the repo keeps chaos runs and CI reproductions comparable.
+
+Wire format (the optional ``"trace"`` request field, see
+docs/observability.md)::
+
+    {"op": "DIST", "u": 0, "v": 41,
+     "trace": {"id": "9f1c24a77d03b56e", "span": "4b0e8a2f6d91c370"}}
+
+Both ids are 16 lowercase hex characters.  The field is *optional* and
+*advisory*: a server with tracing off ignores it at the cost of one
+dict lookup, and a malformed context is dropped rather than failing the
+request — observability must never break serving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.util.rng import derive_seed
+
+__all__ = [
+    "TraceContext",
+    "format_trace_id",
+    "span_id_for",
+    "trace_id_for",
+]
+
+
+def format_trace_id(value: int) -> str:
+    """Render a 64-bit id as the canonical 16-char lowercase hex form."""
+    return format(value & (2**64 - 1), "016x")
+
+
+def trace_id_for(seed: int, call: int) -> str:
+    """Deterministic trace id for logical request *call* of a run.
+
+    Pure function of ``(seed, call)`` — the client's call counter is
+    the only state, so replaying a seeded workload replays its ids.
+    """
+    return format_trace_id(derive_seed(seed, "trace", call))
+
+
+def span_id_for(
+    trace_id: str, parent: Optional[str], name: str, index: int
+) -> str:
+    """Deterministic span id for child *index* named *name* under
+    *parent* (None for the trace root) within *trace_id*."""
+    return format_trace_id(
+        derive_seed(int(trace_id, 16), "span", parent or "", name, index)
+    )
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One propagated trace position: ``(trace_id, span_id)``.
+
+    ``span_id`` is the sender's open span — the receiver's root span
+    adopts it as parent.  ``span_id=None`` marks the *start* of a trace
+    (the client's root span adopts the trace id with no parent).
+    """
+
+    trace_id: str
+    span_id: Optional[str] = None
+
+    def to_wire(self) -> dict:
+        """The ``"trace"`` request field."""
+        payload = {"id": self.trace_id}
+        if self.span_id is not None:
+            payload["span"] = self.span_id
+        return payload
+
+    @classmethod
+    def from_wire(cls, payload) -> Optional["TraceContext"]:
+        """Parse a ``"trace"`` field; None for absent *or* malformed.
+
+        Lenient by design: a bad trace context costs the request its
+        observability, never its answer.
+        """
+        if not isinstance(payload, dict):
+            return None
+        trace_id = payload.get("id")
+        if not _valid_id(trace_id):
+            return None
+        span_id = payload.get("span")
+        if span_id is not None and not _valid_id(span_id):
+            return None
+        return cls(trace_id=trace_id, span_id=span_id)
+
+
+def _valid_id(value) -> bool:
+    if not isinstance(value, str) or len(value) != 16:
+        return False
+    try:
+        int(value, 16)
+    except ValueError:
+        return False
+    return value == value.lower()

@@ -23,8 +23,21 @@ __all__ = [
 ]
 
 
+#: Per-process memo for :func:`git_sha`, keyed by cwd.  The SHA cannot
+#: change under a running process in any workflow this repo has, and
+#: ``bench_payload`` is called once per record — serve/loadgen bench
+#: emission was shelling out to ``git rev-parse`` on every record.
+_git_sha_cache: Dict[Optional[str], str] = {}
+
+
 def git_sha(cwd: Optional[str] = None) -> str:
-    """Current git commit SHA, or ``"unknown"`` outside a checkout."""
+    """Current git commit SHA, or ``"unknown"`` outside a checkout.
+
+    Cached per ``(process, cwd)``: the first call shells out, every
+    later call is a dict hit.
+    """
+    if cwd in _git_sha_cache:
+        return _git_sha_cache[cwd]
     try:
         out = subprocess.run(
             ["git", "rev-parse", "HEAD"],
@@ -34,8 +47,11 @@ def git_sha(cwd: Optional[str] = None) -> str:
             timeout=10,
         )
     except (OSError, subprocess.TimeoutExpired):
-        return "unknown"
-    return out.stdout.strip() if out.returncode == 0 else "unknown"
+        sha = "unknown"
+    else:
+        sha = out.stdout.strip() if out.returncode == 0 else "unknown"
+    _git_sha_cache[cwd] = sha
+    return sha
 
 
 def bench_payload(

@@ -1,0 +1,212 @@
+"""Structured event log: one-line JSON events (``repro-log/1``).
+
+Where spans answer "how long did each stage of this request take", the
+event log answers "what happened, in order" — a server started, a
+fault plan armed, a connection dropped mid-write, a drain began.  Each
+event is a single JSON line::
+
+    {"ts": 1722470400.123, "level": "info", "event": "serve.start",
+     "trace": "9f1c24a77d03b56e", "span": "4b0e8a2f6d91c370",
+     "host": "127.0.0.1", "port": 7471}
+
+Schema (``repro-log/1``): ``ts`` (unix seconds), ``level`` (``debug`` |
+``info`` | ``warn`` | ``error``), ``event`` (dotted name, same
+namespace convention as metrics), optional ``trace``/``span`` ids
+(attached automatically when the event fires inside a traced span —
+see :mod:`repro.obs.context`), then free-form fields.
+
+Like the rest of ``repro.obs``, the logger is **off by default**: with
+no sink attached, :meth:`EventLogger.log` is one boolean check.  Sinks:
+
+* :class:`RingBufferSink` — last *N* events in memory, drainable (the
+  server keeps one so STATS/debugging can see recent history without
+  any file);
+* :class:`JsonlFileSink` — appends one line per event, flushed per
+  line so a SIGTERM loses nothing already logged; writes after the
+  stream closed (interpreter shutdown) are dropped, not raised;
+* :class:`StderrLineSink` — human-readable one-liners, the structured
+  replacement for the serve/loadgen/chaos ad-hoc prints.
+
+The module-level :data:`eventlog` singleton is what the serving stack
+logs into; tests construct their own :class:`EventLogger`.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, TextIO
+
+from repro.obs import tracing
+
+__all__ = [
+    "EventLogger",
+    "EventSink",
+    "JsonlFileSink",
+    "LEVELS",
+    "RingBufferSink",
+    "StderrLineSink",
+    "eventlog",
+]
+
+FORMAT = "repro-log/1"
+
+#: Severity levels, least to most severe.
+LEVELS = ("debug", "info", "warn", "error")
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+class EventSink:
+    """Receiver of completed events; subclass and override."""
+
+    def on_event(self, event: Dict) -> None:
+        """Called once per event with the full record dict."""
+
+
+class RingBufferSink(EventSink):
+    """Keep the most recent *capacity* events in memory."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._events: Deque[Dict] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def on_event(self, event: Dict) -> None:
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(event)
+
+    def events(self) -> List[Dict]:
+        """The retained events, oldest first."""
+        return list(self._events)
+
+    def drain(self) -> List[Dict]:
+        """Return and clear the retained events."""
+        out = list(self._events)
+        self._events.clear()
+        return out
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class JsonlFileSink(EventSink):
+    """Append one ``repro-log/1`` JSON line per event, flushed per line.
+
+    Per-line flushing is the crash-safety contract: everything logged
+    before a SIGTERM is on disk, and a write that races interpreter
+    shutdown (stream already closed) is silently dropped — the event
+    log must never turn a clean drain into a traceback.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = path
+        self._handle = open(path, "a")
+
+    def on_event(self, event: Dict) -> None:
+        try:
+            self._handle.write(json.dumps(event, separators=(",", ":")) + "\n")
+            self._handle.flush()
+        except (ValueError, OSError):
+            pass
+
+    def close(self) -> None:
+        try:
+            self._handle.close()
+        except (ValueError, OSError):
+            pass
+
+
+class StderrLineSink(EventSink):
+    """Human-readable one-liners: ``[level] event k=v k=v``."""
+
+    def __init__(self, stream: Optional[TextIO] = None, min_level: str = "info") -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_rank = LEVELS.index(min_level)
+
+    def on_event(self, event: Dict) -> None:
+        level = event.get("level", "info")
+        if LEVELS.index(level) < self.min_rank:
+            return
+        fields = " ".join(
+            f"{k}={v}"
+            for k, v in event.items()
+            if k not in ("ts", "level", "event")
+        )
+        try:
+            print(
+                f"[{level}] {event.get('event')}{' ' + fields if fields else ''}",
+                file=self.stream,
+            )
+        except (ValueError, OSError):
+            pass
+
+
+class EventLogger:
+    """Dispatch events to sinks; one boolean check when none attached."""
+
+    def __init__(self) -> None:
+        self._sinks: List[EventSink] = []
+
+    @property
+    def active(self) -> bool:
+        return bool(self._sinks)
+
+    def add_sink(self, sink: EventSink) -> EventSink:
+        self._sinks.append(sink)
+        return sink
+
+    def remove_sink(self, sink: EventSink) -> None:
+        try:
+            self._sinks.remove(sink)
+        except ValueError:
+            pass
+
+    # -- emission -------------------------------------------------------
+    def log(self, level: str, event: str, **fields) -> None:
+        """Emit one event (no-op while no sink is attached).
+
+        Trace/span ids are attached automatically when the event fires
+        inside a traced span, so log lines and span trees join on the
+        same ids with no caller plumbing.
+        """
+        if not self._sinks:
+            return
+        record: Dict = {"ts": round(time.time(), 6), "level": level, "event": event}
+        open_span = tracing.current_span()
+        if open_span is not None and open_span.trace_id is not None:
+            record["trace"] = open_span.trace_id
+            record["span"] = open_span.span_id
+        for key, value in fields.items():
+            record[key] = _jsonable(value)
+        for sink in self._sinks:
+            sink.on_event(record)
+
+    def debug(self, event: str, **fields) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields) -> None:
+        self.log("info", event, **fields)
+
+    def warn(self, event: str, **fields) -> None:
+        self.log("warn", event, **fields)
+
+    def error(self, event: str, **fields) -> None:
+        self.log("error", event, **fields)
+
+
+#: The process-wide logger the serving stack emits into.
+eventlog = EventLogger()

@@ -1,0 +1,173 @@
+"""Live metrics plane: periodic time-series snapshots of the registry.
+
+A :class:`TimeseriesWriter` samples a :class:`~repro.obs.metrics
+.MetricsRegistry` on a fixed cadence and appends one
+``repro-timeseries/1`` JSON line per tick — counter **deltas** (what
+happened this interval), gauge readings, and histogram count/sum
+deltas::
+
+    {"format": "repro-timeseries/1", "interval_s": 2.0}
+    {"t": 1722470402.0, "dt": 2.001,
+     "counters": {"serve.requests{op=DIST}": 1841},
+     "gauges": {"serve.cache.size": 512, "proc.rss_bytes": 48758784},
+     "histograms": {"serve.latency_ns": {"count": 1841, "sum": 3.1e9}}}
+
+Deltas rather than totals because that is the shape a dashboard wants:
+QPS is ``counters[...]/dt`` with no client-side bookkeeping, and a
+restarted server restarts cleanly at zero instead of emitting one huge
+negative spike.  The writer is driven either by the server's own
+asyncio tick (:meth:`TimeseriesWriter.run`) or manually
+(:meth:`TimeseriesWriter.sample`) from tests and benchmarks.
+
+Lines are flushed as written and writes after stream close are
+dropped, matching the crash-safety stance of the other sinks.
+
+:func:`process_rss_bytes` reads the resident set size of the current
+process (``/proc/self/statm`` on Linux, ``ru_maxrss`` as a fallback) —
+the number STATS and the timeseries export as the memory baseline.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from typing import Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import metrics as _global_metrics
+
+__all__ = [
+    "FORMAT",
+    "TimeseriesWriter",
+    "process_rss_bytes",
+    "registry_sample",
+    "sample_delta",
+]
+
+FORMAT = "repro-timeseries/1"
+
+
+def process_rss_bytes() -> int:
+    """Resident set size of this process in bytes (0 if unknowable).
+
+    Prefers the *current* RSS from ``/proc/self/statm``; falls back to
+    the peak (``ru_maxrss``) where /proc is unavailable.
+    """
+    try:
+        with open("/proc/self/statm") as handle:
+            fields = handle.read().split()
+        return int(fields[1]) * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, IndexError, ValueError):
+        pass
+    try:
+        import resource
+
+        usage = resource.getrusage(resource.RUSAGE_SELF)
+        # Linux reports KiB, macOS bytes; by this point we are not on a
+        # /proc system, so assume the BSD convention.
+        return int(usage.ru_maxrss)
+    except (ImportError, ValueError, OSError):
+        return 0
+
+
+def registry_sample(registry: Optional[MetricsRegistry] = None) -> Dict:
+    """A snapshot suitable for delta computation (histograms reduced to
+    their exact running aggregates)."""
+    registry = registry if registry is not None else _global_metrics
+    snapshot = registry.snapshot()
+    return {
+        "counters": snapshot["counters"],
+        "gauges": snapshot["gauges"],
+        "histograms": {
+            key: {"count": hist["count"], "sum": hist["sum"]}
+            for key, hist in snapshot["histograms"].items()
+        },
+    }
+
+
+def sample_delta(prev: Dict, cur: Dict) -> Dict:
+    """What changed between two :func:`registry_sample` snapshots.
+
+    Counters and histogram aggregates are differenced (new keys count
+    from zero); gauges are reported at their current reading.  Keys
+    with a zero delta are omitted, so an idle interval is a tiny line.
+    """
+    counters = {}
+    for key, value in cur["counters"].items():
+        delta = value - prev["counters"].get(key, 0.0)
+        if delta:
+            counters[key] = delta
+    histograms = {}
+    for key, agg in cur["histograms"].items():
+        before = prev["histograms"].get(key, {"count": 0, "sum": 0.0})
+        count = agg["count"] - before["count"]
+        if count:
+            histograms[key] = {"count": count, "sum": agg["sum"] - before["sum"]}
+    return {"counters": counters, "gauges": dict(cur["gauges"]), "histograms": histograms}
+
+
+class TimeseriesWriter:
+    """Append registry deltas to a ``repro-timeseries/1`` JSONL file."""
+
+    def __init__(
+        self,
+        path,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        interval_s: float = 2.0,
+        extra_gauges=None,
+    ) -> None:
+        self.path = path
+        self.registry = registry if registry is not None else _global_metrics
+        self.interval_s = interval_s
+        #: Optional callable returning extra gauges per tick (the server
+        #: injects inflight / rss here without touching the registry).
+        self.extra_gauges = extra_gauges
+        self.samples = 0
+        self._handle = open(path, "w")
+        self._prev = registry_sample(self.registry)
+        self._prev_t = time.time()
+        self._write({"format": FORMAT, "interval_s": interval_s})
+
+    def sample(self) -> Dict:
+        """Take one sample now; writes and returns the delta record."""
+        now = time.time()
+        cur = registry_sample(self.registry)
+        delta = sample_delta(self._prev, cur)
+        if self.extra_gauges is not None:
+            delta["gauges"].update(
+                {str(k): v for k, v in self.extra_gauges().items()}
+            )
+        record = {"t": round(now, 3), "dt": round(now - self._prev_t, 6), **delta}
+        self._prev, self._prev_t = cur, now
+        self.samples += 1
+        self._write(record)
+        return record
+
+    async def run(self, stop: "asyncio.Event") -> None:
+        """Sample every ``interval_s`` until *stop* is set (one final
+        sample on the way out, so short runs still produce data)."""
+        try:
+            while not stop.is_set():
+                try:
+                    await asyncio.wait_for(stop.wait(), self.interval_s)
+                except asyncio.TimeoutError:
+                    pass
+                self.sample()
+        finally:
+            self.close()
+
+    def _write(self, record: dict) -> None:
+        try:
+            self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+            self._handle.flush()
+        except (ValueError, OSError):
+            pass  # stream closed during shutdown; prior lines are safe
+
+    def close(self) -> None:
+        try:
+            self._handle.close()
+        except (ValueError, OSError):
+            pass

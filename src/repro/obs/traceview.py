@@ -1,0 +1,230 @@
+"""Reassemble and render distributed traces from span JSONL files.
+
+``repro serve --trace-out server.jsonl`` and ``repro loadgen
+--trace-out client.jsonl`` each emit ``repro-spans/1`` lines
+(:class:`~repro.obs.tracing.JsonlSpanSink`).  This module is the read
+side: merge any number of those files, group spans by trace id, stitch
+parent/child links back into trees — the client's request and attempt
+spans on top, the server's parse/cache/estimate/encode spans joined
+underneath via the propagated trace context — and render one tree per
+request with critical-path timings.
+
+The **critical path** of a tree is the chain from the root to the span
+that finished last within each level: the spans that actually gated the
+request's latency.  A hedged request shows this vividly — the losing
+attempt sits in the tree (tagged, cancelled) but off the critical path,
+while the winner's server-side spans carry the path down to the stage
+that dominated.
+
+Used by ``repro trace`` (docs/observability.md) and the CI trace-smoke
+job, whose gate is :func:`cross_process` — at least one reassembled
+tree must span both the client and the server files.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "SpanRecord",
+    "TraceTree",
+    "assemble_traces",
+    "cross_process",
+    "read_span_files",
+    "render_trace",
+]
+
+
+@dataclass
+class SpanRecord:
+    """One parsed ``repro-spans/1`` line."""
+
+    trace: str
+    span: str
+    parent: Optional[str]
+    name: str
+    ts: float
+    dur_ns: int
+    service: str = ""
+    attrs: Dict = field(default_factory=dict)
+    error: Optional[str] = None
+    children: List["SpanRecord"] = field(default_factory=list)
+    orphan: bool = False  # parent id never showed up in any file
+
+    @property
+    def dur_ms(self) -> float:
+        return self.dur_ns / 1e6
+
+    @property
+    def end_ts(self) -> float:
+        return self.ts + self.dur_ns / 1e9
+
+    def walk(self, depth: int = 0):
+        yield self, depth
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def find_all(self, name: str) -> List["SpanRecord"]:
+        return [node for node, _ in self.walk() if node.name == name]
+
+
+@dataclass
+class TraceTree:
+    """All spans of one trace id, stitched into root trees."""
+
+    trace_id: str
+    roots: List[SpanRecord]
+    span_count: int
+
+    @property
+    def started(self) -> float:
+        return min(root.ts for root in self.roots)
+
+    def walk(self):
+        for root in self.roots:
+            yield from root.walk()
+
+    def services(self) -> List[str]:
+        return sorted({node.service for node, _ in self.walk() if node.service})
+
+    def find_all(self, name: str) -> List[SpanRecord]:
+        return [node for node, _ in self.walk() if node.name == name]
+
+
+def read_span_files(paths: Iterable) -> Tuple[List[SpanRecord], int]:
+    """Parse every span line of *paths*; returns ``(records, skipped)``.
+
+    Header lines (``"format"``) and unparseable lines are skipped and
+    counted, never fatal — a truncated tail from a crashed process must
+    not take the rest of the trace down with it.
+    """
+    records: List[SpanRecord] = []
+    skipped = 0
+    for path in paths:
+        for line in Path(path).read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if not isinstance(payload, dict) or "format" in payload:
+                continue  # header / foreign line
+            try:
+                records.append(
+                    SpanRecord(
+                        trace=str(payload["trace"]),
+                        span=str(payload["span"]),
+                        parent=payload.get("parent"),
+                        name=str(payload["name"]),
+                        ts=float(payload["ts"]),
+                        dur_ns=int(payload["dur_ns"]),
+                        service=str(payload.get("svc", "")),
+                        attrs=payload.get("attrs") or {},
+                        error=payload.get("error"),
+                    )
+                )
+            except (KeyError, TypeError, ValueError):
+                skipped += 1
+    return records, skipped
+
+
+def assemble_traces(records: Iterable[SpanRecord]) -> List[TraceTree]:
+    """Group spans by trace id and stitch parent links into trees.
+
+    A span whose parent id never appears (the parent process died
+    before flushing, or only one side's file was given) becomes an
+    *orphan root*, flagged so the renderer and the CI join-gate can
+    tell a complete tree from a fragment.  Trees are ordered by start
+    time; children by start time within their parent.
+    """
+    by_trace: Dict[str, List[SpanRecord]] = {}
+    for record in records:
+        by_trace.setdefault(record.trace, []).append(record)
+
+    trees: List[TraceTree] = []
+    for trace_id, spans in by_trace.items():
+        by_id = {span.span: span for span in spans}
+        roots: List[SpanRecord] = []
+        for span in spans:
+            if span.parent is None:
+                roots.append(span)
+            elif span.parent in by_id:
+                by_id[span.parent].children.append(span)
+            else:
+                span.orphan = True
+                roots.append(span)
+        for span in spans:
+            span.children.sort(key=lambda s: (s.ts, s.span))
+        roots.sort(key=lambda s: (s.ts, s.span))
+        trees.append(TraceTree(trace_id=trace_id, roots=roots, span_count=len(spans)))
+    trees.sort(key=lambda t: t.started)
+    return trees
+
+
+def cross_process(tree: TraceTree) -> bool:
+    """Did this trace join spans from both sides of the wire into ONE
+    tree?  True only when some client-side span has a server-side span
+    as a descendant — the CI trace-smoke gate."""
+    for root in tree.roots:
+        for node, _ in root.walk():
+            if not node.name.startswith("client."):
+                continue
+            for descendant, _ in node.walk():
+                if descendant.name.startswith("serve."):
+                    return True
+    return False
+
+
+def critical_spans(root: SpanRecord) -> List[SpanRecord]:
+    """The chain of spans that gated the end-to-end latency: from the
+    root, repeatedly descend into the child that *finished last*."""
+    path = [root]
+    node = root
+    while node.children:
+        node = max(node.children, key=lambda s: s.end_ts)
+        path.append(node)
+    return path
+
+
+_INTERESTING_ATTRS = 4
+
+
+def _attr_text(node: SpanRecord) -> str:
+    parts = [f"{k}={v}" for k, v in list(node.attrs.items())[:_INTERESTING_ATTRS]]
+    if node.error:
+        parts.append(f"error={node.error}")
+    return " ".join(parts)
+
+
+def render_trace(tree: TraceTree) -> str:
+    """One indented tree per root, critical path marked with ``*``."""
+    lines = [
+        f"trace {tree.trace_id}  "
+        f"({tree.span_count} spans, services: {', '.join(tree.services()) or '?'})"
+    ]
+    for root in tree.roots:
+        on_path = set(id(s) for s in critical_spans(root))
+        base = root.ts
+        for node, depth in root.walk():
+            marker = "*" if id(node) in on_path else " "
+            svc = f"[{node.service}] " if node.service else ""
+            attrs = _attr_text(node)
+            offset_ms = (node.ts - base) * 1e3
+            lines.append(
+                f" {marker} {'  ' * depth}{node.name:<{max(1, 28 - 2 * depth)}} "
+                f"+{offset_ms:8.2f}ms {node.dur_ms:9.3f}ms  {svc}{attrs}".rstrip()
+            )
+            if node.orphan:
+                lines[-1] += "  (orphan: parent span not found)"
+        path = critical_spans(root)
+        lines.append(
+            "   critical path: "
+            + " -> ".join(f"{n.name} {n.dur_ms:.2f}ms" for n in path)
+        )
+    return "\n".join(lines)

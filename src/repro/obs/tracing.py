@@ -14,30 +14,51 @@ Timing uses ``time.monotonic_ns``.  When **no sink is attached**,
 :func:`span` returns a shared no-op object without reading the clock or
 allocating, so instrumentation left in hot paths is effectively free.
 
+The open-span stack lives in a :mod:`contextvars` variable, so nesting
+is tracked **per asyncio task** (and, as before, per thread): two
+concurrent requests inside the asyncio server each build their own span
+tree instead of interleaving into one.  Values are immutable tuples —
+a task's pushes and pops never leak into sibling tasks that inherited
+the same snapshot.
+
+Spans can carry **trace context** (:mod:`repro.obs.context`): a span
+entered while a traced parent is open inherits its trace id and gets a
+deterministic span id; a span given an explicit ``context=`` adopts a
+context that arrived over the wire, which is how the server's spans
+join the client's trace.
+
 Sinks receive every completed span (:meth:`SpanSink.on_span_end`) and
 every completed *root* (:meth:`SpanSink.on_root`):
 
 * :class:`LogSink` — indented one-line-per-span log (stderr by default);
 * :class:`CollectingSink` — in-memory, for tests and ``repro stats``;
-* :class:`JsonFileSink` — accumulates root trees, writes JSON on flush.
+* :class:`JsonFileSink` — accumulates root trees, persists every
+  completed root (crash-safe: a SIGTERM between roots loses nothing);
+* :class:`JsonlSpanSink` — one ``repro-spans/1`` JSON line per
+  completed span, flushed per line, for ``repro trace`` to merge
+  across processes.
 """
 
 from __future__ import annotations
 
 import json
 import sys
-import threading
 import time
+from contextvars import ContextVar
 from typing import Dict, Iterator, List, Optional, TextIO, Tuple
+
+from repro.obs.context import TraceContext, span_id_for
 
 __all__ = [
     "CollectingSink",
     "JsonFileSink",
+    "JsonlSpanSink",
     "LogSink",
     "NOOP_SPAN",
     "Span",
     "SpanSink",
     "add_sink",
+    "current_span",
     "record_span",
     "remove_sink",
     "span",
@@ -46,28 +67,59 @@ __all__ = [
 ]
 
 _sinks: List["SpanSink"] = []
-_local = threading.local()
+
+#: The open-span stack of the current task/thread.  Immutable tuple:
+#: pushes and pops replace the whole value, so concurrent tasks that
+#: inherited one snapshot cannot see each other's mutations.
+_stack_var: ContextVar[Tuple["Span", ...]] = ContextVar("repro_span_stack", default=())
 
 
-def _stack() -> List["Span"]:
-    stack = getattr(_local, "stack", None)
-    if stack is None:
-        stack = _local.stack = []
-    return stack
+def current_span() -> Optional["Span"]:
+    """The innermost open span of this task, or None."""
+    stack = _stack_var.get()
+    return stack[-1] if stack else None
 
 
 class Span:
-    """One timed region.  Use as a context manager (see :func:`span`)."""
+    """One timed region.  Use as a context manager (see :func:`span`).
 
-    __slots__ = ("name", "attributes", "start_ns", "end_ns", "children", "error")
+    ``trace_id`` / ``span_id`` / ``parent_span_id`` are populated on
+    entry when the span joins a trace — via an adopted wire
+    ``context`` or by inheriting from a traced parent — and stay None
+    for plain local spans.
+    """
 
-    def __init__(self, name: str, attributes: Optional[Dict] = None) -> None:
+    __slots__ = (
+        "name",
+        "attributes",
+        "start_ns",
+        "end_ns",
+        "start_unix_ns",
+        "children",
+        "error",
+        "trace_id",
+        "span_id",
+        "parent_span_id",
+        "_adopt",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Optional[Dict] = None,
+        context: Optional[TraceContext] = None,
+    ) -> None:
         self.name = name
         self.attributes: Dict = dict(attributes) if attributes else {}
         self.start_ns = 0
         self.end_ns = 0
+        self.start_unix_ns = 0
         self.children: List["Span"] = []
         self.error: Optional[str] = None
+        self.trace_id: Optional[str] = None
+        self.span_id: Optional[str] = None
+        self.parent_span_id: Optional[str] = None
+        self._adopt = context
 
     # -- timing --------------------------------------------------------
     @property
@@ -109,6 +161,11 @@ class Span:
             "duration_ns": self.duration_ns,
             "duration_s": self.duration_s,
         }
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
+            out["span_id"] = self.span_id
+            if self.parent_span_id is not None:
+                out["parent_span_id"] = self.parent_span_id
         if self.attributes:
             out["attributes"] = {k: _jsonable(v) for k, v in self.attributes.items()}
         if self.error is not None:
@@ -120,12 +177,33 @@ class Span:
     def __repr__(self) -> str:
         return f"Span({self.name!r}, {self.duration_s * 1e3:.3f}ms, children={len(self.children)})"
 
+    # -- trace identity ------------------------------------------------
+    def _assign_ids(self, parent: Optional["Span"], index: int) -> None:
+        """Join a trace: adopted context wins, else inherit from a
+        traced parent; ids are pure functions of the lineage (see
+        :func:`repro.obs.context.span_id_for`), so reruns match."""
+        if self._adopt is not None:
+            self.trace_id = self._adopt.trace_id
+            self.parent_span_id = self._adopt.span_id
+        elif parent is not None and parent.trace_id is not None:
+            self.trace_id = parent.trace_id
+            self.parent_span_id = parent.span_id
+        if self.trace_id is not None:
+            self.span_id = span_id_for(
+                self.trace_id, self.parent_span_id, self.name, index
+            )
+
     # -- context manager ----------------------------------------------
     def __enter__(self) -> "Span":
-        stack = _stack()
-        if stack:
-            stack[-1].children.append(self)
-        stack.append(self)
+        stack = _stack_var.get()
+        parent = stack[-1] if stack else None
+        index = 0
+        if parent is not None:
+            index = len(parent.children)
+            parent.children.append(self)
+        self._assign_ids(parent, index)
+        _stack_var.set(stack + (self,))
+        self.start_unix_ns = time.time_ns()
         self.start_ns = time.monotonic_ns()
         return self
 
@@ -133,12 +211,13 @@ class Span:
         self.end_ns = time.monotonic_ns()
         if exc_type is not None:
             self.error = exc_type.__name__
-        stack = _stack()
+        stack = _stack_var.get()
         # Exception safety: pop *this* span even if an inner span leaked.
         while stack and stack[-1] is not self:
-            stack.pop()
+            stack = stack[:-1]
         if stack:
-            stack.pop()
+            stack = stack[:-1]
+        _stack_var.set(stack)
         depth = len(stack)
         for sink in _sinks:
             sink.on_span_end(self, depth)
@@ -202,9 +281,14 @@ def record_span(name: str, duration_ns: int, **attributes) -> None:
     now = time.monotonic_ns()
     recorded.start_ns = now - max(0, int(duration_ns))
     recorded.end_ns = now
-    stack = _stack()
-    if stack:
-        stack[-1].children.append(recorded)
+    recorded.start_unix_ns = time.time_ns() - max(0, int(duration_ns))
+    stack = _stack_var.get()
+    parent = stack[-1] if stack else None
+    index = 0
+    if parent is not None:
+        index = len(parent.children)
+        parent.children.append(recorded)
+    recorded._assign_ids(parent, index)
     depth = len(stack)
     for sink in _sinks:
         sink.on_span_end(recorded, depth)
@@ -268,7 +352,14 @@ class CollectingSink(SpanSink):
 
 
 class JsonFileSink(SpanSink):
-    """Accumulate root span trees; :meth:`flush` writes them as JSON."""
+    """Accumulate root span trees; persist them as ``repro-trace/1``.
+
+    Crash-safe: every completed root rewrites the file immediately, so
+    a SIGTERM (or any abrupt exit) between roots loses at most the span
+    tree still open — never the completed tail.  Writes during
+    interpreter shutdown, when the filesystem layer may already be torn
+    down, are tolerated rather than raised.
+    """
 
     def __init__(self, path) -> None:
         self.path = path
@@ -276,15 +367,85 @@ class JsonFileSink(SpanSink):
 
     def on_root(self, span: Span) -> None:
         self.roots.append(span)
+        self.flush()
 
     def flush(self) -> None:
         payload = {
             "format": "repro-trace/1",
             "spans": [root.to_dict() for root in self.roots],
         }
-        with open(self.path, "w") as handle:
-            json.dump(payload, handle, indent=2)
-            handle.write("\n")
+        try:
+            with open(self.path, "w") as handle:
+                json.dump(payload, handle, indent=2)
+                handle.write("\n")
+        except (ValueError, OSError):
+            # Closed stream / vanished directory during shutdown: the
+            # previously flushed state is already on disk.
+            pass
+
+
+class JsonlSpanSink(SpanSink):
+    """One ``repro-spans/1`` JSON line per completed span.
+
+    The cross-process trace format: ``repro serve --trace-out`` and
+    ``repro loadgen --trace-out`` each write one of these, and
+    ``repro trace`` merges them back into per-request trees by trace /
+    parent ids.  Each line is flushed as it is written (a drain during
+    SIGTERM keeps every completed span) and a write after the stream
+    closed — interpreter shutdown — is dropped, not raised.
+
+    By default only spans that carry a trace id are emitted; pass
+    ``all_spans=True`` to also keep local untraced spans.
+    """
+
+    FORMAT = "repro-spans/1"
+
+    def __init__(self, path, *, service: str = "", all_spans: bool = False) -> None:
+        self.path = path
+        self.service = service
+        self.all_spans = all_spans
+        self._handle = open(path, "w")
+        self._write({"format": self.FORMAT, "service": service})
+
+    def on_span_end(self, span: Span, depth: int) -> None:
+        if span.trace_id is None and not self.all_spans:
+            return
+        record = {
+            "trace": span.trace_id,
+            "span": span.span_id,
+            "parent": span.parent_span_id,
+            "name": span.name,
+            "ts": span.start_unix_ns / 1e9,
+            "dur_ns": span.duration_ns,
+        }
+        if self.service:
+            record["svc"] = self.service
+        if span.attributes:
+            record["attrs"] = {
+                k: _jsonable(v) for k, v in span.attributes.items()
+            }
+        if span.error is not None:
+            record["error"] = span.error
+        self._write(record)
+
+    def _write(self, record: dict) -> None:
+        try:
+            self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+            self._handle.flush()
+        except (ValueError, OSError):
+            pass  # stream closed during interpreter shutdown
+
+    def flush(self) -> None:
+        try:
+            self._handle.flush()
+        except (ValueError, OSError):
+            pass
+
+    def close(self) -> None:
+        try:
+            self._handle.close()
+        except (ValueError, OSError):
+            pass
 
 
 # ----------------------------------------------------------------------
@@ -318,4 +479,6 @@ class use_sink:
         remove_sink(self.sink)
         if isinstance(self.sink, JsonFileSink):
             self.sink.flush()
+        elif isinstance(self.sink, JsonlSpanSink):
+            self.sink.close()
         return False

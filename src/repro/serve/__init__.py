@@ -10,8 +10,9 @@ client and load generator that measure it, clean and under faults:
   :class:`StoreCatalog`: labelings hash-sharded by vertex with O(1)
   lookup and per-shard size accounting.
 * :mod:`repro.serve.protocol` — the newline-delimited JSON wire
-  protocol (DIST / BATCH / LABEL / HEALTH / STATS / FAULT) with typed
-  error replies.
+  protocol (DIST / BATCH / LABEL / HEALTH / STATS / METRICS / FAULT)
+  with typed error replies and an optional per-request ``"trace"``
+  context field that joins server spans to the caller's trace.
 * :mod:`repro.serve.server` — :class:`OracleServer`: per-connection
   read loops, request timeouts, semaphore backpressure, an optional
   LRU pair cache, graceful drain on shutdown, and a seedable
@@ -24,11 +25,14 @@ client and load generator that measure it, clean and under faults:
   retry budgets, per-address circuit breakers, optional hedging —
   all preserving byte-exact answers.
 * :mod:`repro.serve.loadgen` — closed-loop concurrent client
-  reporting QPS + latency percentiles (and retry/hedge counts), with
-  optional byte-exact verification against offline estimates.
+  reporting QPS + latency percentiles (and retry/hedge counts and,
+  with ``slo_ms``, SLO attainment), with optional byte-exact
+  verification against offline estimates.
 
-CLI entry points: ``repro serve``, ``repro loadgen``, and ``repro
-chaos``; the protocol and knobs are specified in ``docs/serving.md``.
+CLI entry points: ``repro serve``, ``repro loadgen``, ``repro chaos``,
+``repro top`` (live METRICS polling), and ``repro trace`` (cross-
+process trace reassembly); the protocol and knobs are specified in
+``docs/serving.md``, the telemetry formats in ``docs/observability.md``.
 """
 
 from repro.serve.client import (

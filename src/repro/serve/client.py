@@ -43,7 +43,9 @@ from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.serialize import encode_vertex
-from repro.obs import metrics
+from repro.obs import NOOP_SPAN, current_span, eventlog, metrics, span, tracing_active
+from repro.obs.context import TraceContext, trace_id_for
+from repro.obs.tracing import Span
 from repro.serve.protocol import TRANSIENT_CODES, encode_request, wire_pair
 from repro.util.errors import ReproError
 from repro.util.rng import derive_seed
@@ -295,6 +297,28 @@ class ResilientClient:
         call_index = self._calls
         self._calls += 1
         self.counters["requests"] += 1
+        if not tracing_active():
+            return await self._call_attempts(payload, call_index)
+        # One root span per logical request.  The trace id is a pure
+        # function of (seed, call_index) — see repro.obs.context — so a
+        # replayed workload produces byte-identical ids, and the
+        # context the attempts put on the wire lets the server's spans
+        # join this same trace.
+        root = Span(
+            "client.request",
+            {"op": payload.get("op"), "call": call_index},
+            context=TraceContext(trace_id_for(self.seed, call_index)),
+        )
+        with root:
+            try:
+                result = await self._call_attempts(payload, call_index)
+            except ClientError:
+                root.set_attribute("outcome", "failed")
+                raise
+            root.set_attribute("outcome", "ok")
+            return result
+
+    async def _call_attempts(self, payload: dict, call_index: int) -> dict:
         last_failure = "no attempt made"
         for attempt in range(self.policy.attempts):
             if attempt > 0:
@@ -307,6 +331,10 @@ class ResilientClient:
                     )
                 self.counters["retries"] += 1
                 metrics.inc("client.retries")
+                eventlog.debug(
+                    "client.retry", call=call_index, attempt=attempt,
+                    reason=last_failure,
+                )
                 delay = self.policy.backoff_delay(self.seed, call_index, attempt)
                 if delay > 0:
                     await asyncio.sleep(delay)
@@ -319,13 +347,18 @@ class ResilientClient:
             try:
                 if attempt == 0 and self.policy.hedge_after is not None:
                     return await self._hedged(address, payload, call_index)
-                return await self._attempt(address, payload)
+                kind = "initial" if attempt == 0 else "retry"
+                return await self._attempt(address, payload, kind=kind)
             except _TransportError as exc:
                 self.counters["transient_failures"] += 1
                 last_failure = str(exc)
                 continue
         self.counters["giveups"] += 1
         metrics.inc("client.retries.exhausted")
+        eventlog.warn(
+            "client.giveup", call=call_index, attempts=self.policy.attempts,
+            reason=last_failure,
+        )
         raise ClientError(
             f"request failed after {self.policy.attempts} attempt(s): "
             f"{last_failure}"
@@ -383,8 +416,14 @@ class ResilientClient:
             return await primary
         self.counters["hedges"] += 1
         metrics.inc("client.hedges")
+        eventlog.debug(
+            "client.hedge", call=call_index,
+            hedge_after_ms=round(self.policy.hedge_after * 1e3, 3),
+        )
         backup_address = self._pick_address(call_index + 1) or address
-        backup = asyncio.ensure_future(self._attempt(backup_address, payload))
+        backup = asyncio.ensure_future(
+            self._attempt(backup_address, payload, kind="hedge")
+        )
         pending = {primary, backup}
         first_error: Optional[BaseException] = None
         try:
@@ -402,6 +441,11 @@ class ResilientClient:
                     if task is backup:
                         self.counters["hedge_wins"] += 1
                         metrics.inc("client.hedge_wins")
+                    opened = current_span()
+                    if opened is not None and opened.name == "client.request":
+                        opened.set_attribute(
+                            "winner", "hedge" if task is backup else "primary"
+                        )
                     return result
             assert first_error is not None
             raise first_error
@@ -418,12 +462,44 @@ class ResilientClient:
                     ):
                         pass
 
-    async def _attempt(self, address: Address, payload: dict) -> dict:
+    async def _attempt(
+        self, address: Address, payload: dict, kind: str = "initial"
+    ) -> dict:
         """One attempt against one address, under the attempt timeout.
 
         Success / failure feeds the address's breaker.  Raises
         :class:`_TransportError` for anything retryable.
+
+        With tracing on, each attempt is a ``client.attempt`` child
+        span tagged with the address, its *kind* (initial / retry /
+        hedge), and the breaker state it saw — a cancelled losing
+        hedge still closes its span (tagged ``cancelled``) — and the
+        attempt's own span id goes on the wire as the trace context,
+        so the server's ``serve.request`` nests under the exact
+        attempt that reached it.
         """
+        if not tracing_active():
+            return await self._attempt_inner(address, payload, None)
+        with span(
+            "client.attempt",
+            address=f"{address[0]}:{address[1]}",
+            kind=kind,
+            breaker=self._breakers[address].state,
+        ) as attempt_span:
+            context = None
+            if attempt_span is not NOOP_SPAN and attempt_span.trace_id is not None:
+                context = TraceContext(
+                    attempt_span.trace_id, attempt_span.span_id
+                )
+            try:
+                return await self._attempt_inner(address, payload, context)
+            except asyncio.CancelledError:
+                attempt_span.set_attribute("cancelled", True)
+                raise
+
+    async def _attempt_inner(
+        self, address: Address, payload: dict, context: Optional[TraceContext]
+    ) -> dict:
         breaker = self._breakers[address]
         if not breaker.allow():
             raise _TransportError(f"breaker open for {address[0]}:{address[1]}")
@@ -432,7 +508,8 @@ class ResilientClient:
         try:
             try:
                 response = await asyncio.wait_for(
-                    self._roundtrip(address, payload), self.policy.attempt_timeout
+                    self._roundtrip(address, payload, context),
+                    self.policy.attempt_timeout,
                 )
             except asyncio.TimeoutError:
                 breaker.record_failure()
@@ -466,7 +543,12 @@ class ResilientClient:
             # claimed half-open probe can never be leaked.
             breaker.release_probe()
 
-    async def _roundtrip(self, address: Address, payload: dict) -> dict:
+    async def _roundtrip(
+        self,
+        address: Address,
+        payload: dict,
+        context: Optional[TraceContext] = None,
+    ) -> dict:
         """Borrow a connection, do one request/response, return it.
 
         Any failure — including cancellation by a timeout or a losing
@@ -477,7 +559,10 @@ class ResilientClient:
         try:
             conn.next_id += 1
             rid = f"r{conn.next_id}.{id(conn) & 0xFFFF:x}"
-            conn.writer.write(encode_request({**payload, "id": rid}))
+            request = {**payload, "id": rid}
+            if context is not None:
+                request["trace"] = context.to_wire()
+            conn.writer.write(encode_request(request))
             await conn.writer.drain()
             line = await conn.reader.readline()
             if not line:

@@ -130,6 +130,9 @@ class LoadgenReport:
     elapsed_s: float = 0.0
     concurrency: int = 0
     batch: int = 1
+    slo_ms: Optional[float] = None  # per-request latency objective
+    slo_hits: int = 0               # requests answered OK within slo_ms
+    slo_total: int = 0              # requests measured against the SLO
     latency_ns: Histogram = field(default_factory=Histogram)
     error_samples: List[str] = field(default_factory=list)
 
@@ -141,6 +144,12 @@ class LoadgenReport:
     def error_rate(self) -> float:
         total = self.ok + self.errors
         return self.errors / total if total else 0.0
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of requests answered OK within ``slo_ms`` (0.0 with
+        no SLO or no traffic — never a ZeroDivisionError)."""
+        return self.slo_hits / self.slo_total if self.slo_total else 0.0
 
     def latency_ms(self, q: float) -> float:
         return self.latency_ns.percentile(q) / 1e6
@@ -167,11 +176,18 @@ class LoadgenReport:
             ["p90_ms", round(self.latency_ms(90), 3)],
             ["p99_ms", round(self.latency_ms(99), 3)],
             ["max_ms", round(self._max_ms(), 3)],
-        ]
+        ] + (
+            []
+            if self.slo_ms is None
+            else [
+                ["slo_ms", self.slo_ms],
+                ["slo_attainment", round(self.slo_attainment, 4)],
+            ]
+        )
 
     def meta(self) -> dict:
         """Flat summary for ``repro-bench/1`` ``meta`` (BENCH_serve.json)."""
-        return {
+        payload = {
             "queries_ok": self.ok,
             "errors": self.errors,
             "error_rate": round(self.error_rate, 6),
@@ -192,6 +208,14 @@ class LoadgenReport:
                 "mean": round(self.latency_ns.mean / 1e6, 4),
             },
         }
+        if self.slo_ms is not None:
+            payload["slo"] = {
+                "ms": self.slo_ms,
+                "attainment": round(self.slo_attainment, 6),
+                "hits": self.slo_hits,
+                "total": self.slo_total,
+            }
+        return payload
 
 
 async def run_loadgen(
@@ -208,6 +232,7 @@ async def run_loadgen(
     attempt_timeout: Optional[float] = None,
     hedge_after: Optional[float] = None,
     seed: int = 0,
+    slo_ms: Optional[float] = None,
     client: Optional[ResilientClient] = None,
 ) -> LoadgenReport:
     """Replay *pairs* against ``host:port`` and measure from the client.
@@ -227,6 +252,11 @@ async def run_loadgen(
     Pass ``client`` to reuse a caller-owned :class:`ResilientClient`
     (the retry knobs above are then ignored and the client is left
     open); otherwise one is built and closed here.
+
+    ``slo_ms`` declares a per-request latency objective: the report
+    then carries SLO attainment — the fraction of requests that
+    completed OK within that many milliseconds, retries and hedges
+    included (a request that errored out counts against the SLO).
     """
     if concurrency < 1:
         raise LoadgenError(f"concurrency must be >= 1, got {concurrency}")
@@ -234,7 +264,9 @@ async def run_loadgen(
         raise LoadgenError(f"batch must be >= 1, got {batch}")
     if retries < 0:
         raise LoadgenError(f"retries must be >= 0, got {retries}")
-    report = LoadgenReport(concurrency=concurrency, batch=batch)
+    if slo_ms is not None and slo_ms <= 0:
+        raise LoadgenError(f"slo_ms must be > 0, got {slo_ms}")
+    report = LoadgenReport(concurrency=concurrency, batch=batch, slo_ms=slo_ms)
     queue: "asyncio.Queue[List[Pair]]" = asyncio.Queue()
     for start in range(0, len(pairs), batch):
         queue.put_nowait(list(pairs[start : start + batch]))
@@ -284,10 +316,17 @@ async def run_loadgen(
                 report.latency_ns.observe(time.monotonic_ns() - start_ns)
                 report.sent += len(group)
                 report.errors += len(group)
+                if slo_ms is not None:
+                    report.slo_total += 1  # a failed request misses the SLO
                 _note(report, f"{type(exc).__name__}: {exc}")
                 continue
-            report.latency_ns.observe(time.monotonic_ns() - start_ns)
+            request_ns = time.monotonic_ns() - start_ns
+            report.latency_ns.observe(request_ns)
             report.sent += len(group)
+            if slo_ms is not None:
+                report.slo_total += 1
+                if request_ns <= slo_ms * 1e6:
+                    report.slo_hits += 1
             if payload["op"] == "DIST":
                 report.ok += 1
                 check(group[0][0], group[0][1], response.get("estimate"))

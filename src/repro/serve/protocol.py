@@ -8,10 +8,15 @@ request is a JSON object with an ``"op"`` and op-specific fields::
     {"id": 3, "op": "LABEL", "v": 7}
     {"id": 4, "op": "HEALTH"}
     {"id": 5, "op": "STATS"}
+    {"id": 6, "op": "METRICS"}
 
 ``"id"`` is optional opaque client state echoed back verbatim;
 ``"store"`` optionally names one of the server's label stores (the
-default store answers when absent).  Vertices use the same JSON
+default store answers when absent); ``"trace"`` optionally carries a
+distributed trace context (``{"id": hex16, "span": hex16}``, see
+:mod:`repro.obs.context`) that the server's spans adopt — advisory,
+so a malformed context is ignored rather than rejected.  Vertices use
+the same JSON
 encoding as the labels file itself (:func:`repro.core.serialize
 .encode_vertex`): ints, floats, strings, and ``{"t": [...]}``-tagged
 tuples.
@@ -38,6 +43,7 @@ from dataclasses import dataclass, field
 from typing import Hashable, List, Optional, Tuple
 
 from repro.core.serialize import SerializationError, decode_vertex, encode_vertex
+from repro.obs.context import TraceContext
 from repro.util.errors import ReproError
 
 Vertex = Hashable
@@ -59,8 +65,9 @@ __all__ = [
 ]
 
 #: Ops the service speaks, in documentation order.  FAULT is the admin
-#: op of the fault-injection layer (:mod:`repro.serve.faults`).
-OPS = ("DIST", "BATCH", "LABEL", "HEALTH", "STATS", "FAULT")
+#: op of the fault-injection layer (:mod:`repro.serve.faults`);
+#: METRICS is the read-only live-metrics snapshot behind ``repro top``.
+OPS = ("DIST", "BATCH", "LABEL", "HEALTH", "STATS", "METRICS", "FAULT")
 
 #: FAULT actions a client may request.
 FAULT_ACTIONS = ("status", "enable", "disable", "set", "clear")
@@ -109,6 +116,7 @@ class Request:
     pairs: List[Tuple[Vertex, Vertex]] = field(default_factory=list)
     action: Optional[str] = None  # FAULT admin action
     plan: Optional[dict] = None   # FAULT "set" payload
+    trace: Optional[TraceContext] = None  # propagated trace context
 
 
 def _decode_wire_vertex(data, what: str) -> Vertex:
@@ -184,7 +192,12 @@ def _parse_ops(payload: dict, req_id) -> Request:
     store = payload.get("store")
     if store is not None and not isinstance(store, str):
         raise ProtocolError("bad_request", "\"store\" must be a string")
-    request = Request(op=op, id=req_id, store=store)
+    # Trace context is advisory: a malformed one is dropped (None), not
+    # rejected — observability must never cost a request its answer.
+    trace = (
+        TraceContext.from_wire(payload["trace"]) if "trace" in payload else None
+    )
+    request = Request(op=op, id=req_id, store=store, trace=trace)
 
     if op == "DIST":
         for name in ("u", "v"):
@@ -230,7 +243,7 @@ def _parse_ops(payload: dict, req_id) -> Request:
                 )
             request.plan = plan
         request.action = action
-    # HEALTH and STATS carry no operands.
+    # HEALTH, STATS, and METRICS carry no operands.
     return request
 
 

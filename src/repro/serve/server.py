@@ -33,7 +33,9 @@ from collections import OrderedDict
 from typing import Dict, Hashable, Optional, Tuple
 
 from repro.core.serialize import encode_label, encode_vertex
-from repro.obs import metrics
+from repro.obs import eventlog, metrics, process_rss_bytes, record_span, span
+from repro.obs.timeseries import TimeseriesWriter
+from repro.obs.tracing import Span, tracing_active
 from repro.serve.faults import FaultInjector, FaultPlan, FaultPlanError
 from repro.serve.protocol import (
     ProtocolError,
@@ -87,7 +89,7 @@ class _LruCache:
 
 
 class OracleServer:
-    """Serve DIST/BATCH/LABEL/HEALTH/STATS/FAULT over asyncio TCP.
+    """Serve DIST/BATCH/LABEL/HEALTH/STATS/METRICS/FAULT over asyncio TCP.
 
     With a :class:`~repro.serve.faults.FaultPlan` attached (the
     ``fault_plan`` argument or the runtime FAULT op), responses pass
@@ -107,6 +109,7 @@ class OracleServer:
         drain_grace: float = 10.0,
         max_batch: int = DEFAULT_MAX_BATCH,
         fault_plan: Optional[FaultPlan] = None,
+        timeseries: Optional[TimeseriesWriter] = None,
     ) -> None:
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
@@ -139,6 +142,11 @@ class OracleServer:
         self._idle.set()
         self._shutdown_requested = asyncio.Event()
         self._started_monotonic: Optional[float] = None
+        # Live metrics plane: a TimeseriesWriter sampled on an asyncio
+        # tick between start() and shutdown() (None = off).
+        self.timeseries = timeseries
+        self._timeseries_task: Optional[asyncio.Task] = None
+        self._timeseries_stop: Optional[asyncio.Event] = None
 
     # -- lifecycle ------------------------------------------------------
     async def start(self) -> None:
@@ -149,6 +157,20 @@ class OracleServer:
         self.port = self._server.sockets[0].getsockname()[1]
         self._started_monotonic = time.monotonic()
         self._export_shard_gauges()
+        if self.timeseries is not None:
+            if self.timeseries.extra_gauges is None:
+                self.timeseries.extra_gauges = self._live_gauges
+            self._timeseries_stop = asyncio.Event()
+            self._timeseries_task = asyncio.ensure_future(
+                self.timeseries.run(self._timeseries_stop)
+            )
+        eventlog.info(
+            "serve.start",
+            host=self.host,
+            port=self.port,
+            stores=len(self.catalog),
+            labels=self.catalog.num_labels,
+        )
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -171,6 +193,11 @@ class OracleServer:
         if self._draining:
             return
         self._draining = True
+        eventlog.info(
+            "serve.drain.begin",
+            inflight=self._active,
+            connections=len(self._writers),
+        )
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -189,6 +216,15 @@ class OracleServer:
             except (ConnectionError, OSError):
                 pass
         self._writers.clear()
+        if self._timeseries_task is not None:
+            self._timeseries_stop.set()
+            await self._timeseries_task
+            self._timeseries_task = None
+        eventlog.info(
+            "serve.drain.end",
+            requests=self.counters["requests"],
+            errors=self.counters["errors"],
+        )
 
     @property
     def draining(self) -> bool:
@@ -256,24 +292,80 @@ class OracleServer:
         The whole unit — dispatch *and* write — counts as one active
         operation, so :meth:`shutdown` cannot close the writer between
         a computed answer and its flush (the BATCH-drain race).
+
+        With a span sink attached the whole unit runs under a
+        ``serve.request`` span that adopts the request's propagated
+        trace context; without one this branch is a single boolean
+        check and the request takes the exact pre-tracing path.
         """
         self._active += 1
         self._idle.clear()
         try:
-            response, op = await self._handle_line(line)
-            await self._write_response(writer, response, op)
+            if tracing_active():
+                await self._serve_one_traced(line, writer)
+            else:
+                response, op = await self._handle_line(line)
+                await self._write_response(writer, response, op)
         finally:
             self._active -= 1
             if self._active == 0:
                 self._idle.set()
 
-    async def _handle_line(self, line: bytes) -> Tuple[dict, Optional[str]]:
+    async def _serve_one_traced(self, line: bytes, writer) -> None:
+        """The traced twin of the :meth:`_serve_one` body.
+
+        Parses first so the root ``serve.request`` span can adopt the
+        trace context the client sent (joining the client's trace);
+        the parse cost itself is replayed underneath as a
+        ``serve.parse`` child.  A request with no (or malformed) trace
+        context still gets a local span tree — it just carries no ids,
+        so the JSONL sink skips it unless asked for all spans.
+        """
         start_ns = time.monotonic_ns()
+        request, parse_exc = self._parse_line(line)
+        root = Span(
+            "serve.request",
+            context=request.trace if request is not None else None,
+        )
+        with root:
+            record_span("serve.parse", time.monotonic_ns() - start_ns)
+            response, op = await self._handle_parsed(request, parse_exc, start_ns)
+            root.set_attribute("op", op)
+            ok = bool(response.get("ok"))
+            root.set_attribute("ok", ok)
+            if not ok:
+                root.error = response["error"]["code"]
+            await self._write_response(writer, response, op)
+
+    def _parse_line(self, line: bytes):
+        """Parse one line; returns ``(request, None)`` or ``(None, exc)``."""
+        try:
+            return parse_request(line), None
+        except ProtocolError as exc:
+            return None, exc
+
+    async def _handle_line(self, line: bytes) -> Tuple[dict, Optional[str]]:
+        # Parse inline rather than via _parse_line: this is the
+        # telemetry-off hot path and the helper frame is pure cost here.
+        start_ns = time.monotonic_ns()
+        try:
+            request, parse_exc = parse_request(line), None
+        except ProtocolError as exc:
+            request, parse_exc = None, exc
+        return await self._handle_parsed(request, parse_exc, start_ns)
+
+    async def _handle_parsed(
+        self,
+        request: Optional[Request],
+        parse_exc: Optional[ProtocolError],
+        start_ns: int,
+    ) -> Tuple[dict, Optional[str]]:
         self.counters["requests"] += 1
         req_id = None
         op = None
         try:
-            request = parse_request(line)
+            if parse_exc is not None:
+                raise parse_exc
             req_id = request.id
             op = request.op
             if self._draining:
@@ -296,7 +388,9 @@ class OracleServer:
             )
         except Exception as exc:  # noqa: BLE001 - never drop the connection
             response = self._error(req_id, "internal", f"{type(exc).__name__}: {exc}")
-        metrics.observe("serve.latency_ns", time.monotonic_ns() - start_ns)
+        metrics.observe(
+            "serve.latency_ns", time.monotonic_ns() - start_ns, op=op or "invalid"
+        )
         return response, op
 
     async def _write_response(self, writer, response: dict, op: Optional[str]) -> None:
@@ -308,6 +402,16 @@ class OracleServer:
         real lossy path between server and client.
         """
         fault = self.faults.decide(op)
+        if fault is not None:
+            eventlog.debug(
+                "serve.fault",
+                op=op,
+                drop=fault.drop,
+                unavailable=fault.unavailable,
+                delay_ms=round(fault.delay_s * 1e3, 3),
+                corrupt=fault.corrupt[0] if fault.corrupt else None,
+                slow_drain=fault.slow_drain is not None,
+            )
         if fault is not None and fault.unavailable:
             response = self._error(
                 response.get("id"),
@@ -315,7 +419,11 @@ class OracleServer:
                 "injected transient fault; safe to retry",
             )
         try:
-            data = encode_response(response)
+            if tracing_active():
+                with span("serve.encode"):
+                    data = encode_response(response)
+            else:
+                data = encode_response(response)
         except ValueError:
             # A response that cannot be strict-JSON encoded (e.g. an
             # exotic id that slipped through parsing) must not kill the
@@ -329,21 +437,29 @@ class OracleServer:
             writer.write(data)
             await writer.drain()
             return
-        if fault.delay_s > 0:
-            await asyncio.sleep(fault.delay_s)
-        if fault.drop:
-            return
-        data = fault.apply_to_bytes(data)
-        if fault.slow_drain is not None:
-            chunk_bytes, interval_s = fault.slow_drain
-            for start in range(0, len(data), chunk_bytes):
-                writer.write(data[start : start + chunk_bytes])
-                await writer.drain()
-                if start + chunk_bytes < len(data):
-                    await asyncio.sleep(interval_s)
-            return
-        writer.write(data)
-        await writer.drain()
+        with span(
+            "serve.fault",
+            drop=fault.drop,
+            unavailable=fault.unavailable,
+            delay_ms=round(fault.delay_s * 1e3, 3),
+            corrupt=fault.corrupt[0] if fault.corrupt else None,
+            slow_drain=fault.slow_drain is not None,
+        ):
+            if fault.delay_s > 0:
+                await asyncio.sleep(fault.delay_s)
+            if fault.drop:
+                return
+            data = fault.apply_to_bytes(data)
+            if fault.slow_drain is not None:
+                chunk_bytes, interval_s = fault.slow_drain
+                for start in range(0, len(data), chunk_bytes):
+                    writer.write(data[start : start + chunk_bytes])
+                    await writer.drain()
+                    if start + chunk_bytes < len(data):
+                        await asyncio.sleep(interval_s)
+                return
+            writer.write(data)
+            await writer.drain()
 
     def _error(self, req_id, code: str, message: str) -> dict:
         self.counters["errors"] += 1
@@ -361,6 +477,8 @@ class OracleServer:
             return self._health()
         if request.op == "STATS":
             return self._stats()
+        if request.op == "METRICS":
+            return self._metrics()
         if request.op == "FAULT":
             return self._fault_admin(request)
         store = self._store_for(request)
@@ -383,21 +501,46 @@ class OracleServer:
             ) from None
 
     def _estimate(self, store: ShardedLabelStore, u: Vertex, v: Vertex) -> float:
+        # One flag read up front; span sites below branch on it instead
+        # of entering no-op context managers (three saved frames per
+        # request on the telemetry-off path).
+        traced = tracing_active()
         key = None
         if self.cache.capacity > 0:
             a, b = u, v
             if repr(b) < repr(a):
                 a, b = b, a
             key = (store.name, a, b)
-            found = self.cache.get(key)
+            if traced:
+                with span("serve.cache") as cache_span:
+                    found = self.cache.get(key)
+                    cache_span.set_attribute("hit", found is not None)
+            else:
+                found = self.cache.get(key)
             if found is not None:
                 self.counters["cache_hits"] += 1
                 metrics.inc("serve.cache.hit")
                 return found
             self.counters["cache_misses"] += 1
             metrics.inc("serve.cache.miss")
+        if metrics.enabled:
+            # Per-shard load for the live metrics plane (`repro top`).
+            # Guarded: shard_index hashes the vertex, which the
+            # registry-off fast path should not pay for.
+            metrics.inc(
+                "serve.shard.queries",
+                store=store.name,
+                shard=store.shard_index(u),
+            )
         try:
-            value = store.estimate(u, v)
+            if traced:
+                with span("serve.estimate") as est_span:
+                    est_span.set_attribute("store", store.name)
+                    est_span.set_attribute("shard_u", store.shard_index(u))
+                    est_span.set_attribute("shard_v", store.shard_index(v))
+                    value = store.estimate(u, v)
+            else:
+                value = store.estimate(u, v)
         except GraphError as exc:
             raise ProtocolError("unknown_vertex", str(exc)) from None
         if key is not None:
@@ -469,21 +612,64 @@ class OracleServer:
             "labels": self.catalog.num_labels,
         }
 
+    def _uptime(self) -> float:
+        if self._started_monotonic is None:
+            return 0.0
+        return time.monotonic() - self._started_monotonic
+
     def _stats(self) -> dict:
-        uptime = (
-            time.monotonic() - self._started_monotonic
-            if self._started_monotonic is not None
-            else 0.0
-        )
         return {
             "op": "STATS",
-            "uptime_s": round(uptime, 3),
+            "uptime_s": round(self._uptime(), 3),
+            "rss_bytes": process_rss_bytes(),
             "inflight": self._inflight,
             "peak_inflight": self.peak_inflight,
             "cache": {"size": len(self.cache), "capacity": self.cache.capacity},
             "counters": dict(self.counters),
             "stores": self.catalog.stats(),
             "faults": self.faults.status(),
+        }
+
+    def _metrics(self) -> dict:
+        """The METRICS op: a read-only live snapshot shaped for polling
+        (``repro top``).  Always-on internals come back regardless;
+        the full registry snapshot (per-op latency histograms, cache
+        hit counters, …) rides along when the global registry is
+        enabled (``repro serve --metrics``)."""
+        payload: dict = {
+            "op": "METRICS",
+            "time": round(time.time(), 3),
+            "uptime_s": round(self._uptime(), 3),
+            "rss_bytes": process_rss_bytes(),
+            "inflight": self._inflight,
+            "peak_inflight": self.peak_inflight,
+            "connections": len(self._writers),
+            "draining": self._draining,
+            "cache": {"size": len(self.cache), "capacity": self.cache.capacity},
+            "counters": dict(self.counters),
+            "shards": {
+                store.name: [shard.num_labels for shard in store.shards]
+                for store in self.catalog
+            },
+            "faults": {
+                "enabled": self.faults.enabled,
+                "decisions": self.faults.decisions,
+                "injected": dict(sorted(self.faults.injected.items())),
+            },
+            "metrics_enabled": metrics.enabled,
+        }
+        if metrics.enabled:
+            payload["metrics"] = metrics.snapshot()
+        return payload
+
+    def _live_gauges(self) -> Dict[str, float]:
+        """Extra per-tick gauges for the timeseries writer: live server
+        state the registry does not track continuously."""
+        return {
+            "serve.inflight": self._inflight,
+            "serve.connections.open": len(self._writers),
+            "serve.cache.size": len(self.cache),
+            "proc.rss_bytes": process_rss_bytes(),
         }
 
 

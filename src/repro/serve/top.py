@@ -1,0 +1,228 @@
+"""Rendering for ``repro top``: a live view over the METRICS op.
+
+``repro top HOST:PORT`` polls a running server's read-only METRICS
+snapshot (:meth:`~repro.serve.server.OracleServer._metrics`) on an
+interval and renders what an operator wants at a glance: request and
+error rates, per-op latency percentiles, cache hit rate, per-shard
+load, inflight/backpressure, and breaker / fault-plan state.  This
+module is the pure half — snapshot dicts in, text out — so the
+renderer is testable without a server or a terminal.
+
+Rates are computed from **deltas between consecutive snapshots**
+(the first tick shows totals only); per-op breakdowns appear when the
+server was started with ``--metrics``, since only the registry carries
+per-op counters and latency histograms.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.util.tables import format_table
+
+__all__ = ["render_top", "split_metric_key"]
+
+_KEY_RE = re.compile(r"^(?P<name>[^{]+)(?:\{(?P<labels>.*)\})?$")
+
+
+def split_metric_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """``"serve.latency_ns{op=DIST}"`` -> ``("serve.latency_ns",
+    {"op": "DIST"})``.  A key without labels gets an empty dict."""
+    match = _KEY_RE.match(key)
+    if match is None:
+        return key, {}
+    labels: Dict[str, str] = {}
+    raw = match.group("labels")
+    if raw:
+        for part in raw.split(","):
+            name, _, value = part.partition("=")
+            labels[name.strip()] = value.strip()
+    return match.group("name"), labels
+
+
+def _rate(cur_val: float, prev_val: float, dt: Optional[float]) -> Optional[float]:
+    if dt is None or dt <= 0:
+        return None
+    return max(0.0, cur_val - prev_val) / dt
+
+
+def _fmt_rate(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:.1f}"
+
+
+def _counter_delta(cur: dict, prev: Optional[dict], *keys) -> Tuple[float, float]:
+    """(current total, delta vs prev) for a nested counters path."""
+    def dig(payload):
+        node = payload
+        for key in keys:
+            if not isinstance(node, dict):
+                return 0.0
+            node = node.get(key, 0.0)
+        return node if isinstance(node, (int, float)) else 0.0
+
+    total = dig(cur)
+    return total, total - (dig(prev) if prev else 0.0)
+
+
+def _headline(cur: dict) -> str:
+    rss_mb = (cur.get("rss_bytes") or 0) / (1024 * 1024)
+    state = "draining" if cur.get("draining") else "serving"
+    cache = cur.get("cache") or {}
+    return (
+        f"{state}  up {cur.get('uptime_s', 0.0):.1f}s  rss {rss_mb:.1f}MB  "
+        f"inflight {cur.get('inflight', 0)}/{cur.get('peak_inflight', 0)} peak  "
+        f"conns {cur.get('connections', 0)}  "
+        f"cache {cache.get('size', 0)}/{cache.get('capacity', 0)}"
+    )
+
+
+def _throughput_rows(cur: dict, prev: Optional[dict], dt: Optional[float]) -> List[List]:
+    requests, d_requests = _counter_delta(cur, prev, "counters", "requests")
+    errors, d_errors = _counter_delta(cur, prev, "counters", "errors")
+    hits, d_hits = _counter_delta(cur, prev, "counters", "cache_hits")
+    misses, d_misses = _counter_delta(cur, prev, "counters", "cache_misses")
+    lookups = d_hits + d_misses
+    total_lookups = hits + misses
+    hit_rate = d_hits / lookups if lookups else (
+        hits / total_lookups if total_lookups else 0.0
+    )
+    return [
+        ["requests", int(requests), _fmt_rate(_rate(requests, requests - d_requests, dt))],
+        ["errors", int(errors), _fmt_rate(_rate(errors, errors - d_errors, dt))],
+        ["cache hit rate", f"{hit_rate:.1%}", ""],
+    ]
+
+
+def _per_op_rows(cur: dict, prev: Optional[dict], dt: Optional[float]) -> List[List]:
+    registry = cur.get("metrics") or {}
+    prev_registry = (prev or {}).get("metrics") or {}
+    counters = registry.get("counters", {})
+    prev_counters = prev_registry.get("counters", {})
+    histograms = registry.get("histograms", {})
+    by_op: Dict[str, Dict] = {}
+    for key, value in counters.items():
+        name, labels = split_metric_key(key)
+        if name == "serve.requests" and "op" in labels:
+            delta = value - prev_counters.get(key, 0.0)
+            by_op.setdefault(labels["op"], {})["qps"] = _rate(
+                value, value - delta, dt
+            )
+    for key, hist in histograms.items():
+        name, labels = split_metric_key(key)
+        if name == "serve.latency_ns" and "op" in labels:
+            entry = by_op.setdefault(labels["op"], {})
+            entry["count"] = hist.get("count", 0)
+            for q in ("p50", "p90", "p99"):
+                entry[q] = hist.get(q, 0.0) / 1e6
+    rows = []
+    for op in sorted(by_op):
+        entry = by_op[op]
+        rows.append(
+            [
+                op,
+                entry.get("count", 0),
+                _fmt_rate(entry.get("qps")),
+                f"{entry.get('p50', 0.0):.3f}",
+                f"{entry.get('p90', 0.0):.3f}",
+                f"{entry.get('p99', 0.0):.3f}",
+            ]
+        )
+    return rows
+
+
+def _shard_rows(cur: dict, prev: Optional[dict], dt: Optional[float]) -> List[List]:
+    registry = cur.get("metrics") or {}
+    counters = registry.get("counters", {})
+    prev_counters = ((prev or {}).get("metrics") or {}).get("counters", {})
+    queries: Dict[Tuple[str, str], Tuple[float, Optional[float]]] = {}
+    for key, value in counters.items():
+        name, labels = split_metric_key(key)
+        if name == "serve.shard.queries" and "shard" in labels:
+            delta = value - prev_counters.get(key, 0.0)
+            queries[(labels.get("store", ""), labels["shard"])] = (
+                value,
+                _rate(value, value - delta, dt),
+            )
+    rows = []
+    for store, labels_per_shard in sorted((cur.get("shards") or {}).items()):
+        for index, num_labels in enumerate(labels_per_shard):
+            total, qps = queries.get((store, str(index)), (None, None))
+            rows.append(
+                [
+                    store,
+                    index,
+                    num_labels,
+                    "-" if total is None else int(total),
+                    _fmt_rate(qps),
+                ]
+            )
+    return rows
+
+
+def _fault_line(cur: dict) -> str:
+    faults = cur.get("faults") or {}
+    if not faults.get("enabled"):
+        return "faults: off"
+    injected = faults.get("injected") or {}
+    detail = ", ".join(f"{k}={v}" for k, v in sorted(injected.items())) or "none yet"
+    return (
+        f"faults: ACTIVE  decisions {faults.get('decisions', 0)}  "
+        f"injected {detail}"
+    )
+
+
+def render_top(
+    cur: dict,
+    prev: Optional[dict] = None,
+    dt: Optional[float] = None,
+    breakers: Optional[Dict[str, Dict]] = None,
+) -> str:
+    """One full ``repro top`` frame from a METRICS snapshot.
+
+    *prev* and *dt* (seconds between the two snapshots) turn totals
+    into rates; *breakers* is the polling client's own per-address
+    breaker view (:meth:`ResilientClient.stats`)."""
+    blocks = [_headline(cur)]
+    blocks.append(
+        format_table(
+            ["metric", "total", "per_s"],
+            _throughput_rows(cur, prev, dt),
+            title="throughput",
+        )
+    )
+    op_rows = _per_op_rows(cur, prev, dt)
+    if op_rows:
+        blocks.append(
+            format_table(
+                ["op", "count", "qps", "p50_ms", "p90_ms", "p99_ms"],
+                op_rows,
+                title="per-op latency (cumulative percentiles)",
+            )
+        )
+    elif not cur.get("metrics_enabled"):
+        blocks.append(
+            "(per-op latency needs the server started with --metrics)"
+        )
+    shard_rows = _shard_rows(cur, prev, dt)
+    if shard_rows:
+        blocks.append(
+            format_table(
+                ["store", "shard", "labels", "queries", "qps"],
+                shard_rows,
+                title="per-shard load",
+            )
+        )
+    blocks.append(_fault_line(cur))
+    if breakers:
+        blocks.append(
+            format_table(
+                ["address", "state", "opened"],
+                [
+                    [address, info.get("state", "?"), info.get("opened_total", 0)]
+                    for address, info in sorted(breakers.items())
+                ],
+                title="client breakers",
+            )
+        )
+    return "\n".join(blocks)

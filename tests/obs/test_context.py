@@ -1,0 +1,79 @@
+"""Trace-context ids: determinism, wire round-trip, lenient parsing."""
+
+import pytest
+
+from repro.obs.context import (
+    TraceContext,
+    format_trace_id,
+    span_id_for,
+    trace_id_for,
+)
+
+
+class TestIds:
+    def test_trace_id_shape(self):
+        tid = trace_id_for(0, 0)
+        assert len(tid) == 16
+        assert tid == tid.lower()
+        int(tid, 16)  # valid hex
+
+    def test_trace_id_deterministic(self):
+        assert trace_id_for(7, 3) == trace_id_for(7, 3)
+
+    def test_trace_id_varies_with_seed_and_call(self):
+        ids = {trace_id_for(s, c) for s in range(4) for c in range(4)}
+        assert len(ids) == 16
+
+    def test_span_id_deterministic(self):
+        tid = trace_id_for(0, 0)
+        assert span_id_for(tid, None, "root", 0) == span_id_for(tid, None, "root", 0)
+
+    def test_span_id_varies_with_every_input(self):
+        tid = trace_id_for(0, 0)
+        base = span_id_for(tid, None, "root", 0)
+        assert span_id_for(tid, None, "root", 1) != base
+        assert span_id_for(tid, None, "other", 0) != base
+        assert span_id_for(tid, base, "root", 0) != base
+        assert span_id_for(trace_id_for(0, 1), None, "root", 0) != base
+
+    def test_format_trace_id_masks_to_64_bits(self):
+        assert format_trace_id(2**64 + 5) == format_trace_id(5)
+        assert len(format_trace_id(0)) == 16
+
+
+class TestWire:
+    def test_round_trip_with_span(self):
+        ctx = TraceContext(trace_id_for(1, 2), span_id_for(trace_id_for(1, 2), None, "r", 0))
+        assert TraceContext.from_wire(ctx.to_wire()) == ctx
+
+    def test_round_trip_root_context(self):
+        ctx = TraceContext(trace_id_for(1, 2))
+        wire = ctx.to_wire()
+        assert "span" not in wire
+        assert TraceContext.from_wire(wire) == ctx
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            None,
+            "not-a-dict",
+            42,
+            [],
+            {},
+            {"id": 12345},
+            {"id": "short"},
+            {"id": "g" * 16},  # non-hex
+            {"id": "A" * 16},  # uppercase rejected: canonical form is lower
+            {"id": "0" * 17},
+            {"id": "0" * 16, "span": "bad"},
+            {"id": "0" * 16, "span": 7},
+        ],
+    )
+    def test_malformed_is_none_not_error(self, payload):
+        # Lenient contract: a bad trace field costs observability, never
+        # the request.
+        assert TraceContext.from_wire(payload) is None
+
+    def test_missing_span_is_allowed(self):
+        ctx = TraceContext.from_wire({"id": "ab" * 8})
+        assert ctx == TraceContext("ab" * 8, None)

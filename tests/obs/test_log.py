@@ -1,0 +1,128 @@
+"""Structured event log: sinks, levels, trace correlation, crash safety."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    EventLogger,
+    JsonlFileSink,
+    RingBufferSink,
+    StderrLineSink,
+    use_sink,
+)
+from repro.obs.context import TraceContext, trace_id_for
+from repro.obs.tracing import CollectingSink, Span
+
+
+class TestFastPath:
+    def test_inactive_without_sinks(self):
+        logger = EventLogger()
+        assert not logger.active
+        logger.info("anything", n=1)  # must be a silent no-op
+
+    def test_active_with_sink_and_removal(self):
+        logger = EventLogger()
+        ring = logger.add_sink(RingBufferSink(4))
+        assert logger.active
+        logger.remove_sink(ring)
+        assert not logger.active
+        logger.remove_sink(ring)  # double-remove is harmless
+
+
+class TestRecordShape:
+    def test_fields_and_levels(self):
+        logger = EventLogger()
+        ring = logger.add_sink(RingBufferSink(8))
+        logger.debug("a")
+        logger.info("b", x=1)
+        logger.warn("c")
+        logger.error("d")
+        levels = [e["level"] for e in ring.events()]
+        assert levels == ["debug", "info", "warn", "error"]
+        event = ring.events()[1]
+        assert event["event"] == "b" and event["x"] == 1
+        assert isinstance(event["ts"], float)
+
+    def test_non_jsonable_fields_coerced(self):
+        logger = EventLogger()
+        ring = logger.add_sink(RingBufferSink(8))
+        logger.info("e", obj=object(), seq=(1, 2), nested={"k": {3}})
+        event = ring.events()[0]
+        json.dumps(event)  # whole record must serialize
+        assert event["seq"] == [1, 2]
+
+    def test_trace_ids_attached_inside_traced_span(self):
+        logger = EventLogger()
+        ring = logger.add_sink(RingBufferSink(8))
+        collector = CollectingSink()
+        tid = trace_id_for(0, 0)
+        with use_sink(collector):
+            with Span("root", context=TraceContext(tid)) as root:
+                logger.info("inside")
+            logger.info("outside")
+        inside, outside = ring.events()
+        assert inside["trace"] == tid
+        assert inside["span"] == root.span_id
+        assert "trace" not in outside
+
+
+class TestRingBufferSink:
+    def test_capacity_and_drop_count(self):
+        ring = RingBufferSink(3)
+        for i in range(5):
+            ring.on_event({"i": i})
+        assert [e["i"] for e in ring.events()] == [2, 3, 4]
+        assert ring.dropped == 2
+        assert len(ring) == 3
+
+    def test_drain_clears(self):
+        ring = RingBufferSink(3)
+        ring.on_event({"i": 0})
+        assert [e["i"] for e in ring.drain()] == [0]
+        assert ring.events() == []
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(0)
+
+
+class TestJsonlFileSink:
+    def test_one_line_per_event_flushed(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlFileSink(path)
+        sink.on_event({"event": "a", "n": 1})
+        # Flushed per line: visible before close.
+        assert json.loads(path.read_text().splitlines()[0])["event"] == "a"
+        sink.on_event({"event": "b"})
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert [json.loads(l)["event"] for l in lines] == ["a", "b"]
+
+    def test_appends_to_existing_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"event":"old"}\n')
+        sink = JsonlFileSink(path)
+        sink.on_event({"event": "new"})
+        sink.close()
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_write_after_close_is_dropped(self, tmp_path):
+        # Crash-safety stance: a write racing interpreter shutdown must
+        # not raise.
+        sink = JsonlFileSink(tmp_path / "events.jsonl")
+        sink.close()
+        sink.on_event({"event": "late"})
+        sink.close()  # double close also harmless
+
+
+class TestStderrLineSink:
+    def test_renders_fields_and_filters_level(self):
+        stream = io.StringIO()
+        sink = StderrLineSink(stream, min_level="info")
+        sink.on_event({"ts": 1.0, "level": "debug", "event": "quiet"})
+        sink.on_event({"ts": 1.0, "level": "warn", "event": "loud", "k": "v"})
+        out = stream.getvalue()
+        assert "quiet" not in out
+        assert "[warn] loud k=v" in out

@@ -1,0 +1,113 @@
+"""Timeseries plane: delta semantics, JSONL shape, the server tick."""
+
+import asyncio
+import json
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import (
+    FORMAT,
+    TimeseriesWriter,
+    process_rss_bytes,
+    registry_sample,
+    sample_delta,
+)
+
+
+def live_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.enabled = True
+    return registry
+
+
+class TestProcessRss:
+    def test_positive_on_linux(self):
+        assert process_rss_bytes() > 0
+
+
+class TestSampleDelta:
+    def test_counters_differenced_and_zero_omitted(self):
+        registry = live_registry()
+        registry.inc("reqs", 3)
+        registry.inc("idle")
+        before = registry_sample(registry)
+        registry.inc("reqs", 2)
+        delta = sample_delta(before, registry_sample(registry))
+        # idle did not move this interval, so it must not appear.
+        assert delta["counters"] == {"reqs": 2}
+
+    def test_new_keys_count_from_zero(self):
+        registry = live_registry()
+        before = registry_sample(registry)
+        registry.inc("fresh", 4)
+        delta = sample_delta(before, registry_sample(registry))
+        assert delta["counters"] == {"fresh": 4}
+
+    def test_gauges_report_current_reading(self):
+        registry = live_registry()
+        registry.gauge("depth", 5)
+        before = registry_sample(registry)
+        registry.gauge("depth", 2)
+        delta = sample_delta(before, registry_sample(registry))
+        assert delta["gauges"]["depth"] == 2
+
+    def test_histograms_reduced_to_count_sum_deltas(self):
+        registry = live_registry()
+        registry.observe("lat", 10.0)
+        before = registry_sample(registry)
+        registry.observe("lat", 30.0)
+        registry.observe("lat", 2.0)
+        delta = sample_delta(before, registry_sample(registry))
+        assert delta["histograms"]["lat"] == {"count": 2, "sum": 32.0}
+
+
+class TestTimeseriesWriter:
+    def test_header_then_delta_lines(self, tmp_path):
+        registry = live_registry()
+        path = tmp_path / "ts.jsonl"
+        writer = TimeseriesWriter(path, registry=registry, interval_s=0.5)
+        registry.inc("reqs", 7)
+        writer.sample()
+        writer.close()
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines[0] == {"format": FORMAT, "interval_s": 0.5}
+        assert lines[1]["counters"] == {"reqs": 7}
+        assert lines[1]["dt"] >= 0
+        assert writer.samples == 1
+
+    def test_extra_gauges_merged_per_tick(self, tmp_path):
+        registry = live_registry()
+        writer = TimeseriesWriter(
+            tmp_path / "ts.jsonl",
+            registry=registry,
+            extra_gauges=lambda: {"serve.inflight": 3},
+        )
+        record = writer.sample()
+        writer.close()
+        assert record["gauges"]["serve.inflight"] == 3
+
+    def test_write_after_close_is_dropped(self, tmp_path):
+        writer = TimeseriesWriter(tmp_path / "ts.jsonl", registry=MetricsRegistry())
+        writer.close()
+        writer.sample()  # must not raise
+        writer.close()
+
+    def test_run_samples_until_stop_with_final_sample(self, tmp_path):
+        registry = live_registry()
+        path = tmp_path / "ts.jsonl"
+
+        async def go():
+            writer = TimeseriesWriter(path, registry=registry, interval_s=0.01)
+            stop = asyncio.Event()
+            task = asyncio.ensure_future(writer.run(stop))
+            registry.inc("reqs")
+            await asyncio.sleep(0.05)
+            stop.set()
+            await task
+            return writer
+
+        writer = asyncio.run(go())
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        # Header + at least one periodic tick + the final on-stop sample.
+        assert len(lines) >= 3
+        assert writer.samples >= 2
+        assert sum(l.get("counters", {}).get("reqs", 0) for l in lines[1:]) == 1

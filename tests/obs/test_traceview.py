@@ -1,0 +1,155 @@
+"""Trace reassembly: file parsing, stitching, join gate, rendering."""
+
+import json
+
+from repro.obs.traceview import (
+    SpanRecord,
+    assemble_traces,
+    critical_spans,
+    cross_process,
+    read_span_files,
+    render_trace,
+)
+
+TID = "ab" * 8
+
+
+def rec(span, parent, name, ts=0.0, dur_ms=1.0, svc="", trace=TID, **attrs):
+    return SpanRecord(
+        trace=trace,
+        span=span,
+        parent=parent,
+        name=name,
+        ts=ts,
+        dur_ns=int(dur_ms * 1e6),
+        service=svc,
+        attrs=attrs,
+    )
+
+
+def write_spans(path, records, service="test"):
+    with open(path, "w") as handle:
+        handle.write(json.dumps({"format": "repro-spans/1", "service": service}) + "\n")
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+
+
+class TestReadSpanFiles:
+    def test_headers_and_garbage_skipped_not_fatal(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        write_spans(
+            path,
+            [
+                {"trace": TID, "span": "s1", "name": "a", "ts": 1.0, "dur_ns": 5},
+                "not-a-span",
+            ],
+        )
+        with open(path, "a") as handle:
+            handle.write("{truncated\n")
+        records, skipped = read_span_files([path])
+        assert [r.name for r in records] == ["a"]
+        assert skipped == 1  # the truncated line; the header and the
+        # non-dict line are silently ignored as foreign
+
+    def test_merges_multiple_files(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        write_spans(a, [{"trace": TID, "span": "s1", "name": "x", "ts": 1.0, "dur_ns": 1}])
+        write_spans(b, [{"trace": TID, "span": "s2", "name": "y", "ts": 2.0, "dur_ns": 1}])
+        records, skipped = read_span_files([a, b])
+        assert {r.span for r in records} == {"s1", "s2"}
+        assert skipped == 0
+
+
+class TestAssemble:
+    def test_parent_links_stitched_across_processes(self):
+        trees = assemble_traces(
+            [
+                rec("c1", None, "client.request", ts=0.0, svc="loadgen"),
+                rec("c2", "c1", "client.attempt", ts=0.1, svc="loadgen"),
+                rec("s1", "c2", "serve.request", ts=0.2, svc="serve"),
+                rec("s2", "s1", "serve.estimate", ts=0.3, svc="serve"),
+            ]
+        )
+        assert len(trees) == 1
+        tree = trees[0]
+        assert [r.name for r in tree.roots] == ["client.request"]
+        assert tree.span_count == 4
+        assert tree.services() == ["loadgen", "serve"]
+        names = [n.name for n, _ in tree.walk()]
+        assert names == [
+            "client.request",
+            "client.attempt",
+            "serve.request",
+            "serve.estimate",
+        ]
+
+    def test_missing_parent_becomes_orphan_root(self):
+        trees = assemble_traces([rec("s1", "gone", "serve.request")])
+        root = trees[0].roots[0]
+        assert root.orphan
+
+    def test_traces_grouped_and_ordered_by_start(self):
+        trees = assemble_traces(
+            [
+                rec("b", None, "late", ts=5.0, trace="bb" * 8),
+                rec("a", None, "early", ts=1.0, trace="aa" * 8),
+            ]
+        )
+        assert [t.trace_id for t in trees] == ["aa" * 8, "bb" * 8]
+
+
+class TestCrossProcess:
+    def test_joined_tree_passes(self):
+        trees = assemble_traces(
+            [
+                rec("c1", None, "client.request"),
+                rec("s1", "c1", "serve.request"),
+            ]
+        )
+        assert cross_process(trees[0])
+
+    def test_orphaned_server_fragment_fails(self):
+        # Both sides present but NOT linked into one tree: the gate must
+        # fail, that is exactly the regression it exists to catch.
+        trees = assemble_traces(
+            [
+                rec("c1", None, "client.request"),
+                rec("s1", "missing", "serve.request"),
+            ]
+        )
+        assert not cross_process(trees[0])
+
+    def test_client_only_fails(self):
+        trees = assemble_traces([rec("c1", None, "client.request")])
+        assert not cross_process(trees[0])
+
+
+class TestCriticalPath:
+    def test_descends_into_last_finishing_child(self):
+        root = rec("r", None, "client.request", ts=0.0, dur_ms=10)
+        fast = rec("f", "r", "client.attempt", ts=0.1, dur_ms=1)
+        slow = rec("s", "r", "client.attempt", ts=0.2, dur_ms=8)
+        leaf = rec("l", "s", "serve.request", ts=0.3, dur_ms=5)
+        tree = assemble_traces([root, fast, slow, leaf])[0]
+        path = critical_spans(tree.roots[0])
+        assert [n.span for n in path] == ["r", "s", "l"]
+
+
+class TestRender:
+    def test_render_marks_path_and_shows_attrs(self):
+        tree = assemble_traces(
+            [
+                rec("c1", None, "client.request", ts=0.0, dur_ms=4, svc="loadgen", op="DIST"),
+                rec("s1", "c1", "serve.request", ts=0.001, dur_ms=2, svc="serve"),
+            ]
+        )[0]
+        text = render_trace(tree)
+        assert TID in text
+        assert "op=DIST" in text
+        assert "[serve]" in text
+        assert "critical path: client.request" in text
+        assert "* client.request" in text.replace("  ", " ")
+
+    def test_render_flags_orphans(self):
+        tree = assemble_traces([rec("s1", "gone", "serve.request")])[0]
+        assert "orphan" in render_trace(tree)

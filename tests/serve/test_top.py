@@ -1,0 +1,111 @@
+"""render_top / split_metric_key: pure snapshot-to-text rendering."""
+
+from repro.serve.top import render_top, split_metric_key
+
+
+def snapshot(**over):
+    base = {
+        "op": "METRICS",
+        "ok": True,
+        "uptime_s": 12.5,
+        "rss_bytes": 32 * 1024 * 1024,
+        "inflight": 1,
+        "peak_inflight": 4,
+        "connections": 2,
+        "draining": False,
+        "cache": {"size": 10, "capacity": 64, "hits": 5, "misses": 15},
+        "counters": {
+            "requests": 100,
+            "errors": 2,
+            "cache_hits": 5,
+            "cache_misses": 15,
+        },
+        "shards": {"grid": [6, 7, 6, 6]},
+        "faults": {"enabled": False, "decisions": 0, "injected": {}},
+        "metrics_enabled": False,
+    }
+    base.update(over)
+    return base
+
+
+class TestSplitMetricKey:
+    def test_plain_name(self):
+        assert split_metric_key("serve.inflight") == ("serve.inflight", {})
+
+    def test_labels_parsed(self):
+        name, labels = split_metric_key("serve.latency_ns{op=DIST,store=grid}")
+        assert name == "serve.latency_ns"
+        assert labels == {"op": "DIST", "store": "grid"}
+
+
+class TestRenderTop:
+    def test_first_frame_totals_without_rates(self):
+        text = render_top(snapshot())
+        assert "serving" in text
+        assert "rss 32.0MB" in text
+        assert "inflight 1/4 peak" in text
+        assert "requests" in text and "100" in text
+        # No previous frame: rates render as "-".
+        assert "-" in text
+        assert "cache hit rate" in text and "25.0%" in text
+
+    def test_rates_from_deltas(self):
+        prev = snapshot()
+        cur = snapshot(
+            counters={
+                "requests": 150,
+                "errors": 2,
+                "cache_hits": 30,
+                "cache_misses": 20,
+            }
+        )
+        text = render_top(cur, prev, dt=2.0)
+        assert "25.0" in text  # 50 requests / 2s
+        # Hit rate over the interval: 25 hits of 30 lookups.
+        assert "83.3%" in text
+
+    def test_per_op_table_needs_registry(self):
+        text = render_top(snapshot())
+        assert "--metrics" in text  # the hint, not the table
+        registry = {
+            "counters": {"serve.requests{op=DIST}": 90},
+            "gauges": {},
+            "histograms": {
+                "serve.latency_ns{op=DIST}": {
+                    "count": 90,
+                    "p50": 5e5,
+                    "p90": 2e6,
+                    "p99": 9e6,
+                }
+            },
+        }
+        text = render_top(snapshot(metrics=registry, metrics_enabled=True))
+        assert "per-op latency" in text
+        assert "DIST" in text
+        assert "0.500" in text and "2.000" in text and "9.000" in text
+
+    def test_shard_rows_show_labels_and_queries(self):
+        registry = {
+            "counters": {
+                "serve.shard.queries{shard=0,store=grid}": 40,
+                "serve.shard.queries{shard=1,store=grid}": 10,
+            },
+            "gauges": {},
+            "histograms": {},
+        }
+        text = render_top(snapshot(metrics=registry, metrics_enabled=True))
+        assert "per-shard load" in text
+        assert "40" in text and "10" in text
+
+    def test_fault_and_breaker_lines(self):
+        cur = snapshot(
+            faults={"enabled": True, "decisions": 7, "injected": {"drop": 3}},
+            draining=True,
+        )
+        text = render_top(
+            cur,
+            breakers={"127.0.0.1:7471": {"state": "open", "opened_total": 2}},
+        )
+        assert "draining" in text
+        assert "faults: ACTIVE" in text and "drop=3" in text
+        assert "client breakers" in text and "open" in text

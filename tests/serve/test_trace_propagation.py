@@ -1,0 +1,283 @@
+"""End-to-end tracing across the wire: client spans, server spans, one
+tree — plus hedge tagging, fault-plan survival, deterministic ids, the
+METRICS op, and the loadgen SLO report.
+
+These are the observability acceptance tests: everything here runs a
+real OracleServer on an ephemeral port and a real ResilientClient, with
+span collection active, exactly like ``repro serve --trace-out`` +
+``repro loadgen --trace-out`` + ``repro trace``.
+"""
+
+import asyncio
+import json
+
+from repro.obs import CollectingSink, use_sink
+from repro.obs.traceview import assemble_traces, cross_process, read_span_files
+from repro.obs.tracing import JsonlSpanSink
+from repro.serve import (
+    FaultPlan,
+    OracleServer,
+    ResilientClient,
+    RetryPolicy,
+    run_loadgen,
+)
+
+from tests.serve.conftest import rpc
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def wire(v):
+    from repro.core.serialize import encode_vertex
+
+    return encode_vertex(v)
+
+
+async def _started(catalog, **kwargs) -> OracleServer:
+    server = OracleServer(catalog, port=0, **kwargs)
+    await server.start()
+    return server
+
+
+def span_records(collector: CollectingSink):
+    """Flatten a CollectingSink's root spans into (name, span) pairs."""
+    out = []
+    for root in collector.roots:
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            out.append(node)
+            stack.extend(node.children)
+    return out
+
+
+class TestJoinedTraces:
+    def test_client_and_server_spans_share_one_trace(self, catalog):
+        collector = CollectingSink()
+
+        async def main():
+            server = await _started(catalog)
+            client = ResilientClient(
+                [("127.0.0.1", server.port)],
+                policy=RetryPolicy(attempts=2, attempt_timeout=5.0),
+            )
+            try:
+                await client.dist((0, 0), (4, 4))
+            finally:
+                await client.close()
+                await server.shutdown()
+
+        with use_sink(collector):
+            run(main())
+
+        spans = span_records(collector)
+        by_name = {}
+        for node in spans:
+            by_name.setdefault(node.name, []).append(node)
+        (request,) = by_name["client.request"]
+        (attempt,) = by_name["client.attempt"]
+        (serve,) = by_name["serve.request"]
+        # One trace id end to end; the server root hangs off the attempt.
+        assert request.trace_id == attempt.trace_id == serve.trace_id
+        assert attempt.parent_span_id == request.span_id
+        assert serve.parent_span_id == attempt.span_id
+        assert {n.name for n in serve.children} >= {"serve.parse", "serve.estimate"}
+        assert request.attributes["outcome"] == "ok"
+        assert attempt.attributes["kind"] == "initial"
+
+    def test_spans_join_under_drop_fault_plan(self, catalog, tmp_path):
+        # The acceptance scenario: 10% dropped replies force retries, and
+        # every retry attempt still stitches its server spans into the
+        # same per-request tree (written through real JSONL files).
+        plan = FaultPlan.from_dict(
+            {
+                "format": "repro-fault-plan/1",
+                "seed": 3,
+                "rules": [{"kind": "drop", "rate": 0.1}],
+            }
+        )
+        # One sink for both sides: server and client share this process,
+        # and stacking two file sinks would duplicate every span.  The
+        # cross_process gate keys on span names, not the service tag.
+        spans_path = tmp_path / "spans.jsonl"
+
+        async def main():
+            server = await _started(catalog, fault_plan=plan)
+            client = ResilientClient(
+                [("127.0.0.1", server.port)],
+                policy=RetryPolicy(attempts=6, attempt_timeout=0.3),
+                seed=5,
+            )
+            pairs = [((0, 0), (4, 4)), ((1, 2), (3, 0)), ((2, 2), (0, 3))] * 12
+            try:
+                for u, v in pairs:
+                    await client.dist(u, v)
+            finally:
+                await client.close()
+                await server.shutdown()
+            return len(pairs), client.counters["retries"]
+
+        with use_sink(JsonlSpanSink(spans_path, service="test")):
+            num_pairs, retries = run(main())
+
+        records, skipped = read_span_files([spans_path])
+        assert skipped == 0
+        trees = assemble_traces(records)
+        assert len(trees) == num_pairs
+        # Every request must reassemble into ONE cross-process tree,
+        # including the ones whose first attempt was dropped.
+        assert all(cross_process(tree) for tree in trees)
+        assert retries > 0  # the plan actually bit
+        retried = [t for t in trees if len(t.find_all("client.attempt")) > 1]
+        assert retried, "expected at least one multi-attempt trace"
+        for tree in retried:
+            kinds = [a.attrs["kind"] for a in tree.find_all("client.attempt")]
+            assert kinds[0] == "initial" and "retry" in kinds
+
+
+class TestHedging:
+    def test_losing_hedge_span_recorded_and_tagged(self, catalog):
+        # Slow every reply so the hedge always fires; both attempts'
+        # spans must appear, the loser tagged cancelled.
+        plan = FaultPlan.from_dict(
+            {
+                "format": "repro-fault-plan/1",
+                "seed": 0,
+                "rules": [{"kind": "delay", "rate": 1.0, "delay_ms": 80.0}],
+            }
+        )
+        collector = CollectingSink()
+
+        async def main():
+            server = await _started(catalog, fault_plan=plan)
+            client = ResilientClient(
+                [("127.0.0.1", server.port)],
+                policy=RetryPolicy(
+                    attempts=2, attempt_timeout=5.0, hedge_after=0.01
+                ),
+            )
+            try:
+                response = await client.dist((0, 0), (4, 4))
+            finally:
+                await client.close()
+                await server.shutdown()
+            return response, dict(client.counters)
+
+        with use_sink(collector):
+            response, counters = run(main())
+
+        assert response["ok"] is True
+        assert counters["hedges"] == 1
+        (request,) = [
+            n for n in span_records(collector) if n.name == "client.request"
+        ]
+        attempts = [c for c in request.children if c.name == "client.attempt"]
+        assert len(attempts) == 2
+        kinds = {a.attributes["kind"] for a in attempts}
+        assert kinds == {"initial", "hedge"}
+        winners = [a for a in attempts if not a.attributes.get("cancelled")]
+        losers = [a for a in attempts if a.attributes.get("cancelled")]
+        assert len(winners) == 1 and len(losers) == 1
+        assert losers[0].error == "CancelledError"
+        assert request.attributes["winner"] in ("primary", "hedge")
+
+
+class TestDeterministicIds:
+    def test_ids_byte_identical_across_seeded_runs(self, catalog, tmp_path):
+        async def workload(port):
+            client = ResilientClient(
+                [("127.0.0.1", port)],
+                policy=RetryPolicy(attempts=2, attempt_timeout=5.0),
+                seed=42,
+            )
+            try:
+                for u, v in [((0, 0), (4, 4)), ((1, 2), (3, 0))]:
+                    await client.dist(u, v)
+            finally:
+                await client.close()
+
+        def one_run(tag):
+            path = tmp_path / f"client_{tag}.jsonl"
+
+            async def main():
+                server = await _started(catalog)
+                try:
+                    await workload(server.port)
+                finally:
+                    await server.shutdown()
+
+            with use_sink(JsonlSpanSink(path, service="loadgen")):
+                run(main())
+            ids = []
+            for line in path.read_text().splitlines():
+                record = json.loads(line)
+                if "format" in record:
+                    continue
+                ids.append(
+                    (record["name"], record["trace"], record["span"], record["parent"])
+                )
+            return sorted(ids)
+
+        first, second = one_run("a"), one_run("b")
+        # Same seed, same workload -> byte-identical trace and span ids,
+        # even though timings differ between the two runs.
+        assert first == second
+        assert first  # non-empty
+
+
+class TestMetricsOp:
+    def test_metrics_snapshot_shape(self, catalog):
+        async def main():
+            server = await _started(catalog, cache_size=8)
+            lines = await rpc(
+                server.port,
+                [
+                    {"op": "DIST", "u": wire((0, 0)), "v": wire((4, 4))},
+                    {"op": "METRICS"},
+                    {"op": "STATS"},
+                ],
+            )
+            await server.shutdown()
+            return [json.loads(line) for line in lines]
+
+        _, metrics_resp, stats = run(main())
+        assert metrics_resp["ok"] is True
+        assert metrics_resp["op"] == "METRICS"
+        assert metrics_resp["counters"]["requests"] >= 1
+        assert metrics_resp["uptime_s"] >= 0
+        assert metrics_resp["rss_bytes"] > 0
+        assert metrics_resp["cache"]["capacity"] == 8
+        assert metrics_resp["shards"]["grid"]  # per-shard label counts
+        assert metrics_resp["faults"]["enabled"] is False
+        # Registry off by default: the snapshot says so instead of lying
+        # with empty per-op tables.
+        assert metrics_resp["metrics_enabled"] is False
+        assert "metrics" not in metrics_resp
+        # Satellite: STATS grew an rss field too.
+        assert stats["rss_bytes"] > 0
+
+
+class TestLoadgenSlo:
+    def test_slo_attainment_reported(self, catalog):
+        async def main():
+            server = await _started(catalog)
+            report = await run_loadgen(
+                "127.0.0.1",
+                server.port,
+                [((0, 0), (4, 4)), ((1, 2), (3, 0))] * 5,
+                concurrency=2,
+                slo_ms=60_000.0,  # generous: everything should hit
+            )
+            await server.shutdown()
+            return report
+
+        report = run(main())
+        assert report.slo_total == 10
+        assert report.slo_hits == 10
+        assert report.slo_attainment == 1.0
+        rows = dict(report.rows())
+        assert rows["slo_ms"] == 60_000.0
+        assert rows["slo_attainment"] == 1.0
+        assert report.meta()["slo"]["attainment"] == 1.0
