@@ -6,6 +6,7 @@ Subcommands::
     repro decompose  g.edges [--engine greedy|planar|...]    # separator stats
     repro oracle     g.edges --epsilon 0.1 --queries 200     # build + evaluate
     repro labels     g.edges --epsilon 0.1 --out labels.json # ship labels
+    repro pack       labels.json labels.bin                  # JSON <-> binary
     repro query      labels.json U V                         # distance from labels
     repro query      labels.json --pairs-file p.txt          # batch of queries
     repro smallworld g.edges --pairs 100                     # greedy-hop comparison
@@ -29,10 +30,16 @@ state is consumed.  ``oracle``, ``labels``, and ``stats`` take
 the output is byte-identical to a serial build (see
 :doc:`docs/performance`).
 
+Labels travel in either codec of the ``repro-distance-labels`` family —
+``/1`` JSON (debug) or ``/2`` packed binary (``docs/formats.md``) —
+and every consumer (``query``, ``serve``, ``loadgen``, ``chaos``)
+sniffs the file and accepts both; ``repro pack`` converts between
+them and ``repro labels --codec binary`` emits ``/2`` directly.
+
 All failure modes the operator can trigger — a missing input file, a
-labels file that is not valid ``repro-distance-labels/1`` JSON, a query
-for a vertex with no label — print one ``error: ...`` line on stderr
-and exit with status 2, never a traceback.
+labels file that is not a valid ``repro-distance-labels`` payload, a
+query for a vertex with no label — print one ``error: ...`` line on
+stderr and exit with status 2, never a traceback.
 
 Graphs are exchanged as whitespace edge lists (see
 :mod:`repro.graphs.io`); generated graphs are relabeled to integers so
@@ -48,6 +55,7 @@ import os
 import random
 import sys
 from contextlib import ExitStack
+from pathlib import Path
 from typing import List, Optional
 
 from repro.core import build_decomposition, build_labeling
@@ -230,12 +238,49 @@ def cmd_labels(args) -> int:
     labeling = build_labeling(
         graph, tree, epsilon=args.epsilon, parallel=args.jobs, seed=args.seed
     )
-    dump_labeling(labeling, args.out)
+    dump_labeling(labeling, args.out, codec=args.codec, num_shards=args.shards)
     report = labeling.size_report()
     print(
         f"wrote {len(labeling.labels)} labels (mean {report.mean_words:.1f} "
-        f"words) to {args.out}"
+        f"words, {args.codec}) to {args.out}"
     )
+    return 0
+
+
+def cmd_pack(args) -> int:
+    """``repro pack``: convert a labels file between the JSON (``/1``)
+    and packed binary (``/2``) codecs.
+
+    The direction is inferred by sniffing the input (override with
+    ``--to``); converting a file to its own codec is allowed and
+    canonicalizes it.  ``--verify`` reloads the output and requires
+    the label set to match the input exactly.
+    """
+    from repro.core.binfmt import MAGIC, is_binary_labels
+
+    in_path = Path(args.input)
+    with open(in_path, "rb") as handle:
+        head = handle.read(len(MAGIC))
+    source_codec = "binary" if is_binary_labels(head) else "json"
+    target_codec = args.to or ("json" if source_codec == "binary" else "binary")
+    remote = load_labeling(in_path)
+    with span("pack", labels=remote.num_labels, to=target_codec):
+        dump_labeling(remote, args.out, codec=target_codec, num_shards=args.shards)
+    in_bytes = in_path.stat().st_size
+    out_bytes = Path(args.out).stat().st_size
+    print(
+        f"packed {remote.num_labels} labels: {in_bytes} bytes {source_codec} "
+        f"-> {out_bytes} bytes {target_codec} "
+        f"({out_bytes / max(1, in_bytes):.2f}x) in {args.out}"
+    )
+    if args.verify:
+        packed = load_labeling(args.out)
+        if packed.epsilon != remote.epsilon or packed.labels != remote.labels:
+            raise ReproError(
+                f"verification failed: {args.out} does not reproduce "
+                f"the label set of {args.input}"
+            )
+        print(f"verified: {args.out} reproduces the label set exactly")
     return 0
 
 
@@ -901,8 +946,29 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="build labels with N worker processes (same bytes as serial)",
     )
+    p.add_argument("--codec", choices=["json", "binary"], default="json",
+                   help="output codec: repro-distance-labels/1 JSON (debug, "
+                   "default) or /2 packed binary (see docs/formats.md)")
+    p.add_argument("--shards", type=int, default=8,
+                   help="pack-time shard count (binary codec only)")
     p.add_argument("--out", required=True)
     p.set_defaults(func=cmd_labels)
+
+    p = sub.add_parser(
+        "pack",
+        help="convert a labels file between the JSON and binary codecs",
+        parents=[obs_parent],
+    )
+    p.add_argument("input", help="labels file in either codec")
+    p.add_argument("out", help="output path")
+    p.add_argument("--to", choices=["json", "binary"], default=None,
+                   help="target codec (default: the other one)")
+    p.add_argument("--shards", type=int, default=8,
+                   help="pack-time shard count baked into a binary output")
+    p.add_argument("--verify", action="store_true",
+                   help="reload the output and require the label set to "
+                   "match the input exactly")
+    p.set_defaults(func=cmd_pack)
 
     p = sub.add_parser(
         "query",

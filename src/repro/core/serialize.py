@@ -2,8 +2,8 @@
 
 Theorem 2's labels are a *distributed* data structure: each vertex
 ships its own label, and any two labels answer a distance query with
-no further coordination.  This module gives them a stable JSON wire
-format so labels can actually be shipped:
+no further coordination.  This module gives them stable wire formats
+so labels can actually be shipped:
 
 * vertices of the kinds our generators produce (ints, floats, strings,
   and nested tuples of those) round-trip exactly;
@@ -12,11 +12,22 @@ format so labels can actually be shipped:
   epsilon (``dump_labeling`` / ``load_labeling``);
 * ``wire_bits`` reports honest wire sizes next to the word-model
   accounting of :mod:`repro.util.sizing`.
+
+Two codecs share the ``repro-distance-labels`` format family:
+
+* ``/1`` — JSON, the debug codec, written and read here;
+* ``/2`` — the packed binary codec of :mod:`repro.core.binfmt`
+  (fixed-width records, per-shard offset index, mmap-able).
+
+``dump_labeling(..., codec="binary")`` and ``load_labeling`` (which
+sniffs the /2 magic) dispatch between them; every reader accepts
+either transparently.
 """
 
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Dict, Hashable, Iterator, List, NamedTuple, Tuple, Union
 
@@ -27,10 +38,16 @@ Vertex = Hashable
 
 #: Wire-format family stamped into every dumped labeling.
 LABELS_FORMAT_PREFIX = "repro-distance-labels"
-#: The format version this build reads and writes.
+#: The JSON (debug) codec version.
 LABELS_FORMAT_VERSION = 1
-#: The exact ``"format"`` stamp, e.g. ``"repro-distance-labels/1"``.
+#: The packed binary codec version (:mod:`repro.core.binfmt`).
+LABELS_FORMAT_VERSION_BINARY = 2
+#: Every version this build speaks (JSON /1, binary /2).
+SUPPORTED_LABELS_VERSIONS = (LABELS_FORMAT_VERSION, LABELS_FORMAT_VERSION_BINARY)
+#: The exact JSON ``"format"`` stamp, e.g. ``"repro-distance-labels/1"``.
 LABELS_FORMAT = f"{LABELS_FORMAT_PREFIX}/{LABELS_FORMAT_VERSION}"
+#: The binary codec's stamp (carried as the file magic, not JSON).
+LABELS_FORMAT_BINARY = f"{LABELS_FORMAT_PREFIX}/{LABELS_FORMAT_VERSION_BINARY}"
 
 
 class SerializationError(ReproError):
@@ -94,6 +111,39 @@ def decode_vertex(data):
     raise SerializationError(f"malformed vertex payload {data!r}")
 
 
+def canonical_vertex(v: Vertex) -> Vertex:
+    """The canonical member of *v*'s numeric-equality family.
+
+    ``1 == 1.0`` and they hash alike, so a label dict treats them as
+    one vertex — but their wire encodings (``1`` vs ``1.0``) differ,
+    which used to route them to *different shards*.  Anything that
+    derives routing or identity from a vertex's encoding must
+    canonicalize first: integral floats collapse to ints, recursively
+    through tuples.  Non-numeric vertices pass through unchanged.
+    """
+    if isinstance(v, float) and not isinstance(v, bool):
+        # inf/nan are not integral; is_integer() is False for both.
+        if v.is_integer():
+            return int(v)
+        return v
+    if isinstance(v, tuple):
+        return tuple(canonical_vertex(x) for x in v)
+    return v
+
+
+def shard_key_bytes(v: Vertex) -> bytes:
+    """Stable bytes identifying *v* across processes, runs, and codecs.
+
+    The canonical JSON wire encoding of :func:`canonical_vertex`, so
+    numerically-equal vertices (``1`` vs ``1.0``) produce identical
+    keys.  Both the serve layer's shard router and the binary codec's
+    hash index hash these bytes.
+    """
+    return json.dumps(
+        encode_vertex(canonical_vertex(v)), separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+
+
 def _encode_key(key: Tuple[int, int, int]) -> str:
     return f"{key[0]}:{key[1]}:{key[2]}"
 
@@ -153,43 +203,113 @@ def check_labels_format(stamp) -> int:
         version = int(version_text)
     except ValueError:
         raise SerializationError(f"unknown format {stamp!r}") from None
-    if version != LABELS_FORMAT_VERSION:
+    if version not in SUPPORTED_LABELS_VERSIONS:
         raise SerializationError(
             f"unsupported labels format version {version} "
-            f"(this build reads version {LABELS_FORMAT_VERSION})"
+            f"(this build reads versions "
+            f"{', '.join(map(str, SUPPORTED_LABELS_VERSIONS))})"
         )
     return version
 
 
-def dump_labeling(labeling, path: Union[str, Path, None] = None) -> str:
-    """Serialize a :class:`DistanceLabeling` to JSON (optionally to a file).
+def _find_non_finite(labeling) -> str:
+    """Locate the first non-finite value for an actionable error message."""
+    if not math.isfinite(labeling.epsilon):
+        return f"epsilon is {labeling.epsilon!r}"
+    for label in labeling.labels.values():
+        for key, portals in label.entries.items():
+            for pos, dist in portals:
+                if not (math.isfinite(pos) and math.isfinite(dist)):
+                    return (
+                        f"label of vertex {label.vertex!r} (path key {key!r}) "
+                        f"holds ({pos!r}, {dist!r})"
+                    )
+    return "a non-finite float"
+
+
+def dump_labeling(
+    labeling,
+    path: Union[str, Path, None] = None,
+    codec: str = "json",
+    num_shards: int = 8,
+):
+    """Serialize a :class:`DistanceLabeling` (optionally to a file).
 
     Only the shippable state is stored — epsilon plus one label per
     vertex; the graph and the decomposition tree stay behind.
+
+    ``codec="json"`` (default) writes ``repro-distance-labels/1`` and
+    returns the JSON text; ``codec="binary"`` writes the packed ``/2``
+    format of :mod:`repro.core.binfmt` and returns the blob as
+    ``bytes`` (*num_shards* fixes the pack-time shard layout).
+
+    Strict JSON only: a labeling holding a non-finite distance raises
+    :class:`SerializationError` instead of silently writing
+    ``Infinity`` — the exact token the serve protocol forbids on the
+    wire — in either codec.
     """
+    if codec == "binary":
+        from repro.core import binfmt
+
+        blob = binfmt.pack_labeling(labeling, num_shards=num_shards)
+        if path is not None:
+            Path(path).write_bytes(blob)
+        return blob
+    if codec != "json":
+        raise SerializationError(
+            f"unknown codec {codec!r} (choose 'json' or 'binary')"
+        )
     payload = {
         "format": LABELS_FORMAT,
         "epsilon": labeling.epsilon,
         "labels": [encode_label(label) for label in labeling.labels.values()],
     }
-    text = json.dumps(payload, separators=(",", ":"))
+    try:
+        text = json.dumps(payload, separators=(",", ":"), allow_nan=False)
+    except ValueError:
+        raise SerializationError(
+            f"labeling is not strict-JSON serializable: "
+            f"{_find_non_finite(labeling)}"
+        ) from None
     if path is not None:
         Path(path).write_text(text)
     return text
 
 
-def load_labeling(source: Union[str, Path]) -> RemoteLabels:
-    """Load labels dumped by :func:`dump_labeling`.
+def load_labeling(source: Union[str, Path, bytes]) -> RemoteLabels:
+    """Load labels dumped by :func:`dump_labeling`, either codec.
 
-    Accepts a JSON string or a path; returns a :class:`RemoteLabels` —
+    Accepts a path (JSON or binary, sniffed by the /2 magic), a JSON
+    string, or a ``bytes`` blob; returns a :class:`RemoteLabels` —
     deliberately *not* a :class:`DistanceLabeling`, because the loader
     has no graph.  Query with :meth:`RemoteLabels.estimate`, or unpack
     ``epsilon, labels = load_labeling(...)`` as before.
+
+    A payload naming the same vertex twice is corrupt — silently
+    keeping the last copy would drop labels — so duplicates raise
+    :class:`SerializationError` naming the vertex, in either codec.
     """
-    if isinstance(source, Path) or (
+    from repro.core import binfmt
+
+    if isinstance(source, (bytes, bytearray)):
+        if binfmt.is_binary_labels(source):
+            return binfmt.read_labeling_binary(bytes(source))
+        try:
+            text = bytes(source).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise SerializationError(f"undecodable labels payload: {exc}") from None
+    elif isinstance(source, Path) or (
         isinstance(source, str) and not source.lstrip().startswith("{")
     ):
-        text = Path(source).read_text()
+        path = Path(source)
+        with open(path, "rb") as handle:
+            head = handle.read(len(binfmt.MAGIC))
+        if binfmt.is_binary_labels(head):
+            return binfmt.read_labeling_binary(path)
+        try:
+            text = path.read_text()
+        except UnicodeDecodeError as exc:
+            raise SerializationError(f"undecodable labels payload: {exc}") from None
     else:
         text = source
     try:
@@ -198,16 +318,42 @@ def load_labeling(source: Union[str, Path]) -> RemoteLabels:
         raise SerializationError(f"invalid JSON: {exc}") from None
     if not isinstance(payload, dict):
         raise SerializationError("labels payload is not a JSON object")
-    check_labels_format(payload.get("format"))
+    version = check_labels_format(payload.get("format"))
+    if version != LABELS_FORMAT_VERSION:
+        raise SerializationError(
+            f"format {LABELS_FORMAT_PREFIX}/{version} is the packed binary "
+            f"codec; a JSON payload may only claim {LABELS_FORMAT}"
+        )
     if not isinstance(payload.get("labels"), list):
         raise SerializationError("labels payload has no label list")
     labels: Dict[Vertex, VertexLabel] = {}
     for item in payload["labels"]:
         label = decode_label(item)
+        if label.vertex in labels:
+            raise SerializationError(
+                f"duplicate label for vertex {label.vertex!r}"
+            )
         labels[label.vertex] = label
     return RemoteLabels(float(payload["epsilon"]), labels)
 
 
-def wire_bits(label: VertexLabel) -> int:
-    """Actual wire size of one encoded label, in bits."""
-    return 8 * len(json.dumps(encode_label(label), separators=(",", ":")))
+def wire_bits(label: VertexLabel, codec: str = "json") -> int:
+    """Actual wire size of one encoded label, in bits.
+
+    Strict JSON, like :func:`dump_labeling`: a non-finite distance
+    raises rather than silently measuring an ``Infinity`` token no
+    reader would accept.  ``codec="binary"`` measures the packed /2
+    record instead.
+    """
+    if codec == "binary":
+        from repro.core import binfmt
+
+        return 8 * len(binfmt.encode_label_binary(label))
+    try:
+        return 8 * len(
+            json.dumps(encode_label(label), separators=(",", ":"), allow_nan=False)
+        )
+    except ValueError:
+        raise SerializationError(
+            f"label of vertex {label.vertex!r} holds a non-finite distance"
+        ) from None

@@ -6,9 +6,11 @@ sight.  This package is the serving side of that claim — an asyncio
 TCP service over sharded in-memory label stores, plus the resilient
 client and load generator that measure it, clean and under faults:
 
-* :mod:`repro.serve.store` — :class:`ShardedLabelStore` /
-  :class:`StoreCatalog`: labelings hash-sharded by vertex with O(1)
-  lookup and per-shard size accounting.
+* :mod:`repro.serve.store` — :class:`ShardedLabelStore` (eager, JSON
+  ``/1``) and :class:`MappedLabelStore` (mmap'd, binary ``/2``, O(1)
+  open + lazy decode) behind one interface, plus :class:`StoreCatalog`:
+  labelings hash-sharded by vertex with O(1) lookup and per-shard size
+  accounting.
 * :mod:`repro.serve.protocol` — the newline-delimited JSON wire
   protocol (DIST / BATCH / LABEL / HEALTH / STATS / METRICS / FAULT)
   with typed error replies and an optional per-request ``"trace"``
@@ -75,6 +77,7 @@ from repro.serve.server import DEFAULT_MAX_BATCH, MAX_LINE_BYTES, OracleServer
 from repro.serve.store import (
     DEFAULT_NUM_SHARDS,
     LabelShard,
+    MappedLabelStore,
     ShardedLabelStore,
     StoreCatalog,
 )
@@ -95,6 +98,7 @@ __all__ = [
     "LabelShard",
     "LoadgenError",
     "LoadgenReport",
+    "MappedLabelStore",
     "MAX_LINE_BYTES",
     "OPS",
     "OracleServer",

@@ -651,6 +651,14 @@ class OracleServer:
                 store.name: [shard.num_labels for shard in store.shards]
                 for store in self.catalog
             },
+            "stores": {
+                store.name: {
+                    "codec": store.codec,
+                    "labels": store.num_labels,
+                    "mapped_bytes": store.mapped_bytes,
+                }
+                for store in self.catalog
+            },
             "faults": {
                 "enabled": self.faults.enabled,
                 "decisions": self.faults.decisions,

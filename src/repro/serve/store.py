@@ -1,14 +1,22 @@
-"""Sharded in-memory label stores for the query service.
+"""Sharded label stores for the query service.
 
-One :class:`ShardedLabelStore` holds one loaded labeling file, split
-into hash shards by vertex.  Sharding buys nothing for a single
-process dict lookup — it exists so the serving layer's *accounting*
-matches the deployment the paper argues for (labels are small remote
-objects, spread across machines): per-shard label counts and word
-sizes are first-class, exported as ``serve.shard.*`` gauges, and the
-shard function is stable across processes and runs (CRC-32 of the
-vertex's wire encoding, not Python's salted ``hash``), so a future
-multi-process split serves exactly the shards this module reports.
+One store holds one loaded labeling file, split into hash shards by
+vertex.  Sharding buys nothing for a single process dict lookup — it
+exists so the serving layer's *accounting* matches the deployment the
+paper argues for (labels are small remote objects, spread across
+machines): per-shard label counts and word sizes are first-class,
+exported as ``serve.shard.*`` gauges, and the shard function is stable
+across processes and runs (CRC-32 of the vertex's canonical wire
+encoding, not Python's salted ``hash``), so a future multi-process
+split serves exactly the shards this module reports.
+
+Two store flavors behind one interface, picked by sniffing the file:
+
+* :class:`ShardedLabelStore` — the JSON (``/1``) path: parse
+  everything up front into per-shard dicts.
+* :class:`MappedLabelStore` — the binary (``/2``) path: ``mmap`` the
+  file, O(1) open, labels decoded lazily per lookup through a small
+  LRU (see :mod:`repro.core.binfmt`).
 
 A :class:`StoreCatalog` maps store names to stores; the server loads
 one store per ``--labels`` file and routes requests by the optional
@@ -17,13 +25,18 @@ one store per ``--labels`` file and routes requests by the optional
 
 from __future__ import annotations
 
-import json
 import zlib
+from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, Hashable, Iterator, List, Optional, Union
 
+from repro.core.binfmt import BinaryLabelReader, is_binary_labels
 from repro.core.labeling import VertexLabel, estimate_distance
-from repro.core.serialize import RemoteLabels, encode_vertex, load_labeling
+from repro.core.serialize import (
+    RemoteLabels,
+    load_labeling,
+    shard_key_bytes,
+)
 from repro.util.errors import GraphError
 
 Vertex = Hashable
@@ -31,6 +44,7 @@ Vertex = Hashable
 __all__ = [
     "DEFAULT_NUM_SHARDS",
     "LabelShard",
+    "MappedLabelStore",
     "ShardedLabelStore",
     "StoreCatalog",
     "shard_key",
@@ -38,12 +52,20 @@ __all__ = [
 
 DEFAULT_NUM_SHARDS = 8
 
+#: Decoded-label LRU capacity of a :class:`MappedLabelStore` (labels,
+#: not bytes); 0 decodes on every lookup.
+DEFAULT_LABEL_CACHE = 4096
+
 
 def shard_key(v: Vertex) -> bytes:
-    """Stable bytes identifying *v* across processes and runs."""
-    return json.dumps(
-        encode_vertex(v), separators=(",", ":"), sort_keys=True
-    ).encode("utf-8")
+    """Stable bytes identifying *v* across processes and runs.
+
+    Numeric vertices are canonicalized first (``1.0`` -> ``1``):
+    ``1 == 1.0`` is one dict key, so it must be one shard key too —
+    otherwise a label stored under ``1.0`` and queried as ``1`` can
+    route to the wrong shard and miss.
+    """
+    return shard_key_bytes(v)
 
 
 class LabelShard:
@@ -102,8 +124,13 @@ class ShardedLabelStore:
         path: Union[str, Path],
         num_shards: int = DEFAULT_NUM_SHARDS,
         name: Optional[str] = None,
-    ) -> "ShardedLabelStore":
-        """Load a ``repro-distance-labels`` file into a sharded store.
+    ):
+        """Load a ``repro-distance-labels`` file into a store.
+
+        The codec is sniffed: a binary (``/2``) file returns a
+        :class:`MappedLabelStore` (O(1) open, lazy decode); a JSON
+        (``/1``) file parses eagerly into a :class:`ShardedLabelStore`.
+        Both answer the same store interface.
 
         Format validation happens here, at load time: a file with an
         unknown format version is refused before the server ever binds
@@ -111,6 +138,10 @@ class ShardedLabelStore:
         ``SerializationError``).
         """
         path = Path(path)
+        with open(path, "rb") as handle:
+            head = handle.read(8)
+        if is_binary_labels(head):
+            return MappedLabelStore(path, name=name)
         remote = load_labeling(path)
         return cls.from_remote(
             name or path.stem, remote, num_shards, source=str(path)
@@ -142,6 +173,15 @@ class ShardedLabelStore:
 
     # -- accounting -----------------------------------------------------
     @property
+    def codec(self) -> str:
+        return "json"
+
+    @property
+    def mapped_bytes(self) -> int:
+        """Bytes of file mapped into the process (0: fully parsed)."""
+        return 0
+
+    @property
     def num_shards(self) -> int:
         return len(self.shards)
 
@@ -159,12 +199,143 @@ class ShardedLabelStore:
             "epsilon": self.epsilon,
             "labels": self.num_labels,
             "words": self.total_words,
+            "codec": self.codec,
+            "mapped_bytes": self.mapped_bytes,
             "source": self.source,
             "shards": [
                 {"labels": shard.num_labels, "words": shard.words}
                 for shard in self.shards
             ],
         }
+
+
+class MappedShard:
+    """One shard of a mapped store: the accounting view.
+
+    Counts and words come from the file's shard directory — reading
+    them decodes nothing — so STATS and the ``serve.shard.*`` gauges
+    cost the same as the eager store's.
+    """
+
+    __slots__ = ("index", "_reader")
+
+    def __init__(self, index: int, reader: BinaryLabelReader) -> None:
+        self.index = index
+        self._reader = reader
+
+    @property
+    def num_labels(self) -> int:
+        return self._reader.shard_labels(self.index)
+
+    @property
+    def words(self) -> int:
+        return self._reader.shard_words(self.index)
+
+
+class MappedLabelStore:
+    """One ``/2`` labeling served straight off its ``mmap``.
+
+    Opening is O(1) in the label count: map the file, read the header.
+    A lookup routes through the file's shard directory and hash index
+    and decodes exactly one record; a small LRU keeps hot labels
+    materialized so repeated queries don't re-decode.  The shard
+    layout is the one baked in at pack time (``repro pack --shards``),
+    so every process mapping this file agrees on routing.
+
+    Same interface as :class:`ShardedLabelStore`; the server does not
+    know which one it is holding.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        name: Optional[str] = None,
+        label_cache: int = DEFAULT_LABEL_CACHE,
+    ) -> None:
+        path = Path(path)
+        self.reader = BinaryLabelReader(path)
+        self.name = name or path.stem
+        self.epsilon = float(self.reader.epsilon)
+        self.source = str(path)
+        self.shards: List[MappedShard] = [
+            MappedShard(i, self.reader) for i in range(self.reader.num_shards)
+        ]
+        self._cache_capacity = label_cache
+        self._cache: "OrderedDict[Vertex, VertexLabel]" = OrderedDict()
+
+    # -- lookup ---------------------------------------------------------
+    def shard_index(self, v: Vertex) -> int:
+        return self.reader.shard_of(v)
+
+    def label(self, v: Vertex) -> VertexLabel:
+        found = self._cache.get(v)
+        if found is not None:
+            self._cache.move_to_end(v)
+            return found
+        label = self.reader.get(v)
+        if label is None:
+            raise GraphError(
+                f"vertex {v!r} has no label in store {self.name!r}"
+            ) from None
+        if self._cache_capacity > 0:
+            self._cache[v] = label
+            while len(self._cache) > self._cache_capacity:
+                self._cache.popitem(last=False)
+        return label
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._cache or self.reader.get(v) is not None
+
+    def estimate(self, u: Vertex, v: Vertex) -> float:
+        return estimate_distance(self.label(u), self.label(v))
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Vertices in record order (portals stay undecoded)."""
+        return self.reader.iter_vertices()
+
+    # -- accounting -----------------------------------------------------
+    @property
+    def codec(self) -> str:
+        return "binary"
+
+    @property
+    def mapped_bytes(self) -> int:
+        return self.reader.mapped_bytes
+
+    @property
+    def cached_labels(self) -> int:
+        return len(self._cache)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def num_labels(self) -> int:
+        return self.reader.num_labels
+
+    @property
+    def total_words(self) -> int:
+        return self.reader.total_words
+
+    def stats(self) -> dict:
+        return {
+            "epsilon": self.epsilon,
+            "labels": self.num_labels,
+            "words": self.total_words,
+            "codec": self.codec,
+            "mapped_bytes": self.mapped_bytes,
+            "cached_labels": self.cached_labels,
+            "source": self.source,
+            "shards": [
+                {"labels": shard.num_labels, "words": shard.words}
+                for shard in self.shards
+            ],
+        }
+
+    def close(self) -> None:
+        self._cache.clear()
+        self.reader.close()
 
 
 class StoreCatalog:

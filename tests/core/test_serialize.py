@@ -4,15 +4,18 @@ import pytest
 
 from repro.core import build_decomposition, build_labeling
 from repro.core.labeling import estimate_distance
+from repro.core.labeling import VertexLabel
 from repro.core.serialize import (
     RemoteLabels,
     SerializationError,
+    canonical_vertex,
     decode_label,
     decode_vertex,
     dump_labeling,
     encode_label,
     encode_vertex,
     load_labeling,
+    shard_key_bytes,
     wire_bits,
 )
 from repro.generators import grid_2d, random_tree
@@ -195,3 +198,173 @@ class TestWireBits:
         )
         assert wire_bits(labels[0]) > 0
         assert wire_bits(labels[-1]) >= wire_bits(labels[0])
+
+    def test_binary_codec_measures_packed_record(self, small_grid):
+        from repro.core.binfmt import encode_label_binary
+
+        labeling = build_labeling(small_grid, build_decomposition(small_grid))
+        label = labeling.label((0, 0))
+        assert wire_bits(label, codec="binary") == 8 * len(
+            encode_label_binary(label)
+        )
+
+    def test_non_finite_distance_rejected(self):
+        label = VertexLabel(vertex=0, entries={(0, 0, 0): [(0.0, float("inf"))]})
+        with pytest.raises(SerializationError, match="non-finite"):
+            wire_bits(label)
+        with pytest.raises(SerializationError, match="non-finite"):
+            wire_bits(label, codec="binary")
+
+
+def _with_bad_portal(dist):
+    """A one-vertex labeling holding *dist* in a portal entry."""
+    return RemoteLabels(
+        0.25, {7: VertexLabel(vertex=7, entries={(0, 0, 0): [(1.0, dist)]})}
+    )
+
+
+class TestStrictJsonDump:
+    """Regression: ``dump_labeling`` used to write non-strict JSON.
+
+    Without ``allow_nan=False`` a labeling holding an ``inf`` distance
+    silently serialized the token ``Infinity`` — which the serve
+    protocol forbids on the wire and ``load_labeling``'s own strict
+    parse cannot read back.  Now it raises, naming the culprit.
+    """
+
+    @pytest.mark.parametrize("bad", [float("inf"), float("-inf"), float("nan")])
+    def test_non_finite_distance_raises_not_writes(self, tmp_path, bad):
+        path = tmp_path / "labels.json"
+        with pytest.raises(SerializationError, match="vertex 7"):
+            dump_labeling(_with_bad_portal(bad), path)
+        assert not path.exists()  # nothing half-written
+
+    def test_non_finite_epsilon_raises(self):
+        remote = RemoteLabels(float("inf"), {})
+        with pytest.raises(SerializationError, match="epsilon"):
+            dump_labeling(remote)
+
+    def test_binary_codec_rejects_non_finite_too(self):
+        with pytest.raises(SerializationError, match="non-finite"):
+            dump_labeling(_with_bad_portal(float("inf")), codec="binary")
+
+    def test_finite_labelings_unaffected(self, small_grid):
+        labeling = build_labeling(small_grid, build_decomposition(small_grid))
+        text = dump_labeling(labeling)
+        assert "Infinity" not in text and "NaN" not in text
+
+
+class TestDuplicateVertexRejected:
+    """Regression: duplicate vertices used to win silently, last-one.
+
+    A payload naming the same vertex twice is corrupt — keeping the
+    last copy silently drops a label, turning file corruption into
+    spurious "no label" answers far from the cause.
+    """
+
+    def _payload(self, vertex_jsons):
+        labels = ",".join(
+            '{"v": %s, "e": {"0:0:0": [[0.0, 1.0]]}}' % v for v in vertex_jsons
+        )
+        return (
+            '{"format": "repro-distance-labels/1", "epsilon": 0.25, '
+            '"labels": [%s]}' % labels
+        )
+
+    def test_duplicate_vertex_raises_naming_it(self):
+        with pytest.raises(SerializationError, match="duplicate label.*7"):
+            load_labeling(self._payload(["7", "3", "7"]))
+
+    def test_distinct_vertices_load_fine(self):
+        remote = load_labeling(self._payload(["7", "3"]))
+        assert set(remote.labels) == {7, 3}
+
+    def test_binary_codec_rejects_duplicates_at_pack_time(self):
+        from repro.core.binfmt import pack_labeling
+
+        class Doubled:
+            epsilon = 0.25
+            labels = {
+                "a": VertexLabel(vertex=7, entries={}),
+                "b": VertexLabel(vertex=7, entries={}),
+            }
+
+        with pytest.raises(SerializationError, match="duplicate label"):
+            pack_labeling(Doubled())
+
+
+class TestCanonicalVertex:
+    @pytest.mark.parametrize(
+        "v, expected",
+        [
+            (1.0, 1),
+            (-2.0, -2),
+            (0.0, 0),
+            (2.5, 2.5),
+            (7, 7),
+            ("x", "x"),
+            ((1.0, "a"), (1, "a")),
+            (((3.0,), 2.5), ((3,), 2.5)),
+        ],
+    )
+    def test_integral_floats_collapse(self, v, expected):
+        canon = canonical_vertex(v)
+        assert canon == expected and type(canon) is type(expected)
+
+    @pytest.mark.parametrize("v", [float("inf"), float("-inf"), float("nan")])
+    def test_non_finite_floats_pass_through(self, v):
+        # is_integer() is False for inf/nan: they stay floats (and are
+        # rejected later, by the codecs that forbid them).
+        assert isinstance(canonical_vertex(v), float)
+
+    def test_shard_key_bytes_identifies_numeric_family(self):
+        assert shard_key_bytes(1) == shard_key_bytes(1.0)
+        assert shard_key_bytes((1, 2.0)) == shard_key_bytes((1.0, 2))
+        assert shard_key_bytes(1) != shard_key_bytes(1.5)
+        assert shard_key_bytes("1") != shard_key_bytes(1)
+
+
+class TestCodecDispatch:
+    @pytest.fixture
+    def remote(self, small_grid):
+        labeling = build_labeling(small_grid, build_decomposition(small_grid))
+        return load_labeling(dump_labeling(labeling))
+
+    def test_dump_binary_returns_blob_and_loads_back(self, remote, tmp_path):
+        from repro.core.binfmt import is_binary_labels
+
+        blob = dump_labeling(remote, codec="binary")
+        assert isinstance(blob, bytes) and is_binary_labels(blob)
+        assert load_labeling(blob).labels == remote.labels
+
+    def test_dump_binary_to_file_sniffed_on_load(self, remote, tmp_path):
+        path = tmp_path / "labels.bin"
+        dump_labeling(remote, path, codec="binary")
+        back = load_labeling(path)
+        assert back.epsilon == remote.epsilon
+        assert back.labels == remote.labels
+
+    def test_round_trip_through_binary_is_byte_identical_json(self, remote):
+        blob = dump_labeling(remote, codec="binary")
+        assert dump_labeling(load_labeling(blob)) == dump_labeling(remote)
+
+    def test_unknown_codec_rejected(self, remote):
+        with pytest.raises(SerializationError, match="unknown codec"):
+            dump_labeling(remote, codec="msgpack")
+
+    def test_json_payload_claiming_binary_version_rejected(self):
+        payload = {
+            "format": "repro-distance-labels/2",
+            "epsilon": 0.1,
+            "labels": [],
+        }
+        with pytest.raises(SerializationError, match="binary"):
+            load_labeling(json.dumps(payload))
+
+    def test_undecodable_bytes_payload_rejected(self):
+        with pytest.raises(SerializationError, match="undecodable"):
+            load_labeling(b"\xff\xfe\x00garbage")
+
+    def test_json_bytes_payload_accepted(self, remote):
+        text = dump_labeling(remote)
+        assert load_labeling(text.encode("utf-8")).labels == remote.labels

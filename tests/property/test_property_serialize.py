@@ -1,10 +1,31 @@
-"""Property-based tests: label serialization round-trips exactly."""
+"""Property-based tests: label serialization round-trips exactly.
+
+Both codecs: the JSON (``/1``) encoders round-trip values exactly; the
+packed binary (``/2``) codec round-trips up to vertex canonicalization
+(``1.0`` and ``1`` are one vertex family — the binary form keeps the
+canonical member, which compares equal), and never changes an
+estimate.
+"""
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.binfmt import (
+    decode_vertex_binary,
+    encode_vertex_binary,
+    pack_labeling,
+    read_labeling_binary,
+)
 from repro.core.labeling import VertexLabel, estimate_distance
-from repro.core.serialize import decode_label, decode_vertex, encode_label, encode_vertex
+from repro.core.serialize import (
+    RemoteLabels,
+    canonical_vertex,
+    decode_label,
+    decode_vertex,
+    encode_label,
+    encode_vertex,
+    shard_key_bytes,
+)
 
 scalar = st.one_of(
     st.integers(-(10**9), 10**9),
@@ -59,3 +80,53 @@ class TestSerializationProperties:
             decode_label(encode_label(a)), decode_label(encode_label(b))
         )
         assert before == after
+
+
+def _binary_vertex_round_trip(v):
+    out = bytearray()
+    encode_vertex_binary(v, out)
+    back, pos = decode_vertex_binary(bytes(out), 0)
+    assert pos == len(out)
+    return back
+
+
+class TestBinaryCodecProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(v=vertex_strategy)
+    def test_vertex_round_trip_up_to_canonicalization(self, v):
+        back = _binary_vertex_round_trip(v)
+        assert back == canonical_vertex(v)
+        assert back == v  # canonical member compares equal to the original
+
+    @settings(max_examples=100, deadline=None)
+    @given(v=vertex_strategy)
+    def test_encoding_is_canonical_per_numeric_family(self, v):
+        # Same shard key <=> same binary encoding: the hash index and
+        # the record field agree on one form per vertex family.
+        out_v, out_c = bytearray(), bytearray()
+        encode_vertex_binary(v, out_v)
+        encode_vertex_binary(canonical_vertex(v), out_c)
+        assert bytes(out_v) == bytes(out_c)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        labels=st.lists(label_strategy, max_size=6, unique_by=lambda l: shard_key_bytes(l.vertex)),
+        epsilon=st.floats(0.01, 2.0, allow_nan=False),
+        num_shards=st.integers(1, 8),
+    )
+    def test_labeling_pack_read_round_trip(self, labels, epsilon, num_shards):
+        remote = RemoteLabels(epsilon, {l.vertex: l for l in labels})
+        back = read_labeling_binary(pack_labeling(remote, num_shards=num_shards))
+        assert back.epsilon == epsilon
+        assert back.labels == remote.labels
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=label_strategy, b=label_strategy)
+    def test_estimates_stable_under_binary_round_trip(self, a, b):
+        if shard_key_bytes(a.vertex) == shard_key_bytes(b.vertex):
+            return  # one vertex family: not a valid two-label store
+        remote = RemoteLabels(0.25, {a.vertex: a, b.vertex: b})
+        back = read_labeling_binary(pack_labeling(remote, num_shards=2))
+        assert estimate_distance(
+            back.labels[a.vertex], back.labels[b.vertex]
+        ) == estimate_distance(a, b)

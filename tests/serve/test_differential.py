@@ -76,13 +76,18 @@ ENGINE_CASES = [
 ]
 
 
-def _serve_and_compare(remote, pairs):
-    """Serve *remote* behind FAULT_PLAN; return [(offline_json,
-    served_json)] per pair, both as strict-JSON text."""
+def _serve_and_compare(remote, pairs, store=None):
+    """Serve *remote* (or an explicit *store* holding the same labels)
+    behind FAULT_PLAN; return [(offline_json, served_json)] per pair,
+    both as strict-JSON text."""
 
     async def main():
         catalog = StoreCatalog()
-        catalog.add(ShardedLabelStore.from_remote("diff", remote, num_shards=4))
+        catalog.add(
+            store
+            if store is not None
+            else ShardedLabelStore.from_remote("diff", remote, num_shards=4)
+        )
         server = OracleServer(catalog, port=0, fault_plan=FAULT_PLAN)
         await server.start()
         client = ResilientClient(
@@ -125,6 +130,42 @@ class TestDifferentialUnderFaults:
         for offline_json, served_json, _ in rows:
             assert served_json == offline_json
         # The plan really was active: faults were injected server-side.
+        assert sum(faults["injected"].values()) > 0
+
+    @pytest.mark.parametrize("make_graph, make_engine", ENGINE_CASES)
+    def test_binary_codec_answers_match_json_byte_for_byte(
+        self, make_graph, make_engine, tmp_path
+    ):
+        """The /2 codec changes the bytes on disk, never the answers.
+
+        Offline: ``load_labeling`` of the JSON text and of the packed
+        binary blob must estimate identically (as strict-JSON text) on
+        every pair.  Served: a :class:`MappedLabelStore` mmap'ing the
+        binary file, behind the active fault plan and the resilient
+        client, must answer byte-identically to the offline JSON path.
+        """
+        graph = make_graph()
+        tree = build_decomposition(graph, engine=make_engine())
+        labeling = build_labeling(graph, tree, epsilon=0.25)
+        json_text = dump_labeling(labeling)
+        binary_path = tmp_path / "labels.bin"
+        dump_labeling(labeling, binary_path, codec="binary", num_shards=4)
+
+        remote_json = load_labeling(json_text)
+        remote_bin = load_labeling(binary_path)
+        assert remote_bin.labels == remote_json.labels
+        pairs = synthesize_pairs(list(remote_json.vertices()), 24, seed=13)
+        for u, v in pairs:
+            a, b = remote_json.estimate(u, v), remote_bin.estimate(u, v)
+            assert json.dumps(None if math.isinf(a) else a) == json.dumps(
+                None if math.isinf(b) else b
+            )
+
+        store = ShardedLabelStore.load(binary_path, name="diff")
+        assert store.codec == "binary"
+        rows, _, faults = _serve_and_compare(remote_json, pairs, store=store)
+        for offline_json, served_json, _ in rows:
+            assert served_json == offline_json
         assert sum(faults["injected"].values()) > 0
 
     def test_unreachable_serves_null_and_true_flag(self):

@@ -25,6 +25,7 @@ import string
 
 import pytest
 
+from repro.core.serialize import RemoteLabels, SerializationError, load_labeling
 from repro.serve import OracleServer
 from repro.serve.protocol import ProtocolError, Request, parse_request
 
@@ -175,6 +176,108 @@ class TestParseNeverExplodes:
             with pytest.raises(ProtocolError) as info:
                 parse_request(line)
             assert info.value.code == "bad_request"
+
+
+def _labels_seed_payloads():
+    """Well-formed labeling payloads in both codecs, as bytes, to
+    mutate.  Built once per call: (json_bytes, binary_bytes)."""
+    from repro.core.labeling import VertexLabel
+    from repro.core.serialize import dump_labeling
+
+    remote = RemoteLabels(
+        0.25,
+        {
+            v: VertexLabel(v, {(i, 0, 0): [(0.5 * i, 1.0 + i)] for i in range(3)})
+            for v in [0, 1, "s", (2, 3.5)]
+        },
+    )
+    return (
+        dump_labeling(remote).encode("utf-8"),
+        dump_labeling(remote, codec="binary", num_shards=3),
+    )
+
+
+def labels_fuzz_corpus(seed: int = 20260807, size: int = 300):
+    """*size* mutated labeling files across both codecs.
+
+    Byte-level vandalism of valid /1 and /2 payloads: flips, truncation,
+    splices, and duplicate-vertex injections.  Every one must load
+    cleanly or raise :class:`SerializationError` — never crash, never
+    silently drop a label.
+    """
+    rng = random.Random(seed)
+    json_seed, binary_seed = _labels_seed_payloads()
+    corpus = []
+    for _ in range(size):
+        data = bytearray(rng.choice([json_seed, binary_seed]))
+        mutation = rng.random()
+        if mutation < 0.4:  # flip a few bytes
+            for _ in range(rng.randrange(1, 6)):
+                data[rng.randrange(len(data))] = rng.randrange(256)
+        elif mutation < 0.6:  # truncate
+            del data[rng.randrange(1, len(data)) :]
+        elif mutation < 0.8:  # splice a run from elsewhere in the file
+            at = rng.randrange(len(data))
+            src = rng.randrange(len(data))
+            run = data[src : src + rng.randrange(1, 40)]
+            data[at:at] = run
+        else:  # append garbage
+            data += bytes(rng.randrange(256) for _ in range(rng.randrange(1, 30)))
+        corpus.append(bytes(data))
+    return corpus
+
+
+class TestLabelsFileFuzz:
+    """The label loaders must be total on corrupt files, both codecs."""
+
+    def test_corpus_is_reproducible(self):
+        assert labels_fuzz_corpus() == labels_fuzz_corpus()
+        assert labels_fuzz_corpus(seed=1, size=20) != labels_fuzz_corpus(
+            seed=2, size=20
+        )
+
+    def test_load_labeling_total_on_mutated_files(self, tmp_path):
+        path = tmp_path / "fuzz.labels"
+        outcomes = {"loaded": 0, "rejected": 0}
+        for data in labels_fuzz_corpus():
+            path.write_bytes(data)
+            try:
+                remote = load_labeling(path)
+            except SerializationError:
+                outcomes["rejected"] += 1
+                continue
+            assert isinstance(remote, RemoteLabels)
+            outcomes["loaded"] += 1
+        # Mutations overwhelmingly corrupt the payload; the point is
+        # that every rejection was the *typed* error.
+        assert outcomes["rejected"] > 200, outcomes
+
+    def test_duplicate_vertex_rejected_json_codec(self):
+        # The exact corruption the last-wins bug used to swallow.
+        label = '{"v": 5, "e": {"0:0:0": [[0.0, 1.0]]}}'
+        payload = (
+            '{"format": "repro-distance-labels/1", "epsilon": 0.25, '
+            f'"labels": [{label}, {label}]}}'
+        )
+        with pytest.raises(SerializationError, match="duplicate label"):
+            load_labeling(payload)
+
+    def test_duplicate_vertex_rejected_binary_codec(self):
+        import struct
+
+        from repro.core.binfmt import BinaryLabelReader, pack_labeling
+        from repro.core.labeling import VertexLabel
+
+        entries = {(0, 0, 0): [(0.0, 1.0)]}
+        remote = RemoteLabels(
+            0.25, {5: VertexLabel(5, entries), 5.5: VertexLabel(5.5, entries)}
+        )
+        blob = bytearray(pack_labeling(remote, num_shards=1))
+        # Forge record 1's vertex (float 5.5, 9 bytes) into int 5.
+        start, _ = BinaryLabelReader(bytes(blob))._record_span(1)
+        blob[start : start + 9] = b"\x01" + struct.pack("<q", 5)
+        with pytest.raises(SerializationError, match="duplicate label"):
+            load_labeling(bytes(blob))
 
 
 class TestServerSurvivesTheCorpus:

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.serve.store import ShardedLabelStore, StoreCatalog, shard_key
+from repro.core.labeling import VertexLabel
+from repro.core.serialize import RemoteLabels, dump_labeling
+from repro.serve.store import (
+    MappedLabelStore,
+    ShardedLabelStore,
+    StoreCatalog,
+    shard_key,
+)
 from repro.util.errors import GraphError
 
 
@@ -68,6 +75,158 @@ class TestShardedLabelStore:
 
         with pytest.raises(SerializationError, match="unsupported labels format"):
             ShardedLabelStore.load(path)
+
+
+class TestShardKeyCanonicalization:
+    """Regression: ``shard_key(1) != shard_key(1.0)`` used to hold.
+
+    ``1 == 1.0`` is one dict key, so a label stored under ``1.0`` and
+    queried as ``1`` hit the right dict — in the wrong shard.  With 8
+    shards the old encodings ``b"1"`` and ``b"1.0"`` routed to shards
+    7 and 5: a cross-process split would answer "no label" for a
+    vertex it holds.
+    """
+
+    def test_numeric_equals_share_one_key(self):
+        assert shard_key(1) == shard_key(1.0)
+        assert shard_key(-3) == shard_key(-3.0)
+        assert shard_key((1, 2.0)) == shard_key((1.0, 2))
+        assert shard_key(1) != shard_key(1.5)
+        assert shard_key(1) != shard_key("1")
+
+    @pytest.fixture
+    def float_keyed_store(self):
+        # Labels stored under float keys, exactly what a JSON dump of
+        # float-vertex generators produces.
+        remote = RemoteLabels(
+            0.25,
+            {
+                float(v): VertexLabel(float(v), {(v, 0, 0): [(0.0, float(v))]})
+                for v in range(8)
+            },
+        )
+        return ShardedLabelStore.from_remote("f", remote, num_shards=8)
+
+    def test_int_query_finds_float_stored_label(self, float_keyed_store):
+        for v in range(8):
+            assert float_keyed_store.shard_index(v) == (
+                float_keyed_store.shard_index(float(v))
+            )
+            assert float_keyed_store.label(v).vertex == v
+            assert v in float_keyed_store
+
+    def test_mapped_store_agrees(self, float_keyed_store, tmp_path):
+        remote = RemoteLabels(
+            0.25,
+            {
+                float(v): VertexLabel(float(v), {(v, 0, 0): [(0.0, float(v))]})
+                for v in range(8)
+            },
+        )
+        path = tmp_path / "f.bin"
+        dump_labeling(remote, path, codec="binary", num_shards=8)
+        mapped = ShardedLabelStore.load(path)
+        for v in range(8):
+            assert mapped.shard_index(v) == float_keyed_store.shard_index(v)
+            assert mapped.label(v).entries == float_keyed_store.label(v).entries
+
+
+@pytest.fixture
+def binary_path(remote_labels, tmp_path):
+    path = tmp_path / "grid.bin"
+    dump_labeling(remote_labels, path, codec="binary", num_shards=4)
+    return path
+
+
+class TestMappedLabelStore:
+    def test_load_sniffs_binary_and_returns_mapped(self, binary_path):
+        store = ShardedLabelStore.load(binary_path)
+        assert isinstance(store, MappedLabelStore)
+        assert store.codec == "binary"
+        assert store.name == "grid"
+        assert store.mapped_bytes == binary_path.stat().st_size
+
+    def test_load_json_stays_eager(self, remote_labels, tmp_path):
+        path = tmp_path / "grid.json"
+        dump_labeling(remote_labels, path)
+        store = ShardedLabelStore.load(path)
+        assert isinstance(store, ShardedLabelStore)
+        assert store.codec == "json" and store.mapped_bytes == 0
+
+    def test_lookups_match_eager_store(self, remote_labels, binary_path):
+        eager = ShardedLabelStore.from_remote("e", remote_labels, num_shards=4)
+        mapped = MappedLabelStore(binary_path)
+        vertices = sorted(remote_labels.vertices())
+        for v in vertices:
+            assert v in mapped
+            assert mapped.label(v).entries == eager.label(v).entries
+            assert mapped.shard_index(v) == eager.shard_index(v)
+        for u, v in zip(vertices, reversed(vertices)):
+            assert mapped.estimate(u, v) == eager.estimate(u, v)
+
+    def test_unknown_vertex(self, binary_path):
+        mapped = MappedLabelStore(binary_path)
+        with pytest.raises(GraphError, match="no label in store"):
+            mapped.label((99, 99))
+        assert (99, 99) not in mapped
+
+    def test_accounting_matches_eager_store(self, remote_labels, binary_path):
+        eager = ShardedLabelStore.from_remote("e", remote_labels, num_shards=4)
+        mapped = MappedLabelStore(binary_path)
+        assert mapped.num_labels == eager.num_labels
+        assert mapped.total_words == eager.total_words
+        assert mapped.num_shards == eager.num_shards == 4
+        assert [s.num_labels for s in mapped.shards] == [
+            s.num_labels for s in eager.shards
+        ]
+        assert [s.words for s in mapped.shards] == [
+            s.words for s in eager.shards
+        ]
+
+    def test_stats_shape(self, binary_path, remote_labels):
+        stats = MappedLabelStore(binary_path).stats()
+        assert stats["codec"] == "binary"
+        assert stats["mapped_bytes"] == binary_path.stat().st_size
+        assert stats["cached_labels"] == 0
+        assert stats["labels"] == remote_labels.num_labels
+        assert sum(s["labels"] for s in stats["shards"]) == stats["labels"]
+
+    def test_vertices_iterates_source_order(self, remote_labels, binary_path):
+        mapped = MappedLabelStore(binary_path)
+        assert list(mapped.vertices()) == list(remote_labels.labels)
+
+    def test_label_cache_is_bounded_lru(self, binary_path, remote_labels):
+        mapped = MappedLabelStore(binary_path, label_cache=2)
+        vertices = sorted(remote_labels.vertices())[:5]
+        for v in vertices:
+            mapped.label(v)
+            assert mapped.cached_labels <= 2
+        # Hot entry survives: re-reading the most recent two is cached.
+        hot = mapped.label(vertices[-1])
+        assert mapped.label(vertices[-1]) is hot
+
+    def test_zero_cache_decodes_every_time(self, binary_path, remote_labels):
+        mapped = MappedLabelStore(binary_path, label_cache=0)
+        v = next(iter(remote_labels.vertices()))
+        a, b = mapped.label(v), mapped.label(v)
+        assert a == b and a is not b
+        assert mapped.cached_labels == 0
+
+    def test_close_releases_the_map(self, binary_path):
+        mapped = MappedLabelStore(binary_path)
+        mapped.label(next(iter(mapped.vertices())))
+        mapped.close()
+        assert mapped.cached_labels == 0
+
+    def test_catalog_mixes_codecs(self, remote_labels, binary_path, tmp_path):
+        json_path = tmp_path / "grid.json"
+        dump_labeling(remote_labels, json_path)
+        catalog = StoreCatalog()
+        catalog.add(ShardedLabelStore.load(json_path))
+        catalog.add(ShardedLabelStore.load(binary_path))
+        assert catalog.get("grid").codec == "json"
+        assert catalog.get("grid.2").codec == "binary"
+        assert catalog.num_labels == 2 * remote_labels.num_labels
 
 
 class TestStoreCatalog:

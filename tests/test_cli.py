@@ -145,6 +145,87 @@ class TestLabelsAndQuery:
         assert len(err.strip().splitlines()) == 1
 
 
+class TestPack:
+    """``repro pack``: codec conversion with exact-reproduction verify."""
+
+    @pytest.fixture
+    def labels_json(self, graph_file, tmp_path):
+        path = tmp_path / "labels.json"
+        assert main(
+            ["labels", str(graph_file), "--epsilon", "0.25", "--out", str(path)]
+        ) == 0
+        return path
+
+    def test_json_to_binary_and_back_is_byte_identical(
+        self, labels_json, tmp_path, capsys
+    ):
+        packed = tmp_path / "labels.bin"
+        back = tmp_path / "back.json"
+        assert main(["pack", str(labels_json), str(packed), "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "verified" in out and "binary" in out
+        from repro.core.binfmt import is_binary_labels
+
+        assert is_binary_labels(packed.read_bytes())
+        assert main(["pack", str(packed), str(back), "--verify"]) == 0
+        # /1 -> /2 -> /1 reproduces the original file byte-for-byte.
+        assert back.read_bytes() == labels_json.read_bytes()
+
+    def test_queries_identical_across_codecs(
+        self, labels_json, tmp_path, capsys
+    ):
+        packed = tmp_path / "labels.bin"
+        assert main(["pack", str(labels_json), str(packed)]) == 0
+        capsys.readouterr()
+        assert main(["query", str(labels_json), "0", "63"]) == 0
+        from_json = capsys.readouterr().out
+        assert main(["query", str(packed), "0", "63"]) == 0
+        assert capsys.readouterr().out == from_json
+
+    def test_labels_codec_binary_matches_pack_output(
+        self, graph_file, labels_json, tmp_path
+    ):
+        direct = tmp_path / "direct.bin"
+        packed = tmp_path / "packed.bin"
+        assert main(
+            ["labels", str(graph_file), "--epsilon", "0.25",
+             "--codec", "binary", "--out", str(direct)]
+        ) == 0
+        assert main(["pack", str(labels_json), str(packed)]) == 0
+        assert direct.read_bytes() == packed.read_bytes()
+
+    def test_explicit_to_same_codec_canonicalizes(self, labels_json, tmp_path):
+        out = tmp_path / "canon.json"
+        assert main(
+            ["pack", str(labels_json), str(out), "--to", "json", "--verify"]
+        ) == 0
+        assert out.read_bytes() == labels_json.read_bytes()
+
+    def test_missing_input_fails_cleanly(self, tmp_path, capsys):
+        assert main(
+            ["pack", str(tmp_path / "absent.json"), str(tmp_path / "out.bin")]
+        ) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "Traceback" not in err
+
+    def test_malformed_input_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{ not json")
+        assert main(["pack", str(bad), str(tmp_path / "out.bin")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_truncated_binary_fails_cleanly(self, labels_json, tmp_path, capsys):
+        packed = tmp_path / "labels.bin"
+        assert main(["pack", str(labels_json), str(packed)]) == 0
+        clipped = tmp_path / "clipped.bin"
+        clipped.write_bytes(packed.read_bytes()[:-10])
+        assert main(["query", str(clipped), "0", "63"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "Traceback" not in err
+
+
 class TestQueryBatch:
     @pytest.fixture
     def labels_file(self, graph_file, tmp_path):
@@ -292,6 +373,60 @@ class TestServeAndLoadgen:
             assert payload["meta"]["qps"] > 0
             assert payload["meta"]["mismatches"] == 0
             assert payload["meta"]["latency_ms"]["p99"] >= 0
+        finally:
+            loop_holder["loop"].call_soon_threadsafe(server.request_shutdown)
+            thread.join(timeout=10)
+        assert not thread.is_alive()
+
+    def test_serve_and_verify_from_binary_labels(
+        self, graph_file, tmp_path, capsys
+    ):
+        # The whole serve pipeline on a packed /2 file: the catalog
+        # sniffs the codec and mmaps, and loadgen's --verify compares
+        # every served byte against the same binary file loaded offline.
+        import asyncio
+        import threading
+
+        labels_json = tmp_path / "labels.json"
+        labels_bin = tmp_path / "labels.bin"
+        assert main(["labels", str(graph_file), "--out", str(labels_json)]) == 0
+        assert main(["pack", str(labels_json), str(labels_bin)]) == 0
+
+        from repro.serve import MappedLabelStore, OracleServer, ShardedLabelStore, StoreCatalog
+
+        catalog = StoreCatalog()
+        store = catalog.add(ShardedLabelStore.load(labels_bin))
+        assert isinstance(store, MappedLabelStore)
+        server = OracleServer(catalog, port=0, cache_size=64)
+        started = threading.Event()
+        loop_holder = {}
+
+        def serve_thread():
+            async def body():
+                await server.start()
+                loop_holder["loop"] = asyncio.get_running_loop()
+                started.set()
+                await server.serve_until_shutdown()
+
+            asyncio.run(body())
+
+        thread = threading.Thread(target=serve_thread)
+        thread.start()
+        try:
+            assert started.wait(10)
+            rc = main(
+                [
+                    "loadgen",
+                    "--port", str(server.port),
+                    "--labels", str(labels_bin),
+                    "--pairs", "40",
+                    "--concurrency", "4",
+                    "--verify",
+                ]
+            )
+            captured = capsys.readouterr()
+            assert rc == 0, captured.err
+            assert "qps" in captured.out
         finally:
             loop_holder["loop"].call_soon_threadsafe(server.request_shutdown)
             thread.join(timeout=10)

@@ -21,6 +21,7 @@ DOC_FILES = [
     ROOT / "docs" / "observability.md",
     ROOT / "docs" / "performance.md",
     ROOT / "docs" / "serving.md",
+    ROOT / "docs" / "formats.md",
 ]
 
 MODULE_PATTERN = re.compile(r"`(repro(?:\.[a-z_0-9]+)+)`")
