@@ -15,6 +15,9 @@ Subcommands::
     repro loadgen    --labels labels.json --pairs 500        # drive the service
     repro query      --remote host:7471 U V                  # query the service
     repro chaos      --labels labels.json --pairs 300        # loadgen under faults
+    repro cluster    init --labels l.bin --root data/        # shard + replicate
+    repro cluster    up --root data/                         # N-node local cluster
+    repro chaos      --cluster 3 --kill-replica ...          # kill-a-node drill
     repro top        host:7471                               # live METRICS view
     repro trace      server.jsonl client.jsonl               # reassemble traces
 
@@ -415,6 +418,9 @@ async def _serve_main(server) -> None:
         f"({len(server.catalog)} store(s)) on {host}:{port}",
         flush=True,
     )
+    # Machine-readable readiness: with --port 0 this is how a parent
+    # process (repro cluster up) learns the bound ephemeral port.
+    print(f"ready {host}:{port}", flush=True)
     await server.serve_until_shutdown()
     stats = server.counters
     print(
@@ -460,6 +466,27 @@ def cmd_serve(args) -> int:
             f"every {args.timeseries_interval}s",
             file=sys.stderr,
         )
+    cluster = None
+    if bool(args.cluster_map) != bool(args.cluster_node):
+        raise ReproError("--cluster-map and --cluster-node go together")
+    if args.cluster_map:
+        from repro.cluster.map import ClusterMap, ClusterNodeState, store_name_for_shard
+
+        cluster_map = ClusterMap.load(args.cluster_map)
+        names = {store.name for store in catalog}
+        owned = frozenset(
+            shard
+            for shard in range(cluster_map.num_shards)
+            if store_name_for_shard(shard) in names
+        )
+        cluster = ClusterNodeState(
+            node_id=args.cluster_node, map=cluster_map, owned=owned
+        )
+        print(
+            f"cluster node {args.cluster_node!r}: owns {len(owned)} of "
+            f"{cluster_map.num_shards} shards (map epoch {cluster_map.epoch})",
+            file=sys.stderr,
+        )
     server = OracleServer(
         catalog,
         host=args.host,
@@ -470,6 +497,7 @@ def cmd_serve(args) -> int:
         drain_grace=args.drain_grace,
         fault_plan=fault_plan,
         timeseries=timeseries,
+        cluster=cluster,
     )
     try:
         asyncio.run(_serve_main(server))
@@ -495,48 +523,86 @@ def cmd_loadgen(args) -> int:
             raise ReproError(
                 "need --labels (to sample labeled vertices) or --pairs-file"
             )
-        pairs = synthesize_pairs(list(remote.vertices()), args.pairs, args.seed)
+        pairs = synthesize_pairs(
+            list(remote.vertices()), args.pairs, args.seed, zipf=args.zipf
+        )
     if args.verify and remote is None:
         raise ReproError("--verify needs --labels to compute offline estimates")
 
-    report = asyncio.run(
-        run_loadgen(
-            args.host,
-            args.port,
-            pairs,
-            concurrency=args.concurrency,
-            batch=args.batch,
-            store=args.store,
-            verify=remote if args.verify else None,
-            request_timeout=args.timeout,
-            retries=args.retries,
-            attempt_timeout=args.attempt_timeout,
-            hedge_after=args.hedge,
+    cluster_client = None
+    if args.cluster_map:
+        from repro.cluster import ClusterClient
+        from repro.serve import RetryPolicy
+
+        cluster_client = ClusterClient.from_file(
+            args.cluster_map,
+            policy=RetryPolicy(
+                attempts=args.retries + 1,
+                attempt_timeout=args.attempt_timeout or args.timeout,
+                hedge_after=args.hedge,
+            ),
             seed=args.seed,
-            slo_ms=args.slo_ms,
         )
-    )
+
+    async def drive():
+        try:
+            return await run_loadgen(
+                args.host,
+                args.port,
+                pairs,
+                concurrency=args.concurrency,
+                batch=args.batch,
+                store=args.store,
+                verify=remote if args.verify else None,
+                request_timeout=args.timeout,
+                retries=args.retries,
+                attempt_timeout=args.attempt_timeout,
+                hedge_after=args.hedge,
+                seed=args.seed,
+                slo_ms=args.slo_ms,
+                client=cluster_client,
+            )
+        finally:
+            if cluster_client is not None:
+                await cluster_client.close()
+
+    target = args.cluster_map or f"{args.host}:{args.port}"
+    report = asyncio.run(drive())
     print(
         format_table(
             ["metric", "value"],
             report.rows(),
-            title=f"loadgen vs {args.host}:{args.port}",
+            title=f"loadgen vs {target}",
         )
     )
+    if cluster_client is not None:
+        print(
+            "cluster routing: "
+            + ", ".join(
+                f"{key}={value}"
+                for key, value in sorted(cluster_client.counters.items())
+            ),
+            file=sys.stderr,
+        )
     for sample in report.error_samples:
         print(f"note: {sample}", file=sys.stderr)
     if args.bench_out:
+        meta = {
+            "target": target,
+            "pairs": len(pairs),
+            "verified": bool(args.verify),
+            **report.meta(),
+        }
+        if args.zipf is not None:
+            meta["zipf"] = args.zipf
+        if cluster_client is not None:
+            meta["cluster"] = cluster_client.stats()["cluster"]
         write_bench_json(
             args.bench_out,
             "serve",
             header=["metric", "value"],
             rows=report.rows(),
-            meta={
-                "target": f"{args.host}:{args.port}",
-                "pairs": len(pairs),
-                "verified": bool(args.verify),
-                **report.meta(),
-            },
+            meta=meta,
             unix_time=time.time(),
         )
         print(f"wrote bench record to {args.bench_out}", file=sys.stderr)
@@ -556,6 +622,179 @@ DEFAULT_CHAOS_PLAN = {
 }
 
 
+def _cmd_chaos_cluster(args) -> int:
+    """``repro chaos --cluster N``: the kill-a-node drill.
+
+    Initializes an N-node R-replicated cluster from the labels file in
+    a temp directory, launches it, and runs two phases:
+
+    * **throughput** — skewed BATCH traffic against all N nodes through
+      the cluster client (this is the aggregate-QPS number);
+    * **chaos** — ``--pairs`` byte-verified DIST queries, during which
+      (with ``--kill-replica``) one replica is SIGKILLed mid-run.  The
+      phase must finish with zero errors and zero mismatches: failover
+      and the label-combine fallback have to absorb the loss.
+    """
+    import shutil
+    import tempfile
+    import time
+
+    from repro.cluster import ClusterClient, LocalCluster, init_cluster
+    from repro.obs import write_bench_json
+    from repro.serve import RetryPolicy
+    from repro.serve.loadgen import LoadgenReport, run_loadgen, synthesize_pairs
+
+    if args.cluster < 2:
+        raise ReproError(f"--cluster needs at least 2 nodes, got {args.cluster}")
+    if args.fault_plan:
+        raise ReproError("--fault-plan is for single-node chaos; "
+                         "--cluster injects real process death instead")
+    remote = load_labeling(args.labels)
+    vertices = list(remote.vertices())
+    pairs_throughput = synthesize_pairs(
+        vertices, args.throughput_pairs, args.seed, zipf=args.zipf
+    )
+    pairs_chaos = synthesize_pairs(vertices, args.pairs, args.seed + 1)
+    policy = RetryPolicy(
+        attempts=args.retries + 1,
+        attempt_timeout=args.attempt_timeout,
+        hedge_after=args.hedge,
+    )
+    root = Path(tempfile.mkdtemp(prefix="repro-chaos-cluster-"))
+
+    async def run():
+        init_cluster(
+            args.labels,
+            root,
+            nodes=args.cluster,
+            replication=args.replication,
+            num_shards=args.cluster_shards,
+            seed=args.seed,
+        )
+        cluster = LocalCluster(root, cache=args.cache)
+        live_map = await cluster.start()
+        victim = None
+        try:
+            # Phase A: aggregate throughput, every node up.
+            client = ClusterClient(live_map, policy=policy, seed=args.seed)
+            try:
+                report_a = await run_loadgen(
+                    "127.0.0.1",
+                    0,
+                    pairs_throughput,
+                    concurrency=args.concurrency,
+                    batch=args.throughput_batch,
+                    seed=args.seed,
+                    client=client,
+                )
+            finally:
+                await client.close()
+
+            # Phase B: verified queries with a replica dying mid-run.
+            client = ClusterClient(live_map, policy=policy, seed=args.seed)
+            report_b = LoadgenReport()
+            kill_after = max(1, args.pairs // 3)
+            try:
+                load_task = asyncio.ensure_future(
+                    run_loadgen(
+                        "127.0.0.1",
+                        0,
+                        pairs_chaos,
+                        concurrency=args.concurrency,
+                        batch=1,
+                        verify=remote,
+                        seed=args.seed,
+                        client=client,
+                        report=report_b,
+                    )
+                )
+                if args.kill_replica:
+                    while not load_task.done() and report_b.sent < kill_after:
+                        await asyncio.sleep(0.005)
+                    if not load_task.done():
+                        victim = cluster.victim_for(0)
+                        cluster.kill(victim)
+                await load_task
+            finally:
+                await client.close()
+        finally:
+            drain = await cluster.stop()
+        return report_a, report_b, victim, drain, live_map
+
+    try:
+        report_a, report_b, victim, drain, live_map = asyncio.run(run())
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    print(
+        format_table(
+            ["metric", "value"],
+            report_a.rows(),
+            title=(
+                f"cluster throughput: {args.cluster} nodes (R={args.replication}), "
+                f"batch {args.throughput_batch}, zipf {args.zipf}"
+            ),
+        )
+    )
+    print()
+    killed = f"node {victim} SIGKILLed mid-run" if victim else "no node killed"
+    print(
+        format_table(
+            ["metric", "value"],
+            report_b.rows(),
+            title=f"cluster chaos: {args.pairs} verified queries, {killed}",
+        )
+    )
+    for sample in report_b.error_samples:
+        print(f"note: {sample}", file=sys.stderr)
+    survivors_drained = all(
+        r["drained"] for node, r in drain.items() if node != victim
+    )
+    if not survivors_drained:
+        print("note: a surviving node exited without its drain report",
+              file=sys.stderr)
+    if args.bench_out:
+        write_bench_json(
+            args.bench_out,
+            "cluster",
+            header=["metric", "value"],
+            rows=report_b.rows(),
+            meta={
+                "mode": "cluster",
+                "nodes": args.cluster,
+                "replication": args.replication,
+                "cluster_shards": args.cluster_shards,
+                "map_epoch": live_map.epoch,
+                "cpu_count": os.cpu_count(),
+                "killed_node": victim,
+                "kill_after_sent": max(1, args.pairs // 3),
+                "throughput": {
+                    "pairs": len(pairs_throughput),
+                    "batch": args.throughput_batch,
+                    "zipf": args.zipf,
+                    "verified": False,
+                    **report_a.meta(),
+                },
+                "chaos": {
+                    "pairs": len(pairs_chaos),
+                    "verified": True,
+                    **report_b.meta(),
+                },
+                "drain": drain,
+            },
+            unix_time=time.time(),
+        )
+        print(f"wrote bench record to {args.bench_out}", file=sys.stderr)
+    clean = (
+        report_b.ok == len(pairs_chaos)
+        and report_b.errors == 0
+        and report_b.mismatches == 0
+        and survivors_drained
+        and (victim is not None or not args.kill_replica)
+    )
+    return 0 if clean else 1
+
+
 def cmd_chaos(args) -> int:
     """Self-hosted resilience check: serve the labels with a fault plan
     active, drive them through the resilient client, verify every answer
@@ -572,6 +811,8 @@ def cmd_chaos(args) -> int:
         synthesize_pairs,
     )
 
+    if args.cluster:
+        return _cmd_chaos_cluster(args)
     if args.fault_plan:
         plan = FaultPlan.load(args.fault_plan)
     else:
@@ -644,6 +885,123 @@ def cmd_chaos(args) -> int:
     # byte-exact answer.  Errors mean the retry policy was too weak for
     # the plan; mismatches mean a correctness bug.
     return 0 if report.mismatches == 0 and report.ok > 0 and report.errors == 0 else 1
+
+
+def cmd_cluster_init(args) -> int:
+    """``repro cluster init``: one labels file -> a cluster data
+    directory (authored map + canonical shard packs + per-node
+    replicas), ready for ``repro cluster up``."""
+    from repro.cluster import MAP_FILE, init_cluster
+
+    cluster_map = init_cluster(
+        args.labels,
+        args.root,
+        nodes=args.nodes,
+        replication=args.replication,
+        num_shards=args.shards,
+        seed=args.seed,
+    )
+    print(
+        f"initialized cluster in {args.root}: {len(cluster_map.nodes)} nodes, "
+        f"{cluster_map.num_shards} shards at R={cluster_map.replication} "
+        f"(map epoch {cluster_map.epoch} in {Path(args.root) / MAP_FILE})"
+    )
+    return 0
+
+
+def cmd_cluster_up(args) -> int:
+    """``repro cluster up``: launch one ``repro serve`` per node on
+    ephemeral ports, push the live map, run until a signal (or
+    ``--duration``), then drain."""
+    import signal
+
+    from repro.cluster import LIVE_MAP_FILE, LocalCluster
+
+    async def run() -> int:
+        cluster = LocalCluster(args.root, cache=args.cache, host=args.host)
+        live = await cluster.start()
+        for node in live.nodes:
+            print(f"node {node.id}: {node.host}:{node.port}", flush=True)
+        print(
+            f"cluster up: {len(live.nodes)} nodes at epoch {live.epoch}; "
+            f"live map in {Path(args.root) / LIVE_MAP_FILE}",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass
+        try:
+            await asyncio.wait_for(stop.wait(), args.duration)
+        except asyncio.TimeoutError:
+            pass
+        results = await cluster.stop()
+        undrained = sorted(
+            node for node, r in results.items() if not r["drained"]
+        )
+        print(
+            f"cluster down: {len(results)} nodes stopped"
+            + (f", undrained: {undrained}" if undrained else ""),
+            flush=True,
+        )
+        return 1 if undrained else 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
+
+
+def cmd_cluster_plan(args) -> int:
+    """``repro cluster plan``: diff two maps into the minimal shard
+    moves that turn the old layout into the new one."""
+    from repro.cluster import ClusterMap, diff_maps
+
+    old = ClusterMap.load(args.old)
+    new = ClusterMap.load(args.new)
+    plan = diff_maps(old, new)
+    rows = [
+        [copy.shard, copy.src or "(canonical)", copy.dst, "copy"]
+        for copy in plan.copies
+    ] + [[drop.shard, drop.node, "-", "drop"] for drop in plan.drops]
+    print(
+        format_table(
+            ["shard", "from", "to", "action"],
+            rows or [["-", "-", "-", "(no moves)"]],
+            title=(
+                f"rebalance epoch {old.epoch} -> {plan.new_epoch}: "
+                f"{plan.moved_shards} shard(s) move"
+            ),
+        )
+    )
+    if args.json_out:
+        Path(args.json_out).write_text(
+            json.dumps(plan.to_dict(), indent=1, sort_keys=True) + "\n"
+        )
+        print(f"wrote plan to {args.json_out}", file=sys.stderr)
+    return 0
+
+
+def cmd_cluster_apply(args) -> int:
+    """``repro cluster apply``: execute a rebalance against a cluster
+    data directory — copy shard packs to their new replicas, bump the
+    authored map's epoch, optionally prune dropped replicas."""
+    from repro.cluster import MAP_FILE, ClusterMap, apply_plan, diff_maps
+
+    root = Path(args.root)
+    old = ClusterMap.load(root / MAP_FILE)
+    new = ClusterMap.load(args.new)
+    plan = diff_maps(old, new)
+    summary = apply_plan(root, plan, new, prune=args.prune)
+    print(
+        f"applied rebalance to {root}: {summary['copied']} copied, "
+        f"{summary['skipped']} already present, {summary['pruned']} pruned; "
+        f"map now at epoch {plan.new_epoch}"
+    )
+    return 0
 
 
 def cmd_trace(args) -> int:
@@ -1062,6 +1420,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeseries-interval", type=float, default=2.0,
                    metavar="S",
                    help="seconds between timeseries samples (default 2.0)")
+    p.add_argument("--cluster-map", metavar="PATH",
+                   help="serve as one node of a repro-cluster-map/1 "
+                   "cluster (see docs/cluster.md)")
+    p.add_argument("--cluster-node", metavar="ID",
+                   help="this node's id in the cluster map")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -1100,6 +1463,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--slo-ms", type=float, default=None, metavar="MS",
                    help="report SLO attainment: fraction of requests "
                    "answered within MS milliseconds")
+    p.add_argument("--zipf", type=float, default=None, metavar="S",
+                   help="sample skewed pairs from a Zipf(S) distribution "
+                   "instead of uniformly (requires --labels)")
+    p.add_argument("--cluster-map", metavar="PATH",
+                   help="route through a cluster map (cluster-map.live.json) "
+                   "instead of one --host/--port server")
     p.add_argument("--bench-out", metavar="PATH",
                    help="write a repro-bench/1 record (e.g. BENCH_serve.json)")
     p.set_defaults(func=cmd_loadgen)
@@ -1129,9 +1498,89 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--hedge", type=float, default=None, metavar="S",
                    help="hedge a second attempt after S seconds of silence")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--cluster", type=int, default=0, metavar="N",
+                   help="run the kill-a-node drill against an N-node local "
+                   "cluster instead of one faulty server")
+    p.add_argument("--kill-replica", action="store_true",
+                   help="SIGKILL one replica mid-run (with --cluster)")
+    p.add_argument("--replication", type=int, default=2, metavar="R",
+                   help="replicas per shard for --cluster (default 2)")
+    p.add_argument("--cluster-shards", type=int, default=16, metavar="K",
+                   help="shards in the cluster map (default 16)")
+    p.add_argument("--cache", type=int, default=4096, metavar="N",
+                   help="per-node (u, v) pair-cache capacity for --cluster")
+    p.add_argument("--zipf", type=float, default=1.1, metavar="S",
+                   help="Zipf skew of the cluster throughput phase")
+    p.add_argument("--throughput-pairs", type=int, default=16384, metavar="K",
+                   help="pairs in the cluster throughput phase")
+    p.add_argument("--throughput-batch", type=int, default=64, metavar="B",
+                   help="batch size in the cluster throughput phase")
     p.add_argument("--bench-out", metavar="PATH",
                    help="write a repro-bench/1 record (e.g. BENCH_chaos.json)")
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "cluster",
+        help="replicated shard cluster: init, up, plan, apply "
+        "(see docs/cluster.md)",
+    )
+    cluster_sub = p.add_subparsers(dest="cluster_command", required=True)
+
+    pc = cluster_sub.add_parser(
+        "init",
+        help="split a labels file into a cluster data directory",
+        parents=[obs_parent],
+    )
+    pc.add_argument("--labels", required=True, metavar="PATH",
+                    help="labels file to shard across the cluster")
+    pc.add_argument("--root", required=True, metavar="DIR",
+                    help="cluster data directory to create")
+    pc.add_argument("--nodes", type=int, default=3, metavar="N")
+    pc.add_argument("--replication", type=int, default=2, metavar="R",
+                    help="replicas per shard (default 2)")
+    pc.add_argument("--shards", type=int, default=16, metavar="K",
+                    help="shards in the cluster map (default 16)")
+    pc.add_argument("--seed", type=int, default=0,
+                    help="rendezvous placement seed")
+    pc.set_defaults(func=cmd_cluster_init)
+
+    pc = cluster_sub.add_parser(
+        "up",
+        help="launch every node of an initialized cluster locally",
+        parents=[obs_parent],
+    )
+    pc.add_argument("--root", required=True, metavar="DIR",
+                    help="directory from `repro cluster init`")
+    pc.add_argument("--host", default="127.0.0.1")
+    pc.add_argument("--cache", type=int, default=4096, metavar="N",
+                    help="per-node (u, v) pair-cache capacity")
+    pc.add_argument("--duration", type=float, default=None, metavar="S",
+                    help="stop after S seconds (default: until a signal)")
+    pc.set_defaults(func=cmd_cluster_up)
+
+    pc = cluster_sub.add_parser(
+        "plan",
+        help="diff two cluster maps into minimal shard moves",
+        parents=[obs_parent],
+    )
+    pc.add_argument("old", metavar="OLD_MAP")
+    pc.add_argument("new", metavar="NEW_MAP")
+    pc.add_argument("--json-out", metavar="PATH",
+                    help="also write the plan as JSON")
+    pc.set_defaults(func=cmd_cluster_plan)
+
+    pc = cluster_sub.add_parser(
+        "apply",
+        help="execute a rebalance against a cluster data directory",
+        parents=[obs_parent],
+    )
+    pc.add_argument("--root", required=True, metavar="DIR",
+                    help="directory from `repro cluster init`")
+    pc.add_argument("--new", required=True, metavar="NEW_MAP",
+                    help="target map to rebalance to")
+    pc.add_argument("--prune", action="store_true",
+                    help="delete shard packs a node no longer replicates")
+    pc.set_defaults(func=cmd_cluster_apply)
 
     p = sub.add_parser(
         "top",

@@ -1,0 +1,60 @@
+"""Replicated shard catalog with client-side routing (`repro.cluster`).
+
+The serving layer's multi-node story, following the "centralized
+metadata, decentralized data" model: a small versioned **cluster map**
+(:mod:`repro.cluster.map`) says which node replicates which shard;
+every node carries the whole map and a subset of the data.  Placement
+is deterministic rendezvous hashing, staleness is an epoch counter,
+and the client (:mod:`repro.cluster.client`) routes by the map,
+fails over across replicas, and — when no single node can answer —
+falls back to fetching both labels and combining locally, exactly
+what the paper's distance-labeling guarantee makes possible.
+
+See docs/cluster.md for the full format and semantics.
+"""
+
+from repro.cluster.client import ClusterClient
+from repro.cluster.files import (
+    LIVE_MAP_FILE,
+    MAP_FILE,
+    populate_nodes,
+    split_labels,
+)
+from repro.cluster.local import ClusterUpError, LocalCluster, init_cluster
+from repro.cluster.map import (
+    FORMAT,
+    ClusterMap,
+    ClusterMapError,
+    ClusterNodeState,
+    NodeInfo,
+    store_name_for_shard,
+)
+from repro.cluster.plan import (
+    RebalancePlan,
+    ShardCopy,
+    ShardDrop,
+    apply_plan,
+    diff_maps,
+)
+
+__all__ = [
+    "FORMAT",
+    "LIVE_MAP_FILE",
+    "MAP_FILE",
+    "ClusterClient",
+    "ClusterMap",
+    "ClusterMapError",
+    "ClusterNodeState",
+    "ClusterUpError",
+    "LocalCluster",
+    "NodeInfo",
+    "RebalancePlan",
+    "ShardCopy",
+    "ShardDrop",
+    "apply_plan",
+    "diff_maps",
+    "init_cluster",
+    "populate_nodes",
+    "split_labels",
+    "store_name_for_shard",
+]

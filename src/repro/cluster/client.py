@@ -1,0 +1,405 @@
+"""Cluster-aware client: shard routing, replica failover, map refresh.
+
+:class:`ClusterClient` wraps one shared
+:class:`~repro.serve.client.ResilientClient` (so breakers, pools,
+backoff, and hedging are reused, not reimplemented) and adds the
+cluster layer on top:
+
+* **Routing.**  A DIST(u, v) needs *both* labels on the answering
+  node, so the candidate set is the **intersection** of the two
+  shards' replica sets.  With ``2R > N`` (e.g. the canonical 3 nodes
+  at R=2) that intersection is never empty, so single-round-trip
+  answers are the common case.  The call is restricted to those
+  candidates via the resilient client's per-call address subset —
+  retries rotate and hedges race *across replicas* of the right data,
+  not across arbitrary nodes.
+* **Failover + combine fallback.**  When every candidate is out (the
+  killed-replica case: the only intersection node died), the client
+  falls back to what the paper's labeling scheme guarantees: fetch
+  label(u) and label(v) from *any* live replica of each shard and run
+  the Theorem-2 combine locally (:func:`estimate_distance` — the
+  same code path the server runs, so the answer is byte-identical).
+* **Epoch refresh.**  Data requests are stamped with the map epoch the
+  client routed by.  A ``stale_map`` reply triggers the resilient
+  client's refresh hook — MAP-get from any live node, adopt the newer
+  map (learning new node addresses on the way) — and the routing loop
+  re-routes with fresh assignments.
+
+Every answer remains byte-identical to a fault-free single-node run:
+routing chooses *where* to ask, never *what* the answer is.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.labeling import estimate_distance
+from repro.core.serialize import (
+    SerializationError,
+    decode_label,
+    decode_vertex,
+    encode_vertex,
+)
+from repro.obs import eventlog, metrics
+from repro.serve.client import (
+    ClientError,
+    RequestFailed,
+    ResilientClient,
+    RetryPolicy,
+)
+from repro.serve.protocol import estimate_field, wire_pair
+from repro.cluster.map import ClusterMap, ClusterMapError, NodeInfo
+
+Vertex = Hashable
+Pair = Tuple[Vertex, Vertex]
+
+__all__ = ["ClusterClient"]
+
+#: Codes that mean "refresh the cluster map, then retry".
+_REFRESH_CODES = frozenset({"stale_map"})
+
+
+class ClusterClient:
+    """Route queries across a cluster by its map; drop-in for the
+    :class:`~repro.serve.client.ResilientClient` surface the loadgen
+    uses (``call`` / ``dist`` / ``batch`` / ``stats`` / ``close``).
+    """
+
+    def __init__(
+        self,
+        cluster_map: ClusterMap,
+        *,
+        policy: Optional[RetryPolicy] = None,
+        seed: int = 0,
+        breaker_threshold: int = 5,
+        breaker_reset: float = 1.0,
+        route_rounds: int = 3,
+    ) -> None:
+        if route_rounds < 1:
+            raise ClientError(f"route_rounds must be >= 1, got {route_rounds}")
+        self.map = cluster_map
+        self._route_rounds = route_rounds
+        self.counters: Dict[str, int] = {
+            "routed": 0,        # answered by a single intersection node
+            "combined": 0,      # answered by label-fetch + local combine
+            "reroutes": 0,      # routing loop restarted on a fresher map
+            "map_refreshes": 0, # MAP-get refresh attempts
+            "map_installs": 0,  # refreshes that adopted a newer map
+        }
+        self._spread = 0  # rotates candidate preference across calls
+        self._rc = ResilientClient(
+            [node.address for node in cluster_map.nodes],
+            policy=policy or RetryPolicy(),
+            seed=seed,
+            breaker_threshold=breaker_threshold,
+            breaker_reset=breaker_reset,
+            refresh_codes=_REFRESH_CODES,
+            on_refresh=self._refresh,
+        )
+
+    @classmethod
+    def from_file(cls, path, **kwargs) -> "ClusterClient":
+        """Build from a ``cluster-map.live.json`` (or any map file)."""
+        return cls(ClusterMap.load(path), **kwargs)
+
+    @property
+    def epsilon(self) -> float:
+        return self.map.epsilon
+
+    # -- public surface -------------------------------------------------
+    async def dist(self, u: Vertex, v: Vertex) -> dict:
+        return await self.call(
+            {"op": "DIST", "u": encode_vertex(u), "v": encode_vertex(v)}
+        )
+
+    async def batch(self, pairs: Sequence[Pair]) -> dict:
+        return await self.call(
+            {"op": "BATCH", "pairs": [wire_pair(u, v) for u, v in pairs]}
+        )
+
+    async def call(self, payload: dict, **_ignored) -> dict:
+        """Route one request.  DIST/BATCH/LABEL go to replicas of the
+        right shards; STATS fans out and aggregates; everything else
+        goes to any live node."""
+        op = str(payload.get("op", "")).upper()
+        if op == "DIST":
+            return await self._dist_call(payload)
+        if op == "BATCH":
+            return await self._batch_call(payload)
+        if op == "LABEL":
+            return await self._label_call(payload)
+        if op == "STATS":
+            return await self._stats_call(payload)
+        return await self._rc.call(payload)
+
+    async def close(self) -> None:
+        await self._rc.close()
+
+    def stats(self) -> dict:
+        """Resilient-client stats plus the cluster routing counters
+        (same shape the loadgen reads, extended)."""
+        payload = self._rc.stats()
+        payload["cluster"] = {"epoch": self.map.epoch, **self.counters}
+        return payload
+
+    # -- vertex plumbing ------------------------------------------------
+    def _decode(self, wire, what: str) -> Vertex:
+        try:
+            return decode_vertex(wire)
+        except SerializationError as exc:
+            raise ClientError(f"malformed vertex in {what!r}: {exc}") from None
+
+    def _intersection(self, su: int, sv: int) -> List[NodeInfo]:
+        """Replicas holding *both* shards, rotated for load spread."""
+        holders_v = set(self.map.assignments[sv])
+        both = [n for n in self.map.assignments[su] if n in holders_v]
+        if not both:
+            return []
+        rot = self._spread % len(both)
+        ordered = both[rot:] + both[:rot]
+        return [self.map.node(node_id) for node_id in ordered]
+
+    # -- routed single-node path ----------------------------------------
+    async def _try_routed(
+        self, payload: dict, pick_candidates, *, stamp_epoch: bool = True
+    ) -> Optional[dict]:
+        """Attempt *payload* against ``pick_candidates()`` (re-evaluated
+        from the *current* map each round).
+
+        Returns None when no single node can answer — either the
+        candidate set is empty or every candidate is down — which is
+        the caller's cue to fall back to label-combine.  A refresh
+        underneath (the map epoch moved) restarts the round with fresh
+        candidates instead of giving up.  Permanent server answers
+        (:class:`RequestFailed`) propagate: they are answers.
+        """
+        for _ in range(self._route_rounds):
+            epoch = self.map.epoch
+            candidates = pick_candidates()
+            if not candidates:
+                return None
+            request = {**payload, "epoch": epoch} if stamp_epoch else payload
+            try:
+                response = await self._rc.call(
+                    request, addresses=[node.address for node in candidates]
+                )
+            except RequestFailed:
+                raise
+            except ClientError:
+                if self.map.epoch != epoch:
+                    # The refresh hook adopted a newer map mid-call;
+                    # routing by the old one is what failed.  Re-route.
+                    self.counters["reroutes"] += 1
+                    metrics.inc("cluster.client.reroutes")
+                    continue
+                return None
+            self.counters["routed"] += 1
+            metrics.inc("cluster.client.routed")
+            return response
+        return None
+
+    async def _dist_call(self, payload: dict) -> dict:
+        u = self._decode(payload.get("u"), "u")
+        v = self._decode(payload.get("v"), "v")
+        self._spread += 1
+        response = await self._try_routed(
+            payload,
+            lambda: self._intersection(self.map.shard_of(u), self.map.shard_of(v)),
+        )
+        if response is not None:
+            return response
+        return await self._combine_dist(u, v, req_id=payload.get("id"))
+
+    async def _label_call(self, payload: dict) -> dict:
+        v = self._decode(payload.get("v"), "v")
+        self._spread += 1
+        response = await self._try_routed(
+            payload,
+            lambda: list(self.map.nodes_for(v)),
+            # Labels are immutable; an epoch disagreement must not
+            # block fetching one during a map transition.
+            stamp_epoch=False,
+        )
+        if response is None:
+            raise ClientError(
+                f"no live replica for vertex {v!r} "
+                f"(shard {self.map.shard_of(v)})"
+            )
+        return response
+
+    # -- combine fallback ------------------------------------------------
+    async def _fetch_label(self, v: Vertex):
+        response = await self._label_call({"op": "LABEL", "v": encode_vertex(v)})
+        return decode_label(response["label"])
+
+    async def _combine_dist(self, u: Vertex, v: Vertex, req_id=None) -> dict:
+        """Client-side Theorem-2 combine: fetch both labels from any
+        live replicas and estimate locally.  Byte-identical to a server
+        answer — same labels, same :func:`estimate_distance`."""
+        label_u, label_v = await asyncio.gather(
+            self._fetch_label(u), self._fetch_label(v)
+        )
+        value = estimate_distance(label_u, label_v)
+        self.counters["combined"] += 1
+        metrics.inc("cluster.client.combined")
+        eventlog.debug(
+            "cluster.client.combine", u=repr(u), v=repr(v), epoch=self.map.epoch
+        )
+        return {
+            "id": req_id,
+            "ok": True,
+            "op": "DIST",
+            "epsilon": self.map.epsilon,
+            **estimate_field(value),
+            "combined": True,
+        }
+
+    # -- batch routing ---------------------------------------------------
+    async def _batch_call(self, payload: dict) -> dict:
+        raw_pairs = payload.get("pairs") or []
+        pairs: List[Pair] = [
+            (self._decode(p[0], f"pairs[{i}][0]"), self._decode(p[1], f"pairs[{i}][1]"))
+            for i, p in enumerate(raw_pairs)
+        ]
+        self._spread += 1
+        # Group pairs by the replica set able to answer them, so one
+        # sub-batch per answering node (with its failover candidates)
+        # replaces N independent round trips.
+        groups: Dict[tuple, List[int]] = {}
+        orphans: List[int] = []  # no single node holds both shards
+        for index, (u, v) in enumerate(pairs):
+            candidates = self._intersection(self.map.shard_of(u), self.map.shard_of(v))
+            if candidates:
+                groups.setdefault(tuple(n.id for n in candidates), []).append(index)
+            else:
+                orphans.append(index)
+        results: List[Optional[dict]] = [None] * len(pairs)
+
+        async def run_group(node_ids: tuple, indexes: List[int]) -> None:
+            sub = {
+                "op": "BATCH",
+                "pairs": [wire_pair(*pairs[i]) for i in indexes],
+            }
+            try:
+                response = await self._try_routed(
+                    sub, lambda: [self.map.node(nid) for nid in node_ids]
+                )
+            except RequestFailed as exc:
+                response = None
+                eventlog.debug("cluster.client.batch.failed", code=exc.code)
+            if response is not None:
+                items = response.get("results", [])
+                for slot, item in zip(indexes, items):
+                    results[slot] = item
+            # Anything unanswered (routed path dead, or a short reply)
+            # degrades to per-pair combine.
+            await asyncio.gather(
+                *(
+                    run_single(i)
+                    for i in indexes
+                    if results[i] is None
+                )
+            )
+
+        async def run_single(index: int) -> None:
+            u, v = pairs[index]
+            try:
+                response = await self._combine_dist(u, v)
+            except RequestFailed as exc:
+                results[index] = {
+                    "ok": False,
+                    "error": {"code": exc.code, "message": str(exc)},
+                }
+                return
+            except ClientError as exc:
+                results[index] = {
+                    "ok": False,
+                    "error": {"code": "unavailable", "message": str(exc)},
+                }
+                return
+            results[index] = {
+                "ok": True,
+                **{
+                    key: response[key]
+                    for key in ("estimate", "unreachable")
+                    if key in response
+                },
+            }
+
+        await asyncio.gather(
+            *(run_group(node_ids, indexes) for node_ids, indexes in groups.items()),
+            *(run_single(index) for index in orphans),
+        )
+        return {
+            "id": payload.get("id"),
+            "ok": True,
+            "op": "BATCH",
+            "epsilon": self.map.epsilon,
+            "results": results,
+        }
+
+    # -- cluster-wide reads ----------------------------------------------
+    async def _stats_call(self, payload: dict) -> dict:
+        """Fan STATS out to every node and aggregate the counters the
+        way a single-server caller expects (summed), keeping the
+        per-node payloads alongside."""
+        async def one(node: NodeInfo):
+            try:
+                return node.id, await self._rc.call(
+                    {"op": "STATS"}, addresses=[node.address]
+                )
+            except (ClientError, RequestFailed):
+                return node.id, None
+
+        responses = await asyncio.gather(*(one(n) for n in self.map.nodes))
+        counters: Dict[str, int] = {}
+        nodes: Dict[str, Optional[dict]] = {}
+        live = 0
+        for node_id, response in responses:
+            nodes[node_id] = response
+            if response is None:
+                continue
+            live += 1
+            for key, value in (response.get("counters") or {}).items():
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    counters[key] = counters.get(key, 0) + value
+        return {
+            "id": payload.get("id"),
+            "ok": True,
+            "op": "STATS",
+            "cluster": {"epoch": self.map.epoch, "nodes": live},
+            "counters": counters,
+            "nodes": nodes,
+        }
+
+    # -- map refresh ------------------------------------------------------
+    async def _refresh(self, exc=None) -> None:
+        """The resilient client's ``on_refresh`` hook: learn a newer
+        map from any live node and adopt it.  Failing to refresh is
+        not an error — the retry/re-route machinery decides what
+        happens next."""
+        self.counters["map_refreshes"] += 1
+        metrics.inc("cluster.client.map.refreshes")
+        try:
+            response = await self._rc.call({"op": "MAP", "action": "get"})
+        except (ClientError, RequestFailed):
+            return
+        wire_map = response.get("map")
+        if not wire_map:
+            return
+        try:
+            fresh = ClusterMap.from_dict(wire_map)
+        except ClusterMapError:
+            return
+        if fresh.epoch > self.map.epoch:
+            self.install_map(fresh)
+
+    def install_map(self, fresh: ClusterMap) -> None:
+        """Adopt *fresh* and register any nodes it introduces."""
+        self.map = fresh
+        for node in fresh.nodes:
+            self._rc.ensure_address(node.address)
+        self.counters["map_installs"] += 1
+        metrics.gauge("cluster.client.map.epoch", fresh.epoch)
+        eventlog.info("cluster.client.map.install", epoch=fresh.epoch)

@@ -1,0 +1,138 @@
+"""On-disk layout of a file-backed cluster, and the shard splitter.
+
+A cluster data directory looks like::
+
+    DIR/cluster-map.json        the authored map (ports may be 0)
+    DIR/cluster-map.live.json   written by `cluster up` once ports are bound
+    DIR/shards/shard-0000.bin   canonical full shard set (binary codec)
+    DIR/shards/...
+    DIR/nodes/<id>/shard-0000.bin   per-node replicas (copies of canonical)
+
+The splitter partitions one labeling into ``num_shards`` pack files by
+the *same* hash the router uses (``ClusterMap.shard_of``, i.e. CRC-32
+of the canonical vertex key), so the node that a client routes a
+vertex to is exactly the node whose pack files contain its label.
+Each per-shard file is a complete, self-describing
+``repro-distance-labels/2`` pack — a node opens its shards mmap'd in
+O(1) with no knowledge of the rest of the cluster's data.
+
+Empty shards are legal and produce valid empty pack files (a cluster
+with more shards than vertices simply has some empty replicas).
+"""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.core.serialize import RemoteLabels, dump_labeling, load_labeling
+from repro.cluster.map import ClusterMap, ClusterMapError, store_name_for_shard
+
+__all__ = [
+    "MAP_FILE",
+    "LIVE_MAP_FILE",
+    "SHARDS_DIR",
+    "NODES_DIR",
+    "split_labels",
+    "populate_nodes",
+    "node_dir",
+    "shard_path",
+]
+
+MAP_FILE = "cluster-map.json"
+LIVE_MAP_FILE = "cluster-map.live.json"
+SHARDS_DIR = "shards"
+NODES_DIR = "nodes"
+
+#: Internal hash-bucket count of each per-shard pack file.  This is the
+#: binfmt's *intra-file* sharding (lookup buckets), unrelated to the
+#: cluster's shard count; small files don't need many buckets.
+_PACK_BUCKETS = 8
+
+
+def shard_path(root: Union[str, Path], shard: int) -> Path:
+    """Canonical pack file of global shard *shard*."""
+    return Path(root) / SHARDS_DIR / f"{store_name_for_shard(shard)}.bin"
+
+
+def node_dir(root: Union[str, Path], node_id: str) -> Path:
+    """Data directory of node *node_id*."""
+    return Path(root) / NODES_DIR / node_id
+
+
+def split_labels(
+    labels_path: Union[str, Path],
+    root: Union[str, Path],
+    cluster_map: ClusterMap,
+) -> List[Path]:
+    """Split the labeling at *labels_path* into per-shard binary packs
+    under ``root/shards/``, one file per shard of *cluster_map*.
+
+    Returns the written paths (one per shard, ascending).  The union of
+    the written packs is exactly the input labeling, and every vertex
+    lands in the shard ``cluster_map.shard_of`` routes it to.
+    """
+    labeling = load_labeling(labels_path)
+    buckets: Dict[int, dict] = {s: {} for s in range(cluster_map.num_shards)}
+    for v, label in labeling.labels.items():
+        buckets[cluster_map.shard_of(v)][v] = label
+    out_dir = Path(root) / SHARDS_DIR
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for shard in range(cluster_map.num_shards):
+        path = shard_path(root, shard)
+        dump_labeling(
+            RemoteLabels(epsilon=labeling.epsilon, labels=buckets[shard]),
+            path,
+            codec="binary",
+            num_shards=_PACK_BUCKETS,
+        )
+        written.append(path)
+    return written
+
+
+def populate_nodes(root: Union[str, Path], cluster_map: ClusterMap) -> Dict[str, List[Path]]:
+    """Copy canonical shard packs into each node's data directory
+    according to *cluster_map*'s assignments.
+
+    Idempotent: existing copies are overwritten.  Returns
+    ``{node_id: [paths copied]}``.
+    """
+    placed: Dict[str, List[Path]] = {}
+    for node in cluster_map.nodes:
+        dest_dir = node_dir(root, node.id)
+        dest_dir.mkdir(parents=True, exist_ok=True)
+        placed[node.id] = []
+        for shard in cluster_map.shards_of_node(node.id):
+            src = shard_path(root, shard)
+            if not src.is_file():
+                raise ClusterMapError(
+                    f"canonical shard file missing: {src} "
+                    f"(run split_labels / `repro cluster init` first)"
+                )
+            dest = dest_dir / src.name
+            shutil.copyfile(src, dest)
+            placed[node.id].append(dest)
+    return placed
+
+
+def node_shard_files(root: Union[str, Path], node_id: str) -> List[Path]:
+    """The shard pack files currently present in *node_id*'s directory,
+    sorted by shard number."""
+    directory = node_dir(root, node_id)
+    if not directory.is_dir():
+        return []
+    return sorted(directory.glob("shard-*.bin"))
+
+
+def owned_shards(root: Union[str, Path], node_id: str) -> Tuple[int, ...]:
+    """Shard numbers whose pack files are present for *node_id*."""
+    shards = []
+    for path in node_shard_files(root, node_id):
+        stem = path.stem
+        try:
+            shards.append(int(stem.split("-", 1)[1]))
+        except (IndexError, ValueError):
+            continue
+    return tuple(shards)

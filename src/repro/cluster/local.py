@@ -1,0 +1,293 @@
+"""Local N-node cluster orchestration (`repro cluster up` / chaos).
+
+:func:`init_cluster` turns one labels file into a cluster data
+directory (map + canonical shards + per-node replicas);
+:class:`LocalCluster` launches one ``repro serve`` subprocess per node
+on ephemeral ports, resolves the bind-time chicken-and-egg, and can
+kill or drain nodes — the primitive under ``repro cluster up`` and
+``repro chaos --cluster``.
+
+The chicken-and-egg: a node must load the map before binding (it needs
+its shard assignment), but the map cannot carry real addresses until
+every node has bound its ephemeral port.  Resolution, in order:
+
+1. children start from the authored map (ports 0) and announce
+   ``ready HOST:PORT`` on stdout once bound;
+2. the parent collects the announcements, builds the **live map**
+   (same assignments, real addresses, epoch+1), and writes it to
+   ``cluster-map.live.json`` for clients;
+3. the parent pushes the live map to every node via ``MAP set`` —
+   exercising the same epoch-gated push path a rebalance uses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.serialize import load_labeling
+from repro.cluster.files import (
+    LIVE_MAP_FILE,
+    MAP_FILE,
+    node_dir,
+    node_shard_files,
+    populate_nodes,
+    split_labels,
+)
+from repro.cluster.map import ClusterMap, ClusterMapError
+from repro.obs import eventlog
+from repro.util.errors import ReproError
+
+__all__ = ["ClusterUpError", "LocalCluster", "init_cluster"]
+
+
+class ClusterUpError(ReproError):
+    """A local cluster that cannot be initialized or launched."""
+
+
+def init_cluster(
+    labels_path: Union[str, Path],
+    root: Union[str, Path],
+    *,
+    nodes: int = 3,
+    replication: int = 2,
+    num_shards: int = 16,
+    seed: int = 0,
+) -> ClusterMap:
+    """Create a cluster data directory at *root* from one labels file.
+
+    Writes the authored map (epoch 1, ports unassigned), the canonical
+    per-shard packs, and every node's replica copies.  Node ids are
+    ``n0..n{N-1}``; the labeling's epsilon is stamped into the map so
+    clients can combine labels without holding any labels file.
+    """
+    if nodes < 1:
+        raise ClusterUpError(f"need at least one node, got {nodes}")
+    labeling = load_labeling(labels_path)
+    cluster_map = ClusterMap.build(
+        [f"n{i}" for i in range(nodes)],
+        num_shards=num_shards,
+        replication=replication,
+        seed=seed,
+        epoch=1,
+        epsilon=labeling.epsilon,
+    )
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    split_labels(labels_path, root, cluster_map)
+    populate_nodes(root, cluster_map)
+    cluster_map.dump(root / MAP_FILE)
+    return cluster_map
+
+
+class LocalCluster:
+    """One ``repro serve`` subprocess per node of a file-backed cluster.
+
+    Usage::
+
+        cluster = LocalCluster(root)
+        live_map = await cluster.start()
+        ...
+        cluster.kill("n1")           # chaos: SIGKILL mid-load
+        results = await cluster.stop()  # SIGTERM + drain the rest
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        *,
+        cache: int = 4096,
+        host: str = "127.0.0.1",
+        python: Optional[str] = None,
+        ready_timeout: float = 60.0,
+    ) -> None:
+        self.root = Path(root)
+        try:
+            self.map = ClusterMap.load(self.root / MAP_FILE)
+        except ClusterMapError as exc:
+            raise ClusterUpError(str(exc)) from None
+        self.cache = cache
+        self.host = host
+        self.python = python or sys.executable
+        self.ready_timeout = ready_timeout
+        self.live_map: Optional[ClusterMap] = None
+        self._procs: Dict[str, asyncio.subprocess.Process] = {}
+        self._stdout: Dict[str, List[str]] = {}
+        self._readers: Dict[str, asyncio.Task] = {}
+        self._killed: set = set()
+
+    # -- lifecycle ------------------------------------------------------
+    def _serve_argv(self, node_id: str) -> List[str]:
+        shard_files = node_shard_files(self.root, node_id)
+        if not shard_files:
+            raise ClusterUpError(
+                f"node {node_id!r} has no shard files under "
+                f"{node_dir(self.root, node_id)}; run init first"
+            )
+        argv = [self.python, "-m", "repro.cli", "serve"]
+        for path in shard_files:
+            argv += ["--labels", str(path)]
+        argv += [
+            "--host", self.host,
+            "--port", "0",
+            "--cache", str(self.cache),
+            "--cluster-map", str(self.root / MAP_FILE),
+            "--cluster-node", node_id,
+        ]
+        return argv
+
+    async def _spawn(self, node_id: str) -> Tuple[str, int]:
+        proc = await asyncio.create_subprocess_exec(
+            *self._serve_argv(node_id),
+            stdout=asyncio.subprocess.PIPE,
+            stderr=asyncio.subprocess.DEVNULL,
+            env=dict(os.environ),
+        )
+        self._procs[node_id] = proc
+        self._stdout[node_id] = []
+        address = None
+        try:
+            while True:
+                line = await asyncio.wait_for(
+                    proc.stdout.readline(), self.ready_timeout
+                )
+                if not line:
+                    raise ClusterUpError(
+                        f"node {node_id!r} exited before announcing readiness"
+                    )
+                text = line.decode("utf-8", "replace").rstrip()
+                self._stdout[node_id].append(text)
+                if text.startswith("ready "):
+                    host, _, port = text[len("ready "):].rpartition(":")
+                    address = (host, int(port))
+                    break
+        except asyncio.TimeoutError:
+            raise ClusterUpError(
+                f"node {node_id!r} did not announce readiness within "
+                f"{self.ready_timeout}s"
+            ) from None
+        # Keep draining stdout in the background: a full pipe would
+        # block the child's final drain report.
+        self._readers[node_id] = asyncio.ensure_future(
+            self._drain_stdout(node_id, proc)
+        )
+        return address
+
+    async def _drain_stdout(self, node_id: str, proc) -> None:
+        while True:
+            line = await proc.stdout.readline()
+            if not line:
+                return
+            self._stdout[node_id].append(
+                line.decode("utf-8", "replace").rstrip()
+            )
+
+    async def start(self) -> ClusterMap:
+        """Launch every node, build and push the live map; returns it."""
+        addresses: Dict[str, Tuple[str, int]] = {}
+        try:
+            for node in self.map.nodes:
+                addresses[node.id] = await self._spawn(node.id)
+        except ClusterUpError:
+            await self.stop(grace=2.0)
+            raise
+        self.live_map = self.map.with_addresses(addresses)
+        self.live_map.dump(self.root / LIVE_MAP_FILE)
+        await self._push_map(self.live_map)
+        eventlog.info(
+            "cluster.up",
+            nodes=len(addresses),
+            epoch=self.live_map.epoch,
+            shards=self.live_map.num_shards,
+            replication=self.live_map.replication,
+        )
+        return self.live_map
+
+    async def _push_map(self, live_map: ClusterMap) -> None:
+        """Push *live_map* to every node via MAP set (the same
+        epoch-gated path a rebalance uses)."""
+        from repro.serve.client import ClientError, RequestFailed, ResilientClient
+
+        wire = live_map.to_dict()
+        for node in live_map.nodes:
+            client = ResilientClient([node.address])
+            try:
+                await client.call(
+                    {"op": "MAP", "action": "set", "map": wire}
+                )
+            except (ClientError, RequestFailed) as exc:
+                raise ClusterUpError(
+                    f"map push to node {node.id!r} failed: {exc}"
+                ) from None
+            finally:
+                await client.close()
+
+    # -- chaos ----------------------------------------------------------
+    def kill(self, node_id: str, sig: int = signal.SIGKILL) -> None:
+        """Kill one node without warning (the chaos primitive)."""
+        proc = self._procs.get(node_id)
+        if proc is None or proc.returncode is not None:
+            raise ClusterUpError(f"node {node_id!r} is not running")
+        proc.send_signal(sig)
+        self._killed.add(node_id)
+        eventlog.info("cluster.kill", node=node_id, signal=int(sig))
+
+    def victim_for(self, shard: int) -> str:
+        """A running replica of *shard* to kill (the first one)."""
+        for node_id in (self.live_map or self.map).assignments[shard]:
+            proc = self._procs.get(node_id)
+            if proc is not None and proc.returncode is None:
+                return node_id
+        raise ClusterUpError(f"no running replica of shard {shard}")
+
+    @property
+    def running(self) -> List[str]:
+        return [
+            node_id
+            for node_id, proc in self._procs.items()
+            if proc.returncode is None
+        ]
+
+    # -- teardown -------------------------------------------------------
+    async def stop(self, grace: float = 15.0) -> Dict[str, dict]:
+        """SIGTERM every running node and wait for a clean drain.
+
+        Returns per-node ``{"returncode", "killed", "drained"}`` where
+        *drained* means the child printed its drain report (the serve
+        CLI's last line) before exiting.
+        """
+        for node_id, proc in self._procs.items():
+            if proc.returncode is None and node_id not in self._killed:
+                try:
+                    proc.send_signal(signal.SIGTERM)
+                except ProcessLookupError:
+                    pass
+        results: Dict[str, dict] = {}
+        for node_id, proc in self._procs.items():
+            try:
+                await asyncio.wait_for(proc.wait(), grace)
+            except asyncio.TimeoutError:
+                proc.kill()
+                await proc.wait()
+            reader = self._readers.get(node_id)
+            if reader is not None:
+                try:
+                    await asyncio.wait_for(reader, 2.0)
+                except asyncio.TimeoutError:
+                    reader.cancel()
+            results[node_id] = {
+                "returncode": proc.returncode,
+                "killed": node_id in self._killed,
+                "drained": any(
+                    line.startswith("drained:")
+                    for line in self._stdout.get(node_id, [])
+                ),
+            }
+        return results
+
+    def stdout_of(self, node_id: str) -> List[str]:
+        return list(self._stdout.get(node_id, []))

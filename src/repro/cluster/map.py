@@ -1,0 +1,417 @@
+"""The replicated cluster map: ``repro-cluster-map/1``.
+
+A cluster map is the *centralized metadata* of the serving cluster
+(the "centralized metadata, decentralized data" model): one small,
+versioned JSON document that says which node holds which shard.  Every
+node carries a full copy and serves it over the ``MAP`` protocol op;
+label data itself stays sharded across nodes.
+
+Placement is **deterministic rendezvous (HRW) hashing**: the replica
+set of shard *s* is the R nodes with the highest scores
+``derive_seed(seed, "place", s, node_id)``.  The same ``(seed, nodes,
+num_shards, replication)`` always produces the same assignments, and
+adding or removing one node only moves the shards that node gains or
+loses — the property the rebalance planner
+(:mod:`repro.cluster.plan`) turns into minimal pack-file copies.
+
+Staleness is an **epoch counter**: every mutation of the map (address
+assignment at cluster-up, a rebalance apply, a MAP push) bumps it.
+Clients stamp data requests with the epoch of the map they routed by;
+a node whose epoch disagrees answers with a typed ``stale_map`` error,
+which is the client's cue to refresh its map and re-route (see
+:class:`repro.cluster.client.ClusterClient`).
+
+Wire form::
+
+    {"format": "repro-cluster-map/1",
+     "epoch": 2,
+     "seed": 0,
+     "epsilon": 0.25,
+     "num_shards": 16,
+     "replication": 2,
+     "nodes": [{"id": "n0", "host": "127.0.0.1", "port": 7501}, ...],
+     "assignments": [["n0", "n2"], ["n1", "n0"], ...]}
+
+``assignments[s]`` is shard *s*'s ordered replica list (first entry is
+the preferred primary).  ``epsilon`` is the labeling's approximation
+parameter, carried so a client that combines two remotely fetched
+labels can report it without holding any labels file.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.serialize import shard_key_bytes
+from repro.util.errors import ReproError
+from repro.util.rng import derive_seed
+
+Vertex = Hashable
+
+__all__ = [
+    "FORMAT",
+    "ClusterMap",
+    "ClusterMapError",
+    "ClusterNodeState",
+    "NodeInfo",
+    "store_name_for_shard",
+]
+
+FORMAT = "repro-cluster-map/1"
+
+#: Shard-store naming convention shared by the file splitter, the serve
+#: catalog, and the cluster view: global shard *s* lives in the store
+#: (and pack file stem) ``shard-%04d``.
+_STORE_PREFIX = "shard-"
+
+
+def store_name_for_shard(shard: int) -> str:
+    """Store / pack-file stem of global shard *shard* (``shard-0007``)."""
+    return f"{_STORE_PREFIX}{shard:04d}"
+
+
+class ClusterMapError(ReproError):
+    """A cluster map that cannot be built, loaded, or validated."""
+
+
+@dataclass(frozen=True)
+class NodeInfo:
+    """One serve node: a stable id plus its (possibly not yet bound)
+    TCP address.  Port 0 means "not assigned yet" — the placeholder a
+    map carries between ``cluster init`` and ``cluster up``."""
+
+    id: str
+    host: str = "127.0.0.1"
+    port: int = 0
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    @classmethod
+    def from_dict(cls, payload) -> "NodeInfo":
+        if not isinstance(payload, dict):
+            raise ClusterMapError(f"node must be an object, got {payload!r}")
+        node_id = payload.get("id")
+        if not isinstance(node_id, str) or not node_id:
+            raise ClusterMapError(f"node id must be a non-empty string: {payload!r}")
+        host = payload.get("host", "127.0.0.1")
+        if not isinstance(host, str) or not host:
+            raise ClusterMapError(f"node {node_id!r} host must be a string")
+        port = payload.get("port", 0)
+        if isinstance(port, bool) or not isinstance(port, int) or port < 0:
+            raise ClusterMapError(f"node {node_id!r} port must be an int >= 0")
+        return cls(id=node_id, host=host, port=port)
+
+    def to_dict(self) -> dict:
+        return {"id": self.id, "host": self.host, "port": self.port}
+
+
+class ClusterMap:
+    """Immutable shard->replica-set assignment at one epoch."""
+
+    def __init__(
+        self,
+        nodes: Sequence[NodeInfo],
+        assignments: Sequence[Tuple[str, ...]],
+        *,
+        epoch: int = 1,
+        seed: int = 0,
+        replication: int = 1,
+        epsilon: float = 0.0,
+    ) -> None:
+        self.nodes: Tuple[NodeInfo, ...] = tuple(nodes)
+        self.assignments: Tuple[Tuple[str, ...], ...] = tuple(
+            tuple(a) for a in assignments
+        )
+        self.epoch = int(epoch)
+        self.seed = int(seed)
+        self.replication = int(replication)
+        self.epsilon = float(epsilon)
+        self._by_id: Dict[str, NodeInfo] = {n.id: n for n in self.nodes}
+        self._validate()
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        node_ids: Sequence[str],
+        *,
+        num_shards: int,
+        replication: int,
+        seed: int = 0,
+        epoch: int = 1,
+        epsilon: float = 0.0,
+        hosts: Optional[Mapping[str, Tuple[str, int]]] = None,
+    ) -> "ClusterMap":
+        """Place *num_shards* shards on *node_ids* by rendezvous hashing.
+
+        Shard *s* goes to the *replication* nodes with the highest
+        ``derive_seed(seed, "place", s, node_id)`` scores, ordered by
+        descending score (ties broken by node id, which cannot recur
+        since ids are unique).  Deterministic in all arguments.
+        """
+        ids = list(node_ids)
+        if len(set(ids)) != len(ids):
+            raise ClusterMapError(f"duplicate node ids in {ids!r}")
+        if not ids:
+            raise ClusterMapError("a cluster needs at least one node")
+        if num_shards < 1:
+            raise ClusterMapError(f"num_shards must be >= 1, got {num_shards}")
+        if not 1 <= replication <= len(ids):
+            raise ClusterMapError(
+                f"replication must be in [1, {len(ids)}], got {replication}"
+            )
+        assignments = []
+        for shard in range(num_shards):
+            scored = sorted(
+                ids,
+                key=lambda node_id: (-derive_seed(seed, "place", shard, node_id),
+                                     node_id),
+            )
+            assignments.append(tuple(scored[:replication]))
+        hosts = hosts or {}
+        nodes = [
+            NodeInfo(id=node_id, *()) if node_id not in hosts
+            else NodeInfo(node_id, hosts[node_id][0], hosts[node_id][1])
+            for node_id in ids
+        ]
+        return cls(
+            nodes,
+            assignments,
+            epoch=epoch,
+            seed=seed,
+            replication=replication,
+            epsilon=epsilon,
+        )
+
+    def _validate(self) -> None:
+        if len(self._by_id) != len(self.nodes):
+            dupes = sorted(
+                {n.id for n in self.nodes if sum(m.id == n.id for m in self.nodes) > 1}
+            )
+            raise ClusterMapError(f"duplicate node ids: {dupes}")
+        if not self.nodes:
+            raise ClusterMapError("a cluster map needs at least one node")
+        if not self.assignments:
+            raise ClusterMapError("a cluster map needs at least one shard")
+        if self.epoch < 0:
+            raise ClusterMapError(f"epoch must be >= 0, got {self.epoch}")
+        if not 1 <= self.replication <= len(self.nodes):
+            raise ClusterMapError(
+                f"replication must be in [1, {len(self.nodes)}], "
+                f"got {self.replication}"
+            )
+        for shard, replicas in enumerate(self.assignments):
+            if len(replicas) != self.replication:
+                raise ClusterMapError(
+                    f"shard {shard} has {len(replicas)} replicas, "
+                    f"expected {self.replication}"
+                )
+            if len(set(replicas)) != len(replicas):
+                raise ClusterMapError(f"shard {shard} repeats a replica: {replicas}")
+            for node_id in replicas:
+                if node_id not in self._by_id:
+                    raise ClusterMapError(
+                        f"shard {shard} assigned to unknown node {node_id!r}"
+                    )
+
+    # -- routing --------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self.assignments)
+
+    def shard_of(self, v: Vertex) -> int:
+        """Global shard of vertex *v* (CRC-32 of its canonical wire
+        key — the same function the in-store shard router uses, so a
+        vertex's cluster shard and its file placement agree)."""
+        return zlib.crc32(shard_key_bytes(v)) % self.num_shards
+
+    def node(self, node_id: str) -> NodeInfo:
+        try:
+            return self._by_id[node_id]
+        except KeyError:
+            raise ClusterMapError(f"unknown node {node_id!r}") from None
+
+    def replicas_for(self, shard: int) -> Tuple[NodeInfo, ...]:
+        """Ordered replica set of *shard* (preferred primary first)."""
+        if not 0 <= shard < self.num_shards:
+            raise ClusterMapError(
+                f"shard {shard} out of range [0, {self.num_shards})"
+            )
+        return tuple(self._by_id[node_id] for node_id in self.assignments[shard])
+
+    def nodes_for(self, v: Vertex) -> Tuple[NodeInfo, ...]:
+        """Replica set holding the label of vertex *v*."""
+        return self.replicas_for(self.shard_of(v))
+
+    def shards_of_node(self, node_id: str) -> Tuple[int, ...]:
+        """Every shard *node_id* holds a replica of, ascending."""
+        self.node(node_id)
+        return tuple(
+            shard
+            for shard, replicas in enumerate(self.assignments)
+            if node_id in replicas
+        )
+
+    # -- evolution ------------------------------------------------------
+    def with_addresses(
+        self, addresses: Mapping[str, Tuple[str, int]], *, bump_epoch: bool = True
+    ) -> "ClusterMap":
+        """A copy with some nodes' addresses replaced (cluster-up binds
+        ephemeral ports, then publishes the real addresses this way)."""
+        for node_id in addresses:
+            self.node(node_id)
+        nodes = [
+            NodeInfo(n.id, *addresses[n.id]) if n.id in addresses else n
+            for n in self.nodes
+        ]
+        return ClusterMap(
+            nodes,
+            self.assignments,
+            epoch=self.epoch + (1 if bump_epoch else 0),
+            seed=self.seed,
+            replication=self.replication,
+            epsilon=self.epsilon,
+        )
+
+    def with_epoch(self, epoch: int) -> "ClusterMap":
+        return ClusterMap(
+            self.nodes,
+            self.assignments,
+            epoch=epoch,
+            seed=self.seed,
+            replication=self.replication,
+            epsilon=self.epsilon,
+        )
+
+    # -- serialization --------------------------------------------------
+    @classmethod
+    def from_dict(cls, payload) -> "ClusterMap":
+        if not isinstance(payload, dict):
+            raise ClusterMapError(f"cluster map must be an object, got {payload!r}")
+        stamp = payload.get("format")
+        if stamp != FORMAT:
+            raise ClusterMapError(
+                f"unsupported cluster-map format {stamp!r}; this build reads {FORMAT}"
+            )
+        epoch = payload.get("epoch", 1)
+        if isinstance(epoch, bool) or not isinstance(epoch, int):
+            raise ClusterMapError(f"'epoch' must be an int: {epoch!r}")
+        seed = payload.get("seed", 0)
+        if isinstance(seed, bool) or not isinstance(seed, int):
+            raise ClusterMapError(f"'seed' must be an int: {seed!r}")
+        replication = payload.get("replication", 1)
+        if isinstance(replication, bool) or not isinstance(replication, int):
+            raise ClusterMapError(f"'replication' must be an int: {replication!r}")
+        epsilon = payload.get("epsilon", 0.0)
+        if isinstance(epsilon, bool) or not isinstance(epsilon, (int, float)):
+            raise ClusterMapError(f"'epsilon' must be a number: {epsilon!r}")
+        raw_nodes = payload.get("nodes")
+        if not isinstance(raw_nodes, list) or not raw_nodes:
+            raise ClusterMapError("'nodes' must be a non-empty list")
+        nodes = [NodeInfo.from_dict(item) for item in raw_nodes]
+        raw_assignments = payload.get("assignments")
+        if not isinstance(raw_assignments, list) or not raw_assignments:
+            raise ClusterMapError("'assignments' must be a non-empty list")
+        assignments = []
+        for shard, replicas in enumerate(raw_assignments):
+            if not isinstance(replicas, list) or not all(
+                isinstance(node_id, str) for node_id in replicas
+            ):
+                raise ClusterMapError(
+                    f"assignments[{shard}] must be a list of node ids: {replicas!r}"
+                )
+            assignments.append(tuple(replicas))
+        num_shards = payload.get("num_shards", len(assignments))
+        if num_shards != len(assignments):
+            raise ClusterMapError(
+                f"'num_shards' is {num_shards} but {len(assignments)} "
+                f"assignments are listed"
+            )
+        return cls(
+            nodes,
+            assignments,
+            epoch=epoch,
+            seed=seed,
+            replication=replication,
+            epsilon=float(epsilon),
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ClusterMap":
+        try:
+            text = Path(path).read_text()
+        except OSError as exc:
+            raise ClusterMapError(f"cannot read cluster map {path}: {exc}") from None
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ClusterMapError(f"{path} is not valid JSON: {exc}") from None
+        return cls.from_dict(payload)
+
+    def to_dict(self) -> dict:
+        return {
+            "format": FORMAT,
+            "epoch": self.epoch,
+            "seed": self.seed,
+            "epsilon": self.epsilon,
+            "num_shards": self.num_shards,
+            "replication": self.replication,
+            "nodes": [node.to_dict() for node in self.nodes],
+            "assignments": [list(replicas) for replicas in self.assignments],
+        }
+
+    def dump(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=1) + "\n")
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ClusterMap):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterMap(epoch={self.epoch}, nodes={len(self.nodes)}, "
+            f"shards={self.num_shards}, R={self.replication})"
+        )
+
+
+@dataclass
+class ClusterNodeState:
+    """One serve node's view of the cluster: its identity, the map it
+    currently believes, and the shards it actually has loaded.
+
+    The *map* is mutable (a MAP push swaps it); *owned* is fixed at
+    process start — data placement changes through the rebalance
+    planner and a restart, never through a metadata push alone.
+    """
+
+    node_id: str
+    map: ClusterMap
+    owned: frozenset
+
+    def __post_init__(self) -> None:
+        self.map.node(self.node_id)  # membership check
+        self.owned = frozenset(int(s) for s in self.owned)
+
+    @property
+    def epoch(self) -> int:
+        return self.map.epoch
+
+    def store_name(self, shard: int) -> str:
+        return store_name_for_shard(shard)
+
+    def assigned(self) -> Tuple[int, ...]:
+        """Shards the current map says this node should hold."""
+        return self.map.shards_of_node(self.node_id)
+
+    def install(self, new_map: ClusterMap) -> None:
+        """Adopt *new_map* (the MAP push path).  The caller has already
+        checked the epoch is strictly newer; membership must hold."""
+        new_map.node(self.node_id)
+        self.map = new_map

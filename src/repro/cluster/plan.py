@@ -1,0 +1,152 @@
+"""Rebalance planning: diff two cluster maps into minimal shard moves.
+
+Because placement is rendezvous hashing, changing the node set only
+reassigns the shards whose top-R score order actually changed — the
+diff here is exactly that delta, expressed as **copies** (a node gains
+a replica of a shard) and **drops** (a node is no longer a replica).
+
+A plan is executed against the file-backed layout of
+:mod:`repro.cluster.files`: each copy duplicates an existing replica's
+pack file into the gaining node's directory (falling back to the
+canonical ``shards/`` copy when no old replica has it on disk), and
+drops are deletions — applied only when asked, because keeping a stale
+replica is harmless while deleting a needed one is not.
+
+``apply_plan`` finishes by writing the target map with its epoch
+bumped past the source's, so nodes restarted on the new layout reject
+requests routed by the old map.
+"""
+
+from __future__ import annotations
+
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.cluster.files import MAP_FILE, node_dir, shard_path
+from repro.cluster.map import ClusterMap, ClusterMapError, store_name_for_shard
+
+__all__ = ["ShardCopy", "ShardDrop", "RebalancePlan", "diff_maps", "apply_plan"]
+
+
+@dataclass(frozen=True)
+class ShardCopy:
+    """Node *dst* must gain a replica of *shard*; *src* is the
+    preferred donor (an old replica), or None when only the canonical
+    copy can serve as the source."""
+
+    shard: int
+    dst: str
+    src: str = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class ShardDrop:
+    """Node *node* holds a replica of *shard* the target map no longer
+    assigns to it."""
+
+    shard: int
+    node: str
+
+
+@dataclass
+class RebalancePlan:
+    old_epoch: int
+    new_epoch: int
+    copies: List[ShardCopy]
+    drops: List[ShardDrop]
+
+    @property
+    def moved_shards(self) -> int:
+        return len({c.shard for c in self.copies})
+
+    def to_dict(self) -> dict:
+        return {
+            "old_epoch": self.old_epoch,
+            "new_epoch": self.new_epoch,
+            "copies": [
+                {"shard": c.shard, "dst": c.dst, "src": c.src} for c in self.copies
+            ],
+            "drops": [{"shard": d.shard, "node": d.node} for d in self.drops],
+        }
+
+
+def diff_maps(old: ClusterMap, new: ClusterMap) -> RebalancePlan:
+    """The minimal copy/drop set that turns *old*'s data placement into
+    *new*'s.
+
+    Minimal means: one copy per (shard, gaining node) and one drop per
+    (shard, losing node); a shard whose replica set is unchanged
+    contributes nothing, and replica *order* changes alone (primary
+    preference) move no data.
+    """
+    if old.num_shards != new.num_shards:
+        raise ClusterMapError(
+            f"cannot rebalance across shard counts "
+            f"({old.num_shards} -> {new.num_shards}); resplit instead"
+        )
+    copies: List[ShardCopy] = []
+    drops: List[ShardDrop] = []
+    for shard in range(old.num_shards):
+        old_set = set(old.assignments[shard])
+        new_set = set(new.assignments[shard])
+        donors = sorted(old_set & new_set) or sorted(old_set)
+        donor = donors[0] if donors else None
+        for node_id in sorted(new_set - old_set):
+            copies.append(ShardCopy(shard=shard, dst=node_id, src=donor))
+        for node_id in sorted(old_set - new_set):
+            drops.append(ShardDrop(shard=shard, node=node_id))
+    return RebalancePlan(
+        old_epoch=old.epoch,
+        new_epoch=max(new.epoch, old.epoch + 1),
+        copies=copies,
+        drops=drops,
+    )
+
+
+def apply_plan(
+    root: Union[str, Path],
+    plan: RebalancePlan,
+    new_map: ClusterMap,
+    *,
+    prune: bool = False,
+) -> Dict[str, int]:
+    """Execute *plan* against the cluster directory *root*.
+
+    Copies run first (grow before shrink, so every shard always has a
+    live replica on disk); drops only delete files when *prune* is
+    true.  The target map is then written to ``root/cluster-map.json``
+    with epoch ``plan.new_epoch``.
+
+    Returns ``{"copied": n, "pruned": n, "skipped": n}`` where skipped
+    counts copies whose destination already had the file.
+    """
+    root = Path(root)
+    stats = {"copied": 0, "pruned": 0, "skipped": 0}
+    for copy in plan.copies:
+        name = f"{store_name_for_shard(copy.shard)}.bin"
+        dest_dir = node_dir(root, copy.dst)
+        dest = dest_dir / name
+        if dest.is_file():
+            stats["skipped"] += 1
+            continue
+        src = node_dir(root, copy.src) / name if copy.src else None
+        if src is None or not src.is_file():
+            src = shard_path(root, copy.shard)
+        if not src.is_file():
+            raise ClusterMapError(
+                f"no source replica for shard {copy.shard}: neither a donor "
+                f"node nor {src} has the pack file"
+            )
+        dest_dir.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(src, dest)
+        stats["copied"] += 1
+    if prune:
+        for drop in plan.drops:
+            victim = node_dir(root, drop.node) / f"{store_name_for_shard(drop.shard)}.bin"
+            if victim.is_file():
+                victim.unlink()
+                stats["pruned"] += 1
+    new_map.with_epoch(plan.new_epoch).dump(root / MAP_FILE)
+    return stats

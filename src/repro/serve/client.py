@@ -58,6 +58,7 @@ __all__ = [
     "ClientError",
     "RequestFailed",
     "ResilientClient",
+    "RetryAfterRefresh",
     "RetryPolicy",
     "parse_address",
 ]
@@ -78,6 +79,23 @@ class RequestFailed(ClientError):
 
 class _TransportError(Exception):
     """Internal: this attempt failed in a retryable way."""
+
+
+class RetryAfterRefresh(_TransportError):
+    """The server's typed error says the *client's state* is wrong
+    (e.g. ``stale_map``: it routed by an out-of-date cluster map).
+
+    Neither transient (the same request at the same node keeps
+    failing) nor permanent (refreshing makes it succeed), this is the
+    third error class the transient/permanent split was missing: the
+    client must run its ``on_refresh`` callback, then retry.  The
+    answering server is healthy — its breaker records a success.
+    """
+
+    def __init__(self, code: str, message: str, response: dict) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.response = response
 
 
 def parse_address(spec: Union[str, Address]) -> Address:
@@ -237,6 +255,8 @@ class ResilientClient:
         seed: int = 0,
         breaker_threshold: int = 5,
         breaker_reset: float = 1.0,
+        refresh_codes: frozenset = frozenset(),
+        on_refresh=None,
     ) -> None:
         parsed = [parse_address(spec) for spec in addresses]
         if not parsed:
@@ -245,6 +265,13 @@ class ResilientClient:
         self.policy = policy or RetryPolicy()
         self.store = store
         self.seed = seed
+        # Error codes that mean "refresh client state, then retry"
+        # (raised internally as RetryAfterRefresh).  ``on_refresh`` is
+        # an async callable invoked once per such error before the
+        # retry; with no callback the error is still retried — the
+        # refresh is whatever the next attempt naturally does.
+        self.refresh_codes = frozenset(refresh_codes)
+        self.on_refresh = on_refresh
         self.counters: Dict[str, int] = {
             "requests": 0,
             "attempts": 0,
@@ -252,9 +279,12 @@ class ResilientClient:
             "hedges": 0,
             "hedge_wins": 0,
             "transient_failures": 0,
+            "refreshes": 0,
             "giveups": 0,
             "breaker_skips": 0,
         }
+        self._breaker_threshold = breaker_threshold
+        self._breaker_reset = breaker_reset
         self._breakers: Dict[Address, CircuitBreaker] = {
             address: CircuitBreaker(breaker_threshold, breaker_reset)
             for address in parsed
@@ -282,7 +312,13 @@ class ResilientClient:
             store=store,
         )
 
-    async def call(self, payload: dict, *, store: Optional[str] = None) -> dict:
+    async def call(
+        self,
+        payload: dict,
+        *,
+        store: Optional[str] = None,
+        addresses: Optional[Sequence[Union[str, Address]]] = None,
+    ) -> dict:
         """Send *payload* until it succeeds or the policy is exhausted.
 
         The ``"id"`` field is owned by the client (one fresh id per
@@ -290,15 +326,26 @@ class ResilientClient:
         given.  Returns the decoded ok-response.  Raises
         :class:`RequestFailed` on a permanent server error and
         :class:`ClientError` when attempts, budget, or breakers run out.
+
+        *addresses* restricts this one call to a subset of endpoints —
+        the cluster client's routing hook: retries rotate and hedges
+        race across *that replica set* only, while breakers and
+        connection pools stay shared client-wide.  Unknown addresses
+        are adopted (:meth:`ensure_address`) on the fly.
         """
         store = store if store is not None else self.store
         if store is not None:
             payload = {**payload, "store": store}
+        candidates: Optional[List[Address]] = None
+        if addresses is not None:
+            candidates = [self.ensure_address(spec) for spec in addresses]
+            if not candidates:
+                raise ClientError("empty address subset for call")
         call_index = self._calls
         self._calls += 1
         self.counters["requests"] += 1
         if not tracing_active():
-            return await self._call_attempts(payload, call_index)
+            return await self._call_attempts(payload, call_index, candidates)
         # One root span per logical request.  The trace id is a pure
         # function of (seed, call_index) — see repro.obs.context — so a
         # replayed workload produces byte-identical ids, and the
@@ -311,15 +358,21 @@ class ResilientClient:
         )
         with root:
             try:
-                result = await self._call_attempts(payload, call_index)
+                result = await self._call_attempts(payload, call_index, candidates)
             except ClientError:
                 root.set_attribute("outcome", "failed")
                 raise
             root.set_attribute("outcome", "ok")
             return result
 
-    async def _call_attempts(self, payload: dict, call_index: int) -> dict:
+    async def _call_attempts(
+        self,
+        payload: dict,
+        call_index: int,
+        candidates: Optional[List[Address]] = None,
+    ) -> dict:
         last_failure = "no attempt made"
+        refreshed = False
         for attempt in range(self.policy.attempts):
             if attempt > 0:
                 if not self._spend_budget():
@@ -335,10 +388,16 @@ class ResilientClient:
                     "client.retry", call=call_index, attempt=attempt,
                     reason=last_failure,
                 )
-                delay = self.policy.backoff_delay(self.seed, call_index, attempt)
-                if delay > 0:
-                    await asyncio.sleep(delay)
-            address = self._pick_address(call_index + attempt)
+                # A refresh retry goes straight back out: backoff is
+                # for overload, and a state mismatch is not overload.
+                if not refreshed:
+                    delay = self.policy.backoff_delay(
+                        self.seed, call_index, attempt
+                    )
+                    if delay > 0:
+                        await asyncio.sleep(delay)
+            refreshed = False
+            address = self._pick_address(call_index + attempt, candidates)
             if address is None:
                 self.counters["breaker_skips"] += 1
                 metrics.inc("client.breaker.skipped")
@@ -346,9 +405,23 @@ class ResilientClient:
                 continue
             try:
                 if attempt == 0 and self.policy.hedge_after is not None:
-                    return await self._hedged(address, payload, call_index)
+                    return await self._hedged(
+                        address, payload, call_index, candidates
+                    )
                 kind = "initial" if attempt == 0 else "retry"
                 return await self._attempt(address, payload, kind=kind)
+            except RetryAfterRefresh as exc:
+                self.counters["refreshes"] += 1
+                metrics.inc("client.refreshes", code=exc.code)
+                eventlog.debug(
+                    "client.refresh", call=call_index, code=exc.code,
+                    reason=str(exc),
+                )
+                last_failure = str(exc)
+                if self.on_refresh is not None:
+                    await self.on_refresh(exc)
+                refreshed = True
+                continue
             except _TransportError as exc:
                 self.counters["transient_failures"] += 1
                 last_failure = str(exc)
@@ -392,18 +465,40 @@ class ResilientClient:
         self._budget -= 1
         return True
 
-    def _pick_address(self, rotation: int) -> Optional[Address]:
+    def ensure_address(self, spec: Union[str, Address]) -> Address:
+        """Adopt *spec* as a known endpoint (breaker + pool) if it is
+        not one already; returns the parsed address.  How a refreshed
+        cluster map introduces nodes the client was not born with."""
+        address = parse_address(spec)
+        if address not in self._breakers:
+            self.addresses.append(address)
+            self._breakers[address] = CircuitBreaker(
+                self._breaker_threshold, self._breaker_reset
+            )
+            self._pool[address] = []
+        return address
+
+    def _pick_address(
+        self, rotation: int, candidates: Optional[List[Address]] = None
+    ) -> Optional[Address]:
         """First address (rotating) whose breaker admits traffic."""
-        n = len(self.addresses)
+        pool = self.addresses if candidates is None else candidates
+        n = len(pool)
         for offset in range(n):
-            address = self.addresses[(rotation + offset) % n]
+            address = pool[(rotation + offset) % n]
             # peek(), not allow(): claiming the half-open probe slot
             # here would leak it — _attempt() is the one claimant.
             if self._breakers[address].peek():
                 return address
         return None
 
-    async def _hedged(self, address: Address, payload: dict, call_index: int) -> dict:
+    async def _hedged(
+        self,
+        address: Address,
+        payload: dict,
+        call_index: int,
+        candidates: Optional[List[Address]] = None,
+    ) -> dict:
         """First attempt with a hedge: if the primary is silent for
         ``hedge_after`` seconds, race a second attempt; first success
         wins, the loser is cancelled.  Byte-exactness is preserved —
@@ -420,7 +515,7 @@ class ResilientClient:
             "client.hedge", call=call_index,
             hedge_after_ms=round(self.policy.hedge_after * 1e3, 3),
         )
-        backup_address = self._pick_address(call_index + 1) or address
+        backup_address = self._pick_address(call_index + 1, candidates) or address
         backup = asyncio.ensure_future(
             self._attempt(backup_address, payload, kind="hedge")
         )
@@ -435,7 +530,17 @@ class ResilientClient:
                     try:
                         result = task.result()
                     except (_TransportError, RequestFailed) as exc:
-                        if first_error is None or isinstance(exc, RequestFailed):
+                        # Prefer the most informative loser: a permanent
+                        # answer beats a refresh signal beats a plain
+                        # transport failure.
+                        if (
+                            first_error is None
+                            or isinstance(exc, RequestFailed)
+                            or (
+                                isinstance(exc, RetryAfterRefresh)
+                                and not isinstance(first_error, RequestFailed)
+                            )
+                        ):
                             first_error = exc
                         continue
                     if task is backup:
@@ -528,6 +633,12 @@ class ResilientClient:
             error = response.get("error") if isinstance(response, dict) else None
             code = (error or {}).get("code", "internal")
             message = (error or {}).get("message", "")
+            if code in self.refresh_codes:
+                # The server answered definitively — it is healthy, so
+                # its breaker records success — but *our* state (not
+                # the request) is what it rejected.  Refresh and retry.
+                breaker.record_success()
+                raise RetryAfterRefresh(code, message, response)
             if code in TRANSIENT_CODES:
                 # The server is reachable but declined this attempt; that
                 # still counts against the breaker — a server stuck

@@ -4,7 +4,7 @@ Drives an :class:`~repro.serve.server.OracleServer` the way real
 clients would: *C* concurrent workers, each pulling query pairs off
 one shared work queue and blocking on a response before sending the
 next (closed-loop load).  Pairs are either synthesized from a labels
-file (uniform u ≠ v sampling, seeded) or replayed from a whitespace
+file (uniform or Zipf-skewed u ≠ v sampling, seeded) or replayed from a whitespace
 ``u v`` pairs file — the same format ``repro query --pairs-file``
 reads.
 
@@ -65,17 +65,44 @@ class LoadgenError(ReproError):
 
 
 def synthesize_pairs(
-    vertices: Sequence[Vertex], count: int, seed: int = 0
+    vertices: Sequence[Vertex],
+    count: int,
+    seed: int = 0,
+    zipf: Optional[float] = None,
 ) -> List[Pair]:
-    """*count* uniform pairs with ``u != v`` (repeats across pairs OK)."""
+    """*count* pairs with ``u != v`` (repeats across pairs OK).
+
+    With ``zipf=None`` sampling is uniform.  With ``zipf=s`` each
+    endpoint is drawn independently from a Zipf(s) distribution over
+    the vertices in sorted-by-repr order (rank *r* gets weight
+    ``1/(r+1)**s``) — the skewed traffic shape real workloads have,
+    which is what makes server pair caches and hot-shard replicas
+    earn their keep.  Deterministic in (vertices, count, seed, zipf).
+    """
     ordered = sorted(vertices, key=repr)
     if len(ordered) < 2:
         raise LoadgenError("need at least two labeled vertices to sample pairs")
+    if zipf is not None and zipf < 0:
+        raise LoadgenError(f"zipf exponent must be >= 0, got {zipf}")
     rng = random.Random(seed)
+    if zipf is None:
+        draw = lambda: ordered[rng.randrange(len(ordered))]  # noqa: E731
+    else:
+        import bisect
+
+        cumulative: List[float] = []
+        total = 0.0
+        for rank in range(len(ordered)):
+            total += 1.0 / (rank + 1) ** zipf
+            cumulative.append(total)
+
+        def draw() -> Vertex:
+            return ordered[bisect.bisect_left(cumulative, rng.random() * total)]
+
     pairs: List[Pair] = []
     while len(pairs) < count:
-        u = ordered[rng.randrange(len(ordered))]
-        v = ordered[rng.randrange(len(ordered))]
+        u = draw()
+        v = draw()
         if u != v:
             pairs.append((u, v))
     return pairs
@@ -133,6 +160,9 @@ class LoadgenReport:
     slo_ms: Optional[float] = None  # per-request latency objective
     slo_hits: int = 0               # requests answered OK within slo_ms
     slo_total: int = 0              # requests measured against the SLO
+    cache_probed: bool = False      # STATS probe before/after succeeded
+    cache_hits: int = 0             # server-side pair-cache hits (delta)
+    cache_misses: int = 0           # server-side pair-cache misses (delta)
     latency_ns: Histogram = field(default_factory=Histogram)
     error_samples: List[str] = field(default_factory=list)
 
@@ -150,6 +180,12 @@ class LoadgenReport:
         """Fraction of requests answered OK within ``slo_ms`` (0.0 with
         no SLO or no traffic — never a ZeroDivisionError)."""
         return self.slo_hits / self.slo_total if self.slo_total else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Server pair-cache hit rate over this run (0.0 unprobed)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
 
     def latency_ms(self, q: float) -> float:
         return self.latency_ns.percentile(q) / 1e6
@@ -183,6 +219,10 @@ class LoadgenReport:
                 ["slo_ms", self.slo_ms],
                 ["slo_attainment", round(self.slo_attainment, 4)],
             ]
+        ) + (
+            [["cache_hit_rate", round(self.cache_hit_rate, 4)]]
+            if self.cache_probed
+            else []
         )
 
     def meta(self) -> dict:
@@ -215,6 +255,12 @@ class LoadgenReport:
                 "hits": self.slo_hits,
                 "total": self.slo_total,
             }
+        if self.cache_probed:
+            payload["server_cache"] = {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "hit_rate": round(self.cache_hit_rate, 6),
+            }
         return payload
 
 
@@ -234,6 +280,7 @@ async def run_loadgen(
     seed: int = 0,
     slo_ms: Optional[float] = None,
     client: Optional[ResilientClient] = None,
+    report: Optional[LoadgenReport] = None,
 ) -> LoadgenReport:
     """Replay *pairs* against ``host:port`` and measure from the client.
 
@@ -251,7 +298,10 @@ async def run_loadgen(
 
     Pass ``client`` to reuse a caller-owned :class:`ResilientClient`
     (the retry knobs above are then ignored and the client is left
-    open); otherwise one is built and closed here.
+    open); otherwise one is built and closed here.  Pass ``report`` to
+    have the run fill in a caller-owned :class:`LoadgenReport` — a
+    chaos driver can then watch ``report.sent`` tick up and time its
+    kill mid-run.
 
     ``slo_ms`` declares a per-request latency objective: the report
     then carries SLO attainment — the fraction of requests that
@@ -266,7 +316,11 @@ async def run_loadgen(
         raise LoadgenError(f"retries must be >= 0, got {retries}")
     if slo_ms is not None and slo_ms <= 0:
         raise LoadgenError(f"slo_ms must be > 0, got {slo_ms}")
-    report = LoadgenReport(concurrency=concurrency, batch=batch, slo_ms=slo_ms)
+    if report is None:
+        report = LoadgenReport()
+    report.concurrency = concurrency
+    report.batch = batch
+    report.slo_ms = slo_ms
     queue: "asyncio.Queue[List[Pair]]" = asyncio.Queue()
     for start in range(0, len(pairs), batch):
         queue.put_nowait(list(pairs[start : start + batch]))
@@ -339,6 +393,24 @@ async def run_loadgen(
                         report.errors += 1
                         _note(report, f"batch item error: {item!r}")
 
+    async def cache_counters() -> Optional[Tuple[int, int]]:
+        # Best-effort probe of the server pair cache; a server that
+        # refuses STATS (or predates the counters) just means no
+        # cache_hit_rate in the report, never a failed run.
+        try:
+            response = await client.call({"op": "STATS"})
+        except (RequestFailed, ClientError):
+            return None
+        counters = response.get("counters")
+        if not isinstance(counters, dict):
+            return None
+        hits = counters.get("cache_hits")
+        misses = counters.get("cache_misses")
+        if isinstance(hits, int) and isinstance(misses, int):
+            return hits, misses
+        return None
+
+    before = await cache_counters()
     start = time.monotonic()
     try:
         await asyncio.gather(*(worker() for _ in range(concurrency)))
@@ -351,6 +423,12 @@ async def run_loadgen(
         report.breaker_opens = sum(
             b["opened_total"] for b in client_stats["breakers"].values()
         )
+        if before is not None:
+            after = await cache_counters()
+            if after is not None:
+                report.cache_probed = True
+                report.cache_hits = after[0] - before[0]
+                report.cache_misses = after[1] - before[1]
         if owns_client:
             await client.close()
     metrics.gauge("loadgen.qps", report.qps)

@@ -9,6 +9,7 @@ request is a JSON object with an ``"op"`` and op-specific fields::
     {"id": 4, "op": "HEALTH"}
     {"id": 5, "op": "STATS"}
     {"id": 6, "op": "METRICS"}
+    {"id": 7, "op": "MAP"}
 
 ``"id"`` is optional opaque client state echoed back verbatim;
 ``"store"`` optionally names one of the server's label stores (the
@@ -51,6 +52,7 @@ Vertex = Hashable
 __all__ = [
     "ERROR_CODES",
     "FAULT_ACTIONS",
+    "MAP_ACTIONS",
     "OPS",
     "ProtocolError",
     "Request",
@@ -66,11 +68,16 @@ __all__ = [
 
 #: Ops the service speaks, in documentation order.  FAULT is the admin
 #: op of the fault-injection layer (:mod:`repro.serve.faults`);
-#: METRICS is the read-only live-metrics snapshot behind ``repro top``.
-OPS = ("DIST", "BATCH", "LABEL", "HEALTH", "STATS", "METRICS", "FAULT")
+#: METRICS is the read-only live-metrics snapshot behind ``repro top``;
+#: MAP reads or pushes the node's cluster map (:mod:`repro.cluster`).
+OPS = ("DIST", "BATCH", "LABEL", "HEALTH", "STATS", "METRICS", "FAULT", "MAP")
 
 #: FAULT actions a client may request.
 FAULT_ACTIONS = ("status", "enable", "disable", "set", "clear")
+
+#: MAP actions: ``get`` returns the node's current cluster map (null on
+#: a non-cluster server), ``set`` pushes a strictly newer one.
+MAP_ACTIONS = ("get", "set")
 
 #: Every error code a response can carry (see docs/serving.md).
 ERROR_CODES = (
@@ -83,10 +90,15 @@ ERROR_CODES = (
     "unavailable",     # transient refusal (injected fault); retry
     "draining",        # server is shutting down, retry elsewhere
     "internal",        # unexpected server-side failure
+    "stale_map",       # client routed by an out-of-date cluster map
 )
 
 #: Error codes a client may safely retry: the request never produced an
 #: answer, so re-sending it cannot change what the answer will be.
+#: ``stale_map`` is deliberately NOT here — retrying the same request at
+#: the same node cannot succeed; the client must refresh its map first
+#: (the ``refresh_codes`` path of :class:`repro.serve.client
+#: .ResilientClient`).
 TRANSIENT_CODES = frozenset({"timeout", "unavailable", "draining", "internal"})
 
 
@@ -114,9 +126,11 @@ class Request:
     u: Optional[Vertex] = None
     v: Optional[Vertex] = None
     pairs: List[Tuple[Vertex, Vertex]] = field(default_factory=list)
-    action: Optional[str] = None  # FAULT admin action
+    action: Optional[str] = None  # FAULT / MAP admin action
     plan: Optional[dict] = None   # FAULT "set" payload
     trace: Optional[TraceContext] = None  # propagated trace context
+    epoch: Optional[int] = None   # cluster-map epoch the client routed by
+    map: Optional[dict] = None    # MAP "set" payload
 
 
 def _decode_wire_vertex(data, what: str) -> Vertex:
@@ -197,7 +211,10 @@ def _parse_ops(payload: dict, req_id) -> Request:
     trace = (
         TraceContext.from_wire(payload["trace"]) if "trace" in payload else None
     )
-    request = Request(op=op, id=req_id, store=store, trace=trace)
+    epoch = payload.get("epoch")
+    if epoch is not None and (isinstance(epoch, bool) or not isinstance(epoch, int)):
+        raise ProtocolError("bad_request", "\"epoch\" must be an integer")
+    request = Request(op=op, id=req_id, store=store, trace=trace, epoch=epoch)
 
     if op == "DIST":
         for name in ("u", "v"):
@@ -242,6 +259,25 @@ def _parse_ops(payload: dict, req_id) -> Request:
                     "bad_request", "FAULT set needs a \"plan\" object"
                 )
             request.plan = plan
+        request.action = action
+    elif op == "MAP":
+        action = payload.get("action", "get")
+        if not isinstance(action, str):
+            raise ProtocolError("bad_request", "MAP \"action\" must be a string")
+        action = action.lower()
+        if action not in MAP_ACTIONS:
+            raise ProtocolError(
+                "bad_request",
+                f"unknown MAP action {action!r}; expected one of "
+                f"{', '.join(MAP_ACTIONS)}",
+            )
+        if action == "set":
+            cluster_map = payload.get("map")
+            if not isinstance(cluster_map, dict):
+                raise ProtocolError(
+                    "bad_request", "MAP set needs a \"map\" object"
+                )
+            request.map = cluster_map
         request.action = action
     # HEALTH, STATS, and METRICS carry no operands.
     return request

@@ -46,7 +46,12 @@ from repro.serve.protocol import (
     ok_response,
     parse_request,
 )
-from repro.serve.store import ShardedLabelStore, StoreCatalog
+from repro.serve.store import (
+    ClusterStoreView,
+    ShardNotOwned,
+    ShardedLabelStore,
+    StoreCatalog,
+)
 from repro.util.errors import GraphError
 
 Vertex = Hashable
@@ -89,7 +94,7 @@ class _LruCache:
 
 
 class OracleServer:
-    """Serve DIST/BATCH/LABEL/HEALTH/STATS/METRICS/FAULT over asyncio TCP.
+    """Serve DIST/BATCH/LABEL/HEALTH/STATS/METRICS/FAULT/MAP over asyncio TCP.
 
     With a :class:`~repro.serve.faults.FaultPlan` attached (the
     ``fault_plan`` argument or the runtime FAULT op), responses pass
@@ -110,10 +115,19 @@ class OracleServer:
         max_batch: int = DEFAULT_MAX_BATCH,
         fault_plan: Optional[FaultPlan] = None,
         timeseries: Optional[TimeseriesWriter] = None,
+        cluster=None,
     ) -> None:
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
         self.catalog = catalog
+        # Cluster membership (a repro.cluster.map.ClusterNodeState, but
+        # duck-typed here — see ClusterStoreView for why).  When set,
+        # the default store routes across every owned shard, data ops
+        # are epoch-checked, and the MAP op accepts pushes.
+        self.cluster = cluster
+        self._cluster_view = (
+            ClusterStoreView(catalog, cluster) if cluster is not None else None
+        )
         self.host = host
         self.port = port
         self.request_timeout = request_timeout
@@ -170,6 +184,16 @@ class OracleServer:
             port=self.port,
             stores=len(self.catalog),
             labels=self.catalog.num_labels,
+        )
+        if self.cluster is not None:
+            metrics.gauge("serve.map.epoch", self.cluster.map.epoch)
+        # The machine-readable bind announcement: with --port 0 this is
+        # how a parent process (cluster up, tests) learns the real port.
+        eventlog.info(
+            "serve.ready",
+            host=self.host,
+            port=self.port,
+            node=self.cluster.node_id if self.cluster is not None else None,
         )
 
     @property
@@ -481,6 +505,19 @@ class OracleServer:
             return self._metrics()
         if request.op == "FAULT":
             return self._fault_admin(request)
+        if request.op == "MAP":
+            return self._map_admin(request)
+        if self.cluster is not None and request.epoch is not None:
+            # Data ops stamped with a map epoch must agree with the
+            # node's map; a disagreement means the client routed here
+            # by an out-of-date (or too-new) map.  Unstamped requests
+            # pass — plain clients can still talk to a cluster node.
+            if request.epoch != self.cluster.map.epoch:
+                raise ProtocolError(
+                    "stale_map",
+                    f"request routed by map epoch {request.epoch}, node is "
+                    f"at {self.cluster.map.epoch}; refresh the map",
+                )
         store = self._store_for(request)
         if request.op == "DIST":
             return self._dist(store, request.u, request.v)
@@ -491,6 +528,8 @@ class OracleServer:
         raise ProtocolError("unknown_op", f"unknown op {request.op!r}")
 
     def _store_for(self, request: Request) -> ShardedLabelStore:
+        if request.store is None and self._cluster_view is not None:
+            return self._cluster_view
         try:
             return self.catalog.get(request.store)
         except KeyError:
@@ -541,6 +580,8 @@ class OracleServer:
                     value = store.estimate(u, v)
             else:
                 value = store.estimate(u, v)
+        except ShardNotOwned as exc:
+            raise ProtocolError("stale_map", str(exc)) from None
         except GraphError as exc:
             raise ProtocolError("unknown_vertex", str(exc)) from None
         if key is not None:
@@ -574,6 +615,8 @@ class OracleServer:
     def _label(self, store: ShardedLabelStore, v: Vertex) -> dict:
         try:
             label = store.label(v)
+        except ShardNotOwned as exc:
+            raise ProtocolError("stale_map", str(exc)) from None
         except GraphError as exc:
             raise ProtocolError("unknown_vertex", str(exc)) from None
         return {
@@ -604,6 +647,77 @@ class OracleServer:
         metrics.inc("serve.faults.admin", action=action)
         return {"op": "FAULT", **self.faults.status()}
 
+    def _map_admin(self, request: Request) -> dict:
+        """The MAP op: read or push the node's cluster map.
+
+        ``get`` always answers — a non-cluster server returns a null
+        map, so a cluster client probing a plain server learns the
+        truth instead of an error.  ``set`` installs a pushed map iff
+        its epoch is *strictly* newer than the current one; equal or
+        older pushes get ``stale_map`` (the pusher is the stale party).
+        Like every data-plane answer, MAP responses pass through the
+        fault layer — a map push can be dropped or delayed by chaos.
+        """
+        action = request.action or "get"
+        if action == "get":
+            if self.cluster is None:
+                return {"op": "MAP", "node": None, "epoch": None, "map": None}
+            return {
+                "op": "MAP",
+                "node": self.cluster.node_id,
+                "epoch": self.cluster.map.epoch,
+                "map": self.cluster.map.to_dict(),
+            }
+        # action == "set"
+        if self.cluster is None:
+            raise ProtocolError(
+                "bad_request", "this server is not cluster-aware; cannot accept a map"
+            )
+        # Imported here, not at module level: repro.cluster.client
+        # imports repro.serve.client, so a top-level import back into
+        # repro.cluster would cycle.
+        from repro.cluster.map import ClusterMap, ClusterMapError
+
+        try:
+            pushed = ClusterMap.from_dict(request.map)
+        except ClusterMapError as exc:
+            raise ProtocolError("bad_request", f"bad cluster map: {exc}") from None
+        if pushed.epoch <= self.cluster.map.epoch:
+            raise ProtocolError(
+                "stale_map",
+                f"pushed map epoch {pushed.epoch} is not newer than the "
+                f"node's epoch {self.cluster.map.epoch}",
+            )
+        try:
+            self.cluster.install(pushed)
+        except ClusterMapError as exc:
+            raise ProtocolError(
+                "bad_request", f"map does not include this node: {exc}"
+            ) from None
+        metrics.inc("serve.map.pushes")
+        metrics.gauge("serve.map.epoch", self.cluster.map.epoch)
+        eventlog.info(
+            "serve.map.install",
+            node=self.cluster.node_id,
+            epoch=self.cluster.map.epoch,
+        )
+        return {
+            "op": "MAP",
+            "node": self.cluster.node_id,
+            "epoch": self.cluster.map.epoch,
+            "installed": True,
+        }
+
+    def _cluster_block(self) -> dict:
+        return {
+            "node": self.cluster.node_id,
+            "epoch": self.cluster.map.epoch,
+            "owned_shards": sorted(self.cluster.owned),
+            "num_shards": self.cluster.map.num_shards,
+            "replication": self.cluster.map.replication,
+            "nodes": len(self.cluster.map.nodes),
+        }
+
     def _health(self) -> dict:
         return {
             "op": "HEALTH",
@@ -618,7 +732,7 @@ class OracleServer:
         return time.monotonic() - self._started_monotonic
 
     def _stats(self) -> dict:
-        return {
+        payload = {
             "op": "STATS",
             "uptime_s": round(self._uptime(), 3),
             "rss_bytes": process_rss_bytes(),
@@ -629,6 +743,9 @@ class OracleServer:
             "stores": self.catalog.stats(),
             "faults": self.faults.status(),
         }
+        if self.cluster is not None:
+            payload["cluster"] = self._cluster_block()
+        return payload
 
     def _metrics(self) -> dict:
         """The METRICS op: a read-only live snapshot shaped for polling
@@ -666,6 +783,8 @@ class OracleServer:
             },
             "metrics_enabled": metrics.enabled,
         }
+        if self.cluster is not None:
+            payload["cluster"] = self._cluster_block()
         if metrics.enabled:
             payload["metrics"] = metrics.snapshot()
         return payload

@@ -37,14 +37,16 @@ from repro.core.serialize import (
     load_labeling,
     shard_key_bytes,
 )
-from repro.util.errors import GraphError
+from repro.util.errors import GraphError, ReproError
 
 Vertex = Hashable
 
 __all__ = [
     "DEFAULT_NUM_SHARDS",
+    "ClusterStoreView",
     "LabelShard",
     "MappedLabelStore",
+    "ShardNotOwned",
     "ShardedLabelStore",
     "StoreCatalog",
     "shard_key",
@@ -388,3 +390,120 @@ class StoreCatalog:
 
     def stats(self) -> dict:
         return {name: store.stats() for name, store in self._stores.items()}
+
+
+class ShardNotOwned(ReproError):
+    """A vertex routed to this node whose shard the node does not hold.
+
+    In a cluster this means the client's map disagrees with the node's
+    actual data placement — the server answers ``stale_map`` so the
+    client refreshes and re-routes, instead of the misleading
+    ``unknown_vertex`` (the vertex may well have a label, elsewhere).
+    """
+
+    def __init__(self, v: Vertex, shard: int, node_id: str) -> None:
+        super().__init__(
+            f"shard {shard} (vertex {v!r}) is not held by node {node_id!r}"
+        )
+        self.vertex = v
+        self.shard = shard
+        self.node_id = node_id
+
+
+class ClusterStoreView:
+    """The cluster-routing facade over a node's per-shard stores.
+
+    On a cluster node each loaded pack file is one *global* shard,
+    registered in the catalog under its ``shard-%04d`` stem.  This view
+    answers the plain store interface by first routing a vertex to its
+    global shard via the cluster map's hash, then delegating to that
+    shard's store — so the default-store path of a cluster server
+    transparently spans every shard the node holds, and a vertex the
+    node does *not* hold raises :class:`ShardNotOwned` rather than
+    guessing.
+
+    ``cluster_state`` is duck-typed (anything with ``node_id``, a
+    ``map`` exposing ``shard_of``/``epsilon``, an ``owned`` shard set,
+    and ``store_name``) so this module never imports
+    :mod:`repro.cluster` — the cluster client imports the serve client,
+    and a module-level import back the other way would cycle.
+    """
+
+    def __init__(self, catalog: StoreCatalog, cluster_state) -> None:
+        self.catalog = catalog
+        self.cluster = cluster_state
+        self.name = f"cluster:{cluster_state.node_id}"
+        epsilons = {store.epsilon for store in catalog}
+        self.epsilon = (
+            epsilons.pop() if len(epsilons) == 1
+            else float(cluster_state.map.epsilon)
+        )
+
+    def shard_index(self, v: Vertex) -> int:
+        """The *global* shard of *v* (cluster routing, not the pack
+        file's internal hash buckets)."""
+        return self.cluster.map.shard_of(v)
+
+    def _store_of(self, v: Vertex):
+        shard = self.cluster.map.shard_of(v)
+        if shard not in self.cluster.owned:
+            raise ShardNotOwned(v, shard, self.cluster.node_id)
+        try:
+            return self.catalog.get(self.cluster.store_name(shard))
+        except KeyError:
+            raise ShardNotOwned(v, shard, self.cluster.node_id) from None
+
+    def label(self, v: Vertex) -> VertexLabel:
+        return self._store_of(v).label(v)
+
+    def __contains__(self, v: Vertex) -> bool:
+        try:
+            return v in self._store_of(v)
+        except ShardNotOwned:
+            return False
+
+    def estimate(self, u: Vertex, v: Vertex) -> float:
+        """The same Theorem-2 combine as a single store — both labels
+        are fetched through shard routing first."""
+        return estimate_distance(self.label(u), self.label(v))
+
+    def vertices(self) -> Iterator[Vertex]:
+        for shard in sorted(self.cluster.owned):
+            try:
+                store = self.catalog.get(self.cluster.store_name(shard))
+            except KeyError:
+                continue
+            yield from store.vertices()
+
+    # -- accounting -----------------------------------------------------
+    @property
+    def codec(self) -> str:
+        return "cluster"
+
+    @property
+    def mapped_bytes(self) -> int:
+        return sum(store.mapped_bytes for store in self.catalog)
+
+    @property
+    def num_shards(self) -> int:
+        return self.cluster.map.num_shards
+
+    @property
+    def num_labels(self) -> int:
+        return self.catalog.num_labels
+
+    @property
+    def total_words(self) -> int:
+        return sum(store.total_words for store in self.catalog)
+
+    def stats(self) -> dict:
+        return {
+            "epsilon": self.epsilon,
+            "labels": self.num_labels,
+            "words": self.total_words,
+            "codec": self.codec,
+            "node": self.cluster.node_id,
+            "epoch": self.cluster.map.epoch,
+            "owned_shards": sorted(self.cluster.owned),
+            "cluster_shards": self.num_shards,
+        }

@@ -1,0 +1,97 @@
+"""Cluster-layer fixtures: one labeling plus an in-process cluster.
+
+``start_cluster`` builds a real N-node cluster without subprocesses:
+one :class:`OracleServer` per node on an ephemeral port, each holding
+exactly the shard stores its map assignment says it should, each
+cluster-aware via :class:`ClusterNodeState`.  Tests get live failover
+and MAP semantics at unit-test speed; the subprocess path is covered
+by ``test_local.py`` and the CI cluster-smoke job.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import pytest
+
+from repro.cluster.map import ClusterMap, ClusterNodeState, store_name_for_shard
+from repro.core import build_decomposition, build_labeling
+from repro.core.serialize import RemoteLabels, dump_labeling, load_labeling
+from repro.generators import grid_2d
+from repro.serve import OracleServer, ShardedLabelStore, StoreCatalog
+
+
+@pytest.fixture(scope="session")
+def remote_labels() -> RemoteLabels:
+    graph = grid_2d(5)  # tuple vertices: exercises the tagged encoding
+    labeling = build_labeling(graph, build_decomposition(graph), epsilon=0.25)
+    return load_labeling(dump_labeling(labeling))
+
+
+def node_catalog(
+    remote: RemoteLabels, cluster_map: ClusterMap, node_id: str
+) -> StoreCatalog:
+    """The shard stores node *node_id* should hold under *cluster_map*."""
+    catalog = StoreCatalog()
+    for shard in cluster_map.shards_of_node(node_id):
+        subset = {
+            v: label
+            for v, label in remote.labels.items()
+            if cluster_map.shard_of(v) == shard
+        }
+        catalog.add(
+            ShardedLabelStore.from_remote(
+                store_name_for_shard(shard),
+                RemoteLabels(epsilon=remote.epsilon, labels=subset),
+                num_shards=2,
+            )
+        )
+    return catalog
+
+
+async def start_cluster(
+    remote: RemoteLabels,
+    node_ids: Sequence[str] = ("n0", "n1", "n2"),
+    *,
+    num_shards: int = 8,
+    replication: int = 2,
+    seed: int = 0,
+) -> Tuple[ClusterMap, Dict[str, OracleServer]]:
+    """Start one in-process server per node; returns the live map
+    (real addresses, epoch bumped, installed on every node) and the
+    servers by node id.  Callers shut the servers down."""
+    base = ClusterMap.build(
+        list(node_ids),
+        num_shards=num_shards,
+        replication=replication,
+        seed=seed,
+        epsilon=remote.epsilon,
+    )
+    servers: Dict[str, OracleServer] = {}
+    addresses: Dict[str, Tuple[str, int]] = {}
+    try:
+        for node in base.nodes:
+            state = ClusterNodeState(
+                node_id=node.id,
+                map=base,
+                owned=frozenset(base.shards_of_node(node.id)),
+            )
+            server = OracleServer(
+                node_catalog(remote, base, node.id), port=0, cluster=state
+            )
+            await server.start()
+            servers[node.id] = server
+            addresses[node.id] = ("127.0.0.1", server.port)
+    except BaseException:
+        for server in servers.values():
+            await server.shutdown()
+        raise
+    live = base.with_addresses(addresses)
+    for server in servers.values():
+        server.cluster.install(live)
+    return live, servers
+
+
+async def stop_cluster(servers: Dict[str, OracleServer]) -> None:
+    for server in servers.values():
+        await server.shutdown()

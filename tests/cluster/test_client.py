@@ -1,0 +1,214 @@
+"""ClusterClient against live in-process nodes: routing, failover,
+combine fallback, MAP push/refresh — every answer byte-identical to
+the offline estimate."""
+
+import asyncio
+import itertools
+
+import pytest
+
+from repro.cluster.client import ClusterClient
+from repro.cluster.map import ClusterMap
+from repro.serve.client import RequestFailed, ResilientClient, RetryPolicy
+
+from tests.cluster.conftest import start_cluster, stop_cluster
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def sample_pairs(remote_labels, count=40):
+    vertices = sorted(remote_labels.vertices(), key=repr)
+    pairs = [
+        (u, v) for u, v in itertools.combinations(vertices, 2) if u != v
+    ]
+    return pairs[:count]
+
+
+def fast_policy(attempts=4):
+    return RetryPolicy(attempts=attempts, attempt_timeout=2.0, backoff_base=0.01)
+
+
+class TestRoutedPath:
+    def test_dist_matches_offline_everywhere(self, remote_labels):
+        async def main():
+            live, servers = await start_cluster(remote_labels)
+            client = ClusterClient(live, policy=fast_policy())
+            try:
+                results = []
+                for u, v in sample_pairs(remote_labels):
+                    response = await client.dist(u, v)
+                    results.append(((u, v), response))
+                return results, dict(client.counters)
+            finally:
+                await client.close()
+                await stop_cluster(servers)
+
+        results, counters = run(main())
+        for (u, v), response in results:
+            assert response["estimate"] == remote_labels.estimate(u, v)
+            assert "combined" not in response  # single-node answers
+        # With N=3, R=2 every intersection is non-empty: all routed.
+        assert counters["routed"] == len(results)
+        assert counters["combined"] == 0
+
+    def test_batch_matches_offline(self, remote_labels):
+        pairs = sample_pairs(remote_labels, 25)
+
+        async def main():
+            live, servers = await start_cluster(remote_labels)
+            client = ClusterClient(live, policy=fast_policy())
+            try:
+                return await client.batch(pairs)
+            finally:
+                await client.close()
+                await stop_cluster(servers)
+
+        response = run(main())
+        assert response["ok"] and len(response["results"]) == len(pairs)
+        for (u, v), item in zip(pairs, response["results"]):
+            assert item["ok"]
+            assert item["estimate"] == remote_labels.estimate(u, v)
+
+    def test_unknown_vertex_is_a_permanent_answer(self, remote_labels):
+        async def main():
+            live, servers = await start_cluster(remote_labels)
+            client = ClusterClient(live, policy=fast_policy())
+            try:
+                with pytest.raises(RequestFailed) as info:
+                    await client.dist((0, 0), (99, 99))
+                return info.value.code
+            finally:
+                await client.close()
+                await stop_cluster(servers)
+
+        assert run(main()) == "unknown_vertex"
+
+
+class TestFailover:
+    def test_killed_node_is_absorbed(self, remote_labels):
+        """Shut one node down cold; every query must still answer
+        byte-identically (replica failover or label-combine)."""
+
+        async def main():
+            live, servers = await start_cluster(remote_labels)
+            client = ClusterClient(live, policy=fast_policy())
+            try:
+                victim = live.nodes[0].id
+                await servers[victim].shutdown()
+                results = []
+                for u, v in sample_pairs(remote_labels):
+                    response = await client.dist(u, v)
+                    results.append(((u, v), response))
+                return results, dict(client.counters)
+            finally:
+                await client.close()
+                await stop_cluster(servers)
+
+        results, counters = run(main())
+        for (u, v), response in results:
+            assert response["estimate"] == remote_labels.estimate(u, v)
+        # Both mechanisms did real work across the sample: some pairs'
+        # only intersection node was the victim (combine), others had a
+        # surviving intersection replica (routed).
+        assert counters["routed"] > 0
+        assert counters["combined"] > 0
+
+    def test_batch_survives_a_dead_node(self, remote_labels):
+        pairs = sample_pairs(remote_labels, 30)
+
+        async def main():
+            live, servers = await start_cluster(remote_labels)
+            client = ClusterClient(live, policy=fast_policy())
+            try:
+                await servers[live.nodes[1].id].shutdown()
+                return await client.batch(pairs)
+            finally:
+                await client.close()
+                await stop_cluster(servers)
+
+        response = run(main())
+        for (u, v), item in zip(pairs, response["results"]):
+            assert item["ok"], item
+            assert item["estimate"] == remote_labels.estimate(u, v)
+
+
+class TestEpochRefresh:
+    def test_stale_client_refreshes_and_answers(self, remote_labels):
+        """A client born with an outdated epoch gets stale_map, adopts
+        the newer map via the refresh hook, and answers correctly."""
+
+        async def main():
+            live, servers = await start_cluster(remote_labels)
+            stale = live.with_epoch(live.epoch - 1)
+            client = ClusterClient(stale, policy=fast_policy())
+            try:
+                u, v = sample_pairs(remote_labels, 1)[0]
+                response = await client.dist(u, v)
+                return (
+                    response,
+                    (u, v),
+                    dict(client.counters),
+                    client.map.epoch,
+                    live.epoch,
+                )
+            finally:
+                await client.close()
+                await stop_cluster(servers)
+
+        response, (u, v), counters, client_epoch, live_epoch = run(main())
+        assert response["estimate"] == remote_labels.estimate(u, v)
+        assert client_epoch == live_epoch  # the fresh map was adopted
+        assert counters["map_installs"] >= 1
+
+    def test_map_push_is_epoch_gated(self, remote_labels):
+        """MAP set accepts only strictly newer epochs; MAP get serves
+        the installed map."""
+
+        async def main():
+            live, servers = await start_cluster(remote_labels)
+            node = live.nodes[0]
+            rc = ResilientClient([node.address], policy=fast_policy(1))
+            try:
+                got = await rc.call({"op": "MAP"})
+                stale = live.with_epoch(live.epoch)  # not newer
+                with pytest.raises(RequestFailed) as rejected:
+                    await rc.call(
+                        {"op": "MAP", "action": "set", "map": stale.to_dict()}
+                    )
+                newer = live.with_epoch(live.epoch + 3)
+                accepted = await rc.call(
+                    {"op": "MAP", "action": "set", "map": newer.to_dict()}
+                )
+                after = await rc.call({"op": "MAP"})
+                return got, rejected.value.code, accepted, after
+            finally:
+                await rc.close()
+                await stop_cluster(servers)
+
+        got, rejected_code, accepted, after = run(main())
+        assert ClusterMap.from_dict(got["map"]) is not None
+        assert got["epoch"] == got["map"]["epoch"]
+        assert rejected_code == "stale_map"
+        assert accepted["installed"] is True
+        assert after["epoch"] == got["epoch"] + 3
+
+
+class TestClusterStats:
+    def test_stats_fan_out_sums_counters(self, remote_labels):
+        async def main():
+            live, servers = await start_cluster(remote_labels)
+            client = ClusterClient(live, policy=fast_policy())
+            try:
+                for u, v in sample_pairs(remote_labels, 10):
+                    await client.dist(u, v)
+                return await client.call({"op": "STATS"}), len(live.nodes)
+            finally:
+                await client.close()
+                await stop_cluster(servers)
+
+        stats, nodes = run(main())
+        assert stats["cluster"]["nodes"] == nodes
+        assert stats["counters"]["requests"] >= 10
+        assert set(stats["nodes"]) == {"n0", "n1", "n2"}

@@ -1,0 +1,72 @@
+"""LocalCluster end-to-end: real ``repro serve`` subprocesses on
+ephemeral ports, the live-map push, a mid-session SIGKILL, and the
+drain protocol.  One scenario, kept small — broader chaos coverage
+lives in ``repro chaos --cluster`` (CI's cluster-smoke job)."""
+
+import asyncio
+import itertools
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.cluster.client import ClusterClient
+from repro.cluster.local import ClusterUpError, LocalCluster, init_cluster
+from repro.core.serialize import dump_labeling
+from repro.serve.client import RetryPolicy
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+@pytest.fixture
+def cluster_root(remote_labels, tmp_path, monkeypatch):
+    # Children run `python -m repro.cli`; make sure they can import it
+    # no matter how this pytest process itself was launched.
+    existing = os.environ.get("PYTHONPATH", "")
+    monkeypatch.setenv(
+        "PYTHONPATH", str(SRC) + (os.pathsep + existing if existing else "")
+    )
+    labels = tmp_path / "labels.bin"
+    dump_labeling(remote_labels, labels, codec="binary")
+    root = tmp_path / "cluster"
+    init_cluster(labels, root, nodes=2, replication=2, num_shards=4)
+    return root
+
+
+def test_up_query_kill_drain(cluster_root, remote_labels):
+    vertices = sorted(remote_labels.vertices(), key=repr)
+    pairs = [p for p in itertools.combinations(vertices, 2)][:10]
+
+    async def main():
+        cluster = LocalCluster(cluster_root, cache=64, ready_timeout=90.0)
+        live = await cluster.start()
+        client = ClusterClient(
+            live,
+            policy=RetryPolicy(
+                attempts=5, attempt_timeout=5.0, backoff_base=0.01
+            ),
+        )
+        try:
+            assert live.epoch == 2  # authored epoch 1 + address bump
+            assert all(node.port != 0 for node in live.nodes)
+            healthy = [await client.dist(u, v) for u, v in pairs[:5]]
+            victim = cluster.victim_for(0)
+            cluster.kill(victim)
+            degraded = [await client.dist(u, v) for u, v in pairs[5:]]
+        finally:
+            await client.close()
+            results = await cluster.stop()
+        return healthy, degraded, victim, results
+
+    healthy, degraded, victim, results = asyncio.run(main())
+    for (u, v), response in zip(pairs, healthy + degraded):
+        assert response["estimate"] == remote_labels.estimate(u, v)
+    assert results[victim]["killed"] and not results[victim]["drained"]
+    survivor = next(node for node in results if node != victim)
+    assert results[survivor]["drained"]
+    assert results[survivor]["returncode"] == 0
+
+
+def test_uninitialized_root_refused(tmp_path):
+    with pytest.raises(ClusterUpError):
+        LocalCluster(tmp_path / "missing")

@@ -1,0 +1,168 @@
+"""ClusterMap: placement determinism, validation, wire round-trips."""
+
+import pytest
+
+from repro.cluster.map import (
+    FORMAT,
+    ClusterMap,
+    ClusterMapError,
+    ClusterNodeState,
+    NodeInfo,
+    store_name_for_shard,
+)
+
+
+def build(nodes=("n0", "n1", "n2"), shards=16, r=2, seed=0, **kwargs):
+    return ClusterMap.build(
+        list(nodes), num_shards=shards, replication=r, seed=seed, **kwargs
+    )
+
+
+class TestBuild:
+    def test_deterministic_in_all_inputs(self):
+        assert build().assignments == build().assignments
+        assert build(seed=1).assignments != build(seed=0).assignments
+
+    def test_every_shard_gets_r_distinct_replicas(self):
+        cluster_map = build(shards=32, r=2)
+        for replicas in cluster_map.assignments:
+            assert len(replicas) == 2
+            assert len(set(replicas)) == 2
+
+    def test_rendezvous_stability_under_node_addition(self):
+        # Adding a node must never move a shard between two *surviving*
+        # nodes: a shard's replica set changes only by gaining the new
+        # node (that is the property the rebalance planner relies on).
+        before = build(("n0", "n1", "n2"), shards=64, r=2)
+        after = build(("n0", "n1", "n2", "n3"), shards=64, r=2)
+        for shard in range(64):
+            lost = set(before.assignments[shard]) - set(after.assignments[shard])
+            gained = set(after.assignments[shard]) - set(before.assignments[shard])
+            assert gained <= {"n3"}
+            assert len(lost) == len(gained)
+
+    def test_replication_bounds(self):
+        with pytest.raises(ClusterMapError):
+            build(r=4)  # more replicas than nodes
+        with pytest.raises(ClusterMapError):
+            build(r=0)
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ClusterMapError):
+            build(("a", "a", "b"))
+
+
+class TestRouting:
+    def test_shard_of_agrees_with_replica_sets(self):
+        cluster_map = build()
+        for v in [(0, 0), (3, 4), "x", 17]:
+            shard = cluster_map.shard_of(v)
+            assert cluster_map.nodes_for(v) == cluster_map.replicas_for(shard)
+
+    def test_shards_of_node_partitions_by_replication(self):
+        cluster_map = build(shards=16, r=2)
+        total = sum(
+            len(cluster_map.shards_of_node(n.id)) for n in cluster_map.nodes
+        )
+        assert total == 16 * 2
+
+    def test_replicas_for_range_checked(self):
+        with pytest.raises(ClusterMapError):
+            build(shards=4).replicas_for(4)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        cluster_map = build(epsilon=0.25)
+        again = ClusterMap.from_dict(cluster_map.to_dict())
+        assert again == cluster_map
+        assert again.epsilon == 0.25
+
+    def test_dump_load(self, tmp_path):
+        path = tmp_path / "map.json"
+        cluster_map = build()
+        cluster_map.dump(path)
+        assert ClusterMap.load(path) == cluster_map
+
+    def test_format_stamp_required(self):
+        payload = build().to_dict()
+        payload["format"] = "repro-cluster-map/9"
+        with pytest.raises(ClusterMapError):
+            ClusterMap.from_dict(payload)
+
+    @pytest.mark.parametrize(
+        "key,value",
+        [
+            ("epoch", True),
+            ("epoch", "2"),
+            ("replication", 1.5),
+            ("num_shards", 3),
+            ("nodes", []),
+            ("assignments", []),
+        ],
+    )
+    def test_bad_fields_rejected(self, key, value):
+        payload = build().to_dict()
+        payload[key] = value
+        with pytest.raises(ClusterMapError):
+            ClusterMap.from_dict(payload)
+
+    def test_unknown_replica_rejected(self):
+        payload = build().to_dict()
+        payload["assignments"][0] = ["n0", "ghost"]
+        with pytest.raises(ClusterMapError):
+            ClusterMap.from_dict(payload)
+
+
+class TestEvolution:
+    def test_with_addresses_bumps_epoch_and_keeps_assignments(self):
+        cluster_map = build()
+        live = cluster_map.with_addresses({"n0": ("127.0.0.1", 7001)})
+        assert live.epoch == cluster_map.epoch + 1
+        assert live.assignments == cluster_map.assignments
+        assert live.node("n0").port == 7001
+        assert live.node("n1").port == 0  # untouched
+
+    def test_with_addresses_unknown_node(self):
+        with pytest.raises(ClusterMapError):
+            build().with_addresses({"ghost": ("h", 1)})
+
+
+class TestNodeState:
+    def test_membership_enforced(self):
+        cluster_map = build()
+        with pytest.raises(ClusterMapError):
+            ClusterNodeState(node_id="ghost", map=cluster_map, owned=frozenset())
+
+    def test_install_requires_membership(self):
+        cluster_map = build()
+        state = ClusterNodeState(
+            node_id="n0", map=cluster_map, owned=frozenset({0, 1})
+        )
+        smaller = build(("n1", "n2"), r=2)
+        with pytest.raises(ClusterMapError):
+            state.install(smaller)
+        newer = cluster_map.with_epoch(5)
+        state.install(newer)
+        assert state.epoch == 5
+
+    def test_store_name_convention(self):
+        assert store_name_for_shard(7) == "shard-0007"
+        cluster_map = build()
+        state = ClusterNodeState(node_id="n0", map=cluster_map, owned={3})
+        assert state.store_name(3) == "shard-0003"
+        assert state.owned == frozenset({3})
+
+
+def test_node_info_wire_shape():
+    node = NodeInfo.from_dict({"id": "n0", "host": "h", "port": 7001})
+    assert node.address == ("h", 7001)
+    assert NodeInfo.from_dict(node.to_dict()) == node
+    with pytest.raises(ClusterMapError):
+        NodeInfo.from_dict({"id": "n0", "port": True})
+    with pytest.raises(ClusterMapError):
+        NodeInfo.from_dict({"id": ""})
+
+
+def test_format_constant():
+    assert FORMAT == "repro-cluster-map/1"

@@ -1,0 +1,121 @@
+"""Rebalance planning: minimal diffs and file-level application."""
+
+import pytest
+
+from repro.cluster.files import node_dir, shard_path, split_labels
+from repro.cluster.map import ClusterMap, ClusterMapError, store_name_for_shard
+from repro.cluster.plan import apply_plan, diff_maps
+from repro.core.serialize import dump_labeling
+
+
+def build(nodes, shards=16, r=2, epoch=1):
+    return ClusterMap.build(
+        list(nodes), num_shards=shards, replication=r, epoch=epoch
+    )
+
+
+class TestDiff:
+    def test_identical_maps_are_a_noop(self):
+        a = build(["n0", "n1", "n2"])
+        plan = diff_maps(a, a)
+        assert plan.copies == [] and plan.drops == []
+        assert plan.moved_shards == 0
+        assert plan.new_epoch == a.epoch + 1  # epoch still advances
+
+    def test_adding_a_node_only_copies_to_it(self):
+        old = build(["n0", "n1", "n2"], shards=64)
+        new = build(["n0", "n1", "n2", "n3"], shards=64)
+        plan = diff_maps(old, new)
+        assert plan.copies  # n3 gained something
+        assert {c.dst for c in plan.copies} == {"n3"}
+        # Every copy names a donor that really held the shard before.
+        for copy in plan.copies:
+            assert copy.src in old.assignments[copy.shard]
+        # Drops mirror the copies shard-for-shard (R is unchanged).
+        assert sorted(c.shard for c in plan.copies) == sorted(
+            d.shard for d in plan.drops
+        )
+
+    def test_removing_a_node_finds_surviving_donors(self):
+        old = build(["n0", "n1", "n2"], shards=32)
+        new = build(["n0", "n1"], shards=32)
+        plan = diff_maps(old, new)
+        for copy in plan.copies:
+            assert copy.src is not None
+            assert copy.src in old.assignments[copy.shard]
+            assert copy.src in new.assignments[copy.shard]
+
+    def test_shard_count_mismatch_refused(self):
+        with pytest.raises(ClusterMapError):
+            diff_maps(build(["n0", "n1"], shards=8), build(["n0", "n1"], shards=16))
+
+    def test_new_epoch_never_regresses(self):
+        old = build(["n0", "n1"], epoch=7)
+        new = build(["n0", "n1"], epoch=2)
+        assert diff_maps(old, new).new_epoch == 8
+
+    def test_to_dict_is_json_shaped(self):
+        plan = diff_maps(
+            build(["n0", "n1", "n2"], shards=8),
+            build(["n0", "n1", "n2", "n3"], shards=8),
+        )
+        payload = plan.to_dict()
+        assert set(payload) == {"old_epoch", "new_epoch", "copies", "drops"}
+        for copy in payload["copies"]:
+            assert set(copy) == {"shard", "dst", "src"}
+
+
+class TestApply:
+    @pytest.fixture
+    def root(self, remote_labels, tmp_path):
+        labels = tmp_path / "labels.bin"
+        dump_labeling(remote_labels, labels, codec="binary")
+        root = tmp_path / "c"
+        old = build(["n0", "n1", "n2"], shards=8)
+        split_labels(labels, root, old)
+        from repro.cluster.files import populate_nodes
+
+        populate_nodes(root, old)
+        old.dump(root / "cluster-map.json")
+        return root, old
+
+    def test_apply_grows_then_map_is_bumped(self, root):
+        root, old = root
+        new = build(["n0", "n1", "n2", "n3"], shards=8)
+        plan = diff_maps(old, new)
+        summary = apply_plan(root, plan, new)
+        assert summary["copied"] == len(plan.copies)
+        assert summary["pruned"] == 0  # no prune unless asked
+        for copy in plan.copies:
+            name = f"{store_name_for_shard(copy.shard)}.bin"
+            assert (node_dir(root, copy.dst) / name).is_file()
+            # Copied bytes are the canonical shard, byte-for-byte.
+            assert (node_dir(root, copy.dst) / name).read_bytes() == shard_path(
+                root, copy.shard
+            ).read_bytes()
+        # Dropped replicas still on disk (grow before shrink).
+        for drop in plan.drops:
+            name = f"{store_name_for_shard(drop.shard)}.bin"
+            assert (node_dir(root, drop.node) / name).is_file()
+        reloaded = ClusterMap.load(root / "cluster-map.json")
+        assert reloaded.epoch == plan.new_epoch
+        assert reloaded.assignments == new.assignments
+
+    def test_apply_with_prune_deletes_dropped_replicas(self, root):
+        root, old = root
+        new = build(["n0", "n1", "n2", "n3"], shards=8)
+        plan = diff_maps(old, new)
+        summary = apply_plan(root, plan, new, prune=True)
+        assert summary["pruned"] == len(plan.drops)
+        for drop in plan.drops:
+            name = f"{store_name_for_shard(drop.shard)}.bin"
+            assert not (node_dir(root, drop.node) / name).exists()
+
+    def test_apply_is_idempotent(self, root):
+        root, old = root
+        new = build(["n0", "n1", "n2", "n3"], shards=8)
+        plan = diff_maps(old, new)
+        apply_plan(root, plan, new)
+        again = apply_plan(root, plan, new)
+        assert again["copied"] == 0
+        assert again["skipped"] == len(plan.copies)

@@ -414,3 +414,125 @@ class TestClientAgainstServer:
     def test_needs_an_address(self):
         with pytest.raises(ClientError):
             ResilientClient([])
+
+
+class TestRetryAfterRefresh:
+    def test_refresh_code_triggers_hook_then_immediate_retry(self):
+        """A ``stale_map``-style refresh code is not a failure: the
+        client runs ``on_refresh``, retries with no backoff, and the
+        breaker never sees a failure.  Regression test for the refresh
+        path charging the breaker / sleeping out the backoff."""
+        refreshed = []
+
+        async def main():
+            replies = {"count": 0}
+
+            async def handle(reader, writer):
+                while True:
+                    line = await reader.readline()
+                    if not line:
+                        break
+                    request = json.loads(line)
+                    if replies["count"] == 0:
+                        reply = {
+                            "id": request["id"],
+                            "ok": False,
+                            "error": {
+                                "code": "stale_map",
+                                "message": "request epoch 1, node epoch 2",
+                            },
+                        }
+                    else:
+                        reply = {
+                            "id": request["id"],
+                            "ok": True,
+                            "op": "DIST",
+                            "estimate": 4.0,
+                        }
+                    replies["count"] += 1
+                    writer.write(json.dumps(reply).encode() + b"\n")
+                    await writer.drain()
+
+            server = await asyncio.start_server(handle, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+
+            async def on_refresh(exc):
+                refreshed.append(exc)
+
+            client = ResilientClient(
+                [("127.0.0.1", port)],
+                # A fat backoff_base so the elapsed-time assertion can
+                # tell "retried immediately" from "slept out a backoff".
+                policy=RetryPolicy(
+                    attempts=3, attempt_timeout=2.0, backoff_base=0.5
+                ),
+                refresh_codes=frozenset({"stale_map"}),
+                on_refresh=on_refresh,
+            )
+            try:
+                started = asyncio.get_running_loop().time()
+                response = await client.call({"op": "DIST"})
+                elapsed = asyncio.get_running_loop().time() - started
+                return response, dict(client.counters), client.stats(), elapsed
+            finally:
+                await client.close()
+                server.close()
+                await server.wait_closed()
+
+        response, counters, stats, elapsed = run(main())
+        assert response["ok"] and response["estimate"] == 4.0
+        assert len(refreshed) == 1
+        assert refreshed[0].code == "stale_map"
+        assert counters["refreshes"] == 1
+        assert counters["retries"] == 1  # the refresh retry is counted
+        assert counters["giveups"] == 0
+        assert elapsed < 0.4  # no backoff sleep before the refresh retry
+        for breaker in stats["breakers"].values():
+            assert breaker["state"] == "closed"
+            assert breaker["opened_total"] == 0
+
+    def test_refresh_codes_exhaust_attempts_eventually(self):
+        """A server that answers the refresh code forever must not loop:
+        attempts are still bounded by the policy."""
+
+        async def main():
+            async def handle(reader, writer):
+                while True:
+                    line = await reader.readline()
+                    if not line:
+                        break
+                    request = json.loads(line)
+                    writer.write(
+                        json.dumps(
+                            {
+                                "id": request["id"],
+                                "ok": False,
+                                "error": {"code": "stale_map", "message": ""},
+                            }
+                        ).encode()
+                        + b"\n"
+                    )
+                    await writer.drain()
+
+            server = await asyncio.start_server(handle, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            client = ResilientClient(
+                [("127.0.0.1", port)],
+                policy=RetryPolicy(
+                    attempts=3, attempt_timeout=2.0, backoff_base=0.01
+                ),
+                refresh_codes=frozenset({"stale_map"}),
+            )
+            try:
+                with pytest.raises(ClientError) as info:
+                    await client.call({"op": "DIST"})
+                return str(info.value), dict(client.counters)
+            finally:
+                await client.close()
+                server.close()
+                await server.wait_closed()
+
+        message, counters = run(main())
+        assert "stale_map" in message
+        assert counters["refreshes"] == 3
+        assert counters["giveups"] == 1

@@ -6,7 +6,7 @@ import json
 import pytest
 
 from repro.serve import OracleServer, run_loadgen, synthesize_pairs
-from repro.serve.loadgen import LoadgenError, read_pairs_file
+from repro.serve.loadgen import LoadgenError, LoadgenReport, read_pairs_file
 from repro.obs import write_bench_json
 
 
@@ -149,3 +149,99 @@ class TestBenchRecord:
         for key in ("p50", "p90", "p99", "max", "mean"):
             assert key in payload["meta"]["latency_ms"]
         assert payload["meta"]["mismatches"] == 0
+
+
+class TestZipfPairs:
+    def test_deterministic_in_seed_and_exponent(self):
+        vertices = list(range(40))
+        first = synthesize_pairs(vertices, 200, seed=5, zipf=1.2)
+        assert first == synthesize_pairs(vertices, 200, seed=5, zipf=1.2)
+        assert first != synthesize_pairs(vertices, 200, seed=6, zipf=1.2)
+        assert first != synthesize_pairs(vertices, 200, seed=5, zipf=0.4)
+
+    def test_no_self_pairs_and_in_population(self):
+        vertices = [(i, i) for i in range(12)]
+        pairs = synthesize_pairs(vertices, 300, seed=1, zipf=1.5)
+        assert len(pairs) == 300
+        for u, v in pairs:
+            assert u != v
+            assert u in vertices and v in vertices
+
+    def test_skews_toward_low_ranks(self):
+        # With s=1.5 the ten lowest-rank vertices (sorted-by-repr order,
+        # the documented ranking) should soak up well over half of all
+        # endpoint draws; uniform sampling would give them ~10%.
+        vertices = list(range(100))
+        ranked = sorted(vertices, key=repr)
+        pairs = synthesize_pairs(vertices, 2000, seed=0, zipf=1.5)
+        hot = set(ranked[:10])
+        endpoint_draws = [v for pair in pairs for v in pair]
+        hot_share = sum(v in hot for v in endpoint_draws) / len(endpoint_draws)
+        assert hot_share > 0.5
+        uniform = synthesize_pairs(vertices, 2000, seed=0)
+        uniform_share = sum(
+            v in hot for pair in uniform for v in pair
+        ) / (2 * len(uniform))
+        assert uniform_share < 0.25
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(LoadgenError):
+            synthesize_pairs(list(range(10)), 5, zipf=-0.5)
+
+
+class TestServerCacheProbe:
+    def test_report_carries_server_cache_hit_rate(self, catalog, remote_labels):
+        # One pair repeated: the server's pair cache misses once and
+        # hits for every repeat; the loadgen's STATS probe turns that
+        # into a hit rate on the report.
+        vertices = sorted(remote_labels.vertices(), key=repr)
+        pairs = [(vertices[0], vertices[1])] * 20
+
+        async def main():
+            server = OracleServer(catalog, port=0, cache_size=64)
+            await server.start()
+            try:
+                shared = LoadgenReport()
+                report = await run_loadgen(
+                    server.host,
+                    server.port,
+                    pairs,
+                    concurrency=1,
+                    report=shared,
+                )
+                return report, shared
+            finally:
+                await server.shutdown()
+
+        report, shared = asyncio.run(main())
+        assert report is shared  # the caller's report object is used
+        assert report.ok == 20
+        assert report.cache_probed
+        assert report.cache_misses == 1
+        assert report.cache_hits == 19
+        assert report.cache_hit_rate == pytest.approx(0.95)
+        assert ["cache_hit_rate", 0.95] in report.rows()
+        assert report.meta()["server_cache"]["hit_rate"] == pytest.approx(0.95)
+
+    def test_probe_degrades_gracefully_without_cache(self, catalog):
+        # A cache-less server never touches the cache counters; the
+        # probe still runs and reports an idle 0/0 split (rate 0.0)
+        # rather than failing.
+        async def main():
+            server = OracleServer(catalog, port=0)
+            await server.start()
+            try:
+                return await run_loadgen(
+                    server.host,
+                    server.port,
+                    [((0, 0), (1, 1))] * 4,
+                    concurrency=1,
+                )
+            finally:
+                await server.shutdown()
+
+        report = asyncio.run(main())
+        assert report.cache_probed
+        assert report.cache_hits == 0
+        assert report.cache_misses == 0
+        assert report.cache_hit_rate == 0.0

@@ -22,6 +22,7 @@ DOC_FILES = [
     ROOT / "docs" / "performance.md",
     ROOT / "docs" / "serving.md",
     ROOT / "docs" / "formats.md",
+    ROOT / "docs" / "cluster.md",
 ]
 
 MODULE_PATTERN = re.compile(r"`(repro(?:\.[a-z_0-9]+)+)`")
