@@ -15,6 +15,9 @@ Subcommands::
     repro loadgen    --labels labels.json --pairs 500        # drive the service
     repro query      --remote host:7471 U V                  # query the service
     repro chaos      --labels labels.json --pairs 300        # loadgen under faults
+    repro update     g.edges --labels l.json --journal j.jsonl \
+                     --edge 3 7 2.5                          # incremental relabel
+    repro loadgen    --updates 10 --update-graph g.edges ... # updates under load
     repro cluster    init --labels l.bin --root data/        # shard + replicate
     repro cluster    up --root data/                         # N-node local cluster
     repro chaos      --cluster 3 --kill-replica ...          # kill-a-node drill
@@ -90,11 +93,21 @@ from repro.util.errors import ReproError
 from repro.util.tables import format_table
 
 
-def _make_generator(family: str, n: int, seed: int, weights):
+def _make_generator(family: str, n: int, seed: int, weights, p=None, m=3):
     from repro import generators as gen
 
     side = max(2, int(round(n**0.5)))
     makers = {
+        "gnp": lambda: gen.gnp_random_graph(
+            n,
+            gen.default_gnp_p(n) if p is None else p,
+            weight_range=weights,
+            seed=seed,
+            connect=True,
+        ),
+        "preferential-attachment": lambda: gen.preferential_attachment_graph(
+            n, m, weight_range=weights, seed=seed
+        ),
         "grid": lambda: gen.grid_2d(side, weight_range=weights, seed=seed),
         "grid3d": lambda: gen.grid_3d(
             max(2, int(round(n ** (1 / 3)))), weight_range=weights, seed=seed
@@ -155,7 +168,9 @@ def cmd_generate(args) -> int:
     if args.weights:
         lo, hi = args.weights.split(",")
         weights = (float(lo), float(hi))
-    graph = _make_generator(args.family, args.n, args.seed, weights)
+    graph = _make_generator(
+        args.family, args.n, args.seed, weights, p=args.p, m=args.m
+    )
     index = {v: i for i, v in enumerate(sorted(graph.vertices(), key=repr))}
     graph = relabel(graph, index.__getitem__)
     write_edge_list(graph, args.out)
@@ -506,14 +521,103 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_loadgen_updates(args) -> int:
+    """``repro loadgen --updates N``: incremental relabeling under live
+    traffic.  Builds the labeling locally (same graph / engine / seed /
+    epsilon as the served labels), interleaves N journaled edge
+    reweights with byte-verified query phases, pushes each delta to the
+    server as an epoch-gated DELTA, and finishes with a from-scratch
+    rebuild comparison plus a final verification phase against that
+    fresh rebuild (see docs/dynamic.md)."""
+    import time
+
+    from repro.dynamic import JournalWriter
+    from repro.dynamic.driver import run_update_loadgen
+    from repro.obs import write_bench_json
+
+    if not args.update_graph:
+        raise ReproError(
+            "--updates needs --update-graph (the edge list the served "
+            "labels were built from)"
+        )
+    if args.cluster_map:
+        raise ReproError("--updates drives one --host/--port server")
+    graph = read_edge_list(args.update_graph)
+    tree = build_decomposition(graph, engine=_engine_for(args, graph))
+    labeling = build_labeling(graph, tree, epsilon=args.epsilon, seed=args.seed)
+    journal = None
+    if args.update_journal:
+        journal = JournalWriter(
+            args.update_journal,
+            epsilon=labeling.epsilon,
+            source=str(args.update_graph),
+        )
+    try:
+        report = asyncio.run(
+            run_update_loadgen(
+                args.host,
+                args.port,
+                labeling,
+                updates=args.updates,
+                queries_per_update=args.queries_per_update,
+                verify_queries=args.verify_queries,
+                concurrency=args.concurrency,
+                store=args.store,
+                journal=journal,
+                verify_rebuild=not args.no_verify_rebuild,
+                request_timeout=args.timeout,
+                seed=args.seed,
+            )
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+    target = f"{args.host}:{args.port}"
+    print(
+        format_table(
+            ["metric", "value"],
+            report.rows(),
+            title=f"loadgen --updates {args.updates} vs {target}",
+        )
+    )
+    for sample in report.loadgen.error_samples:
+        print(f"note: {sample}", file=sys.stderr)
+    if args.bench_out:
+        write_bench_json(
+            args.bench_out,
+            "dynamic",
+            header=["metric", "value"],
+            rows=report.rows(),
+            meta={
+                "target": target,
+                "graph": str(args.update_graph),
+                "engine": args.engine,
+                "epsilon": args.epsilon,
+                "journal": args.update_journal,
+                **report.meta(),
+            },
+            unix_time=time.time(),
+        )
+        print(f"wrote bench record to {args.bench_out}", file=sys.stderr)
+    return 0 if report.ok and report.loadgen.errors == 0 else 1
+
+
 def cmd_loadgen(args) -> int:
     import time
 
     from repro.obs import write_bench_json
     from repro.serve import read_pairs_file, run_loadgen, synthesize_pairs
 
+    if args.updates:
+        return _cmd_loadgen_updates(args)
     remote = load_labeling(args.labels) if args.labels else None
-    if args.pairs_file:
+    if args.replay:
+        from repro.serve.querytrace import read_trace
+
+        if args.pairs_file:
+            raise ReproError("give either --replay or --pairs-file, not both")
+        pairs = read_trace(args.replay)
+    elif args.pairs_file:
         if args.pairs_file == "-":
             pairs = read_pairs_file("<stdin>", stream=sys.stdin)
         else:
@@ -525,6 +629,19 @@ def cmd_loadgen(args) -> int:
             )
         pairs = synthesize_pairs(
             list(remote.vertices()), args.pairs, args.seed, zipf=args.zipf
+        )
+    if args.record_trace:
+        from repro.serve.querytrace import write_trace
+
+        meta = {"seed": args.seed}
+        if args.zipf is not None:
+            meta["zipf"] = args.zipf
+        if args.labels:
+            meta["labels"] = str(args.labels)
+        write_trace(args.record_trace, pairs, meta=meta)
+        print(
+            f"recorded {len(pairs)} pairs to {args.record_trace}",
+            file=sys.stderr,
         )
     if args.verify and remote is None:
         raise ReproError("--verify needs --labels to compute offline estimates")
@@ -607,6 +724,104 @@ def cmd_loadgen(args) -> int:
         )
         print(f"wrote bench record to {args.bench_out}", file=sys.stderr)
     return 0 if report.errors == 0 and report.mismatches == 0 else 1
+
+
+def cmd_update(args) -> int:
+    """``repro update``: journaled incremental relabeling, offline.
+
+    Loads the graph, rebuilds its decomposition tree (same engine and
+    seed the labels were built with), attaches the exported labels,
+    replays any existing journal to reach its last epoch, then applies
+    each ``--edge U V W`` reweight incrementally — journaling every
+    delta and optionally pushing it to a running server (``--push``)
+    and writing the updated labels (``--out``).  ``--verify`` rebuilds
+    from scratch at the end and requires byte-identical labels.
+    """
+    from repro.core.labeling import DistanceLabeling
+    from repro.dynamic import (
+        EdgeUpdate,
+        JournalWriter,
+        delta_to_dict,
+        incremental_relabel,
+        read_journal,
+        replay_journal,
+    )
+
+    graph = read_edge_list(args.graph)
+    tree = build_decomposition(graph, engine=_engine_for(args, graph))
+    remote = load_labeling(args.labels)
+    labeling = DistanceLabeling(graph, tree, remote.epsilon, dict(remote.labels))
+    journal_path = Path(args.journal)
+    if journal_path.exists() and journal_path.stat().st_size > 0:
+        read = read_journal(journal_path)
+        for warning in read.warnings:
+            print(f"note: {warning}", file=sys.stderr)
+        replayed = replay_journal(read, labeling)
+        if replayed:
+            print(f"replayed {replayed} journaled deltas "
+                  f"(at epoch {read.last_epoch})")
+
+    deltas = []
+    with JournalWriter(
+        journal_path, epsilon=labeling.epsilon, source=str(args.graph)
+    ) as journal:
+        for u_token, v_token, w_token in args.edge:
+            u, v = _parse_vertex(u_token), _parse_vertex(v_token)
+            try:
+                weight = float(w_token)
+            except ValueError:
+                raise ReproError(f"bad edge weight {w_token!r}") from None
+            delta = incremental_relabel(labeling, EdgeUpdate(u, v, weight))
+            journal.append(delta)
+            deltas.append(delta)
+            print(f"epoch {delta.epoch}: {u} -- {v} reweighted "
+                  f"{delta.old_weight:g} -> {weight:g} "
+                  f"({delta.num_changes} label entries, {delta.units} units)")
+
+    if args.push:
+        from repro.serve import ResilientClient, RetryPolicy, parse_address
+
+        async def push_all() -> None:
+            client = ResilientClient(
+                [parse_address(args.push)],
+                policy=RetryPolicy(attempts=3, attempt_timeout=args.timeout),
+                store=args.store,
+            )
+            try:
+                for delta in deltas:
+                    payload = {
+                        "op": "DELTA",
+                        "action": "apply",
+                        "delta": delta_to_dict(delta),
+                    }
+                    response = await client.call(payload)
+                    status = (
+                        "applied" if response.get("applied")
+                        else "noop" if response.get("noop")
+                        else "rejected"
+                    )
+                    print(f"pushed epoch {delta.epoch}: {status} "
+                          f"(server epoch {response.get('epoch')})")
+            finally:
+                await client.close()
+
+        asyncio.run(push_all())
+
+    if args.out:
+        dump_labeling(labeling, args.out, codec=args.codec)
+        print(f"wrote {len(labeling.labels)} updated labels to {args.out}")
+    if args.verify:
+        fresh = build_labeling(
+            graph, tree, epsilon=labeling.epsilon, seed=args.seed
+        )
+        if dump_labeling(fresh) != dump_labeling(labeling):
+            raise ReproError(
+                "verification failed: incrementally updated labels differ "
+                "from a from-scratch rebuild on the updated graph"
+            )
+        print("verified: incremental labels are byte-identical to a "
+              "from-scratch rebuild")
+    return 0
 
 
 # The default chaos schedule when no --fault-plan is given: the CI
@@ -1257,6 +1472,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=256)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--weights", help="LO,HI uniform edge weights")
+    p.add_argument("--p", type=float, default=None,
+                   help="edge probability for --family gnp "
+                   "(default: 3 ln(n)/n, above the connectivity threshold)")
+    p.add_argument("--m", type=int, default=3,
+                   help="edges per new vertex for "
+                   "--family preferential-attachment (default 3)")
     p.add_argument("--out", required=True)
     p.set_defaults(func=cmd_generate)
 
@@ -1471,7 +1692,70 @@ def build_parser() -> argparse.ArgumentParser:
                    "instead of one --host/--port server")
     p.add_argument("--bench-out", metavar="PATH",
                    help="write a repro-bench/1 record (e.g. BENCH_serve.json)")
+    p.add_argument("--record-trace", metavar="PATH",
+                   help="write the query pairs as a repro-querytrace/1 "
+                   "file for later --replay")
+    p.add_argument("--replay", metavar="PATH",
+                   help="replay pairs from a repro-querytrace/1 file "
+                   "instead of sampling")
+    p.add_argument("--updates", type=int, default=0, metavar="N",
+                   help="interleave N journaled edge reweights with the "
+                   "query load, pushing each to the server as an "
+                   "epoch-gated DELTA (see docs/dynamic.md)")
+    p.add_argument("--update-graph", metavar="PATH",
+                   help="edge list the served labels were built from "
+                   "(required with --updates)")
+    p.add_argument("--engine", choices=sorted(ENGINES), default="auto",
+                   help="separator engine for --updates label rebuilds")
+    p.add_argument("--epsilon", type=float, default=0.25,
+                   help="epsilon the served labels were built with "
+                   "(--updates)")
+    p.add_argument("--queries-per-update", type=int, default=30, metavar="K",
+                   help="verified queries between updates (--updates)")
+    p.add_argument("--verify-queries", type=int, default=300, metavar="K",
+                   help="final queries verified against a fresh offline "
+                   "rebuild (--updates)")
+    p.add_argument("--update-journal", metavar="PATH",
+                   help="append each delta to a repro-label-journal/1 "
+                   "file (--updates)")
+    p.add_argument("--no-verify-rebuild", action="store_true",
+                   help="skip the final from-scratch rebuild and byte "
+                   "comparison (--updates)")
     p.set_defaults(func=cmd_loadgen)
+
+    p = sub.add_parser(
+        "update",
+        help="apply journaled edge reweights to exported labels "
+        "incrementally (see docs/dynamic.md)",
+        parents=[obs_parent],
+    )
+    p.add_argument("graph", help="edge list the labels were built from")
+    p.add_argument("--labels", required=True, metavar="PATH",
+                   help="exported labels file to update")
+    p.add_argument("--journal", required=True, metavar="PATH",
+                   help="repro-label-journal/1 file to replay and append to")
+    p.add_argument("--edge", nargs=3, action="append", required=True,
+                   metavar=("U", "V", "W"),
+                   help="reweight edge U--V to W (repeatable, applied "
+                   "in order)")
+    p.add_argument("--engine", choices=sorted(ENGINES), default="auto",
+                   help="separator engine the labels were built with")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed the labels were built with")
+    p.add_argument("--push", metavar="HOST:PORT",
+                   help="also push each delta to a running `repro serve` "
+                   "as an epoch-gated DELTA")
+    p.add_argument("--store", help="named store on the --push server")
+    p.add_argument("--timeout", type=float, default=10.0,
+                   help="per-attempt --push deadline in seconds")
+    p.add_argument("--out", metavar="PATH",
+                   help="write the updated labels file")
+    p.add_argument("--codec", choices=["json", "binary"], default="json",
+                   help="codec for --out")
+    p.add_argument("--verify", action="store_true",
+                   help="rebuild from scratch and require byte-identical "
+                   "labels")
+    p.set_defaults(func=cmd_update)
 
     p = sub.add_parser(
         "chaos",

@@ -131,6 +131,8 @@ class ClusterClient:
             return await self._label_call(payload)
         if op == "STATS":
             return await self._stats_call(payload)
+        if op == "DELTA":
+            return await self._delta_call(payload)
         return await self._rc.call(payload)
 
     async def close(self) -> None:
@@ -370,6 +372,70 @@ class ClusterClient:
             "op": "STATS",
             "cluster": {"epoch": self.map.epoch, "nodes": live},
             "counters": counters,
+            "nodes": nodes,
+        }
+
+    # -- delta fan-out -----------------------------------------------------
+    async def _delta_call(self, payload: dict) -> dict:
+        """Fan a DELTA out across the cluster.
+
+        ``apply`` goes to *every* node (mirroring the STATS fan-out):
+        each node applies the slice of the delta its owned shards
+        cover, so the whole cluster advances to the delta's epoch
+        together.  Nodes that are down simply miss this epoch — their
+        next push answers ``stale_delta`` and the operator resyncs them
+        from the journal.  ``status`` goes to any live node.
+        """
+        action = str(payload.get("action", "status")).lower()
+        if action != "apply":
+            return await self._rc.call(payload)
+
+        async def one(node: NodeInfo):
+            try:
+                return node.id, await self._rc.call(
+                    payload, addresses=[node.address]
+                )
+            except RequestFailed as exc:
+                return node.id, {
+                    "ok": False,
+                    "error": {"code": exc.code, "message": str(exc)},
+                }
+            except ClientError as exc:
+                return node.id, {
+                    "ok": False,
+                    "error": {"code": "unavailable", "message": str(exc)},
+                }
+
+        responses = await asyncio.gather(*(one(n) for n in self.map.nodes))
+        nodes: Dict[str, dict] = {}
+        applied = 0
+        failed = 0
+        epoch = None
+        for node_id, response in responses:
+            nodes[node_id] = response
+            if response.get("ok"):
+                if response.get("applied"):
+                    applied += 1
+                if isinstance(response.get("epoch"), int):
+                    epoch = max(epoch or 0, response["epoch"])
+            else:
+                failed += 1
+        self.counters["delta_pushes"] = self.counters.get("delta_pushes", 0) + 1
+        metrics.inc("cluster.client.delta.pushes")
+        eventlog.info(
+            "cluster.client.delta.push",
+            epoch=epoch,
+            applied=applied,
+            failed=failed,
+        )
+        return {
+            "id": payload.get("id"),
+            "ok": failed == 0,
+            "op": "DELTA",
+            "epoch": epoch,
+            "applied": applied > 0 and failed == 0,
+            "applied_nodes": applied,
+            "failed_nodes": failed,
             "nodes": nodes,
         }
 

@@ -130,6 +130,23 @@ class DecompositionTree:
         """
         return self._prefix[key]
 
+    def recompute_prefix(self, key: PathKey) -> List[float]:
+        """Rebuild one path's prefix sums from the graph's *current*
+        weights, replacing the cached value.
+
+        The dynamic-update path (:mod:`repro.dynamic`) reweights edges
+        of ``self.graph`` in place while holding the tree structure
+        fixed; any path on which the edge's endpoints are consecutive
+        reads that weight in its prefix and must be refreshed before
+        labels are recomputed.
+        """
+        path = self.path_vertices(key)
+        prefix = [0.0]
+        for u, v in zip(path, path[1:]):
+            prefix.append(prefix[-1] + self.graph.weight(u, v))
+        self._prefix[key] = prefix
+        return prefix
+
     def all_path_keys(self) -> Iterator[PathKey]:
         for node in self.nodes:
             for i, phase in enumerate(node.separator.phases):

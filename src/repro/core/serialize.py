@@ -158,6 +158,18 @@ def _decode_key(text: str) -> Tuple[int, int, int]:
         raise SerializationError(f"malformed path key {text!r}") from None
 
 
+def encode_path_key(key: Tuple[int, int, int]) -> str:
+    """A path key ``(node_id, phase, path)`` as its wire form ``"n:p:i"``
+    — the same encoding label entries use, shared with the delta wire
+    format of :mod:`repro.dynamic.rebuild`."""
+    return _encode_key(key)
+
+
+def decode_path_key(text: str) -> Tuple[int, int, int]:
+    """Inverse of :func:`encode_path_key`."""
+    return _decode_key(text)
+
+
 def encode_label(label: VertexLabel) -> dict:
     """One vertex's label as a JSON-safe dict."""
     return {

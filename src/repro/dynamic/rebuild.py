@@ -1,0 +1,676 @@
+"""Incremental relabeling: recompute only the affected units.
+
+:func:`incremental_relabel` takes a live :class:`DistanceLabeling`
+and one edge reweight, recomputes exactly the units named by
+:func:`repro.dynamic.invalidate.affected_units` through the same
+``_unit_entries`` / ``batched_dijkstra`` machinery the offline build
+uses, mutates the labeling in place, and returns a :class:`LabelDelta`
+describing every entry that changed.
+
+Byte-identity contract: after the call, ``dump_labeling(labeling)`` is
+byte-identical to ``dump_labeling(build_labeling(updated_graph, tree,
+epsilon))`` on the *same* decomposition tree.  Three facts carry it:
+
+* untouched units reproduce their old entries exactly (their inputs
+  are unchanged — see the soundness argument in
+  :mod:`repro.dynamic.invalidate`), so skipping them is lossless;
+* a full build inserts each vertex's keys in global unit order, which
+  is ascending ``(node_id, phase, path)`` — i.e. *sorted* key order —
+  so replacing a value in place keeps the order, deleting keeps the
+  order, and inserting a brand-new key followed by a per-vertex key
+  re-sort reproduces it;
+* the label dict itself is prefilled in graph order by both builds.
+
+The delta also travels: :func:`delta_to_dict` / :func:`delta_from_dict`
+give it a strict JSON wire form (shared by the journal and the serve
+``DELTA`` op), and :func:`apply_delta_to_labels` replays one onto any
+label dict — replica stores apply the same delta the builder computed
+and land in the same state.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Tuple
+
+from repro.core.decomposition import PathKey, phase_portal_distance_maps
+from repro.core.labeling import (
+    INF,
+    DistanceLabeling,
+    PortalEntry,
+    VertexLabel,
+)
+from repro.core.portals import epsilon_cover_portals_at
+from repro.graphs.shortest_paths import batched_dijkstra
+from repro.core.serialize import (
+    SerializationError,
+    decode_path_key,
+    decode_vertex,
+    encode_path_key,
+    encode_vertex,
+)
+from repro.dynamic.invalidate import (
+    EdgeUpdate,
+    affected_units,
+    touched_path_keys,
+)
+from repro.obs import metrics, span
+from repro.util.errors import ReproError
+
+Vertex = Hashable
+
+#: One changed label entry: (vertex, path key, new portal list).
+Change = Tuple[Vertex, PathKey, List[PortalEntry]]
+#: One removed label entry: (vertex, path key).
+Removal = Tuple[Vertex, PathKey]
+
+
+class DynamicError(ReproError):
+    """An update cannot be applied incrementally."""
+
+
+class DeltaError(DynamicError):
+    """A label delta is malformed or inconsistent with its target."""
+
+
+@dataclass
+class LabelDelta:
+    """Everything that changed in one incremental relabel.
+
+    ``epoch`` is 0 ("unstamped") until a journal or a caller assigns
+    the delta its position in an update sequence; stores and servers
+    gate application on it (see ``docs/dynamic.md``).
+    """
+
+    update: EdgeUpdate
+    old_weight: float
+    epsilon: float
+    changes: List[Change] = field(default_factory=list)
+    removals: List[Removal] = field(default_factory=list)
+    units: int = 0
+    epoch: int = 0
+
+    @property
+    def num_changes(self) -> int:
+        return len(self.changes) + len(self.removals)
+
+    @property
+    def is_noop(self) -> bool:
+        return not self.changes and not self.removals
+
+
+# Relative slack below which an edge is conservatively treated as
+# tight (on some shortest path).  Over-inclusion only costs an extra
+# recompute; the float error of a path-length sum is orders of
+# magnitude smaller than this, so a genuinely slack edge never slips
+# under the threshold.
+_TIGHT_TOL = 1e-9
+
+#: Entry budget (dict slots, not bytes) for the per-labeling cache of
+#: unit distance maps.  Whole units are evicted LRU past the budget.
+_DIST_CACHE_ENTRIES = 4_000_000
+
+
+class _UnitDistCache:
+    """LRU cache of per-unit portal distance maps, keyed (node, phase).
+
+    Owned by one labeling (stashed on the instance): the maps hold
+    ``d_J(x, .)`` for every separator-path vertex x of the unit under
+    the labeling's *current* graph weights, and are updated in
+    lock-step with each incremental relabel.  A hit turns "re-run
+    Dijkstra from every path vertex of the unit" into "re-run it from
+    the few tight sources and diff against the cached rows".
+    """
+
+    def __init__(self, budget: int = _DIST_CACHE_ENTRIES) -> None:
+        self.budget = budget
+        self.units: "OrderedDict[Tuple[int, int], Dict]" = OrderedDict()
+        self.entries = 0
+
+    def get(self, unit):
+        maps = self.units.get(unit)
+        if maps is not None:
+            self.units.move_to_end(unit)
+        return maps
+
+    def put(self, unit, maps) -> None:
+        self.discard(unit)
+        self.units[unit] = maps
+        self.entries += sum(len(m) for m in maps.values())
+        while self.entries > self.budget and len(self.units) > 1:
+            _, evicted = self.units.popitem(last=False)
+            self.entries -= sum(len(m) for m in evicted.values())
+
+    def discard(self, unit) -> None:
+        old = self.units.pop(unit, None)
+        if old is not None:
+            self.entries -= sum(len(m) for m in old.values())
+
+
+def _dist_cache(labeling: DistanceLabeling) -> _UnitDistCache:
+    cache = getattr(labeling, "_unit_dist_cache", None)
+    if cache is None:
+        cache = _UnitDistCache()
+        labeling._unit_dist_cache = cache
+    return cache
+
+
+def _phase_sources(phase) -> List[Vertex]:
+    seen = set()
+    out: List[Vertex] = []
+    for path in phase.paths:
+        for x in path:
+            if x not in seen:
+                seen.add(x)
+                out.append(x)
+    return out
+
+
+def _tight_sources(phase, dist_u, dist_v, w_min: float) -> List[Vertex]:
+    """Separator-path vertices of one unit the reweight can reach.
+
+    ``dist_u``/``dist_v`` are the residual-restricted distance maps of
+    the edge's endpoints under the **old** weights.  A source x's map
+    can change only if some old or new shortest path from x uses the
+    edge, and both directions reduce to one inequality on old data:
+
+    * weight increase: a change requires the old path to use the edge,
+      forcing the old tightness ``|d(x,u) - d(x,v)| = w_old``;
+    * weight decrease: an improvement through the edge at its new
+      weight forces ``d(x,u) + w_new < d(x,v)`` (or symmetrically),
+      i.e. ``|d(x,u) - d(x,v)| > w_new``.
+
+    Both are implied by ``|d(x,u) - d(x,v)| >= min(w_old, w_new)`` up
+    to float tolerance — so two endpoint Dijkstras decide a whole
+    unit, against one per path vertex to rebuild it.  Sources the
+    filter rejects keep bitwise-identical maps: every relaxation
+    through the edge loses strictly, so Dijkstra settles the same
+    values with or without the reweight.
+    """
+    tight: List[Vertex] = []
+    for x in _phase_sources(phase):
+        a = dist_u.get(x)
+        b = dist_v.get(x)
+        if a is None or b is None:
+            continue
+        tol = _TIGHT_TOL * (1.0 + a + b + w_min)
+        if abs(a - b) >= w_min - tol:
+            tight.append(x)
+    return tight
+
+
+def _propagate_decrease(graph, allowed, m, near, far, new_weight):
+    """Fold a weight decrease into one cached distance map, in place.
+
+    ``m`` holds ``d_J(x, .)`` under the old weights with ``near`` the
+    closer edge endpoint to x.  A decrease can only *improve* values,
+    and only along paths whose last fresh relaxation is the edge — so
+    seeding one candidate ``d(x, near) + w_new`` at ``far`` and running
+    the ordinary Dijkstra loop over the improvements reproduces, float
+    op for float op, exactly the relaxations a from-scratch run would
+    win with the new weight.  Values the loop never touches keep their
+    (provably identical) old floats.  Returns the changed vertices.
+    """
+    near_d = m.get(near)
+    if near_d is None:
+        return ()
+    base = near_d + new_weight
+    if base >= m.get(far, INF):
+        return ()
+    changed = set()
+    heap = [(base, 0, far)]
+    counter = 1
+    adj = graph._adj
+    push, pop = heapq.heappush, heapq.heappop
+    m_get = m.get
+    while heap:
+        d, _, t = pop(heap)
+        if d >= m_get(t, INF):
+            continue
+        m[t] = d
+        changed.add(t)
+        for nb, w in adj[t].items():
+            if nb not in allowed:
+                continue
+            nd = d + w
+            if nd < m_get(nb, INF):
+                push(heap, (nd, counter, nb))
+                counter += 1
+    return changed
+
+
+def _propagate_increase(graph, allowed, m, near, far, old_weight):
+    """Fold a weight increase into one cached distance map, in place.
+
+    An increase can only change values of vertices whose *every* old
+    shortest path from x crosses the edge.  That affected set is found
+    by walking the old shortest-path DAG outward from ``far`` in
+    distance order: a vertex stays put the moment it has one tight
+    predecessor that stayed put (tightness is float-exact — the stored
+    value *is* the winning ``d(p) + w`` sum).  The affected vertices
+    are then re-settled by a Dijkstra seeded from every unaffected
+    neighbor, whose values are bitwise those a full run would carry in.
+    The caller guarantees the edge is old-tight from x.  Returns the
+    changed vertices.
+    """
+    adj = graph._adj
+    m_get = m.get
+    far_old = m_get(far, INF)
+    affected: set = set()
+    enqueued = {far}
+    heap = [(far_old, 0, far)]
+    counter = 1
+    push, pop = heapq.heappush, heapq.heappop
+    while heap:
+        d, _, t = pop(heap)
+        supported = False
+        for p, w in adj[t].items():
+            if p not in allowed:
+                continue
+            if p == near and t == far:
+                w = old_weight  # the reweighted edge: test old support
+            dp = m_get(p, INF)
+            if dp + w == d and not (p == near and t == far):
+                if p not in affected:
+                    supported = True
+                    break
+        if supported:
+            continue
+        affected.add(t)
+        for nb, w in adj[t].items():
+            if nb in enqueued or nb not in allowed:
+                continue
+            dnb = m_get(nb, INF)
+            if d + w == dnb:  # tight successor: may lose its support
+                enqueued.add(nb)
+                push(heap, (dnb, counter, nb))
+                counter += 1
+    if not affected:
+        return ()
+    # Re-settle the affected region from its unaffected boundary.
+    seeds = []
+    for t in affected:
+        best = INF
+        for p, w in adj[t].items():
+            if p not in allowed or p in affected:
+                continue
+            cand = m_get(p, INF) + w  # new weights; boundary is bitwise-old
+            if cand < best:
+                best = cand
+        if best < INF:
+            seeds.append((best, counter, t))
+            counter += 1
+    heapq.heapify(seeds)
+    settled: Dict = {}
+    while seeds:
+        d, _, t = pop(seeds)
+        if t in settled:
+            continue
+        settled[t] = d
+        for nb, w in adj[t].items():
+            if nb not in affected or nb in settled:
+                continue
+            nd = d + w
+            if nd < settled.get(nb, INF):
+                push(seeds, (nd, counter, nb))
+                counter += 1
+    changed = set()
+    for t in affected:
+        new_d = settled.get(t, INF)
+        if new_d != m_get(t, INF):
+            changed.add(t)
+            if new_d == INF:
+                m.pop(t, None)
+            else:
+                m[t] = new_d
+    return changed
+
+
+def _insert_entry_sorted(
+    entries: Dict[PathKey, List[PortalEntry]],
+    key: PathKey,
+    portals: List[PortalEntry],
+) -> None:
+    """Insert a (possibly brand-new) key, restoring full-build order.
+
+    A full build writes each vertex's keys in ascending key order, so
+    on the rare insert of a key the vertex did not previously hold we
+    re-sort that one vertex's dict; replacements and deletions never
+    disturb the order.
+    """
+    entries[key] = portals
+    keys = list(entries)
+    if keys != sorted(keys):
+        items = sorted(entries.items())
+        entries.clear()
+        entries.update(items)
+
+
+def incremental_relabel(
+    labeling: DistanceLabeling, update: EdgeUpdate
+) -> LabelDelta:
+    """Apply one edge reweight to a labeling, in place.
+
+    Mutates ``labeling.graph`` (the new weight), the tree's cached path
+    prefixes, and the affected vertices' labels; returns the
+    :class:`LabelDelta` to journal and ship to serving replicas.
+
+    Raises :class:`DynamicError` for structural updates (the edge does
+    not exist — adding or removing edges changes residual reachability
+    and needs an offline rebuild) and for non-finite or non-positive
+    weights.
+    """
+    graph, tree = labeling.graph, labeling.tree
+    u, v, new_weight = update.u, update.v, update.weight
+    if u == v:
+        raise DynamicError("edge endpoints must differ")
+    if not isinstance(new_weight, (int, float)) or isinstance(new_weight, bool):
+        raise DynamicError(f"edge weight must be a number, got {new_weight!r}")
+    new_weight = float(new_weight)
+    if not math.isfinite(new_weight) or new_weight <= 0:
+        raise DynamicError(
+            f"edge weight must be finite and positive, got {new_weight!r}"
+        )
+    if not graph.has_edge(u, v):
+        raise DynamicError(
+            f"no edge {u!r} -- {v!r}: adding or removing edges changes the "
+            f"decomposition and requires a full offline rebuild"
+        )
+    started = time.perf_counter()
+    with span("dynamic.relabel", u=repr(u), v=repr(v)):
+        old_weight = graph.weight(u, v)
+        # Affected units and touched paths are properties of the tree
+        # alone; the tightness pass below must also run before the
+        # mutation (it reasons from the old distance maps).
+        units = affected_units(tree, u, v)
+        touched = set(touched_path_keys(tree, u, v))
+        touched_units = {key[:2] for key in touched}
+        w_min = min(float(old_weight), new_weight)
+        cache = _dist_cache(labeling)
+
+        # Pre-mutation pass: cold units (no cached maps) get two
+        # endpoint Dijkstras deciding whether the reweight can change
+        # any of their distance maps at all (see _tight_sources); most
+        # units of a random update are dismissed here without touching
+        # their sources.  Warm units need nothing up front — their
+        # cached rows carry the old endpoint distances directly.
+        plans = []
+        skipped_units = 0
+        for node_id, phase_idx, residual in units:
+            forced = (node_id, phase_idx) in touched_units
+            if cache.get((node_id, phase_idx)) is not None:
+                plans.append((node_id, phase_idx, residual))
+                continue
+            phase = tree.nodes[node_id].separator.phases[phase_idx]
+            endpoint_maps = batched_dijkstra(graph, (u, v), allowed=residual)
+            tight = _tight_sources(
+                phase, endpoint_maps[u], endpoint_maps[v], w_min
+            )
+            if tight or forced:
+                plans.append((node_id, phase_idx, residual))
+            else:
+                skipped_units += 1
+
+        graph.add_edge(u, v, new_weight)
+        for key in touched:
+            tree.recompute_prefix(key)
+
+        delta = LabelDelta(
+            update=EdgeUpdate(u, v, new_weight),
+            old_weight=old_weight,
+            epsilon=labeling.epsilon,
+            units=len(units),
+        )
+        increase = new_weight > float(old_weight)
+        for node_id, phase_idx, residual in plans:
+            unit = (node_id, phase_idx)
+            phase = tree.nodes[node_id].separator.phases[phase_idx]
+            maps = cache.get(unit)
+            if maps is None:
+                # Cold unit: full recompute, and the maps seed the
+                # cache so the next update over this unit diffs.
+                maps = phase_portal_distance_maps(
+                    graph, tree, node_id, phase_idx, residual
+                )
+                cache.put(unit, maps)
+                changed = residual
+            else:
+                # Warm unit: fold the reweight into each cached row
+                # incrementally — an increase re-settles the affected
+                # shortest-path subtree, a decrease propagates the
+                # improvements; either way the work is proportional to
+                # what actually moved, and every row stays bitwise
+                # what a from-scratch Dijkstra would produce.
+                changed = set()
+                for x in _phase_sources(phase):
+                    m = maps[x]
+                    a = m.get(u, INF)
+                    b = m.get(v, INF)
+                    if a <= b:
+                        near, far = u, v
+                        near_d, far_d = a, b
+                    else:
+                        near, far = v, u
+                        near_d, far_d = b, a
+                    if far_d == INF:
+                        continue
+                    if increase:
+                        if far_d != near_d + float(old_weight):
+                            continue  # edge not on x's old SP DAG
+                        changed.update(_propagate_increase(
+                            graph, residual, m, near, far, float(old_weight)
+                        ))
+                    else:
+                        changed.update(_propagate_decrease(
+                            graph, residual, m, near, far, new_weight
+                        ))
+            # Deterministic delta ordering: paths in path order, then
+            # vertices sorted by repr (frozenset iteration order is
+            # hash-salted across processes for str vertices).
+            for path_idx, path in enumerate(phase.paths):
+                key = (node_id, phase_idx, path_idx)
+                # A touched prefix shifts every portal position on the
+                # path, so its key refreshes all residual vertices even
+                # when no distance map moved.
+                targets = residual if key in touched else changed
+                if not targets:
+                    continue
+                prefix = tree.path_prefix(key)
+                rows = [maps[x] for x in path]
+                for vx in sorted(targets, key=repr):
+                    pos_dist = [row.get(vx, INF) for row in rows]
+                    portals = epsilon_cover_portals_at(
+                        prefix, pos_dist, labeling.epsilon
+                    )
+                    new = (
+                        [(prefix[i], d) for i, d in portals]
+                        if portals
+                        else None
+                    )
+                    old = labeling.labels[vx].entries.get(key)
+                    if new is None:
+                        if old is not None:
+                            del labeling.labels[vx].entries[key]
+                            delta.removals.append((vx, key))
+                    elif old != new:
+                        _insert_entry_sorted(
+                            labeling.labels[vx].entries, key, new
+                        )
+                        delta.changes.append((vx, key, new))
+        seconds = time.perf_counter() - started
+        if metrics.enabled:
+            metrics.inc("dynamic.updates")
+            metrics.inc("dynamic.affected_units", len(units))
+            metrics.inc("dynamic.units_skipped", skipped_units)
+            metrics.inc("dynamic.changed_entries", delta.num_changes)
+            metrics.observe("dynamic.rebuild_seconds", seconds)
+            metrics.observe(
+                "dynamic.affected_vertices",
+                len({vx for vx, _, _ in delta.changes}
+                    | {vx for vx, _ in delta.removals}),
+            )
+    return delta
+
+
+def apply_delta_to_labels(
+    labels: Dict[Vertex, VertexLabel],
+    delta: LabelDelta,
+    require_vertices: bool = True,
+) -> Tuple[int, int]:
+    """Replay a delta onto a label dict; returns ``(changes, removals)``
+    actually applied.
+
+    With ``require_vertices`` (the default), a change naming a vertex
+    the dict does not hold raises :class:`DeltaError` — the right
+    behavior for a whole-graph store or a journal replay.  Sharded
+    cluster stores pass ``False`` so a delta can be fanned out whole
+    and each node applies only its owned slice.
+
+    Removals of already-absent keys are no-ops (counted as skipped):
+    application is idempotent at the entry level, and the epoch gate
+    above this layer is what prevents double-apply.
+    """
+    applied_changes = 0
+    for vx, key, portals in delta.changes:
+        label = labels.get(vx)
+        if label is None:
+            if require_vertices:
+                raise DeltaError(f"delta names unknown vertex {vx!r}")
+            continue
+        _insert_entry_sorted(label.entries, key, list(portals))
+        applied_changes += 1
+    applied_removals = 0
+    for vx, key in delta.removals:
+        label = labels.get(vx)
+        if label is None:
+            if require_vertices:
+                raise DeltaError(f"delta names unknown vertex {vx!r}")
+            continue
+        if label.entries.pop(key, None) is not None:
+            applied_removals += 1
+    return applied_changes, applied_removals
+
+
+def delta_to_dict(delta: LabelDelta) -> dict:
+    """The strict JSON wire form of a delta (journal records and the
+    serve ``DELTA`` op both carry exactly this shape)."""
+    return {
+        "u": encode_vertex(delta.update.u),
+        "v": encode_vertex(delta.update.v),
+        "w": float(delta.update.weight),
+        "old_w": float(delta.old_weight),
+        "epsilon": float(delta.epsilon),
+        "epoch": int(delta.epoch),
+        "units": int(delta.units),
+        "changes": [
+            [
+                encode_vertex(vx),
+                encode_path_key(key),
+                [[float(pos), float(dist)] for pos, dist in portals],
+            ]
+            for vx, key, portals in delta.changes
+        ],
+        "removals": [
+            [encode_vertex(vx), encode_path_key(key)]
+            for vx, key in delta.removals
+        ],
+    }
+
+
+def _require_finite_positive(value, name: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise DeltaError(f"delta field {name!r} must be a number, got {value!r}")
+    value = float(value)
+    if not math.isfinite(value) or value <= 0:
+        raise DeltaError(
+            f"delta field {name!r} must be finite and positive, got {value!r}"
+        )
+    return value
+
+
+def delta_from_dict(data) -> LabelDelta:
+    """Strict inverse of :func:`delta_to_dict`.
+
+    Every malformation raises :class:`DeltaError` with a one-line
+    reason; nothing is coerced silently.  The journal loader and the
+    serve ``DELTA`` op both funnel untrusted bytes through here.
+    """
+    if not isinstance(data, dict):
+        raise DeltaError(f"delta payload must be an object, got {type(data).__name__}")
+    required = {"u", "v", "w", "old_w", "epsilon", "epoch", "units",
+                "changes", "removals"}
+    missing = required - set(data)
+    if missing:
+        raise DeltaError(f"delta payload missing fields {sorted(missing)}")
+    try:
+        u = decode_vertex(data["u"])
+        v = decode_vertex(data["v"])
+    except SerializationError as exc:
+        raise DeltaError(str(exc)) from None
+    if u == v:
+        raise DeltaError("delta endpoints must differ")
+    weight = _require_finite_positive(data["w"], "w")
+    old_weight = _require_finite_positive(data["old_w"], "old_w")
+    epsilon = _require_finite_positive(data["epsilon"], "epsilon")
+    epoch = data["epoch"]
+    if isinstance(epoch, bool) or not isinstance(epoch, int) or epoch < 0:
+        raise DeltaError(f"delta epoch must be a non-negative int, got {epoch!r}")
+    units = data["units"]
+    if isinstance(units, bool) or not isinstance(units, int) or units < 0:
+        raise DeltaError(f"delta units must be a non-negative int, got {units!r}")
+    changes: List[Change] = []
+    if not isinstance(data["changes"], list):
+        raise DeltaError("delta changes must be a list")
+    for item in data["changes"]:
+        if not isinstance(item, list) or len(item) != 3:
+            raise DeltaError(f"malformed delta change {item!r}")
+        enc_v, key_text, pairs = item
+        try:
+            vx = decode_vertex(enc_v)
+            key = decode_path_key(key_text) if isinstance(key_text, str) else None
+        except SerializationError as exc:
+            raise DeltaError(str(exc)) from None
+        if key is None:
+            raise DeltaError(f"malformed path key {key_text!r}")
+        if not isinstance(pairs, list) or not pairs:
+            raise DeltaError(f"delta change for {vx!r} has no portal entries")
+        portals: List[PortalEntry] = []
+        for pair in pairs:
+            if not isinstance(pair, list) or len(pair) != 2:
+                raise DeltaError(f"malformed portal entry {pair!r}")
+            pos, dist = pair
+            for val in (pos, dist):
+                if isinstance(val, bool) or not isinstance(val, (int, float)):
+                    raise DeltaError(f"malformed portal entry {pair!r}")
+                if not math.isfinite(float(val)):
+                    raise DeltaError(f"non-finite portal entry {pair!r}")
+            portals.append((float(pos), float(dist)))
+        changes.append((vx, key, portals))
+    removals: List[Removal] = []
+    if not isinstance(data["removals"], list):
+        raise DeltaError("delta removals must be a list")
+    for item in data["removals"]:
+        if not isinstance(item, list) or len(item) != 2:
+            raise DeltaError(f"malformed delta removal {item!r}")
+        enc_v, key_text = item
+        try:
+            vx = decode_vertex(enc_v)
+            key = decode_path_key(key_text) if isinstance(key_text, str) else None
+        except SerializationError as exc:
+            raise DeltaError(str(exc)) from None
+        if key is None:
+            raise DeltaError(f"malformed path key {key_text!r}")
+        removals.append((vx, key))
+    return LabelDelta(
+        update=EdgeUpdate(u, v, weight),
+        old_weight=old_weight,
+        epsilon=epsilon,
+        changes=changes,
+        removals=removals,
+        units=units,
+        epoch=epoch,
+    )

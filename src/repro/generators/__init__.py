@@ -25,6 +25,11 @@ from repro.generators.planar import (
     random_delaunay_graph,
     random_planar_graph,
 )
+from repro.generators.random_graphs import (
+    default_gnp_p,
+    gnp_random_graph,
+    preferential_attachment_graph,
+)
 from repro.generators.roads import road_network
 from repro.generators.seriesparallel import series_parallel_graph
 from repro.generators.special import hypercube, random_regular_graph
@@ -40,6 +45,8 @@ __all__ = [
     "caterpillar_tree",
     "complete_bipartite",
     "cycle_graph",
+    "default_gnp_p",
+    "gnp_random_graph",
     "grid_2d",
     "grid_3d",
     "hypercube",
@@ -48,6 +55,7 @@ __all__ = [
     "outerplanar_graph",
     "partial_k_tree",
     "path_graph",
+    "preferential_attachment_graph",
     "random_delaunay_graph",
     "random_planar_graph",
     "random_regular_graph",

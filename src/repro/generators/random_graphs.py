@@ -1,0 +1,128 @@
+"""Random and power-law graph families (the workload-diversity item).
+
+Structured inputs (grids, k-trees, Delaunay) are kind to path
+separators; these two families are the stress direction:
+
+* :func:`gnp_random_graph` — the Erdős–Rényi model ``G(n, p)``.  Above
+  the connectivity threshold ``p = ln(n)/n`` these graphs are locally
+  tree-like but globally expander-ish, so "Vertex-separating path
+  systems in random graphs" (arXiv 2408.01816) predicts path-separator
+  systems need polynomially many paths — the measured ``max_paths_per
+  _node`` under path-peeling should blow past what any structured
+  family of the same size needs.  (The test suite checks exactly that
+  prediction.)
+* :func:`preferential_attachment_graph` — the Barabási–Albert model:
+  power-law degrees via the repeated-endpoint trick, the standard
+  proxy for social / web topologies and for skewed query traffic's
+  favorite substrate (hubs concentrate load).
+
+Both return ordinary weighted :class:`~repro.graphs.graph.Graph`\\ s on
+integer vertices, so the whole pipeline — decomposition, labeling,
+packing, serving — runs on them unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.graphs.components import is_connected
+from repro.graphs.graph import Graph
+from repro.util.errors import GraphError
+from repro.util.rng import SeedLike, ensure_rng
+
+
+def _weight(rng, weight_range) -> float:
+    if weight_range is None:
+        return 1.0
+    lo, hi = weight_range
+    return rng.uniform(lo, hi)
+
+
+def gnp_random_graph(
+    n: int,
+    p: float,
+    seed: SeedLike = None,
+    weight_range=None,
+    connect: bool = False,
+    max_tries: int = 200,
+) -> Graph:
+    """Erdős–Rényi ``G(n, p)`` on vertices ``0..n-1``.
+
+    Each of the ``n(n-1)/2`` pairs is an edge independently with
+    probability *p*.  With ``connect=True``, samples are redrawn until
+    the graph is connected (fast for ``p`` above the ``ln(n)/n``
+    threshold; :class:`~repro.util.errors.GraphError` after
+    *max_tries* below it — the honest failure, not a silently patched
+    graph).
+    """
+    if n < 1:
+        raise GraphError("gnp_random_graph requires n >= 1")
+    if not 0.0 <= p <= 1.0:
+        raise GraphError(f"gnp_random_graph requires 0 <= p <= 1, got {p}")
+    rng = ensure_rng(seed)
+    for _ in range(max_tries):
+        g = Graph()
+        for v in range(n):
+            g.add_vertex(v)
+        for u in range(n):
+            for v in range(u + 1, n):
+                if rng.random() < p:
+                    g.add_edge(u, v, _weight(rng, weight_range))
+        if not connect or is_connected(g):
+            return g
+    raise GraphError(
+        f"failed to sample a connected G({n}, {p}) after {max_tries} tries "
+        f"(p is below the ~ln(n)/n = {math.log(max(n, 2)) / n:.4f} "
+        f"connectivity threshold?)"
+    )
+
+
+def default_gnp_p(n: int) -> float:
+    """The default edge probability for ``G(n, p)`` workloads:
+    ``3 ln(n) / n``, comfortably above the connectivity threshold so
+    ``connect=True`` succeeds in a try or two."""
+    if n < 2:
+        return 1.0
+    return min(1.0, 3.0 * math.log(n) / n)
+
+
+def preferential_attachment_graph(
+    n: int,
+    m: int = 3,
+    seed: SeedLike = None,
+    weight_range=None,
+) -> Graph:
+    """Barabási–Albert preferential attachment on ``0..n-1``.
+
+    Vertices ``0..m-1`` start isolated; vertex ``m`` connects to all of
+    them; every later vertex attaches to *m* distinct existing vertices
+    chosen with probability proportional to current degree (the
+    repeated-endpoint list trick: sampling uniformly from the flat list
+    of all edge endpoints *is* degree-proportional sampling).  The
+    result is connected by construction and has a power-law degree
+    tail — the hubs that make skewed traffic skewed.
+    """
+    if n < 2:
+        raise GraphError("preferential_attachment_graph requires n >= 2")
+    if m < 1 or m >= n:
+        raise GraphError(
+            f"preferential_attachment_graph requires 1 <= m < n, got m={m}"
+        )
+    rng = ensure_rng(seed)
+    g = Graph()
+    for v in range(n):
+        g.add_vertex(v)
+    # Every edge contributes both endpoints; uniform choice from this
+    # list is degree-proportional choice.
+    endpoints = []
+    for target in range(m):
+        g.add_edge(m, target, _weight(rng, weight_range))
+        endpoints.extend((m, target))
+    for v in range(m + 1, n):
+        targets = set()
+        while len(targets) < m:
+            targets.add(endpoints[rng.randrange(len(endpoints))])
+        for target in sorted(targets):
+            g.add_edge(v, target, _weight(rng, weight_range))
+            endpoints.extend((v, target))
+    return g

@@ -12,9 +12,10 @@ client and load generator that measure it, clean and under faults:
   labelings hash-sharded by vertex with O(1) lookup and per-shard size
   accounting.
 * :mod:`repro.serve.protocol` — the newline-delimited JSON wire
-  protocol (DIST / BATCH / LABEL / HEALTH / STATS / METRICS / FAULT)
-  with typed error replies and an optional per-request ``"trace"``
-  context field that joins server spans to the caller's trace.
+  protocol (DIST / BATCH / LABEL / HEALTH / STATS / METRICS / FAULT /
+  MAP / DELTA) with typed error replies and an optional per-request
+  ``"trace"`` context field that joins server spans to the caller's
+  trace.
 * :mod:`repro.serve.server` — :class:`OracleServer`: per-connection
   read loops, request timeouts, semaphore backpressure, an optional
   LRU pair cache, graceful drain on shutdown, and a seedable
@@ -61,6 +62,7 @@ from repro.serve.loadgen import (
     synthesize_pairs,
 )
 from repro.serve.protocol import (
+    DELTA_ACTIONS,
     ERROR_CODES,
     FAULT_ACTIONS,
     OPS,
@@ -87,6 +89,7 @@ __all__ = [
     "ClientError",
     "DEFAULT_MAX_BATCH",
     "DEFAULT_NUM_SHARDS",
+    "DELTA_ACTIONS",
     "ERROR_CODES",
     "FAULT_ACTIONS",
     "FAULT_KINDS",

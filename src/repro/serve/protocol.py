@@ -50,6 +50,7 @@ from repro.util.errors import ReproError
 Vertex = Hashable
 
 __all__ = [
+    "DELTA_ACTIONS",
     "ERROR_CODES",
     "FAULT_ACTIONS",
     "MAP_ACTIONS",
@@ -69,8 +70,13 @@ __all__ = [
 #: Ops the service speaks, in documentation order.  FAULT is the admin
 #: op of the fault-injection layer (:mod:`repro.serve.faults`);
 #: METRICS is the read-only live-metrics snapshot behind ``repro top``;
-#: MAP reads or pushes the node's cluster map (:mod:`repro.cluster`).
-OPS = ("DIST", "BATCH", "LABEL", "HEALTH", "STATS", "METRICS", "FAULT", "MAP")
+#: MAP reads or pushes the node's cluster map (:mod:`repro.cluster`);
+#: DELTA reads or advances the node's label epoch with an incremental
+#: label delta (:mod:`repro.dynamic`).
+OPS = (
+    "DIST", "BATCH", "LABEL", "HEALTH", "STATS", "METRICS", "FAULT", "MAP",
+    "DELTA",
+)
 
 #: FAULT actions a client may request.
 FAULT_ACTIONS = ("status", "enable", "disable", "set", "clear")
@@ -78,6 +84,10 @@ FAULT_ACTIONS = ("status", "enable", "disable", "set", "clear")
 #: MAP actions: ``get`` returns the node's current cluster map (null on
 #: a non-cluster server), ``set`` pushes a strictly newer one.
 MAP_ACTIONS = ("get", "set")
+
+#: DELTA actions: ``status`` reports the store's label epoch, ``apply``
+#: installs the next epoch's label delta (epoch-gated like MAP ``set``).
+DELTA_ACTIONS = ("status", "apply")
 
 #: Every error code a response can carry (see docs/serving.md).
 ERROR_CODES = (
@@ -91,6 +101,7 @@ ERROR_CODES = (
     "draining",        # server is shutting down, retry elsewhere
     "internal",        # unexpected server-side failure
     "stale_map",       # client routed by an out-of-date cluster map
+    "stale_delta",     # DELTA apply skipped an epoch; resync the journal
 )
 
 #: Error codes a client may safely retry: the request never produced an
@@ -98,7 +109,8 @@ ERROR_CODES = (
 #: ``stale_map`` is deliberately NOT here — retrying the same request at
 #: the same node cannot succeed; the client must refresh its map first
 #: (the ``refresh_codes`` path of :class:`repro.serve.client
-#: .ResilientClient`).
+#: .ResilientClient`).  ``stale_delta`` is likewise excluded: the pusher
+#: must supply the missing intermediate deltas, not re-send this one.
 TRANSIENT_CODES = frozenset({"timeout", "unavailable", "draining", "internal"})
 
 
@@ -131,6 +143,7 @@ class Request:
     trace: Optional[TraceContext] = None  # propagated trace context
     epoch: Optional[int] = None   # cluster-map epoch the client routed by
     map: Optional[dict] = None    # MAP "set" payload
+    delta: Optional[dict] = None  # DELTA "apply" payload (raw wire dict)
 
 
 def _decode_wire_vertex(data, what: str) -> Vertex:
@@ -278,6 +291,25 @@ def _parse_ops(payload: dict, req_id) -> Request:
                     "bad_request", "MAP set needs a \"map\" object"
                 )
             request.map = cluster_map
+        request.action = action
+    elif op == "DELTA":
+        action = payload.get("action", "status")
+        if not isinstance(action, str):
+            raise ProtocolError("bad_request", "DELTA \"action\" must be a string")
+        action = action.lower()
+        if action not in DELTA_ACTIONS:
+            raise ProtocolError(
+                "bad_request",
+                f"unknown DELTA action {action!r}; expected one of "
+                f"{', '.join(DELTA_ACTIONS)}",
+            )
+        if action == "apply":
+            delta = payload.get("delta")
+            if not isinstance(delta, dict):
+                raise ProtocolError(
+                    "bad_request", "DELTA apply needs a \"delta\" object"
+                )
+            request.delta = delta
         request.action = action
     # HEALTH, STATS, and METRICS carry no operands.
     return request

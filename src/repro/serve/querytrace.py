@@ -1,0 +1,120 @@
+"""Query-trace record/replay — the ``repro-querytrace/1`` format.
+
+A trace captures the exact query mix a loadgen run sent so a later run
+(on another store, another engine, another day) can replay the same
+pairs in the same order and produce comparable numbers.  ``repro
+loadgen --record-trace FILE`` writes one; ``--replay FILE`` reads one
+back in place of synthesis.
+
+The format is line-delimited JSON, one header then one record per
+query pair:
+
+    {"format": "repro-querytrace/1", "count": 2, ...meta...}
+    [3, 17]
+    ["left", {"t": [4, 4]}]
+
+Endpoints are stored through :func:`~repro.core.serialize.encode_vertex`
+/ :func:`~repro.core.serialize.decode_vertex`, so integer and string
+vertices round-trip exactly — the replayed pair is the recorded pair,
+not a stringified cousin.  Loading is strict: a missing or wrong
+header, a malformed record, or a count that disagrees with the body is
+a :class:`TraceError`, never a silently shortened workload.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Hashable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.serialize import SerializationError, decode_vertex, encode_vertex
+from repro.util.errors import ReproError
+
+Vertex = Hashable
+Pair = Tuple[Vertex, Vertex]
+
+TRACE_FORMAT = "repro-querytrace/1"
+
+__all__ = [
+    "TRACE_FORMAT",
+    "TraceError",
+    "read_trace",
+    "write_trace",
+]
+
+
+class TraceError(ReproError):
+    """A query-trace file cannot be written or is not a valid trace."""
+
+
+def write_trace(
+    path: Union[str, Path],
+    pairs: Sequence[Pair],
+    meta: Optional[dict] = None,
+) -> int:
+    """Write *pairs* to *path* as a ``repro-querytrace/1`` file.
+
+    *meta* entries (seed, zipf exponent, source labels file...) are
+    merged into the header for provenance; they must be JSON-encodable
+    and may not shadow the ``format`` / ``count`` keys.  Returns the
+    number of pairs written.
+    """
+    header = {"format": TRACE_FORMAT, "count": len(pairs)}
+    if meta:
+        for key in ("format", "count"):
+            if key in meta:
+                raise TraceError(f"trace meta may not override {key!r}")
+        header.update(meta)
+    lines = [json.dumps(header, sort_keys=True)]
+    for u, v in pairs:
+        lines.append(json.dumps([encode_vertex(u), encode_vertex(v)]))
+    Path(path).write_text("\n".join(lines) + "\n")
+    return len(pairs)
+
+
+def read_trace(path: Union[str, Path]) -> List[Pair]:
+    """Read a ``repro-querytrace/1`` file back into a pair list.
+
+    Strict: the header must carry the exact format tag, every record
+    must be a two-element JSON array, and the header ``count`` must
+    match the number of records — a truncated trace is an error here,
+    not a quietly smaller benchmark.
+    """
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise TraceError(f"cannot read trace {path}: {exc}") from exc
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise TraceError(f"{path}: empty trace file")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise TraceError(f"{path}: bad trace header: {exc}") from exc
+    if not isinstance(header, dict) or header.get("format") != TRACE_FORMAT:
+        raise TraceError(
+            f"{path}: not a {TRACE_FORMAT} file "
+            f"(header format: {header.get('format') if isinstance(header, dict) else header!r})"
+        )
+    count = header.get("count")
+    if not isinstance(count, int) or isinstance(count, bool) or count < 0:
+        raise TraceError(f"{path}: trace count must be a non-negative int, got {count!r}")
+    pairs: List[Pair] = []
+    for lineno, line in enumerate(lines[1:], start=2):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"{path}:{lineno}: bad trace record: {exc}") from exc
+        if not isinstance(record, list) or len(record) != 2:
+            raise TraceError(
+                f"{path}:{lineno}: trace record must be [u, v], got {record!r}"
+            )
+        try:
+            pairs.append((decode_vertex(record[0]), decode_vertex(record[1])))
+        except SerializationError as exc:
+            raise TraceError(f"{path}:{lineno}: {exc}") from exc
+    if len(pairs) != count:
+        raise TraceError(
+            f"{path}: header says {count} pairs but file has {len(pairs)}"
+        )
+    return pairs

@@ -33,6 +33,7 @@ from collections import OrderedDict
 from typing import Dict, Hashable, Optional, Tuple
 
 from repro.core.serialize import encode_label, encode_vertex
+from repro.dynamic.rebuild import DeltaError, delta_from_dict
 from repro.obs import eventlog, metrics, process_rss_bytes, record_span, span
 from repro.obs.timeseries import TimeseriesWriter
 from repro.obs.tracing import Span, tracing_active
@@ -89,12 +90,19 @@ class _LruCache:
         while len(self._data) > self.capacity:
             self._data.popitem(last=False)
 
+    def clear(self) -> None:
+        """Drop every entry (label delta applied: estimates may have
+        changed, and a stale cached answer would violate the queries-
+        see-old-or-new-never-a-mix consistency model)."""
+        self._data.clear()
+
     def __len__(self) -> int:
         return len(self._data)
 
 
 class OracleServer:
-    """Serve DIST/BATCH/LABEL/HEALTH/STATS/METRICS/FAULT/MAP over asyncio TCP.
+    """Serve DIST/BATCH/LABEL/HEALTH/STATS/METRICS/FAULT/MAP/DELTA over
+    asyncio TCP.
 
     With a :class:`~repro.serve.faults.FaultPlan` attached (the
     ``fault_plan`` argument or the runtime FAULT op), responses pass
@@ -141,6 +149,7 @@ class OracleServer:
             "errors": 0,
             "cache_hits": 0,
             "cache_misses": 0,
+            "deltas": 0,
         }
         self.peak_inflight = 0
         self._inflight = 0
@@ -507,6 +516,8 @@ class OracleServer:
             return self._fault_admin(request)
         if request.op == "MAP":
             return self._map_admin(request)
+        if request.op == "DELTA":
+            return self._delta_admin(request)
         if self.cluster is not None and request.epoch is not None:
             # Data ops stamped with a map epoch must agree with the
             # node's map; a disagreement means the client routed here
@@ -707,6 +718,91 @@ class OracleServer:
             "epoch": self.cluster.map.epoch,
             "installed": True,
         }
+
+    def _delta_admin(self, request: Request) -> dict:
+        """The DELTA op: read or advance a store's label epoch.
+
+        ``status`` reports where the store is; ``apply`` installs the
+        delta iff its epoch is *exactly* ``label_epoch + 1``.  An epoch
+        at or below the current one answers ``ok`` with ``noop`` (the
+        push is a replay — applying would double-count, but the pusher
+        is not wrong), and an epoch that skips ahead gets
+        ``stale_delta``: this node is missing intermediate deltas and
+        must be resynced from the journal, not papered over.
+
+        Application is synchronous inside the event loop — no awaits
+        between the gate and the final entry write — so an in-flight
+        DIST/BATCH either completed before the delta or starts after
+        it; no query ever reads a half-applied labeling.  The pair
+        cache is cleared in the same critical section.
+        """
+        action = request.action or "status"
+        store = self._store_for(request)
+        epoch = getattr(store, "label_epoch", 0)
+        if action == "status":
+            return {
+                "op": "DELTA",
+                "store": store.name,
+                "epoch": epoch,
+                "applied_deltas": getattr(store, "applied_deltas", 0),
+            }
+        # action == "apply"
+        try:
+            delta = delta_from_dict(request.delta)
+        except DeltaError as exc:
+            raise ProtocolError("bad_request", f"bad delta: {exc}") from None
+        if float(delta.epsilon) != float(store.epsilon):
+            raise ProtocolError(
+                "bad_request",
+                f"delta epsilon {delta.epsilon} does not match store "
+                f"{store.name!r} epsilon {store.epsilon}",
+            )
+        if delta.epoch <= epoch:
+            return {
+                "op": "DELTA",
+                "store": store.name,
+                "epoch": epoch,
+                "applied": False,
+                "noop": True,
+            }
+        if delta.epoch != epoch + 1:
+            raise ProtocolError(
+                "stale_delta",
+                f"delta epoch {delta.epoch} skips ahead of label epoch "
+                f"{epoch}; push the missing epochs first",
+            )
+        try:
+            result = store.apply_delta(delta)
+        except DeltaError as exc:
+            raise ProtocolError(
+                "bad_request", f"delta does not apply: {exc}"
+            ) from None
+        self.cache.clear()
+        self.counters["deltas"] += 1
+        metrics.inc("serve.delta.applies")
+        metrics.inc(
+            "serve.delta.changes", result["changes"] + result["removals"]
+        )
+        metrics.gauge("serve.delta.epoch", result["epoch"], store=store.name)
+        eventlog.info(
+            "serve.delta.install",
+            store=store.name,
+            epoch=result["epoch"],
+            changes=result["changes"],
+            removals=result["removals"],
+            skipped=result.get("skipped", 0),
+        )
+        payload = {
+            "op": "DELTA",
+            "store": store.name,
+            "epoch": result["epoch"],
+            "applied": True,
+            "changes": result["changes"],
+            "removals": result["removals"],
+        }
+        if "skipped" in result:
+            payload["skipped"] = result["skipped"]
+        return payload
 
     def _cluster_block(self) -> dict:
         return {

@@ -28,7 +28,7 @@ from __future__ import annotations
 import zlib
 from collections import OrderedDict
 from pathlib import Path
-from typing import Dict, Hashable, Iterator, List, Optional, Union
+from typing import Dict, Hashable, Iterator, List, Optional, Tuple, Union
 
 from repro.core.binfmt import BinaryLabelReader, is_binary_labels
 from repro.core.labeling import VertexLabel, estimate_distance
@@ -36,6 +36,13 @@ from repro.core.serialize import (
     RemoteLabels,
     load_labeling,
     shard_key_bytes,
+)
+from repro.dynamic.rebuild import (
+    Change,
+    DeltaError,
+    LabelDelta,
+    Removal,
+    _insert_entry_sorted,
 )
 from repro.util.errors import GraphError, ReproError
 
@@ -105,6 +112,8 @@ class ShardedLabelStore:
         self.epsilon = epsilon
         self.source = source
         self.shards: List[LabelShard] = [LabelShard(i) for i in range(num_shards)]
+        self.label_epoch = 0
+        self.applied_deltas = 0
 
     # -- construction ---------------------------------------------------
     @classmethod
@@ -173,6 +182,79 @@ class ShardedLabelStore:
         for shard in self.shards:
             yield from shard.labels
 
+    # -- dynamic updates ------------------------------------------------
+    def apply_label_changes(
+        self,
+        changes: List[Change],
+        removals: List[Removal],
+        require_vertices: bool = True,
+    ) -> Tuple[int, int]:
+        """Apply raw entry changes/removals to the sharded dicts,
+        keeping per-shard word accounting exact.  No epoch logic here —
+        that is :meth:`apply_delta`'s job."""
+        applied_changes = 0
+        for vx, key, portals in changes:
+            shard = self.shards[self.shard_index(vx)]
+            label = shard.labels.get(vx)
+            if label is None:
+                if require_vertices:
+                    raise DeltaError(
+                        f"delta names vertex {vx!r} with no label in "
+                        f"store {self.name!r}"
+                    )
+                continue
+            before = label.words
+            _insert_entry_sorted(label.entries, key, list(portals))
+            shard.words += label.words - before
+            applied_changes += 1
+        applied_removals = 0
+        for vx, key in removals:
+            shard = self.shards[self.shard_index(vx)]
+            label = shard.labels.get(vx)
+            if label is None:
+                if require_vertices:
+                    raise DeltaError(
+                        f"delta names vertex {vx!r} with no label in "
+                        f"store {self.name!r}"
+                    )
+                continue
+            before = label.words
+            if label.entries.pop(key, None) is not None:
+                shard.words += label.words - before
+                applied_removals += 1
+        return applied_changes, applied_removals
+
+    def apply_delta(self, delta: LabelDelta) -> dict:
+        """Install the next epoch's label delta.
+
+        Strict: the delta must carry exactly ``label_epoch + 1`` and
+        the store's epsilon.  Idempotence for replays (epoch <= current)
+        and gap detection are the server's policy layer
+        (:meth:`repro.serve.server.OracleServer`), which answers
+        ``ok/noop`` and ``stale_delta`` respectively.
+        """
+        if float(delta.epsilon) != float(self.epsilon):
+            raise DeltaError(
+                f"delta epsilon {delta.epsilon} differs from store "
+                f"epsilon {self.epsilon}"
+            )
+        expected = self.label_epoch + 1
+        if delta.epoch != expected:
+            raise DeltaError(
+                f"delta epoch {delta.epoch} out of sequence "
+                f"(store {self.name!r} expects {expected})"
+            )
+        changes, removals = self.apply_label_changes(
+            delta.changes, delta.removals
+        )
+        self.label_epoch = delta.epoch
+        self.applied_deltas += 1
+        return {
+            "epoch": self.label_epoch,
+            "changes": changes,
+            "removals": removals,
+        }
+
     # -- accounting -----------------------------------------------------
     @property
     def codec(self) -> str:
@@ -204,6 +286,8 @@ class ShardedLabelStore:
             "codec": self.codec,
             "mapped_bytes": self.mapped_bytes,
             "source": self.source,
+            "label_epoch": self.label_epoch,
+            "applied_deltas": self.applied_deltas,
             "shards": [
                 {"labels": shard.num_labels, "words": shard.words}
                 for shard in self.shards
@@ -264,12 +348,22 @@ class MappedLabelStore:
         ]
         self._cache_capacity = label_cache
         self._cache: "OrderedDict[Vertex, VertexLabel]" = OrderedDict()
+        # Labels rewritten by applied deltas: the mmap'd file is
+        # immutable, so updated labels live here and win over the
+        # reader.  Never evicted (delta footprints are small).
+        self._overlay: Dict[Vertex, VertexLabel] = {}
+        self._overlay_words_delta = 0
+        self.label_epoch = 0
+        self.applied_deltas = 0
 
     # -- lookup ---------------------------------------------------------
     def shard_index(self, v: Vertex) -> int:
         return self.reader.shard_of(v)
 
     def label(self, v: Vertex) -> VertexLabel:
+        found = self._overlay.get(v)
+        if found is not None:
+            return found
         found = self._cache.get(v)
         if found is not None:
             self._cache.move_to_end(v)
@@ -286,7 +380,11 @@ class MappedLabelStore:
         return label
 
     def __contains__(self, v: Vertex) -> bool:
-        return v in self._cache or self.reader.get(v) is not None
+        return (
+            v in self._overlay
+            or v in self._cache
+            or self.reader.get(v) is not None
+        )
 
     def estimate(self, u: Vertex, v: Vertex) -> float:
         return estimate_distance(self.label(u), self.label(v))
@@ -294,6 +392,85 @@ class MappedLabelStore:
     def vertices(self) -> Iterator[Vertex]:
         """Vertices in record order (portals stay undecoded)."""
         return self.reader.iter_vertices()
+
+    # -- dynamic updates ------------------------------------------------
+    def _materialize(self, v: Vertex) -> Optional[VertexLabel]:
+        """The overlay copy of *v*'s label, creating it from a fresh
+        record decode on first touch.  Decodes from the reader (not the
+        LRU) so the overlay owns its object, then drops any stale LRU
+        entry so lookups see the overlay."""
+        label = self._overlay.get(v)
+        if label is None:
+            label = self.reader.get(v)
+            if label is None:
+                return None
+            self._overlay[v] = label
+        self._cache.pop(v, None)
+        return label
+
+    def apply_label_changes(
+        self,
+        changes: List[Change],
+        removals: List[Removal],
+        require_vertices: bool = True,
+    ) -> Tuple[int, int]:
+        """Apply entry changes by copying touched labels into the
+        overlay; the mapped file stays untouched.  Word accounting for
+        the store total rides in ``_overlay_words_delta`` (the per-shard
+        directory still reports pack-time words — see :meth:`stats`)."""
+        applied_changes = 0
+        for vx, key, portals in changes:
+            label = self._materialize(vx)
+            if label is None:
+                if require_vertices:
+                    raise DeltaError(
+                        f"delta names vertex {vx!r} with no label in "
+                        f"store {self.name!r}"
+                    )
+                continue
+            before = label.words
+            _insert_entry_sorted(label.entries, key, list(portals))
+            self._overlay_words_delta += label.words - before
+            applied_changes += 1
+        applied_removals = 0
+        for vx, key in removals:
+            label = self._materialize(vx)
+            if label is None:
+                if require_vertices:
+                    raise DeltaError(
+                        f"delta names vertex {vx!r} with no label in "
+                        f"store {self.name!r}"
+                    )
+                continue
+            before = label.words
+            if label.entries.pop(key, None) is not None:
+                self._overlay_words_delta += label.words - before
+                applied_removals += 1
+        return applied_changes, applied_removals
+
+    def apply_delta(self, delta: LabelDelta) -> dict:
+        """Same contract as :meth:`ShardedLabelStore.apply_delta`."""
+        if float(delta.epsilon) != float(self.epsilon):
+            raise DeltaError(
+                f"delta epsilon {delta.epsilon} differs from store "
+                f"epsilon {self.epsilon}"
+            )
+        expected = self.label_epoch + 1
+        if delta.epoch != expected:
+            raise DeltaError(
+                f"delta epoch {delta.epoch} out of sequence "
+                f"(store {self.name!r} expects {expected})"
+            )
+        changes, removals = self.apply_label_changes(
+            delta.changes, delta.removals
+        )
+        self.label_epoch = delta.epoch
+        self.applied_deltas += 1
+        return {
+            "epoch": self.label_epoch,
+            "changes": changes,
+            "removals": removals,
+        }
 
     # -- accounting -----------------------------------------------------
     @property
@@ -318,7 +495,7 @@ class MappedLabelStore:
 
     @property
     def total_words(self) -> int:
-        return self.reader.total_words
+        return self.reader.total_words + self._overlay_words_delta
 
     def stats(self) -> dict:
         return {
@@ -329,6 +506,11 @@ class MappedLabelStore:
             "mapped_bytes": self.mapped_bytes,
             "cached_labels": self.cached_labels,
             "source": self.source,
+            "label_epoch": self.label_epoch,
+            "applied_deltas": self.applied_deltas,
+            "overlay_labels": len(self._overlay),
+            # Per-shard rows are the pack-time directory; overlay words
+            # are accounted in the store total only.
             "shards": [
                 {"labels": shard.num_labels, "words": shard.words}
                 for shard in self.shards
@@ -337,6 +519,7 @@ class MappedLabelStore:
 
     def close(self) -> None:
         self._cache.clear()
+        self._overlay.clear()
         self.reader.close()
 
 
@@ -438,6 +621,8 @@ class ClusterStoreView:
             epsilons.pop() if len(epsilons) == 1
             else float(cluster_state.map.epsilon)
         )
+        self.label_epoch = 0
+        self.applied_deltas = 0
 
     def shard_index(self, v: Vertex) -> int:
         """The *global* shard of *v* (cluster routing, not the pack
@@ -475,6 +660,69 @@ class ClusterStoreView:
                 continue
             yield from store.vertices()
 
+    # -- dynamic updates ------------------------------------------------
+    def apply_delta(self, delta: LabelDelta) -> dict:
+        """Apply the node-owned slice of a whole-graph delta.
+
+        The pusher fans the *same* delta out to every node; each node
+        keeps only the entries whose vertex routes (via the cluster
+        map's shard hash) to a shard it owns, and delegates them to the
+        owning shard's store.  The view tracks its own ``label_epoch``
+        — one update sequence per node, regardless of how many shard
+        packs it holds.
+        """
+        if float(delta.epsilon) != float(self.epsilon):
+            raise DeltaError(
+                f"delta epsilon {delta.epsilon} differs from store "
+                f"epsilon {self.epsilon}"
+            )
+        expected = self.label_epoch + 1
+        if delta.epoch != expected:
+            raise DeltaError(
+                f"delta epoch {delta.epoch} out of sequence "
+                f"(node {self.cluster.node_id!r} expects {expected})"
+            )
+        by_store: Dict[str, Tuple[List[Change], List[Removal]]] = {}
+        skipped = 0
+
+        def slice_of(vx):
+            nonlocal skipped
+            shard = self.cluster.map.shard_of(vx)
+            if shard not in self.cluster.owned:
+                skipped += 1
+                return None
+            name = self.cluster.store_name(shard)
+            try:
+                self.catalog.get(name)
+            except KeyError:
+                skipped += 1
+                return None
+            return by_store.setdefault(name, ([], []))
+
+        for vx, key, portals in delta.changes:
+            entry = slice_of(vx)
+            if entry is not None:
+                entry[0].append((vx, key, portals))
+        for vx, key in delta.removals:
+            entry = slice_of(vx)
+            if entry is not None:
+                entry[1].append((vx, key))
+        changes = removals = 0
+        for name, (store_changes, store_removals) in by_store.items():
+            c, r = self.catalog.get(name).apply_label_changes(
+                store_changes, store_removals
+            )
+            changes += c
+            removals += r
+        self.label_epoch = delta.epoch
+        self.applied_deltas += 1
+        return {
+            "epoch": self.label_epoch,
+            "changes": changes,
+            "removals": removals,
+            "skipped": skipped,
+        }
+
     # -- accounting -----------------------------------------------------
     @property
     def codec(self) -> str:
@@ -504,6 +752,8 @@ class ClusterStoreView:
             "codec": self.codec,
             "node": self.cluster.node_id,
             "epoch": self.cluster.map.epoch,
+            "label_epoch": self.label_epoch,
+            "applied_deltas": self.applied_deltas,
             "owned_shards": sorted(self.cluster.owned),
             "cluster_shards": self.num_shards,
         }

@@ -1,0 +1,56 @@
+"""Shared fixtures for the dynamic-update tests.
+
+``fresh_case(name)`` builds a (graph, tree, labeling) triple from
+scratch on every call, so one test can hold two independent copies of
+the same deterministic world — mutate one incrementally, rebuild the
+other from scratch, and compare bytes.
+"""
+
+from __future__ import annotations
+
+from repro.core import build_decomposition, build_labeling
+from repro.core.engines import (
+    CenterBagEngine,
+    GreedyPeelingEngine,
+    StrongGreedyEngine,
+    TreeCentroidEngine,
+)
+from repro.generators import grid_2d, k_tree, random_delaunay_graph, random_tree
+from repro.planar import PlanarCycleEngine
+
+EPSILON = 0.25
+
+# Five engines, each on a family it supports.  Every builder returns a
+# brand-new graph object (the factories re-run), so mutations never
+# leak between copies.
+CASES = {
+    "grid-greedy": (
+        lambda: grid_2d(6, weight_range=(1.0, 5.0), seed=2),
+        lambda: GreedyPeelingEngine(seed=0),
+    ),
+    "ktree-centerbag": (
+        lambda: k_tree(28, 3, weight_range=(1.0, 4.0), seed=5)[0],
+        lambda: CenterBagEngine(order="min_degree"),
+    ),
+    "tree-centroid": (
+        lambda: random_tree(40, weight_range=(1.0, 3.0), seed=7),
+        lambda: TreeCentroidEngine(),
+    ),
+    "delaunay-strong": (
+        lambda: random_delaunay_graph(32, seed=11)[0],
+        lambda: StrongGreedyEngine(seed=0),
+    ),
+    "delaunay-planar": (
+        lambda: random_delaunay_graph(32, seed=11)[0],
+        lambda: PlanarCycleEngine(),
+    ),
+}
+
+
+def fresh_case(name: str):
+    """A brand-new (graph, tree, labeling) for the named case."""
+    make_graph, make_engine = CASES[name]
+    graph = make_graph()
+    tree = build_decomposition(graph, engine=make_engine())
+    labeling = build_labeling(graph, tree, epsilon=EPSILON)
+    return graph, tree, labeling

@@ -1,0 +1,132 @@
+"""Applying label deltas to serving stores: epoch gating, accounting,
+overlay behavior of the mmap-backed store."""
+
+import random
+
+import pytest
+
+from repro.core.serialize import RemoteLabels, dump_labeling
+from repro.dynamic import incremental_relabel
+from repro.dynamic.rebuild import DeltaError
+from repro.serve.store import MappedLabelStore, ShardedLabelStore
+
+from tests.dynamic.conftest import EPSILON, fresh_case
+from tests.dynamic.test_rebuild import random_reweight
+
+
+def updated_world(updates=3, seed=21):
+    """(pristine RemoteLabels, mutated labeling, deltas in epoch order)."""
+    graph, _, labeling = fresh_case("grid-greedy")
+    _, _, pristine = fresh_case("grid-greedy")
+    rng = random.Random(seed)
+    deltas = []
+    for epoch in range(1, updates + 1):
+        delta = incremental_relabel(labeling, random_reweight(rng, graph))
+        delta.epoch = epoch
+        deltas.append(delta)
+    remote = RemoteLabels(EPSILON, pristine.labels)
+    return remote, labeling, deltas
+
+
+class TestShardedStoreDelta:
+    def test_apply_matches_updated_labels(self):
+        remote, updated, deltas = updated_world()
+        store = ShardedLabelStore.from_remote("g", remote, num_shards=4)
+        for delta in deltas:
+            result = store.apply_delta(delta)
+            assert result["epoch"] == delta.epoch
+        assert store.label_epoch == len(deltas)
+        assert store.applied_deltas == len(deltas)
+        for v, label in updated.labels.items():
+            assert store.label(v).entries == label.entries
+
+    def test_words_accounting_tracks_shards(self):
+        remote, updated, deltas = updated_world()
+        store = ShardedLabelStore.from_remote("g", remote, num_shards=4)
+        for delta in deltas:
+            store.apply_delta(delta)
+        assert store.total_words == sum(s.words for s in store.shards)
+        assert store.total_words == sum(
+            label.words for label in updated.labels.values()
+        )
+
+    def test_epoch_gaps_and_replays_rejected(self):
+        remote, _, deltas = updated_world()
+        store = ShardedLabelStore.from_remote("g", remote, num_shards=4)
+        with pytest.raises(DeltaError):
+            store.apply_delta(deltas[1])  # epoch 2 before 1: a gap
+        store.apply_delta(deltas[0])
+        with pytest.raises(DeltaError):
+            store.apply_delta(deltas[0])  # replay of epoch 1
+        assert store.label_epoch == 1
+
+    def test_epsilon_mismatch_rejected(self):
+        remote, _, deltas = updated_world()
+        store = ShardedLabelStore.from_remote("g", remote, num_shards=4)
+        deltas[0].epsilon = 0.5
+        with pytest.raises(DeltaError):
+            store.apply_delta(deltas[0])
+
+    def test_stats_carry_the_epoch(self):
+        remote, _, deltas = updated_world(updates=1)
+        store = ShardedLabelStore.from_remote("g", remote, num_shards=4)
+        store.apply_delta(deltas[0])
+        stats = store.stats()
+        assert stats["label_epoch"] == 1
+        assert stats["applied_deltas"] == 1
+
+
+class TestMappedStoreDelta:
+    def make_store(self, remote, tmp_path):
+        path = tmp_path / "g.bin"
+        dump_labeling(remote, path, codec="binary", num_shards=4)
+        return MappedLabelStore(path)
+
+    def test_overlay_wins_over_the_mmap(self, tmp_path):
+        remote, updated, deltas = updated_world()
+        store = self.make_store(remote, tmp_path)
+        for delta in deltas:
+            store.apply_delta(delta)
+        assert store.label_epoch == len(deltas)
+        for v, label in updated.labels.items():
+            assert store.label(v).entries == label.entries
+        store.close()
+
+    def test_untouched_vertices_still_decode_lazily(self, tmp_path):
+        remote, updated, deltas = updated_world(updates=1)
+        store = self.make_store(remote, tmp_path)
+        store.apply_delta(deltas[0])
+        touched = {vx for vx, _key, _portals in deltas[0].changes}
+        touched.update(vx for vx, _key in deltas[0].removals)
+        for v in remote.labels:
+            if v not in touched:
+                assert store.label(v).entries == remote.labels[v].entries
+        stats = store.stats()
+        assert stats["overlay_labels"] == len(touched)
+        store.close()
+
+    def test_total_words_track_the_overlay(self, tmp_path):
+        remote, updated, deltas = updated_world()
+        store = self.make_store(remote, tmp_path)
+        for delta in deltas:
+            store.apply_delta(delta)
+        assert store.total_words == sum(
+            label.words for label in updated.labels.values()
+        )
+        store.close()
+
+    def test_lru_cache_never_serves_stale_labels(self, tmp_path):
+        remote, updated, deltas = updated_world(updates=1)
+        store = MappedLabelStore(
+            (tmp_path / "c.bin", dump_labeling(
+                remote, tmp_path / "c.bin", codec="binary", num_shards=4
+            ))[0],
+            label_cache=64,
+        )
+        # Warm the LRU with every label, then apply the delta.
+        for v in remote.labels:
+            store.label(v)
+        store.apply_delta(deltas[0])
+        for v, label in updated.labels.items():
+            assert store.label(v).entries == label.entries
+        store.close()

@@ -1,0 +1,74 @@
+"""Affected-unit computation: the walk matches brute force exactly."""
+
+import pytest
+
+from repro.dynamic import (
+    EdgeUpdate,
+    affected_units,
+    affected_units_bruteforce,
+    affected_vertices,
+    touched_path_keys,
+)
+from repro.util.errors import GraphError
+
+from tests.dynamic.conftest import CASES, fresh_case
+
+
+def edges_of(graph, limit=None):
+    edges = sorted(graph.edges(), key=repr)
+    return edges if limit is None else edges[:limit]
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+class TestAffectedUnits:
+    def test_matches_bruteforce_on_every_edge(self, case):
+        graph, tree, _ = fresh_case(case)
+        for u, v, _w in edges_of(graph, limit=40):
+            assert affected_units(tree, u, v) == affected_units_bruteforce(
+                tree, u, v
+            )
+
+    def test_units_form_a_root_down_chain(self, case):
+        # The nodes whose residuals contain both endpoints lie on one
+        # root-down path of the tree, so their ids are distinct and the
+        # unit list is ordered by (node_id, phase_idx).
+        graph, tree, _ = fresh_case(case)
+        for u, v, _w in edges_of(graph, limit=20):
+            units = affected_units(tree, u, v)
+            assert units == sorted(units, key=lambda t: (t[0], t[1]))
+
+    def test_affected_vertices_cover_both_endpoints(self, case):
+        # The unit that peels the edge's home node contains both
+        # endpoints in some residual, so the union must include them.
+        graph, tree, _ = fresh_case(case)
+        for u, v, _w in edges_of(graph, limit=20):
+            vertices = affected_vertices(tree, u, v)
+            assert u in vertices and v in vertices
+
+    def test_touched_paths_contain_the_edge(self, case):
+        graph, tree, _ = fresh_case(case)
+        for u, v, _w in edges_of(graph, limit=20):
+            for key in touched_path_keys(tree, u, v):
+                path = tree.path_vertices(key)
+                consecutive = any(
+                    {path[i], path[i + 1]} == {u, v}
+                    for i in range(len(path) - 1)
+                )
+                assert consecutive
+
+
+class TestValidation:
+    def test_self_loop_rejected(self):
+        _, tree, _ = fresh_case("grid-greedy")
+        with pytest.raises(GraphError):
+            affected_units(tree, (0, 0), (0, 0))
+
+    def test_unknown_vertex_rejected(self):
+        _, tree, _ = fresh_case("grid-greedy")
+        with pytest.raises(GraphError):
+            affected_units(tree, (0, 0), "nope")
+
+    def test_edge_update_endpoints(self):
+        update = EdgeUpdate(1, 2, 3.5)
+        assert update.endpoints() == (1, 2)
+        assert update.weight == 3.5

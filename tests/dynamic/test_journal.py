@@ -1,0 +1,185 @@
+"""The repro-label-journal/1 format: append, replay, torn-tail repair.
+
+The hardening contract (docs/dynamic.md): only the *final* record of a
+journal may be forgiven — a torn or corrupt tail is skipped with a
+warning — while damage anywhere else, or a record that decodes but
+carries an invalid delta, is a strict :class:`JournalError`.  A
+truncated file must never raise a traceback; the fuzz test cuts a
+valid journal at every byte offset to prove it.
+"""
+
+import json
+import random
+import zlib
+
+import pytest
+
+from repro.core.serialize import dump_labeling
+from repro.dynamic import (
+    JOURNAL_FORMAT,
+    JournalError,
+    JournalWriter,
+    incremental_relabel,
+    read_journal,
+    replay_journal,
+)
+from repro.dynamic.journal import canonical_delta_bytes
+from repro.dynamic.rebuild import delta_to_dict
+
+from tests.dynamic.conftest import EPSILON, fresh_case
+from tests.dynamic.test_rebuild import random_reweight
+
+
+@pytest.fixture
+def journal_path(tmp_path):
+    return tmp_path / "journal.jsonl"
+
+
+def write_journal(path, updates=4, case="grid-greedy", seed=17):
+    """A valid journal of *updates* deltas; returns the mutated labeling."""
+    graph, _, labeling = fresh_case(case)
+    rng = random.Random(seed)
+    with JournalWriter(path, epsilon=EPSILON, source="test") as journal:
+        for _ in range(updates):
+            delta = incremental_relabel(labeling, random_reweight(rng, graph))
+            journal.append(delta)
+    return labeling
+
+
+class TestRoundTrip:
+    def test_replay_reproduces_the_updated_labels(self, journal_path):
+        updated = write_journal(journal_path, updates=5)
+        read = read_journal(journal_path)
+        assert read.epsilon == EPSILON
+        assert read.last_epoch == 5 and not read.warnings
+        _, _, pristine = fresh_case("grid-greedy")
+        assert replay_journal(read, pristine) == 5
+        assert dump_labeling(pristine) == dump_labeling(updated)
+
+    def test_epochs_are_contiguous_from_one(self, journal_path):
+        write_journal(journal_path, updates=3)
+        read = read_journal(journal_path)
+        assert [d.epoch for d in read.deltas] == [1, 2, 3]
+
+    def test_writer_reopen_continues_the_chain(self, journal_path):
+        labeling = write_journal(journal_path, updates=2)
+        rng = random.Random(99)
+        with JournalWriter(journal_path, epsilon=EPSILON) as journal:
+            delta = incremental_relabel(
+                labeling, random_reweight(rng, labeling.graph)
+            )
+            assert journal.append(delta) == 3
+        assert read_journal(journal_path).last_epoch == 3
+
+    def test_epsilon_mismatch_is_strict(self, journal_path):
+        write_journal(journal_path)
+        with pytest.raises(JournalError):
+            JournalWriter(journal_path, epsilon=0.5)
+        read = read_journal(journal_path)
+        _, _, pristine = fresh_case("delaunay-planar")  # epsilon matches...
+        pristine.epsilon = 0.5  # ...but force a disagreement
+        with pytest.raises(JournalError):
+            replay_journal(read, pristine)
+
+    def test_replay_against_wrong_base_graph_detected(self, journal_path):
+        write_journal(journal_path)
+        read = read_journal(journal_path)
+        _, _, pristine = fresh_case("grid-greedy")
+        first = read.deltas[0].update
+        pristine.graph.add_edge(
+            first.u, first.v, float(pristine.graph.weight(first.u, first.v)) + 9.0
+        )
+        with pytest.raises(JournalError):
+            replay_journal(read, pristine)
+
+
+class TestTailLeniency:
+    def test_torn_tail_is_skipped_with_a_warning(self, journal_path):
+        write_journal(journal_path, updates=4)
+        data = journal_path.read_bytes()
+        journal_path.write_bytes(data[: len(data) - 10])
+        read = read_journal(journal_path)
+        assert len(read.deltas) == 3 and read.last_epoch == 3
+        assert len(read.warnings) == 1
+
+    def test_corrupt_tail_crc_is_skipped(self, journal_path):
+        write_journal(journal_path, updates=3)
+        lines = journal_path.read_bytes().splitlines()
+        record = json.loads(lines[-1])
+        record["crc"] = (record["crc"] + 1) % (1 << 32)
+        lines[-1] = json.dumps(record, sort_keys=True).encode()
+        journal_path.write_bytes(b"\n".join(lines) + b"\n")
+        read = read_journal(journal_path)
+        assert len(read.deltas) == 2 and len(read.warnings) == 1
+
+    def test_mid_journal_damage_is_strict(self, journal_path):
+        write_journal(journal_path, updates=4)
+        lines = journal_path.read_bytes().splitlines()
+        lines[2] = b'{"not": "a record"}'
+        journal_path.write_bytes(b"\n".join(lines) + b"\n")
+        with pytest.raises(JournalError):
+            read_journal(journal_path)
+
+    def test_crc_valid_but_invalid_delta_is_strict_even_at_tail(
+        self, journal_path
+    ):
+        write_journal(journal_path, updates=2)
+        lines = journal_path.read_bytes().splitlines()
+        body = json.loads(lines[-1])["delta"]
+        body["w"] = -1.0  # decodes fine, invalid as a delta
+        encoded = canonical_delta_bytes(body)
+        record = {"crc": zlib.crc32(encoded), "delta": body}
+        lines[-1] = json.dumps(record, sort_keys=True).encode()
+        journal_path.write_bytes(b"\n".join(lines) + b"\n")
+        with pytest.raises(JournalError):
+            read_journal(journal_path)
+
+    def test_writer_reopen_truncates_the_tear(self, journal_path):
+        labeling = write_journal(journal_path, updates=3)
+        data = journal_path.read_bytes()
+        journal_path.write_bytes(data[: len(data) - 7])
+        with JournalWriter(journal_path, epsilon=EPSILON) as journal:
+            rng = random.Random(5)
+            delta = incremental_relabel(
+                labeling, random_reweight(rng, labeling.graph)
+            )
+            # The torn epoch-3 record was dropped, so the next is 3.
+            assert journal.append(delta) == 3
+        read = read_journal(journal_path)
+        assert read.last_epoch == 3 and not read.warnings
+
+
+class TestTruncationFuzz:
+    def test_every_truncation_point_reads_without_a_traceback(
+        self, journal_path
+    ):
+        write_journal(journal_path, updates=3)
+        data = journal_path.read_bytes()
+        header_end = data.index(b"\n") + 1
+        for cut in range(len(data) + 1):
+            journal_path.write_bytes(data[:cut])
+            if cut < header_end:
+                # Any damage to the header itself is strict.
+                with pytest.raises(JournalError):
+                    read_journal(journal_path)
+                continue
+            read = read_journal(journal_path)
+            # A clean prefix of the original deltas, in epoch order.
+            assert [d.epoch for d in read.deltas] == list(
+                range(1, len(read.deltas) + 1)
+            )
+            assert read.valid_bytes <= cut
+
+    def test_garbage_bytes_never_traceback(self, journal_path):
+        write_journal(journal_path, updates=2)
+        data = bytearray(journal_path.read_bytes())
+        rng = random.Random(0)
+        for _ in range(40):
+            corrupt = bytearray(data)
+            pos = rng.randrange(len(corrupt))
+            corrupt[pos] = rng.randrange(256)
+            journal_path.write_bytes(bytes(corrupt))
+            try:
+                read_journal(journal_path)
+            except JournalError:
+                pass  # strict rejection is fine; a traceback is not

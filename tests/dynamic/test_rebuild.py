@@ -1,0 +1,107 @@
+"""Incremental relabeling: byte-identical to a from-scratch rebuild."""
+
+import random
+
+import pytest
+
+from repro.core import build_labeling
+from repro.core.serialize import dump_labeling
+from repro.dynamic import (
+    DeltaError,
+    DynamicError,
+    EdgeUpdate,
+    apply_delta_to_labels,
+    delta_from_dict,
+    delta_to_dict,
+    incremental_relabel,
+)
+
+from tests.dynamic.conftest import CASES, EPSILON, fresh_case
+
+
+def random_reweight(rng, graph):
+    edges = sorted(graph.edges(), key=repr)
+    u, v, w = edges[rng.randrange(len(edges))]
+    new_w = round(float(w) * rng.uniform(0.5, 2.0), 9)
+    if new_w == float(w) or new_w <= 0:
+        new_w = float(w) + 0.25
+    return EdgeUpdate(u, v, new_w)
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+class TestByteIdentity:
+    def test_five_updates_stay_byte_identical(self, case):
+        graph, tree, labeling = fresh_case(case)
+        rng = random.Random(13)
+        for _ in range(5):
+            update = random_reweight(rng, graph)
+            delta = incremental_relabel(labeling, update)
+            assert delta.epsilon == EPSILON
+            # Full rebuild on the *same* tree with the mutated weights.
+            fresh = build_labeling(graph, tree, epsilon=EPSILON)
+            assert dump_labeling(labeling) == dump_labeling(fresh)
+
+    def test_delta_replays_onto_pristine_labels(self, case):
+        graph, tree, labeling = fresh_case(case)
+        _, _, pristine = fresh_case(case)
+        rng = random.Random(29)
+        update = random_reweight(rng, graph)
+        delta = incremental_relabel(labeling, update)
+        applied, removed = apply_delta_to_labels(pristine.labels, delta)
+        assert applied == len(delta.changes)
+        assert dump_labeling(pristine) == dump_labeling(labeling)
+
+
+class TestDeltaCodec:
+    def _delta(self):
+        graph, _, labeling = fresh_case("grid-greedy")
+        rng = random.Random(3)
+        return incremental_relabel(labeling, random_reweight(rng, graph))
+
+    def test_round_trip(self):
+        delta = self._delta()
+        clone = delta_from_dict(delta_to_dict(delta))
+        assert delta_to_dict(clone) == delta_to_dict(delta)
+        assert clone.update == delta.update
+        assert clone.old_weight == delta.old_weight
+
+    def test_strict_decoding(self):
+        payload = delta_to_dict(self._delta())
+        for breakage in (
+            lambda d: d.pop("u"),
+            lambda d: d.update(w=float("nan")),
+            lambda d: d.update(w=True),
+            lambda d: d.update(epoch=-1),
+            lambda d: d.update(changes="nope"),
+        ):
+            broken = {k: (list(v) if isinstance(v, list) else v)
+                      for k, v in payload.items()}
+            breakage(broken)
+            with pytest.raises(DeltaError):
+                delta_from_dict(broken)
+
+
+class TestValidation:
+    def test_structural_update_needs_full_rebuild(self):
+        _, _, labeling = fresh_case("grid-greedy")
+        with pytest.raises(DynamicError):
+            incremental_relabel(labeling, EdgeUpdate((0, 0), (5, 5), 1.0))
+
+    def test_bad_weights_rejected(self):
+        _, _, labeling = fresh_case("grid-greedy")
+        for bad in (0.0, -1.0, float("inf"), float("nan"), True, "x"):
+            with pytest.raises(DynamicError):
+                incremental_relabel(labeling, EdgeUpdate((0, 0), (0, 1), bad))
+
+    def test_missing_vertex_in_apply_is_strict(self):
+        graph, _, labeling = fresh_case("grid-greedy")
+        rng = random.Random(3)
+        delta = incremental_relabel(labeling, random_reweight(rng, graph))
+        if not delta.changes:
+            pytest.skip("delta touched no labels")
+        with pytest.raises(DeltaError):
+            apply_delta_to_labels({}, delta)
+        applied, removed = apply_delta_to_labels(
+            {}, delta, require_vertices=False
+        )
+        assert applied == 0

@@ -1,0 +1,109 @@
+"""G(n, p) and preferential-attachment generators.
+
+Includes the workload-diversity check from "Vertex-separating path
+systems in random graphs" (arXiv 2408.01816): sparse random graphs
+above the connectivity threshold are expander-ish, so path-peeling
+needs *many* more paths per decomposition node on them than on a
+structured (grid) input of the same size.
+"""
+
+import pytest
+
+from repro.core import build_decomposition
+from repro.core.engines import GreedyPeelingEngine
+from repro.generators import (
+    default_gnp_p,
+    gnp_random_graph,
+    grid_2d,
+    preferential_attachment_graph,
+)
+from repro.graphs import is_connected
+from repro.util.errors import GraphError
+
+
+class TestGnp:
+    def test_shape_and_determinism(self):
+        a = gnp_random_graph(60, 0.1, seed=9)
+        b = gnp_random_graph(60, 0.1, seed=9)
+        assert a.num_vertices == 60
+        assert a == b
+        assert a != gnp_random_graph(60, 0.1, seed=10)
+
+    def test_connect_retries_until_connected(self):
+        g = gnp_random_graph(80, default_gnp_p(80), seed=2, connect=True)
+        assert is_connected(g)
+
+    def test_connect_below_threshold_is_an_honest_failure(self):
+        with pytest.raises(GraphError):
+            gnp_random_graph(400, 0.0001, seed=0, connect=True, max_tries=3)
+
+    def test_extreme_probabilities(self):
+        empty = gnp_random_graph(10, 0.0, seed=0)
+        assert empty.num_edges == 0
+        complete = gnp_random_graph(10, 1.0, seed=0)
+        assert complete.num_edges == 45
+
+    def test_weight_range(self):
+        g = gnp_random_graph(30, 0.3, seed=5, weight_range=(2.0, 4.0))
+        assert all(2.0 <= w <= 4.0 for _u, _v, w in g.edges())
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            gnp_random_graph(0, 0.5)
+        with pytest.raises(GraphError):
+            gnp_random_graph(10, 1.5)
+
+    def test_default_p_above_threshold(self):
+        for n in (16, 256, 4096):
+            assert 0.0 < default_gnp_p(n) <= 1.0
+
+
+class TestPreferentialAttachment:
+    def test_shape_and_determinism(self):
+        a = preferential_attachment_graph(60, 3, seed=9)
+        b = preferential_attachment_graph(60, 3, seed=9)
+        assert a.num_vertices == 60
+        assert a == b
+
+    def test_connected_by_construction(self):
+        assert is_connected(preferential_attachment_graph(80, 2, seed=1))
+
+    def test_edge_count(self):
+        # Vertex m brings m edges; each of the n-m-1 later vertices
+        # brings exactly m distinct edges.
+        n, m = 50, 3
+        g = preferential_attachment_graph(n, m, seed=4)
+        assert g.num_edges == m + (n - m - 1) * m
+
+    def test_power_law_hubs_exist(self):
+        g = preferential_attachment_graph(300, 2, seed=7)
+        degrees = sorted((g.degree(v) for v in g.vertices()), reverse=True)
+        # The richest vertex is far above the mean degree (~2m = 4).
+        assert degrees[0] >= 4 * 4
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            preferential_attachment_graph(1, 1)
+        with pytest.raises(GraphError):
+            preferential_attachment_graph(10, 10)
+
+
+def max_paths_per_node(graph) -> int:
+    tree = build_decomposition(graph, engine=GreedyPeelingEngine(seed=0))
+    return max(
+        sum(len(phase.paths) for phase in node.separator.phases)
+        for node in tree.nodes
+    )
+
+
+class TestEmpiricalPathComplexity:
+    def test_random_graphs_need_more_paths_than_grids(self):
+        # arXiv 2408.01816: expander-ish G(n, p) forces polynomially
+        # many separator paths, while a grid of the same size peels
+        # with O(1) paths per node.  The measured gap should be wide.
+        n = 100
+        structured = max_paths_per_node(grid_2d(10, seed=1))
+        random_k = max_paths_per_node(
+            gnp_random_graph(n, default_gnp_p(n), seed=3, connect=True)
+        )
+        assert random_k > 3 * structured

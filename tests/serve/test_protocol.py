@@ -89,7 +89,8 @@ class TestParseErrors:
     def test_all_codes_declared(self):
         for code in ("bad_request", "unknown_op", "timeout", "unavailable"):
             assert code in ERROR_CODES
-        assert len(OPS) == 8  # DIST/BATCH/LABEL/HEALTH/STATS/METRICS/FAULT + MAP
+        # DIST/BATCH/LABEL/HEALTH/STATS/METRICS/FAULT + MAP + DELTA
+        assert len(OPS) == 9
 
 
 class TestResponses:

@@ -1,0 +1,85 @@
+"""The repro-querytrace/1 format: exact record/replay of query pairs."""
+
+import json
+
+import pytest
+
+from repro.serve.querytrace import (
+    TRACE_FORMAT,
+    TraceError,
+    read_trace,
+    write_trace,
+)
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    return tmp_path / "trace.jsonl"
+
+
+PAIRS = [
+    (3, 17),
+    ("left", "right"),
+    ((0, 1), (4, 4)),       # tuple vertices: the tagged encoding
+    (1.5, 2),
+]
+
+
+class TestRoundTrip:
+    def test_pairs_round_trip_exactly(self, trace_path):
+        assert write_trace(trace_path, PAIRS) == len(PAIRS)
+        assert read_trace(trace_path) == PAIRS
+
+    def test_header_carries_format_count_and_meta(self, trace_path):
+        write_trace(trace_path, PAIRS, meta={"seed": 7, "zipf": 1.1})
+        header = json.loads(trace_path.read_text().splitlines()[0])
+        assert header["format"] == TRACE_FORMAT
+        assert header["count"] == len(PAIRS)
+        assert header["seed"] == 7 and header["zipf"] == 1.1
+
+    def test_empty_trace_round_trips(self, trace_path):
+        write_trace(trace_path, [])
+        assert read_trace(trace_path) == []
+
+    def test_meta_may_not_shadow_the_envelope(self, trace_path):
+        with pytest.raises(TraceError):
+            write_trace(trace_path, PAIRS, meta={"count": 3})
+
+
+class TestStrictLoading:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            read_trace(tmp_path / "absent.jsonl")
+
+    def test_empty_file(self, trace_path):
+        trace_path.write_text("")
+        with pytest.raises(TraceError):
+            read_trace(trace_path)
+
+    def test_wrong_format_tag(self, trace_path):
+        trace_path.write_text('{"format": "something-else/9", "count": 0}\n')
+        with pytest.raises(TraceError):
+            read_trace(trace_path)
+
+    def test_count_mismatch_is_an_error(self, trace_path):
+        write_trace(trace_path, PAIRS)
+        lines = trace_path.read_text().splitlines()
+        trace_path.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(TraceError):
+            read_trace(trace_path)
+
+    def test_malformed_record(self, trace_path):
+        write_trace(trace_path, [(1, 2)])
+        trace_path.write_text(
+            trace_path.read_text().replace("[1, 2]", "[1, 2, 3]")
+        )
+        with pytest.raises(TraceError):
+            read_trace(trace_path)
+
+    def test_unencodable_vertex_payload(self, trace_path):
+        trace_path.write_text(
+            json.dumps({"format": TRACE_FORMAT, "count": 1})
+            + "\n[true, 2]\n"
+        )
+        with pytest.raises(TraceError):
+            read_trace(trace_path)

@@ -695,3 +695,238 @@ class TestSeedDeterminism:
             rc = main([cmd, str(graph_file), "--engine", "greedy", "--seed", "3"])
             assert rc == 0
             capsys.readouterr()
+
+
+class TestGenerateRandomFamilies:
+    def test_gnp_with_default_p(self, tmp_path):
+        out = tmp_path / "gnp.edges"
+        rc = main(
+            ["generate", "--family", "gnp", "--n", "50", "--seed", "3",
+             "--out", str(out)]
+        )
+        assert rc == 0
+        from repro.graphs import is_connected
+        from repro.graphs.io import read_edge_list
+
+        g = read_edge_list(out)
+        assert g.num_vertices == 50 and is_connected(g)
+
+    def test_gnp_with_explicit_p(self, tmp_path):
+        out = tmp_path / "gnp.edges"
+        rc = main(
+            ["generate", "--family", "gnp", "--n", "30", "--p", "0.5",
+             "--seed", "3", "--out", str(out)]
+        )
+        assert rc == 0
+
+    def test_preferential_attachment_with_m(self, tmp_path):
+        out = tmp_path / "pa.edges"
+        rc = main(
+            ["generate", "--family", "preferential-attachment", "--n", "40",
+             "--m", "2", "--seed", "3", "--out", str(out)]
+        )
+        assert rc == 0
+        from repro.graphs.io import read_edge_list
+
+        g = read_edge_list(out)
+        assert g.num_edges == 2 + (40 - 2 - 1) * 2
+
+
+@pytest.fixture
+def weighted_graph_file(tmp_path):
+    path = tmp_path / "wg.edges"
+    rc = main(
+        ["generate", "--family", "grid", "--n", "36", "--seed", "2",
+         "--weights", "1,5", "--out", str(path)]
+    )
+    assert rc == 0
+    return path
+
+
+class TestUpdate:
+    """``repro update``: offline journaled incremental relabeling."""
+
+    def build_labels(self, graph_file, tmp_path):
+        labels = tmp_path / "labels.json"
+        rc = main(
+            ["labels", str(graph_file), "--engine", "greedy", "--seed", "0",
+             "--epsilon", "0.25", "--out", str(labels)]
+        )
+        assert rc == 0
+        return labels
+
+    def an_edge(self, graph_file, index=0):
+        from repro.graphs.io import read_edge_list
+
+        edges = sorted(read_edge_list(graph_file).edges(), key=repr)
+        u, v, _w = edges[index]
+        return str(u), str(v)
+
+    def test_update_verify_and_out(self, weighted_graph_file, tmp_path, capsys):
+        labels = self.build_labels(weighted_graph_file, tmp_path)
+        journal = tmp_path / "journal.jsonl"
+        updated = tmp_path / "updated.json"
+        u, v = self.an_edge(weighted_graph_file)
+        rc = main(
+            ["update", str(weighted_graph_file), "--labels", str(labels),
+             "--journal", str(journal), "--engine", "greedy", "--seed", "0",
+             "--edge", u, v, "2.875", "--verify", "--out", str(updated)]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0, captured.err
+        assert "epoch 1" in captured.out
+        assert "byte-identical" in captured.out
+        assert load_labeling(updated).num_labels == 36
+
+        from repro.dynamic import read_journal
+
+        read = read_journal(journal)
+        assert read.last_epoch == 1 and not read.warnings
+
+    def test_second_run_replays_the_journal(
+        self, weighted_graph_file, tmp_path, capsys
+    ):
+        labels = self.build_labels(weighted_graph_file, tmp_path)
+        journal = tmp_path / "journal.jsonl"
+        u1, v1 = self.an_edge(weighted_graph_file, 0)
+        u2, v2 = self.an_edge(weighted_graph_file, 5)
+        assert main(
+            ["update", str(weighted_graph_file), "--labels", str(labels),
+             "--journal", str(journal), "--engine", "greedy", "--seed", "0",
+             "--edge", u1, v1, "3.125"]
+        ) == 0
+        capsys.readouterr()
+        rc = main(
+            ["update", str(weighted_graph_file), "--labels", str(labels),
+             "--journal", str(journal), "--engine", "greedy", "--seed", "0",
+             "--edge", u2, v2, "1.625", "--verify"]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0, captured.err
+        assert "replayed 1 journaled deltas" in captured.out
+        assert "epoch 2" in captured.out
+
+    def test_missing_edge_is_a_clean_error(
+        self, weighted_graph_file, tmp_path, capsys
+    ):
+        labels = self.build_labels(weighted_graph_file, tmp_path)
+        rc = main(
+            ["update", str(weighted_graph_file), "--labels", str(labels),
+             "--journal", str(tmp_path / "j.jsonl"), "--engine", "greedy",
+             "--seed", "0", "--edge", "0", "35", "2.0"]
+        )
+        assert rc == 2
+        assert "full offline rebuild" in capsys.readouterr().err
+
+
+def _serve_in_thread(labels):
+    """Start an OracleServer on a daemon thread; returns (server, stop)."""
+    import asyncio
+    import threading
+
+    from repro.serve import OracleServer, ShardedLabelStore, StoreCatalog
+
+    catalog = StoreCatalog()
+    catalog.add(ShardedLabelStore.load(labels))
+    server = OracleServer(catalog, port=0, cache_size=64)
+    started = threading.Event()
+    loop_holder = {}
+
+    def serve_thread():
+        async def body():
+            await server.start()
+            loop_holder["loop"] = asyncio.get_running_loop()
+            started.set()
+            await server.serve_until_shutdown()
+
+        asyncio.run(body())
+
+    thread = threading.Thread(target=serve_thread, daemon=True)
+    thread.start()
+    assert started.wait(10)
+
+    def stop():
+        loop_holder["loop"].call_soon_threadsafe(server.request_shutdown)
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+
+    return server, stop
+
+
+class TestLoadgenUpdates:
+    def test_updates_under_live_load(self, weighted_graph_file, tmp_path, capsys):
+        labels = tmp_path / "labels.json"
+        assert main(
+            ["labels", str(weighted_graph_file), "--engine", "greedy",
+             "--seed", "0", "--epsilon", "0.25", "--out", str(labels)]
+        ) == 0
+        server, stop = _serve_in_thread(labels)
+        journal = tmp_path / "journal.jsonl"
+        bench = tmp_path / "BENCH_dynamic.json"
+        try:
+            rc = main(
+                ["loadgen", "--port", str(server.port),
+                 "--labels", str(labels),
+                 "--updates", "3", "--update-graph", str(weighted_graph_file),
+                 "--engine", "greedy", "--epsilon", "0.25", "--seed", "0",
+                 "--queries-per-update", "10", "--verify-queries", "40",
+                 "--concurrency", "4",
+                 "--update-journal", str(journal),
+                 "--bench-out", str(bench)]
+            )
+        finally:
+            stop()
+        captured = capsys.readouterr()
+        assert rc == 0, captured.err
+        assert "updates_applied" in captured.out
+        payload = json.loads(bench.read_text())
+        assert payload["meta"]["updates"]["applied"] == 3
+        assert payload["meta"]["updates"]["rebuild_identical"] is True
+        assert payload["meta"]["mismatches"] == 0
+
+        from repro.dynamic import read_journal
+
+        assert read_journal(journal).last_epoch == 3
+
+    def test_updates_need_a_graph(self, capsys):
+        rc = main(["loadgen", "--updates", "2"])
+        assert rc == 2
+        assert "--update-graph" in capsys.readouterr().err
+
+
+class TestTraceRecordReplay:
+    def test_record_then_replay(self, weighted_graph_file, tmp_path, capsys):
+        labels = tmp_path / "labels.json"
+        assert main(
+            ["labels", str(weighted_graph_file), "--out", str(labels)]
+        ) == 0
+        server, stop = _serve_in_thread(labels)
+        trace = tmp_path / "trace.jsonl"
+        try:
+            rc = main(
+                ["loadgen", "--port", str(server.port),
+                 "--labels", str(labels), "--pairs", "30",
+                 "--verify", "--record-trace", str(trace)]
+            )
+            assert rc == 0
+            capsys.readouterr()
+            rc = main(
+                ["loadgen", "--port", str(server.port),
+                 "--labels", str(labels), "--replay", str(trace),
+                 "--verify"]
+            )
+        finally:
+            stop()
+        captured = capsys.readouterr()
+        assert rc == 0, captured.err
+
+        from repro.serve.querytrace import read_trace
+
+        assert len(read_trace(trace)) == 30
+
+    def test_replay_rejects_a_bad_trace(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"format": "nope/1", "count": 0}\n')
+        rc = main(["loadgen", "--replay", str(bad)])
+        assert rc == 2
+        assert "repro-querytrace/1" in capsys.readouterr().err

@@ -23,6 +23,7 @@ DOC_FILES = [
     ROOT / "docs" / "serving.md",
     ROOT / "docs" / "formats.md",
     ROOT / "docs" / "cluster.md",
+    ROOT / "docs" / "dynamic.md",
 ]
 
 MODULE_PATTERN = re.compile(r"`(repro(?:\.[a-z_0-9]+)+)`")
