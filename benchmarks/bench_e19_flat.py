@@ -1,0 +1,203 @@
+"""E19 — flat CSR core: construction and store-level query speedups.
+
+The flat backend's whole contract is "bit-identical, just faster"; the
+differential wall proves the first half, this bench quantifies (and
+gates) the second on the E3/E4 workload family (random Delaunay
+triangulations, eps = 0.25):
+
+* construction — ``build_labeling`` wall-clock, dict vs flat, with the
+  byte-identity of the dumped labeling re-asserted at every size; the
+  flat backend must win by **>= 5x at the largest size**;
+* scaling — least-squares log-log fit of build seconds vs n per
+  backend (the empirical exponent the paper's near-linear construction
+  claim is judged by), recorded in the bench JSON;
+* store-level queries — ``ShardedLabelStore.estimate`` throughput,
+  dict vs flat store over the same loaded labels, identical answer
+  checksums required, flat must win by **>= 3x**.
+
+The query gate is deliberately *store-level*, not wire-level: E13
+serves queries through asyncio + JSON framing, which costs ~100us/query
+and masks any kernel difference (see docs/performance.md).  The store
+estimate path is what the server executes per request after framing.
+
+Persists the standing record to ``BENCH_flat.json`` at the repo root
+(a ``repro-bench/1`` payload, like ``BENCH_labels_io.json``) next to
+the usual ``benchmarks/results/e19_flat.*`` pair.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from pathlib import Path
+
+from repro.core import build_decomposition, build_labeling
+from repro.core.serialize import dump_labeling, load_labeling
+from repro.generators import random_delaunay_graph
+from repro.obs.export import write_bench_json
+from repro.serve.store import ShardedLabelStore
+from repro.serve.loadgen import synthesize_pairs
+from repro.util import format_table
+
+SIZES = [256, 512, 1024, 2048]
+EPS = 0.25
+#: The query gate runs on the E13/E16 serve workload (delaunay n=512)
+#: so its speedup is the one a serve node actually sees per request.
+QUERY_N = 512
+QUERY_PAIRS = 20_000
+BENCH_OUT = Path(__file__).parent.parent / "BENCH_flat.json"
+
+CONSTRUCTION_GATE = 5.0  # x, at the largest size
+QUERY_GATE = 3.0  # x, store-level estimate throughput
+
+
+def _fit_exponent(ns, seconds):
+    """Least-squares slope of log(seconds) against log(n)."""
+    xs = [math.log(n) for n in ns]
+    ys = [math.log(s) for s in seconds]
+    mx = sum(xs) / len(xs)
+    my = sum(ys) / len(ys)
+    num = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    den = sum((x - mx) ** 2 for x in xs)
+    return num / den
+
+
+def run_construction():
+    rows = []
+    dict_s, flat_s = [], []
+    for n in SIZES:
+        graph = random_delaunay_graph(n, seed=n)[0]
+        tree = build_decomposition(graph)
+        t0 = time.perf_counter()
+        ref = build_labeling(graph, tree, epsilon=EPS, backend="dict")
+        td = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        flat = build_labeling(graph, tree, epsilon=EPS, backend="flat")
+        tf = time.perf_counter() - t0
+        # The speed claim is only worth recording for identical output.
+        assert dump_labeling(flat) == dump_labeling(ref), n
+        dict_s.append(td)
+        flat_s.append(tf)
+        rows.append(
+            [n, round(td, 3), round(tf, 3), round(td / tf, 2), "yes"]
+        )
+    return rows, dict_s, flat_s
+
+
+def run_store_queries():
+    graph = random_delaunay_graph(QUERY_N, seed=QUERY_N)[0]
+    tree = build_decomposition(graph)
+    labeling = build_labeling(graph, tree, epsilon=EPS, backend="flat")
+    remote = load_labeling(dump_labeling(labeling))
+    pairs = synthesize_pairs(list(remote.vertices()), QUERY_PAIRS, seed=7)
+
+    out = {}
+    checksums = {}
+    for backend in ("dict", "flat"):
+        store = ShardedLabelStore.from_remote(
+            "e19", remote, num_shards=8, backend=backend
+        )
+        estimate = store.estimate
+        # Steady state: one untimed pass materializes the flat store's
+        # lazy per-vertex index (and touches every dict label once), so
+        # the clock sees the per-query kernel, not one-time conversion.
+        for u, v in pairs:
+            estimate(u, v)
+        t0 = time.perf_counter()
+        acc = 0.0
+        for u, v in pairs:
+            acc += estimate(u, v)
+        elapsed = time.perf_counter() - t0
+        out[backend] = elapsed
+        checksums[backend] = acc
+    # Same floats, in the same order: the sums are bit-equal.
+    assert checksums["flat"] == checksums["dict"], checksums
+    return out
+
+
+def run_experiment():
+    build_rows, dict_s, flat_s = run_construction()
+    exponents = {
+        "dict": round(_fit_exponent(SIZES, dict_s), 3),
+        "flat": round(_fit_exponent(SIZES, flat_s), 3),
+    }
+    query_s = run_store_queries()
+    build_speedup = dict_s[-1] / flat_s[-1]
+    query_speedup = query_s["dict"] / query_s["flat"]
+    qps = {
+        backend: QUERY_PAIRS / elapsed for backend, elapsed in query_s.items()
+    }
+    query_rows = [
+        [
+            backend,
+            round(query_s[backend] / QUERY_PAIRS * 1e6, 2),
+            round(qps[backend]),
+            round(query_s["dict"] / query_s[backend], 2),
+        ]
+        for backend in ("dict", "flat")
+    ]
+    meta = {
+        "epsilon": EPS,
+        "sizes": SIZES,
+        "build_seconds": {
+            "dict": [round(s, 4) for s in dict_s],
+            "flat": [round(s, 4) for s in flat_s],
+        },
+        "build_speedup_at_max_n": round(build_speedup, 2),
+        "empirical_exponent": exponents,
+        "query": {
+            "n": QUERY_N,
+            "pairs": QUERY_PAIRS,
+            "seconds": {k: round(v, 4) for k, v in query_s.items()},
+            "qps": {k: round(v) for k, v in qps.items()},
+            "speedup": round(query_speedup, 2),
+            "level": "store.estimate (wire framing excluded, see E13)",
+        },
+        "gates": {
+            "construction_x": CONSTRUCTION_GATE,
+            "store_query_x": QUERY_GATE,
+        },
+    }
+    return build_rows, query_rows, meta
+
+
+def test_e19_bench_flat(record_table):
+    build_rows, query_rows, meta = run_experiment()
+    header = ["n", "dict_s", "flat_s", "speedup", "byte_identical"]
+    table = format_table(
+        header,
+        build_rows,
+        title=f"E19: flat vs dict construction, delaunay (eps={EPS}); "
+        f"exponent dict={meta['empirical_exponent']['dict']} "
+        f"flat={meta['empirical_exponent']['flat']}",
+    )
+    query_header = ["backend", "us/query", "qps", "speedup"]
+    query_table = format_table(
+        query_header,
+        query_rows,
+        title=f"E19: store.estimate throughput, delaunay n={QUERY_N}, "
+        f"{QUERY_PAIRS} pairs",
+    )
+    record_table(
+        "e19_flat",
+        table + "\n\n" + query_table,
+        rows=build_rows + query_rows,
+        header=header,
+        meta=meta,
+    )
+    write_bench_json(
+        BENCH_OUT,
+        "flat",
+        header=header,
+        rows=build_rows,
+        meta=meta,
+        table=table + "\n\n" + query_table,
+        unix_time=time.time(),
+        cwd=str(BENCH_OUT.parent),
+    )
+    # The acceptance gates: the flat core must not merely win, it must
+    # win big enough to justify a second implementation of each kernel.
+    assert meta["build_speedup_at_max_n"] >= CONSTRUCTION_GATE, meta[
+        "build_speedup_at_max_n"
+    ]
+    assert meta["query"]["speedup"] >= QUERY_GATE, meta["query"]

@@ -64,7 +64,7 @@ from contextlib import ExitStack
 from pathlib import Path
 from typing import List, Optional
 
-from repro.core import build_decomposition, build_labeling
+from repro.core import BACKENDS, build_decomposition, build_labeling
 from repro.core.engines import (
     CenterBagEngine,
     GreedyPeelingEngine,
@@ -227,6 +227,7 @@ def cmd_oracle(args) -> int:
         engine=engine,
         parallel=args.jobs,
         seed=args.seed,
+        backend=args.backend,
     )
     count, mean_stretch, worst = _evaluate_queries(
         graph, oracle, args.queries, args.seed
@@ -254,7 +255,12 @@ def cmd_labels(args) -> int:
     graph = read_edge_list(args.graph)
     tree = build_decomposition(graph, engine=_engine_for(args, graph))
     labeling = build_labeling(
-        graph, tree, epsilon=args.epsilon, parallel=args.jobs, seed=args.seed
+        graph,
+        tree,
+        epsilon=args.epsilon,
+        parallel=args.jobs,
+        seed=args.seed,
+        backend=args.backend,
     )
     dump_labeling(labeling, args.out, codec=args.codec, num_shards=args.shards)
     report = labeling.size_report()
@@ -350,6 +356,30 @@ def _query_remote(args) -> int:
     return asyncio.run(run())
 
 
+def _local_estimator(remote, backend):
+    """An ``estimate(u, v)`` callable over loaded labels, honoring the
+    ``--backend`` flag.  Both paths answer bit-identically and raise
+    the same missing-vertex errors (``remote.label`` does the raising);
+    the flat path converts labels lazily and memoizes them, which pays
+    off in ``--pairs-file`` batch mode."""
+    from repro.core.flat import FlatLabel, flat_estimate, resolve_backend
+
+    if resolve_backend(backend) != "flat":
+        return remote.estimate
+    flats = {}
+
+    def estimate(u, v):
+        fu = flats.get(u)
+        if fu is None:
+            fu = flats[u] = FlatLabel.from_label(remote.label(u))
+        fv = flats.get(v)
+        if fv is None:
+            fv = flats[v] = FlatLabel.from_label(remote.label(v))
+        return flat_estimate(fu, fv)
+
+    return estimate
+
+
 def cmd_query(args) -> int:
     if args.remote:
         return _query_remote(args)
@@ -360,6 +390,7 @@ def cmd_query(args) -> int:
     if args.labels is None:
         raise ReproError("need a labels file (or --remote HOST:PORT)")
     remote = load_labeling(args.labels)
+    estimate = _local_estimator(remote, args.backend)
     if args.pairs_file:
         # Batch mode: one load_labeling amortized over many estimates,
         # one ``u v estimate`` line per pair.
@@ -372,13 +403,13 @@ def cmd_query(args) -> int:
         else:
             pairs = read_pairs_file(args.pairs_file)
         for u, v in pairs:
-            print(f"{u} {v} {remote.estimate(u, v):.6g}")
+            print(f"{u} {v} {estimate(u, v):.6g}")
         return 0
     if args.u is None or args.v is None:
         raise ReproError("need two vertices U V (or --pairs-file)")
     u, v = _parse_vertex(args.u), _parse_vertex(args.v)
-    estimate = remote.estimate(u, v)
-    print(f"d({u}, {v}) <= {estimate:.6g}   (within factor {1 + remote.epsilon})")
+    d_hat = estimate(u, v)
+    print(f"d({u}, {v}) <= {d_hat:.6g}   (within factor {1 + remote.epsilon})")
     return 0
 
 
@@ -463,7 +494,11 @@ def cmd_serve(args) -> int:
     for path in args.labels:
         # ShardedLabelStore.load validates the format stamp here, so an
         # incompatible file is refused before the port is ever bound.
-        store = catalog.add(ShardedLabelStore.load(path, num_shards=args.shards))
+        store = catalog.add(
+            ShardedLabelStore.load(
+                path, num_shards=args.shards, backend=args.backend
+            )
+        )
         print(
             f"loaded store {store.name!r}: {store.num_labels} labels, "
             f"{store.total_words} words across {store.num_shards} shards",
@@ -1347,6 +1382,7 @@ def cmd_stats(args) -> int:
             engine=engine,
             parallel=args.jobs,
             seed=args.seed,
+            backend=args.backend,
         )
         count, mean_stretch, worst = _evaluate_queries(
             graph, oracle, args.queries, args.seed
@@ -1431,6 +1467,17 @@ def cmd_stats(args) -> int:
     return 0 if worst <= 1 + args.epsilon + 1e-9 else 1
 
 
+def _add_backend_arg(p) -> None:
+    p.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default="auto",
+        help="core kernels: 'flat' (CSR/flat-array, needs numpy+scipy), "
+        "'dict' (pure-python reference), or 'auto' (flat when available); "
+        "every observable output is byte-identical between the two",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1507,6 +1554,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="build labels with N worker processes (same bytes as serial)",
     )
+    _add_backend_arg(p)
     p.set_defaults(func=cmd_oracle)
 
     p = sub.add_parser(
@@ -1531,6 +1579,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shards", type=int, default=8,
                    help="pack-time shard count (binary codec only)")
     p.add_argument("--out", required=True)
+    _add_backend_arg(p)
     p.set_defaults(func=cmd_labels)
 
     p = sub.add_parser(
@@ -1572,6 +1621,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="extra attempts per remote request")
     p.add_argument("--timeout", type=float, default=5.0,
                    help="per-attempt remote deadline in seconds")
+    _add_backend_arg(p)
     p.set_defaults(func=cmd_query)
 
     p = sub.add_parser(
@@ -1602,6 +1652,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="build labels with N worker processes (same bytes as serial)",
     )
+    _add_backend_arg(p)
     p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser(
@@ -1646,6 +1697,7 @@ def build_parser() -> argparse.ArgumentParser:
                    "cluster (see docs/cluster.md)")
     p.add_argument("--cluster-node", metavar="ID",
                    help="this node's id in the cluster map")
+    _add_backend_arg(p)
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(

@@ -65,7 +65,9 @@ from __future__ import annotations
 import math
 import mmap
 import struct
+import sys
 import zlib
+from array import array
 from pathlib import Path
 from typing import Dict, Hashable, Iterator, List, Optional, Tuple, Union
 
@@ -116,6 +118,10 @@ _I64_MIN = -(1 << 63)
 _I64_MAX = (1 << 63) - 1
 _I32_MIN = -(1 << 31)
 _I32_MAX = (1 << 31) - 1
+
+#: ``array('d').frombytes`` reads the record's portal region verbatim,
+#: which is only the f64 values themselves on little-endian hosts.
+_LITTLE_ENDIAN = sys.byteorder == "little"
 
 
 # -- vertex codec ---------------------------------------------------------
@@ -261,6 +267,57 @@ def _decode_label(buf, start: int, end: int) -> VertexLabel:
             f"label record for vertex {vertex!r} has {end - pos} stray bytes"
         )
     return VertexLabel(vertex=vertex, entries=entries)
+
+
+def _decode_label_flat(buf, start: int, end: int):
+    """Decode the record spanning ``buf[start:end]`` straight into a
+    :class:`repro.core.flat.FlatLabel` — no per-entry dict, no per-portal
+    tuples.
+
+    On little-endian hosts the portal region of each entry is the
+    file's own interleaved ``(f64 pos, f64 dist)`` layout, so the runs
+    array is filled with one ``frombytes`` per entry.  Truncation and
+    stray-byte errors match :func:`_decode_label` exactly.
+    """
+    from repro.core.flat import FlatLabel
+
+    vertex, pos = decode_vertex_binary(buf, start)
+    keys: List[Tuple[int, int, int]] = []
+    offs = [0]
+    runs = array("d")
+    try:
+        (num_entries,) = _U32.unpack_from(buf, pos)
+        pos += 4
+        for _ in range(num_entries):
+            node_id, phase_idx, path_idx, num_portals = _ENTRY_KEY.unpack_from(
+                buf, pos
+            )
+            pos += _ENTRY_KEY.size
+            run_end = pos + _PORTAL.size * num_portals
+            if run_end > end:
+                raise SerializationError(
+                    f"truncated label record for vertex {vertex!r}"
+                )
+            if _LITTLE_ENDIAN:
+                runs.frombytes(buf[pos:run_end])
+            else:  # pragma: no cover - big-endian hosts only
+                for _ in range(num_portals):
+                    p, d = _PORTAL.unpack_from(buf, pos)
+                    runs.append(p)
+                    runs.append(d)
+                    pos += _PORTAL.size
+            pos = run_end
+            keys.append((node_id, phase_idx, path_idx))
+            offs.append(len(runs) // 2)
+    except struct.error:
+        raise SerializationError(
+            f"truncated label record for vertex {vertex!r}"
+        ) from None
+    if pos != end:
+        raise SerializationError(
+            f"label record for vertex {vertex!r} has {end - pos} stray bytes"
+        )
+    return FlatLabel(vertex, tuple(keys), offs, runs)
 
 
 def _label_words(label: VertexLabel) -> int:
@@ -489,6 +546,14 @@ class BinaryLabelReader:
         start, end = self._record_span(record_id)
         return _decode_label(self._buf, start, end)
 
+    def decode_record_flat(self, record_id: int):
+        """Materialize one record as a
+        :class:`repro.core.flat.FlatLabel` (no dict/tuple fan-out)."""
+        if not 0 <= record_id < self.num_labels:
+            raise SerializationError(f"record id {record_id} out of range")
+        start, end = self._record_span(record_id)
+        return _decode_label_flat(self._buf, start, end)
+
     def record_vertex(self, record_id: int) -> Vertex:
         """Decode only the vertex field of one record (skips portals)."""
         start, _ = self._record_span(record_id)
@@ -498,8 +563,9 @@ class BinaryLabelReader:
     def shard_of(self, v: Vertex) -> int:
         return zlib.crc32(shard_key_bytes(canonical_vertex(v))) % self.num_shards
 
-    def get(self, v: Vertex) -> Optional[VertexLabel]:
-        """The label of *v*, or None — decoding only candidate records."""
+    def _find_record(self, v: Vertex) -> Optional[int]:
+        """Record id of *v*'s label, or None — decoding only vertex
+        fields of same-crc candidates."""
         canon = canonical_vertex(v)
         key = shard_key_bytes(canon)
         crc = zlib.crc32(key)
@@ -519,9 +585,24 @@ class BinaryLabelReader:
             if slot_crc != crc:
                 return None
             if self.record_vertex(record_id) == canon:
-                return self.decode_record(record_id)
+                return record_id
             lo += 1
         return None
+
+    def get(self, v: Vertex) -> Optional[VertexLabel]:
+        """The label of *v*, or None — decoding only candidate records."""
+        record_id = self._find_record(v)
+        if record_id is None:
+            return None
+        return self.decode_record(record_id)
+
+    def get_flat(self, v: Vertex):
+        """The label of *v* as a :class:`repro.core.flat.FlatLabel`,
+        or None.  Same routing as :meth:`get`, flat decode."""
+        record_id = self._find_record(v)
+        if record_id is None:
+            return None
+        return self.decode_record_flat(record_id)
 
     def iter_vertices(self) -> Iterator[Vertex]:
         """Vertices in record (source) order, portals left undecoded."""

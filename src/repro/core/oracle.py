@@ -45,19 +45,26 @@ class PathSeparatorOracle:
         tree: Optional[DecompositionTree] = None,
         parallel: Optional[int] = None,
         seed: SeedLike = 0,
+        backend: Optional[str] = None,
     ) -> "PathSeparatorOracle":
         """Build the oracle: decomposition tree (unless given) + labels.
 
         ``parallel=N`` fans label construction out over N worker
         processes; the result is byte-identical to a serial build (see
         :func:`repro.core.labeling.build_labeling`).  ``seed`` only
-        feeds per-worker child-seed derivation.
+        feeds per-worker child-seed derivation.  ``backend`` selects the
+        label-construction kernels (``"dict"``/``"flat"``/``"auto"``).
         """
         with span("oracle.build", n=graph.num_vertices, epsilon=epsilon):
             if tree is None:
                 tree = build_decomposition(graph, engine=engine)
             labeling = build_labeling(
-                graph, tree, epsilon=epsilon, parallel=parallel, seed=seed
+                graph,
+                tree,
+                epsilon=epsilon,
+                parallel=parallel,
+                seed=seed,
+                backend=backend,
             )
         return cls(labeling)
 

@@ -37,6 +37,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Tuple
 
+from repro.core import flat as flat_core
 from repro.core.decomposition import PathKey, phase_portal_distance_maps
 from repro.core.labeling import (
     INF,
@@ -157,6 +158,40 @@ def _dist_cache(labeling: DistanceLabeling) -> _UnitDistCache:
         cache = _UnitDistCache()
         labeling._unit_dist_cache = cache
     return cache
+
+
+def _flat_context(labeling: DistanceLabeling):
+    """The labeling's long-lived CSR view, or ``None`` without numpy.
+
+    Built lazily off the current graph and then kept in lock-step with
+    it: every reweight that goes through :func:`incremental_relabel`
+    also lands in the CSR arrays via ``set_weight``, so cold-unit
+    recomputes can run the same C Dijkstra as the offline flat build.
+    (Mutating ``labeling.graph`` behind the labeling's back already
+    invalidates the unit distance cache's contract; the CSR mirror
+    adds no new requirement.)
+    """
+    if not flat_core.flat_available():
+        return None
+    ctx = getattr(labeling, "_flat_ctx", None)
+    if ctx is None:
+        ctx = flat_core.FlatBuildContext(labeling.graph, labeling.tree)
+        labeling._flat_ctx = ctx
+    return ctx
+
+
+def _unit_distance_maps(ctx, graph, tree, node_id, phase_idx, residual):
+    """Cold-unit distance maps: flat kernel when available and the
+    residual is large enough to amortize the scipy call, else the
+    pure-Python reference.  Both are bit-identical (see
+    :func:`repro.core.flat.flat_distance_maps`)."""
+    if ctx is not None and len(residual) >= flat_core.SMALL_RESIDUAL:
+        return flat_core.flat_phase_distance_maps(
+            ctx, node_id, phase_idx, residual
+        )
+    return phase_portal_distance_maps(
+        graph, tree, node_id, phase_idx, residual
+    )
 
 
 def _phase_sources(phase) -> List[Vertex]:
@@ -391,6 +426,7 @@ def incremental_relabel(
         touched_units = {key[:2] for key in touched}
         w_min = min(float(old_weight), new_weight)
         cache = _dist_cache(labeling)
+        flat_ctx = _flat_context(labeling)
 
         # Pre-mutation pass: cold units (no cached maps) get two
         # endpoint Dijkstras deciding whether the reweight can change
@@ -406,7 +442,20 @@ def incremental_relabel(
                 plans.append((node_id, phase_idx, residual))
                 continue
             phase = tree.nodes[node_id].separator.phases[phase_idx]
-            endpoint_maps = batched_dijkstra(graph, (u, v), allowed=residual)
+            # Runs before the mutation below, so the CSR mirror still
+            # carries the old weight here — as the tightness reasoning
+            # requires.
+            if (
+                flat_ctx is not None
+                and len(residual) >= flat_core.SMALL_RESIDUAL
+            ):
+                endpoint_maps = flat_core.flat_distance_maps(
+                    flat_ctx, (u, v), residual
+                )
+            else:
+                endpoint_maps = batched_dijkstra(
+                    graph, (u, v), allowed=residual
+                )
             tight = _tight_sources(
                 phase, endpoint_maps[u], endpoint_maps[v], w_min
             )
@@ -416,6 +465,8 @@ def incremental_relabel(
                 skipped_units += 1
 
         graph.add_edge(u, v, new_weight)
+        if flat_ctx is not None:
+            flat_ctx.csr.set_weight(u, v, new_weight)
         for key in touched:
             tree.recompute_prefix(key)
 
@@ -433,8 +484,8 @@ def incremental_relabel(
             if maps is None:
                 # Cold unit: full recompute, and the maps seed the
                 # cache so the next update over this unit diffs.
-                maps = phase_portal_distance_maps(
-                    graph, tree, node_id, phase_idx, residual
+                maps = _unit_distance_maps(
+                    flat_ctx, graph, tree, node_id, phase_idx, residual
                 )
                 cache.put(unit, maps)
                 changed = residual

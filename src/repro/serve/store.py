@@ -31,6 +31,7 @@ from pathlib import Path
 from typing import Dict, Hashable, Iterator, List, Optional, Tuple, Union
 
 from repro.core.binfmt import BinaryLabelReader, is_binary_labels
+from repro.core.flat import FlatLabel, flat_estimate, resolve_backend
 from repro.core.labeling import VertexLabel, estimate_distance
 from repro.core.serialize import (
     RemoteLabels,
@@ -97,7 +98,17 @@ class LabelShard:
 
 
 class ShardedLabelStore:
-    """One labeling, hash-sharded by vertex, with O(1) label lookup."""
+    """One labeling, hash-sharded by vertex, with O(1) label lookup.
+
+    With ``backend="flat"`` (the default wherever
+    :func:`repro.core.flat.resolve_backend` finds the flat core's
+    dependencies) the DIST/BATCH hot path answers from a direct
+    vertex -> :class:`~repro.core.flat.FlatLabel` index — skipping the
+    per-query canonical-encode + CRC shard routing, which costs as much
+    as the combine itself — via :func:`~repro.core.flat.flat_estimate`.
+    Answers are bit-identical to the dict path; the sharded dicts stay
+    the source of truth for LABEL, serialization, and accounting.
+    """
 
     def __init__(
         self,
@@ -105,12 +116,20 @@ class ShardedLabelStore:
         epsilon: float,
         num_shards: int = DEFAULT_NUM_SHARDS,
         source: Optional[str] = None,
+        backend: Optional[str] = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
         self.name = name
         self.epsilon = epsilon
         self.source = source
+        self.backend = resolve_backend(backend)
+        # vertex -> FlatLabel, memoized lazily by estimate() so load
+        # time stays flat-free; entries for delta-touched vertices are
+        # dropped and rebuilt on next query.
+        self._flat: Optional[Dict[Vertex, FlatLabel]] = (
+            {} if self.backend == "flat" else None
+        )
         self.shards: List[LabelShard] = [LabelShard(i) for i in range(num_shards)]
         self.label_epoch = 0
         self.applied_deltas = 0
@@ -123,8 +142,10 @@ class ShardedLabelStore:
         remote: RemoteLabels,
         num_shards: int = DEFAULT_NUM_SHARDS,
         source: Optional[str] = None,
+        backend: Optional[str] = None,
     ) -> "ShardedLabelStore":
-        store = cls(name, remote.epsilon, num_shards, source=source)
+        store = cls(name, remote.epsilon, num_shards, source=source,
+                    backend=backend)
         for label in remote.labels.values():
             store.shards[store.shard_index(label.vertex)].add(label)
         return store
@@ -135,6 +156,7 @@ class ShardedLabelStore:
         path: Union[str, Path],
         num_shards: int = DEFAULT_NUM_SHARDS,
         name: Optional[str] = None,
+        backend: Optional[str] = None,
     ):
         """Load a ``repro-distance-labels`` file into a store.
 
@@ -152,10 +174,11 @@ class ShardedLabelStore:
         with open(path, "rb") as handle:
             head = handle.read(8)
         if is_binary_labels(head):
-            return MappedLabelStore(path, name=name)
+            return MappedLabelStore(path, name=name, backend=backend)
         remote = load_labeling(path)
         return cls.from_remote(
-            name or path.stem, remote, num_shards, source=str(path)
+            name or path.stem, remote, num_shards, source=str(path),
+            backend=backend,
         )
 
     # -- lookup ---------------------------------------------------------
@@ -175,8 +198,20 @@ class ShardedLabelStore:
 
     def estimate(self, u: Vertex, v: Vertex) -> float:
         """Theorem-2 combine step on two stored labels; exactly
-        :meth:`RemoteLabels.estimate` on the same inputs."""
-        return estimate_distance(self.label(u), self.label(v))
+        :meth:`RemoteLabels.estimate` on the same inputs (bit-identical
+        between backends)."""
+        flat = self._flat
+        if flat is None:
+            return estimate_distance(self.label(u), self.label(v))
+        fu = flat.get(u)
+        if fu is None:
+            # self.label raises the store's canonical missing-vertex
+            # error for truly absent vertices.
+            fu = flat[u] = FlatLabel.from_label(self.label(u))
+        fv = flat.get(v)
+        if fv is None:
+            fv = flat[v] = FlatLabel.from_label(self.label(v))
+        return flat_estimate(fu, fv)
 
     def vertices(self) -> Iterator[Vertex]:
         for shard in self.shards:
@@ -206,6 +241,8 @@ class ShardedLabelStore:
             before = label.words
             _insert_entry_sorted(label.entries, key, list(portals))
             shard.words += label.words - before
+            if self._flat is not None:
+                self._flat.pop(vx, None)
             applied_changes += 1
         applied_removals = 0
         for vx, key in removals:
@@ -221,6 +258,8 @@ class ShardedLabelStore:
             before = label.words
             if label.entries.pop(key, None) is not None:
                 shard.words += label.words - before
+                if self._flat is not None:
+                    self._flat.pop(vx, None)
                 applied_removals += 1
         return applied_changes, applied_removals
 
@@ -284,6 +323,7 @@ class ShardedLabelStore:
             "labels": self.num_labels,
             "words": self.total_words,
             "codec": self.codec,
+            "backend": self.backend,
             "mapped_bytes": self.mapped_bytes,
             "source": self.source,
             "label_epoch": self.label_epoch,
@@ -330,6 +370,13 @@ class MappedLabelStore:
 
     Same interface as :class:`ShardedLabelStore`; the server does not
     know which one it is holding.
+
+    With ``backend="flat"`` (the auto default when available) the LRU
+    holds :class:`~repro.core.flat.FlatLabel` objects decoded straight
+    off the record bytes (:meth:`~repro.core.binfmt.BinaryLabelReader
+    .get_flat`), ``estimate`` runs the flat combine, and ``label``
+    materializes a dict label on demand — byte-identical in every
+    observable reply.
     """
 
     def __init__(
@@ -337,21 +384,28 @@ class MappedLabelStore:
         path: Union[str, Path],
         name: Optional[str] = None,
         label_cache: int = DEFAULT_LABEL_CACHE,
+        backend: Optional[str] = None,
     ) -> None:
         path = Path(path)
         self.reader = BinaryLabelReader(path)
         self.name = name or path.stem
         self.epsilon = float(self.reader.epsilon)
         self.source = str(path)
+        self.backend = resolve_backend(backend)
         self.shards: List[MappedShard] = [
             MappedShard(i, self.reader) for i in range(self.reader.num_shards)
         ]
         self._cache_capacity = label_cache
-        self._cache: "OrderedDict[Vertex, VertexLabel]" = OrderedDict()
+        # The decoded-label LRU: VertexLabel values on the dict
+        # backend, FlatLabel values on the flat backend.
+        self._cache: "OrderedDict[Vertex, object]" = OrderedDict()
         # Labels rewritten by applied deltas: the mmap'd file is
         # immutable, so updated labels live here and win over the
         # reader.  Never evicted (delta footprints are small).
         self._overlay: Dict[Vertex, VertexLabel] = {}
+        # Flat mirror of the overlay, refreshed after every mutation,
+        # so the flat estimate path sees delta-applied labels.
+        self._overlay_flat: Dict[Vertex, FlatLabel] = {}
         self._overlay_words_delta = 0
         self.label_epoch = 0
         self.applied_deltas = 0
@@ -360,10 +414,33 @@ class MappedLabelStore:
     def shard_index(self, v: Vertex) -> int:
         return self.reader.shard_of(v)
 
+    def _flat_label(self, v: Vertex) -> FlatLabel:
+        found = self._overlay_flat.get(v)
+        if found is not None:
+            return found
+        found = self._cache.get(v)
+        if found is not None:
+            self._cache.move_to_end(v)
+            return found
+        label = self.reader.get_flat(v)
+        if label is None:
+            raise GraphError(
+                f"vertex {v!r} has no label in store {self.name!r}"
+            ) from None
+        if self._cache_capacity > 0:
+            self._cache[v] = label
+            while len(self._cache) > self._cache_capacity:
+                self._cache.popitem(last=False)
+        return label
+
     def label(self, v: Vertex) -> VertexLabel:
         found = self._overlay.get(v)
         if found is not None:
             return found
+        if self.backend == "flat":
+            # Storage order is preserved through FlatLabel, so this
+            # reconstruction is the record's exact dict decode.
+            return self._flat_label(v).to_label()
         found = self._cache.get(v)
         if found is not None:
             self._cache.move_to_end(v)
@@ -387,6 +464,8 @@ class MappedLabelStore:
         )
 
     def estimate(self, u: Vertex, v: Vertex) -> float:
+        if self.backend == "flat":
+            return flat_estimate(self._flat_label(u), self._flat_label(v))
         return estimate_distance(self.label(u), self.label(v))
 
     def vertices(self) -> Iterator[Vertex]:
@@ -405,6 +484,8 @@ class MappedLabelStore:
             if label is None:
                 return None
             self._overlay[v] = label
+            if self.backend == "flat":
+                self._overlay_flat[v] = FlatLabel.from_label(label)
         self._cache.pop(v, None)
         return label
 
@@ -431,6 +512,8 @@ class MappedLabelStore:
             before = label.words
             _insert_entry_sorted(label.entries, key, list(portals))
             self._overlay_words_delta += label.words - before
+            if self.backend == "flat":
+                self._overlay_flat[vx] = FlatLabel.from_label(label)
             applied_changes += 1
         applied_removals = 0
         for vx, key in removals:
@@ -445,6 +528,8 @@ class MappedLabelStore:
             before = label.words
             if label.entries.pop(key, None) is not None:
                 self._overlay_words_delta += label.words - before
+                if self.backend == "flat":
+                    self._overlay_flat[vx] = FlatLabel.from_label(label)
                 applied_removals += 1
         return applied_changes, applied_removals
 
@@ -503,6 +588,7 @@ class MappedLabelStore:
             "labels": self.num_labels,
             "words": self.total_words,
             "codec": self.codec,
+            "backend": self.backend,
             "mapped_bytes": self.mapped_bytes,
             "cached_labels": self.cached_labels,
             "source": self.source,
@@ -520,6 +606,7 @@ class MappedLabelStore:
     def close(self) -> None:
         self._cache.clear()
         self._overlay.clear()
+        self._overlay_flat.clear()
         self.reader.close()
 
 

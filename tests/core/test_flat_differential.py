@@ -1,0 +1,276 @@
+"""Differential test wall: the flat backend IS the dict backend.
+
+Every layer that can observe a labeling is compared byte-for-byte
+between ``backend="dict"`` (the pure-Python reference) and
+``backend="flat"`` (the CSR/flat-array core):
+
+* construction — ``dump_labeling`` JSON text and the packed ``/2``
+  binary blob are compared as raw bytes, across **all five separator
+  engines**, serial and parallel builds;
+* serving — a server backed by a flat store must emit DIST and BATCH
+  reply *lines* identical to a server backed by a dict store, for the
+  JSON and the mmap'd binary codec alike;
+* dynamics — applying the same ``LabelDelta`` sequence to a dict store
+  and a flat store must leave their answers byte-identical.
+
+This wall runs unconditionally: numpy/scipy are part of the supported
+environment, so a missing flat backend is a *failure* here, never a
+skip.  (The graceful-degradation path is covered separately in
+``tests/core/test_flat_unit.py`` with monkeypatched imports.)
+"""
+
+import asyncio
+import json
+import math
+import random
+
+import pytest
+
+from repro.core import (
+    CenterBagEngine,
+    GreedyPeelingEngine,
+    StrongGreedyEngine,
+    TreeCentroidEngine,
+    build_decomposition,
+    build_labeling,
+    dump_labeling,
+    flat_available,
+    load_labeling,
+)
+from repro.core.binfmt import pack_labeling
+from repro.dynamic import incremental_relabel
+from repro.generators import (
+    grid_2d,
+    k_tree,
+    random_delaunay_graph,
+    random_planar_graph,
+    random_tree,
+)
+from repro.planar import PlanarCycleEngine
+from repro.serve import OracleServer, ShardedLabelStore, StoreCatalog
+from repro.serve.loadgen import synthesize_pairs
+
+from tests.dynamic.test_rebuild import random_reweight
+from tests.serve.conftest import rpc
+from tests.serve.test_server import wire
+
+# One graph family per engine, matched to what the engine is for:
+# greedy peeling likes bounded-degree meshes, center-bag needs a
+# chordal-ish k-tree, the centroid engine requires a tree, strong
+# greedy eats dense-ish grids, and the planar engine planar graphs.
+ENGINE_CASES = [
+    pytest.param(
+        lambda: random_delaunay_graph(36, seed=3)[0],
+        lambda: GreedyPeelingEngine(seed=7),
+        id="delaunay-greedy",
+    ),
+    pytest.param(
+        lambda: k_tree(36, 3, seed=1)[0],
+        lambda: CenterBagEngine(order="min_degree"),
+        id="ktree-centerbag",
+    ),
+    pytest.param(
+        lambda: random_tree(40, weight_range=(1.0, 3.0), seed=2),
+        lambda: TreeCentroidEngine(),
+        id="tree-centroid",
+    ),
+    pytest.param(
+        lambda: grid_2d(6, weight_range=(1.0, 5.0), seed=4),
+        lambda: StrongGreedyEngine(seed=5),
+        id="grid-stronggreedy",
+    ),
+    pytest.param(
+        lambda: random_planar_graph(36, seed=6),
+        lambda: PlanarCycleEngine(),
+        id="planar-planarcycle",
+    ),
+]
+
+
+def _build_pair(make_graph, make_engine, epsilon=0.25):
+    """The same (graph, tree) labeled by both backends."""
+    graph = make_graph()
+    tree = build_decomposition(graph, engine=make_engine())
+    ref = build_labeling(graph, tree, epsilon=epsilon, backend="dict")
+    flat = build_labeling(graph, tree, epsilon=epsilon, backend="flat")
+    return graph, tree, ref, flat
+
+
+def test_flat_backend_is_available_here():
+    # The wall's no-skip guarantee: in this environment the flat
+    # backend must exist.  If numpy/scipy ever vanish from the image,
+    # this fails loudly instead of silently skipping the whole wall.
+    assert flat_available()
+
+
+class TestConstructionByteIdentity:
+    @pytest.mark.parametrize("make_graph, make_engine", ENGINE_CASES)
+    def test_json_and_binary_dumps_identical(self, make_graph, make_engine):
+        _, _, ref, flat = _build_pair(make_graph, make_engine)
+        assert dump_labeling(flat) == dump_labeling(ref)
+        for num_shards in (1, 4):
+            assert pack_labeling(flat, num_shards=num_shards) == pack_labeling(
+                ref, num_shards=num_shards
+            )
+
+    @pytest.mark.parametrize("make_graph, make_engine", ENGINE_CASES)
+    def test_parallel_flat_build_identical(self, make_graph, make_engine):
+        graph, tree, ref, _ = _build_pair(make_graph, make_engine)
+        par = build_labeling(
+            graph, tree, epsilon=0.25, backend="flat", parallel=2
+        )
+        assert dump_labeling(par) == dump_labeling(ref)
+
+    @pytest.mark.parametrize("make_graph, make_engine", ENGINE_CASES)
+    def test_estimates_bit_equal_on_all_pairs(self, make_graph, make_engine):
+        graph, _, ref, flat = _build_pair(make_graph, make_engine)
+        verts = sorted(graph.vertices(), key=repr)
+        for u in verts:
+            for v in verts:
+                a = ref.estimate(u, v)
+                b = flat.estimate(u, v)
+                # Bitwise: repr distinguishes every finite float, and
+                # inf == inf covers the unreachable case.
+                assert repr(a) == repr(b), (u, v, a, b)
+
+
+async def _serve_lines(store, requests):
+    """Raw reply lines for *requests* from a fresh one-store server."""
+    catalog = StoreCatalog()
+    catalog.add(store)
+    server = OracleServer(catalog, port=0)
+    await server.start()
+    try:
+        return await rpc(server.port, requests)
+    finally:
+        await server.shutdown()
+
+
+def _query_requests(pairs):
+    requests = [
+        {"id": i, "op": "DIST", "u": wire(u), "v": wire(v)}
+        for i, (u, v) in enumerate(pairs)
+    ]
+    requests.append(
+        {
+            "id": len(requests),
+            "op": "BATCH",
+            "pairs": [[wire(u), wire(v)] for u, v in pairs],
+        }
+    )
+    return requests
+
+
+class TestServedByteIdentity:
+    @pytest.mark.parametrize("make_graph, make_engine", ENGINE_CASES)
+    def test_dist_and_batch_lines_identical_json_codec(
+        self, make_graph, make_engine
+    ):
+        _, _, ref, _ = _build_pair(make_graph, make_engine)
+        remote = load_labeling(dump_labeling(ref))
+        pairs = synthesize_pairs(list(remote.vertices()), 16, seed=21)
+        requests = _query_requests(pairs)
+
+        async def main():
+            dict_lines = await _serve_lines(
+                ShardedLabelStore.from_remote(
+                    "wall", remote, num_shards=4, backend="dict"
+                ),
+                requests,
+            )
+            flat_lines = await _serve_lines(
+                ShardedLabelStore.from_remote(
+                    "wall", remote, num_shards=4, backend="flat"
+                ),
+                requests,
+            )
+            return dict_lines, flat_lines
+
+        dict_lines, flat_lines = asyncio.run(main())
+        assert flat_lines == dict_lines
+        # And the lines carry real payloads, not shared error chatter.
+        for line in dict_lines:
+            assert json.loads(line)["ok"] is True
+
+    @pytest.mark.parametrize("make_graph, make_engine", ENGINE_CASES)
+    def test_dist_and_batch_lines_identical_binary_codec(
+        self, make_graph, make_engine, tmp_path
+    ):
+        _, _, ref, flat = _build_pair(make_graph, make_engine)
+        path = tmp_path / "labels.bin"
+        dump_labeling(flat, path, codec="binary", num_shards=4)
+        remote = load_labeling(dump_labeling(ref))
+        pairs = synthesize_pairs(list(remote.vertices()), 16, seed=22)
+        requests = _query_requests(pairs)
+
+        async def main():
+            dict_lines = await _serve_lines(
+                ShardedLabelStore.load(path, name="wall", backend="dict"),
+                requests,
+            )
+            flat_lines = await _serve_lines(
+                ShardedLabelStore.load(path, name="wall", backend="flat"),
+                requests,
+            )
+            return dict_lines, flat_lines
+
+        dict_lines, flat_lines = asyncio.run(main())
+        assert flat_lines == dict_lines
+        for line in dict_lines:
+            assert json.loads(line)["ok"] is True
+
+
+class TestDeltaByteIdentity:
+    @pytest.mark.parametrize("make_graph, make_engine", ENGINE_CASES)
+    def test_delta_application_keeps_stores_identical(
+        self, make_graph, make_engine
+    ):
+        graph, tree, ref, _ = _build_pair(make_graph, make_engine)
+        # Two independent snapshots of the pristine labels, one per
+        # backend; incremental_relabel then mutates the *builder*
+        # labeling and emits deltas both stores must track.
+        remote_a = load_labeling(dump_labeling(ref))
+        remote_b = load_labeling(dump_labeling(ref))
+        dict_store = ShardedLabelStore.from_remote(
+            "wall", remote_a, num_shards=4, backend="dict"
+        )
+        flat_store = ShardedLabelStore.from_remote(
+            "wall", remote_b, num_shards=4, backend="flat"
+        )
+        pairs = synthesize_pairs(list(remote_a.vertices()), 20, seed=23)
+        rng = random.Random(29)
+        for _ in range(3):
+            delta = incremental_relabel(ref, random_reweight(rng, graph))
+            dict_store.apply_label_changes(delta.changes, delta.removals)
+            flat_store.apply_label_changes(delta.changes, delta.removals)
+            for u, v in pairs:
+                a = dict_store.estimate(u, v)
+                b = flat_store.estimate(u, v)
+                assert repr(a) == repr(b), (u, v, a, b)
+                # The moved labels also agree with the mutated builder
+                # labeling itself — the store tracked reality.
+                c = ref.estimate(u, v)
+                assert repr(a) == repr(c), (u, v, a, c)
+
+    def test_mapped_store_overlay_deltas_identical(self, tmp_path):
+        graph = grid_2d(5, weight_range=(1.0, 5.0), seed=9)
+        tree = build_decomposition(graph)
+        ref = build_labeling(graph, tree, epsilon=0.25, backend="dict")
+        path = tmp_path / "labels.bin"
+        dump_labeling(ref, path, codec="binary", num_shards=4)
+        dict_store = ShardedLabelStore.load(path, name="wall", backend="dict")
+        flat_store = ShardedLabelStore.load(path, name="wall", backend="flat")
+        pairs = synthesize_pairs(sorted(graph.vertices()), 20, seed=31)
+        rng = random.Random(41)
+        try:
+            for _ in range(3):
+                delta = incremental_relabel(ref, random_reweight(rng, graph))
+                dict_store.apply_label_changes(delta.changes, delta.removals)
+                flat_store.apply_label_changes(delta.changes, delta.removals)
+                for u, v in pairs:
+                    a = dict_store.estimate(u, v)
+                    b = flat_store.estimate(u, v)
+                    assert repr(a) == repr(b), (u, v, a, b)
+        finally:
+            dict_store.close()
+            flat_store.close()

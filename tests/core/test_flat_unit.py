@@ -1,0 +1,382 @@
+"""Unit and regression tests for the flat core's edges.
+
+Covers what the differential wall cannot: the canonical-vertex rule on
+``CSRGraph`` (the PR 7 shard-key regression, now at the index layer),
+backend resolution with and without numpy/scipy, path-key encoding
+bounds, the small-residual dispatch, the construction kernel's source
+validation, and the big-endian decode fallback in ``binfmt`` — all
+without a skip in sight.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core import (
+    BACKENDS,
+    CSRGraph,
+    FlatBackendUnavailable,
+    FlatLabel,
+    build_decomposition,
+    build_labeling,
+    dump_labeling,
+    flat_available,
+    flat_estimate,
+    resolve_backend,
+)
+from repro.core import flat as flat_mod
+from repro.core.binfmt import BinaryLabelReader, write_labeling_binary
+from repro.core.decomposition import phase_portal_distance_maps
+from repro.core.flat import (
+    SMALL_RESIDUAL,
+    FlatBuildContext,
+    encode_path_key,
+    flat_distance_maps,
+    flat_phase_distance_maps,
+    flat_unit_entries,
+)
+from repro.core.labeling import VertexLabel, _unit_entries, estimate_distance
+from repro.dynamic.rebuild import (
+    EdgeUpdate,
+    delta_to_dict,
+    incremental_relabel,
+)
+from repro.generators import grid_2d, random_delaunay_graph
+from repro.graphs import Graph
+from repro.graphs.shortest_paths import batched_dijkstra
+from repro.util.errors import GraphError
+from tests.dynamic.test_rebuild import random_reweight
+
+
+class TestCanonicalVertexRegression:
+    """``1`` and ``1.0`` are ONE vertex, at every layer.
+
+    PR 7 fixed the shard router (``shard_key_bytes`` canonicalizes
+    before hashing); the CSR index must obey the same rule or a
+    JSON-round-tripped graph (integral floats) would silently diverge
+    from the in-memory one (ints)."""
+
+    def test_int_and_integral_float_resolve_to_one_index(self):
+        g = Graph([(0, 1, 2.0), (1, 2, 3.0)])
+        csr = CSRGraph.from_graph(g)
+        for v in (0, 1, 2):
+            assert csr.index_of(float(v)) == csr.index_of(v)
+            assert float(v) in csr and v in csr
+
+    def test_float_built_graph_answers_int_queries(self):
+        # The JSON-round-trip shape: the graph's own vertices are
+        # integral floats, the query keys are ints.
+        g = Graph([(0.0, 1.0, 2.0), (1.0, 2.0, 3.0)])
+        csr = CSRGraph.from_graph(g)
+        assert csr.index_of(1) == csr.index_of(1.0)
+        assert csr.neighbors(2) == csr.neighbors(2.0)
+
+    def test_tuple_vertices_canonicalize_recursively(self):
+        g = Graph([((0, 0.0), (1.0, 0), 1.5)])
+        csr = CSRGraph.from_graph(g)
+        assert csr.index_of((0.0, 0)) == csr.index_of((0, 0))
+        assert (1, 0.0) in csr
+
+    def test_unknown_vertex_raises_grapherror(self):
+        csr = CSRGraph.from_graph(Graph([(0, 1, 1.0)]))
+        with pytest.raises(GraphError, match="not in graph"):
+            csr.index_of(7)
+        assert 7 not in csr
+
+    def test_canonical_collision_is_rejected(self):
+        # Two distinct dict keys that canonicalize to the same index
+        # key need a pathological __hash__ to coexist in a Graph at
+        # all; if they ever do, from_graph must refuse rather than
+        # silently merge or shadow them.
+        class AliasedFloat(float):
+            __hash__ = object.__hash__
+
+            def __eq__(self, other):
+                return self is other
+
+            def __ne__(self, other):
+                return self is not other
+
+        one = AliasedFloat(1.0)
+        g = Graph([(1, 0, 1.0), (one, 2, 1.0)])
+        assert len(set(g.vertices())) == 4  # 1 and one really coexist
+        with pytest.raises(GraphError, match="canonicalize"):
+            CSRGraph.from_graph(g)
+
+    def test_flat_labeling_matches_dict_on_float_keyed_graph(self):
+        g = Graph([(0.0, 1.0, 2.0), (1.0, 2.0, 3.0), (2.0, 3.0, 1.0)])
+        tree = build_decomposition(g)
+        ref = build_labeling(g, tree, epsilon=0.5, backend="dict")
+        flat = build_labeling(g, tree, epsilon=0.5, backend="flat")
+        assert dump_labeling(flat) == dump_labeling(ref)
+
+
+class TestBackendResolution:
+    def test_explicit_backends_resolve_to_themselves(self):
+        assert resolve_backend("dict") == "dict"
+        assert flat_available()  # the test image ships numpy/scipy
+        assert resolve_backend("flat") == "flat"
+
+    def test_auto_and_none_prefer_flat_when_available(self):
+        assert resolve_backend(None) == "flat"
+        assert resolve_backend("auto") == "flat"
+
+    def test_unknown_backend_is_a_valueerror(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("simd")
+        assert set(BACKENDS) == {"auto", "dict", "flat"}
+
+    def test_missing_numpy_degrades_auto_and_refuses_flat(self, monkeypatch):
+        monkeypatch.setattr(flat_mod, "_np", None)
+        monkeypatch.setattr(
+            flat_mod, "_IMPORT_ERROR", ImportError("no module named numpy")
+        )
+        assert not flat_available()
+        assert resolve_backend(None) == "dict"
+        assert resolve_backend("auto") == "dict"
+        with pytest.raises(FlatBackendUnavailable, match="numpy"):
+            resolve_backend("flat")
+        with pytest.raises(FlatBackendUnavailable):
+            CSRGraph.from_graph(Graph([(0, 1, 1.0)]))
+
+    def test_build_labeling_honors_degraded_auto(self, monkeypatch):
+        monkeypatch.setattr(flat_mod, "_np", None)
+        g = Graph([(0, 1, 1.0), (1, 2, 2.0)])
+        tree = build_decomposition(g)
+        labeling = build_labeling(g, tree, epsilon=0.5)  # auto -> dict
+        assert labeling.estimate(0, 2) == 3.0
+        with pytest.raises(FlatBackendUnavailable):
+            build_labeling(g, tree, epsilon=0.5, backend="flat")
+
+
+class TestPathKeyEncoding:
+    def test_code_order_equals_tuple_order(self):
+        keys = [
+            (0, 0, 0), (0, 0, 1), (0, 1, 0), (1, 0, 0),
+            (1, 2, 3), (1, 2, 4), (2, 0, 0), (5, -1, 7), (5, 0, -9),
+        ]
+        codes = [encode_path_key(k) for k in keys]
+        assert sorted(codes) == [encode_path_key(k) for k in sorted(keys)]
+        assert len(set(codes)) == len(keys)
+
+    def test_out_of_range_components_are_rejected(self):
+        with pytest.raises(GraphError, match="outside the flat key range"):
+            encode_path_key((0, 1 << 31, 0))
+        with pytest.raises(GraphError, match="outside the flat key range"):
+            encode_path_key((0, 0, -(1 << 31) - 1))
+
+
+class TestFlatLabelShape:
+    def test_words_and_portals_match_reference(self):
+        g = random_delaunay_graph(48, seed=5)[0]
+        tree = build_decomposition(g)
+        labeling = build_labeling(g, tree, epsilon=0.25, backend="dict")
+        for lab in labeling.labels.values():
+            fl = FlatLabel.from_label(lab)
+            assert fl.words == lab.words
+            assert fl.num_portals == sum(
+                len(p) for p in lab.entries.values()
+            )
+
+    def test_to_label_is_memoized_identity(self):
+        lab = VertexLabel(7, {(0, 0, 0): [(0.0, 1.5), (2.0, 0.5)]})
+        fl = FlatLabel.from_label(lab)
+        assert fl.to_label() is fl.to_label()
+
+    def test_same_vertex_short_circuits_to_zero(self):
+        lab = VertexLabel("x", {})
+        fl = FlatLabel.from_label(lab)
+        assert flat_estimate(fl, fl) == 0.0
+        assert estimate_distance(lab, lab) == 0.0
+
+
+class TestConstructionKernelEdges:
+    def test_small_residual_delegates_to_dict_kernel(self):
+        g = grid_2d(3, weight_range=(1.0, 5.0), seed=2)  # 9 < SMALL_RESIDUAL
+        assert len(set(g.vertices())) < SMALL_RESIDUAL
+        tree = build_decomposition(g)
+        ctx = FlatBuildContext(g, tree)
+        units = tree.phase_units()
+        node_id, phase_idx, residual = units[0]
+        assert flat_unit_entries(
+            ctx, node_id, phase_idx, residual, 0.25
+        ) == _unit_entries(g, tree, node_id, phase_idx, residual, 0.25)
+
+    def test_large_residual_matches_dict_kernel(self):
+        # The flat kernel walks vertices in CSR-index order, the dict
+        # kernel in residual order; the builder keys entries by
+        # (vertex, path key), so only the *set* of triples must agree
+        # — and it must, bit for bit, portal list included.
+        g = grid_2d(7, weight_range=(1.0, 5.0), seed=3)  # 49 >= threshold
+        tree = build_decomposition(g)
+        ctx = FlatBuildContext(g, tree)
+        checked = 0
+        for node_id, phase_idx, residual in tree.phase_units():
+            if len(residual) < SMALL_RESIDUAL:
+                continue
+            flat_out, flat_sources = flat_unit_entries(
+                ctx, node_id, phase_idx, residual, 0.25
+            )
+            ref_out, ref_sources = _unit_entries(
+                g, tree, node_id, phase_idx, residual, 0.25
+            )
+            assert flat_sources == ref_sources
+            assert {
+                (v, key): portals for v, key, portals in flat_out
+            } == {(v, key): portals for v, key, portals in ref_out}
+            assert len(flat_out) == len(ref_out)
+            checked += 1
+        assert checked  # the graph is big enough to hit the flat path
+
+    def test_source_outside_residual_mirrors_reference_error(self):
+        g = grid_2d(7, weight_range=(1.0, 5.0), seed=3)
+        tree = build_decomposition(g)
+        ctx = FlatBuildContext(g, tree)
+        for node_id, phase_idx, residual in tree.phase_units():
+            if len(residual) < SMALL_RESIDUAL:
+                continue
+            phase = tree.nodes[node_id].separator.phases[phase_idx]
+            victim = phase.paths[0][0]
+            broken = [v for v in residual if v != victim]
+            if len(broken) < SMALL_RESIDUAL:
+                continue
+            with pytest.raises(GraphError, match="not in the allowed set"):
+                flat_unit_entries(ctx, node_id, phase_idx, broken, 0.25)
+            with pytest.raises(GraphError, match="not in the allowed set"):
+                _unit_entries(g, tree, node_id, phase_idx, broken, 0.25)
+            return
+        pytest.fail("no unit large enough to exercise the flat kernel")
+
+
+class TestBigEndianFallback:
+    def test_struct_decode_path_equals_fast_path(self, tmp_path, monkeypatch):
+        # Force the portable struct-unpack branch of the /2 flat
+        # decoder and require bit-identical FlatLabels: on a
+        # little-endian host this proves the big-endian fallback reads
+        # the same floats the array('d') bulk path does.
+        g = random_delaunay_graph(40, seed=9)[0]
+        tree = build_decomposition(g)
+        labeling = build_labeling(g, tree, epsilon=0.25, backend="flat")
+        path = tmp_path / "labels.bin"
+        write_labeling_binary(labeling, path, num_shards=4)
+
+        with BinaryLabelReader(path) as reader:
+            fast = {v: reader.get_flat(v) for v in reader.iter_vertices()}
+        import repro.core.binfmt as binfmt
+
+        monkeypatch.setattr(binfmt, "_LITTLE_ENDIAN", False)
+        with BinaryLabelReader(path) as reader:
+            slow = {v: reader.get_flat(v) for v in reader.iter_vertices()}
+        assert fast.keys() == slow.keys()
+        for v, a in fast.items():
+            b = slow[v]
+            assert a.keys == b.keys
+            assert list(a.offs) == list(b.offs)
+            assert a.runs == b.runs  # bit-equal float payloads
+            assert math.isfinite(sum(a.runs)) or len(a.runs) == 0
+
+
+class TestDynamicFlatHelpers:
+    """The flat helpers behind ``incremental_relabel``'s cold-unit
+    recomputes: in-place CSR reweights and the distance-map twins of
+    ``batched_dijkstra`` / ``phase_portal_distance_maps``."""
+
+    def _case(self, seed=9):
+        g = grid_2d(7, weight_range=(1.0, 5.0), seed=seed)  # 49 >= threshold
+        tree = build_decomposition(g)
+        return g, tree, FlatBuildContext(g, tree)
+
+    def test_set_weight_updates_both_arcs(self):
+        g, tree, ctx = self._case()
+        u, v = (0, 0), (0, 1)
+        assert g.has_edge(u, v)
+        ctx.csr.set_weight(u, v, 9.25)
+        assert dict(ctx.csr.neighbors(u))[v] == 9.25
+        assert dict(ctx.csr.neighbors(v))[u] == 9.25
+
+    def test_set_weight_missing_edge_raises(self):
+        g, tree, ctx = self._case()
+        with pytest.raises(GraphError, match="no edge"):
+            ctx.csr.set_weight((0, 0), (6, 6), 1.0)
+
+    def test_distance_maps_bit_identical_to_batched_dijkstra(self):
+        g, tree, ctx = self._case()
+        residual = frozenset(g.vertices())
+        sources = sorted(residual, key=repr)[:5] * 2  # dupes collapse
+        ref = batched_dijkstra(g, sources, allowed=residual)
+        flat = flat_distance_maps(ctx, sources, residual)
+        assert list(flat) == list(ref)  # same dedup source order
+        for s, ref_map in ref.items():
+            flat_map = flat[s]
+            assert set(flat_map) == set(ref_map)
+            for v, d in ref_map.items():
+                assert repr(flat_map[v]) == repr(d)
+
+    def test_distance_maps_omit_unreachable(self):
+        # Restrict the residual to one grid corner: vertices outside it
+        # must be absent from the maps, not stored as inf.
+        g, tree, ctx = self._case()
+        residual = frozenset(
+            (i, j) for i in range(2) for j in range(2)
+        )
+        flat = flat_distance_maps(ctx, [(0, 0)], residual)
+        ref = batched_dijkstra(g, [(0, 0)], allowed=residual)
+        assert set(flat[(0, 0)]) == set(ref[(0, 0)]) == residual
+
+    def test_phase_distance_maps_match_reference(self):
+        g, tree, ctx = self._case()
+        checked = 0
+        for node_id, phase_idx, residual in tree.phase_units():
+            if len(residual) < SMALL_RESIDUAL:
+                continue
+            ref = phase_portal_distance_maps(
+                g, tree, node_id, phase_idx, residual
+            )
+            flat = flat_phase_distance_maps(ctx, node_id, phase_idx, residual)
+            assert list(flat) == list(ref)
+            for s, ref_map in ref.items():
+                assert set(flat[s]) == set(ref_map)
+                for v, d in ref_map.items():
+                    assert repr(flat[s][v]) == repr(d)
+            checked += 1
+        assert checked
+
+    def test_distance_maps_source_validation_matches_reference(self):
+        g, tree, ctx = self._case()
+        residual = frozenset(v for v in g.vertices() if v != (0, 0))
+        with pytest.raises(GraphError, match="not in the allowed set"):
+            flat_distance_maps(ctx, [(0, 0)], residual)
+        with pytest.raises(GraphError, match="not in graph"):
+            flat_distance_maps(ctx, ["ghost"], residual | {"ghost"})
+
+    def test_incremental_relabel_flat_matches_dict_path(self, monkeypatch):
+        # Two independent, bit-identical labelings; one takes the flat
+        # cold-unit path, the other is pinned to the pure-Python
+        # reference.  Every delta and the final labeling must agree.
+        import repro.dynamic.rebuild as rebuild_mod
+
+        def build():
+            g = grid_2d(7, weight_range=(1.0, 5.0), seed=11)
+            tree = build_decomposition(g)
+            return build_labeling(g, tree, epsilon=0.25, backend="dict")
+
+        flat_side, dict_side = build(), build()
+        assert dump_labeling(flat_side) == dump_labeling(dict_side)
+        rng = random.Random(4)
+        updates = []
+        for _ in range(4):
+            upd = random_reweight(rng, flat_side.graph)
+            updates.append(EdgeUpdate(upd.u, upd.v, upd.weight))
+        deltas_flat = [
+            delta_to_dict(incremental_relabel(flat_side, upd))
+            for upd in updates
+        ]
+        assert flat_side._flat_ctx is not None  # flat path actually ran
+        monkeypatch.setattr(rebuild_mod, "_flat_context", lambda lab: None)
+        deltas_dict = [
+            delta_to_dict(incremental_relabel(dict_side, upd))
+            for upd in updates
+        ]
+        assert deltas_flat == deltas_dict
+        assert dump_labeling(flat_side) == dump_labeling(dict_side)
